@@ -1,0 +1,66 @@
+// Ablation ABL-4: sensitivity of hybrid quality to the crowd's composition
+// and to the replication factor — the knobs a practitioner actually controls.
+// Sweeps (a) the spammer fraction with and without the qualification test,
+// and (b) the number of assignments per HIT, reporting end-to-end F1 on the
+// Product dataset at the paper's operating point.
+#include "bench/bench_common.h"
+#include "common/timer.h"
+
+namespace crowder {
+namespace bench {
+namespace {
+
+double RunF1(const data::Dataset& dataset, double spam_fraction, bool qt,
+             uint32_t assignments) {
+  core::WorkflowConfig config;
+  config.likelihood_threshold = 0.2;
+  config.cluster_size = 10;
+  config.seed = 31337;
+  const double honest = 1.0 - spam_fraction;
+  config.crowd.reliable_fraction = honest * 0.72;
+  config.crowd.noisy_fraction = honest * 0.28;
+  config.crowd.qualification_test = qt;
+  config.crowd.assignments_per_hit = assignments;
+  auto result = core::HybridWorkflow(config).Run(dataset).ValueOrDie();
+  return eval::BestF1(result.pr_curve);
+}
+
+}  // namespace
+}  // namespace bench
+}  // namespace crowder
+
+int main() {
+  using namespace crowder;
+  using bench::Product;
+  WallTimer timer;
+
+  bench::Banner("Ablation: spammer fraction vs qualification test (Product, 3 assignments)");
+  {
+    eval::TablePrinter table({"spammer fraction", "F1 (no QT)", "F1 (QT)"});
+    for (double spam : {0.0, 0.1, 0.2, 0.35, 0.5}) {
+      table.AddRow({FormatDouble(spam, 2),
+                    bench::Pct(bench::RunF1(Product(), spam, false, 3)),
+                    bench::Pct(bench::RunF1(Product(), spam, true, 3))});
+    }
+    std::cout << table.Render();
+    std::cout << "Reading: EM absorbs light spam; the qualification test keeps\n"
+                 "quality flat even when half the pool is malicious — the paper's\n"
+                 "two QT mechanisms (filter spammers, force instruction-reading).\n";
+  }
+
+  bench::Banner("Ablation: assignments per HIT (Product, 10% spammers, no QT)");
+  {
+    eval::TablePrinter table({"assignments/HIT", "F1", "relative cost"});
+    for (uint32_t reps : {1u, 3u, 5u, 7u}) {
+      table.AddRow({std::to_string(reps), bench::Pct(bench::RunF1(Product(), 0.1, false, reps)),
+                    FormatDouble(reps / 3.0, 2) + "x"});
+    }
+    std::cout << table.Render();
+    std::cout << "Reading: the paper's choice of 3 assignments is the knee — one\n"
+                 "assignment is fragile, five-plus pays linearly for small gains.\n";
+  }
+
+  std::cout << "\n[ablation_crowd done in " << FormatDouble(timer.ElapsedSeconds(), 1)
+            << "s]\n";
+  return 0;
+}

@@ -1,0 +1,52 @@
+// Ablation ABL-2 (DESIGN.md): which parts of the top tier's greedy rule
+// matter? Varies (a) the seed rule (paper: maximum-degree vertex; ablation:
+// first vertex with an alive edge) and (b) the minimum-outdegree tie-break
+// (paper: on; ablation: off), and reports the resulting HIT counts with ILP
+// packing held fixed.
+#include "bench/bench_common.h"
+#include "common/timer.h"
+#include "hitgen/two_tiered_generator.h"
+
+namespace crowder {
+namespace bench {
+namespace {
+
+size_t HitsWith(const data::Dataset& dataset, const std::vector<similarity::ScoredPair>& pairs,
+                hitgen::PartitionOptions::SeedRule seed_rule, bool outdegree_tiebreak) {
+  graph::PairGraph graph = BuildGraph(dataset, pairs);
+  hitgen::TwoTieredOptions options;
+  options.partition.seed_rule = seed_rule;
+  options.partition.outdegree_tiebreak = outdegree_tiebreak;
+  hitgen::TwoTieredGenerator generator(options);
+  return generator.Generate(&graph, 10).ValueOrDie().size();
+}
+
+void RunDataset(const data::Dataset& dataset) {
+  Banner("Ablation: top-tier partitioning rules (k=10) — " + dataset.name);
+  eval::TablePrinter table({"Threshold", "#Pairs", "paper (max-deg + out-tb)",
+                            "no outdegree tie-break", "first-vertex seed",
+                            "first-vertex, no tie-break"});
+  for (double threshold : {0.3, 0.2, 0.1}) {
+    const auto pairs = MachinePairs(dataset, threshold);
+    using SeedRule = hitgen::PartitionOptions::SeedRule;
+    table.AddRow({FormatDouble(threshold, 1), WithThousands(pairs.size()),
+                  WithThousands(HitsWith(dataset, pairs, SeedRule::kMaxDegree, true)),
+                  WithThousands(HitsWith(dataset, pairs, SeedRule::kMaxDegree, false)),
+                  WithThousands(HitsWith(dataset, pairs, SeedRule::kFirst, true)),
+                  WithThousands(HitsWith(dataset, pairs, SeedRule::kFirst, false))});
+  }
+  std::cout << table.Render();
+}
+
+}  // namespace
+}  // namespace bench
+}  // namespace crowder
+
+int main() {
+  crowder::WallTimer timer;
+  crowder::bench::RunDataset(crowder::bench::Restaurant());
+  crowder::bench::RunDataset(crowder::bench::Product());
+  std::cout << "\n[ablation_partition done in " << crowder::FormatDouble(timer.ElapsedSeconds(), 1)
+            << "s]\n";
+  return 0;
+}

@@ -1,0 +1,70 @@
+// Reproduces Figure 11: number of cluster-based HITs for cluster-size
+// thresholds k = 5, 10, 15, 20 at likelihood threshold 0.1, on Restaurant
+// and Product.
+//
+// Expected shape (paper): Two-tiered generates the fewest HITs for every k
+// (1.9-2.3x fewer than the best baseline on Restaurant); all curves fall
+// roughly hyperbolically with k.
+#include "bench/bench_common.h"
+#include "common/timer.h"
+
+namespace crowder {
+namespace bench {
+namespace {
+
+void RunDataset(const data::Dataset& dataset) {
+  Banner("Figure 11: #cluster HITs vs cluster-size threshold (likelihood=0.1) — " +
+         dataset.name);
+  const std::vector<uint32_t> cluster_sizes{5, 10, 15, 20};
+  const std::vector<hitgen::ClusterAlgorithm> algorithms{
+      hitgen::ClusterAlgorithm::kRandom, hitgen::ClusterAlgorithm::kDfs,
+      hitgen::ClusterAlgorithm::kBfs, hitgen::ClusterAlgorithm::kApproximation,
+      hitgen::ClusterAlgorithm::kTwoTiered};
+
+  const auto pairs = MachinePairs(dataset, 0.1);
+  std::cout << "pairs to cover: " << WithThousands(pairs.size()) << "\n\n";
+
+  eval::TablePrinter table({"Cluster size", "Random", "DFS-based", "BFS-based",
+                            "Approximation", "Two-tiered"});
+  std::vector<eval::Series> series(algorithms.size());
+  for (size_t a = 0; a < algorithms.size(); ++a) {
+    series[a].name = hitgen::ClusterAlgorithmName(algorithms[a]);
+  }
+  for (uint32_t k : cluster_sizes) {
+    std::vector<std::string> row{std::to_string(k)};
+    for (size_t a = 0; a < algorithms.size(); ++a) {
+      const size_t hits = CountClusterHits(algorithms[a], dataset, pairs, k);
+      row.push_back(WithThousands(static_cast<long long>(hits)));
+      series[a].x.push_back(static_cast<double>(k));
+      series[a].y.push_back(static_cast<double>(hits));
+    }
+    table.AddRow(std::move(row));
+  }
+  std::cout << table.Render() << "\n";
+  std::cout << AsciiChart(series, "cluster-size threshold k", "#HITs");
+
+  // The paper's headline: two-tiered vs best baseline ratio.
+  std::cout << "\nTwo-tiered vs best baseline (x fewer HITs):";
+  for (size_t i = 0; i < cluster_sizes.size(); ++i) {
+    double best_baseline = 1e18;
+    for (size_t a = 0; a + 1 < algorithms.size(); ++a) {
+      best_baseline = std::min(best_baseline, series[a].y[i]);
+    }
+    std::cout << "  k=" << cluster_sizes[i] << ": "
+              << FormatDouble(best_baseline / series.back().y[i], 2) << "x";
+  }
+  std::cout << "\n";
+}
+
+}  // namespace
+}  // namespace bench
+}  // namespace crowder
+
+int main() {
+  crowder::WallTimer timer;
+  crowder::bench::RunDataset(crowder::bench::Restaurant());
+  crowder::bench::RunDataset(crowder::bench::Product());
+  std::cout << "\n[fig11 done in " << crowder::FormatDouble(timer.ElapsedSeconds(), 1)
+            << "s]\n";
+  return 0;
+}

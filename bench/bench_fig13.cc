@@ -1,0 +1,65 @@
+// Reproduces Figure 13: median completion time per assignment for pair-based
+// vs cluster-based HITs on Product (P16 vs C10) and Product+Dup (P28 vs
+// C10), with and without a qualification test.
+//
+// Expected shape (paper): a cluster-based assignment takes ~15% less time
+// than a pair-based assignment on Product, and dramatically less on
+// Product+Dup where matches abound (each identified entity removes records
+// from further comparison, §6).
+#include "bench/bench_common.h"
+#include "common/timer.h"
+
+namespace crowder {
+namespace bench {
+namespace {
+
+void RunDataset(const data::Dataset& dataset, double threshold) {
+  const PairVsClusterSetup setup = MakePairVsClusterSetup(dataset, threshold);
+  Banner("Figure 13: median seconds per assignment — " + dataset.name + "  (P" +
+         std::to_string(setup.pairs_per_hit) + " vs C10, " +
+         std::to_string(setup.cluster_hits.size()) + " HITs each)");
+  const crowd::CrowdContext context = ContextFor(dataset, setup);
+
+  eval::TablePrinter table({"setup", "median s/assignment", "mean comparisons/assignment"});
+  for (bool qt : {false, true}) {
+    crowd::CrowdModel model;
+    model.qualification_test = qt;
+    const std::string suffix = qt ? " (QT)" : "";
+
+    crowd::CrowdPlatform pair_platform(model, 7171);
+    auto pair_run = pair_platform.RunPairHits(setup.pair_hits, context).ValueOrDie();
+    table.AddRow({"P" + std::to_string(setup.pairs_per_hit) + suffix,
+                  FormatDouble(pair_run.median_assignment_seconds, 1),
+                  FormatDouble(static_cast<double>(pair_run.total_comparisons) /
+                                   pair_run.num_assignments,
+                               1)});
+
+    crowd::CrowdPlatform cluster_platform(model, 7171);
+    auto cluster_run = cluster_platform.RunClusterHits(setup.cluster_hits, context).ValueOrDie();
+    table.AddRow({"C10" + suffix, FormatDouble(cluster_run.median_assignment_seconds, 1),
+                  FormatDouble(static_cast<double>(cluster_run.total_comparisons) /
+                                   cluster_run.num_assignments,
+                               1)});
+
+    if (!qt) {
+      const double saving = 1.0 - cluster_run.median_assignment_seconds /
+                                      pair_run.median_assignment_seconds;
+      std::cout << "cluster vs pair per-assignment saving: " << Pct(saving)
+                << "  (paper: ~15% on Product, larger on Product+Dup)\n";
+    }
+  }
+  std::cout << "\n" << table.Render();
+}
+
+}  // namespace
+}  // namespace bench
+}  // namespace crowder
+
+int main() {
+  crowder::WallTimer timer;
+  crowder::bench::RunDataset(crowder::bench::Product(), 0.2);
+  crowder::bench::RunDataset(crowder::bench::ProductDup(), 0.2);
+  std::cout << "\n[fig13 done in " << crowder::FormatDouble(timer.ElapsedSeconds(), 1)
+            << "s]\n";
+  return 0;
+}

@@ -1,0 +1,55 @@
+// Reproduces Figure 14: wall-clock time until ALL pair-based vs all
+// cluster-based HITs complete, on Product (P16 vs C10) and Product+Dup
+// (P28 vs C10), with and without a qualification test.
+//
+// Expected shape (paper): on Product the pair-based batch finishes first —
+// the familiar interface attracts more workers — even though each
+// cluster-based assignment is faster; on Product+Dup the 28-pair HITs repel
+// workers and cluster-based wins. A qualification test multiplies total
+// latency several-fold (the paper saw 4.5h -> 19.9h on Product).
+#include "bench/bench_common.h"
+#include "common/timer.h"
+
+namespace crowder {
+namespace bench {
+namespace {
+
+void RunDataset(const data::Dataset& dataset, double threshold) {
+  const PairVsClusterSetup setup = MakePairVsClusterSetup(dataset, threshold);
+  Banner("Figure 14: total completion time — " + dataset.name + "  (P" +
+         std::to_string(setup.pairs_per_hit) + " vs C10, " +
+         std::to_string(setup.cluster_hits.size()) + " HITs each)");
+  const crowd::CrowdContext context = ContextFor(dataset, setup);
+
+  eval::TablePrinter table({"setup", "total minutes", "hours"});
+  for (bool qt : {false, true}) {
+    crowd::CrowdModel model;
+    model.qualification_test = qt;
+    const std::string suffix = qt ? " (QT)" : "";
+
+    crowd::CrowdPlatform pair_platform(model, 909);
+    auto pair_run = pair_platform.RunPairHits(setup.pair_hits, context).ValueOrDie();
+    table.AddRow({"P" + std::to_string(setup.pairs_per_hit) + suffix,
+                  FormatDouble(pair_run.total_seconds / 60.0, 0),
+                  FormatDouble(pair_run.total_seconds / 3600.0, 1)});
+
+    crowd::CrowdPlatform cluster_platform(model, 909);
+    auto cluster_run = cluster_platform.RunClusterHits(setup.cluster_hits, context).ValueOrDie();
+    table.AddRow({"C10" + suffix, FormatDouble(cluster_run.total_seconds / 60.0, 0),
+                  FormatDouble(cluster_run.total_seconds / 3600.0, 1)});
+  }
+  std::cout << table.Render();
+}
+
+}  // namespace
+}  // namespace bench
+}  // namespace crowder
+
+int main() {
+  crowder::WallTimer timer;
+  crowder::bench::RunDataset(crowder::bench::Product(), 0.2);
+  crowder::bench::RunDataset(crowder::bench::ProductDup(), 0.2);
+  std::cout << "\n[fig14 done in " << crowder::FormatDouble(timer.ElapsedSeconds(), 1)
+            << "s]\n";
+  return 0;
+}

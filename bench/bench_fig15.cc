@@ -1,0 +1,77 @@
+// Reproduces Figure 15: answer quality (precision-recall) of pair-based vs
+// cluster-based HITs on Product and Product+Dup, with and without a
+// qualification test.
+//
+// Expected shape (paper): the two HIT types produce similar quality; QT
+// variants sit slightly above their counterparts.
+#include "bench/bench_common.h"
+#include "aggregate/dawid_skene.h"
+#include "common/timer.h"
+
+namespace crowder {
+namespace bench {
+namespace {
+
+std::vector<eval::PrPoint> CurveFromRun(const data::Dataset& dataset,
+                                        const PairVsClusterSetup& setup,
+                                        const crowd::CrowdRunResult& run) {
+  auto ds = aggregate::RunDawidSkene(run.votes).ValueOrDie();
+  std::vector<eval::RankedPair> ranked;
+  ranked.reserve(setup.pairs.size());
+  for (size_t i = 0; i < setup.pairs.size(); ++i) {
+    eval::RankedPair rp;
+    rp.a = setup.pairs[i].a;
+    rp.b = setup.pairs[i].b;
+    rp.score = ds.match_probability[i] + 1e-7 * setup.pairs[i].score;
+    rp.is_match = dataset.truth.IsMatch(rp.a, rp.b);
+    ranked.push_back(rp);
+  }
+  return eval::PrCurve(std::move(ranked), dataset.CountMatchingPairs()).ValueOrDie();
+}
+
+void RunDataset(const data::Dataset& dataset, double threshold) {
+  const PairVsClusterSetup setup = MakePairVsClusterSetup(dataset, threshold);
+  Banner("Figure 15: quality of pair-based vs cluster-based HITs — " + dataset.name +
+         "  (P" + std::to_string(setup.pairs_per_hit) + " vs C10)");
+  const crowd::CrowdContext context = ContextFor(dataset, setup);
+
+  std::vector<std::pair<std::string, std::vector<eval::PrPoint>>> curves;
+  eval::TablePrinter table({"setup", "P@R=70%", "P@R=90%", "best F1", "AUC-PR"});
+  for (bool qt : {false, true}) {
+    crowd::CrowdModel model;
+    model.qualification_test = qt;
+    const std::string suffix = qt ? " (QT)" : "";
+
+    crowd::CrowdPlatform pair_platform(model, 1515);
+    auto pair_run = pair_platform.RunPairHits(setup.pair_hits, context).ValueOrDie();
+    auto pair_curve = CurveFromRun(dataset, setup, pair_run);
+
+    crowd::CrowdPlatform cluster_platform(model, 1515);
+    auto cluster_run = cluster_platform.RunClusterHits(setup.cluster_hits, context).ValueOrDie();
+    auto cluster_curve = CurveFromRun(dataset, setup, cluster_run);
+
+    auto add = [&](const std::string& name, const std::vector<eval::PrPoint>& curve) {
+      table.AddRow({name, Pct(eval::PrecisionAtRecall(curve, 0.7)),
+                    Pct(eval::PrecisionAtRecall(curve, 0.9)), Pct(eval::BestF1(curve)),
+                    FormatDouble(eval::AreaUnderPr(curve), 3)});
+      curves.emplace_back(name, curve);
+    };
+    add("P" + std::to_string(setup.pairs_per_hit) + suffix, pair_curve);
+    add("C10" + suffix, cluster_curve);
+  }
+  std::cout << table.Render() << "\n";
+  std::cout << eval::PrChart(curves);
+}
+
+}  // namespace
+}  // namespace bench
+}  // namespace crowder
+
+int main() {
+  crowder::WallTimer timer;
+  crowder::bench::RunDataset(crowder::bench::Product(), 0.2);
+  crowder::bench::RunDataset(crowder::bench::ProductDup(), 0.2);
+  std::cout << "\n[fig15 done in " << crowder::FormatDouble(timer.ElapsedSeconds(), 1)
+            << "s]\n";
+  return 0;
+}

@@ -1,0 +1,178 @@
+// Micro-benchmarks (google-benchmark) for the performance-critical building
+// blocks, plus the ABL-3 join-strategy ablation: naive all-pairs vs
+// prefix-filtering AllPairs vs token blocking + verification.
+#include <benchmark/benchmark.h>
+
+#include "bench/bench_common.h"
+
+namespace crowder {
+namespace bench {
+namespace {
+
+// ---------------------------------------------------------------------------
+// Similarity primitives.
+// ---------------------------------------------------------------------------
+
+void BM_Jaccard(benchmark::State& state) {
+  Rng rng(1);
+  similarity::TokenSet a;
+  similarity::TokenSet b;
+  for (int i = 0; i < state.range(0); ++i) {
+    a.push_back(static_cast<text::TokenId>(rng.Uniform(100000)));
+    b.push_back(static_cast<text::TokenId>(rng.Uniform(100000)));
+  }
+  a = similarity::MakeTokenSet(a);
+  b = similarity::MakeTokenSet(b);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(similarity::Jaccard(a, b));
+  }
+}
+BENCHMARK(BM_Jaccard)->Arg(8)->Arg(64)->Arg(512);
+
+void BM_EditDistance(benchmark::State& state) {
+  Rng rng(2);
+  std::string a;
+  std::string b;
+  for (int i = 0; i < state.range(0); ++i) {
+    a.push_back(static_cast<char>('a' + rng.Uniform(26)));
+    b.push_back(static_cast<char>('a' + rng.Uniform(26)));
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(similarity::Levenshtein(a, b));
+  }
+}
+BENCHMARK(BM_EditDistance)->Arg(16)->Arg(64)->Arg(256);
+
+void BM_BoundedEditDistance(benchmark::State& state) {
+  Rng rng(3);
+  std::string a;
+  std::string b;
+  for (int i = 0; i < state.range(0); ++i) {
+    a.push_back(static_cast<char>('a' + rng.Uniform(26)));
+    b.push_back(static_cast<char>('a' + rng.Uniform(26)));
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(similarity::BoundedLevenshtein(a, b, 4));
+  }
+}
+BENCHMARK(BM_BoundedEditDistance)->Arg(64)->Arg(256);
+
+// ---------------------------------------------------------------------------
+// ABL-3: join strategy on the Restaurant dataset.
+// ---------------------------------------------------------------------------
+
+const similarity::JoinInput& RestaurantJoinInput() {
+  static const similarity::JoinInput kInput = [] {
+    const auto& dataset = Restaurant();
+    text::Tokenizer tokenizer;
+    text::Vocabulary vocab;
+    similarity::JoinInput input;
+    for (uint32_t r = 0; r < dataset.table.num_records(); ++r) {
+      input.sets.push_back(similarity::MakeTokenSet(
+          vocab.InternDocument(tokenizer.Tokenize(dataset.table.ConcatenatedRecord(r)))));
+    }
+    return input;
+  }();
+  return kInput;
+}
+
+void BM_JoinNaive(benchmark::State& state) {
+  similarity::JoinOptions options;
+  options.threshold = static_cast<double>(state.range(0)) / 10.0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(similarity::NaiveJoin(RestaurantJoinInput(), options));
+  }
+}
+BENCHMARK(BM_JoinNaive)->Arg(3)->Unit(benchmark::kMillisecond);
+
+void BM_JoinAllPairs(benchmark::State& state) {
+  similarity::JoinOptions options;
+  options.threshold = static_cast<double>(state.range(0)) / 10.0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(similarity::AllPairsJoin(RestaurantJoinInput(), options));
+  }
+}
+BENCHMARK(BM_JoinAllPairs)->Arg(3)->Arg(5)->Unit(benchmark::kMillisecond);
+
+void BM_JoinBlockingVerify(benchmark::State& state) {
+  similarity::JoinOptions options;
+  options.threshold = static_cast<double>(state.range(0)) / 10.0;
+  similarity::BlockingOptions blocking;
+  blocking.max_block_size = 0;
+  for (auto _ : state) {
+    auto candidates = similarity::TokenBlocking(RestaurantJoinInput(), blocking).ValueOrDie();
+    benchmark::DoNotOptimize(
+        similarity::VerifyCandidates(RestaurantJoinInput(), candidates, options));
+  }
+}
+BENCHMARK(BM_JoinBlockingVerify)->Arg(3)->Unit(benchmark::kMillisecond);
+
+// ---------------------------------------------------------------------------
+// HIT generation throughput.
+// ---------------------------------------------------------------------------
+
+void BM_TwoTiered(benchmark::State& state) {
+  const auto& dataset = Restaurant();
+  const double threshold = static_cast<double>(state.range(0)) / 10.0;
+  const auto pairs = MachinePairs(dataset, threshold);
+  graph::PairGraph graph = BuildGraph(dataset, pairs);
+  hitgen::TwoTieredGenerator generator;
+  for (auto _ : state) {
+    graph.Reset();
+    benchmark::DoNotOptimize(generator.Generate(&graph, 10));
+  }
+  state.counters["pairs"] = static_cast<double>(pairs.size());
+}
+BENCHMARK(BM_TwoTiered)->Arg(3)->Arg(2)->Unit(benchmark::kMillisecond);
+
+void BM_BfsGenerator(benchmark::State& state) {
+  const auto& dataset = Restaurant();
+  const auto pairs = MachinePairs(dataset, 0.3);
+  graph::PairGraph graph = BuildGraph(dataset, pairs);
+  hitgen::BfsGenerator generator;
+  for (auto _ : state) {
+    graph.Reset();
+    benchmark::DoNotOptimize(generator.Generate(&graph, 10));
+  }
+}
+BENCHMARK(BM_BfsGenerator)->Unit(benchmark::kMillisecond);
+
+// ---------------------------------------------------------------------------
+// Aggregation.
+// ---------------------------------------------------------------------------
+
+void BM_DawidSkene(benchmark::State& state) {
+  Rng rng(4);
+  aggregate::VoteTable votes(static_cast<size_t>(state.range(0)));
+  for (auto& pair_votes : votes) {
+    const bool truth = rng.Bernoulli(0.3);
+    for (uint32_t w = 0; w < 3; ++w) {
+      const uint32_t wid = static_cast<uint32_t>(rng.Uniform(100));
+      pair_votes.push_back({wid, rng.Bernoulli(0.1) ? !truth : truth});
+    }
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(aggregate::RunDawidSkene(votes));
+  }
+}
+BENCHMARK(BM_DawidSkene)->Arg(1000)->Arg(10000)->Unit(benchmark::kMillisecond);
+
+// ---------------------------------------------------------------------------
+// Cutting stock.
+// ---------------------------------------------------------------------------
+
+void BM_CuttingStock(benchmark::State& state) {
+  Rng rng(5);
+  std::vector<uint32_t> demands(10);
+  for (auto& d : demands) d = static_cast<uint32_t>(rng.Uniform(200));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(lp::SolveCuttingStock(10, demands));
+  }
+}
+BENCHMARK(BM_CuttingStock)->Unit(benchmark::kMicrosecond);
+
+}  // namespace
+}  // namespace bench
+}  // namespace crowder
+
+BENCHMARK_MAIN();

@@ -1,0 +1,42 @@
+// Budget-based hybrid ER (the paper's §9 future-work direction): given a
+// dollar budget, explore the cost / recall tradeoff across likelihood
+// thresholds and pick the best affordable operating point.
+//
+//   build/examples/budget_explorer
+#include <iostream>
+
+#include "core/crowder.h"
+
+using namespace crowder;
+
+int main() {
+  std::cout << "== CrowdER: budget-aware operating point selection ==\n\n";
+
+  auto dataset = data::GenerateProduct({}).ValueOrDie();
+  core::WorkflowConfig base;
+  base.cluster_size = 10;
+
+  const std::vector<double> thresholds{0.5, 0.4, 0.3, 0.2, 0.1};
+  for (double budget : {5.0, 25.0, 200.0}) {
+    auto plan = core::PlanForBudget(dataset, budget, base, thresholds).ValueOrDie();
+    std::cout << "budget $" << FormatDouble(budget, 2) << ":\n";
+
+    eval::TablePrinter table(
+        {"threshold", "#pairs", "#HITs", "cost", "machine recall", "affordable"});
+    for (const auto& pt : plan.evaluated) {
+      table.AddRow({FormatDouble(pt.threshold, 1), WithThousands(pt.num_pairs),
+                    WithThousands(pt.num_hits), "$" + FormatDouble(pt.cost_dollars, 2),
+                    FormatDouble(100 * pt.machine_recall, 1) + "%",
+                    pt.cost_dollars <= budget ? "yes" : "no"});
+    }
+    std::cout << table.Render();
+    if (plan.feasible) {
+      std::cout << "=> chosen threshold " << FormatDouble(plan.chosen.threshold, 1)
+                << " (recall " << FormatDouble(100 * plan.chosen.machine_recall, 1)
+                << "% for $" << FormatDouble(plan.chosen.cost_dollars, 2) << ")\n\n";
+    } else {
+      std::cout << "=> no evaluated threshold fits this budget\n\n";
+    }
+  }
+  return 0;
+}

@@ -1,0 +1,64 @@
+// Two-source data integration (the paper's Abt-Buy Product scenario): only
+// cross-source pairs are candidates, the machine pass struggles (vendor
+// naming differs wildly), and the crowd closes the quality gap. Demonstrates
+// source-aware joins, pair-based vs cluster-based HITs, and exporting the
+// resolved matches to CSV.
+//
+//   build/examples/match_products
+#include <iostream>
+
+#include "core/crowder.h"
+
+using namespace crowder;
+
+int main() {
+  std::cout << "== CrowdER: matching products across two catalogs ==\n\n";
+
+  data::ProductConfig data_config;
+  auto dataset = data::GenerateProduct(data_config).ValueOrDie();
+  size_t abt = 0;
+  for (int s : dataset.table.sources) abt += (s == 0);
+  std::cout << "catalog A: " << abt << " records, catalog B: "
+            << dataset.table.num_records() - abt << " records\n";
+  std::cout << "cross-source pairs: " << WithThousands(dataset.CountAdmissiblePairs())
+            << ", true matches: " << WithThousands(dataset.CountMatchingPairs()) << "\n";
+
+  // Compare both HIT types at the paper's Product operating point (0.2/k=10).
+  for (core::HitType hit_type : {core::HitType::kClusterBased, core::HitType::kPairBased}) {
+    core::WorkflowConfig config;
+    config.likelihood_threshold = 0.2;
+    config.hit_type = hit_type;
+    config.cluster_size = 10;
+    config.pairs_per_hit = 10;
+    config.seed = 11;
+    auto result = core::HybridWorkflow(config).Run(dataset).ValueOrDie();
+
+    const char* name = hit_type == core::HitType::kClusterBased ? "cluster-based" : "pair-based";
+    std::cout << "\n--- " << name << " HITs ---\n";
+    std::cout << "HITs: " << result.crowd_stats.num_hits << ", cost $"
+              << FormatDouble(result.crowd_stats.cost_dollars, 2) << ", median assignment "
+              << FormatDouble(result.crowd_stats.median_assignment_seconds, 0)
+              << "s, all done in "
+              << FormatDouble(result.crowd_stats.total_seconds / 3600.0, 1) << "h\n";
+    std::cout << "best F1: " << FormatDouble(100 * eval::BestF1(result.pr_curve), 1)
+              << "%, precision@recall90: "
+              << FormatDouble(100 * eval::PrecisionAtRecall(result.pr_curve, 0.9), 1) << "%\n";
+
+    if (hit_type == core::HitType::kClusterBased) {
+      // Export confirmed matches (posterior >= 0.5) for downstream use.
+      std::vector<std::vector<std::string>> rows;
+      for (const auto& rp : result.ranked) {
+        if (rp.score < 0.5) break;
+        rows.push_back({std::to_string(rp.a), std::to_string(rp.b),
+                        dataset.table.records[rp.a][0], dataset.table.records[rp.b][0],
+                        FormatDouble(rp.score, 3)});
+      }
+      const std::string path = "/tmp/crowder_product_matches.csv";
+      Status st = WriteCsvFile(path, {"id_a", "id_b", "name_a", "name_b", "confidence"}, rows);
+      std::cout << (st.ok() ? "exported " + std::to_string(rows.size()) + " matches to " + path
+                            : st.ToString())
+                << "\n";
+    }
+  }
+  return 0;
+}

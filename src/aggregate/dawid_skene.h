@@ -1,0 +1,59 @@
+// Binary Dawid-Skene EM (ref [9] of the paper; Dawid & Skene 1979), the
+// aggregation CrowdER uses to combine the three assignments of each HIT
+// (§7.3): it estimates each worker's sensitivity (P(yes | match)) and
+// specificity (P(no | non-match)) jointly with the posterior match
+// probability of every pair, which makes it robust to spammers whose votes
+// carry no information.
+#ifndef CROWDER_AGGREGATE_DAWID_SKENE_H_
+#define CROWDER_AGGREGATE_DAWID_SKENE_H_
+
+#include <unordered_map>
+#include <vector>
+
+#include "aggregate/votes.h"
+#include "common/result.h"
+
+namespace crowder {
+namespace aggregate {
+
+struct DawidSkeneOptions {
+  int max_iterations = 100;
+  /// Convergence: max absolute change of any posterior between iterations.
+  double tolerance = 1e-6;
+  /// Pseudo-count smoothing the class prior (prevents collapse to 0/1 on
+  /// small inputs).
+  double smoothing = 1.0;
+  /// Worker-quality prior as pseudo-votes: each worker starts with
+  /// `prior_correct` correct and `prior_incorrect` incorrect phantom votes
+  /// (a Beta prior with mean prior_correct / (prior_correct +
+  /// prior_incorrect)). An asymmetric prior (> 0.5 mean) anchors the label
+  /// semantics — without it, EM on few pairs/votes can converge to the
+  /// globally flipped solution, which is likelihood-equivalent.
+  double prior_correct = 1.6;
+  double prior_incorrect = 0.4;
+};
+
+/// \brief Per-worker confusion estimates.
+struct WorkerQuality {
+  double sensitivity = 0.5;  ///< P(votes yes | pair is a match)
+  double specificity = 0.5;  ///< P(votes no  | pair is a non-match)
+  uint32_t num_votes = 0;
+};
+
+struct DawidSkeneResult {
+  /// Posterior match probability per pair (0 for pairs with no votes).
+  std::vector<double> match_probability;
+  std::unordered_map<uint32_t, WorkerQuality> workers;
+  double class_prior = 0.5;  ///< estimated P(match)
+  int iterations = 0;
+  bool converged = false;
+};
+
+/// \brief Runs EM. Pairs with empty vote lists are skipped (probability 0).
+Result<DawidSkeneResult> RunDawidSkene(const VoteTable& votes,
+                                       const DawidSkeneOptions& options = {});
+
+}  // namespace aggregate
+}  // namespace crowder
+
+#endif  // CROWDER_AGGREGATE_DAWID_SKENE_H_

@@ -1,0 +1,20 @@
+#include "aggregate/majority_vote.h"
+
+#include <cstddef>
+
+namespace crowder {
+namespace aggregate {
+
+std::vector<double> MajorityVote(const VoteTable& votes) {
+  std::vector<double> prob(votes.size(), 0.0);
+  for (size_t i = 0; i < votes.size(); ++i) {
+    if (votes[i].empty()) continue;
+    size_t yes = 0;
+    for (const Vote& v : votes[i]) yes += v.says_match ? 1 : 0;
+    prob[i] = static_cast<double>(yes) / static_cast<double>(votes[i].size());
+  }
+  return prob;
+}
+
+}  // namespace aggregate
+}  // namespace crowder

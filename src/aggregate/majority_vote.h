@@ -1,0 +1,20 @@
+// Majority voting: the simple aggregation baseline the paper mentions
+// ("average the three responses") before adopting Dawid-Skene EM.
+#ifndef CROWDER_AGGREGATE_MAJORITY_VOTE_H_
+#define CROWDER_AGGREGATE_MAJORITY_VOTE_H_
+
+#include <vector>
+
+#include "aggregate/votes.h"
+
+namespace crowder {
+namespace aggregate {
+
+/// \brief Per-pair match probability = fraction of yes votes.
+/// Pairs with no votes get probability 0 (never asked => not confirmed).
+std::vector<double> MajorityVote(const VoteTable& votes);
+
+}  // namespace aggregate
+}  // namespace crowder
+
+#endif  // CROWDER_AGGREGATE_MAJORITY_VOTE_H_

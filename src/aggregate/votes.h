@@ -1,0 +1,26 @@
+// The vote data model shared between the crowd simulator (producer) and the
+// answer aggregators (consumers): per candidate pair, the yes/no verdicts of
+// the individual workers who judged it.
+#ifndef CROWDER_AGGREGATE_VOTES_H_
+#define CROWDER_AGGREGATE_VOTES_H_
+
+#include <cstdint>
+#include <vector>
+
+namespace crowder {
+namespace aggregate {
+
+/// \brief One worker's verdict on one candidate pair.
+struct Vote {
+  uint32_t worker_id = 0;
+  bool says_match = false;
+};
+
+/// \brief votes[i] holds every vote cast on pair i (pair indexing is defined
+/// by the caller; the workflow uses the order of the surviving pair list).
+using VoteTable = std::vector<std::vector<Vote>>;
+
+}  // namespace aggregate
+}  // namespace crowder
+
+#endif  // CROWDER_AGGREGATE_VOTES_H_

@@ -1,0 +1,171 @@
+#include "common/csv.h"
+
+#include <fstream>
+#include <sstream>
+
+namespace crowder {
+
+int CsvTable::ColumnIndex(std::string_view name) const {
+  for (size_t i = 0; i < header.size(); ++i) {
+    if (header[i] == name) return static_cast<int>(i);
+  }
+  return -1;
+}
+
+namespace {
+
+// State machine over the raw text; emits rows of fields.
+Result<std::vector<std::vector<std::string>>> ParseRows(std::string_view text) {
+  std::vector<std::vector<std::string>> rows;
+  std::vector<std::string> row;
+  std::string field;
+  bool in_quotes = false;
+  bool field_started = false;  // true once the current row has any content
+
+  auto end_field = [&]() {
+    row.push_back(std::move(field));
+    field.clear();
+  };
+  auto end_row = [&]() {
+    end_field();
+    rows.push_back(std::move(row));
+    row.clear();
+    field_started = false;
+  };
+
+  for (size_t i = 0; i < text.size(); ++i) {
+    const char c = text[i];
+    if (in_quotes) {
+      if (c == '"') {
+        if (i + 1 < text.size() && text[i + 1] == '"') {
+          field.push_back('"');
+          ++i;  // doubled quote
+        } else {
+          in_quotes = false;
+        }
+      } else {
+        field.push_back(c);
+      }
+      continue;
+    }
+    switch (c) {
+      case '"':
+        if (!field.empty()) {
+          return Status::InvalidArgument("quote inside unquoted field at offset " +
+                                         std::to_string(i));
+        }
+        in_quotes = true;
+        field_started = true;
+        break;
+      case ',':
+        end_field();
+        field_started = true;
+        break;
+      case '\r':
+        // Swallow; the following \n (if any) terminates the row.
+        break;
+      case '\n':
+        if (field_started || !field.empty() || !row.empty()) {
+          end_row();
+        }
+        // Bare newline on an empty row: skip blank lines.
+        break;
+      default:
+        field.push_back(c);
+        field_started = true;
+        break;
+    }
+  }
+  if (in_quotes) {
+    return Status::InvalidArgument("unterminated quoted field at end of input");
+  }
+  if (field_started || !field.empty() || !row.empty()) {
+    end_row();
+  }
+  return rows;
+}
+
+bool NeedsQuoting(std::string_view field) {
+  for (char c : field) {
+    if (c == ',' || c == '"' || c == '\n' || c == '\r') return true;
+  }
+  return false;
+}
+
+void AppendField(std::string* out, std::string_view field) {
+  if (!NeedsQuoting(field)) {
+    out->append(field);
+    return;
+  }
+  out->push_back('"');
+  for (char c : field) {
+    if (c == '"') out->push_back('"');
+    out->push_back(c);
+  }
+  out->push_back('"');
+}
+
+}  // namespace
+
+Result<CsvTable> ParseCsv(std::string_view text, bool has_header) {
+  CROWDER_ASSIGN_OR_RETURN(auto rows, ParseRows(text));
+  CsvTable table;
+  if (rows.empty()) {
+    if (has_header) return Status::InvalidArgument("CSV input has no header row");
+    return table;
+  }
+  size_t start = 0;
+  if (has_header) {
+    table.header = std::move(rows[0]);
+    start = 1;
+  }
+  const size_t want = has_header ? table.header.size() : rows[0].size();
+  for (size_t i = start; i < rows.size(); ++i) {
+    if (rows[i].size() != want) {
+      return Status::InvalidArgument("row " + std::to_string(i) + " has " +
+                                     std::to_string(rows[i].size()) + " fields, expected " +
+                                     std::to_string(want));
+    }
+    table.rows.push_back(std::move(rows[i]));
+  }
+  return table;
+}
+
+Result<CsvTable> ReadCsvFile(const std::string& path, bool has_header) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return Status::IOError("cannot open " + path);
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  return ParseCsv(buf.str(), has_header);
+}
+
+std::string WriteCsv(const std::vector<std::string>& header,
+                     const std::vector<std::vector<std::string>>& rows) {
+  std::string out;
+  if (!header.empty()) {
+    for (size_t i = 0; i < header.size(); ++i) {
+      if (i > 0) out.push_back(',');
+      AppendField(&out, header[i]);
+    }
+    out.push_back('\n');
+  }
+  for (const auto& row : rows) {
+    for (size_t i = 0; i < row.size(); ++i) {
+      if (i > 0) out.push_back(',');
+      AppendField(&out, row[i]);
+    }
+    out.push_back('\n');
+  }
+  return out;
+}
+
+Status WriteCsvFile(const std::string& path, const std::vector<std::string>& header,
+                    const std::vector<std::vector<std::string>>& rows) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  if (!out) return Status::IOError("cannot open " + path + " for writing");
+  out << WriteCsv(header, rows);
+  if (!out) return Status::IOError("write failed: " + path);
+  return Status::OK();
+}
+
+}  // namespace crowder

@@ -1,0 +1,43 @@
+// A small RFC-4180-ish CSV reader/writer: quoted fields, embedded commas,
+// doubled quotes, and both \n and \r\n row terminators. Used for dataset
+// import/export so users can run CrowdER on their own files.
+#ifndef CROWDER_COMMON_CSV_H_
+#define CROWDER_COMMON_CSV_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/result.h"
+#include "common/status.h"
+
+namespace crowder {
+
+/// \brief One parsed CSV table: a header row plus data rows, all strings.
+struct CsvTable {
+  std::vector<std::string> header;
+  std::vector<std::vector<std::string>> rows;
+
+  /// Index of a column by name, or -1 if absent.
+  int ColumnIndex(std::string_view name) const;
+};
+
+/// \brief Parses CSV text. When `has_header` is true the first row becomes
+/// CsvTable::header. Rows whose field count differs from the header produce
+/// an InvalidArgument error (column mismatch is almost always data corruption).
+Result<CsvTable> ParseCsv(std::string_view text, bool has_header = true);
+
+/// \brief Reads and parses a CSV file.
+Result<CsvTable> ReadCsvFile(const std::string& path, bool has_header = true);
+
+/// \brief Serializes rows to CSV, quoting only when needed.
+std::string WriteCsv(const std::vector<std::string>& header,
+                     const std::vector<std::vector<std::string>>& rows);
+
+/// \brief Writes a CSV file; creates/truncates `path`.
+Status WriteCsvFile(const std::string& path, const std::vector<std::string>& header,
+                    const std::vector<std::vector<std::string>>& rows);
+
+}  // namespace crowder
+
+#endif  // CROWDER_COMMON_CSV_H_

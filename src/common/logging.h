@@ -1,0 +1,87 @@
+// Minimal leveled logging plus CHECK/DCHECK invariants, in the style of
+// arrow/util/logging.h. CHECK failures abort with a message; DCHECK compiles
+// out in NDEBUG builds.
+#ifndef CROWDER_COMMON_LOGGING_H_
+#define CROWDER_COMMON_LOGGING_H_
+
+#include <iostream>
+#include <sstream>
+#include <string>
+
+namespace crowder {
+
+enum class LogLevel : int { kDebug = 0, kInfo = 1, kWarning = 2, kError = 3, kFatal = 4 };
+
+/// \brief Global log threshold; messages below it are suppressed.
+/// Default is kWarning so library code is quiet in tests and benches.
+void SetLogLevel(LogLevel level);
+LogLevel GetLogLevel();
+
+namespace internal {
+
+class LogMessage {
+ public:
+  LogMessage(LogLevel level, const char* file, int line);
+  ~LogMessage();
+
+  std::ostream& stream() { return stream_; }
+
+ private:
+  LogLevel level_;
+  std::ostringstream stream_;
+};
+
+// Swallows the streamed expression when a log statement is disabled.
+class NullStream {
+ public:
+  template <typename T>
+  NullStream& operator<<(const T&) {
+    return *this;
+  }
+};
+
+}  // namespace internal
+}  // namespace crowder
+
+#define CROWDER_LOG_INTERNAL(level) \
+  ::crowder::internal::LogMessage(level, __FILE__, __LINE__).stream()
+
+#define CROWDER_LOG(severity) \
+  CROWDER_LOG_INTERNAL(::crowder::LogLevel::k##severity)
+
+/// Aborts the process with a diagnostic if `condition` is false.
+#define CROWDER_CHECK(condition)                                       \
+  if (!(condition))                                                    \
+  CROWDER_LOG_INTERNAL(::crowder::LogLevel::kFatal)                    \
+      << "Check failed: " #condition " "
+
+#define CROWDER_CHECK_OP(op, a, b)                                        \
+  CROWDER_CHECK((a)op(b)) << "(" << (a) << " vs " << (b) << ") "
+
+#define CROWDER_CHECK_EQ(a, b) CROWDER_CHECK_OP(==, a, b)
+#define CROWDER_CHECK_NE(a, b) CROWDER_CHECK_OP(!=, a, b)
+#define CROWDER_CHECK_LT(a, b) CROWDER_CHECK_OP(<, a, b)
+#define CROWDER_CHECK_LE(a, b) CROWDER_CHECK_OP(<=, a, b)
+#define CROWDER_CHECK_GT(a, b) CROWDER_CHECK_OP(>, a, b)
+#define CROWDER_CHECK_GE(a, b) CROWDER_CHECK_OP(>=, a, b)
+
+#ifdef NDEBUG
+#define CROWDER_DCHECK(condition) \
+  while (false) CROWDER_CHECK(condition)
+#define CROWDER_DCHECK_EQ(a, b) \
+  while (false) CROWDER_CHECK_EQ(a, b)
+#define CROWDER_DCHECK_LE(a, b) \
+  while (false) CROWDER_CHECK_LE(a, b)
+#define CROWDER_DCHECK_LT(a, b) \
+  while (false) CROWDER_CHECK_LT(a, b)
+#define CROWDER_DCHECK_GE(a, b) \
+  while (false) CROWDER_CHECK_GE(a, b)
+#else
+#define CROWDER_DCHECK(condition) CROWDER_CHECK(condition)
+#define CROWDER_DCHECK_EQ(a, b) CROWDER_CHECK_EQ(a, b)
+#define CROWDER_DCHECK_LE(a, b) CROWDER_CHECK_LE(a, b)
+#define CROWDER_DCHECK_LT(a, b) CROWDER_CHECK_LT(a, b)
+#define CROWDER_DCHECK_GE(a, b) CROWDER_CHECK_GE(a, b)
+#endif
+
+#endif  // CROWDER_COMMON_LOGGING_H_

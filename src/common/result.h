@@ -1,0 +1,99 @@
+// Result<T>: value-or-Status, in the style of arrow::Result. A function that
+// can fail but otherwise produces a T returns Result<T>.
+#ifndef CROWDER_COMMON_RESULT_H_
+#define CROWDER_COMMON_RESULT_H_
+
+#include <cstdlib>
+#include <iostream>
+#include <utility>
+#include <variant>
+
+#include "common/status.h"
+
+namespace crowder {
+
+/// \brief Holds either a value of type T or a non-OK Status explaining why the
+/// value is absent.
+///
+/// Typical use:
+/// \code
+///   Result<Table> t = Table::FromCsv(path);
+///   if (!t.ok()) return t.status();
+///   Use(t.ValueOrDie());
+/// \endcode
+template <typename T>
+class Result {
+ public:
+  /// Constructs from a value (implicit, so `return value;` works).
+  Result(T value) : repr_(std::move(value)) {}  // NOLINT(runtime/explicit)
+
+  /// Constructs from a non-OK status (implicit, so `return status;` works).
+  Result(Status status)  // NOLINT(runtime/explicit)
+      : repr_(std::move(status)) {
+    if (std::get<Status>(repr_).ok()) {
+      // Programmer error: an OK status carries no value.
+      std::cerr << "Result constructed from OK Status" << std::endl;
+      std::abort();
+    }
+  }
+
+  bool ok() const { return std::holds_alternative<T>(repr_); }
+
+  /// The error status; OK if the Result holds a value.
+  Status status() const {
+    return ok() ? Status::OK() : std::get<Status>(repr_);
+  }
+
+  /// Returns the value; aborts if the Result holds an error.
+  const T& ValueOrDie() const& {
+    DieIfError();
+    return std::get<T>(repr_);
+  }
+  T& ValueOrDie() & {
+    DieIfError();
+    return std::get<T>(repr_);
+  }
+  T&& ValueOrDie() && {
+    DieIfError();
+    return std::move(std::get<T>(repr_));
+  }
+
+  /// Alias matching arrow::Result spelling.
+  const T& operator*() const& { return ValueOrDie(); }
+  T& operator*() & { return ValueOrDie(); }
+  const T* operator->() const { return &ValueOrDie(); }
+  T* operator->() { return &ValueOrDie(); }
+
+  /// Returns the value, or `fallback` if the Result holds an error.
+  T ValueOr(T fallback) const& {
+    return ok() ? std::get<T>(repr_) : std::move(fallback);
+  }
+
+ private:
+  void DieIfError() const {
+    if (!ok()) {
+      std::cerr << "Result::ValueOrDie on error: "
+                << std::get<Status>(repr_).ToString() << std::endl;
+      std::abort();
+    }
+  }
+  std::variant<Status, T> repr_;
+};
+
+}  // namespace crowder
+
+/// Evaluates an expression returning Result<T>; on error returns the Status,
+/// otherwise assigns the value to `lhs`.
+#define CROWDER_ASSIGN_OR_RETURN_IMPL(tmp, lhs, rexpr) \
+  auto tmp = (rexpr);                                  \
+  if (!tmp.ok()) return tmp.status();                  \
+  lhs = std::move(tmp).ValueOrDie()
+
+#define CROWDER_ASSIGN_OR_RETURN_CONCAT(x, y) x##y
+#define CROWDER_ASSIGN_OR_RETURN_NAME(x, y) CROWDER_ASSIGN_OR_RETURN_CONCAT(x, y)
+
+#define CROWDER_ASSIGN_OR_RETURN(lhs, rexpr)                                  \
+  CROWDER_ASSIGN_OR_RETURN_IMPL(                                              \
+      CROWDER_ASSIGN_OR_RETURN_NAME(_result_tmp_, __COUNTER__), lhs, rexpr)
+
+#endif  // CROWDER_COMMON_RESULT_H_

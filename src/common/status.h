@@ -1,0 +1,112 @@
+// Status: lightweight error propagation without exceptions, in the style of
+// arrow::Status / rocksdb::Status. Functions that can fail return Status (or
+// Result<T>, see result.h); success is the default-constructed OK status.
+#ifndef CROWDER_COMMON_STATUS_H_
+#define CROWDER_COMMON_STATUS_H_
+
+#include <memory>
+#include <ostream>
+#include <string>
+#include <utility>
+
+namespace crowder {
+
+/// \brief Machine-readable category of a failure.
+enum class StatusCode : int {
+  kOk = 0,
+  kInvalidArgument = 1,
+  kNotFound = 2,
+  kAlreadyExists = 3,
+  kOutOfRange = 4,
+  kUnimplemented = 5,
+  kInternal = 6,
+  kIOError = 7,
+  kInfeasible = 8,  // LP/ILP: no feasible solution
+  kUnbounded = 9,   // LP: objective unbounded
+};
+
+/// \brief Returns a human-readable name for a status code ("OK", "IOError"...).
+const char* StatusCodeToString(StatusCode code);
+
+/// \brief Outcome of an operation: OK (cheap, no allocation) or an error code
+/// with a message.
+///
+/// Status is cheaply copyable; the error state is held behind a shared
+/// pointer. Use the factory functions (Status::InvalidArgument(...)) rather
+/// than constructing codes directly.
+class Status {
+ public:
+  /// Creates an OK status.
+  Status() = default;
+
+  Status(StatusCode code, std::string msg);
+
+  bool ok() const { return state_ == nullptr; }
+  StatusCode code() const { return state_ ? state_->code : StatusCode::kOk; }
+  /// Error message; empty for OK.
+  const std::string& message() const;
+
+  /// \brief Full human-readable rendering, e.g. "InvalidArgument: k must be >= 2".
+  std::string ToString() const;
+
+  static Status OK() { return Status(); }
+  static Status InvalidArgument(std::string msg) {
+    return Status(StatusCode::kInvalidArgument, std::move(msg));
+  }
+  static Status NotFound(std::string msg) {
+    return Status(StatusCode::kNotFound, std::move(msg));
+  }
+  static Status AlreadyExists(std::string msg) {
+    return Status(StatusCode::kAlreadyExists, std::move(msg));
+  }
+  static Status OutOfRange(std::string msg) {
+    return Status(StatusCode::kOutOfRange, std::move(msg));
+  }
+  static Status Unimplemented(std::string msg) {
+    return Status(StatusCode::kUnimplemented, std::move(msg));
+  }
+  static Status Internal(std::string msg) {
+    return Status(StatusCode::kInternal, std::move(msg));
+  }
+  static Status IOError(std::string msg) {
+    return Status(StatusCode::kIOError, std::move(msg));
+  }
+  static Status Infeasible(std::string msg) {
+    return Status(StatusCode::kInfeasible, std::move(msg));
+  }
+  static Status Unbounded(std::string msg) {
+    return Status(StatusCode::kUnbounded, std::move(msg));
+  }
+
+  bool IsInvalidArgument() const { return code() == StatusCode::kInvalidArgument; }
+  bool IsNotFound() const { return code() == StatusCode::kNotFound; }
+  bool IsOutOfRange() const { return code() == StatusCode::kOutOfRange; }
+  bool IsInternal() const { return code() == StatusCode::kInternal; }
+  bool IsIOError() const { return code() == StatusCode::kIOError; }
+  bool IsInfeasible() const { return code() == StatusCode::kInfeasible; }
+  bool IsUnbounded() const { return code() == StatusCode::kUnbounded; }
+
+  friend bool operator==(const Status& a, const Status& b) {
+    return a.code() == b.code();
+  }
+
+ private:
+  struct State {
+    StatusCode code;
+    std::string msg;
+  };
+  std::shared_ptr<const State> state_;  // nullptr == OK
+};
+
+std::ostream& operator<<(std::ostream& os, const Status& s);
+
+}  // namespace crowder
+
+/// Propagates a non-OK Status to the caller.
+#define CROWDER_RETURN_NOT_OK(expr)                 \
+  do {                                              \
+    ::crowder::Status _st = (expr);                 \
+    if (!_st.ok()) return _st;                      \
+  } while (0)
+
+#endif  // CROWDER_COMMON_STATUS_H_

@@ -1,0 +1,37 @@
+// Small string helpers shared across modules.
+#ifndef CROWDER_COMMON_STRING_UTIL_H_
+#define CROWDER_COMMON_STRING_UTIL_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace crowder {
+
+/// \brief Splits `s` on `delim`, keeping empty fields.
+std::vector<std::string> Split(std::string_view s, char delim);
+
+/// \brief Splits `s` on runs of whitespace, dropping empty fields.
+std::vector<std::string> SplitWhitespace(std::string_view s);
+
+/// \brief Joins `parts` with `sep`.
+std::string Join(const std::vector<std::string>& parts, std::string_view sep);
+
+/// \brief Removes leading and trailing ASCII whitespace.
+std::string_view Trim(std::string_view s);
+
+/// \brief ASCII lowercase copy.
+std::string ToLower(std::string_view s);
+
+/// \brief True if `s` starts with `prefix`.
+bool StartsWith(std::string_view s, std::string_view prefix);
+
+/// \brief printf-style float formatting helper: fixed `digits` decimals.
+std::string FormatDouble(double value, int digits);
+
+/// \brief Renders 12345 as "12,345" for table output.
+std::string WithThousands(long long value);
+
+}  // namespace crowder
+
+#endif  // CROWDER_COMMON_STRING_UTIL_H_

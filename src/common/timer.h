@@ -1,0 +1,29 @@
+// Wall-clock timer for benchmark harnesses.
+#ifndef CROWDER_COMMON_TIMER_H_
+#define CROWDER_COMMON_TIMER_H_
+
+#include <chrono>
+
+namespace crowder {
+
+/// \brief Measures elapsed wall time since construction or the last Reset().
+class WallTimer {
+ public:
+  WallTimer() : start_(Clock::now()) {}
+
+  void Reset() { start_ = Clock::now(); }
+
+  double ElapsedSeconds() const {
+    return std::chrono::duration<double>(Clock::now() - start_).count();
+  }
+
+  double ElapsedMillis() const { return ElapsedSeconds() * 1e3; }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+}  // namespace crowder
+
+#endif  // CROWDER_COMMON_TIMER_H_

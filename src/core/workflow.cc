@@ -1,0 +1,174 @@
+#include "core/workflow.h"
+
+#include <algorithm>
+
+#include "aggregate/majority_vote.h"
+#include "common/logging.h"
+#include "graph/pair_graph.h"
+#include "hitgen/pair_hit_generator.h"
+#include "similarity/blocking.h"
+#include "similarity/sorted_neighborhood.h"
+#include "text/tokenizer.h"
+#include "text/vocabulary.h"
+
+namespace crowder {
+namespace core {
+
+Result<std::vector<similarity::ScoredPair>> HybridWorkflow::MachinePass(
+    const data::Dataset& dataset, similarity::SetMeasure measure, double threshold,
+    CandidateStrategy strategy) {
+  CROWDER_RETURN_NOT_OK(dataset.Validate());
+
+  text::Tokenizer tokenizer;
+  text::Vocabulary vocab;
+  similarity::JoinInput input;
+  input.sets.reserve(dataset.table.num_records());
+  std::vector<std::string> keys;  // only filled for sorted neighborhood
+  keys.reserve(strategy == CandidateStrategy::kSortedNeighborhoodVerify
+                   ? dataset.table.num_records()
+                   : 0);
+  for (uint32_t r = 0; r < dataset.table.num_records(); ++r) {
+    const std::string concatenated = dataset.table.ConcatenatedRecord(r);
+    input.sets.push_back(
+        similarity::MakeTokenSet(vocab.InternDocument(tokenizer.Tokenize(concatenated))));
+    if (strategy == CandidateStrategy::kSortedNeighborhoodVerify) {
+      keys.push_back(tokenizer.normalizer().Normalize(concatenated));
+    }
+  }
+  input.sources = dataset.table.sources;
+
+  similarity::JoinOptions options;
+  options.measure = measure;
+  options.threshold = threshold;
+
+  switch (strategy) {
+    case CandidateStrategy::kAllPairsJoin:
+      return similarity::AllPairsJoin(input, options);
+    case CandidateStrategy::kBlockingVerify: {
+      similarity::BlockingOptions blocking;
+      blocking.max_block_size = 0;  // keep all blocks: exact for overlap measures
+      CROWDER_ASSIGN_OR_RETURN(auto candidates, similarity::TokenBlocking(input, blocking));
+      return similarity::VerifyCandidates(input, candidates, options);
+    }
+    case CandidateStrategy::kSortedNeighborhoodVerify: {
+      similarity::SortedNeighborhoodOptions sn;
+      sn.window = 10;
+      sn.passes = 3;
+      CROWDER_ASSIGN_OR_RETURN(auto candidates,
+                               similarity::SortedNeighborhood(keys, input.sources, sn));
+      return similarity::VerifyCandidates(input, candidates, options);
+    }
+  }
+  return Status::InvalidArgument("unknown candidate strategy");
+}
+
+Status ValidateWorkflowConfig(const WorkflowConfig& config) {
+  if (config.likelihood_threshold < 0.0 || config.likelihood_threshold > 1.0) {
+    return Status::InvalidArgument("likelihood_threshold must be in [0,1]");
+  }
+  if (config.cluster_size < 2) {
+    return Status::InvalidArgument("cluster_size must be >= 2");
+  }
+  if (config.pairs_per_hit < 1) {
+    return Status::InvalidArgument("pairs_per_hit must be >= 1");
+  }
+  const crowd::CrowdModel& crowd = config.crowd;
+  if (crowd.assignments_per_hit < 1) {
+    return Status::InvalidArgument("assignments_per_hit must be >= 1");
+  }
+  if (crowd.pool_size < crowd.assignments_per_hit) {
+    return Status::InvalidArgument("worker pool smaller than assignments per HIT");
+  }
+  if (crowd.reliable_fraction < 0.0 || crowd.noisy_fraction < 0.0 ||
+      crowd.reliable_fraction + crowd.noisy_fraction > 1.0 + 1e-12) {
+    return Status::InvalidArgument("worker-type fractions must be non-negative and sum <= 1");
+  }
+  if (crowd.payment_per_assignment < 0.0 || crowd.fee_per_assignment < 0.0) {
+    return Status::InvalidArgument("payments must be non-negative");
+  }
+  return Status::OK();
+}
+
+Result<WorkflowResult> HybridWorkflow::Run(const data::Dataset& dataset) const {
+  CROWDER_RETURN_NOT_OK(ValidateWorkflowConfig(config_));
+  WorkflowResult result;
+  result.total_matches = dataset.CountMatchingPairs();
+  if (result.total_matches == 0) {
+    return Status::InvalidArgument("dataset has no matching pairs; nothing to resolve");
+  }
+
+  // ---- 1. Machine pass: likelihoods + pruning. ----
+  CROWDER_ASSIGN_OR_RETURN(
+      result.candidate_pairs,
+      MachinePass(dataset, config_.measure, config_.likelihood_threshold,
+                  config_.candidate_strategy));
+  uint64_t candidate_matches = 0;
+  for (const auto& p : result.candidate_pairs) {
+    if (dataset.truth.IsMatch(p.a, p.b)) ++candidate_matches;
+  }
+  result.machine_recall =
+      static_cast<double>(candidate_matches) / static_cast<double>(result.total_matches);
+
+  crowd::CrowdContext context;
+  context.pairs = &result.candidate_pairs;
+  context.entity_of = &dataset.truth.entity_of;
+  crowd::CrowdPlatform platform(config_.crowd, config_.seed);
+
+  // ---- 2. HIT generation + 3. crowdsourcing. ----
+  if (result.candidate_pairs.empty()) {
+    CROWDER_LOG(Warning) << "machine pass pruned every pair; crowd is idle";
+  } else if (config_.hit_type == HitType::kPairBased) {
+    std::vector<graph::Edge> edges;
+    edges.reserve(result.candidate_pairs.size());
+    for (const auto& p : result.candidate_pairs) edges.push_back({p.a, p.b});
+    CROWDER_ASSIGN_OR_RETURN(auto hits,
+                             hitgen::GeneratePairHits(edges, config_.pairs_per_hit));
+    CROWDER_ASSIGN_OR_RETURN(result.crowd_stats, platform.RunPairHits(hits, context));
+  } else {
+    std::vector<graph::Edge> edges;
+    edges.reserve(result.candidate_pairs.size());
+    for (const auto& p : result.candidate_pairs) edges.push_back({p.a, p.b});
+    CROWDER_ASSIGN_OR_RETURN(
+        auto graph,
+        graph::PairGraph::Create(static_cast<uint32_t>(dataset.table.num_records()), edges));
+    hitgen::ClusterGeneratorOptions gen_options;
+    gen_options.seed = config_.seed;
+    std::unique_ptr<hitgen::ClusterHitGenerator> generator =
+        hitgen::MakeClusterGenerator(config_.cluster_algorithm, gen_options);
+    CROWDER_ASSIGN_OR_RETURN(auto hits, generator->Generate(&graph, config_.cluster_size));
+    graph.Reset();
+    CROWDER_RETURN_NOT_OK(hitgen::ValidateClusterCover(hits, graph, config_.cluster_size));
+    CROWDER_ASSIGN_OR_RETURN(result.crowd_stats, platform.RunClusterHits(hits, context));
+  }
+
+  // ---- 4. Aggregation into a ranked list. ----
+  std::vector<double> probabilities;
+  if (config_.aggregation == AggregationMethod::kMajorityVote) {
+    probabilities = aggregate::MajorityVote(result.crowd_stats.votes);
+  } else {
+    CROWDER_ASSIGN_OR_RETURN(auto ds, aggregate::RunDawidSkene(result.crowd_stats.votes));
+    probabilities = std::move(ds.match_probability);
+  }
+
+  result.ranked.reserve(result.candidate_pairs.size());
+  for (size_t i = 0; i < result.candidate_pairs.size(); ++i) {
+    const auto& p = result.candidate_pairs[i];
+    eval::RankedPair rp;
+    rp.a = p.a;
+    rp.b = p.b;
+    // Crowd posterior ranks first; the machine likelihood breaks ties among
+    // equal posteriors (e.g. all-yes unanimous pairs).
+    rp.score = probabilities[i] + 1e-7 * p.score;
+    rp.is_match = dataset.truth.IsMatch(p.a, p.b);
+    result.ranked.push_back(rp);
+  }
+  eval::SortByScoreDesc(&result.ranked);
+  if (!result.ranked.empty()) {
+    CROWDER_ASSIGN_OR_RETURN(result.pr_curve,
+                             eval::PrCurve(result.ranked, result.total_matches));
+  }
+  return result;
+}
+
+}  // namespace core
+}  // namespace crowder

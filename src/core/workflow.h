@@ -1,0 +1,107 @@
+// The CrowdER hybrid human-machine workflow (§2.2, Figure 1):
+//
+//   records --machine pass--> likelihoods --prune--> pairs P
+//          --HIT generation--> HITs --crowd--> votes --aggregate--> matches
+//
+// HybridWorkflow wires the substrates together behind one configuration
+// struct and returns both the ranked match list and the operational
+// statistics (HIT count, cost, latency) the paper's experiments report.
+#ifndef CROWDER_CORE_WORKFLOW_H_
+#define CROWDER_CORE_WORKFLOW_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "aggregate/dawid_skene.h"
+#include "common/result.h"
+#include "crowd/platform.h"
+#include "data/dataset.h"
+#include "eval/metrics.h"
+#include "hitgen/cluster_generator.h"
+#include "similarity/similarity_join.h"
+
+namespace crowder {
+namespace core {
+
+enum class HitType { kPairBased, kClusterBased };
+enum class AggregationMethod { kMajorityVote, kDawidSkene };
+
+/// \brief How the machine pass finds candidate pairs (footnote 1 of the
+/// paper: indexing techniques avoid the all-pairs comparison).
+enum class CandidateStrategy {
+  /// Prefix-filtering AllPairs join: exact (same output as exhaustive).
+  kAllPairsJoin,
+  /// Token blocking + verification: exact for overlap measures with a
+  /// positive threshold (qualifying pairs share >= 1 token).
+  kBlockingVerify,
+  /// Multi-pass sorted neighborhood + verification: approximate — bounded
+  /// work, may miss pairs whose keys never sort nearby.
+  kSortedNeighborhoodVerify,
+};
+
+struct WorkflowConfig {
+  // ---- Machine pass. ----
+  similarity::SetMeasure measure = similarity::SetMeasure::kJaccard;
+  double likelihood_threshold = 0.3;
+  CandidateStrategy candidate_strategy = CandidateStrategy::kAllPairsJoin;
+
+  // ---- HIT generation. ----
+  HitType hit_type = HitType::kClusterBased;
+  /// Cluster-size threshold k (cluster-based HITs).
+  uint32_t cluster_size = 10;
+  /// Pairs per HIT (pair-based HITs).
+  uint32_t pairs_per_hit = 10;
+  hitgen::ClusterAlgorithm cluster_algorithm = hitgen::ClusterAlgorithm::kTwoTiered;
+
+  // ---- Crowd & aggregation. ----
+  crowd::CrowdModel crowd;
+  AggregationMethod aggregation = AggregationMethod::kDawidSkene;
+
+  uint64_t seed = 42;
+};
+
+/// \brief Validates a configuration: threshold in [0,1], cluster size >= 2,
+/// pairs per HIT >= 1, sane crowd-model fractions, pool large enough for the
+/// replication factor. Run() calls this before any work.
+Status ValidateWorkflowConfig(const WorkflowConfig& config);
+
+struct WorkflowResult {
+  /// Pairs surviving the machine pass (the set P sent to the crowd).
+  std::vector<similarity::ScoredPair> candidate_pairs;
+  /// Recall of the machine pass: matches in P / matches in the dataset.
+  double machine_recall = 0.0;
+  /// Final output: pairs sorted by decreasing crowd-derived match score.
+  std::vector<eval::RankedPair> ranked;
+  /// Precision-recall curve of `ranked` against the dataset's ground truth.
+  std::vector<eval::PrPoint> pr_curve;
+  /// Crowd statistics: #HITs, assignment durations, total latency, cost.
+  crowd::CrowdRunResult crowd_stats;
+  uint64_t total_matches = 0;
+};
+
+/// \brief End-to-end CrowdER pipeline over a Dataset.
+class HybridWorkflow {
+ public:
+  explicit HybridWorkflow(WorkflowConfig config) : config_(std::move(config)) {}
+
+  /// Runs the full pipeline. Deterministic given (config, dataset).
+  Result<WorkflowResult> Run(const data::Dataset& dataset) const;
+
+  const WorkflowConfig& config() const { return config_; }
+
+  /// The machine pass alone: tokenize every record (all attributes), find
+  /// candidates with `strategy`, and keep pairs at or above `threshold`.
+  /// Exposed for benches that sweep thresholds without crowdsourcing
+  /// (Table 2, Figures 10-11).
+  static Result<std::vector<similarity::ScoredPair>> MachinePass(
+      const data::Dataset& dataset, similarity::SetMeasure measure, double threshold,
+      CandidateStrategy strategy = CandidateStrategy::kAllPairsJoin);
+
+ private:
+  WorkflowConfig config_;
+};
+
+}  // namespace core
+}  // namespace crowder
+
+#endif  // CROWDER_CORE_WORKFLOW_H_

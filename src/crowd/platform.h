@@ -1,0 +1,99 @@
+// The crowdsourcing platform simulator standing in for Amazon Mechanical
+// Turk: publishes HITs, replicates each into distinct-worker assignments,
+// optionally gates workers behind a qualification test, produces per-pair
+// votes for aggregation, and simulates per-assignment durations plus the
+// wall-clock time until every assignment completes (worker arrival process).
+#ifndef CROWDER_CROWD_PLATFORM_H_
+#define CROWDER_CROWD_PLATFORM_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "aggregate/votes.h"
+#include "common/result.h"
+#include "common/rng.h"
+#include "crowd/crowd_model.h"
+#include "crowd/worker.h"
+#include "hitgen/hit.h"
+#include "similarity/similarity_join.h"
+
+namespace crowder {
+namespace crowd {
+
+/// \brief Ground truth + machine likelihood context a run needs.
+struct CrowdContext {
+  /// Candidate pairs (the surviving set P), with machine likelihoods.
+  /// Vote output is aligned with this list.
+  const std::vector<similarity::ScoredPair>* pairs = nullptr;
+  /// Ground-truth entity id per record (indexed by record id).
+  const std::vector<uint32_t>* entity_of = nullptr;
+};
+
+/// \brief One completed assignment, for auditing and latency analysis.
+struct AssignmentRecord {
+  uint32_t hit = 0;
+  uint32_t worker = 0;  ///< pool worker id (answer provenance)
+  double duration_seconds = 0.0;
+  uint64_t comparisons = 0;
+  bool by_spammer = false;
+};
+
+/// \brief Everything a crowd run produces.
+struct CrowdRunResult {
+  /// votes[i] = worker votes on (*context.pairs)[i]. Pairs not covered by
+  /// any HIT have no votes.
+  aggregate::VoteTable votes;
+  /// Audit trail: one record per completed assignment, in publish order.
+  std::vector<AssignmentRecord> assignments;
+  /// Duration of each completed assignment, seconds.
+  std::vector<double> assignment_seconds;
+  double median_assignment_seconds = 0.0;
+  /// Wall-clock seconds until the last assignment completed, under the
+  /// worker-arrival model.
+  double total_seconds = 0.0;
+  double cost_dollars = 0.0;
+  uint32_t num_hits = 0;
+  uint32_t num_assignments = 0;
+  uint64_t total_comparisons = 0;
+  uint32_t num_distinct_workers = 0;
+  uint32_t num_spammer_assignments = 0;
+};
+
+/// \brief The simulated platform. Deterministic given (model, seed).
+class CrowdPlatform {
+ public:
+  CrowdPlatform(const CrowdModel& model, uint64_t seed);
+
+  /// Publishes pair-based HITs and collects all assignments.
+  Result<CrowdRunResult> RunPairHits(const std::vector<hitgen::PairBasedHit>& hits,
+                                     const CrowdContext& context);
+
+  /// Publishes cluster-based HITs. Workers label the records entity by
+  /// entity (the §6 procedure); pairwise votes are derived from the final
+  /// labels for every candidate pair inside the HIT.
+  Result<CrowdRunResult> RunClusterHits(const std::vector<hitgen::ClusterBasedHit>& hits,
+                                        const CrowdContext& context);
+
+  /// Workers who passed the gate (all workers when the qualification test is
+  /// off). Exposed for tests.
+  const std::vector<uint32_t>& eligible_workers() const { return eligible_; }
+
+ private:
+  Status Validate(const CrowdContext& context) const;
+  // Picks `count` distinct eligible workers for one HIT.
+  std::vector<uint32_t> PickWorkers(uint32_t count);
+  // Poisson-arrival dispatch of assignments; returns makespan seconds.
+  double SimulateCompletion(const std::vector<uint32_t>& hit_of_assignment,
+                            const std::vector<double>& durations, double visible_items,
+                            bool cluster_interface);
+
+  CrowdModel model_;
+  Rng rng_;
+  std::vector<Worker> workers_;
+  std::vector<uint32_t> eligible_;
+};
+
+}  // namespace crowd
+}  // namespace crowder
+
+#endif  // CROWDER_CROWD_PLATFORM_H_

@@ -1,0 +1,85 @@
+#include "crowd/worker.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace crowder {
+namespace crowd {
+
+const char* WorkerTypeName(WorkerType type) {
+  switch (type) {
+    case WorkerType::kReliable:
+      return "reliable";
+    case WorkerType::kNoisy:
+      return "noisy";
+    case WorkerType::kSpammer:
+      return "spammer";
+  }
+  return "?";
+}
+
+double Worker::ErrorProbability(bool truth, double likelihood, double hardness_u,
+                                const CrowdModel& model) const {
+  double base = 0.0;
+  switch (type_) {
+    case WorkerType::kReliable:
+      base = model.reliable_base_error;
+      break;
+    case WorkerType::kNoisy:
+      base = model.noisy_base_error;
+      break;
+    case WorkerType::kSpammer:
+      return 0.5;  // spam carries no signal; nominal "error rate"
+  }
+  // Textually-divergent matches and textually-similar non-matches are the
+  // hard cases for people; most pairs are easy (hardness_u^exponent shifts
+  // the mass toward 0, and the squared trend keeps mid-similarity pairs
+  // easy).
+  const double linear = std::clamp(truth ? 1.0 - likelihood : likelihood, 0.0, 1.0);
+  const double trend = linear * linear;
+  const double hardness =
+      std::pow(std::clamp(hardness_u, 0.0, 1.0), model.hardness_exponent) * trend;
+  return std::min(0.5, base + model.hard_pair_gain * hardness);
+}
+
+bool Worker::AnswerPair(bool truth, double likelihood, double hardness_u,
+                        const CrowdModel& model) {
+  if (type_ == WorkerType::kSpammer) {
+    return rng_.Bernoulli(model.spammer_yes_rate);
+  }
+  const double p_err = ErrorProbability(truth, likelihood, hardness_u, model);
+  const bool err = rng_.Bernoulli(p_err);
+  return err ? !truth : truth;
+}
+
+bool Worker::TakeQualificationTest(const std::vector<bool>& truths,
+                                   const std::vector<double>& likelihoods,
+                                   const CrowdModel& model) {
+  CROWDER_CHECK_EQ(truths.size(), likelihoods.size());
+  for (size_t i = 0; i < truths.size(); ++i) {
+    if (AnswerPair(truths[i], likelihoods[i], /*hardness_u=*/0.0, model) != truths[i]) {
+      return false;
+    }
+  }
+  return true;
+}
+
+std::vector<Worker> MakeWorkerPool(const CrowdModel& model, Rng* rng) {
+  std::vector<Worker> pool;
+  pool.reserve(model.pool_size);
+  for (uint32_t i = 0; i < model.pool_size; ++i) {
+    const double u = rng->UniformDouble();
+    WorkerType type = WorkerType::kSpammer;
+    if (u < model.reliable_fraction) {
+      type = WorkerType::kReliable;
+    } else if (u < model.reliable_fraction + model.noisy_fraction) {
+      type = WorkerType::kNoisy;
+    }
+    const double speed = std::exp(rng->Gaussian(0.0, model.speed_sigma));
+    pool.emplace_back(i, type, speed, rng->Fork(i));
+  }
+  return pool;
+}
+
+}  // namespace crowd
+}  // namespace crowder

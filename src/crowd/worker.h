@@ -1,0 +1,65 @@
+// Simulated crowd workers: reliable, noisy, and spammer profiles with a
+// difficulty-dependent error model and per-worker deterministic randomness.
+#ifndef CROWDER_CROWD_WORKER_H_
+#define CROWDER_CROWD_WORKER_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/rng.h"
+#include "crowd/crowd_model.h"
+
+namespace crowder {
+namespace crowd {
+
+enum class WorkerType { kReliable, kNoisy, kSpammer };
+
+const char* WorkerTypeName(WorkerType type);
+
+/// \brief One simulated worker. Each worker owns an independent random
+/// stream, so results do not depend on the order in which workers are asked.
+class Worker {
+ public:
+  Worker(uint32_t id, WorkerType type, double speed_factor, Rng rng)
+      : id_(id), type_(type), speed_factor_(speed_factor), rng_(std::move(rng)) {}
+
+  uint32_t id() const { return id_; }
+  WorkerType type() const { return type_; }
+  bool is_spammer() const { return type_ == WorkerType::kSpammer; }
+  /// Multiplier on comparison time (1.0 = average worker).
+  double speed_factor() const { return speed_factor_; }
+
+  /// Answers "are these the same entity?" for a pair whose true answer is
+  /// `truth`, machine likelihood `likelihood`, and intrinsic hardness draw
+  /// `hardness_u` in [0,1] (see CrowdModel for the error model). Honest
+  /// workers err with the difficulty-dependent probability; spammers ignore
+  /// the records entirely.
+  bool AnswerPair(bool truth, double likelihood, double hardness_u, const CrowdModel& model);
+
+  /// Simulates the §7.1 qualification test: `truths` are the correct answers
+  /// of the test pairs, `likelihoods` their difficulty. Test pairs are
+  /// curated to be unambiguous (hardness 0). Pass requires all answers
+  /// correct.
+  bool TakeQualificationTest(const std::vector<bool>& truths,
+                             const std::vector<double>& likelihoods, const CrowdModel& model);
+
+  /// The error probability an honest worker of this type has on a pair
+  /// (exposed for tests).
+  double ErrorProbability(bool truth, double likelihood, double hardness_u,
+                          const CrowdModel& model) const;
+
+ private:
+  uint32_t id_;
+  WorkerType type_;
+  double speed_factor_;
+  Rng rng_;
+};
+
+/// \brief Builds the worker pool for a platform run: `pool_size` workers with
+/// the model's type mix, speeds, and forked random streams.
+std::vector<Worker> MakeWorkerPool(const CrowdModel& model, Rng* rng);
+
+}  // namespace crowd
+}  // namespace crowder
+
+#endif  // CROWDER_CROWD_WORKER_H_

@@ -1,0 +1,407 @@
+#include "data/generators.h"
+
+#include <algorithm>
+#include <string>
+#include <vector>
+
+#include "common/logging.h"
+#include "common/rng.h"
+#include "common/string_util.h"
+#include "data/wordlists.h"
+
+namespace crowder {
+namespace data {
+
+namespace {
+
+std::string Pick(const std::vector<std::string_view>& pool, Rng* rng) {
+  return std::string(pool[rng->Uniform(pool.size())]);
+}
+
+std::string PickZipf(const std::vector<std::string_view>& pool, double s, Rng* rng) {
+  return std::string(pool[rng->Zipf(pool.size(), s)]);
+}
+
+// Introduces a single-character transposition typo into one token of `text`.
+std::string TypoToken(const std::string& text, Rng* rng) {
+  std::vector<std::string> tokens = SplitWhitespace(text);
+  if (tokens.empty()) return text;
+  std::string& tok = tokens[rng->Uniform(tokens.size())];
+  if (tok.size() >= 3) {
+    const size_t i = 1 + rng->Uniform(tok.size() - 2);
+    std::swap(tok[i - 1], tok[i]);
+  } else {
+    tok.push_back('s');
+  }
+  return Join(tokens, " ");
+}
+
+std::string DropRandomToken(const std::string& text, Rng* rng) {
+  std::vector<std::string> tokens = SplitWhitespace(text);
+  if (tokens.size() <= 1) return text;
+  tokens.erase(tokens.begin() + static_cast<long>(rng->Uniform(tokens.size())));
+  return Join(tokens, " ");
+}
+
+// ---------------------------------------------------------------------------
+// Restaurant
+// ---------------------------------------------------------------------------
+
+struct RestaurantEntity {
+  std::string name;
+  std::string street;       // without number/suffix
+  int street_suffix = 0;    // index into StreetSuffixes()
+  int number = 0;
+  std::string city;
+  std::string type;
+};
+
+std::vector<std::string> RenderRestaurant(const RestaurantEntity& e, bool abbreviate_suffix) {
+  const auto& suffixes = StreetSuffixes();
+  const auto& abbrevs = StreetSuffixAbbrevs();
+  std::string address = std::to_string(e.number) + " " + e.street + " " +
+                        std::string(abbreviate_suffix ? abbrevs[e.street_suffix]
+                                                      : suffixes[e.street_suffix]);
+  return {e.name, address, e.city, e.type};
+}
+
+RestaurantEntity MakeRestaurantEntity(Rng* rng) {
+  // Heavy skew mirrors the real Riddle restaurant data: it covers only a
+  // handful of cities and a few dominant cuisines, which is what creates the
+  // large population of moderately-similar non-matching pairs in Table 2(a).
+  RestaurantEntity e;
+  const uint32_t name_words = 1 + static_cast<uint32_t>(rng->Uniform(2));
+  std::vector<std::string> parts;
+  for (uint32_t w = 0; w < name_words; ++w) {
+    parts.push_back(PickZipf(RestaurantNameWords(), 0.9, rng));
+  }
+  if (rng->Bernoulli(0.7)) parts.push_back(PickZipf(RestaurantNameSuffixes(), 1.0, rng));
+  e.name = Join(parts, " ");
+  e.street = PickZipf(StreetNames(), 1.2, rng);
+  e.street_suffix = static_cast<int>(rng->Zipf(StreetSuffixes().size(), 1.2));
+  e.number = static_cast<int>(1 + rng->Uniform(9999));
+  e.city = PickZipf(Cities(), 1.6, rng);
+  e.type = PickZipf(CuisineTypes(), 1.2, rng);
+  return e;
+}
+
+// Perturbs a rendered restaurant record with `ops` edit operations; heavier
+// op counts push the duplicate's Jaccard similarity down, shaping the
+// Table 2(a) recall column.
+std::vector<std::string> PerturbRestaurant(const RestaurantEntity& e, uint32_t ops, Rng* rng) {
+  RestaurantEntity copy = e;
+  bool abbreviate = false;
+  std::vector<std::string> rec;
+  // Op 1 is always the cheap, extremely common one: suffix abbreviation.
+  if (ops >= 1) abbreviate = true;
+  rec = RenderRestaurant(copy, abbreviate);
+  for (uint32_t op = 2; op <= ops; ++op) {
+    switch (rng->Uniform(5)) {
+      case 0:  // drop a name token
+        rec[0] = DropRandomToken(rec[0], rng);
+        break;
+      case 1:  // typo somewhere in the name
+        rec[0] = TypoToken(rec[0], rng);
+        break;
+      case 2:  // street number formatting drift / renumbering
+        rec[1] = TypoToken(rec[1], rng);
+        break;
+      case 3:  // drop part of a multi-word city ("new york" -> "york")
+        rec[2] = DropRandomToken(rec[2], rng);
+        break;
+      case 4:  // cuisine relabeled to a nearby type
+        rec[3] = Pick(CuisineTypes(), rng);
+        break;
+    }
+  }
+  return rec;
+}
+
+}  // namespace
+
+Result<Dataset> GenerateRestaurant(const RestaurantConfig& config) {
+  if (config.num_duplicate_pairs * 2 > config.num_records) {
+    return Status::InvalidArgument("more duplicate pairs than record capacity");
+  }
+  if (config.min_branches < 2 || config.max_branches < config.min_branches) {
+    return Status::InvalidArgument("invalid chain branch range");
+  }
+  Rng rng(config.seed);
+
+  Dataset ds;
+  ds.name = "restaurant";
+  ds.table.attribute_names = {"name", "address", "city", "type"};
+
+  uint32_t next_entity = 0;
+  // 1) Chain branches: distinct entities sharing name/type across cities.
+  const auto& chains = ChainNames();
+  uint32_t budget = config.num_records - 2 * config.num_duplicate_pairs;
+  for (uint32_t c = 0; c < config.num_chains && budget > 0; ++c) {
+    const std::string chain_name = std::string(chains[c % chains.size()]);
+    const std::string type = PickZipf(CuisineTypes(), 0.7, &rng);
+    const uint32_t branches = std::min<uint32_t>(
+        budget, config.min_branches +
+                    static_cast<uint32_t>(
+                        rng.Uniform(config.max_branches - config.min_branches + 1)));
+    for (uint32_t b = 0; b < branches; ++b) {
+      RestaurantEntity e = MakeRestaurantEntity(&rng);
+      // Branches carry the chain name plus a location qualifier (as listings
+      // do in the real data: "golden wok downtown"), which keeps branch
+      // pairs moderately — not extremely — similar.
+      static const char* kBranchWords[] = {"downtown", "uptown", "midtown", "airport",
+                                           "plaza",    "mall",   "station", "harbor"};
+      e.name = chain_name + " " + kBranchWords[rng.Uniform(8)];
+      e.type = type;
+      ds.table.records.push_back(RenderRestaurant(e, rng.Bernoulli(0.4)));
+      ds.truth.entity_of.push_back(next_entity++);
+      --budget;
+    }
+  }
+  // 2) Singleton entities fill the remaining non-duplicate budget.
+  while (budget > 0) {
+    RestaurantEntity e = MakeRestaurantEntity(&rng);
+    ds.table.records.push_back(RenderRestaurant(e, rng.Bernoulli(0.25)));
+    ds.truth.entity_of.push_back(next_entity++);
+    --budget;
+  }
+  // 3) Duplicated entities: one clean record + one perturbed record each.
+  //    Op-count mix calibrated to the Table 2(a) recall column: most
+  //    duplicates stay above Jaccard 0.5; a thin tail reaches ~0.25.
+  for (uint32_t d = 0; d < config.num_duplicate_pairs; ++d) {
+    RestaurantEntity e = MakeRestaurantEntity(&rng);
+    ds.table.records.push_back(RenderRestaurant(e, false));
+    ds.truth.entity_of.push_back(next_entity);
+
+    const double u = rng.UniformDouble();
+    uint32_t ops = 1;
+    if (u > 0.99) {
+      ops = 6;
+    } else if (u > 0.93) {
+      ops = 5;
+    } else if (u > 0.79) {
+      ops = 4;
+    } else if (u > 0.65) {
+      ops = 3;
+    } else if (u > 0.40) {
+      ops = 2;
+    }
+    ds.table.records.push_back(PerturbRestaurant(e, ops, &rng));
+    ds.truth.entity_of.push_back(next_entity++);
+  }
+
+  CROWDER_RETURN_NOT_OK(ds.Validate());
+  return ds;
+}
+
+// ---------------------------------------------------------------------------
+// Product
+// ---------------------------------------------------------------------------
+
+namespace {
+
+struct ProductEntity {
+  std::string brand;
+  std::string category;
+  std::string model_code;
+  std::vector<std::string> qualifiers;
+  double price = 0.0;
+};
+
+std::string MakeModelCode(Rng* rng) {
+  static const char* kLetters = "abcdefghjklmnpqrstuvwxyz";
+  std::string code;
+  const uint32_t letters = 2 + static_cast<uint32_t>(rng->Uniform(2));
+  for (uint32_t i = 0; i < letters; ++i) code.push_back(kLetters[rng->Uniform(24)]);
+  const uint32_t digits = 2 + static_cast<uint32_t>(rng->Uniform(4));
+  for (uint32_t i = 0; i < digits; ++i) {
+    code.push_back(static_cast<char>('0' + rng->Uniform(10)));
+  }
+  return code;
+}
+
+ProductEntity MakeProductEntity(Rng* rng) {
+  ProductEntity e;
+  e.brand = PickZipf(Brands(), 1.05, rng);
+  e.category = PickZipf(ProductCategories(), 0.95, rng);
+  e.model_code = MakeModelCode(rng);
+  const uint32_t quals = 1 + static_cast<uint32_t>(rng->Uniform(3));
+  for (uint32_t q = 0; q < quals; ++q) e.qualifiers.push_back(Pick(ProductQualifiers(), rng));
+  e.price = 20.0 + rng->UniformDouble() * 1500.0;
+  return e;
+}
+
+std::string FormatPrice(double price) {
+  return "$" + FormatDouble(price, 2);
+}
+
+// Renders one source's view of a product entity. `severity` in [0,1] scales
+// how aggressively the vendor rewrites the name; the heavy tail is what
+// pushes some matching pairs below Jaccard 0.2 (Table 2b).
+std::vector<std::string> RenderProduct(const ProductEntity& e, int source, double severity,
+                                       Rng* rng) {
+  std::vector<std::string> tokens;
+  const double drop_p = 0.03 + 0.40 * severity * severity;
+
+  if (!rng->Bernoulli(drop_p * 0.4)) tokens.push_back(e.brand);
+  if (!rng->Bernoulli(drop_p)) tokens.push_back(e.category);
+  for (const auto& q : e.qualifiers) {
+    if (!rng->Bernoulli(drop_p + 0.10)) tokens.push_back(q);
+  }
+  // The model code is the strongest join key; mangling it (splitting the
+  // token) destroys the overlap signal for that pair.
+  if (!rng->Bernoulli(drop_p * 0.3)) {
+    if (rng->Bernoulli(0.06 + 0.45 * severity * severity)) {
+      const size_t cut = 2 + rng->Uniform(std::max<size_t>(e.model_code.size() - 2, 1));
+      tokens.push_back(e.model_code.substr(0, cut));
+      if (cut < e.model_code.size()) tokens.push_back(e.model_code.substr(cut));
+    } else {
+      tokens.push_back(e.model_code);
+    }
+  }
+  // Source-specific decoration.
+  const uint32_t extras =
+      source == 0 ? static_cast<uint32_t>(rng->Uniform(2))
+                  : static_cast<uint32_t>(rng->Uniform(2 + static_cast<uint64_t>(2 * severity)));
+  for (uint32_t x = 0; x < extras; ++x) {
+    tokens.push_back(source == 0 ? Pick(ProductQualifiers(), rng)
+                                 : Pick(MarketingWords(), rng));
+  }
+  if (source == 1 && rng->Bernoulli(0.25 + 0.4 * severity)) {
+    tokens.push_back(MakeModelCode(rng));  // vendor SKU
+  }
+
+  rng->Shuffle(&tokens);
+  if (tokens.empty()) tokens.push_back(e.brand);
+  const double price = e.price * (source == 0 ? 1.0 : rng->UniformDouble(0.92, 1.08));
+  return {Join(tokens, " "), FormatPrice(price)};
+}
+
+}  // namespace
+
+Result<Dataset> GenerateProduct(const ProductConfig& config) {
+  if (config.num_abt == 0 || config.num_buy == 0) {
+    return Status::InvalidArgument("both sources need records");
+  }
+  const uint32_t min_side = std::min(config.num_abt, config.num_buy);
+  // Composition: a entities with 1 abt + 1 buy record (1 pair each) and
+  // x entities with 2 abt + 1 buy plus x with 1 abt + 2 buy (2 pairs each):
+  //   pairs = a + 4x,  per-source shared records = a + 3x = pairs - x.
+  uint32_t x = config.num_matching_pairs > min_side ? config.num_matching_pairs - min_side : 0;
+  if (config.num_matching_pairs < 4 * x) {
+    return Status::InvalidArgument("matching pairs incompatible with source sizes");
+  }
+  const uint32_t a = config.num_matching_pairs - 4 * x;
+  const uint32_t shared_per_source = a + 3 * x;
+  if (shared_per_source > min_side) {
+    return Status::InvalidArgument("matching pairs exceed what the source sizes allow");
+  }
+
+  Rng rng(config.seed);
+  Dataset ds;
+  ds.name = "product";
+  ds.table.attribute_names = {"name", "price"};
+
+  uint32_t next_entity = 0;
+  auto emit = [&](const ProductEntity& e, int source, double severity, uint32_t entity) {
+    ds.table.records.push_back(RenderProduct(e, source, severity, &rng));
+    ds.table.sources.push_back(source);
+    ds.truth.entity_of.push_back(entity);
+  };
+  auto severity_sample = [&]() {
+    // Right-skewed severity: most pairs moderately rewritten, a heavy tail
+    // nearly unrecognizable (calibrated against the Table 2(b) recall
+    // column; see EXPERIMENTS.md).
+    const double u = rng.UniformDouble();
+    return u * u * u;
+  };
+
+  // 1-1 entities.
+  for (uint32_t i = 0; i < a; ++i) {
+    const ProductEntity e = MakeProductEntity(&rng);
+    const double sev = severity_sample();
+    emit(e, 0, sev * 0.6, next_entity);
+    emit(e, 1, sev, next_entity);
+    ++next_entity;
+  }
+  // 2 abt + 1 buy entities.
+  for (uint32_t i = 0; i < x; ++i) {
+    const ProductEntity e = MakeProductEntity(&rng);
+    const double sev = severity_sample();
+    emit(e, 0, sev * 0.5, next_entity);
+    emit(e, 0, sev * 0.8, next_entity);
+    emit(e, 1, sev, next_entity);
+    ++next_entity;
+  }
+  // 1 abt + 2 buy entities.
+  for (uint32_t i = 0; i < x; ++i) {
+    const ProductEntity e = MakeProductEntity(&rng);
+    const double sev = severity_sample();
+    emit(e, 0, sev * 0.6, next_entity);
+    emit(e, 1, sev, next_entity);
+    emit(e, 1, sev * 0.9, next_entity);
+    ++next_entity;
+  }
+  // Source-only records (entities present in just one catalog).
+  const uint32_t abt_used = a + 3 * x;
+  const uint32_t buy_used = a + 3 * x;
+  for (uint32_t i = abt_used; i < config.num_abt; ++i) {
+    emit(MakeProductEntity(&rng), 0, severity_sample(), next_entity++);
+  }
+  for (uint32_t i = buy_used; i < config.num_buy; ++i) {
+    emit(MakeProductEntity(&rng), 1, severity_sample(), next_entity++);
+  }
+
+  CROWDER_RETURN_NOT_OK(ds.Validate());
+  return ds;
+}
+
+// ---------------------------------------------------------------------------
+// Product+Dup
+// ---------------------------------------------------------------------------
+
+Result<Dataset> GenerateProductDup(const ProductDupConfig& config) {
+  CROWDER_ASSIGN_OR_RETURN(Dataset product, GenerateProduct(config.product));
+  if (config.num_base_records == 0 ||
+      config.num_base_records > product.table.num_records()) {
+    return Status::InvalidArgument("num_base_records out of range");
+  }
+  Rng rng(config.seed);
+
+  Dataset ds;
+  ds.name = "product+dup";
+  ds.table.attribute_names = product.table.attribute_names;
+
+  const std::vector<size_t> picks = rng.SampleWithoutReplacement(
+      product.table.num_records(), config.num_base_records);
+
+  uint32_t next_entity = 0;
+  for (size_t pick : picks) {
+    const std::vector<std::string>& base = product.table.records[pick];
+    ds.table.records.push_back(base);
+    ds.truth.entity_of.push_back(next_entity);
+    // The paper: x matching records per base record, x ~ U[0, 9]; each match
+    // is the base record with two tokens randomly swapped.
+    const uint32_t dups =
+        static_cast<uint32_t>(rng.Uniform(config.max_dups_per_record + 1));
+    for (uint32_t d = 0; d < dups; ++d) {
+      std::vector<std::string> copy = base;
+      std::vector<std::string> tokens = SplitWhitespace(copy[0]);
+      if (tokens.size() >= 2) {
+        const size_t i = rng.Uniform(tokens.size());
+        size_t j = rng.Uniform(tokens.size());
+        while (j == i && tokens.size() > 1) j = rng.Uniform(tokens.size());
+        std::swap(tokens[i], tokens[j]);
+        copy[0] = Join(tokens, " ");
+      }
+      ds.table.records.push_back(std::move(copy));
+      ds.truth.entity_of.push_back(next_entity);
+    }
+    ++next_entity;
+  }
+
+  CROWDER_RETURN_NOT_OK(ds.Validate());
+  return ds;
+}
+
+}  // namespace data
+}  // namespace crowder

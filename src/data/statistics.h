@@ -1,0 +1,49 @@
+// Dataset profiling: the numbers that determine how hard a dataset is for
+// the hybrid workflow — token statistics, match-similarity distribution, and
+// non-match density near the thresholds. Used by the benches to document
+// generator calibration (EXPERIMENTS.md) and by users to size thresholds for
+// their own data.
+#ifndef CROWDER_DATA_STATISTICS_H_
+#define CROWDER_DATA_STATISTICS_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "data/dataset.h"
+
+namespace crowder {
+namespace data {
+
+struct DatasetStatistics {
+  uint64_t num_records = 0;
+  uint64_t num_matching_pairs = 0;
+  uint64_t num_admissible_pairs = 0;
+
+  double avg_tokens_per_record = 0.0;
+  uint64_t distinct_tokens = 0;
+
+  /// Jaccard similarity of every *matching* pair, ascending. Its quantiles
+  /// explain the recall column of Table 2.
+  std::vector<double> match_similarities;
+
+  /// Deciles (10%..90%) of match_similarities, for quick reporting.
+  std::vector<double> match_similarity_deciles;
+
+  double MatchSimilarityMedian() const;
+  /// Fraction of matching pairs with similarity >= threshold (== the
+  /// machine pass's recall ceiling at that threshold).
+  double MatchRecallAt(double threshold) const;
+};
+
+/// \brief Profiles a dataset (O(records + matching pairs)).
+Result<DatasetStatistics> ComputeStatistics(const Dataset& dataset);
+
+/// \brief Human-readable one-page profile.
+std::string RenderStatistics(const DatasetStatistics& stats, const std::string& name);
+
+}  // namespace data
+}  // namespace crowder
+
+#endif  // CROWDER_DATA_STATISTICS_H_

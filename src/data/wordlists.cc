@@ -1,0 +1,139 @@
+#include "data/wordlists.h"
+
+namespace crowder {
+namespace data {
+
+const std::vector<std::string_view>& RestaurantNameWords() {
+  static const std::vector<std::string_view> kWords = {
+      "golden",  "dragon",  "palace",   "garden",   "ocean",   "harbor",  "blue",    "lotus",
+      "royal",   "star",    "sunset",   "village",  "corner",  "little",  "grand",   "silver",
+      "red",     "lantern", "bamboo",   "jade",     "pearl",   "spice",   "olive",   "vine",
+      "rustic",  "urban",   "metro",    "central",  "old",     "new",     "north",   "south",
+      "east",    "west",    "riverside","lakeview", "hilltop", "sunrise", "moonlight","cedar",
+      "maple",   "willow",  "magnolia", "saffron",  "basil",   "thyme",   "rosemary","ginger",
+      "pepper",  "honey",   "sugar",    "salt",     "smoke",   "fire",    "stone",   "brick",
+      "copper",  "iron",    "crystal",  "amber",    "velvet",  "daisy",   "tulip",   "orchid",
+      "bella",   "casa",    "villa",    "trattoria","osteria", "bistro",  "chez",    "maison",
+      "la",      "el",      "the",      "mamas",    "papas",   "uncle",   "aunties", "brothers",
+  };
+  return kWords;
+}
+
+const std::vector<std::string_view>& RestaurantNameSuffixes() {
+  static const std::vector<std::string_view> kWords = {
+      "grill", "cafe",   "kitchen", "diner",  "house",   "room",    "bar",     "tavern",
+      "inn",   "eatery", "express", "garden", "palace",  "corner",  "place",   "spot",
+      "club",  "lounge", "buffet",  "shack",  "cantina", "pizzeria","steakhouse","noodles",
+  };
+  return kWords;
+}
+
+const std::vector<std::string_view>& StreetNames() {
+  static const std::vector<std::string_view> kWords = {
+      "main",     "broadway", "market",  "park",     "oak",      "pine",    "elm",
+      "washington","lincoln", "jefferson","madison",  "franklin", "jackson", "monroe",
+      "church",   "state",    "spring",  "river",    "lake",     "hill",    "valley",
+      "sunset",   "ocean",    "beach",   "canal",    "union",    "center",  "prospect",
+      "highland", "grove",    "cherry",  "walnut",   "chestnut", "maple",   "cedar",
+      "first",    "second",   "third",   "fourth",   "fifth",    "sixth",   "seventh",
+  };
+  return kWords;
+}
+
+const std::vector<std::string_view>& StreetSuffixes() {
+  static const std::vector<std::string_view> kWords = {
+      "street", "avenue", "boulevard", "drive", "road", "lane", "place", "court",
+  };
+  return kWords;
+}
+
+const std::vector<std::string_view>& StreetSuffixAbbrevs() {
+  // Aligned with StreetSuffixes(): abbreviating swaps index-for-index.
+  static const std::vector<std::string_view> kWords = {
+      "st", "ave", "blvd", "dr", "rd", "ln", "pl", "ct",
+  };
+  return kWords;
+}
+
+const std::vector<std::string_view>& Cities() {
+  static const std::vector<std::string_view> kWords = {
+      "new york",     "los angeles", "chicago",  "houston",  "phoenix",   "philadelphia",
+      "san antonio",  "san diego",   "dallas",   "san jose", "austin",    "columbus",
+      "fort worth",   "charlotte",   "seattle",  "denver",   "boston",    "detroit",
+      "nashville",    "memphis",     "portland", "las vegas","baltimore", "milwaukee",
+      "albuquerque",  "tucson",      "fresno",   "sacramento","atlanta",  "miami",
+  };
+  return kWords;
+}
+
+const std::vector<std::string_view>& CuisineTypes() {
+  static const std::vector<std::string_view> kWords = {
+      "italian", "chinese",  "mexican", "japanese", "thai",     "indian",   "french",
+      "greek",   "korean",   "vietnamese","american","seafood", "steakhouse","pizza",
+      "barbecue","vegetarian","mediterranean","spanish","cajun", "southern", "sushi",
+      "burgers", "delicatessen","bakery","coffee",
+  };
+  return kWords;
+}
+
+const std::vector<std::string_view>& ChainNames() {
+  static const std::vector<std::string_view> kWords = {
+      "golden wok express",  "mamas pizza kitchen", "blue ocean sushi",  "el taco loco",
+      "dragon palace",       "the burger barn",     "bella italia",      "spice route curry",
+      "smokey joes barbecue","green leaf salads",   "pho saigon house",  "athens gyro corner",
+      "casa del sol cantina","royal tandoor",       "noodle king",       "crispy fried chicken",
+      "la petite creperie",  "seoul garden bbq",    "tokyo teriyaki",    "the waffle window",
+      "harbor fish market",  "stone oven pizzeria", "copper kettle diner","jade lotus dim sum",
+      "sunrise pancake house","villa toscana",      "bombay spice house","saffron mediterranean",
+      "red lantern szechuan","maple street bakery", "cedar grill house", "urban greens cafe",
+      "ocean pearl seafood", "silver spoon diner",  "amber steakhouse",  "velvet lounge bar",
+      "honey bee bakery",    "iron skillet kitchen","crystal palace buffet","magnolia southern table",
+  };
+  return kWords;
+}
+
+const std::vector<std::string_view>& Brands() {
+  static const std::vector<std::string_view> kWords = {
+      "apple",    "sony",      "samsung",  "panasonic", "toshiba",  "canon",   "nikon",
+      "hp",       "dell",      "lenovo",   "asus",      "acer",     "lg",      "philips",
+      "bose",     "jbl",       "pioneer",  "kenwood",   "garmin",   "tomtom",  "motorola",
+      "nokia",    "blackberry","sandisk",  "kingston",  "seagate",  "logitech","belkin",
+      "netgear",  "linksys",   "dlink",    "epson",     "brother",  "xerox",   "olympus",
+      "casio",    "sharp",     "vizio",    "whirlpool", "frigidaire",
+  };
+  return kWords;
+}
+
+const std::vector<std::string_view>& ProductCategories() {
+  static const std::vector<std::string_view> kWords = {
+      "lcd",      "tv",        "television", "camera",   "camcorder", "laptop",   "notebook",
+      "monitor",  "printer",   "scanner",    "speaker",  "headphones","earbuds",  "receiver",
+      "subwoofer","soundbar",  "keyboard",   "mouse",    "router",    "modem",    "drive",
+      "player",   "recorder",  "phone",      "smartphone","tablet",   "gps",      "radio",
+      "microwave","refrigerator","dishwasher","washer",  "dryer",     "vacuum",   "blender",
+      "toaster",  "projector", "lens",       "flash",    "tripod",
+  };
+  return kWords;
+}
+
+const std::vector<std::string_view>& ProductQualifiers() {
+  static const std::vector<std::string_view> kWords = {
+      "black",  "white",  "silver", "blue",   "red",     "gray",   "pink",    "green",
+      "16gb",   "32gb",   "64gb",   "8gb",    "4gb",     "2gb",    "500gb",   "1tb",
+      "series", "pro",    "plus",   "mini",   "slim",    "ultra",  "compact", "portable",
+      "wireless","digital","hd",     "1080p",  "720p",    "widescreen","dual", "stereo",
+      "inch",   "19",     "22",     "26",     "32",      "40",     "46",      "52",
+  };
+  return kWords;
+}
+
+const std::vector<std::string_view>& MarketingWords() {
+  static const std::vector<std::string_view> kWords = {
+      "new",   "genuine", "original", "oem",   "retail",  "pack",  "kit",    "bundle",
+      "with",  "for",     "edition",  "model", "factory", "sealed","refurbished","warranty",
+  };
+  return kWords;
+}
+
+}  // namespace data
+}  // namespace crowder

@@ -1,0 +1,33 @@
+// Word pools for the synthetic dataset generators. The pools are sized so
+// that non-matching records share tokens at realistic rates (chains, common
+// street names, shared brands/categories), which is what gives the
+// likelihood-threshold tables their shape.
+#ifndef CROWDER_DATA_WORDLISTS_H_
+#define CROWDER_DATA_WORDLISTS_H_
+
+#include <string_view>
+#include <vector>
+
+namespace crowder {
+namespace data {
+
+// ---- Restaurant-like pools ----
+const std::vector<std::string_view>& RestaurantNameWords();
+const std::vector<std::string_view>& RestaurantNameSuffixes();
+const std::vector<std::string_view>& StreetNames();
+const std::vector<std::string_view>& StreetSuffixes();       // full forms
+const std::vector<std::string_view>& StreetSuffixAbbrevs();  // aligned abbreviations
+const std::vector<std::string_view>& Cities();
+const std::vector<std::string_view>& CuisineTypes();
+const std::vector<std::string_view>& ChainNames();
+
+// ---- Product-like pools ----
+const std::vector<std::string_view>& Brands();
+const std::vector<std::string_view>& ProductCategories();
+const std::vector<std::string_view>& ProductQualifiers();  // colors, sizes, line names
+const std::vector<std::string_view>& MarketingWords();     // source-specific fluff
+
+}  // namespace data
+}  // namespace crowder
+
+#endif  // CROWDER_DATA_WORDLISTS_H_

@@ -1,0 +1,48 @@
+#include "eval/cluster_metrics.h"
+
+#include <unordered_map>
+
+namespace crowder {
+namespace eval {
+
+Result<BCubedScore> BCubed(const std::vector<uint32_t>& predicted_cluster_of,
+                           const std::vector<uint32_t>& true_entity_of) {
+  if (predicted_cluster_of.empty() || predicted_cluster_of.size() != true_entity_of.size()) {
+    return Status::InvalidArgument("labelings must be non-empty and equal-sized");
+  }
+  const size_t n = predicted_cluster_of.size();
+
+  // Group membership lists.
+  std::unordered_map<uint32_t, std::vector<uint32_t>> pred;
+  std::unordered_map<uint32_t, std::vector<uint32_t>> truth;
+  for (uint32_t r = 0; r < n; ++r) {
+    pred[predicted_cluster_of[r]].push_back(r);
+    truth[true_entity_of[r]].push_back(r);
+  }
+
+  // |pred(r) ∩ true(r)| via joint-label counts.
+  std::unordered_map<uint64_t, uint32_t> joint;
+  for (uint32_t r = 0; r < n; ++r) {
+    const uint64_t key =
+        (static_cast<uint64_t>(predicted_cluster_of[r]) << 32) | true_entity_of[r];
+    ++joint[key];
+  }
+
+  BCubedScore score;
+  for (uint32_t r = 0; r < n; ++r) {
+    const uint64_t key =
+        (static_cast<uint64_t>(predicted_cluster_of[r]) << 32) | true_entity_of[r];
+    const double overlap = joint.at(key);
+    score.precision += overlap / pred.at(predicted_cluster_of[r]).size();
+    score.recall += overlap / truth.at(true_entity_of[r]).size();
+  }
+  score.precision /= static_cast<double>(n);
+  score.recall /= static_cast<double>(n);
+  score.f1 = (score.precision + score.recall) == 0.0
+                 ? 0.0
+                 : 2.0 * score.precision * score.recall / (score.precision + score.recall);
+  return score;
+}
+
+}  // namespace eval
+}  // namespace crowder

@@ -1,0 +1,32 @@
+// Cluster-level ER evaluation: B-cubed precision/recall (Bagga & Baldwin),
+// the standard record-weighted complement to pairwise metrics. Pairwise
+// scores over-weight large clusters; B-cubed scores every record equally.
+#ifndef CROWDER_EVAL_CLUSTER_METRICS_H_
+#define CROWDER_EVAL_CLUSTER_METRICS_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/result.h"
+
+namespace crowder {
+namespace eval {
+
+struct BCubedScore {
+  double precision = 0.0;
+  double recall = 0.0;
+  double f1 = 0.0;
+};
+
+/// \brief B-cubed over two labelings of the same records.
+/// For each record r: precision_r = |pred(r) ∩ true(r)| / |pred(r)|,
+/// recall_r = |pred(r) ∩ true(r)| / |true(r)|, where pred(r)/true(r) are the
+/// predicted/true clusters containing r; scores average over records.
+/// Requires equal, non-zero sizes.
+Result<BCubedScore> BCubed(const std::vector<uint32_t>& predicted_cluster_of,
+                           const std::vector<uint32_t>& true_entity_of);
+
+}  // namespace eval
+}  // namespace crowder
+
+#endif  // CROWDER_EVAL_CLUSTER_METRICS_H_

@@ -1,0 +1,79 @@
+#include "eval/metrics.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace crowder {
+namespace eval {
+
+void SortByScoreDesc(std::vector<RankedPair>* pairs) {
+  std::sort(pairs->begin(), pairs->end(), [](const RankedPair& x, const RankedPair& y) {
+    if (x.score != y.score) return x.score > y.score;
+    if (x.a != y.a) return x.a < y.a;
+    return x.b < y.b;
+  });
+}
+
+Result<std::vector<PrPoint>> PrCurve(std::vector<RankedPair> pairs, uint64_t total_matches) {
+  if (total_matches == 0) {
+    return Status::InvalidArgument("total_matches must be positive to define recall");
+  }
+  SortByScoreDesc(&pairs);
+  std::vector<PrPoint> curve;
+  curve.reserve(pairs.size());
+  uint64_t tp = 0;
+  for (size_t n = 1; n <= pairs.size(); ++n) {
+    if (pairs[n - 1].is_match) ++tp;
+    PrPoint pt;
+    pt.n = n;
+    pt.precision = static_cast<double>(tp) / static_cast<double>(n);
+    pt.recall = static_cast<double>(tp) / static_cast<double>(total_matches);
+    curve.push_back(pt);
+  }
+  return curve;
+}
+
+std::vector<PrPoint> Downsample(const std::vector<PrPoint>& curve, size_t max_points) {
+  if (curve.size() <= max_points || max_points < 2) return curve;
+  std::vector<PrPoint> out;
+  out.reserve(max_points);
+  const double step = static_cast<double>(curve.size() - 1) / static_cast<double>(max_points - 1);
+  for (size_t i = 0; i < max_points; ++i) {
+    out.push_back(curve[static_cast<size_t>(std::llround(i * step))]);
+  }
+  return out;
+}
+
+double PrecisionAtRecall(const std::vector<PrPoint>& curve, double recall) {
+  // Best precision among points achieving at least the requested recall
+  // (standard interpolated precision).
+  double best = 0.0;
+  for (const PrPoint& pt : curve) {
+    if (pt.recall >= recall) best = std::max(best, pt.precision);
+  }
+  return best;
+}
+
+double BestF1(const std::vector<PrPoint>& curve) {
+  double best = 0.0;
+  for (const PrPoint& pt : curve) {
+    const double denom = pt.precision + pt.recall;
+    if (denom > 0.0) best = std::max(best, 2.0 * pt.precision * pt.recall / denom);
+  }
+  return best;
+}
+
+double AreaUnderPr(const std::vector<PrPoint>& curve) {
+  double area = 0.0;
+  double prev_recall = 0.0;
+  for (const PrPoint& pt : curve) {
+    if (pt.recall > prev_recall) {
+      area += (pt.recall - prev_recall) * pt.precision;
+      prev_recall = pt.recall;
+    }
+  }
+  return area;
+}
+
+}  // namespace eval
+}  // namespace crowder

@@ -1,0 +1,58 @@
+// Evaluation metrics for entity resolution outputs (§7.3): precision, recall
+// and precision-recall curves over ranked candidate-pair lists.
+#ifndef CROWDER_EVAL_METRICS_H_
+#define CROWDER_EVAL_METRICS_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/result.h"
+
+namespace crowder {
+namespace eval {
+
+/// \brief One candidate pair in a ranked result list.
+struct RankedPair {
+  uint32_t a = 0;
+  uint32_t b = 0;
+  /// Ranking key: machine likelihood, classifier score, or crowd posterior.
+  double score = 0.0;
+  /// Ground truth.
+  bool is_match = false;
+};
+
+/// \brief Sorts by descending score; ties broken by (a, b) for determinism.
+void SortByScoreDesc(std::vector<RankedPair>* pairs);
+
+/// \brief Point of a precision-recall curve: the first `n` pairs of the
+/// ranked list are predicted matches.
+struct PrPoint {
+  size_t n = 0;
+  double precision = 0.0;
+  double recall = 0.0;
+};
+
+/// \brief Computes the PR curve of a ranked list. `total_matches` is the
+/// number of matching pairs in the *dataset* (not just the list), so a list
+/// that misses matches cannot reach recall 1 — exactly how the paper's
+/// hybrid curves cap at the machine pass's recall. One point per rank.
+Result<std::vector<PrPoint>> PrCurve(std::vector<RankedPair> pairs, uint64_t total_matches);
+
+/// \brief Downsamples a curve to at most `max_points` (always keeps first
+/// and last), for printing.
+std::vector<PrPoint> Downsample(const std::vector<PrPoint>& curve, size_t max_points);
+
+/// \brief Precision at (or just above) the given recall level; 0 if the
+/// curve never reaches it. Used in EXPERIMENTS.md comparisons.
+double PrecisionAtRecall(const std::vector<PrPoint>& curve, double recall);
+
+/// \brief Maximum F1 over the curve.
+double BestF1(const std::vector<PrPoint>& curve);
+
+/// \brief Area under the PR curve (step interpolation on recall).
+double AreaUnderPr(const std::vector<PrPoint>& curve);
+
+}  // namespace eval
+}  // namespace crowder
+
+#endif  // CROWDER_EVAL_METRICS_H_

@@ -1,0 +1,107 @@
+#include "eval/report.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/logging.h"
+#include "common/string_util.h"
+
+namespace crowder {
+namespace eval {
+
+TablePrinter::TablePrinter(std::vector<std::string> header) : header_(std::move(header)) {}
+
+void TablePrinter::AddRow(std::vector<std::string> row) {
+  CROWDER_CHECK_EQ(row.size(), header_.size());
+  rows_.push_back(std::move(row));
+}
+
+std::string TablePrinter::Render() const {
+  std::vector<size_t> widths(header_.size());
+  for (size_t c = 0; c < header_.size(); ++c) widths[c] = header_[c].size();
+  for (const auto& row : rows_) {
+    for (size_t c = 0; c < row.size(); ++c) widths[c] = std::max(widths[c], row[c].size());
+  }
+  auto render_row = [&](const std::vector<std::string>& row) {
+    std::string line = "|";
+    for (size_t c = 0; c < row.size(); ++c) {
+      line += " " + row[c] + std::string(widths[c] - row[c].size(), ' ') + " |";
+    }
+    return line + "\n";
+  };
+  std::string sep = "+";
+  for (size_t c = 0; c < widths.size(); ++c) sep += std::string(widths[c] + 2, '-') + "+";
+  sep += "\n";
+
+  std::string out = sep + render_row(header_) + sep;
+  for (const auto& row : rows_) out += render_row(row);
+  out += sep;
+  return out;
+}
+
+std::string AsciiChart(const std::vector<Series>& series, const std::string& x_label,
+                       const std::string& y_label, int width, int height) {
+  static const char kGlyphs[] = {'*', 'o', '+', 'x', '#', '@', '%', '&'};
+  double xmin = 1e300;
+  double xmax = -1e300;
+  double ymin = 1e300;
+  double ymax = -1e300;
+  bool any = false;
+  for (const auto& s : series) {
+    for (size_t i = 0; i < s.x.size(); ++i) {
+      xmin = std::min(xmin, s.x[i]);
+      xmax = std::max(xmax, s.x[i]);
+      ymin = std::min(ymin, s.y[i]);
+      ymax = std::max(ymax, s.y[i]);
+      any = true;
+    }
+  }
+  if (!any) return "(no data)\n";
+  if (xmax == xmin) xmax = xmin + 1.0;
+  if (ymax == ymin) ymax = ymin + 1.0;
+
+  std::vector<std::string> grid(static_cast<size_t>(height), std::string(width, ' '));
+  for (size_t s = 0; s < series.size(); ++s) {
+    const char glyph = kGlyphs[s % sizeof(kGlyphs)];
+    for (size_t i = 0; i < series[s].x.size(); ++i) {
+      const int col = static_cast<int>(
+          std::lround((series[s].x[i] - xmin) / (xmax - xmin) * (width - 1)));
+      const int row = static_cast<int>(
+          std::lround((series[s].y[i] - ymin) / (ymax - ymin) * (height - 1)));
+      grid[static_cast<size_t>(height - 1 - row)][static_cast<size_t>(col)] = glyph;
+    }
+  }
+
+  std::string out;
+  out += y_label + " (" + FormatDouble(ymin, 1) + " .. " + FormatDouble(ymax, 1) + ")\n";
+  for (const auto& line : grid) out += "  |" + line + "\n";
+  out += "  +" + std::string(width, '-') + "\n";
+  out += "   " + x_label + " (" + FormatDouble(xmin, 2) + " .. " + FormatDouble(xmax, 2) + ")\n";
+  out += "   legend:";
+  for (size_t s = 0; s < series.size(); ++s) {
+    out += " ";
+    out.push_back(kGlyphs[s % sizeof(kGlyphs)]);
+    out += "=" + series[s].name;
+  }
+  out += "\n";
+  return out;
+}
+
+std::string PrChart(const std::vector<std::pair<std::string, std::vector<PrPoint>>>& curves,
+                    int width, int height) {
+  std::vector<Series> series;
+  for (const auto& [name, curve] : curves) {
+    Series s;
+    s.name = name;
+    const std::vector<PrPoint> pts = Downsample(curve, 120);
+    for (const PrPoint& pt : pts) {
+      s.x.push_back(pt.recall * 100.0);
+      s.y.push_back(pt.precision * 100.0);
+    }
+    series.push_back(std::move(s));
+  }
+  return AsciiChart(series, "recall %", "precision %", width, height);
+}
+
+}  // namespace eval
+}  // namespace crowder

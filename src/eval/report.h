@@ -1,0 +1,50 @@
+// Text rendering for the benchmark harnesses: aligned tables (for the
+// paper's Table 2) and ASCII charts (for its figures), so every bench binary
+// prints the same rows/series the paper reports without any plotting
+// dependency.
+#ifndef CROWDER_EVAL_REPORT_H_
+#define CROWDER_EVAL_REPORT_H_
+
+#include <string>
+#include <vector>
+
+#include "eval/metrics.h"
+
+namespace crowder {
+namespace eval {
+
+/// \brief Fixed-width table: set a header, add string rows, render.
+class TablePrinter {
+ public:
+  explicit TablePrinter(std::vector<std::string> header);
+
+  void AddRow(std::vector<std::string> row);
+  std::string Render() const;
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// \brief One named series of (x, y) points for an ASCII chart.
+struct Series {
+  std::string name;
+  std::vector<double> x;
+  std::vector<double> y;
+};
+
+/// \brief Renders series as an ASCII scatter/line chart (each series gets a
+/// distinct glyph), with axis ranges fit to the data. Intended for quick
+/// shape comparison against the paper's figures.
+std::string AsciiChart(const std::vector<Series>& series, const std::string& x_label,
+                       const std::string& y_label, int width = 72, int height = 20);
+
+/// \brief Convenience: renders a PR curve set as an ASCII chart
+/// (x = recall %, y = precision %).
+std::string PrChart(const std::vector<std::pair<std::string, std::vector<PrPoint>>>& curves,
+                    int width = 72, int height = 20);
+
+}  // namespace eval
+}  // namespace crowder
+
+#endif  // CROWDER_EVAL_REPORT_H_

@@ -1,0 +1,46 @@
+#include "graph/connected_components.h"
+
+#include <algorithm>
+#include <map>
+
+#include "graph/union_find.h"
+
+namespace crowder {
+namespace graph {
+
+std::vector<Component> ConnectedComponents(const PairGraph& graph) {
+  UnionFind uf(graph.num_vertices());
+  for (const Edge& e : graph.AliveEdges()) uf.Union(e.a, e.b);
+
+  // Group non-isolated vertices by root; std::map keys ascending, and roots
+  // are visited in ascending vertex order, so component order is by smallest
+  // member.
+  std::map<uint32_t, Component> by_root;
+  for (uint32_t v = 0; v < graph.num_vertices(); ++v) {
+    if (graph.AliveDegree(v) > 0) by_root[uf.Find(v)].push_back(v);
+  }
+  std::vector<Component> out;
+  out.reserve(by_root.size());
+  for (auto& [root, comp] : by_root) {
+    std::sort(comp.begin(), comp.end());
+    out.push_back(std::move(comp));
+  }
+  std::sort(out.begin(), out.end(),
+            [](const Component& x, const Component& y) { return x.front() < y.front(); });
+  return out;
+}
+
+SplitComponents SplitBySize(std::vector<Component> components, uint32_t k) {
+  SplitComponents split;
+  for (auto& comp : components) {
+    if (comp.size() <= k) {
+      split.small.push_back(std::move(comp));
+    } else {
+      split.large.push_back(std::move(comp));
+    }
+  }
+  return split;
+}
+
+}  // namespace graph
+}  // namespace crowder

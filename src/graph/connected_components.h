@@ -1,0 +1,34 @@
+// Connected components of the pair graph. The two-tiered generator's first
+// step (Algorithm 1, lines 2-4) splits components into "small" (<= k
+// vertices) and "large" (> k vertices).
+#ifndef CROWDER_GRAPH_CONNECTED_COMPONENTS_H_
+#define CROWDER_GRAPH_CONNECTED_COMPONENTS_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/pair_graph.h"
+
+namespace crowder {
+namespace graph {
+
+/// \brief One connected component: its vertices, ascending.
+using Component = std::vector<uint32_t>;
+
+/// \brief Components over *alive* edges, isolated vertices excluded
+/// (a record with no surviving pair needs no HIT). Components are ordered by
+/// their smallest vertex; vertices within a component are ascending.
+std::vector<Component> ConnectedComponents(const PairGraph& graph);
+
+/// \brief Splits components by the cluster-size threshold k:
+/// small (|cc| <= k) vs large (|cc| > k), preserving relative order.
+struct SplitComponents {
+  std::vector<Component> small;
+  std::vector<Component> large;
+};
+SplitComponents SplitBySize(std::vector<Component> components, uint32_t k);
+
+}  // namespace graph
+}  // namespace crowder
+
+#endif  // CROWDER_GRAPH_CONNECTED_COMPONENTS_H_

@@ -1,0 +1,105 @@
+// The pair graph of CrowdER §4–§5: vertices are records, edges are the pairs
+// that survived the machine pass and must be verified by the crowd. Every
+// cluster-based HIT generator consumes this structure; all of them repeatedly
+// "remove the edges covered by" a chosen vertex set, so edges support cheap
+// logical deletion and revival (Reset) for reuse across generator runs.
+#ifndef CROWDER_GRAPH_PAIR_GRAPH_H_
+#define CROWDER_GRAPH_PAIR_GRAPH_H_
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "common/logging.h"
+#include "common/result.h"
+
+namespace crowder {
+namespace graph {
+
+/// \brief An undirected edge (record pair). Invariant after Create: a < b.
+struct Edge {
+  uint32_t a = 0;
+  uint32_t b = 0;
+
+  friend bool operator==(const Edge& x, const Edge& y) { return x.a == y.a && x.b == y.b; }
+};
+
+/// \brief Undirected simple graph over dense vertex ids with edge liveness.
+class PairGraph {
+ public:
+  /// Builds a graph over vertices [0, num_vertices). Edges are normalized to
+  /// a < b and deduplicated. Fails on self-loops or out-of-range endpoints.
+  static Result<PairGraph> Create(uint32_t num_vertices, const std::vector<Edge>& edges);
+
+  uint32_t num_vertices() const { return num_vertices_; }
+  /// Total edges ever added (alive + removed).
+  size_t num_edges() const { return edges_.size(); }
+  size_t num_alive_edges() const { return num_alive_; }
+  bool HasAliveEdges() const { return num_alive_ > 0; }
+
+  /// Degree counting only alive edges.
+  uint32_t AliveDegree(uint32_t v) const;
+
+  /// Alive neighbors of v (unsorted; order = insertion order of edges).
+  std::vector<uint32_t> AliveNeighbors(uint32_t v) const;
+
+  /// Calls f(neighbor) for each alive neighbor of v.
+  template <typename F>
+  void ForEachAliveNeighbor(uint32_t v, F&& f) const {
+    CROWDER_DCHECK_LT(static_cast<size_t>(v), adjacency_.size());
+    for (uint32_t eid : adjacency_[v]) {
+      if (!alive_[eid]) continue;
+      const Edge& e = edges_[eid];
+      f(e.a == v ? e.b : e.a);
+    }
+  }
+
+  /// True if the edge (u,v) exists and is alive.
+  bool HasAliveEdge(uint32_t u, uint32_t v) const;
+
+  /// True if the edge (u,v) exists, alive or removed.
+  bool HasEdge(uint32_t u, uint32_t v) const;
+
+  /// Marks edge (u,v) removed. Returns true if it was alive.
+  bool RemoveEdge(uint32_t u, uint32_t v);
+
+  /// Removes every alive edge with both endpoints inside `vertices`
+  /// ("the edges covered by" a HIT). Returns how many were removed.
+  size_t RemoveEdgesCoveredBy(const std::vector<uint32_t>& vertices);
+
+  /// Revives all edges (undoes every removal).
+  void Reset();
+
+  /// All alive edges, sorted by (a, b).
+  std::vector<Edge> AliveEdges() const;
+
+  /// All edges regardless of liveness, sorted by (a, b).
+  std::vector<Edge> AllEdges() const;
+
+  /// The alive vertex of maximum alive degree (smallest id on ties), or -1
+  /// if no edge is alive.
+  int64_t MaxAliveDegreeVertex() const;
+
+  /// Vertices with at least one original edge, ascending.
+  std::vector<uint32_t> NonIsolatedVertices() const;
+
+ private:
+  PairGraph() = default;
+
+  static uint64_t Key(uint32_t a, uint32_t b) {
+    return (static_cast<uint64_t>(a) << 32) | b;
+  }
+
+  uint32_t num_vertices_ = 0;
+  std::vector<Edge> edges_;
+  std::vector<char> alive_;
+  std::vector<std::vector<uint32_t>> adjacency_;  // vertex -> edge ids
+  std::vector<uint32_t> alive_degree_;
+  std::unordered_map<uint64_t, uint32_t> edge_index_;  // Key(a,b) -> edge id
+  size_t num_alive_ = 0;
+};
+
+}  // namespace graph
+}  // namespace crowder
+
+#endif  // CROWDER_GRAPH_PAIR_GRAPH_H_

@@ -1,0 +1,67 @@
+#include "graph/traversal.h"
+
+#include <algorithm>
+#include <deque>
+
+namespace crowder {
+namespace graph {
+
+namespace {
+std::vector<uint32_t> SortedAliveNeighbors(const PairGraph& graph, uint32_t v) {
+  std::vector<uint32_t> nbrs = graph.AliveNeighbors(v);
+  std::sort(nbrs.begin(), nbrs.end());
+  return nbrs;
+}
+}  // namespace
+
+std::vector<uint32_t> BfsOrder(const PairGraph& graph, uint32_t start, size_t limit) {
+  std::vector<uint32_t> order;
+  std::vector<char> visited(graph.num_vertices(), 0);
+  std::deque<uint32_t> queue;
+  queue.push_back(start);
+  visited[start] = 1;
+  while (!queue.empty()) {
+    uint32_t v = queue.front();
+    queue.pop_front();
+    order.push_back(v);
+    if (limit > 0 && order.size() >= limit) break;
+    for (uint32_t u : SortedAliveNeighbors(graph, v)) {
+      if (!visited[u]) {
+        visited[u] = 1;
+        queue.push_back(u);
+      }
+    }
+  }
+  return order;
+}
+
+std::vector<uint32_t> DfsOrder(const PairGraph& graph, uint32_t start, size_t limit) {
+  std::vector<uint32_t> order;
+  std::vector<char> visited(graph.num_vertices(), 0);
+  std::vector<uint32_t> stack;
+  stack.push_back(start);
+  while (!stack.empty()) {
+    uint32_t v = stack.back();
+    stack.pop_back();
+    if (visited[v]) continue;
+    visited[v] = 1;
+    order.push_back(v);
+    if (limit > 0 && order.size() >= limit) break;
+    // Push descending so the smallest-id neighbor is expanded first.
+    std::vector<uint32_t> nbrs = SortedAliveNeighbors(graph, v);
+    for (auto it = nbrs.rbegin(); it != nbrs.rend(); ++it) {
+      if (!visited[*it]) stack.push_back(*it);
+    }
+  }
+  return order;
+}
+
+int64_t FirstVertexWithAliveEdge(const PairGraph& graph) {
+  for (uint32_t v = 0; v < graph.num_vertices(); ++v) {
+    if (graph.AliveDegree(v) > 0) return v;
+  }
+  return -1;
+}
+
+}  // namespace graph
+}  // namespace crowder

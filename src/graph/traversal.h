@@ -1,0 +1,31 @@
+// BFS/DFS vertex orders over alive edges; the BFS-based and DFS-based HIT
+// generation baselines (§7.2) consume these orders.
+#ifndef CROWDER_GRAPH_TRAVERSAL_H_
+#define CROWDER_GRAPH_TRAVERSAL_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/pair_graph.h"
+
+namespace crowder {
+namespace graph {
+
+/// \brief BFS order from `start` over alive edges, visiting only the
+/// reachable component. Neighbors are expanded in ascending vertex id for
+/// determinism. `limit` truncates the traversal after that many vertices
+/// (0 = no limit) — HIT generators only need the first k vertices, which
+/// keeps each HIT O(k·degree) instead of O(V+E).
+std::vector<uint32_t> BfsOrder(const PairGraph& graph, uint32_t start, size_t limit = 0);
+
+/// \brief DFS (preorder) from `start` over alive edges, ascending-id
+/// neighbor expansion, with the same `limit` semantics as BfsOrder.
+std::vector<uint32_t> DfsOrder(const PairGraph& graph, uint32_t start, size_t limit = 0);
+
+/// \brief Smallest-id vertex that still has an alive edge, or -1 if none.
+int64_t FirstVertexWithAliveEdge(const PairGraph& graph);
+
+}  // namespace graph
+}  // namespace crowder
+
+#endif  // CROWDER_GRAPH_TRAVERSAL_H_

@@ -1,0 +1,109 @@
+#include "hitgen/approximation_generator.h"
+
+#include <algorithm>
+
+namespace crowder {
+namespace hitgen {
+
+namespace {
+
+// One element of SEQ: a vertex, or an edge.
+struct SeqElement {
+  bool is_edge = false;
+  uint32_t vertex = 0;  // when !is_edge
+  graph::Edge edge;     // when is_edge
+};
+
+}  // namespace
+
+Result<std::vector<ClusterBasedHit>> ApproximationGenerator::Generate(graph::PairGraph* graph,
+                                                                      uint32_t k) {
+  CROWDER_RETURN_NOT_OK(ValidateGenerateArgs(graph, k));
+  Rng rng(options_.seed);
+
+  // ---- Phase 1: build SEQ over the alive part of the graph. ----
+  std::vector<uint32_t> vertices;
+  for (uint32_t v = 0; v < graph->num_vertices(); ++v) {
+    if (graph->AliveDegree(v) > 0) vertices.push_back(v);
+  }
+  std::vector<SeqElement> seq;
+  seq.reserve(vertices.size() + graph->num_alive_edges());
+
+  std::vector<char> processed(graph->num_vertices(), 0);
+  std::vector<uint32_t> remaining = vertices;
+  while (!remaining.empty()) {
+    size_t pick = 0;
+    switch (options_.order) {
+      case SeqVertexOrder::kRandom:
+        pick = static_cast<size_t>(rng.Uniform(remaining.size()));
+        break;
+      case SeqVertexOrder::kAscending: {
+        pick = static_cast<size_t>(
+            std::min_element(remaining.begin(), remaining.end()) - remaining.begin());
+        break;
+      }
+      case SeqVertexOrder::kMaxDegree: {
+        uint32_t best_degree = 0;
+        for (size_t i = 0; i < remaining.size(); ++i) {
+          const uint32_t d = graph->AliveDegree(remaining[i]);
+          if (d > best_degree ||
+              (d == best_degree && remaining[i] < remaining[pick])) {
+            best_degree = d;
+            pick = i;
+          }
+        }
+        break;
+      }
+    }
+    const uint32_t v = remaining[pick];
+    remaining[pick] = remaining.back();
+    remaining.pop_back();
+    processed[v] = 1;
+
+    seq.push_back(SeqElement{false, v, {}});
+    // Append v's still-alive incident edges and remove them from the graph.
+    std::vector<uint32_t> nbrs = graph->AliveNeighbors(v);
+    std::sort(nbrs.begin(), nbrs.end());
+    for (uint32_t u : nbrs) {
+      seq.push_back(SeqElement{true, 0, {std::min(u, v), std::max(u, v)}});
+      graph->RemoveEdge(u, v);
+    }
+  }
+  CROWDER_DCHECK(!graph->HasAliveEdges());
+
+  // ---- Phase 2: one HIT per window of k-1 consecutive elements. ----
+  std::vector<ClusterBasedHit> hits;
+  const size_t window = static_cast<size_t>(k) - 1;
+  for (size_t start = 0; start < seq.size(); start += window) {
+    const size_t end = std::min(seq.size(), start + window);
+    std::vector<uint32_t> records;
+    // Edge endpoints first: these are what the HIT must cover. The [15]
+    // property guarantees at most k distinct endpoints per window.
+    for (size_t i = start; i < end; ++i) {
+      if (!seq[i].is_edge) continue;
+      records.push_back(seq[i].edge.a);
+      records.push_back(seq[i].edge.b);
+    }
+    std::sort(records.begin(), records.end());
+    records.erase(std::unique(records.begin(), records.end()), records.end());
+    CROWDER_CHECK_LE(records.size(), static_cast<size_t>(k))
+        << "window edges exceed k distinct vertices; SEQ property violated";
+    const bool has_edges = !records.empty();
+    // Vertex elements pad the HIT while room remains (they cover nothing but
+    // belong to the window in the paper's accounting).
+    for (size_t i = start; i < end && records.size() < k; ++i) {
+      if (seq[i].is_edge) continue;
+      if (!std::binary_search(records.begin(), records.end(), seq[i].vertex)) {
+        records.push_back(seq[i].vertex);
+        std::sort(records.begin(), records.end());
+      }
+    }
+    if (has_edges || (options_.count_empty_windows && !records.empty())) {
+      hits.push_back(ClusterBasedHit{std::move(records)});
+    }
+  }
+  return hits;
+}
+
+}  // namespace hitgen
+}  // namespace crowder

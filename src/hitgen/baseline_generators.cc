@@ -1,0 +1,115 @@
+#include "hitgen/baseline_generators.h"
+
+#include <algorithm>
+#include <deque>
+#include <unordered_set>
+
+#include "graph/traversal.h"
+
+namespace crowder {
+namespace hitgen {
+
+namespace {
+
+// Finalizes an accumulated record set into a HIT and removes covered pairs.
+void EmitHit(graph::PairGraph* graph, std::vector<uint32_t>* records,
+             std::vector<ClusterBasedHit>* hits) {
+  if (records->size() < 2) {
+    records->clear();
+    return;
+  }
+  std::sort(records->begin(), records->end());
+  records->erase(std::unique(records->begin(), records->end()), records->end());
+  graph->RemoveEdgesCoveredBy(*records);
+  hits->push_back(ClusterBasedHit{std::move(*records)});
+  records->clear();
+}
+
+}  // namespace
+
+Result<std::vector<ClusterBasedHit>> RandomGenerator::Generate(graph::PairGraph* graph,
+                                                               uint32_t k) {
+  CROWDER_RETURN_NOT_OK(ValidateGenerateArgs(graph, k));
+  Rng rng(seed_);
+  std::vector<ClusterBasedHit> hits;
+
+  // One materialized edge list for the whole run; entries covered by earlier
+  // HITs go stale and are dropped lazily (swap-pop) when drawn, so the total
+  // extra work is O(E) rather than O(E) per HIT.
+  std::vector<graph::Edge> pool = graph->AliveEdges();
+  std::vector<uint32_t> open;  // records of the HIT being assembled
+  std::unordered_set<uint32_t> in_open;
+  while (!pool.empty()) {
+    const size_t pick = static_cast<size_t>(rng.Uniform(pool.size()));
+    const graph::Edge e = pool[pick];
+    if (!graph->HasAliveEdge(e.a, e.b)) {  // stale: covered by an earlier HIT
+      pool[pick] = pool.back();
+      pool.pop_back();
+      continue;
+    }
+    const size_t added = (in_open.count(e.a) == 0) + (in_open.count(e.b) == 0);
+    if (open.size() + added > k) {
+      // The drawn pair stays in the pool for a later HIT.
+      EmitHit(graph, &open, &hits);
+      in_open.clear();
+      continue;
+    }
+    if (in_open.insert(e.a).second) open.push_back(e.a);
+    if (in_open.insert(e.b).second) open.push_back(e.b);
+    graph->RemoveEdge(e.a, e.b);
+    pool[pick] = pool.back();
+    pool.pop_back();
+    if (open.size() == k) {
+      EmitHit(graph, &open, &hits);
+      in_open.clear();
+    }
+  }
+  if (!open.empty()) EmitHit(graph, &open, &hits);
+  CROWDER_DCHECK(!graph->HasAliveEdges());
+  return hits;
+}
+
+namespace {
+
+enum class TraversalKind { kBfs, kDfs };
+
+Result<std::vector<ClusterBasedHit>> TraversalGenerate(graph::PairGraph* graph, uint32_t k,
+                                                       TraversalKind kind) {
+  CROWDER_RETURN_NOT_OK(ValidateGenerateArgs(graph, k));
+  std::vector<ClusterBasedHit> hits;
+  while (graph->HasAliveEdges()) {
+    std::vector<uint32_t> records;
+    // Fill up to k records following the traversal; hop to the next
+    // component (smallest-id vertex with an alive edge) when one runs out.
+    while (records.size() < k) {
+      const int64_t start = graph::FirstVertexWithAliveEdge(*graph);
+      if (start < 0) break;
+      const size_t budget = k - records.size();
+      std::vector<uint32_t> order =
+          kind == TraversalKind::kBfs
+              ? graph::BfsOrder(*graph, static_cast<uint32_t>(start), budget)
+              : graph::DfsOrder(*graph, static_cast<uint32_t>(start), budget);
+      for (uint32_t v : order) records.push_back(v);
+      if (records.size() < k) {
+        // Component exhausted before k: cover its pairs now so the next
+        // FirstVertexWithAliveEdge call finds the next component.
+        graph->RemoveEdgesCoveredBy(records);
+      }
+    }
+    EmitHit(graph, &records, &hits);
+  }
+  return hits;
+}
+
+}  // namespace
+
+Result<std::vector<ClusterBasedHit>> BfsGenerator::Generate(graph::PairGraph* graph, uint32_t k) {
+  return TraversalGenerate(graph, k, TraversalKind::kBfs);
+}
+
+Result<std::vector<ClusterBasedHit>> DfsGenerator::Generate(graph::PairGraph* graph, uint32_t k) {
+  return TraversalGenerate(graph, k, TraversalKind::kDfs);
+}
+
+}  // namespace hitgen
+}  // namespace crowder

@@ -1,0 +1,58 @@
+// The three baseline cluster-HIT generators of §7.2: Random, BFS-based and
+// DFS-based. All respect Definition 1 (|H| <= k, every pair covered); they
+// differ only in how records are chosen for a HIT.
+#ifndef CROWDER_HITGEN_BASELINE_GENERATORS_H_
+#define CROWDER_HITGEN_BASELINE_GENERATORS_H_
+
+#include "common/rng.h"
+#include "hitgen/cluster_generator.h"
+
+namespace crowder {
+namespace hitgen {
+
+/// \brief Random baseline: repeatedly pick a random surviving pair and merge
+/// its records into the open HIT; emit the HIT when adding another pair
+/// would exceed k records, then remove all pairs the HIT covers.
+class RandomGenerator : public ClusterHitGenerator {
+ public:
+  explicit RandomGenerator(uint64_t seed = 42) : seed_(seed) {}
+
+  const std::string& name() const override {
+    static const std::string kName = "random";
+    return kName;
+  }
+
+  Result<std::vector<ClusterBasedHit>> Generate(graph::PairGraph* graph, uint32_t k) override;
+
+ private:
+  uint64_t seed_;
+};
+
+/// \brief BFS baseline: fill each HIT with vertices in breadth-first order
+/// over alive edges (restarting from the smallest-id vertex that still has
+/// an alive edge), emit at k records, remove covered pairs, repeat.
+class BfsGenerator : public ClusterHitGenerator {
+ public:
+  const std::string& name() const override {
+    static const std::string kName = "bfs";
+    return kName;
+  }
+
+  Result<std::vector<ClusterBasedHit>> Generate(graph::PairGraph* graph, uint32_t k) override;
+};
+
+/// \brief DFS baseline: as BfsGenerator but depth-first order.
+class DfsGenerator : public ClusterHitGenerator {
+ public:
+  const std::string& name() const override {
+    static const std::string kName = "dfs";
+    return kName;
+  }
+
+  Result<std::vector<ClusterBasedHit>> Generate(graph::PairGraph* graph, uint32_t k) override;
+};
+
+}  // namespace hitgen
+}  // namespace crowder
+
+#endif  // CROWDER_HITGEN_BASELINE_GENERATORS_H_

@@ -1,0 +1,56 @@
+#include "hitgen/cluster_generator.h"
+
+#include "hitgen/approximation_generator.h"
+#include "hitgen/baseline_generators.h"
+#include "hitgen/two_tiered_generator.h"
+
+namespace crowder {
+namespace hitgen {
+
+const char* ClusterAlgorithmName(ClusterAlgorithm algorithm) {
+  switch (algorithm) {
+    case ClusterAlgorithm::kRandom:
+      return "random";
+    case ClusterAlgorithm::kBfs:
+      return "bfs";
+    case ClusterAlgorithm::kDfs:
+      return "dfs";
+    case ClusterAlgorithm::kApproximation:
+      return "approximation";
+    case ClusterAlgorithm::kTwoTiered:
+      return "two-tiered";
+  }
+  return "?";
+}
+
+std::unique_ptr<ClusterHitGenerator> MakeClusterGenerator(ClusterAlgorithm algorithm,
+                                                          const ClusterGeneratorOptions& options) {
+  switch (algorithm) {
+    case ClusterAlgorithm::kRandom:
+      return std::make_unique<RandomGenerator>(options.seed);
+    case ClusterAlgorithm::kBfs:
+      return std::make_unique<BfsGenerator>();
+    case ClusterAlgorithm::kDfs:
+      return std::make_unique<DfsGenerator>();
+    case ClusterAlgorithm::kApproximation: {
+      ApproximationOptions approx;
+      approx.seed = options.seed;
+      return std::make_unique<ApproximationGenerator>(approx);
+    }
+    case ClusterAlgorithm::kTwoTiered:
+      return std::make_unique<TwoTieredGenerator>();
+  }
+  return nullptr;
+}
+
+Status ValidateGenerateArgs(const graph::PairGraph* graph, uint32_t k) {
+  if (graph == nullptr) return Status::InvalidArgument("graph is null");
+  if (k < 2) {
+    return Status::InvalidArgument("cluster-size threshold k must be >= 2, got " +
+                                   std::to_string(k));
+  }
+  return Status::OK();
+}
+
+}  // namespace hitgen
+}  // namespace crowder

@@ -1,0 +1,60 @@
+// The common interface for cluster-based HIT generators (§3.2) and the
+// factory over the five algorithms the paper evaluates (§7.2):
+// Random, BFS-based, DFS-based, Approximation (Goldschmidt), Two-tiered.
+#ifndef CROWDER_HITGEN_CLUSTER_GENERATOR_H_
+#define CROWDER_HITGEN_CLUSTER_GENERATOR_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "graph/pair_graph.h"
+#include "hitgen/hit.h"
+
+namespace crowder {
+namespace hitgen {
+
+/// \brief Produces cluster-based HITs (each with at most k records) covering
+/// every alive edge of the pair graph (Definition 1).
+class ClusterHitGenerator {
+ public:
+  virtual ~ClusterHitGenerator() = default;
+
+  /// Algorithm name for reports ("two-tiered", "bfs", ...).
+  virtual const std::string& name() const = 0;
+
+  /// Generates the HITs. The generator consumes edge liveness of `*graph`
+  /// (all alive edges are removed as they are covered); callers that need
+  /// the graph again should Reset() it afterwards.
+  ///
+  /// Requires k >= 2 (a HIT with fewer than two records verifies nothing).
+  virtual Result<std::vector<ClusterBasedHit>> Generate(graph::PairGraph* graph,
+                                                        uint32_t k) = 0;
+};
+
+/// \brief Algorithm selector for the factory.
+enum class ClusterAlgorithm { kRandom, kBfs, kDfs, kApproximation, kTwoTiered };
+
+const char* ClusterAlgorithmName(ClusterAlgorithm algorithm);
+
+/// \brief Options consumed by the factory. Individual generators also expose
+/// richer constructors for ablation studies.
+struct ClusterGeneratorOptions {
+  /// Seed for the stochastic generators (Random, Approximation's random
+  /// vertex order).
+  uint64_t seed = 42;
+};
+
+/// \brief Creates a generator for the given algorithm.
+std::unique_ptr<ClusterHitGenerator> MakeClusterGenerator(
+    ClusterAlgorithm algorithm, const ClusterGeneratorOptions& options = {});
+
+/// \brief Shared precondition check for Generate implementations.
+Status ValidateGenerateArgs(const graph::PairGraph* graph, uint32_t k);
+
+}  // namespace hitgen
+}  // namespace crowder
+
+#endif  // CROWDER_HITGEN_CLUSTER_GENERATOR_H_

@@ -1,0 +1,59 @@
+#include "hitgen/comparison_model.h"
+
+#include <algorithm>
+#include <unordered_map>
+
+#include "common/logging.h"
+
+namespace crowder {
+namespace hitgen {
+
+uint64_t ComparisonsInOrder(const std::vector<uint32_t>& entity_sizes) {
+  uint64_t n = 0;
+  for (uint32_t s : entity_sizes) {
+    CROWDER_CHECK_GT(s, 0u);
+    n += s;
+  }
+  if (n == 0) return 0;
+  uint64_t total = 0;
+  uint64_t identified = 0;
+  for (uint32_t s : entity_sizes) {
+    // Picking one record of the next entity and comparing it against every
+    // record not yet assigned to an identified entity.
+    total += n - 1 - identified;
+    identified += s;
+  }
+  return total;
+}
+
+uint64_t MinComparisons(std::vector<uint32_t> entity_sizes) {
+  std::sort(entity_sizes.begin(), entity_sizes.end(), std::greater<uint32_t>());
+  return ComparisonsInOrder(entity_sizes);
+}
+
+uint64_t MaxComparisons(std::vector<uint32_t> entity_sizes) {
+  std::sort(entity_sizes.begin(), entity_sizes.end());
+  return ComparisonsInOrder(entity_sizes);
+}
+
+std::vector<uint32_t> EntitySizesInHit(const ClusterBasedHit& hit,
+                                       const std::vector<uint32_t>& entity_of) {
+  std::unordered_map<uint32_t, size_t> entity_slot;  // entity id -> index in sizes
+  std::vector<uint32_t> sizes;
+  for (uint32_t r : hit.records) {
+    CROWDER_CHECK_LT(static_cast<size_t>(r), entity_of.size());
+    const uint32_t e = entity_of[r];
+    auto [it, inserted] = entity_slot.emplace(e, sizes.size());
+    if (inserted) {
+      sizes.push_back(1);
+    } else {
+      ++sizes[it->second];
+    }
+  }
+  return sizes;
+}
+
+uint64_t PairHitComparisons(const PairBasedHit& hit) { return hit.pairs.size(); }
+
+}  // namespace hitgen
+}  // namespace crowder

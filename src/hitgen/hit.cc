@@ -1,0 +1,61 @@
+#include "hitgen/hit.h"
+
+#include <algorithm>
+#include <unordered_set>
+
+namespace crowder {
+namespace hitgen {
+
+std::vector<graph::Edge> ClusterBasedHit::CoveredPairs(const graph::PairGraph& universe) const {
+  std::vector<graph::Edge> out;
+  for (size_t i = 0; i < records.size(); ++i) {
+    for (size_t j = i + 1; j < records.size(); ++j) {
+      const uint32_t a = std::min(records[i], records[j]);
+      const uint32_t b = std::max(records[i], records[j]);
+      if (universe.HasEdge(a, b)) out.push_back({a, b});
+    }
+  }
+  std::sort(out.begin(), out.end(), [](const graph::Edge& x, const graph::Edge& y) {
+    return x.a != y.a ? x.a < y.a : x.b < y.b;
+  });
+  return out;
+}
+
+Status ValidateClusterCover(const std::vector<ClusterBasedHit>& hits,
+                            const graph::PairGraph& universe, uint32_t k) {
+  for (size_t h = 0; h < hits.size(); ++h) {
+    if (hits[h].records.size() > k) {
+      return Status::InvalidArgument("HIT " + std::to_string(h) + " has " +
+                                     std::to_string(hits[h].records.size()) +
+                                     " records, exceeding k=" + std::to_string(k));
+    }
+    for (uint32_t r : hits[h].records) {
+      if (r >= universe.num_vertices()) {
+        return Status::OutOfRange("HIT " + std::to_string(h) + " references record " +
+                                  std::to_string(r));
+      }
+    }
+  }
+  // Requirement 2 of Definition 1: every pair covered by some HIT.
+  std::unordered_set<uint64_t> covered;
+  for (const auto& hit : hits) {
+    for (size_t i = 0; i < hit.records.size(); ++i) {
+      for (size_t j = i + 1; j < hit.records.size(); ++j) {
+        const uint64_t a = std::min(hit.records[i], hit.records[j]);
+        const uint64_t b = std::max(hit.records[i], hit.records[j]);
+        covered.insert((a << 32) | b);
+      }
+    }
+  }
+  for (const graph::Edge& e : universe.AllEdges()) {
+    const uint64_t key = (static_cast<uint64_t>(e.a) << 32) | e.b;
+    if (covered.find(key) == covered.end()) {
+      return Status::InvalidArgument("pair (" + std::to_string(e.a) + "," + std::to_string(e.b) +
+                                     ") is not covered by any HIT");
+    }
+  }
+  return Status::OK();
+}
+
+}  // namespace hitgen
+}  // namespace crowder

@@ -1,0 +1,63 @@
+#include "hitgen/hit_renderer.h"
+
+#include <algorithm>
+
+namespace crowder {
+namespace hitgen {
+
+namespace {
+
+Status CheckRecord(const data::Table& table, uint32_t record) {
+  if (record >= table.num_records()) {
+    return Status::OutOfRange("HIT references record " + std::to_string(record) +
+                              " beyond table size " + std::to_string(table.num_records()));
+  }
+  return Status::OK();
+}
+
+// One record as "attr1 | attr2 | ..." with a fixed-width id column.
+std::string RecordLine(const data::Table& table, uint32_t record) {
+  std::string line = "r" + std::to_string(record + 1) + ": ";
+  for (size_t a = 0; a < table.num_attributes(); ++a) {
+    if (a > 0) line += " | ";
+    line += table.records[record][a];
+  }
+  return line;
+}
+
+}  // namespace
+
+Result<std::string> RenderPairHit(const data::Table& table, const PairBasedHit& hit) {
+  std::string out;
+  out += "=== Find Duplicate Products (pair-based HIT) ===\n";
+  out += "For each pair below, decide whether the two records refer to the\n";
+  out += "same entity. Answer every pair to submit. (" + std::to_string(hit.pairs.size()) +
+         " pairs)\n\n";
+  for (size_t i = 0; i < hit.pairs.size(); ++i) {
+    CROWDER_RETURN_NOT_OK(CheckRecord(table, hit.pairs[i].a));
+    CROWDER_RETURN_NOT_OK(CheckRecord(table, hit.pairs[i].b));
+    out += "Pair " + std::to_string(i + 1) + ":\n";
+    out += "  A) " + RecordLine(table, hit.pairs[i].a) + "\n";
+    out += "  B) " + RecordLine(table, hit.pairs[i].b) + "\n";
+    out += "  ( ) They are the same entity   ( ) They are different entities\n\n";
+  }
+  return out;
+}
+
+Result<std::string> RenderClusterHit(const data::Table& table, const ClusterBasedHit& hit) {
+  std::string out;
+  out += "=== Find Duplicate Products (cluster-based HIT) ===\n";
+  out += "Assign the same label to records that refer to the same entity.\n";
+  out += "Tip: sort by a column or drag rows next to each other to compare.\n";
+  out += "(" + std::to_string(hit.records.size()) + " records)\n\n";
+  out += "  label | record\n";
+  out += "  ------+-------\n";
+  for (uint32_t record : hit.records) {
+    CROWDER_RETURN_NOT_OK(CheckRecord(table, record));
+    out += "  [   ] | " + RecordLine(table, record) + "\n";
+  }
+  return out;
+}
+
+}  // namespace hitgen
+}  // namespace crowder

@@ -1,0 +1,28 @@
+// Textual rendering of HITs — the task a worker actually sees (the paper's
+// Figure 3 pair-based and Figure 4 cluster-based interfaces, as text).
+// Useful for debugging HIT generation, for exporting tasks to a real
+// crowdsourcing platform, and for the examples.
+#ifndef CROWDER_HITGEN_HIT_RENDERER_H_
+#define CROWDER_HITGEN_HIT_RENDERER_H_
+
+#include <string>
+
+#include "common/result.h"
+#include "data/dataset.h"
+#include "hitgen/hit.h"
+
+namespace crowder {
+namespace hitgen {
+
+/// \brief Renders a pair-based HIT (Figure 3): instructions plus one
+/// same/different question per pair, showing full records.
+Result<std::string> RenderPairHit(const data::Table& table, const PairBasedHit& hit);
+
+/// \brief Renders a cluster-based HIT (Figure 4): instructions plus the
+/// record table whose rows workers label with matching colors.
+Result<std::string> RenderClusterHit(const data::Table& table, const ClusterBasedHit& hit);
+
+}  // namespace hitgen
+}  // namespace crowder
+
+#endif  // CROWDER_HITGEN_HIT_RENDERER_H_

@@ -1,0 +1,24 @@
+#include "hitgen/pair_hit_generator.h"
+
+namespace crowder {
+namespace hitgen {
+
+Result<std::vector<PairBasedHit>> GeneratePairHits(const std::vector<graph::Edge>& pairs,
+                                                   uint32_t pairs_per_hit) {
+  if (pairs_per_hit == 0) {
+    return Status::InvalidArgument("pairs_per_hit must be positive");
+  }
+  std::vector<PairBasedHit> hits;
+  hits.reserve((pairs.size() + pairs_per_hit - 1) / pairs_per_hit);
+  for (size_t start = 0; start < pairs.size(); start += pairs_per_hit) {
+    PairBasedHit hit;
+    const size_t end = std::min(pairs.size(), start + pairs_per_hit);
+    hit.pairs.assign(pairs.begin() + static_cast<long>(start),
+                     pairs.begin() + static_cast<long>(end));
+    hits.push_back(std::move(hit));
+  }
+  return hits;
+}
+
+}  // namespace hitgen
+}  // namespace crowder

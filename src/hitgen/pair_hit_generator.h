@@ -1,0 +1,23 @@
+// Pair-based HIT generation (§3.1): chunk the surviving pairs into batches
+// of at most `pairs_per_hit`, producing ceil(|P| / pairs_per_hit) HITs.
+#ifndef CROWDER_HITGEN_PAIR_HIT_GENERATOR_H_
+#define CROWDER_HITGEN_PAIR_HIT_GENERATOR_H_
+
+#include <vector>
+
+#include "common/result.h"
+#include "hitgen/hit.h"
+
+namespace crowder {
+namespace hitgen {
+
+/// \brief Batches `pairs` into pair-based HITs of at most `pairs_per_hit`.
+/// Pairs keep their input order (the workflow feeds them sorted by record
+/// ids, so HITs group related records, which mildly helps workers).
+Result<std::vector<PairBasedHit>> GeneratePairHits(const std::vector<graph::Edge>& pairs,
+                                                   uint32_t pairs_per_hit);
+
+}  // namespace hitgen
+}  // namespace crowder
+
+#endif  // CROWDER_HITGEN_PAIR_HIT_GENERATOR_H_

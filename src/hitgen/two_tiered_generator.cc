@@ -1,0 +1,150 @@
+#include "hitgen/two_tiered_generator.h"
+
+#include <algorithm>
+#include <unordered_set>
+
+namespace crowder {
+namespace hitgen {
+
+namespace {
+
+// Seed vertex for a new part within `lcc`, or -1 when the component has no
+// alive edge left.
+int64_t PickSeed(const graph::PairGraph& graph, const std::vector<uint32_t>& lcc,
+                 PartitionOptions::SeedRule rule) {
+  int64_t best = -1;
+  uint32_t best_degree = 0;
+  for (uint32_t v : lcc) {
+    const uint32_t d = graph.AliveDegree(v);
+    if (d == 0) continue;
+    switch (rule) {
+      case PartitionOptions::SeedRule::kMaxDegree:
+        if (d > best_degree || (d == best_degree && best >= 0 && v < best)) {
+          best_degree = d;
+          best = v;
+        } else if (best < 0) {
+          best_degree = d;
+          best = v;
+        }
+        break;
+      case PartitionOptions::SeedRule::kFirst:
+        return v;  // lcc is ascending, so the first alive vertex is smallest
+    }
+  }
+  return best;
+}
+
+}  // namespace
+
+std::vector<std::vector<uint32_t>> PartitionLcc(graph::PairGraph* graph,
+                                                const std::vector<uint32_t>& lcc, uint32_t k,
+                                                const PartitionOptions& options) {
+  std::vector<std::vector<uint32_t>> parts;
+  std::vector<char> in_scc(graph->num_vertices(), 0);
+  std::vector<char> in_conn(graph->num_vertices(), 0);
+  // indegree[r] = alive edges from r into the part under construction,
+  // maintained incrementally as vertices join (keeps each part
+  // O(k·degree + |conn|·k) instead of rescanning adjacency per candidate).
+  std::vector<uint32_t> indegree(graph->num_vertices(), 0);
+
+  // Outer loop of Algorithm 2: one highly-connected part per iteration.
+  for (;;) {
+    const int64_t seed = PickSeed(*graph, lcc, options.seed_rule);
+    if (seed < 0) break;  // no alive edges remain in this component
+
+    std::vector<uint32_t> scc{static_cast<uint32_t>(seed)};
+    in_scc[seed] = 1;
+    std::vector<uint32_t> conn;
+    graph->ForEachAliveNeighbor(static_cast<uint32_t>(seed), [&](uint32_t u) {
+      if (!in_conn[u]) {
+        in_conn[u] = 1;
+        indegree[u] = 1;
+        conn.push_back(u);
+      }
+    });
+
+    while (scc.size() < k && !conn.empty()) {
+      // Candidate with maximum indegree; ties by minimum outdegree (if
+      // enabled), then smallest id for determinism.
+      size_t best_pos = 0;
+      uint32_t best_in = 0;
+      uint32_t best_out = UINT32_MAX;
+      for (size_t pos = 0; pos < conn.size(); ++pos) {
+        const uint32_t r = conn[pos];
+        const uint32_t indeg = indegree[r];
+        const uint32_t outdeg = graph->AliveDegree(r) - indeg;
+        bool better = false;
+        if (indeg > best_in) {
+          better = true;
+        } else if (indeg == best_in) {
+          if (options.outdegree_tiebreak && outdeg != best_out) {
+            better = outdeg < best_out;
+          } else {
+            better = r < conn[best_pos];
+          }
+        }
+        if (better) {
+          best_pos = pos;
+          best_in = indeg;
+          best_out = outdeg;
+        }
+      }
+      const uint32_t chosen = conn[best_pos];
+      conn[best_pos] = conn.back();
+      conn.pop_back();
+      in_conn[chosen] = 0;
+      in_scc[chosen] = 1;
+      scc.push_back(chosen);
+      graph->ForEachAliveNeighbor(chosen, [&](uint32_t u) {
+        if (in_scc[u]) return;
+        if (!in_conn[u]) {
+          in_conn[u] = 1;
+          indegree[u] = 0;
+          conn.push_back(u);
+        }
+        ++indegree[u];
+      });
+    }
+
+    // Emit the part and remove the edges it covers (Algorithm 2 lines 13-14).
+    std::sort(scc.begin(), scc.end());
+    graph->RemoveEdgesCoveredBy(scc);
+    for (uint32_t v : scc) in_scc[v] = 0;
+    for (uint32_t v : conn) {
+      in_conn[v] = 0;
+      indegree[v] = 0;
+    }
+    parts.push_back(std::move(scc));
+  }
+  return parts;
+}
+
+Result<std::vector<ClusterBasedHit>> TwoTieredGenerator::Generate(graph::PairGraph* graph,
+                                                                  uint32_t k) {
+  CROWDER_RETURN_NOT_OK(ValidateGenerateArgs(graph, k));
+
+  // Initial step (Algorithm 1 lines 2-4): split components by size.
+  std::vector<graph::Component> components = graph::ConnectedComponents(*graph);
+  graph::SplitComponents split = graph::SplitBySize(std::move(components), k);
+
+  // Top tier (line 5): partition every LCC into small components.
+  std::vector<std::vector<uint32_t>> sccs = std::move(split.small);
+  for (const auto& lcc : split.large) {
+    auto parts = PartitionLcc(graph, lcc, k, options_.partition);
+    for (auto& part : parts) sccs.push_back(std::move(part));
+  }
+
+  // Bottom tier (line 6): pack all small components into HITs.
+  CROWDER_ASSIGN_OR_RETURN(auto hits, PackSccs(sccs, k, options_.packing));
+
+  // Natural small components were packed whole; mark their edges consumed so
+  // the post-condition (no alive edges) matches the other generators.
+  for (const auto& hit : hits) {
+    graph->RemoveEdgesCoveredBy(hit.records);
+  }
+  CROWDER_DCHECK(!graph->HasAliveEdges());
+  return hits;
+}
+
+}  // namespace hitgen
+}  // namespace crowder

@@ -1,0 +1,304 @@
+#include "lp/cutting_stock.h"
+
+#include <algorithm>
+#include <cmath>
+#include <unordered_map>
+
+#include "common/logging.h"
+#include "lp/knapsack.h"
+#include "lp/simplex.h"
+
+namespace crowder {
+namespace lp {
+
+uint32_t PatternWeight(const Pattern& pattern) {
+  uint32_t w = 0;
+  for (size_t j = 0; j < pattern.size(); ++j) {
+    w += pattern[j] * static_cast<uint32_t>(j + 1);
+  }
+  return w;
+}
+
+Result<std::vector<std::vector<uint32_t>>> FirstFitDecreasing(
+    uint32_t capacity, const std::vector<uint32_t>& item_sizes) {
+  for (uint32_t s : item_sizes) {
+    if (s > capacity) {
+      return Status::InvalidArgument("item of size " + std::to_string(s) +
+                                     " exceeds capacity " + std::to_string(capacity));
+    }
+    if (s == 0) return Status::InvalidArgument("zero-size item");
+  }
+  std::vector<uint32_t> order(item_sizes.size());
+  for (uint32_t i = 0; i < order.size(); ++i) order[i] = i;
+  std::stable_sort(order.begin(), order.end(),
+                   [&](uint32_t a, uint32_t b) { return item_sizes[a] > item_sizes[b]; });
+
+  std::vector<std::vector<uint32_t>> bins;
+  std::vector<uint32_t> slack;
+  for (uint32_t idx : order) {
+    const uint32_t s = item_sizes[idx];
+    bool placed = false;
+    for (size_t b = 0; b < bins.size(); ++b) {
+      if (slack[b] >= s) {
+        bins[b].push_back(idx);
+        slack[b] -= s;
+        placed = true;
+        break;
+      }
+    }
+    if (!placed) {
+      bins.push_back({idx});
+      slack.push_back(capacity - s);
+    }
+  }
+  return bins;
+}
+
+namespace {
+
+struct VectorHash {
+  size_t operator()(const std::vector<uint32_t>& v) const {
+    size_t h = 1469598103934665603ULL;
+    for (uint32_t x : v) {
+      h ^= x;
+      h *= 1099511628211ULL;
+    }
+    return h;
+  }
+};
+
+// Solves the LP relaxation by column generation. `active` maps master rows
+// to size indices (0-based: size = index+1). Returns the LP optimum and the
+// generated pattern pool (over all sizes, length = capacity entries trimmed
+// to demands.size()).
+Result<double> SolveLpByColumnGeneration(uint32_t capacity,
+                                         const std::vector<uint32_t>& demands,
+                                         const std::vector<size_t>& active,
+                                         const CuttingStockOptions& options,
+                                         std::vector<Pattern>* pool) {
+  // Seed columns: for each active size, a bin packed with copies of it.
+  for (size_t j : active) {
+    Pattern p(demands.size(), 0);
+    p[j] = capacity / static_cast<uint32_t>(j + 1);
+    pool->push_back(std::move(p));
+  }
+
+  double lp_value = 0.0;
+  for (int round = 0; round < options.max_colgen_rounds; ++round) {
+    LpProblem master;
+    master.objective.assign(pool->size(), 1.0);
+    master.constraints.reserve(active.size());
+    for (size_t j : active) {
+      LpConstraint con;
+      con.sense = Sense::kGe;
+      con.rhs = static_cast<double>(demands[j]);
+      con.coeffs.resize(pool->size());
+      for (size_t i = 0; i < pool->size(); ++i) {
+        con.coeffs[i] = static_cast<double>((*pool)[i][j]);
+      }
+      master.constraints.push_back(std::move(con));
+    }
+    CROWDER_ASSIGN_OR_RETURN(LpSolution sol, SolveLp(master));
+    lp_value = sol.objective;
+
+    // Pricing: most violated pattern under the duals.
+    std::vector<double> values(capacity, 0.0);
+    for (size_t row = 0; row < active.size(); ++row) {
+      values[active[row]] = sol.duals[row];
+    }
+    CROWDER_ASSIGN_OR_RETURN(KnapsackSolution priced, SolveUnboundedKnapsack(capacity, values));
+    if (priced.value <= 1.0 + options.eps) {
+      return lp_value;  // no improving column: LP optimal
+    }
+    Pattern p(demands.size(), 0);
+    for (size_t j = 0; j < priced.counts.size() && j < p.size(); ++j) p[j] = priced.counts[j];
+    pool->push_back(std::move(p));
+  }
+  CROWDER_LOG(Warning) << "column generation hit round cap; bound may be loose";
+  return lp_value;
+}
+
+// Enumerates patterns over `remaining` demand that are maximal: no further
+// item (with remaining demand) fits the residual capacity.
+void EnumerateMaximalPatterns(uint32_t capacity, const std::vector<uint32_t>& remaining,
+                              size_t size_index, Pattern* current,
+                              std::vector<Pattern>* out) {
+  if (size_index == static_cast<size_t>(-1) || size_index >= remaining.size()) {
+    // All sizes decided; maximality: no size with remaining demand fits.
+    const uint32_t used = PatternWeight(*current);
+    for (size_t j = 0; j < remaining.size(); ++j) {
+      const uint32_t item = static_cast<uint32_t>(j + 1);
+      if (remaining[j] > (*current)[j] && used + item <= capacity) return;  // extendable
+    }
+    if (used > 0) out->push_back(*current);
+    return;
+  }
+  const uint32_t item = static_cast<uint32_t>(size_index + 1);
+  const uint32_t used = PatternWeight(*current);
+  const uint32_t fit = (capacity - used) / item;
+  const uint32_t max_count = std::min<uint32_t>(remaining[size_index], fit);
+  // Descend sizes from large to small; try larger counts first (greedy-ish
+  // order helps find good incumbents early).
+  for (uint32_t c = max_count;; --c) {
+    (*current)[size_index] = c;
+    EnumerateMaximalPatterns(capacity, remaining,
+                             size_index == 0 ? static_cast<size_t>(-1) : size_index - 1, current,
+                             out);
+    if (c == 0) break;
+  }
+  (*current)[size_index] = 0;
+}
+
+uint32_t SimpleLowerBound(uint32_t capacity, const std::vector<uint32_t>& remaining) {
+  uint64_t total = 0;
+  for (size_t j = 0; j < remaining.size(); ++j) {
+    total += static_cast<uint64_t>(remaining[j]) * (j + 1);
+  }
+  return static_cast<uint32_t>((total + capacity - 1) / capacity);
+}
+
+// Depth-first branch-and-bound: fill one (maximal) bin at a time.
+class BinPackSearch {
+ public:
+  BinPackSearch(uint32_t capacity, int node_budget, double eps)
+      : capacity_(capacity), node_budget_(node_budget), eps_(eps) {}
+
+  // Returns the optimal bin count for `demand`, or the incumbent if the node
+  // budget ran out (sets exhausted()). Fills `solution` with one pattern per
+  // bin of the best packing found.
+  uint32_t Solve(const std::vector<uint32_t>& demand, uint32_t upper_bound,
+                 std::vector<Pattern>* solution) {
+    best_ = upper_bound;
+    best_chain_.clear();
+    chain_.clear();
+    Dfs(demand, 0);
+    *solution = best_chain_;
+    return best_;
+  }
+
+  bool exhausted() const { return nodes_ >= node_budget_; }
+
+ private:
+  void Dfs(const std::vector<uint32_t>& demand, uint32_t used_bins) {
+    if (nodes_ >= node_budget_) return;
+    ++nodes_;
+
+    const uint32_t lb = SimpleLowerBound(capacity_, demand);
+    if (lb == 0) {  // everything packed
+      if (used_bins < best_) {
+        best_ = used_bins;
+        best_chain_ = chain_;
+      }
+      return;
+    }
+    if (used_bins + lb >= best_) return;  // cannot improve
+
+    std::vector<Pattern> moves;
+    Pattern scratch(demand.size(), 0);
+    EnumerateMaximalPatterns(capacity_, demand, demand.size() - 1, &scratch, &moves);
+    // Prefer fuller bins first: they reach the lower bound fastest.
+    std::sort(moves.begin(), moves.end(), [](const Pattern& a, const Pattern& b) {
+      return PatternWeight(a) > PatternWeight(b);
+    });
+    for (const Pattern& mv : moves) {
+      std::vector<uint32_t> next = demand;
+      for (size_t j = 0; j < next.size(); ++j) next[j] -= std::min(next[j], mv[j]);
+      chain_.push_back(mv);
+      Dfs(next, used_bins + 1);
+      chain_.pop_back();
+      if (used_bins + lb >= best_) return;  // incumbent now matches bound
+      if (nodes_ >= node_budget_) return;
+    }
+  }
+
+  uint32_t capacity_;
+  int node_budget_;
+  double eps_;
+  int nodes_ = 0;
+  uint32_t best_ = UINT32_MAX;
+  std::vector<Pattern> chain_;
+  std::vector<Pattern> best_chain_;
+};
+
+// Aggregates a list of per-bin patterns into (distinct pattern, count) pairs.
+void AggregatePatterns(const std::vector<Pattern>& bins, CuttingStockResult* result) {
+  std::unordered_map<std::vector<uint32_t>, uint32_t, VectorHash> tally;
+  for (const Pattern& p : bins) ++tally[p];
+  for (auto& [pattern, count] : tally) {
+    result->patterns.push_back(pattern);
+    result->counts.push_back(count);
+  }
+}
+
+}  // namespace
+
+Result<CuttingStockResult> SolveCuttingStock(uint32_t capacity,
+                                             const std::vector<uint32_t>& demands,
+                                             const CuttingStockOptions& options) {
+  if (capacity == 0) return Status::InvalidArgument("capacity must be positive");
+  for (size_t j = 0; j < demands.size(); ++j) {
+    if (demands[j] > 0 && j + 1 > capacity) {
+      return Status::InvalidArgument("demanded size " + std::to_string(j + 1) +
+                                     " exceeds capacity " + std::to_string(capacity));
+    }
+  }
+
+  CuttingStockResult result;
+  std::vector<size_t> active;
+  for (size_t j = 0; j < demands.size(); ++j) {
+    if (demands[j] > 0) active.push_back(j);
+  }
+  if (active.empty()) {
+    result.proven_optimal = true;
+    return result;
+  }
+
+  // 1. LP lower bound via column generation.
+  std::vector<Pattern> pool;
+  CROWDER_ASSIGN_OR_RETURN(result.lp_bound, SolveLpByColumnGeneration(capacity, demands, active,
+                                                                      options, &pool));
+  const uint32_t round_up =
+      static_cast<uint32_t>(std::ceil(result.lp_bound - options.eps));
+
+  // 2. Incumbent via first-fit-decreasing.
+  std::vector<uint32_t> items;
+  for (size_t j : active) {
+    items.insert(items.end(), demands[j], static_cast<uint32_t>(j + 1));
+  }
+  CROWDER_ASSIGN_OR_RETURN(auto ffd_bins, FirstFitDecreasing(capacity, items));
+  std::vector<Pattern> ffd_patterns;
+  ffd_patterns.reserve(ffd_bins.size());
+  for (const auto& bin : ffd_bins) {
+    Pattern p(demands.size(), 0);
+    for (uint32_t idx : bin) ++p[items[idx] - 1];
+    ffd_patterns.push_back(std::move(p));
+  }
+
+  if (static_cast<uint32_t>(ffd_bins.size()) <= round_up || !options.exact) {
+    result.num_bins = static_cast<uint32_t>(ffd_bins.size());
+    result.proven_optimal = static_cast<uint32_t>(ffd_bins.size()) <= round_up;
+    AggregatePatterns(ffd_patterns, &result);
+    return result;
+  }
+
+  // 3. Branch-and-bound closes the gap.
+  BinPackSearch search(capacity, options.max_bb_nodes, options.eps);
+  std::vector<Pattern> bb_bins;
+  std::vector<uint32_t> demand_vec = demands;
+  const uint32_t bb_best =
+      search.Solve(demand_vec, static_cast<uint32_t>(ffd_bins.size()), &bb_bins);
+
+  if (bb_bins.empty() || bb_best >= ffd_bins.size()) {
+    result.num_bins = static_cast<uint32_t>(ffd_bins.size());
+    result.proven_optimal = !search.exhausted();
+    AggregatePatterns(ffd_patterns, &result);
+  } else {
+    result.num_bins = bb_best;
+    result.proven_optimal = !search.exhausted() || bb_best <= round_up;
+    AggregatePatterns(bb_bins, &result);
+  }
+  return result;
+}
+
+}  // namespace lp
+}  // namespace crowder

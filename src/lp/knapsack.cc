@@ -1,0 +1,54 @@
+#include "lp/knapsack.h"
+
+#include <algorithm>
+
+namespace crowder {
+namespace lp {
+
+Result<KnapsackSolution> SolveUnboundedKnapsack(uint32_t capacity,
+                                                const std::vector<double>& values) {
+  if (values.empty()) {
+    return Status::InvalidArgument("knapsack needs at least one item size");
+  }
+  const size_t num_sizes = values.size();
+  if (num_sizes > capacity) {
+    return Status::InvalidArgument("largest item size " + std::to_string(num_sizes) +
+                                   " exceeds capacity " + std::to_string(capacity));
+  }
+
+  // best[w] = max value using total weight exactly <= w; choice[w] = item
+  // taken to reach best[w], or -1.
+  std::vector<double> best(capacity + 1, 0.0);
+  std::vector<int> choice(capacity + 1, -1);
+  for (uint32_t w = 1; w <= capacity; ++w) {
+    best[w] = best[w - 1];
+    choice[w] = choice[w - 1] == -1 ? -1 : -2;  // -2: inherit from w-1 (no new item)
+    for (size_t j = 0; j < num_sizes; ++j) {
+      const uint32_t size = static_cast<uint32_t>(j + 1);
+      if (size > w || values[j] <= 0.0) continue;
+      const double cand = best[w - size] + values[j];
+      if (cand > best[w] + 1e-12) {
+        best[w] = cand;
+        choice[w] = static_cast<int>(j);
+      }
+    }
+  }
+
+  KnapsackSolution sol;
+  sol.counts.assign(num_sizes, 0);
+  sol.value = best[capacity];
+  uint32_t w = capacity;
+  while (w > 0) {
+    const int ch = choice[w];
+    if (ch >= 0) {
+      ++sol.counts[static_cast<size_t>(ch)];
+      w -= static_cast<uint32_t>(ch + 1);
+    } else {
+      --w;  // inherited (or empty): move down
+    }
+  }
+  return sol;
+}
+
+}  // namespace lp
+}  // namespace crowder

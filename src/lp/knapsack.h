@@ -1,0 +1,33 @@
+// Unbounded integer knapsack, the pricing problem of cutting-stock column
+// generation: find the feasible HIT pattern whose dual-weighted value is
+// maximum. Items are sizes 1..max_size with weight == size.
+#ifndef CROWDER_LP_KNAPSACK_H_
+#define CROWDER_LP_KNAPSACK_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/result.h"
+
+namespace crowder {
+namespace lp {
+
+/// \brief Result of the pricing knapsack.
+struct KnapsackSolution {
+  /// counts[j] = how many items of size j+1 are used.
+  std::vector<uint32_t> counts;
+  double value = 0.0;
+};
+
+/// \brief Maximizes sum_j value[j] * counts[j] subject to
+/// sum_j (j+1) * counts[j] <= capacity, counts integer >= 0.
+///
+/// `values[j]` is the profit of one item of size j+1 (typically an LP dual;
+/// negative values are never taken). O(capacity * #sizes) DP.
+Result<KnapsackSolution> SolveUnboundedKnapsack(uint32_t capacity,
+                                                const std::vector<double>& values);
+
+}  // namespace lp
+}  // namespace crowder
+
+#endif  // CROWDER_LP_KNAPSACK_H_

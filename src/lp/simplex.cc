@@ -1,0 +1,252 @@
+#include "lp/simplex.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "common/logging.h"
+
+namespace crowder {
+namespace lp {
+
+namespace {
+
+// Dense column-major working form: min c'x s.t. Ax = b (b >= 0), x >= 0,
+// with artificial variables appended for the phase-1 basis.
+class RevisedSimplex {
+ public:
+  RevisedSimplex(size_t m, size_t n, std::vector<double> a_colmajor, std::vector<double> b,
+                 std::vector<double> c, double eps, int max_iterations)
+      : m_(m),
+        n_(n),
+        a_(std::move(a_colmajor)),
+        b_(std::move(b)),
+        c_(std::move(c)),
+        eps_(eps),
+        max_iterations_(max_iterations) {}
+
+  // Runs phase 1 (artificials) then phase 2. Returns status; on OK the
+  // accessors below are valid.
+  Status Solve() {
+    // Phase 1: append m artificial columns forming an identity basis.
+    const size_t total = n_ + m_;
+    a_.resize(total * m_, 0.0);
+    for (size_t i = 0; i < m_; ++i) a_[(n_ + i) * m_ + i] = 1.0;
+
+    std::vector<double> phase1_cost(total, 0.0);
+    for (size_t j = n_; j < total; ++j) phase1_cost[j] = 1.0;
+
+    basis_.resize(m_);
+    for (size_t i = 0; i < m_; ++i) basis_[i] = n_ + i;
+    binv_.assign(m_ * m_, 0.0);
+    for (size_t i = 0; i < m_; ++i) binv_[i * m_ + i] = 1.0;
+    RefreshXb();
+
+    CROWDER_RETURN_NOT_OK(RunPhase(phase1_cost, total, /*blocked_from=*/total));
+    if (Objective(phase1_cost) > 1e-7) {
+      return Status::Infeasible("phase-1 optimum positive: no feasible point");
+    }
+    // Drive any lingering (degenerate, value ~0) artificials out of the basis
+    // when a structural pivot exists; rows with no structural pivot are
+    // redundant and keep a zero artificial harmlessly.
+    for (size_t i = 0; i < m_; ++i) {
+      if (basis_[i] < n_) continue;
+      for (size_t j = 0; j < n_; ++j) {
+        if (IsBasic(j)) continue;
+        const double piv = RowDotColumn(i, j);
+        if (std::fabs(piv) > 1e-7) {
+          Pivot(i, j);
+          break;
+        }
+      }
+    }
+
+    // Phase 2: original costs; artificials may never re-enter.
+    std::vector<double> phase2_cost = c_;
+    phase2_cost.resize(total, 0.0);
+    CROWDER_RETURN_NOT_OK(RunPhase(phase2_cost, total, /*blocked_from=*/n_));
+    final_cost_ = std::move(phase2_cost);
+    return Status::OK();
+  }
+
+  std::vector<double> StructuralSolution() const {
+    std::vector<double> x(n_, 0.0);
+    for (size_t i = 0; i < m_; ++i) {
+      if (basis_[i] < n_) x[basis_[i]] = xb_[i];
+    }
+    return x;
+  }
+
+  double ObjectiveValue() const { return Objective(final_cost_); }
+
+  std::vector<double> Duals() const {
+    // y' = c_B' B^{-1}
+    std::vector<double> y(m_, 0.0);
+    for (size_t i = 0; i < m_; ++i) {
+      const double cb = final_cost_[basis_[i]];
+      if (cb == 0.0) continue;
+      for (size_t r = 0; r < m_; ++r) y[r] += cb * binv_[i * m_ + r];
+    }
+    return y;
+  }
+
+ private:
+  bool IsBasic(size_t j) const {
+    return std::find(basis_.begin(), basis_.end(), j) != basis_.end();
+  }
+
+  double Objective(const std::vector<double>& cost) const {
+    double v = 0.0;
+    for (size_t i = 0; i < m_; ++i) v += cost[basis_[i]] * xb_[i];
+    return v;
+  }
+
+  // (B^{-1} A_j)_i
+  double RowDotColumn(size_t i, size_t j) const {
+    const double* col = &a_[j * m_];
+    double v = 0.0;
+    for (size_t r = 0; r < m_; ++r) v += binv_[i * m_ + r] * col[r];
+    return v;
+  }
+
+  void RefreshXb() {
+    xb_.assign(m_, 0.0);
+    for (size_t i = 0; i < m_; ++i) {
+      for (size_t r = 0; r < m_; ++r) xb_[i] += binv_[i * m_ + r] * b_[r];
+    }
+  }
+
+  // Replaces basis row `row` with column `enter`, updating B^{-1} and xb.
+  void Pivot(size_t row, size_t enter) {
+    std::vector<double> d(m_);
+    for (size_t i = 0; i < m_; ++i) d[i] = RowDotColumn(i, enter);
+    const double piv = d[row];
+    CROWDER_DCHECK(std::fabs(piv) > 0);
+    for (size_t r = 0; r < m_; ++r) binv_[row * m_ + r] /= piv;
+    for (size_t i = 0; i < m_; ++i) {
+      if (i == row || std::fabs(d[i]) < 1e-14) continue;
+      for (size_t r = 0; r < m_; ++r) binv_[i * m_ + r] -= d[i] * binv_[row * m_ + r];
+    }
+    basis_[row] = enter;
+    RefreshXb();
+  }
+
+  Status RunPhase(const std::vector<double>& cost, size_t total, size_t blocked_from) {
+    const int bland_after = static_cast<int>(10 * (m_ + total));
+    for (int iter = 0; iter < max_iterations_; ++iter) {
+      // y = c_B B^{-1}
+      std::vector<double> y(m_, 0.0);
+      for (size_t i = 0; i < m_; ++i) {
+        const double cb = cost[basis_[i]];
+        if (cb == 0.0) continue;
+        for (size_t r = 0; r < m_; ++r) y[r] += cb * binv_[i * m_ + r];
+      }
+      // Entering variable: most negative reduced cost (Dantzig), or Bland
+      // (first negative) once past the anti-cycling threshold.
+      const bool bland = iter >= bland_after;
+      size_t enter = total;
+      double best_rc = -eps_;
+      for (size_t j = 0; j < total; ++j) {
+        if (j >= blocked_from || IsBasic(j)) continue;
+        const double* col = &a_[j * m_];
+        double rc = cost[j];
+        for (size_t r = 0; r < m_; ++r) rc -= y[r] * col[r];
+        if (rc < best_rc) {
+          enter = j;
+          if (bland) break;
+          best_rc = rc;
+        }
+      }
+      if (enter == total) return Status::OK();  // optimal
+
+      // Ratio test.
+      size_t leave = m_;
+      double best_ratio = std::numeric_limits<double>::infinity();
+      for (size_t i = 0; i < m_; ++i) {
+        const double di = RowDotColumn(i, enter);
+        if (di > eps_) {
+          const double ratio = xb_[i] / di;
+          if (ratio < best_ratio - eps_ ||
+              (ratio < best_ratio + eps_ && (leave == m_ || basis_[i] < basis_[leave]))) {
+            best_ratio = ratio;
+            leave = i;
+          }
+        }
+      }
+      if (leave == m_) return Status::Unbounded("objective unbounded below");
+      Pivot(leave, enter);
+    }
+    return Status::Internal("simplex iteration limit exceeded");
+  }
+
+  size_t m_;
+  size_t n_;
+  std::vector<double> a_;  // column-major, m_ rows
+  std::vector<double> b_;
+  std::vector<double> c_;
+  double eps_;
+  int max_iterations_;
+
+  std::vector<size_t> basis_;
+  std::vector<double> binv_;  // row-major m x m
+  std::vector<double> xb_;
+  std::vector<double> final_cost_;
+};
+
+}  // namespace
+
+Result<LpSolution> SolveLp(const LpProblem& problem, const SimplexOptions& options) {
+  const size_t n_struct = problem.objective.size();
+  const size_t m = problem.constraints.size();
+  for (const auto& con : problem.constraints) {
+    if (con.coeffs.size() != n_struct) {
+      return Status::InvalidArgument("constraint has " + std::to_string(con.coeffs.size()) +
+                                     " coefficients, expected " + std::to_string(n_struct));
+    }
+  }
+
+  // Normalize rows to rhs >= 0 and count slack/surplus columns.
+  size_t n_extra = 0;
+  for (const auto& con : problem.constraints) {
+    if (con.sense != Sense::kEq) ++n_extra;
+  }
+  const size_t n = n_struct + n_extra;
+
+  std::vector<double> a(n * m, 0.0);  // column-major
+  std::vector<double> b(m, 0.0);
+  std::vector<double> c(n, 0.0);
+  for (size_t j = 0; j < n_struct; ++j) {
+    c[j] = problem.maximize ? -problem.objective[j] : problem.objective[j];
+  }
+
+  size_t extra = 0;
+  for (size_t i = 0; i < m; ++i) {
+    const auto& con = problem.constraints[i];
+    const bool flip = con.rhs < 0.0;
+    const double sign = flip ? -1.0 : 1.0;
+    b[i] = sign * con.rhs;
+    for (size_t j = 0; j < n_struct; ++j) a[j * m + i] = sign * con.coeffs[j];
+    if (con.sense != Sense::kEq) {
+      // kLe gains +slack, kGe gains -surplus; a flipped row swaps roles.
+      double coef = (con.sense == Sense::kLe) ? 1.0 : -1.0;
+      if (flip) coef = -coef;
+      a[(n_struct + extra) * m + i] = coef;
+      ++extra;
+    }
+  }
+
+  RevisedSimplex solver(m, n, std::move(a), std::move(b), std::move(c), options.eps,
+                        options.max_iterations);
+  CROWDER_RETURN_NOT_OK(solver.Solve());
+
+  LpSolution sol;
+  std::vector<double> full = solver.StructuralSolution();
+  sol.x.assign(full.begin(), full.begin() + static_cast<long>(n_struct));
+  const double internal_obj = solver.ObjectiveValue();
+  sol.objective = problem.maximize ? -internal_obj : internal_obj;
+  sol.duals = solver.Duals();
+  return sol;
+}
+
+}  // namespace lp
+}  // namespace crowder

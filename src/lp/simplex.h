@@ -1,0 +1,63 @@
+// A dense two-phase revised simplex solver for small linear programs.
+//
+// CrowdER's bottom tier (§5.3) formulates SCC packing as a cutting-stock
+// integer program solved by column generation and branch-and-bound
+// (refs [14, 25]). Column generation needs an LP solver that exposes dual
+// values; the restricted master problems here have at most k rows (k = the
+// cluster-size threshold, ~5-20), so a dense implementation is the right
+// tool: simple, exact to machine precision, no external dependency.
+#ifndef CROWDER_LP_SIMPLEX_H_
+#define CROWDER_LP_SIMPLEX_H_
+
+#include <vector>
+
+#include "common/result.h"
+
+namespace crowder {
+namespace lp {
+
+enum class Sense { kLe, kGe, kEq };
+
+/// \brief One linear constraint: coeffs · x  (sense)  rhs.
+struct LpConstraint {
+  std::vector<double> coeffs;
+  Sense sense = Sense::kLe;
+  double rhs = 0.0;
+};
+
+/// \brief minimize (or maximize) objective · x subject to constraints, x >= 0.
+struct LpProblem {
+  std::vector<double> objective;
+  std::vector<LpConstraint> constraints;
+  bool maximize = false;
+};
+
+/// \brief Optimal solution of an LpProblem.
+///
+/// `duals[i]` is the multiplier of constraint i in the *equality form the
+/// solver actually pivots on*, i.e. after any row with negative rhs has been
+/// negated. For a minimization problem whose rows are `>=` with rhs >= 0
+/// (the cutting-stock master), duals[i] is the usual non-negative covering
+/// dual. For a maximization input, duals refer to the internal minimization
+/// of -objective.
+struct LpSolution {
+  std::vector<double> x;  ///< structural variables only
+  double objective = 0.0; ///< in the caller's orientation (max or min)
+  std::vector<double> duals;
+};
+
+struct SimplexOptions {
+  double eps = 1e-9;
+  /// Hard iteration cap (per phase); exceeded => Internal error. The solver
+  /// switches from Dantzig to Bland's anti-cycling rule well before this.
+  int max_iterations = 50000;
+};
+
+/// \brief Solves the LP. Errors: Infeasible, Unbounded, InvalidArgument
+/// (ragged coefficient rows), Internal (iteration cap).
+Result<LpSolution> SolveLp(const LpProblem& problem, const SimplexOptions& options = {});
+
+}  // namespace lp
+}  // namespace crowder
+
+#endif  // CROWDER_LP_SIMPLEX_H_

@@ -1,0 +1,107 @@
+#include "ml/active_learning.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/logging.h"
+#include "common/rng.h"
+
+namespace crowder {
+namespace ml {
+
+Result<ActiveLearningResult> RunActiveLearning(
+    const std::vector<std::vector<double>>& features,
+    const std::function<bool(size_t)>& oracle, const ActiveLearningOptions& options) {
+  if (features.empty()) return Status::InvalidArgument("empty candidate pool");
+  if (!oracle) return Status::InvalidArgument("oracle must be callable");
+  if (options.initial_sample == 0 || options.batch_size == 0) {
+    return Status::InvalidArgument("initial_sample and batch_size must be positive");
+  }
+  if (options.max_labels < options.initial_sample) {
+    return Status::InvalidArgument("max_labels must cover the initial sample");
+  }
+  const size_t dim = features[0].size();
+  for (const auto& row : features) {
+    if (row.size() != dim) return Status::InvalidArgument("ragged feature rows");
+  }
+
+  Rng rng(options.seed);
+  ActiveLearningResult result;
+  std::vector<char> is_labeled(features.size(), 0);
+  std::vector<int> labels;  // aligned with result.labeled
+
+  auto acquire = [&](size_t idx) {
+    is_labeled[idx] = 1;
+    result.labeled.push_back(idx);
+    labels.push_back(oracle(idx) ? 1 : -1);
+  };
+
+  // ---- Seed sample; keep drawing until both classes are present. ----
+  const size_t seed_n = std::min(options.initial_sample, features.size());
+  for (size_t s : rng.SampleWithoutReplacement(features.size(), seed_n)) acquire(s);
+  auto has_both = [&]() {
+    bool pos = false;
+    bool neg = false;
+    for (int y : labels) (y == 1 ? pos : neg) = true;
+    return pos && neg;
+  };
+  while (!has_both() && result.labeled.size() < options.max_labels &&
+         result.labeled.size() < features.size()) {
+    size_t idx = 0;
+    do {
+      idx = static_cast<size_t>(rng.Uniform(features.size()));
+    } while (is_labeled[idx]);
+    acquire(idx);
+  }
+  if (!has_both()) {
+    return Status::Infeasible("label budget exhausted before seeing both classes");
+  }
+
+  // ---- Uncertainty-sampling rounds. ----
+  auto retrain = [&]() -> Status {
+    std::vector<std::vector<double>> x;
+    std::vector<int> y;
+    x.reserve(result.labeled.size());
+    for (size_t i = 0; i < result.labeled.size(); ++i) {
+      x.push_back(features[result.labeled[i]]);
+      y.push_back(labels[i]);
+    }
+    CROWDER_RETURN_NOT_OK(result.scaler.Fit(x));
+    for (auto& row : x) result.scaler.Transform(&row);
+    SvmOptions svm_options = options.svm;
+    svm_options.seed = options.svm.seed + result.rounds;
+    return result.model.Train(x, y, svm_options);
+  };
+  CROWDER_RETURN_NOT_OK(retrain());
+  ++result.rounds;
+
+  while (result.labeled.size() < options.max_labels &&
+         result.labeled.size() < features.size()) {
+    // Score all unlabeled rows; pick the batch with the smallest |margin|.
+    std::vector<std::pair<double, size_t>> uncertainty;
+    uncertainty.reserve(features.size() - result.labeled.size());
+    for (size_t i = 0; i < features.size(); ++i) {
+      if (is_labeled[i]) continue;
+      const double score = result.model.Score(result.scaler.Transformed(features[i]));
+      uncertainty.emplace_back(std::fabs(score), i);
+    }
+    if (uncertainty.empty()) break;
+    const size_t take = std::min({options.batch_size,
+                                  options.max_labels - result.labeled.size(),
+                                  uncertainty.size()});
+    std::partial_sort(uncertainty.begin(), uncertainty.begin() + static_cast<long>(take),
+                      uncertainty.end());
+    for (size_t b = 0; b < take; ++b) acquire(uncertainty[b].second);
+    CROWDER_RETURN_NOT_OK(retrain());
+    ++result.rounds;
+  }
+
+  result.scores.reserve(features.size());
+  for (const auto& row : features) {
+    result.scores.push_back(result.model.Score(result.scaler.Transformed(row)));
+  }
+  return result;
+}
+
+}  // namespace ml
+}  // namespace crowder

@@ -1,0 +1,56 @@
+// Active learning for ER (uncertainty sampling with the linear SVM) — the
+// human-in-the-loop alternative CrowdER's related work (§8) contrasts with:
+// Sarawagi & Bhamidipaty [24] and Arasu et al. [1] reduce the *training set*
+// a learner needs by asking people to label only the most informative pairs,
+// whereas CrowdER asks people to verify candidate pairs directly. This
+// module lets the repository compare both philosophies under the same
+// simulated labeler budget (see bench_ablation_active).
+#ifndef CROWDER_ML_ACTIVE_LEARNING_H_
+#define CROWDER_ML_ACTIVE_LEARNING_H_
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "common/result.h"
+#include "ml/linear_svm.h"
+#include "ml/scaler.h"
+
+namespace crowder {
+namespace ml {
+
+struct ActiveLearningOptions {
+  /// Random pairs labeled before the first model exists. If the seed sample
+  /// lacks one of the classes, additional random pairs are drawn until both
+  /// appear (or the label budget runs out).
+  size_t initial_sample = 20;
+  /// Pairs labeled per uncertainty-sampling round.
+  size_t batch_size = 20;
+  /// Total label budget (including the initial sample).
+  size_t max_labels = 200;
+  uint64_t seed = 23;
+  SvmOptions svm;
+};
+
+struct ActiveLearningResult {
+  LinearSvm model;
+  StandardScaler scaler;
+  /// Which feature rows were labeled, in acquisition order.
+  std::vector<size_t> labeled;
+  size_t rounds = 0;
+  /// Scores for every input row under the final model.
+  std::vector<double> scores;
+};
+
+/// \brief Runs pool-based active learning over `features` (one row per
+/// candidate pair). `oracle(i)` returns the true label of row i (a person,
+/// the crowd, or ground truth in simulation); it is called exactly once per
+/// labeled row. Returns the final model and per-row scores.
+Result<ActiveLearningResult> RunActiveLearning(
+    const std::vector<std::vector<double>>& features,
+    const std::function<bool(size_t)>& oracle, const ActiveLearningOptions& options = {});
+
+}  // namespace ml
+}  // namespace crowder
+
+#endif  // CROWDER_ML_ACTIVE_LEARNING_H_

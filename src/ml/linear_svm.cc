@@ -1,0 +1,91 @@
+#include "ml/linear_svm.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/logging.h"
+
+namespace crowder {
+namespace ml {
+
+Status LinearSvm::Train(const std::vector<std::vector<double>>& x, const std::vector<int>& y,
+                        const SvmOptions& options) {
+  if (x.empty()) return Status::InvalidArgument("empty training set");
+  if (x.size() != y.size()) {
+    return Status::InvalidArgument("features/labels size mismatch");
+  }
+  const size_t dim = x[0].size();
+  size_t num_pos = 0;
+  size_t num_neg = 0;
+  for (size_t i = 0; i < x.size(); ++i) {
+    if (x[i].size() != dim) return Status::InvalidArgument("ragged feature rows");
+    if (y[i] == 1) {
+      ++num_pos;
+    } else if (y[i] == -1) {
+      ++num_neg;
+    } else {
+      return Status::InvalidArgument("labels must be +1 or -1");
+    }
+  }
+  if (num_pos == 0 || num_neg == 0) {
+    return Status::InvalidArgument("need at least one example of each class");
+  }
+  if (options.lambda <= 0.0) return Status::InvalidArgument("lambda must be positive");
+
+  const double pos_weight = options.positive_weight > 0.0
+                                ? options.positive_weight
+                                : static_cast<double>(num_neg) / static_cast<double>(num_pos);
+
+  Rng rng(options.seed);
+  std::vector<double> w(dim, 0.0);
+  double b = 0.0;
+  std::vector<double> w_avg(dim, 0.0);
+  double b_avg = 0.0;
+  uint64_t avg_count = 0;
+
+  const uint64_t total_steps =
+      static_cast<uint64_t>(options.epochs) * static_cast<uint64_t>(x.size());
+  const uint64_t avg_from = total_steps / 2;  // average the second half
+
+  for (uint64_t t = 1; t <= total_steps; ++t) {
+    const size_t i = static_cast<size_t>(rng.Uniform(x.size()));
+    const double eta = 1.0 / (options.lambda * static_cast<double>(t));
+    const double label = static_cast<double>(y[i]);
+    const double weight = y[i] == 1 ? pos_weight : 1.0;
+
+    double margin = b;
+    for (size_t d = 0; d < dim; ++d) margin += w[d] * x[i][d];
+    margin *= label;
+
+    // w <- (1 - eta*lambda) w  [+ eta*weight*label*x if hinge active]
+    const double shrink = 1.0 - eta * options.lambda;
+    for (size_t d = 0; d < dim; ++d) w[d] *= shrink;
+    if (margin < 1.0) {
+      const double step = eta * weight * label;
+      for (size_t d = 0; d < dim; ++d) w[d] += step * x[i][d];
+      b += step;  // unregularized bias
+    }
+
+    if (t > avg_from) {
+      for (size_t d = 0; d < dim; ++d) w_avg[d] += w[d];
+      b_avg += b;
+      ++avg_count;
+    }
+  }
+
+  w_ = std::move(w_avg);
+  for (double& wd : w_) wd /= static_cast<double>(avg_count);
+  b_ = b_avg / static_cast<double>(avg_count);
+  return Status::OK();
+}
+
+double LinearSvm::Score(const std::vector<double>& x) const {
+  CROWDER_CHECK(trained());
+  CROWDER_CHECK_EQ(x.size(), w_.size());
+  double s = b_;
+  for (size_t d = 0; d < x.size(); ++d) s += w_[d] * x[d];
+  return s;
+}
+
+}  // namespace ml
+}  // namespace crowder

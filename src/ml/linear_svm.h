@@ -1,0 +1,52 @@
+// Linear SVM trained with the Pegasos stochastic sub-gradient method
+// (Shalev-Shwartz et al.), with class weighting for the heavy match /
+// non-match imbalance of ER training sets and weight averaging for
+// stability. The paper's SVM baseline (§7.3) ranks candidate pairs by
+// classifier score; on 2-8 dimensional similarity features a linear model
+// is exactly that setting.
+#ifndef CROWDER_ML_LINEAR_SVM_H_
+#define CROWDER_ML_LINEAR_SVM_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/result.h"
+#include "common/rng.h"
+
+namespace crowder {
+namespace ml {
+
+struct SvmOptions {
+  double lambda = 1e-3;  ///< L2 regularization strength
+  int epochs = 40;       ///< passes over the training set
+  uint64_t seed = 17;
+  /// Weight multiplier for positive (match) examples. <= 0 selects the
+  /// balanced heuristic #neg / #pos automatically.
+  double positive_weight = 0.0;
+};
+
+/// \brief A trained linear scorer: Score(x) = w·x + b. Larger = more likely
+/// a match. Decision threshold 0 for classification; ranking uses raw score.
+class LinearSvm {
+ public:
+  /// Trains on rows `x` with labels `y` in {+1, -1}. Requires at least one
+  /// example of each class and consistent dimensionality.
+  Status Train(const std::vector<std::vector<double>>& x, const std::vector<int>& y,
+               const SvmOptions& options = {});
+
+  double Score(const std::vector<double>& x) const;
+  bool Predict(const std::vector<double>& x) const { return Score(x) > 0.0; }
+
+  const std::vector<double>& weights() const { return w_; }
+  double bias() const { return b_; }
+  bool trained() const { return !w_.empty(); }
+
+ private:
+  std::vector<double> w_;
+  double b_ = 0.0;
+};
+
+}  // namespace ml
+}  // namespace crowder
+
+#endif  // CROWDER_ML_LINEAR_SVM_H_

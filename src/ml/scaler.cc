@@ -1,0 +1,49 @@
+#include "ml/scaler.h"
+
+#include <cmath>
+
+#include "common/logging.h"
+
+namespace crowder {
+namespace ml {
+
+Status StandardScaler::Fit(const std::vector<std::vector<double>>& rows) {
+  if (rows.empty()) return Status::InvalidArgument("cannot fit scaler on empty data");
+  const size_t dim = rows[0].size();
+  for (const auto& row : rows) {
+    if (row.size() != dim) return Status::InvalidArgument("ragged feature rows");
+  }
+  means_.assign(dim, 0.0);
+  stddevs_.assign(dim, 0.0);
+  for (const auto& row : rows) {
+    for (size_t d = 0; d < dim; ++d) means_[d] += row[d];
+  }
+  for (double& m : means_) m /= static_cast<double>(rows.size());
+  for (const auto& row : rows) {
+    for (size_t d = 0; d < dim; ++d) {
+      const double delta = row[d] - means_[d];
+      stddevs_[d] += delta * delta;
+    }
+  }
+  for (double& s : stddevs_) {
+    s = std::sqrt(s / static_cast<double>(rows.size()));
+    if (s < 1e-12) s = 0.0;  // constant dimension
+  }
+  return Status::OK();
+}
+
+void StandardScaler::Transform(std::vector<double>* row) const {
+  CROWDER_CHECK(fitted());
+  CROWDER_CHECK_EQ(row->size(), means_.size());
+  for (size_t d = 0; d < row->size(); ++d) {
+    (*row)[d] = stddevs_[d] == 0.0 ? 0.0 : ((*row)[d] - means_[d]) / stddevs_[d];
+  }
+}
+
+std::vector<double> StandardScaler::Transformed(std::vector<double> row) const {
+  Transform(&row);
+  return row;
+}
+
+}  // namespace ml
+}  // namespace crowder

@@ -1,0 +1,36 @@
+// Feature standardization (zero mean, unit variance), fit on training data
+// and applied to both training and scoring inputs.
+#ifndef CROWDER_ML_SCALER_H_
+#define CROWDER_ML_SCALER_H_
+
+#include <vector>
+
+#include "common/result.h"
+
+namespace crowder {
+namespace ml {
+
+/// \brief Per-dimension standardizer. Constant dimensions map to zero.
+class StandardScaler {
+ public:
+  /// Computes means and standard deviations from `rows` (all same length,
+  /// at least one row).
+  Status Fit(const std::vector<std::vector<double>>& rows);
+
+  /// Applies the fitted transform in place.
+  void Transform(std::vector<double>* row) const;
+  std::vector<double> Transformed(std::vector<double> row) const;
+
+  const std::vector<double>& means() const { return means_; }
+  const std::vector<double>& stddevs() const { return stddevs_; }
+  bool fitted() const { return !means_.empty(); }
+
+ private:
+  std::vector<double> means_;
+  std::vector<double> stddevs_;
+};
+
+}  // namespace ml
+}  // namespace crowder
+
+#endif  // CROWDER_ML_SCALER_H_

@@ -1,0 +1,68 @@
+#include "similarity/edit_distance.h"
+
+#include <algorithm>
+#include <limits>
+#include <vector>
+
+namespace crowder {
+namespace similarity {
+
+size_t Levenshtein(std::string_view a, std::string_view b) {
+  if (a.size() < b.size()) std::swap(a, b);  // b is the shorter: less memory
+  if (b.empty()) return a.size();
+
+  std::vector<size_t> prev(b.size() + 1);
+  std::vector<size_t> cur(b.size() + 1);
+  for (size_t j = 0; j <= b.size(); ++j) prev[j] = j;
+
+  for (size_t i = 1; i <= a.size(); ++i) {
+    cur[0] = i;
+    for (size_t j = 1; j <= b.size(); ++j) {
+      const size_t sub = prev[j - 1] + (a[i - 1] == b[j - 1] ? 0 : 1);
+      cur[j] = std::min({prev[j] + 1, cur[j - 1] + 1, sub});
+    }
+    std::swap(prev, cur);
+  }
+  return prev[b.size()];
+}
+
+size_t BoundedLevenshtein(std::string_view a, std::string_view b, size_t bound) {
+  if (a.size() < b.size()) std::swap(a, b);
+  if (a.size() - b.size() > bound) return bound + 1;
+  if (b.empty()) return a.size();
+
+  constexpr size_t kInf = std::numeric_limits<size_t>::max() / 2;
+  std::vector<size_t> prev(b.size() + 1, kInf);
+  std::vector<size_t> cur(b.size() + 1, kInf);
+  for (size_t j = 0; j <= std::min(b.size(), bound); ++j) prev[j] = j;
+
+  for (size_t i = 1; i <= a.size(); ++i) {
+    // Band: only |i - j| <= bound can stay within the bound.
+    const size_t lo = i > bound ? i - bound : 1;
+    const size_t hi = std::min(b.size(), i + bound);
+    if (lo > hi) return bound + 1;
+    std::fill(cur.begin(), cur.end(), kInf);
+    if (lo == 1) cur[0] = i;
+    size_t row_min = kInf;
+    for (size_t j = lo; j <= hi; ++j) {
+      const size_t sub = prev[j - 1] + (a[i - 1] == b[j - 1] ? 0 : 1);
+      const size_t del = prev[j] + 1;
+      const size_t ins = cur[j - 1] + 1;
+      cur[j] = std::min({sub, del, ins});
+      row_min = std::min(row_min, cur[j]);
+    }
+    if (row_min > bound) return bound + 1;
+    std::swap(prev, cur);
+  }
+  return std::min(prev[b.size()], bound + 1);
+}
+
+double EditSimilarity(std::string_view a, std::string_view b) {
+  const size_t longest = std::max(a.size(), b.size());
+  if (longest == 0) return 1.0;
+  const size_t dist = Levenshtein(a, b);
+  return 1.0 - static_cast<double>(dist) / static_cast<double>(longest);
+}
+
+}  // namespace similarity
+}  // namespace crowder

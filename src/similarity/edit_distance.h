@@ -1,0 +1,27 @@
+// Levenshtein edit distance and derived similarity, one of the two SVM
+// features in CrowdER §7.3 (following Köpcke et al. [18]).
+#ifndef CROWDER_SIMILARITY_EDIT_DISTANCE_H_
+#define CROWDER_SIMILARITY_EDIT_DISTANCE_H_
+
+#include <cstddef>
+#include <string_view>
+
+namespace crowder {
+namespace similarity {
+
+/// \brief Classic Levenshtein distance (unit insert/delete/substitute).
+/// O(|a|·|b|) time, O(min(|a|,|b|)) memory.
+size_t Levenshtein(std::string_view a, std::string_view b);
+
+/// \brief Levenshtein with early exit: returns any value > `bound` as soon as
+/// the distance provably exceeds `bound` (banded DP, O(bound·min_len)).
+size_t BoundedLevenshtein(std::string_view a, std::string_view b, size_t bound);
+
+/// \brief Normalized edit similarity in [0,1]: 1 - dist / max(|a|,|b|).
+/// Two empty strings have similarity 1.
+double EditSimilarity(std::string_view a, std::string_view b);
+
+}  // namespace similarity
+}  // namespace crowder
+
+#endif  // CROWDER_SIMILARITY_EDIT_DISTANCE_H_

@@ -1,0 +1,127 @@
+#include "similarity/set_similarity.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/logging.h"
+
+namespace crowder {
+namespace similarity {
+
+TokenSet MakeTokenSet(std::vector<text::TokenId> tokens) {
+  std::sort(tokens.begin(), tokens.end());
+  tokens.erase(std::unique(tokens.begin(), tokens.end()), tokens.end());
+  return tokens;
+}
+
+size_t OverlapSize(const TokenSet& a, const TokenSet& b) {
+  size_t i = 0;
+  size_t j = 0;
+  size_t count = 0;
+  while (i < a.size() && j < b.size()) {
+    if (a[i] < b[j]) {
+      ++i;
+    } else if (a[i] > b[j]) {
+      ++j;
+    } else {
+      ++count;
+      ++i;
+      ++j;
+    }
+  }
+  return count;
+}
+
+double Jaccard(const TokenSet& a, const TokenSet& b) {
+  if (a.empty() && b.empty()) return 1.0;
+  const size_t inter = OverlapSize(a, b);
+  const size_t uni = a.size() + b.size() - inter;
+  return uni == 0 ? 0.0 : static_cast<double>(inter) / static_cast<double>(uni);
+}
+
+double Dice(const TokenSet& a, const TokenSet& b) {
+  if (a.empty() && b.empty()) return 1.0;
+  const size_t inter = OverlapSize(a, b);
+  const size_t denom = a.size() + b.size();
+  return denom == 0 ? 0.0 : 2.0 * static_cast<double>(inter) / static_cast<double>(denom);
+}
+
+double CosineSet(const TokenSet& a, const TokenSet& b) {
+  if (a.empty() && b.empty()) return 1.0;
+  if (a.empty() || b.empty()) return 0.0;
+  const size_t inter = OverlapSize(a, b);
+  return static_cast<double>(inter) /
+         std::sqrt(static_cast<double>(a.size()) * static_cast<double>(b.size()));
+}
+
+double OverlapCoefficient(const TokenSet& a, const TokenSet& b) {
+  if (a.empty() && b.empty()) return 1.0;
+  if (a.empty() || b.empty()) return 0.0;
+  const size_t inter = OverlapSize(a, b);
+  return static_cast<double>(inter) / static_cast<double>(std::min(a.size(), b.size()));
+}
+
+double SetSimilarity(SetMeasure measure, const TokenSet& a, const TokenSet& b) {
+  switch (measure) {
+    case SetMeasure::kJaccard:
+      return Jaccard(a, b);
+    case SetMeasure::kDice:
+      return Dice(a, b);
+    case SetMeasure::kCosine:
+      return CosineSet(a, b);
+    case SetMeasure::kOverlapCoefficient:
+      return OverlapCoefficient(a, b);
+  }
+  CROWDER_CHECK(false) << "unknown measure";
+  return 0.0;
+}
+
+size_t MinCompatibleSize(SetMeasure measure, size_t size, double threshold) {
+  if (threshold <= 0.0) return 0;
+  const double s = static_cast<double>(size);
+  double lower = 0.0;
+  switch (measure) {
+    case SetMeasure::kJaccard:
+      // |b| >= t * |a|
+      lower = threshold * s;
+      break;
+    case SetMeasure::kDice:
+      // 2|a∩b| >= t(|a|+|b|) and |a∩b| <= |b|  =>  |b| >= t|a| / (2-t)
+      lower = threshold * s / (2.0 - threshold);
+      break;
+    case SetMeasure::kCosine:
+      // |a∩b| <= |b| and |a∩b| >= t sqrt(|a||b|) => |b| >= t^2 |a|
+      lower = threshold * threshold * s;
+      break;
+    case SetMeasure::kOverlapCoefficient:
+      // overlap/min >= t always satisfiable for any |b| >= 1.
+      lower = 1.0;
+      break;
+  }
+  return static_cast<size_t>(std::ceil(lower - 1e-9));
+}
+
+size_t MinRequiredOverlap(SetMeasure measure, size_t sa, size_t sb, double threshold) {
+  const double a = static_cast<double>(sa);
+  const double b = static_cast<double>(sb);
+  double need = 0.0;
+  switch (measure) {
+    case SetMeasure::kJaccard:
+      // o / (a + b - o) >= t  =>  o >= t(a+b) / (1+t)
+      need = threshold * (a + b) / (1.0 + threshold);
+      break;
+    case SetMeasure::kDice:
+      need = threshold * (a + b) / 2.0;
+      break;
+    case SetMeasure::kCosine:
+      need = threshold * std::sqrt(a * b);
+      break;
+    case SetMeasure::kOverlapCoefficient:
+      need = threshold * std::min(a, b);
+      break;
+  }
+  return static_cast<size_t>(std::ceil(need - 1e-9));
+}
+
+}  // namespace similarity
+}  // namespace crowder

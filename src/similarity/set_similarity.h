@@ -1,0 +1,53 @@
+// Set-overlap similarity measures over interned token sets. These are the
+// "machine-based technique" of CrowdER §2.1.1: Jaccard over record token sets
+// is the paper's likelihood function.
+#ifndef CROWDER_SIMILARITY_SET_SIMILARITY_H_
+#define CROWDER_SIMILARITY_SET_SIMILARITY_H_
+
+#include <cstddef>
+#include <vector>
+
+#include "text/vocabulary.h"
+
+namespace crowder {
+namespace similarity {
+
+/// A token set: sorted, deduplicated token ids.
+using TokenSet = std::vector<text::TokenId>;
+
+/// \brief Returns a canonical TokenSet (sorts + dedups a token sequence).
+TokenSet MakeTokenSet(std::vector<text::TokenId> tokens);
+
+/// \brief |a ∩ b| for sorted sets.
+size_t OverlapSize(const TokenSet& a, const TokenSet& b);
+
+/// \brief Jaccard similarity |a∩b| / |a∪b|; 1.0 when both sets are empty.
+double Jaccard(const TokenSet& a, const TokenSet& b);
+
+/// \brief Dice coefficient 2|a∩b| / (|a|+|b|); 1.0 when both empty.
+double Dice(const TokenSet& a, const TokenSet& b);
+
+/// \brief Set cosine |a∩b| / sqrt(|a||b|); 1.0 when both empty.
+double CosineSet(const TokenSet& a, const TokenSet& b);
+
+/// \brief Overlap coefficient |a∩b| / min(|a|,|b|); 1.0 when both empty.
+double OverlapCoefficient(const TokenSet& a, const TokenSet& b);
+
+/// \brief Which set measure a join should use.
+enum class SetMeasure { kJaccard, kDice, kCosine, kOverlapCoefficient };
+
+/// \brief Dispatches on the measure enum.
+double SetSimilarity(SetMeasure measure, const TokenSet& a, const TokenSet& b);
+
+/// \brief For prefix filtering: the minimum size |b| may have so that
+/// sim(a, b) >= threshold can still hold, given |a| = size.
+size_t MinCompatibleSize(SetMeasure measure, size_t size, double threshold);
+
+/// \brief For prefix filtering: minimum required overlap between sets of
+/// sizes `sa` and `sb` for sim >= threshold.
+size_t MinRequiredOverlap(SetMeasure measure, size_t sa, size_t sb, double threshold);
+
+}  // namespace similarity
+}  // namespace crowder
+
+#endif  // CROWDER_SIMILARITY_SET_SIMILARITY_H_

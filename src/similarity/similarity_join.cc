@@ -1,0 +1,160 @@
+#include "similarity/similarity_join.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+#include "common/logging.h"
+
+namespace crowder {
+namespace similarity {
+
+void SortPairs(std::vector<ScoredPair>* pairs) {
+  std::sort(pairs->begin(), pairs->end(), [](const ScoredPair& x, const ScoredPair& y) {
+    return x.a != y.a ? x.a < y.a : x.b < y.b;
+  });
+}
+
+Status ValidateJoin(const JoinInput& input, const JoinOptions& options) {
+  if (options.threshold < 0.0 || options.threshold > 1.0) {
+    return Status::InvalidArgument("join threshold must be in [0,1], got " +
+                                   std::to_string(options.threshold));
+  }
+  if (!input.sources.empty() && input.sources.size() != input.sets.size()) {
+    return Status::InvalidArgument("sources size (" + std::to_string(input.sources.size()) +
+                                   ") must match sets size (" +
+                                   std::to_string(input.sets.size()) + ")");
+  }
+  for (const auto& set : input.sets) {
+    if (!std::is_sorted(set.begin(), set.end())) {
+      return Status::InvalidArgument("token sets must be sorted (use MakeTokenSet)");
+    }
+    if (std::adjacent_find(set.begin(), set.end()) != set.end()) {
+      return Status::InvalidArgument("token sets must be deduplicated (use MakeTokenSet)");
+    }
+  }
+  return Status::OK();
+}
+
+namespace {
+
+inline bool Admissible(const JoinInput& input, uint32_t a, uint32_t b) {
+  return input.sources.empty() || input.sources[a] != input.sources[b];
+}
+
+}  // namespace
+
+Result<std::vector<ScoredPair>> NaiveJoin(const JoinInput& input, const JoinOptions& options) {
+  CROWDER_RETURN_NOT_OK(ValidateJoin(input, options));
+  std::vector<ScoredPair> out;
+  const uint32_t n = static_cast<uint32_t>(input.sets.size());
+  for (uint32_t i = 0; i < n; ++i) {
+    for (uint32_t j = i + 1; j < n; ++j) {
+      if (!Admissible(input, i, j)) continue;
+      const double sim = SetSimilarity(options.measure, input.sets[i], input.sets[j]);
+      if (sim >= options.threshold) out.push_back({i, j, sim});
+    }
+  }
+  SortPairs(&out);
+  return out;
+}
+
+Result<std::vector<ScoredPair>> AllPairsJoin(const JoinInput& input, const JoinOptions& options) {
+  CROWDER_RETURN_NOT_OK(ValidateJoin(input, options));
+  const double t = options.threshold;
+  const uint32_t n = static_cast<uint32_t>(input.sets.size());
+
+  // A zero threshold admits every pair; prefix filtering degenerates, so
+  // fall through to the exhaustive join.
+  if (t <= 0.0) return NaiveJoin(input, options);
+
+  // 1. Compute per-token frequency within this input, then re-express each
+  //    set with tokens ordered rarest-first (ties by id). Rare-first prefixes
+  //    produce the fewest candidates.
+  text::TokenId max_token = 0;
+  for (const auto& set : input.sets) {
+    for (text::TokenId tok : set) max_token = std::max(max_token, tok);
+  }
+  std::vector<uint32_t> freq(static_cast<size_t>(max_token) + 1, 0);
+  for (const auto& set : input.sets) {
+    for (text::TokenId tok : set) ++freq[tok];
+  }
+  // rank[token] = position in global rare-first order.
+  std::vector<text::TokenId> order(freq.size());
+  std::iota(order.begin(), order.end(), 0);
+  std::sort(order.begin(), order.end(), [&](text::TokenId x, text::TokenId y) {
+    return freq[x] != freq[y] ? freq[x] < freq[y] : x < y;
+  });
+  std::vector<uint32_t> rank(freq.size());
+  for (uint32_t pos = 0; pos < order.size(); ++pos) rank[order[pos]] = pos;
+
+  // Each record as a rank-sorted token list. Keep the original sets for the
+  // exact verification step.
+  std::vector<std::vector<uint32_t>> ranked(n);
+  for (uint32_t i = 0; i < n; ++i) {
+    ranked[i].reserve(input.sets[i].size());
+    for (text::TokenId tok : input.sets[i]) ranked[i].push_back(rank[tok]);
+    std::sort(ranked[i].begin(), ranked[i].end());
+  }
+
+  // 2. Process records in non-decreasing size order so that indexed partners
+  //    are never larger than the probing record.
+  std::vector<uint32_t> by_size(n);
+  std::iota(by_size.begin(), by_size.end(), 0);
+  std::stable_sort(by_size.begin(), by_size.end(), [&](uint32_t x, uint32_t y) {
+    return ranked[x].size() < ranked[y].size();
+  });
+
+  // Inverted index: token rank -> list of (record, size at indexing time).
+  std::vector<std::vector<uint32_t>> postings(order.size());
+
+  std::vector<ScoredPair> out;
+  std::vector<uint32_t> candidates;
+  std::vector<char> seen(n, 0);
+
+  for (uint32_t rec : by_size) {
+    const auto& tokens = ranked[rec];
+    const size_t sz = tokens.size();
+    if (sz == 0) continue;
+    // Overlap lower bound against the *worst-case* admissible partner: any y
+    // with sim(x,y) >= t has |y| >= MinCompatibleSize, and the required
+    // overlap is monotone in |y|, so evaluating it at the minimum partner
+    // size is a valid bound for all partners. A pair meeting the bound must
+    // share a token within the first sz - alpha + 1 tokens of each side
+    // (prefix-filtering lemma).
+    const size_t min_partner = std::max<size_t>(1, MinCompatibleSize(options.measure, sz, t));
+    const size_t alpha = std::max<size_t>(
+        1, MinRequiredOverlap(options.measure, sz, min_partner, t));
+    const size_t prefix_len = sz >= alpha ? sz - alpha + 1 : sz;
+
+    candidates.clear();
+    for (size_t p = 0; p < std::min(prefix_len, sz); ++p) {
+      for (uint32_t other : postings[tokens[p]]) {
+        if (seen[other]) continue;
+        seen[other] = 1;
+        candidates.push_back(other);
+      }
+    }
+    for (uint32_t other : candidates) {
+      seen[other] = 0;
+      if (ranked[other].size() < min_partner) continue;
+      if (!Admissible(input, rec, other)) continue;
+      const double sim = SetSimilarity(options.measure, input.sets[rec], input.sets[other]);
+      if (sim >= t) {
+        const uint32_t a = std::min(rec, other);
+        const uint32_t b = std::max(rec, other);
+        out.push_back({a, b, sim});
+      }
+    }
+    // Index the same prefix we probe with. (This is at least as long as the
+    // tight "mid-prefix", so no pair can be missed.)
+    for (size_t p = 0; p < std::min(prefix_len, sz); ++p) {
+      postings[tokens[p]].push_back(rec);
+    }
+  }
+  SortPairs(&out);
+  return out;
+}
+
+}  // namespace similarity
+}  // namespace crowder

@@ -1,0 +1,64 @@
+#include "similarity/sorted_neighborhood.h"
+
+#include <algorithm>
+#include <numeric>
+
+#include "common/string_util.h"
+
+namespace crowder {
+namespace similarity {
+
+Result<std::vector<CandidatePair>> SortedNeighborhood(
+    const std::vector<std::string>& keys, const std::vector<int>& sources,
+    const SortedNeighborhoodOptions& options) {
+  if (options.window < 2) {
+    return Status::InvalidArgument("window must be >= 2");
+  }
+  if (options.passes == 0) {
+    return Status::InvalidArgument("at least one pass required");
+  }
+  if (!sources.empty() && sources.size() != keys.size()) {
+    return Status::InvalidArgument("sources size must match keys size");
+  }
+
+  std::vector<CandidatePair> out;
+  for (size_t pass = 0; pass < options.passes; ++pass) {
+    // Pass-specific key: rotate the token sequence so a different attribute
+    // prefix drives the sort each pass.
+    std::vector<std::string> pass_keys(keys.size());
+    for (size_t i = 0; i < keys.size(); ++i) {
+      std::vector<std::string> tokens = SplitWhitespace(keys[i]);
+      if (!tokens.empty()) {
+        const size_t shift = pass % tokens.size();
+        std::rotate(tokens.begin(), tokens.begin() + static_cast<long>(shift), tokens.end());
+      }
+      pass_keys[i] = Join(tokens, " ");
+    }
+    std::vector<uint32_t> order(keys.size());
+    std::iota(order.begin(), order.end(), 0);
+    std::sort(order.begin(), order.end(), [&](uint32_t x, uint32_t y) {
+      return pass_keys[x] != pass_keys[y] ? pass_keys[x] < pass_keys[y] : x < y;
+    });
+
+    for (size_t i = 0; i < order.size(); ++i) {
+      for (size_t j = i + 1; j < std::min(order.size(), i + options.window); ++j) {
+        const uint32_t a = std::min(order[i], order[j]);
+        const uint32_t b = std::max(order[i], order[j]);
+        if (!sources.empty() && sources[a] == sources[b]) continue;
+        out.push_back({a, b});
+      }
+    }
+  }
+  std::sort(out.begin(), out.end(), [](const CandidatePair& x, const CandidatePair& y) {
+    return x.a != y.a ? x.a < y.a : x.b < y.b;
+  });
+  out.erase(std::unique(out.begin(), out.end(),
+                        [](const CandidatePair& x, const CandidatePair& y) {
+                          return x.a == y.a && x.b == y.b;
+                        }),
+            out.end());
+  return out;
+}
+
+}  // namespace similarity
+}  // namespace crowder

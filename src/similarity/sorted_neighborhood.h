@@ -1,0 +1,40 @@
+// Sorted-neighborhood candidate generation (Hernandez & Stolfo's classic
+// merge/purge technique, surveyed in [7]): sort records by a key and pair
+// every two records within a sliding window. A second candidate-generation
+// substrate besides token blocking; cheap, output size O(n·w), and effective
+// when similar records sort near each other.
+#ifndef CROWDER_SIMILARITY_SORTED_NEIGHBORHOOD_H_
+#define CROWDER_SIMILARITY_SORTED_NEIGHBORHOOD_H_
+
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "similarity/blocking.h"
+
+namespace crowder {
+namespace similarity {
+
+struct SortedNeighborhoodOptions {
+  /// Window size: records at sorted distance < window become candidates.
+  /// Must be >= 2.
+  size_t window = 10;
+  /// Number of passes with different sort keys (multi-pass SN). Pass p
+  /// rotates each record's tokens by p before building its key, so
+  /// different prefixes govern the order. More passes, more recall.
+  size_t passes = 2;
+};
+
+/// \brief Generates candidate pairs by multi-pass sorted neighborhood over
+/// the records' normalized text keys. `keys[i]` is the sort key of record i
+/// (typically the concatenated normalized record). `sources` follows the
+/// JoinInput convention (empty = self-join, else only cross-source pairs).
+/// Output is deduplicated, sorted by (a, b).
+Result<std::vector<CandidatePair>> SortedNeighborhood(
+    const std::vector<std::string>& keys, const std::vector<int>& sources,
+    const SortedNeighborhoodOptions& options = {});
+
+}  // namespace similarity
+}  // namespace crowder
+
+#endif  // CROWDER_SIMILARITY_SORTED_NEIGHBORHOOD_H_

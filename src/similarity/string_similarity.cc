@@ -1,0 +1,83 @@
+#include "similarity/string_similarity.h"
+
+#include <algorithm>
+#include <string>
+#include <vector>
+
+#include "common/logging.h"
+#include "text/qgram.h"
+
+namespace crowder {
+namespace similarity {
+
+double Jaro(std::string_view a, std::string_view b) {
+  if (a.empty() && b.empty()) return 1.0;
+  if (a.empty() || b.empty()) return 0.0;
+  if (a == b) return 1.0;
+
+  const size_t window =
+      std::max(a.size(), b.size()) / 2 > 0 ? std::max(a.size(), b.size()) / 2 - 1 : 0;
+  std::vector<char> a_matched(a.size(), 0);
+  std::vector<char> b_matched(b.size(), 0);
+
+  size_t matches = 0;
+  for (size_t i = 0; i < a.size(); ++i) {
+    const size_t lo = i > window ? i - window : 0;
+    const size_t hi = std::min(b.size(), i + window + 1);
+    for (size_t j = lo; j < hi; ++j) {
+      if (b_matched[j] || a[i] != b[j]) continue;
+      a_matched[i] = 1;
+      b_matched[j] = 1;
+      ++matches;
+      break;
+    }
+  }
+  if (matches == 0) return 0.0;
+
+  // Transpositions: matched characters out of order, halved.
+  size_t transpositions = 0;
+  size_t j = 0;
+  for (size_t i = 0; i < a.size(); ++i) {
+    if (!a_matched[i]) continue;
+    while (!b_matched[j]) ++j;
+    if (a[i] != b[j]) ++transpositions;
+    ++j;
+  }
+  const double m = static_cast<double>(matches);
+  return (m / a.size() + m / b.size() + (m - transpositions / 2.0) / m) / 3.0;
+}
+
+double JaroWinkler(std::string_view a, std::string_view b, double prefix_scale) {
+  CROWDER_CHECK(prefix_scale >= 0.0 && prefix_scale * 4.0 <= 1.0)
+      << "prefix_scale must be in [0, 0.25]";
+  const double jaro = Jaro(a, b);
+  size_t prefix = 0;
+  const size_t limit = std::min({a.size(), b.size(), static_cast<size_t>(4)});
+  while (prefix < limit && a[prefix] == b[prefix]) ++prefix;
+  return jaro + static_cast<double>(prefix) * prefix_scale * (1.0 - jaro);
+}
+
+double QGramSimilarity(std::string_view a, std::string_view b, int q) {
+  const auto ga = text::QGramSet(a, q);
+  const auto gb = text::QGramSet(b, q);
+  if (ga.empty() && gb.empty()) return 1.0;
+  if (ga.empty() || gb.empty()) return 0.0;
+  size_t inter = 0;
+  size_t i = 0;
+  size_t j = 0;
+  while (i < ga.size() && j < gb.size()) {
+    if (ga[i] < gb[j]) {
+      ++i;
+    } else if (ga[i] > gb[j]) {
+      ++j;
+    } else {
+      ++inter;
+      ++i;
+      ++j;
+    }
+  }
+  return static_cast<double>(inter) / static_cast<double>(ga.size() + gb.size() - inter);
+}
+
+}  // namespace similarity
+}  // namespace crowder

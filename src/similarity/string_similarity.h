@@ -1,0 +1,29 @@
+// Additional character-level string similarities standard in ER toolkits
+// (e.g. Febrl [6], which the paper cites): Jaro, Jaro-Winkler, and q-gram
+// similarity. Useful as alternative likelihood functions and as extra SVM
+// feature dimensions.
+#ifndef CROWDER_SIMILARITY_STRING_SIMILARITY_H_
+#define CROWDER_SIMILARITY_STRING_SIMILARITY_H_
+
+#include <string_view>
+
+namespace crowder {
+namespace similarity {
+
+/// \brief Jaro similarity in [0,1]: transposition-tolerant match ratio.
+/// Both empty -> 1; one empty -> 0.
+double Jaro(std::string_view a, std::string_view b);
+
+/// \brief Jaro-Winkler: Jaro boosted by the length of the common prefix
+/// (up to 4 chars) scaled by `prefix_scale` (standard 0.1; must keep
+/// prefix_scale * 4 <= 1 so the result stays in [0,1]).
+double JaroWinkler(std::string_view a, std::string_view b, double prefix_scale = 0.1);
+
+/// \brief Jaccard similarity of the padded character q-gram sets of the two
+/// strings. Robust to token-order and small edits.
+double QGramSimilarity(std::string_view a, std::string_view b, int q = 2);
+
+}  // namespace similarity
+}  // namespace crowder
+
+#endif  // CROWDER_SIMILARITY_STRING_SIMILARITY_H_

@@ -1,0 +1,43 @@
+#include "text/normalizer.h"
+
+#include <cctype>
+
+namespace crowder {
+namespace text {
+
+std::string Normalizer::Normalize(std::string_view input) const {
+  std::string stage;
+  stage.reserve(input.size());
+  for (char raw : input) {
+    unsigned char c = static_cast<unsigned char>(raw);
+    if (options_.strip_non_alnum && !std::isalnum(c)) {
+      stage.push_back(' ');
+      continue;
+    }
+    if (options_.lowercase) {
+      stage.push_back(static_cast<char>(std::tolower(c)));
+    } else {
+      stage.push_back(raw);
+    }
+  }
+  if (!options_.collapse_whitespace) return stage;
+
+  std::string out;
+  out.reserve(stage.size());
+  bool pending_space = false;
+  for (char c : stage) {
+    if (std::isspace(static_cast<unsigned char>(c))) {
+      pending_space = !out.empty();
+      continue;
+    }
+    if (pending_space) {
+      out.push_back(' ');
+      pending_space = false;
+    }
+    out.push_back(c);
+  }
+  return out;
+}
+
+}  // namespace text
+}  // namespace crowder

@@ -1,0 +1,41 @@
+// Text normalization exactly as in CrowdER §7.1: "datasets were preprocessed
+// by replacing non-alphanumeric characters with white spaces, and letters
+// with their lowercases."
+#ifndef CROWDER_TEXT_NORMALIZER_H_
+#define CROWDER_TEXT_NORMALIZER_H_
+
+#include <string>
+#include <string_view>
+
+namespace crowder {
+namespace text {
+
+/// \brief Options controlling normalization. The defaults match the paper's
+/// preprocessing; the knobs exist for ablations.
+struct NormalizerOptions {
+  /// Replace every non-alphanumeric character with a space.
+  bool strip_non_alnum = true;
+  /// Lowercase ASCII letters.
+  bool lowercase = true;
+  /// Collapse runs of whitespace into a single space and trim the ends.
+  bool collapse_whitespace = true;
+};
+
+/// \brief Applies CrowdER preprocessing to a string.
+class Normalizer {
+ public:
+  explicit Normalizer(NormalizerOptions options = {}) : options_(options) {}
+
+  /// Returns the normalized copy of `input`.
+  std::string Normalize(std::string_view input) const;
+
+  const NormalizerOptions& options() const { return options_; }
+
+ private:
+  NormalizerOptions options_;
+};
+
+}  // namespace text
+}  // namespace crowder
+
+#endif  // CROWDER_TEXT_NORMALIZER_H_

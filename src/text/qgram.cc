@@ -1,0 +1,37 @@
+#include "text/qgram.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+
+namespace crowder {
+namespace text {
+
+std::vector<std::string> QGrams(std::string_view s, int q, bool pad) {
+  CROWDER_CHECK_GE(q, 1);
+  std::string padded;
+  if (pad) {
+    padded.assign(static_cast<size_t>(q - 1), '#');
+    padded += s;
+    padded.append(static_cast<size_t>(q - 1), '$');
+  } else {
+    padded.assign(s);
+  }
+  std::vector<std::string> grams;
+  if (padded.size() < static_cast<size_t>(q)) return grams;
+  grams.reserve(padded.size() - q + 1);
+  for (size_t i = 0; i + q <= padded.size(); ++i) {
+    grams.emplace_back(padded.substr(i, q));
+  }
+  return grams;
+}
+
+std::vector<std::string> QGramSet(std::string_view s, int q, bool pad) {
+  std::vector<std::string> grams = QGrams(s, q, pad);
+  std::sort(grams.begin(), grams.end());
+  grams.erase(std::unique(grams.begin(), grams.end()), grams.end());
+  return grams;
+}
+
+}  // namespace text
+}  // namespace crowder

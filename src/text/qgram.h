@@ -1,0 +1,27 @@
+// Character q-grams, used for q-gram blocking (CrowdER footnote 1 cites
+// q-gram based indexing [7]) and q-gram string similarity.
+#ifndef CROWDER_TEXT_QGRAM_H_
+#define CROWDER_TEXT_QGRAM_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace crowder {
+namespace text {
+
+/// \brief Produces the multiset of character q-grams of `s`.
+///
+/// With `pad` true (default), the string is conceptually padded with q-1
+/// leading '#' and trailing '$' sentinels, so every character participates in
+/// q grams and short strings still produce grams. "ab" with q=2 padded gives
+/// {"#a","ab","b$"}.
+std::vector<std::string> QGrams(std::string_view s, int q, bool pad = true);
+
+/// \brief Distinct q-grams, sorted (canonical set form).
+std::vector<std::string> QGramSet(std::string_view s, int q, bool pad = true);
+
+}  // namespace text
+}  // namespace crowder
+
+#endif  // CROWDER_TEXT_QGRAM_H_

@@ -1,0 +1,65 @@
+#include "text/tfidf.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/logging.h"
+
+namespace crowder {
+namespace text {
+
+TfIdfVectorizer::TfIdfVectorizer(const Vocabulary* vocab, bool use_idf)
+    : vocab_(vocab), use_idf_(use_idf) {
+  CROWDER_CHECK(vocab != nullptr);
+}
+
+double TfIdfVectorizer::IdfOf(TokenId id) const {
+  const double n = std::max<uint32_t>(vocab_->num_documents(), 1);
+  uint32_t df = 0;
+  if (static_cast<size_t>(id) < vocab_->size()) df = vocab_->DocumentFrequency(id);
+  // Smoothed IDF; df==0 (query-only token) degrades to maximum rarity.
+  return std::log(1.0 + n / (1.0 + df));
+}
+
+SparseVector TfIdfVectorizer::Vectorize(const std::vector<TokenId>& tokens) const {
+  SparseVector v;
+  if (tokens.empty()) return v;
+
+  std::vector<TokenId> sorted = tokens;
+  std::sort(sorted.begin(), sorted.end());
+
+  double norm_sq = 0.0;
+  for (size_t i = 0; i < sorted.size();) {
+    size_t j = i;
+    while (j < sorted.size() && sorted[j] == sorted[i]) ++j;
+    const double tf = static_cast<double>(j - i);
+    const double w = use_idf_ ? tf * IdfOf(sorted[i]) : tf;
+    v.entries.emplace_back(sorted[i], w);
+    norm_sq += w * w;
+    i = j;
+  }
+  v.norm = std::sqrt(norm_sq);
+  return v;
+}
+
+double TfIdfVectorizer::Cosine(const SparseVector& a, const SparseVector& b) {
+  if (a.empty() || b.empty() || a.norm == 0.0 || b.norm == 0.0) return 0.0;
+  double dot = 0.0;
+  size_t i = 0;
+  size_t j = 0;
+  while (i < a.entries.size() && j < b.entries.size()) {
+    if (a.entries[i].first < b.entries[j].first) {
+      ++i;
+    } else if (a.entries[i].first > b.entries[j].first) {
+      ++j;
+    } else {
+      dot += a.entries[i].second * b.entries[j].second;
+      ++i;
+      ++j;
+    }
+  }
+  return dot / (a.norm * b.norm);
+}
+
+}  // namespace text
+}  // namespace crowder

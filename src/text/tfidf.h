@@ -1,0 +1,50 @@
+// Sparse TF-IDF vectors over an interned vocabulary, for the cosine
+// similarity feature the paper's SVM baseline uses (§7.3, following [18]).
+#ifndef CROWDER_TEXT_TFIDF_H_
+#define CROWDER_TEXT_TFIDF_H_
+
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include "text/vocabulary.h"
+
+namespace crowder {
+namespace text {
+
+/// \brief A sparse vector: (token id, weight) pairs sorted by token id, with
+/// the L2 norm cached.
+struct SparseVector {
+  std::vector<std::pair<TokenId, double>> entries;  // sorted by TokenId
+  double norm = 0.0;
+
+  bool empty() const { return entries.empty(); }
+};
+
+/// \brief Builds TF-IDF (or plain TF) sparse vectors against a Vocabulary
+/// whose document frequencies were populated via InternDocument.
+class TfIdfVectorizer {
+ public:
+  /// \param vocab vocabulary with document frequencies; must outlive this.
+  /// \param use_idf when false, weights are raw term frequencies.
+  explicit TfIdfVectorizer(const Vocabulary* vocab, bool use_idf = true);
+
+  /// Vectorizes a tokenized document (ids from the same vocabulary).
+  /// Tokens never seen as part of a document get IDF of log(1 + N) (max
+  /// rarity) rather than a crash, so query-time tokens are safe.
+  SparseVector Vectorize(const std::vector<TokenId>& tokens) const;
+
+  /// Cosine similarity between two sparse vectors (0 if either is empty).
+  static double Cosine(const SparseVector& a, const SparseVector& b);
+
+ private:
+  double IdfOf(TokenId id) const;
+
+  const Vocabulary* vocab_;
+  bool use_idf_;
+};
+
+}  // namespace text
+}  // namespace crowder
+
+#endif  // CROWDER_TEXT_TFIDF_H_

@@ -1,0 +1,22 @@
+#include "text/tokenizer.h"
+
+#include <algorithm>
+
+#include "common/string_util.h"
+
+namespace crowder {
+namespace text {
+
+std::vector<std::string> Tokenizer::Tokenize(std::string_view input) const {
+  return SplitWhitespace(normalizer_.Normalize(input));
+}
+
+std::vector<std::string> Tokenizer::TokenSet(std::string_view input) const {
+  std::vector<std::string> tokens = Tokenize(input);
+  std::sort(tokens.begin(), tokens.end());
+  tokens.erase(std::unique(tokens.begin(), tokens.end()), tokens.end());
+  return tokens;
+}
+
+}  // namespace text
+}  // namespace crowder

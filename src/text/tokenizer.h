@@ -1,0 +1,36 @@
+// Whitespace tokenizer producing token *sets* and token *bags* over
+// normalized text. CrowdER's simjoin operates on the set of tokens drawn from
+// all attribute values of a record.
+#ifndef CROWDER_TEXT_TOKENIZER_H_
+#define CROWDER_TEXT_TOKENIZER_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "text/normalizer.h"
+
+namespace crowder {
+namespace text {
+
+/// \brief Splits normalized text into word tokens.
+class Tokenizer {
+ public:
+  explicit Tokenizer(NormalizerOptions options = {}) : normalizer_(options) {}
+
+  /// Token sequence (duplicates preserved, input order preserved).
+  std::vector<std::string> Tokenize(std::string_view input) const;
+
+  /// Distinct tokens, sorted lexicographically (a canonical set form).
+  std::vector<std::string> TokenSet(std::string_view input) const;
+
+  const Normalizer& normalizer() const { return normalizer_; }
+
+ private:
+  Normalizer normalizer_;
+};
+
+}  // namespace text
+}  // namespace crowder
+
+#endif  // CROWDER_TEXT_TOKENIZER_H_

@@ -1,0 +1,50 @@
+#include "text/vocabulary.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+
+namespace crowder {
+namespace text {
+
+TokenId Vocabulary::Intern(std::string_view token) {
+  auto it = token_to_id_.find(std::string(token));
+  if (it != token_to_id_.end()) return it->second;
+  TokenId id = static_cast<TokenId>(id_to_token_.size());
+  id_to_token_.emplace_back(token);
+  doc_freq_.push_back(0);
+  token_to_id_.emplace(std::string(token), id);
+  return id;
+}
+
+TokenId Vocabulary::Lookup(std::string_view token) const {
+  auto it = token_to_id_.find(std::string(token));
+  return it == token_to_id_.end() ? kInvalidToken : it->second;
+}
+
+const std::string& Vocabulary::TokenString(TokenId id) const {
+  CROWDER_CHECK_LT(static_cast<size_t>(id), id_to_token_.size());
+  return id_to_token_[id];
+}
+
+std::vector<TokenId> Vocabulary::InternDocument(const std::vector<std::string>& tokens) {
+  std::vector<TokenId> ids;
+  ids.reserve(tokens.size());
+  for (const auto& t : tokens) ids.push_back(Intern(t));
+
+  // Document frequency counts each distinct token once per document.
+  std::vector<TokenId> distinct = ids;
+  std::sort(distinct.begin(), distinct.end());
+  distinct.erase(std::unique(distinct.begin(), distinct.end()), distinct.end());
+  for (TokenId id : distinct) ++doc_freq_[id];
+  ++num_documents_;
+  return ids;
+}
+
+uint32_t Vocabulary::DocumentFrequency(TokenId id) const {
+  CROWDER_CHECK_LT(static_cast<size_t>(id), doc_freq_.size());
+  return doc_freq_[id];
+}
+
+}  // namespace text
+}  // namespace crowder

@@ -1,0 +1,54 @@
+// Token interning: maps strings to dense uint32 ids so that similarity joins
+// and graph code work on integers. Also tracks document frequencies, which
+// both the prefix-filtering join (rare-token-first ordering) and TF-IDF need.
+#ifndef CROWDER_TEXT_VOCABULARY_H_
+#define CROWDER_TEXT_VOCABULARY_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+namespace crowder {
+namespace text {
+
+using TokenId = uint32_t;
+
+inline constexpr TokenId kInvalidToken = UINT32_MAX;
+
+/// \brief Bidirectional string<->id token dictionary with document counts.
+class Vocabulary {
+ public:
+  /// Interns `token`, returning its id (existing or newly assigned).
+  TokenId Intern(std::string_view token);
+
+  /// Id of `token` or kInvalidToken if never interned.
+  TokenId Lookup(std::string_view token) const;
+
+  /// The token string for `id`; id must be valid.
+  const std::string& TokenString(TokenId id) const;
+
+  /// Interns every token of the sequence; bumps document frequency once per
+  /// distinct token in the sequence (call once per record).
+  std::vector<TokenId> InternDocument(const std::vector<std::string>& tokens);
+
+  /// Number of documents a token appeared in (for IDF and rarity ordering).
+  uint32_t DocumentFrequency(TokenId id) const;
+
+  /// Number of documents processed through InternDocument.
+  uint32_t num_documents() const { return num_documents_; }
+
+  size_t size() const { return id_to_token_.size(); }
+
+ private:
+  std::unordered_map<std::string, TokenId> token_to_id_;
+  std::vector<std::string> id_to_token_;
+  std::vector<uint32_t> doc_freq_;
+  uint32_t num_documents_ = 0;
+};
+
+}  // namespace text
+}  // namespace crowder
+
+#endif  // CROWDER_TEXT_VOCABULARY_H_

@@ -1,0 +1,135 @@
+// Tests for the active-learning baseline (uncertainty sampling).
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/rng.h"
+#include "ml/active_learning.h"
+
+namespace crowder {
+namespace ml {
+namespace {
+
+// A pool where the label is sign(x0 - 0.5): separable with a margin band.
+struct Pool {
+  std::vector<std::vector<double>> features;
+  std::vector<bool> labels;
+};
+
+Pool MakePool(uint64_t seed, size_t n) {
+  Rng rng(seed);
+  Pool pool;
+  for (size_t i = 0; i < n; ++i) {
+    const double x = rng.UniformDouble();
+    const double noise = rng.UniformDouble(-0.02, 0.02);
+    pool.features.push_back({x, rng.UniformDouble()});
+    pool.labels.push_back(x + noise > 0.5);
+  }
+  return pool;
+}
+
+TEST(ActiveLearningTest, LearnsSeparableConcept) {
+  const Pool pool = MakePool(3, 600);
+  ActiveLearningOptions options;
+  options.max_labels = 120;
+  auto result = RunActiveLearning(
+                    pool.features, [&](size_t i) { return pool.labels[i]; }, options)
+                    .ValueOrDie();
+  size_t correct = 0;
+  for (size_t i = 0; i < pool.features.size(); ++i) {
+    correct += (result.scores[i] > 0) == pool.labels[i];
+  }
+  EXPECT_GT(correct, pool.features.size() * 95 / 100);
+  EXPECT_LE(result.labeled.size(), options.max_labels);
+  EXPECT_GE(result.rounds, 2u);
+}
+
+TEST(ActiveLearningTest, QueriesConcentrateNearBoundary) {
+  const Pool pool = MakePool(7, 800);
+  ActiveLearningOptions options;
+  options.initial_sample = 20;
+  options.max_labels = 120;
+  auto result = RunActiveLearning(
+                    pool.features, [&](size_t i) { return pool.labels[i]; }, options)
+                    .ValueOrDie();
+  // After the random seed phase, acquisitions should cluster near x0=0.5.
+  size_t near = 0;
+  size_t post_seed = 0;
+  for (size_t i = options.initial_sample; i < result.labeled.size(); ++i) {
+    ++post_seed;
+    near += std::fabs(pool.features[result.labeled[i]][0] - 0.5) < 0.15;
+  }
+  ASSERT_GT(post_seed, 0u);
+  EXPECT_GT(static_cast<double>(near) / post_seed, 0.5);
+}
+
+TEST(ActiveLearningTest, LabelsEachRowAtMostOnce) {
+  const Pool pool = MakePool(11, 100);
+  size_t calls = 0;
+  std::vector<int> seen(pool.features.size(), 0);
+  ActiveLearningOptions options;
+  options.max_labels = 80;
+  auto result = RunActiveLearning(
+                    pool.features,
+                    [&](size_t i) {
+                      ++calls;
+                      ++seen[i];
+                      return pool.labels[i];
+                    },
+                    options)
+                    .ValueOrDie();
+  EXPECT_EQ(calls, result.labeled.size());
+  for (int c : seen) EXPECT_LE(c, 1);
+}
+
+TEST(ActiveLearningTest, DeterministicGivenSeed) {
+  const Pool pool = MakePool(13, 300);
+  ActiveLearningOptions options;
+  options.max_labels = 60;
+  auto a = RunActiveLearning(
+               pool.features, [&](size_t i) { return pool.labels[i]; }, options)
+               .ValueOrDie();
+  auto b = RunActiveLearning(
+               pool.features, [&](size_t i) { return pool.labels[i]; }, options)
+               .ValueOrDie();
+  EXPECT_EQ(a.labeled, b.labeled);
+  EXPECT_EQ(a.scores, b.scores);
+}
+
+TEST(ActiveLearningTest, SingleClassPoolIsInfeasible) {
+  std::vector<std::vector<double>> features(50, {1.0});
+  ActiveLearningOptions options;
+  options.max_labels = 30;
+  auto result = RunActiveLearning(features, [](size_t) { return true; }, options);
+  EXPECT_FALSE(result.ok());
+  EXPECT_TRUE(result.status().IsInfeasible());
+}
+
+TEST(ActiveLearningTest, RejectsBadArguments) {
+  std::vector<std::vector<double>> features{{1.0}};
+  EXPECT_FALSE(RunActiveLearning({}, [](size_t) { return true; }).ok());
+  EXPECT_FALSE(RunActiveLearning(features, nullptr).ok());
+  ActiveLearningOptions bad;
+  bad.initial_sample = 0;
+  EXPECT_FALSE(RunActiveLearning(features, [](size_t) { return true; }, bad).ok());
+  ActiveLearningOptions bad2;
+  bad2.max_labels = 5;
+  bad2.initial_sample = 10;
+  EXPECT_FALSE(RunActiveLearning(features, [](size_t) { return true; }, bad2).ok());
+}
+
+TEST(ActiveLearningTest, BudgetCapsAcquisitions) {
+  const Pool pool = MakePool(17, 200);
+  ActiveLearningOptions options;
+  options.initial_sample = 10;
+  options.batch_size = 7;
+  options.max_labels = 31;
+  auto result = RunActiveLearning(
+                    pool.features, [&](size_t i) { return pool.labels[i]; }, options)
+                    .ValueOrDie();
+  EXPECT_LE(result.labeled.size(), 31u);
+}
+
+}  // namespace
+}  // namespace ml
+}  // namespace crowder

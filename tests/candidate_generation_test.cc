@@ -1,0 +1,146 @@
+// Tests for the additional candidate-generation substrate: sorted
+// neighborhood, and the B-cubed cluster metric.
+#include <gtest/gtest.h>
+
+#include "eval/cluster_metrics.h"
+#include "similarity/sorted_neighborhood.h"
+
+namespace crowder {
+namespace similarity {
+namespace {
+
+TEST(SortedNeighborhoodTest, AdjacentKeysBecomeCandidates) {
+  const std::vector<std::string> keys{"apple ipad", "apple ipad 2", "zebra printer",
+                                      "zebra printers"};
+  SortedNeighborhoodOptions options;
+  options.window = 2;
+  options.passes = 1;
+  auto cands = SortedNeighborhood(keys, {}, options).ValueOrDie();
+  // Sorted order: apple ipad, apple ipad 2, zebra printer, zebra printers.
+  // Window 2 pairs ranks (0,1),(1,2),(2,3).
+  ASSERT_EQ(cands.size(), 3u);
+  EXPECT_EQ(cands[0].a, 0u);
+  EXPECT_EQ(cands[0].b, 1u);
+  EXPECT_EQ(cands[2].a, 2u);
+  EXPECT_EQ(cands[2].b, 3u);
+}
+
+TEST(SortedNeighborhoodTest, MultiPassFindsSuffixNeighbors) {
+  // These records share their second token but differ in the first, so the
+  // single-pass sort separates them; the rotated second pass pairs them.
+  const std::vector<std::string> keys{"alpha shared", "omega shared", "middle thing"};
+  SortedNeighborhoodOptions one_pass;
+  one_pass.window = 2;
+  one_pass.passes = 1;
+  SortedNeighborhoodOptions two_pass = one_pass;
+  two_pass.passes = 2;
+
+  auto single = SortedNeighborhood(keys, {}, one_pass).ValueOrDie();
+  auto multi = SortedNeighborhood(keys, {}, two_pass).ValueOrDie();
+  auto contains = [](const std::vector<CandidatePair>& cands, uint32_t a, uint32_t b) {
+    for (const auto& c : cands) {
+      if (c.a == a && c.b == b) return true;
+    }
+    return false;
+  };
+  EXPECT_FALSE(contains(single, 0, 1));
+  EXPECT_TRUE(contains(multi, 0, 1));
+}
+
+TEST(SortedNeighborhoodTest, WindowBoundsCandidateCount) {
+  std::vector<std::string> keys;
+  for (int i = 0; i < 100; ++i) keys.push_back("k" + std::to_string(1000 + i));
+  SortedNeighborhoodOptions options;
+  options.window = 5;
+  options.passes = 1;
+  auto cands = SortedNeighborhood(keys, {}, options).ValueOrDie();
+  // n records, window w, one pass: at most n*(w-1) pairs.
+  EXPECT_LE(cands.size(), 100u * 4u);
+  EXPECT_GT(cands.size(), 0u);
+}
+
+TEST(SortedNeighborhoodTest, RespectsSources) {
+  const std::vector<std::string> keys{"aaa", "aab", "aac"};
+  const std::vector<int> sources{0, 0, 1};
+  SortedNeighborhoodOptions options;
+  options.window = 3;
+  options.passes = 1;
+  auto cands = SortedNeighborhood(keys, sources, options).ValueOrDie();
+  for (const auto& c : cands) {
+    EXPECT_NE(sources[c.a], sources[c.b]);
+  }
+}
+
+TEST(SortedNeighborhoodTest, RejectsBadOptions) {
+  SortedNeighborhoodOptions bad;
+  bad.window = 1;
+  EXPECT_FALSE(SortedNeighborhood({"a"}, {}, bad).ok());
+  SortedNeighborhoodOptions bad2;
+  bad2.passes = 0;
+  EXPECT_FALSE(SortedNeighborhood({"a"}, {}, bad2).ok());
+  EXPECT_FALSE(SortedNeighborhood({"a", "b"}, {0}, {}).ok());
+}
+
+TEST(SortedNeighborhoodTest, DeduplicatesAcrossPasses) {
+  const std::vector<std::string> keys{"x y", "x y", "x y"};
+  SortedNeighborhoodOptions options;
+  options.window = 3;
+  options.passes = 3;
+  auto cands = SortedNeighborhood(keys, {}, options).ValueOrDie();
+  EXPECT_EQ(cands.size(), 3u);  // C(3,2), each exactly once
+}
+
+}  // namespace
+}  // namespace similarity
+
+namespace eval {
+namespace {
+
+TEST(BCubedTest, PerfectClustering) {
+  auto s = BCubed({0, 0, 1, 1}, {7, 7, 9, 9}).ValueOrDie();
+  EXPECT_EQ(s.precision, 1.0);
+  EXPECT_EQ(s.recall, 1.0);
+  EXPECT_EQ(s.f1, 1.0);
+}
+
+TEST(BCubedTest, AllSingletonsAgainstPairs) {
+  // Predicting singletons: perfect precision, recall = 1/2 per record in a
+  // 2-record entity.
+  auto s = BCubed({0, 1, 2, 3}, {7, 7, 9, 9}).ValueOrDie();
+  EXPECT_EQ(s.precision, 1.0);
+  EXPECT_NEAR(s.recall, 0.5, 1e-12);
+}
+
+TEST(BCubedTest, OneBigClusterAgainstPairs) {
+  // Predicting one cluster of 4 over two true 2-entities: recall 1,
+  // precision = 2/4 per record.
+  auto s = BCubed({0, 0, 0, 0}, {7, 7, 9, 9}).ValueOrDie();
+  EXPECT_NEAR(s.precision, 0.5, 1e-12);
+  EXPECT_EQ(s.recall, 1.0);
+}
+
+TEST(BCubedTest, HandComputedMixedCase) {
+  // predicted {0,1},{2}; truth {0},{1,2}.
+  // r0: p=1/2 (cluster {0,1}, overlap with truth {0} = 1), r=1/1.
+  // r1: p=1/2, r=1/2. r2: p=1/1, r=1/2.
+  auto s = BCubed({0, 0, 1}, {5, 6, 6}).ValueOrDie();
+  EXPECT_NEAR(s.precision, (0.5 + 0.5 + 1.0) / 3.0, 1e-12);
+  EXPECT_NEAR(s.recall, (1.0 + 0.5 + 0.5) / 3.0, 1e-12);
+}
+
+TEST(BCubedTest, RejectsBadInputs) {
+  EXPECT_FALSE(BCubed({}, {}).ok());
+  EXPECT_FALSE(BCubed({0, 1}, {0}).ok());
+}
+
+TEST(BCubedTest, SymmetricWhenLabelingsSwap) {
+  // Swapping predicted/truth swaps precision and recall.
+  auto a = BCubed({0, 0, 1}, {5, 6, 6}).ValueOrDie();
+  auto b = BCubed({5, 6, 6}, {0, 0, 1}).ValueOrDie();
+  EXPECT_NEAR(a.precision, b.recall, 1e-12);
+  EXPECT_NEAR(a.recall, b.precision, 1e-12);
+}
+
+}  // namespace
+}  // namespace eval
+}  // namespace crowder

@@ -1,0 +1,367 @@
+// Tests for all five cluster-based HIT generators: paper worked examples as
+// golden tests, plus a parameterized invariant sweep (every generator must
+// satisfy both requirements of Definition 1 on random graphs).
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "graph/pair_graph.h"
+#include "hitgen/approximation_generator.h"
+#include "hitgen/baseline_generators.h"
+#include "hitgen/cluster_generator.h"
+#include "hitgen/packing.h"
+#include "hitgen/two_tiered_generator.h"
+
+namespace crowder {
+namespace hitgen {
+namespace {
+
+std::vector<graph::Edge> Figure5Edges() {
+  return {{0, 1}, {0, 6}, {1, 2}, {1, 6}, {2, 3}, {2, 4}, {3, 4}, {3, 5}, {3, 6}, {7, 8}};
+}
+
+graph::PairGraph Figure5Graph() {
+  return graph::PairGraph::Create(9, Figure5Edges()).ValueOrDie();
+}
+
+std::vector<graph::Edge> RandomEdges(uint64_t seed, uint32_t n, double density) {
+  Rng rng(seed);
+  std::vector<graph::Edge> edges;
+  for (uint32_t i = 0; i < n; ++i) {
+    for (uint32_t j = i + 1; j < n; ++j) {
+      if (rng.Bernoulli(density)) edges.push_back({i, j});
+    }
+  }
+  return edges;
+}
+
+// ---------------------------------------------------------------------------
+// Two-tiered: paper worked examples.
+// ---------------------------------------------------------------------------
+
+TEST(TwoTieredTest, PaperExample3Partitioning) {
+  // Example 3 partitions the Figure 5 LCC into {r3,r4,r5,r6}, {r1,r2,r3,r7}
+  // and {r4,r7} (0-indexed: {2,3,4,5}, {0,1,2,6}, {3,6}).
+  auto g = Figure5Graph();
+  const std::vector<uint32_t> lcc{0, 1, 2, 3, 4, 5, 6};
+  const auto parts = PartitionLcc(&g, lcc, 4);
+  ASSERT_EQ(parts.size(), 3u);
+  EXPECT_EQ(parts[0], (std::vector<uint32_t>{2, 3, 4, 5}));
+  EXPECT_EQ(parts[1], (std::vector<uint32_t>{0, 1, 2, 6}));
+  EXPECT_EQ(parts[2], (std::vector<uint32_t>{3, 6}));
+}
+
+TEST(TwoTieredTest, PaperOptimalThreeHits) {
+  // §5.1: the full two-tiered pipeline produces three cluster-based HITs for
+  // the ten pairs with k=4 — the optimum from §3.2.
+  auto g = Figure5Graph();
+  TwoTieredGenerator generator;
+  auto hits = generator.Generate(&g, 4);
+  ASSERT_TRUE(hits.ok());
+  EXPECT_EQ(hits->size(), 3u);
+  g.Reset();
+  EXPECT_TRUE(ValidateClusterCover(*hits, g, 4).ok());
+}
+
+TEST(TwoTieredTest, PartitioningSeedRuleAblation) {
+  auto g = Figure5Graph();
+  PartitionOptions options;
+  options.seed_rule = PartitionOptions::SeedRule::kFirst;
+  const auto parts = PartitionLcc(&g, {0, 1, 2, 3, 4, 5, 6}, 4, options);
+  // Different seeding still covers every edge of the component.
+  g.Reset();
+  size_t covered = 0;
+  for (const auto& part : parts) covered += g.RemoveEdgesCoveredBy(part);
+  EXPECT_EQ(covered, 9u);  // the LCC has 9 edges
+}
+
+TEST(TwoTieredTest, PartitioningWithoutOutdegreeTiebreak) {
+  auto g = Figure5Graph();
+  PartitionOptions options;
+  options.outdegree_tiebreak = false;
+  const auto parts = PartitionLcc(&g, {0, 1, 2, 3, 4, 5, 6}, 4, options);
+  g.Reset();
+  size_t covered = 0;
+  for (const auto& part : parts) covered += g.RemoveEdgesCoveredBy(part);
+  EXPECT_EQ(covered, 9u);
+  for (const auto& part : parts) EXPECT_LE(part.size(), 4u);
+}
+
+TEST(TwoTieredTest, FfdPackingAblationStillValid) {
+  auto g = Figure5Graph();
+  TwoTieredOptions options;
+  options.packing.strategy = PackingStrategy::kFfd;
+  TwoTieredGenerator generator(options);
+  auto hits = generator.Generate(&g, 4);
+  ASSERT_TRUE(hits.ok());
+  g.Reset();
+  EXPECT_TRUE(ValidateClusterCover(*hits, g, 4).ok());
+}
+
+TEST(TwoTieredTest, NoPackingProducesOneHitPerScc) {
+  auto g = Figure5Graph();
+  TwoTieredOptions options;
+  options.packing.strategy = PackingStrategy::kNone;
+  TwoTieredGenerator generator(options);
+  auto hits = generator.Generate(&g, 4);
+  ASSERT_TRUE(hits.ok());
+  // 3 partition SCCs + 1 natural SCC {7,8} = 4 HITs.
+  EXPECT_EQ(hits->size(), 4u);
+}
+
+TEST(TwoTieredTest, RejectsTinyK) {
+  auto g = Figure5Graph();
+  TwoTieredGenerator generator;
+  EXPECT_FALSE(generator.Generate(&g, 1).ok());
+}
+
+TEST(TwoTieredTest, EmptyGraphYieldsNoHits) {
+  auto g = graph::PairGraph::Create(5, {}).ValueOrDie();
+  TwoTieredGenerator generator;
+  auto hits = generator.Generate(&g, 4);
+  ASSERT_TRUE(hits.ok());
+  EXPECT_TRUE(hits->empty());
+}
+
+// ---------------------------------------------------------------------------
+// Approximation: paper Example 2.
+// ---------------------------------------------------------------------------
+
+TEST(ApproximationTest, PaperExample2SevenHits) {
+  // Example 2: |SEQ| = 19 (9 vertices + 10 edges), k=4 -> ceil(19/3) = 7
+  // cluster-based HITs regardless of the vertex order chosen.
+  for (auto order :
+       {SeqVertexOrder::kRandom, SeqVertexOrder::kAscending, SeqVertexOrder::kMaxDegree}) {
+    auto g = Figure5Graph();
+    ApproximationOptions options;
+    options.order = order;
+    ApproximationGenerator generator(options);
+    auto hits = generator.Generate(&g, 4);
+    ASSERT_TRUE(hits.ok());
+    EXPECT_EQ(hits->size(), 7u) << "order=" << static_cast<int>(order);
+  }
+}
+
+TEST(ApproximationTest, CoversAllPairs) {
+  auto g = Figure5Graph();
+  ApproximationGenerator generator;
+  auto hits = generator.Generate(&g, 4);
+  ASSERT_TRUE(hits.ok());
+  g.Reset();
+  EXPECT_TRUE(ValidateClusterCover(*hits, g, 4).ok());
+}
+
+TEST(ApproximationTest, SkipEmptyWindowsReducesCount) {
+  ApproximationOptions with_empty;
+  with_empty.count_empty_windows = true;
+  with_empty.order = SeqVertexOrder::kAscending;
+  ApproximationOptions without_empty = with_empty;
+  without_empty.count_empty_windows = false;
+
+  auto g1 = Figure5Graph();
+  auto g2 = Figure5Graph();
+  const auto hits1 = ApproximationGenerator(with_empty).Generate(&g1, 4).ValueOrDie();
+  const auto hits2 = ApproximationGenerator(without_empty).Generate(&g2, 4).ValueOrDie();
+  EXPECT_LE(hits2.size(), hits1.size());
+  g2.Reset();
+  EXPECT_TRUE(ValidateClusterCover(hits2, g2, 4).ok());
+}
+
+TEST(ApproximationTest, DeterministicGivenSeed) {
+  ApproximationOptions options;
+  options.seed = 99;
+  auto g1 = Figure5Graph();
+  auto g2 = Figure5Graph();
+  const auto h1 = ApproximationGenerator(options).Generate(&g1, 5).ValueOrDie();
+  const auto h2 = ApproximationGenerator(options).Generate(&g2, 5).ValueOrDie();
+  ASSERT_EQ(h1.size(), h2.size());
+  for (size_t i = 0; i < h1.size(); ++i) EXPECT_EQ(h1[i].records, h2[i].records);
+}
+
+// ---------------------------------------------------------------------------
+// Baselines.
+// ---------------------------------------------------------------------------
+
+TEST(BaselineTest, BfsCoversFigure5) {
+  auto g = Figure5Graph();
+  BfsGenerator generator;
+  auto hits = generator.Generate(&g, 4);
+  ASSERT_TRUE(hits.ok());
+  g.Reset();
+  EXPECT_TRUE(ValidateClusterCover(*hits, g, 4).ok());
+}
+
+TEST(BaselineTest, DfsCoversFigure5) {
+  auto g = Figure5Graph();
+  DfsGenerator generator;
+  auto hits = generator.Generate(&g, 4);
+  ASSERT_TRUE(hits.ok());
+  g.Reset();
+  EXPECT_TRUE(ValidateClusterCover(*hits, g, 4).ok());
+}
+
+TEST(BaselineTest, RandomCoversFigure5) {
+  auto g = Figure5Graph();
+  RandomGenerator generator(123);
+  auto hits = generator.Generate(&g, 4);
+  ASSERT_TRUE(hits.ok());
+  g.Reset();
+  EXPECT_TRUE(ValidateClusterCover(*hits, g, 4).ok());
+}
+
+TEST(BaselineTest, RandomDeterministicGivenSeed) {
+  RandomGenerator gen_a(7);
+  RandomGenerator gen_b(7);
+  auto g1 = Figure5Graph();
+  auto g2 = Figure5Graph();
+  const auto h1 = gen_a.Generate(&g1, 5).ValueOrDie();
+  const auto h2 = gen_b.Generate(&g2, 5).ValueOrDie();
+  ASSERT_EQ(h1.size(), h2.size());
+  for (size_t i = 0; i < h1.size(); ++i) EXPECT_EQ(h1[i].records, h2[i].records);
+}
+
+TEST(FactoryTest, CreatesEveryAlgorithm) {
+  for (auto algo : {ClusterAlgorithm::kRandom, ClusterAlgorithm::kBfs, ClusterAlgorithm::kDfs,
+                    ClusterAlgorithm::kApproximation, ClusterAlgorithm::kTwoTiered}) {
+    auto generator = MakeClusterGenerator(algo);
+    ASSERT_NE(generator, nullptr);
+    EXPECT_EQ(generator->name(), ClusterAlgorithmName(algo));
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Invariant sweep: Definition 1 holds for every generator on random graphs.
+// ---------------------------------------------------------------------------
+
+struct SweepCase {
+  ClusterAlgorithm algorithm;
+  uint64_t seed;
+  uint32_t n;
+  double density;
+  uint32_t k;
+};
+
+class GeneratorInvariants : public ::testing::TestWithParam<SweepCase> {};
+
+TEST_P(GeneratorInvariants, DefinitionOneHolds) {
+  const auto& p = GetParam();
+  const auto edges = RandomEdges(p.seed, p.n, p.density);
+  auto g = graph::PairGraph::Create(p.n, edges).ValueOrDie();
+  ClusterGeneratorOptions options;
+  options.seed = p.seed * 31 + 1;
+  auto generator = MakeClusterGenerator(p.algorithm, options);
+  auto hits = generator->Generate(&g, p.k);
+  ASSERT_TRUE(hits.ok()) << hits.status().ToString();
+  EXPECT_FALSE(g.HasAliveEdges());  // generator consumed every pair
+  g.Reset();
+  EXPECT_TRUE(ValidateClusterCover(*hits, g, p.k).ok());
+}
+
+std::vector<SweepCase> MakeSweep() {
+  std::vector<SweepCase> cases;
+  const ClusterAlgorithm algos[] = {ClusterAlgorithm::kRandom, ClusterAlgorithm::kBfs,
+                                    ClusterAlgorithm::kDfs, ClusterAlgorithm::kApproximation,
+                                    ClusterAlgorithm::kTwoTiered};
+  int seed = 1;
+  for (auto algo : algos) {
+    for (uint32_t n : {12u, 40u}) {
+      for (double density : {0.05, 0.25}) {
+        for (uint32_t k : {3u, 5u, 10u}) {
+          cases.push_back({algo, static_cast<uint64_t>(seed++), n, density, k});
+        }
+      }
+    }
+  }
+  return cases;
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, GeneratorInvariants, ::testing::ValuesIn(MakeSweep()));
+
+// ---------------------------------------------------------------------------
+// Relative quality: two-tiered should not lose to the baselines.
+// ---------------------------------------------------------------------------
+
+TEST(GeneratorQualityTest, TwoTieredBeatsOrTiesBaselinesOnRandomGraphs) {
+  for (uint64_t seed : {21u, 22u, 23u}) {
+    const auto edges = RandomEdges(seed, 60, 0.08);
+    auto count_hits = [&](ClusterAlgorithm algo) {
+      auto g = graph::PairGraph::Create(60, edges).ValueOrDie();
+      ClusterGeneratorOptions options;
+      options.seed = seed;
+      auto hits = MakeClusterGenerator(algo, options)->Generate(&g, 10);
+      return hits.ValueOrDie().size();
+    };
+    const size_t two_tiered = count_hits(ClusterAlgorithm::kTwoTiered);
+    EXPECT_LE(two_tiered, count_hits(ClusterAlgorithm::kRandom));
+    EXPECT_LE(two_tiered, count_hits(ClusterAlgorithm::kApproximation));
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Packing unit tests.
+// ---------------------------------------------------------------------------
+
+TEST(PackingTest, MergesDisjointSccs) {
+  const std::vector<std::vector<uint32_t>> sccs{{0, 1}, {2, 3}};
+  auto hits = PackSccs(sccs, 4);
+  ASSERT_TRUE(hits.ok());
+  ASSERT_EQ(hits->size(), 1u);
+  EXPECT_EQ((*hits)[0].records, (std::vector<uint32_t>{0, 1, 2, 3}));
+}
+
+TEST(PackingTest, SharedVerticesDeduplicated) {
+  // Overlapping SCCs (partitioning can produce them) merge without blowing
+  // the record count.
+  const std::vector<std::vector<uint32_t>> sccs{{0, 1, 2}, {2, 3}};
+  auto hits = PackSccs(sccs, 5);
+  ASSERT_TRUE(hits.ok());
+  // The ILP sees sizes 3 and 2 (sum 5 <= k) and may pack them together.
+  for (const auto& hit : *hits) EXPECT_LE(hit.records.size(), 5u);
+}
+
+TEST(PackingTest, RejectsOversizedScc) {
+  EXPECT_FALSE(PackSccs({{0, 1, 2, 3, 4}}, 4).ok());
+}
+
+TEST(PackingTest, RejectsEmptyScc) {
+  EXPECT_FALSE(PackSccs({{}}, 4).ok());
+}
+
+TEST(PackingTest, EmptyInputOk) {
+  auto hits = PackSccs({}, 4);
+  ASSERT_TRUE(hits.ok());
+  EXPECT_TRUE(hits->empty());
+}
+
+TEST(PackingTest, StrategiesAgreeOnBinCountForEasyInstance) {
+  // Sizes {4,4,2,2} with k=4: ILP and FFD both need 3 bins.
+  const std::vector<std::vector<uint32_t>> sccs{{0, 1, 2, 3}, {4, 5, 6, 7}, {8, 9}, {10, 11}};
+  PackingOptions ilp;
+  PackingOptions ffd;
+  ffd.strategy = PackingStrategy::kFfd;
+  EXPECT_EQ(PackSccs(sccs, 4, ilp).ValueOrDie().size(), 3u);
+  EXPECT_EQ(PackSccs(sccs, 4, ffd).ValueOrDie().size(), 3u);
+}
+
+TEST(PackingTest, EveryRecordLandsInExactlyOneHitForDisjointSccs) {
+  std::vector<std::vector<uint32_t>> sccs;
+  uint32_t next = 0;
+  Rng rng(5);
+  for (int i = 0; i < 20; ++i) {
+    std::vector<uint32_t> scc;
+    const uint32_t size = 1 + static_cast<uint32_t>(rng.Uniform(6));
+    for (uint32_t j = 0; j < size; ++j) scc.push_back(next++);
+    sccs.push_back(std::move(scc));
+  }
+  auto hits = PackSccs(sccs, 6);
+  ASSERT_TRUE(hits.ok());
+  std::vector<int> seen(next, 0);
+  for (const auto& hit : *hits) {
+    EXPECT_LE(hit.records.size(), 6u);
+    for (uint32_t r : hit.records) ++seen[r];
+  }
+  for (uint32_t r = 0; r < next; ++r) EXPECT_EQ(seen[r], 1) << "record " << r;
+}
+
+}  // namespace
+}  // namespace hitgen
+}  // namespace crowder

@@ -1,0 +1,115 @@
+// Tests for the §6 comparison-count model, anchored on the paper's
+// Example 4 and the two extreme cases discussed in the text.
+#include <gtest/gtest.h>
+
+#include "hitgen/comparison_model.h"
+
+namespace crowder {
+namespace hitgen {
+namespace {
+
+TEST(ComparisonModelTest, PaperExample4) {
+  // HIT {r1,r2,r3,r7}: e1={r1,r2,r7} (3 records), e2={r3}. Identifying e1
+  // first needs 3 comparisons; that is the minimum. The reverse order needs
+  // 3 + 2 = 5, the maximum.
+  EXPECT_EQ(ComparisonsInOrder({3, 1}), 3u);
+  EXPECT_EQ(ComparisonsInOrder({1, 3}), 5u);
+  EXPECT_EQ(MinComparisons({3, 1}), 3u);
+  EXPECT_EQ(MaxComparisons({3, 1}), 5u);
+}
+
+TEST(ComparisonModelTest, PairHitWouldNeedFour) {
+  // Example 4's closing remark: a pair-based HIT checking those four pairs
+  // needs four comparisons; the cluster-based HIT needed three.
+  PairBasedHit hit;
+  hit.pairs = {{0, 1}, {0, 6}, {1, 2}, {1, 6}};
+  EXPECT_EQ(PairHitComparisons(hit), 4u);
+  EXPECT_LT(MinComparisons({3, 1}), PairHitComparisons(hit));
+}
+
+TEST(ComparisonModelTest, AllDistinctExtreme) {
+  // n singleton entities -> n(n-1)/2 comparisons (§6 first extreme).
+  EXPECT_EQ(ComparisonsInOrder({1, 1, 1, 1}), 6u);
+  EXPECT_EQ(ComparisonsInOrder({1, 1, 1, 1, 1}), 10u);
+}
+
+TEST(ComparisonModelTest, AllDuplicateExtreme) {
+  // One entity with n records -> n-1 comparisons (§6 second extreme).
+  EXPECT_EQ(ComparisonsInOrder({4}), 3u);
+  EXPECT_EQ(ComparisonsInOrder({10}), 9u);
+}
+
+TEST(ComparisonModelTest, Equation2Equivalence) {
+  // Eq 1 == Eq 2: (n-1)m - sum_{i<m} (m-i)|e_i|.
+  const std::vector<uint32_t> sizes{2, 3, 1, 4};
+  uint64_t n = 0;
+  for (uint32_t s : sizes) n += s;
+  const uint64_t m = sizes.size();
+  uint64_t eq2 = (n - 1) * m;
+  for (size_t i = 0; i + 1 < sizes.size(); ++i) {
+    eq2 -= (m - (i + 1)) * sizes[i];
+  }
+  EXPECT_EQ(ComparisonsInOrder(sizes), eq2);
+}
+
+TEST(ComparisonModelTest, DecreasingOrderIsOptimal) {
+  // Exhaustively verify over permutations that decreasing size order attains
+  // the minimum (the paper's prose says "increasing" but its own example and
+  // Eq. 2 give decreasing; see comparison_model.h).
+  std::vector<uint32_t> sizes{1, 2, 3};
+  std::sort(sizes.begin(), sizes.end());
+  uint64_t best = UINT64_MAX;
+  uint64_t worst = 0;
+  do {
+    const uint64_t c = ComparisonsInOrder(sizes);
+    best = std::min(best, c);
+    worst = std::max(worst, c);
+  } while (std::next_permutation(sizes.begin(), sizes.end()));
+  EXPECT_EQ(MinComparisons({1, 2, 3}), best);
+  EXPECT_EQ(MaxComparisons({1, 2, 3}), worst);
+}
+
+TEST(ComparisonModelTest, MinLeMaxAlways) {
+  const std::vector<std::vector<uint32_t>> cases{
+      {1}, {5}, {1, 1}, {2, 2}, {1, 4, 2}, {3, 3, 3}, {1, 1, 1, 7}};
+  for (const auto& sizes : cases) {
+    EXPECT_LE(MinComparisons(sizes), MaxComparisons(sizes));
+  }
+}
+
+TEST(ComparisonModelTest, EmptyHit) {
+  EXPECT_EQ(ComparisonsInOrder({}), 0u);
+  EXPECT_EQ(MinComparisons({}), 0u);
+}
+
+TEST(EntitySizesTest, GroupsByGroundTruth) {
+  // Records 0,1,6 are entity 0; record 2 is entity 1 (Example 4 layout).
+  const std::vector<uint32_t> entity_of{0, 0, 1, 2, 3, 4, 0};
+  ClusterBasedHit hit{{0, 1, 2, 6}};
+  EXPECT_EQ(EntitySizesInHit(hit, entity_of), (std::vector<uint32_t>{3, 1}));
+}
+
+TEST(EntitySizesTest, AllDistinct) {
+  const std::vector<uint32_t> entity_of{0, 1, 2, 3};
+  ClusterBasedHit hit{{0, 1, 2, 3}};
+  EXPECT_EQ(EntitySizesInHit(hit, entity_of), (std::vector<uint32_t>{1, 1, 1, 1}));
+}
+
+TEST(EntitySizesTest, OrderFollowsFirstAppearance) {
+  const std::vector<uint32_t> entity_of{7, 7, 5, 5, 5};
+  ClusterBasedHit hit{{2, 3, 0, 1, 4}};
+  // First appearance order: entity 5 (records 2,3,4), then entity 7 (0,1).
+  EXPECT_EQ(EntitySizesInHit(hit, entity_of), (std::vector<uint32_t>{3, 2}));
+}
+
+TEST(ComparisonModelTest, MoreDuplicatesFewerComparisons) {
+  // §6 observation 1: with n fixed, more/larger matches reduce comparisons.
+  EXPECT_LT(MinComparisons({5, 5}), MinComparisons({4, 4, 2}));
+  EXPECT_LT(MinComparisons({4, 4, 2}), MinComparisons({2, 2, 2, 2, 2}));
+  EXPECT_LT(MinComparisons({2, 2, 2, 2, 2}),
+            MinComparisons({1, 1, 1, 1, 1, 1, 1, 1, 1, 1}));
+}
+
+}  // namespace
+}  // namespace hitgen
+}  // namespace crowder

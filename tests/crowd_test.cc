@@ -1,0 +1,333 @@
+// Tests for the crowd platform simulator: worker error model, qualification
+// test, vote alignment, determinism, latency model, failure injection.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "crowd/platform.h"
+#include "crowd/worker.h"
+#include "hitgen/pair_hit_generator.h"
+
+namespace crowder {
+namespace crowd {
+namespace {
+
+Worker MakeWorker(WorkerType type, uint64_t seed = 1) {
+  return Worker(0, type, 1.0, Rng(seed));
+}
+
+TEST(WorkerTest, ReliableErrorLowOnEasyPairs) {
+  const Worker w = MakeWorker(WorkerType::kReliable);
+  CrowdModel model;
+  // Easy pair: hardness 0.
+  EXPECT_NEAR(w.ErrorProbability(true, 0.9, 0.0, model), model.reliable_base_error, 1e-12);
+  EXPECT_NEAR(w.ErrorProbability(false, 0.1, 0.0, model), model.reliable_base_error, 1e-12);
+}
+
+TEST(WorkerTest, HardPairsRaiseError) {
+  const Worker w = MakeWorker(WorkerType::kReliable);
+  CrowdModel model;
+  // A true match with low machine likelihood and max hardness is the worst
+  // case for honest workers.
+  const double hard = w.ErrorProbability(true, 0.1, 1.0, model);
+  const double easy = w.ErrorProbability(true, 0.1, 0.0, model);
+  EXPECT_GT(hard, easy);
+  EXPECT_LE(hard, 0.5);
+}
+
+TEST(WorkerTest, TrendDirection) {
+  const Worker w = MakeWorker(WorkerType::kReliable);
+  CrowdModel model;
+  // Matches get harder as likelihood falls; non-matches as it rises.
+  EXPECT_GT(w.ErrorProbability(true, 0.1, 0.8, model),
+            w.ErrorProbability(true, 0.9, 0.8, model));
+  EXPECT_GT(w.ErrorProbability(false, 0.9, 0.8, model),
+            w.ErrorProbability(false, 0.1, 0.8, model));
+}
+
+TEST(WorkerTest, NoisyWorseThanReliable) {
+  const Worker reliable = MakeWorker(WorkerType::kReliable);
+  const Worker noisy = MakeWorker(WorkerType::kNoisy);
+  CrowdModel model;
+  EXPECT_GT(noisy.ErrorProbability(true, 0.5, 0.5, model),
+            reliable.ErrorProbability(true, 0.5, 0.5, model));
+}
+
+TEST(WorkerTest, SpammerIsCoinFlip) {
+  Worker spammer = MakeWorker(WorkerType::kSpammer, 3);
+  CrowdModel model;
+  EXPECT_EQ(spammer.ErrorProbability(true, 0.5, 0.0, model), 0.5);
+  int yes = 0;
+  for (int i = 0; i < 2000; ++i) {
+    yes += spammer.AnswerPair(false, 0.0, 0.0, model);  // truth irrelevant
+  }
+  EXPECT_NEAR(yes / 2000.0, model.spammer_yes_rate, 0.05);
+}
+
+TEST(WorkerTest, HonestWorkersMostlyCorrectOnEasyPairs) {
+  Worker w = MakeWorker(WorkerType::kReliable, 5);
+  CrowdModel model;
+  int correct = 0;
+  for (int i = 0; i < 2000; ++i) {
+    correct += (w.AnswerPair(true, 0.9, 0.0, model) == true);
+  }
+  EXPECT_GT(correct, 1900);
+}
+
+TEST(WorkerTest, QualificationTestFiltersSpammers) {
+  CrowdModel model;
+  int honest_pass = 0;
+  int spam_pass = 0;
+  for (uint64_t s = 0; s < 300; ++s) {
+    Worker honest(0, WorkerType::kReliable, 1.0, Rng(s));
+    Worker spam(1, WorkerType::kSpammer, 1.0, Rng(s + 1000));
+    const std::vector<bool> truths{true, false, true};
+    const std::vector<double> likes{0.9, 0.05, 0.55};
+    honest_pass += honest.TakeQualificationTest(truths, likes, model);
+    spam_pass += spam.TakeQualificationTest(truths, likes, model);
+  }
+  EXPECT_GT(honest_pass, 250);  // (1-0.02)^3 ~ 94%
+  EXPECT_LT(spam_pass, 80);     // ~ 0.55*0.45*0.55 ~ 14%
+}
+
+TEST(WorkerPoolTest, MixMatchesFractions) {
+  CrowdModel model;
+  model.pool_size = 4000;
+  Rng rng(11);
+  const auto pool = MakeWorkerPool(model, &rng);
+  int reliable = 0;
+  int noisy = 0;
+  int spam = 0;
+  for (const auto& w : pool) {
+    switch (w.type()) {
+      case WorkerType::kReliable:
+        ++reliable;
+        break;
+      case WorkerType::kNoisy:
+        ++noisy;
+        break;
+      case WorkerType::kSpammer:
+        ++spam;
+        break;
+    }
+  }
+  EXPECT_NEAR(reliable / 4000.0, model.reliable_fraction, 0.03);
+  EXPECT_NEAR(noisy / 4000.0, model.noisy_fraction, 0.03);
+  EXPECT_NEAR(spam / 4000.0, 1.0 - model.reliable_fraction - model.noisy_fraction, 0.03);
+}
+
+// ---------------------------------------------------------------------------
+// Platform tests.
+// ---------------------------------------------------------------------------
+
+struct Fixture {
+  std::vector<similarity::ScoredPair> pairs;
+  std::vector<uint32_t> entity_of;
+
+  CrowdContext Context() const { return {&pairs, &entity_of}; }
+};
+
+Fixture MakeFixture() {
+  Fixture f;
+  // Entities: {0,1} match, {2,3} match, (0,2),(1,3) non-match candidates.
+  f.entity_of = {10, 10, 20, 20};
+  f.pairs = {{0, 1, 0.8}, {2, 3, 0.7}, {0, 2, 0.4}, {1, 3, 0.35}};
+  return f;
+}
+
+TEST(PlatformTest, PairHitsProduceOneVotePerAssignmentPerPair) {
+  const Fixture f = MakeFixture();
+  CrowdModel model;
+  CrowdPlatform platform(model, 42);
+  std::vector<graph::Edge> edges{{0, 1}, {2, 3}, {0, 2}, {1, 3}};
+  auto hits = hitgen::GeneratePairHits(edges, 2).ValueOrDie();
+  auto run = platform.RunPairHits(hits, f.Context());
+  ASSERT_TRUE(run.ok());
+  EXPECT_EQ(run->num_hits, 2u);
+  EXPECT_EQ(run->num_assignments, 2u * model.assignments_per_hit);
+  for (const auto& votes : run->votes) {
+    EXPECT_EQ(votes.size(), model.assignments_per_hit);
+  }
+}
+
+TEST(PlatformTest, DistinctWorkersPerHit) {
+  const Fixture f = MakeFixture();
+  CrowdPlatform platform(CrowdModel{}, 7);
+  std::vector<graph::Edge> edges{{0, 1}, {2, 3}};
+  auto hits = hitgen::GeneratePairHits(edges, 2).ValueOrDie();  // one HIT
+  auto run = platform.RunPairHits(hits, f.Context()).ValueOrDie();
+  for (const auto& votes : run.votes) {
+    std::vector<uint32_t> workers;
+    for (const auto& v : votes) workers.push_back(v.worker_id);
+    std::sort(workers.begin(), workers.end());
+    EXPECT_EQ(std::unique(workers.begin(), workers.end()), workers.end());
+  }
+}
+
+TEST(PlatformTest, ClusterHitsVoteOnCoveredCandidatesOnly) {
+  const Fixture f = MakeFixture();
+  CrowdModel model;
+  CrowdPlatform platform(model, 21);
+  std::vector<hitgen::ClusterBasedHit> hits{{{0, 1, 2}}};  // covers (0,1),(0,2)
+  auto run = platform.RunClusterHits(hits, f.Context()).ValueOrDie();
+  EXPECT_EQ(run.votes[0].size(), model.assignments_per_hit);  // (0,1)
+  EXPECT_EQ(run.votes[2].size(), model.assignments_per_hit);  // (0,2)
+  EXPECT_TRUE(run.votes[1].empty());                          // (2,3) not covered
+  EXPECT_TRUE(run.votes[3].empty());                          // (1,3) not covered
+}
+
+TEST(PlatformTest, DeterministicGivenSeed) {
+  const Fixture f = MakeFixture();
+  std::vector<hitgen::ClusterBasedHit> hits{{{0, 1, 2, 3}}};
+  auto run1 = CrowdPlatform(CrowdModel{}, 99).RunClusterHits(hits, f.Context()).ValueOrDie();
+  auto run2 = CrowdPlatform(CrowdModel{}, 99).RunClusterHits(hits, f.Context()).ValueOrDie();
+  ASSERT_EQ(run1.votes.size(), run2.votes.size());
+  for (size_t i = 0; i < run1.votes.size(); ++i) {
+    ASSERT_EQ(run1.votes[i].size(), run2.votes[i].size());
+    for (size_t j = 0; j < run1.votes[i].size(); ++j) {
+      EXPECT_EQ(run1.votes[i][j].worker_id, run2.votes[i][j].worker_id);
+      EXPECT_EQ(run1.votes[i][j].says_match, run2.votes[i][j].says_match);
+    }
+  }
+  EXPECT_EQ(run1.total_seconds, run2.total_seconds);
+}
+
+TEST(PlatformTest, CostMatchesPaperFormula) {
+  // §7.3: 112 HITs * 3 assignments * $0.025 = $8.40.
+  const Fixture f = MakeFixture();
+  CrowdModel model;
+  EXPECT_NEAR(model.CostPerAssignment(), 0.025, 1e-12);
+  CrowdPlatform platform(model, 1);
+  std::vector<graph::Edge> edges{{0, 1}};
+  auto hits = hitgen::GeneratePairHits(edges, 1).ValueOrDie();
+  auto run = platform.RunPairHits(hits, f.Context()).ValueOrDie();
+  EXPECT_NEAR(run.cost_dollars, 1 * 3 * 0.025, 1e-9);
+}
+
+TEST(PlatformTest, LargerHitsTakeLonger) {
+  const Fixture f = MakeFixture();
+  CrowdModel model;
+  model.speed_sigma = 0.0;  // remove speed noise
+  CrowdPlatform p1(model, 5);
+  CrowdPlatform p2(model, 5);
+  std::vector<graph::Edge> small{{0, 1}};
+  std::vector<graph::Edge> big{{0, 1}, {2, 3}, {0, 2}, {1, 3}};
+  auto run_small =
+      p1.RunPairHits(hitgen::GeneratePairHits(small, 4).ValueOrDie(), f.Context()).ValueOrDie();
+  auto run_big =
+      p2.RunPairHits(hitgen::GeneratePairHits(big, 4).ValueOrDie(), f.Context()).ValueOrDie();
+  EXPECT_LT(run_small.median_assignment_seconds, run_big.median_assignment_seconds);
+}
+
+TEST(PlatformTest, QualificationTestShrinksEligiblePool) {
+  CrowdModel with_qt;
+  with_qt.qualification_test = true;
+  CrowdModel without_qt;
+  CrowdPlatform p_qt(with_qt, 31);
+  CrowdPlatform p_plain(without_qt, 31);
+  EXPECT_LT(p_qt.eligible_workers().size(), p_plain.eligible_workers().size());
+  EXPECT_GT(p_qt.eligible_workers().size(), 0u);
+}
+
+TEST(PlatformTest, AllSpammerPoolWithQtIsInfeasible) {
+  CrowdModel model;
+  model.reliable_fraction = 0.0;
+  model.noisy_fraction = 0.0;
+  model.qualification_test = true;
+  model.pool_size = 20;
+  CrowdPlatform platform(model, 13);
+  const Fixture f = MakeFixture();
+  std::vector<hitgen::ClusterBasedHit> hits{{{0, 1}}};
+  // With ~20 spammers and pass rate ~14% the eligible pool is almost surely
+  // < 3; if not, the run still succeeds — accept either, but exercise the
+  // validation path.
+  auto run = platform.RunClusterHits(hits, f.Context());
+  if (!run.ok()) {
+    EXPECT_TRUE(run.status().IsInfeasible());
+  }
+}
+
+TEST(PlatformTest, NullContextRejected) {
+  CrowdPlatform platform(CrowdModel{}, 1);
+  auto run = platform.RunPairHits({}, CrowdContext{});
+  EXPECT_FALSE(run.ok());
+  EXPECT_TRUE(run.status().IsInvalidArgument());
+}
+
+TEST(PlatformTest, UnknownPairInHitRejected) {
+  const Fixture f = MakeFixture();
+  CrowdPlatform platform(CrowdModel{}, 1);
+  std::vector<graph::Edge> edges{{0, 3}};  // not a candidate pair
+  auto hits = hitgen::GeneratePairHits(edges, 1).ValueOrDie();
+  EXPECT_FALSE(platform.RunPairHits(hits, f.Context()).ok());
+}
+
+TEST(PlatformTest, EmptyHitListYieldsEmptyRun) {
+  const Fixture f = MakeFixture();
+  CrowdPlatform platform(CrowdModel{}, 1);
+  auto run = platform.RunClusterHits({}, f.Context()).ValueOrDie();
+  EXPECT_EQ(run.num_hits, 0u);
+  EXPECT_EQ(run.total_seconds, 0.0);
+  EXPECT_EQ(run.cost_dollars, 0.0);
+}
+
+TEST(PlatformTest, LowerFamiliarityMeansLongerTotalTime) {
+  // The Figure 14 mechanism: fewer attracted workers -> later completion.
+  const Fixture f = MakeFixture();
+  std::vector<hitgen::ClusterBasedHit> hits;
+  for (int i = 0; i < 12; ++i) hits.push_back({{0, 1, 2, 3}});
+  CrowdModel familiar;
+  familiar.familiarity_cluster = 1.0;
+  CrowdModel unfamiliar;
+  unfamiliar.familiarity_cluster = 0.2;
+  auto fast = CrowdPlatform(familiar, 3).RunClusterHits(hits, f.Context()).ValueOrDie();
+  auto slow = CrowdPlatform(unfamiliar, 3).RunClusterHits(hits, f.Context()).ValueOrDie();
+  EXPECT_LT(fast.total_seconds, slow.total_seconds);
+}
+
+TEST(PlatformTest, QualificationTestIncreasesTotalTime) {
+  const Fixture f = MakeFixture();
+  std::vector<hitgen::ClusterBasedHit> hits;
+  for (int i = 0; i < 12; ++i) hits.push_back({{0, 1, 2, 3}});
+  CrowdModel plain;
+  CrowdModel gated;
+  gated.qualification_test = true;
+  auto fast = CrowdPlatform(plain, 5).RunClusterHits(hits, f.Context()).ValueOrDie();
+  auto slow = CrowdPlatform(gated, 5).RunClusterHits(hits, f.Context()).ValueOrDie();
+  EXPECT_GT(slow.total_seconds, fast.total_seconds * 1.5);
+}
+
+TEST(PlatformTest, BiggerBatchesAttractFewerWorkers) {
+  // Same total work split into few large vs many small pair HITs: the large
+  // batches depress the arrival rate (effort term) and finish later per the
+  // model, despite fewer HITs.
+  const Fixture f = MakeFixture();
+  std::vector<graph::Edge> edges;
+  for (int rep = 0; rep < 15; ++rep) {
+    edges.push_back({0, 1});
+    edges.push_back({2, 3});
+    edges.push_back({0, 2});
+    edges.push_back({1, 3});
+  }
+  CrowdModel model;
+  model.effort_scale = 10.0;  // make the effort term bite at these sizes
+  auto small_hits = hitgen::GeneratePairHits(edges, 4).ValueOrDie();
+  auto large_hits = hitgen::GeneratePairHits(edges, 30).ValueOrDie();
+  auto small_run = CrowdPlatform(model, 9).RunPairHits(small_hits, f.Context()).ValueOrDie();
+  auto large_run = CrowdPlatform(model, 9).RunPairHits(large_hits, f.Context()).ValueOrDie();
+  EXPECT_LT(small_run.total_seconds, large_run.total_seconds);
+}
+
+TEST(PlatformTest, TotalTimeExceedsLongestAssignment) {
+  const Fixture f = MakeFixture();
+  CrowdPlatform platform(CrowdModel{}, 17);
+  std::vector<hitgen::ClusterBasedHit> hits{{{0, 1, 2, 3}}};
+  auto run = platform.RunClusterHits(hits, f.Context()).ValueOrDie();
+  const double longest = *std::max_element(run.assignment_seconds.begin(),
+                                           run.assignment_seconds.end());
+  EXPECT_GE(run.total_seconds, longest);
+}
+
+}  // namespace
+}  // namespace crowd
+}  // namespace crowder

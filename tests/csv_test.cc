@@ -1,0 +1,115 @@
+// Unit tests for the CSV reader/writer, including failure injection.
+#include "common/csv.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+
+namespace crowder {
+namespace {
+
+TEST(CsvParseTest, SimpleTable) {
+  auto r = ParseCsv("a,b\n1,2\n3,4\n");
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r->header, (std::vector<std::string>{"a", "b"}));
+  ASSERT_EQ(r->rows.size(), 2u);
+  EXPECT_EQ(r->rows[0], (std::vector<std::string>{"1", "2"}));
+  EXPECT_EQ(r->rows[1], (std::vector<std::string>{"3", "4"}));
+}
+
+TEST(CsvParseTest, QuotedFieldsWithCommasAndNewlines) {
+  auto r = ParseCsv("name,desc\n\"doe, jane\",\"line1\nline2\"\n");
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r->rows[0][0], "doe, jane");
+  EXPECT_EQ(r->rows[0][1], "line1\nline2");
+}
+
+TEST(CsvParseTest, DoubledQuotes) {
+  auto r = ParseCsv("x\n\"she said \"\"hi\"\"\"\n");
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r->rows[0][0], "she said \"hi\"");
+}
+
+TEST(CsvParseTest, CrLfRows) {
+  auto r = ParseCsv("a,b\r\n1,2\r\n");
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r->rows[0], (std::vector<std::string>{"1", "2"}));
+}
+
+TEST(CsvParseTest, MissingFinalNewline) {
+  auto r = ParseCsv("a,b\n1,2");
+  ASSERT_TRUE(r.ok());
+  ASSERT_EQ(r->rows.size(), 1u);
+  EXPECT_EQ(r->rows[0][1], "2");
+}
+
+TEST(CsvParseTest, SkipsBlankLines) {
+  auto r = ParseCsv("a,b\n\n1,2\n\n");
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r->rows.size(), 1u);
+}
+
+TEST(CsvParseTest, NoHeaderMode) {
+  auto r = ParseCsv("1,2\n3,4\n", /*has_header=*/false);
+  ASSERT_TRUE(r.ok());
+  EXPECT_TRUE(r->header.empty());
+  EXPECT_EQ(r->rows.size(), 2u);
+}
+
+TEST(CsvParseTest, ColumnMismatchIsError) {
+  auto r = ParseCsv("a,b\n1,2,3\n");
+  EXPECT_FALSE(r.ok());
+  EXPECT_TRUE(r.status().IsInvalidArgument());
+}
+
+TEST(CsvParseTest, UnterminatedQuoteIsError) {
+  auto r = ParseCsv("a\n\"oops\n");
+  EXPECT_FALSE(r.ok());
+}
+
+TEST(CsvParseTest, QuoteInsideUnquotedFieldIsError) {
+  auto r = ParseCsv("a\nfo\"o\n");
+  EXPECT_FALSE(r.ok());
+}
+
+TEST(CsvParseTest, EmptyInputWithHeaderIsError) {
+  EXPECT_FALSE(ParseCsv("").ok());
+  EXPECT_TRUE(ParseCsv("", /*has_header=*/false).ok());
+}
+
+TEST(CsvParseTest, ColumnIndexLookup) {
+  auto r = ParseCsv("id,name,price\n1,x,2\n");
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r->ColumnIndex("name"), 1);
+  EXPECT_EQ(r->ColumnIndex("missing"), -1);
+}
+
+TEST(CsvWriteTest, RoundTrip) {
+  std::vector<std::string> header{"a", "b"};
+  std::vector<std::vector<std::string>> rows{{"plain", "with,comma"},
+                                             {"with\"quote", "multi\nline"}};
+  const std::string text = WriteCsv(header, rows);
+  auto parsed = ParseCsv(text);
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_EQ(parsed->header, header);
+  EXPECT_EQ(parsed->rows, rows);
+}
+
+TEST(CsvFileTest, WriteAndReadBack) {
+  const std::string path = "/tmp/crowder_csv_test.csv";
+  ASSERT_TRUE(WriteCsvFile(path, {"x", "y"}, {{"1", "2"}}).ok());
+  auto r = ReadCsvFile(path);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r->rows[0], (std::vector<std::string>{"1", "2"}));
+  std::remove(path.c_str());
+}
+
+TEST(CsvFileTest, MissingFileIsIOError) {
+  auto r = ReadCsvFile("/nonexistent/dir/file.csv");
+  EXPECT_FALSE(r.ok());
+  EXPECT_TRUE(r.status().IsIOError());
+}
+
+}  // namespace
+}  // namespace crowder

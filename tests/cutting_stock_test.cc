@@ -1,0 +1,215 @@
+// Tests for the cutting-stock solver, including the paper's §5.3 worked
+// example and optimality checks against brute force.
+#include <gtest/gtest.h>
+
+#include <functional>
+
+#include "common/rng.h"
+#include "lp/cutting_stock.h"
+
+namespace crowder {
+namespace lp {
+namespace {
+
+// Independent brute-force min-bins for verification: fills one maximal-ish
+// bin at a time over all subsets (sizes expanded into items).
+uint32_t BruteForceBins(uint32_t capacity, const std::vector<uint32_t>& demands) {
+  std::vector<uint32_t> items;
+  for (size_t j = 0; j < demands.size(); ++j) {
+    items.insert(items.end(), demands[j], static_cast<uint32_t>(j + 1));
+  }
+  if (items.empty()) return 0;
+  uint32_t best = static_cast<uint32_t>(items.size());
+  std::vector<uint32_t> bins;  // residual capacity per open bin
+  std::function<void(size_t)> go = [&](size_t idx) {
+    if (bins.size() >= best) return;
+    if (idx == items.size()) {
+      best = std::min(best, static_cast<uint32_t>(bins.size()));
+      return;
+    }
+    // Symmetry breaking: try distinct residuals only.
+    for (size_t b = 0; b < bins.size(); ++b) {
+      bool dup = false;
+      for (size_t b2 = 0; b2 < b; ++b2) dup |= (bins[b2] == bins[b]);
+      if (dup || bins[b] < items[idx]) continue;
+      bins[b] -= items[idx];
+      go(idx + 1);
+      bins[b] += items[idx];
+    }
+    bins.push_back(capacity - items[idx]);
+    go(idx + 1);
+    bins.pop_back();
+  };
+  go(0);
+  return best;
+}
+
+uint64_t TotalSlots(const CuttingStockResult& r, size_t size_index) {
+  uint64_t total = 0;
+  for (size_t p = 0; p < r.patterns.size(); ++p) {
+    total += static_cast<uint64_t>(r.patterns[p][size_index]) * r.counts[p];
+  }
+  return total;
+}
+
+TEST(CuttingStockTest, PaperExampleSection53) {
+  // §5.3: SCCs {4,4,2,2} with k=4: c2=2, c4=2 -> optimal 3 HITs
+  // (two [0,0,0,1] bins and one [0,2,0,0] bin).
+  std::vector<uint32_t> demands{0, 2, 0, 2};
+  auto r = SolveCuttingStock(4, demands);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r->num_bins, 3u);
+  EXPECT_TRUE(r->proven_optimal);
+  EXPECT_GE(TotalSlots(*r, 1), 2u);  // both size-2 SCCs placed
+  EXPECT_GE(TotalSlots(*r, 3), 2u);  // both size-4 SCCs placed
+}
+
+TEST(CuttingStockTest, EmptyDemands) {
+  auto r = SolveCuttingStock(10, {0, 0, 0});
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r->num_bins, 0u);
+  EXPECT_TRUE(r->proven_optimal);
+}
+
+TEST(CuttingStockTest, OversizedDemandRejected) {
+  auto r = SolveCuttingStock(3, {0, 0, 0, 1});  // size 4 > capacity 3
+  EXPECT_FALSE(r.ok());
+}
+
+TEST(CuttingStockTest, ZeroCapacityRejected) {
+  EXPECT_FALSE(SolveCuttingStock(0, {1}).ok());
+}
+
+TEST(CuttingStockTest, PerfectPacking) {
+  // 10 items of size 1, capacity 5 -> exactly 2 bins.
+  auto r = SolveCuttingStock(5, {10});
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r->num_bins, 2u);
+  EXPECT_NEAR(r->lp_bound, 2.0, 1e-6);
+}
+
+TEST(CuttingStockTest, LpBoundIsLowerBound) {
+  auto r = SolveCuttingStock(7, {3, 2, 4, 0, 1, 0, 2});
+  ASSERT_TRUE(r.ok());
+  EXPECT_LE(r->lp_bound, static_cast<double>(r->num_bins) + 1e-6);
+}
+
+TEST(CuttingStockTest, FfdFallbackWhenExactDisabled) {
+  CuttingStockOptions options;
+  options.exact = false;
+  auto r = SolveCuttingStock(10, {5, 3, 2, 1}, options);
+  ASSERT_TRUE(r.ok());
+  EXPECT_GT(r->num_bins, 0u);
+}
+
+TEST(FirstFitDecreasingTest, RespectsCapacity) {
+  auto bins = FirstFitDecreasing(10, {7, 5, 3, 3, 2});
+  ASSERT_TRUE(bins.ok());
+  for (const auto& bin : *bins) {
+    uint32_t used = 0;
+    const std::vector<uint32_t> sizes{7, 5, 3, 3, 2};
+    for (uint32_t idx : bin) used += sizes[idx];
+    EXPECT_LE(used, 10u);
+  }
+  // All items placed exactly once.
+  size_t placed = 0;
+  for (const auto& bin : *bins) placed += bin.size();
+  EXPECT_EQ(placed, 5u);
+}
+
+TEST(FirstFitDecreasingTest, ClassicExample) {
+  // 7,5,3,3,2 with capacity 10 -> [7,3], [5,3,2]: two bins.
+  auto bins = FirstFitDecreasing(10, {7, 5, 3, 3, 2});
+  ASSERT_TRUE(bins.ok());
+  EXPECT_EQ(bins->size(), 2u);
+}
+
+TEST(FirstFitDecreasingTest, RejectsOversizedAndZeroItems) {
+  EXPECT_FALSE(FirstFitDecreasing(5, {6}).ok());
+  EXPECT_FALSE(FirstFitDecreasing(5, {0}).ok());
+}
+
+TEST(FirstFitDecreasingTest, EmptyItems) {
+  auto bins = FirstFitDecreasing(5, {});
+  ASSERT_TRUE(bins.ok());
+  EXPECT_TRUE(bins->empty());
+}
+
+// Property sweep: ILP solution is valid (covers demand, respects capacity)
+// and optimal versus brute force on small random instances.
+struct CsCase {
+  uint64_t seed;
+  uint32_t capacity;
+};
+
+class CuttingStockRandom : public ::testing::TestWithParam<CsCase> {};
+
+TEST_P(CuttingStockRandom, ValidAndOptimal) {
+  Rng rng(GetParam().seed);
+  const uint32_t capacity = GetParam().capacity;
+  std::vector<uint32_t> demands(capacity, 0);
+  const size_t kinds = 1 + rng.Uniform(std::min<uint32_t>(capacity, 4));
+  uint32_t total_items = 0;
+  for (size_t k = 0; k < kinds; ++k) {
+    const size_t j = rng.Uniform(capacity);
+    const uint32_t c = 1 + static_cast<uint32_t>(rng.Uniform(4));
+    demands[j] += c;
+    total_items += c;
+  }
+  if (total_items > 10) {  // keep brute force tractable
+    demands.assign(capacity, 0);
+    demands[0] = 6;
+    demands[capacity - 1] = 2;
+  }
+
+  auto r = SolveCuttingStock(capacity, demands);
+  ASSERT_TRUE(r.ok());
+
+  // Validity: pattern weights within capacity; slots cover demand.
+  for (const auto& pattern : r->patterns) {
+    EXPECT_LE(PatternWeight(pattern), capacity);
+  }
+  for (size_t j = 0; j < demands.size(); ++j) {
+    if (demands[j] > 0) {
+      EXPECT_GE(TotalSlots(*r, j), demands[j]);
+    }
+  }
+
+  // Optimality.
+  const uint32_t brute = BruteForceBins(capacity, demands);
+  EXPECT_EQ(r->num_bins, brute);
+  EXPECT_TRUE(r->proven_optimal);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, CuttingStockRandom,
+    ::testing::Values(CsCase{1, 4}, CsCase{2, 4}, CsCase{3, 5}, CsCase{4, 5}, CsCase{5, 6},
+                      CsCase{6, 6}, CsCase{7, 7}, CsCase{8, 8}, CsCase{9, 8}, CsCase{10, 10},
+                      CsCase{11, 10}, CsCase{12, 12}, CsCase{13, 12}, CsCase{14, 15},
+                      CsCase{15, 15}, CsCase{16, 20}, CsCase{17, 20}, CsCase{18, 9},
+                      CsCase{19, 11}, CsCase{20, 13}));
+
+TEST(CuttingStockTest, IlpNeverWorseThanFfdOnLargerInstances) {
+  Rng rng(77);
+  for (int trial = 0; trial < 10; ++trial) {
+    const uint32_t capacity = 10;
+    std::vector<uint32_t> demands(capacity, 0);
+    for (size_t j = 0; j < capacity; ++j) {
+      demands[j] = static_cast<uint32_t>(rng.Uniform(20));
+    }
+    auto r = SolveCuttingStock(capacity, demands);
+    ASSERT_TRUE(r.ok());
+
+    std::vector<uint32_t> items;
+    for (size_t j = 0; j < demands.size(); ++j) {
+      items.insert(items.end(), demands[j], static_cast<uint32_t>(j + 1));
+    }
+    auto ffd = FirstFitDecreasing(capacity, items);
+    ASSERT_TRUE(ffd.ok());
+    EXPECT_LE(r->num_bins, ffd->size());
+  }
+}
+
+}  // namespace
+}  // namespace lp
+}  // namespace crowder

@@ -1,0 +1,134 @@
+// Tests for evaluation metrics and report rendering.
+#include <gtest/gtest.h>
+
+#include "eval/metrics.h"
+#include "eval/report.h"
+
+namespace crowder {
+namespace eval {
+namespace {
+
+std::vector<RankedPair> MakeRanked(std::initializer_list<bool> matches) {
+  std::vector<RankedPair> out;
+  double score = 1.0;
+  uint32_t id = 0;
+  for (bool m : matches) {
+    out.push_back({id, id + 100, score, m});
+    score -= 0.01;
+    ++id;
+  }
+  return out;
+}
+
+TEST(PrCurveTest, HandComputedCurve) {
+  // Ranked: match, non-match, match; 2 matches total in the dataset.
+  auto curve = PrCurve(MakeRanked({true, false, true}), 2).ValueOrDie();
+  ASSERT_EQ(curve.size(), 3u);
+  EXPECT_NEAR(curve[0].precision, 1.0, 1e-12);
+  EXPECT_NEAR(curve[0].recall, 0.5, 1e-12);
+  EXPECT_NEAR(curve[1].precision, 0.5, 1e-12);
+  EXPECT_NEAR(curve[1].recall, 0.5, 1e-12);
+  EXPECT_NEAR(curve[2].precision, 2.0 / 3.0, 1e-12);
+  EXPECT_NEAR(curve[2].recall, 1.0, 1e-12);
+}
+
+TEST(PrCurveTest, SortsByScoreFirst) {
+  std::vector<RankedPair> pairs{{0, 1, 0.2, false}, {2, 3, 0.9, true}};
+  auto curve = PrCurve(pairs, 1).ValueOrDie();
+  EXPECT_NEAR(curve[0].precision, 1.0, 1e-12);  // the 0.9-scored match ranks first
+}
+
+TEST(PrCurveTest, MissedMatchesCapRecall) {
+  // Only 1 of the dataset's 4 matches appears in the list: recall <= 0.25.
+  auto curve = PrCurve(MakeRanked({true, false}), 4).ValueOrDie();
+  EXPECT_NEAR(curve.back().recall, 0.25, 1e-12);
+}
+
+TEST(PrCurveTest, ZeroTotalMatchesRejected) {
+  EXPECT_FALSE(PrCurve(MakeRanked({true}), 0).ok());
+}
+
+TEST(PrCurveTest, EmptyListYieldsEmptyCurve) {
+  auto curve = PrCurve({}, 5).ValueOrDie();
+  EXPECT_TRUE(curve.empty());
+}
+
+TEST(PrCurveTest, RecallMonotone) {
+  auto curve =
+      PrCurve(MakeRanked({true, false, true, true, false, false, true}), 4).ValueOrDie();
+  for (size_t i = 1; i < curve.size(); ++i) {
+    EXPECT_GE(curve[i].recall, curve[i - 1].recall);
+  }
+}
+
+TEST(DownsampleTest, KeepsEndpointsAndBounds) {
+  auto curve = PrCurve(MakeRanked({true, false, true, false, true, false, true, false}), 4)
+                   .ValueOrDie();
+  const auto down = Downsample(curve, 3);
+  ASSERT_EQ(down.size(), 3u);
+  EXPECT_EQ(down.front().n, curve.front().n);
+  EXPECT_EQ(down.back().n, curve.back().n);
+}
+
+TEST(DownsampleTest, NoOpWhenSmall) {
+  auto curve = PrCurve(MakeRanked({true, false}), 1).ValueOrDie();
+  EXPECT_EQ(Downsample(curve, 10).size(), curve.size());
+}
+
+TEST(PrecisionAtRecallTest, InterpolatedPrecision) {
+  auto curve = PrCurve(MakeRanked({true, false, true}), 2).ValueOrDie();
+  EXPECT_NEAR(PrecisionAtRecall(curve, 0.5), 1.0, 1e-12);
+  EXPECT_NEAR(PrecisionAtRecall(curve, 1.0), 2.0 / 3.0, 1e-12);
+  EXPECT_EQ(PrecisionAtRecall(curve, 1.1), 0.0);  // unreachable recall
+}
+
+TEST(BestF1Test, FindsMaximum) {
+  auto curve = PrCurve(MakeRanked({true, true, false, false}), 2).ValueOrDie();
+  EXPECT_NEAR(BestF1(curve), 1.0, 1e-12);  // after two pairs: P=1, R=1
+}
+
+TEST(AreaUnderPrTest, PerfectRankingHasAreaOne) {
+  auto curve = PrCurve(MakeRanked({true, true, false}), 2).ValueOrDie();
+  EXPECT_NEAR(AreaUnderPr(curve), 1.0, 1e-12);
+}
+
+TEST(AreaUnderPrTest, WorseRankingHasSmallerArea) {
+  auto good = PrCurve(MakeRanked({true, true, false, false}), 2).ValueOrDie();
+  auto bad = PrCurve(MakeRanked({false, false, true, true}), 2).ValueOrDie();
+  EXPECT_GT(AreaUnderPr(good), AreaUnderPr(bad));
+}
+
+TEST(TablePrinterTest, AlignsColumns) {
+  TablePrinter t({"threshold", "pairs"});
+  t.AddRow({"0.5", "161"});
+  t.AddRow({"0.1", "83,117"});
+  const std::string out = t.Render();
+  EXPECT_NE(out.find("| threshold | pairs  |"), std::string::npos);
+  EXPECT_NE(out.find("| 0.1       | 83,117 |"), std::string::npos);
+}
+
+TEST(AsciiChartTest, RendersSeriesAndLegend) {
+  Series s;
+  s.name = "two-tiered";
+  s.x = {0.1, 0.2, 0.3};
+  s.y = {10, 20, 30};
+  const std::string chart = AsciiChart({s}, "threshold", "hits");
+  EXPECT_NE(chart.find("two-tiered"), std::string::npos);
+  EXPECT_NE(chart.find('*'), std::string::npos);
+}
+
+TEST(AsciiChartTest, EmptyData) {
+  EXPECT_EQ(AsciiChart({}, "x", "y"), "(no data)\n");
+}
+
+TEST(PrChartTest, RendersMultipleCurves) {
+  auto c1 = PrCurve(MakeRanked({true, true, false}), 2).ValueOrDie();
+  auto c2 = PrCurve(MakeRanked({false, true, true}), 2).ValueOrDie();
+  const std::string chart = PrChart({{"hybrid", c1}, {"simjoin", c2}});
+  EXPECT_NE(chart.find("hybrid"), std::string::npos);
+  EXPECT_NE(chart.find("simjoin"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace eval
+}  // namespace crowder

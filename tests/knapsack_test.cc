@@ -1,0 +1,110 @@
+// Tests for the unbounded knapsack pricing solver.
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "lp/knapsack.h"
+
+namespace crowder {
+namespace lp {
+namespace {
+
+double PatternValue(const std::vector<uint32_t>& counts, const std::vector<double>& values) {
+  double v = 0.0;
+  for (size_t j = 0; j < counts.size(); ++j) v += counts[j] * values[j];
+  return v;
+}
+
+uint32_t PatternWeightOf(const std::vector<uint32_t>& counts) {
+  uint32_t w = 0;
+  for (size_t j = 0; j < counts.size(); ++j) w += counts[j] * static_cast<uint32_t>(j + 1);
+  return w;
+}
+
+TEST(KnapsackTest, SingleItemFillsCapacity) {
+  // Item of size 1 worth 1.0, capacity 5 -> take 5.
+  auto r = SolveUnboundedKnapsack(5, {1.0});
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r->counts[0], 5u);
+  EXPECT_NEAR(r->value, 5.0, 1e-12);
+}
+
+TEST(KnapsackTest, PrefersDenserItem) {
+  // size1 worth 1, size2 worth 3 (density 1.5): capacity 4 -> two size-2.
+  auto r = SolveUnboundedKnapsack(4, {1.0, 3.0});
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r->counts[1], 2u);
+  EXPECT_EQ(r->counts[0], 0u);
+  EXPECT_NEAR(r->value, 6.0, 1e-12);
+}
+
+TEST(KnapsackTest, MixesSizesWhenOptimal) {
+  // capacity 5: size2 worth 3, size3 worth 4. 2+3 -> 7 beats 2+2(=6, wt 4).
+  auto r = SolveUnboundedKnapsack(5, {0.0, 3.0, 4.0});
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r->counts[1], 1u);
+  EXPECT_EQ(r->counts[2], 1u);
+  EXPECT_NEAR(r->value, 7.0, 1e-12);
+}
+
+TEST(KnapsackTest, NegativeValuesNeverTaken) {
+  auto r = SolveUnboundedKnapsack(6, {-1.0, -0.5, 2.0});
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r->counts[0], 0u);
+  EXPECT_EQ(r->counts[1], 0u);
+  EXPECT_EQ(r->counts[2], 2u);
+}
+
+TEST(KnapsackTest, AllNegativeYieldsEmpty) {
+  auto r = SolveUnboundedKnapsack(4, {-1.0, -1.0});
+  ASSERT_TRUE(r.ok());
+  EXPECT_NEAR(r->value, 0.0, 1e-12);
+  EXPECT_EQ(PatternWeightOf(r->counts), 0u);
+}
+
+TEST(KnapsackTest, RejectsOversizedItems) {
+  EXPECT_FALSE(SolveUnboundedKnapsack(2, {1.0, 1.0, 1.0}).ok());
+  EXPECT_FALSE(SolveUnboundedKnapsack(5, {}).ok());
+}
+
+TEST(KnapsackTest, ReconstructionConsistent) {
+  auto r = SolveUnboundedKnapsack(10, {0.7, 1.3, 2.9, 3.1});
+  ASSERT_TRUE(r.ok());
+  EXPECT_LE(PatternWeightOf(r->counts), 10u);
+  EXPECT_NEAR(PatternValue(r->counts, {0.7, 1.3, 2.9, 3.1}), r->value, 1e-9);
+}
+
+// Property: DP optimum matches brute-force enumeration on small instances.
+class KnapsackBruteForce : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(KnapsackBruteForce, MatchesExhaustiveSearch) {
+  Rng rng(GetParam());
+  const uint32_t capacity = 4 + static_cast<uint32_t>(rng.Uniform(5));  // 4..8
+  const size_t sizes = 1 + rng.Uniform(capacity > 4 ? 4 : capacity);
+  std::vector<double> values(sizes);
+  for (auto& v : values) v = rng.UniformDouble(-1.0, 3.0);
+
+  auto r = SolveUnboundedKnapsack(capacity, values);
+  ASSERT_TRUE(r.ok());
+
+  // Exhaustive: iterate all count vectors with total weight <= capacity.
+  double best = 0.0;
+  std::vector<uint32_t> counts(sizes, 0);
+  std::function<void(size_t, uint32_t, double)> go = [&](size_t j, uint32_t weight, double value) {
+    if (j == sizes) {
+      best = std::max(best, value);
+      return;
+    }
+    const uint32_t item = static_cast<uint32_t>(j + 1);
+    for (uint32_t c = 0; weight + c * item <= capacity; ++c) {
+      go(j + 1, weight + c * item, value + c * values[j]);
+    }
+  };
+  go(0, 0, 0.0);
+  EXPECT_NEAR(r->value, best, 1e-9);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, KnapsackBruteForce, ::testing::Range<uint64_t>(1, 21));
+
+}  // namespace
+}  // namespace lp
+}  // namespace crowder

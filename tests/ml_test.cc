@@ -1,0 +1,148 @@
+// Tests for the learning-based baseline substrate: features, scaler, SVM.
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "ml/features.h"
+#include "ml/linear_svm.h"
+#include "ml/scaler.h"
+
+namespace crowder {
+namespace ml {
+namespace {
+
+TEST(FeaturizerTest, DimensionIsTwicePerAttribute) {
+  const std::vector<std::vector<std::string>> records{{"a b", "x"}, {"a c", "y"}};
+  auto f = PairFeaturizer::Create(records, {0, 1});
+  ASSERT_TRUE(f.ok());
+  EXPECT_EQ(f->dim(), 4u);
+  EXPECT_EQ(f->Features(0, 1).size(), 4u);
+}
+
+TEST(FeaturizerTest, IdenticalRecordsScoreOne) {
+  const std::vector<std::vector<std::string>> records{{"apple ipod 8gb"}, {"apple ipod 8gb"}};
+  auto f = PairFeaturizer::Create(records, {0}).ValueOrDie();
+  const auto feats = f.Features(0, 1);
+  EXPECT_NEAR(feats[0], 1.0, 1e-9);  // edit similarity
+  EXPECT_NEAR(feats[1], 1.0, 1e-9);  // cosine
+}
+
+TEST(FeaturizerTest, DisjointRecordsScoreLow) {
+  const std::vector<std::vector<std::string>> records{{"aaa bbb"}, {"xyz qrs"}};
+  auto f = PairFeaturizer::Create(records, {0}).ValueOrDie();
+  const auto feats = f.Features(0, 1);
+  EXPECT_LT(feats[0], 0.5);
+  EXPECT_EQ(feats[1], 0.0);
+}
+
+TEST(FeaturizerTest, SimilarBeatsDissimilar) {
+  const std::vector<std::vector<std::string>> records{
+      {"apple ipod touch 8gb"}, {"apple ipod touch 8 gb black"}, {"sony bravia tv"}};
+  auto f = PairFeaturizer::Create(records, {0}).ValueOrDie();
+  EXPECT_GT(f.Features(0, 1)[1], f.Features(0, 2)[1]);
+  EXPECT_GT(f.Features(0, 1)[0], f.Features(0, 2)[0]);
+}
+
+TEST(FeaturizerTest, RejectsEmptyAttributeList) {
+  EXPECT_FALSE(PairFeaturizer::Create({{"a"}}, {}).ok());
+}
+
+TEST(FeaturizerTest, RejectsOutOfRangeAttribute) {
+  EXPECT_FALSE(PairFeaturizer::Create({{"a"}}, {1}).ok());
+}
+
+TEST(ScalerTest, StandardizesToZeroMeanUnitVar) {
+  StandardScaler scaler;
+  ASSERT_TRUE(scaler.Fit({{1.0, 10.0}, {3.0, 20.0}, {5.0, 30.0}}).ok());
+  const auto t = scaler.Transformed({3.0, 20.0});
+  EXPECT_NEAR(t[0], 0.0, 1e-9);
+  EXPECT_NEAR(t[1], 0.0, 1e-9);
+  const auto hi = scaler.Transformed({5.0, 30.0});
+  EXPECT_GT(hi[0], 0.9);
+}
+
+TEST(ScalerTest, ConstantDimensionMapsToZero) {
+  StandardScaler scaler;
+  ASSERT_TRUE(scaler.Fit({{7.0}, {7.0}, {7.0}}).ok());
+  EXPECT_EQ(scaler.Transformed({7.0})[0], 0.0);
+  EXPECT_EQ(scaler.Transformed({100.0})[0], 0.0);
+}
+
+TEST(ScalerTest, RejectsEmptyAndRagged) {
+  StandardScaler scaler;
+  EXPECT_FALSE(scaler.Fit({}).ok());
+  EXPECT_FALSE(scaler.Fit({{1.0}, {1.0, 2.0}}).ok());
+}
+
+TEST(SvmTest, LearnsLinearlySeparableData) {
+  Rng rng(3);
+  std::vector<std::vector<double>> x;
+  std::vector<int> y;
+  for (int i = 0; i < 400; ++i) {
+    const double a = rng.UniformDouble(-1, 1);
+    const double b = rng.UniformDouble(-1, 1);
+    x.push_back({a, b});
+    y.push_back(a + b > 0 ? 1 : -1);
+  }
+  LinearSvm svm;
+  ASSERT_TRUE(svm.Train(x, y).ok());
+  int correct = 0;
+  for (int i = 0; i < 400; ++i) correct += (svm.Predict(x[i]) == (y[i] == 1));
+  EXPECT_GT(correct, 380);
+}
+
+TEST(SvmTest, ScoreRanksByMargin) {
+  LinearSvm svm;
+  std::vector<std::vector<double>> x{{2.0}, {1.0}, {-1.0}, {-2.0}};
+  std::vector<int> y{1, 1, -1, -1};
+  ASSERT_TRUE(svm.Train(x, y).ok());
+  EXPECT_GT(svm.Score({2.0}), svm.Score({1.0}));
+  EXPECT_GT(svm.Score({1.0}), svm.Score({-1.0}));
+}
+
+TEST(SvmTest, HandlesClassImbalance) {
+  Rng rng(9);
+  std::vector<std::vector<double>> x;
+  std::vector<int> y;
+  // 20 positives vs 400 negatives, separable at x > 0.5.
+  for (int i = 0; i < 20; ++i) {
+    x.push_back({0.6 + 0.3 * rng.UniformDouble()});
+    y.push_back(1);
+  }
+  for (int i = 0; i < 400; ++i) {
+    x.push_back({0.4 * rng.UniformDouble()});
+    y.push_back(-1);
+  }
+  LinearSvm svm;
+  ASSERT_TRUE(svm.Train(x, y).ok());
+  int pos_correct = 0;
+  for (int i = 0; i < 20; ++i) pos_correct += svm.Predict(x[i]);
+  EXPECT_GT(pos_correct, 15);  // positives not drowned out
+}
+
+TEST(SvmTest, RejectsDegenerateInputs) {
+  LinearSvm svm;
+  EXPECT_FALSE(svm.Train({}, {}).ok());
+  EXPECT_FALSE(svm.Train({{1.0}}, {1}).ok());                      // one class only
+  EXPECT_FALSE(svm.Train({{1.0}, {2.0}}, {1, 0}).ok());            // bad label
+  EXPECT_FALSE(svm.Train({{1.0}, {2.0, 3.0}}, {1, -1}).ok());      // ragged
+  SvmOptions bad;
+  bad.lambda = 0.0;
+  EXPECT_FALSE(svm.Train({{1.0}, {-1.0}}, {1, -1}, bad).ok());
+}
+
+TEST(SvmTest, DeterministicGivenSeed) {
+  std::vector<std::vector<double>> x{{1.0}, {2.0}, {-1.0}, {-2.0}};
+  std::vector<int> y{1, 1, -1, -1};
+  LinearSvm a;
+  LinearSvm b;
+  SvmOptions options;
+  options.seed = 5;
+  ASSERT_TRUE(a.Train(x, y, options).ok());
+  ASSERT_TRUE(b.Train(x, y, options).ok());
+  EXPECT_EQ(a.weights(), b.weights());
+  EXPECT_EQ(a.bias(), b.bias());
+}
+
+}  // namespace
+}  // namespace ml
+}  // namespace crowder

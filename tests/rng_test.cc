@@ -1,0 +1,170 @@
+// Unit and statistical tests for the deterministic RNG.
+#include "common/rng.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+
+namespace crowder {
+namespace {
+
+TEST(RngTest, SameSeedSameStream) {
+  Rng a(123);
+  Rng b(123);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.Next64(), b.Next64());
+}
+
+TEST(RngTest, DifferentSeedsDiffer) {
+  Rng a(1);
+  Rng b(2);
+  int same = 0;
+  for (int i = 0; i < 64; ++i) same += (a.Next64() == b.Next64());
+  EXPECT_LT(same, 2);
+}
+
+TEST(RngTest, UniformRespectsBound) {
+  Rng rng(7);
+  for (int i = 0; i < 10000; ++i) {
+    EXPECT_LT(rng.Uniform(17), 17u);
+  }
+}
+
+TEST(RngTest, UniformCoversRange) {
+  Rng rng(9);
+  std::set<uint64_t> seen;
+  for (int i = 0; i < 2000; ++i) seen.insert(rng.Uniform(10));
+  EXPECT_EQ(seen.size(), 10u);
+}
+
+TEST(RngTest, UniformIntInclusiveEndpoints) {
+  Rng rng(11);
+  bool saw_lo = false;
+  bool saw_hi = false;
+  for (int i = 0; i < 5000; ++i) {
+    const int64_t v = rng.UniformInt(-3, 3);
+    EXPECT_GE(v, -3);
+    EXPECT_LE(v, 3);
+    saw_lo |= (v == -3);
+    saw_hi |= (v == 3);
+  }
+  EXPECT_TRUE(saw_lo);
+  EXPECT_TRUE(saw_hi);
+}
+
+TEST(RngTest, UniformDoubleInUnitInterval) {
+  Rng rng(13);
+  double sum = 0.0;
+  for (int i = 0; i < 20000; ++i) {
+    const double u = rng.UniformDouble();
+    ASSERT_GE(u, 0.0);
+    ASSERT_LT(u, 1.0);
+    sum += u;
+  }
+  EXPECT_NEAR(sum / 20000.0, 0.5, 0.01);
+}
+
+TEST(RngTest, BernoulliMatchesProbability) {
+  Rng rng(17);
+  int hits = 0;
+  for (int i = 0; i < 20000; ++i) hits += rng.Bernoulli(0.3);
+  EXPECT_NEAR(hits / 20000.0, 0.3, 0.015);
+  EXPECT_FALSE(rng.Bernoulli(0.0));
+  EXPECT_TRUE(rng.Bernoulli(1.0));
+}
+
+TEST(RngTest, GaussianMoments) {
+  Rng rng(19);
+  double sum = 0.0;
+  double sq = 0.0;
+  const int n = 50000;
+  for (int i = 0; i < n; ++i) {
+    const double g = rng.Gaussian();
+    sum += g;
+    sq += g * g;
+  }
+  EXPECT_NEAR(sum / n, 0.0, 0.02);
+  EXPECT_NEAR(sq / n, 1.0, 0.03);
+}
+
+TEST(RngTest, GaussianWithParams) {
+  Rng rng(21);
+  double sum = 0.0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) sum += rng.Gaussian(5.0, 2.0);
+  EXPECT_NEAR(sum / n, 5.0, 0.1);
+}
+
+TEST(RngTest, ExponentialMean) {
+  Rng rng(23);
+  double sum = 0.0;
+  const int n = 50000;
+  for (int i = 0; i < n; ++i) sum += rng.Exponential(2.0);
+  EXPECT_NEAR(sum / n, 0.5, 0.02);
+}
+
+TEST(RngTest, ZipfSkewsTowardSmallIndices) {
+  Rng rng(25);
+  int first_two = 0;
+  const int n = 5000;
+  for (int i = 0; i < n; ++i) {
+    const uint64_t v = rng.Zipf(20, 1.2);
+    EXPECT_LT(v, 20u);
+    first_two += (v <= 1);
+  }
+  // Under zipf(20, 1.2) the top two items carry well over a third of mass.
+  EXPECT_GT(first_two, n / 3);
+}
+
+TEST(RngTest, ShufflePreservesElements) {
+  Rng rng(27);
+  std::vector<int> v{1, 2, 3, 4, 5, 6, 7, 8};
+  std::vector<int> orig = v;
+  rng.Shuffle(&v);
+  std::sort(v.begin(), v.end());
+  EXPECT_EQ(v, orig);
+}
+
+TEST(RngTest, SampleWithoutReplacementDistinct) {
+  Rng rng(29);
+  const auto sample = rng.SampleWithoutReplacement(100, 30);
+  EXPECT_EQ(sample.size(), 30u);
+  std::set<size_t> s(sample.begin(), sample.end());
+  EXPECT_EQ(s.size(), 30u);
+  for (size_t v : sample) EXPECT_LT(v, 100u);
+}
+
+TEST(RngTest, SampleAllElements) {
+  Rng rng(31);
+  const auto sample = rng.SampleWithoutReplacement(5, 5);
+  std::set<size_t> s(sample.begin(), sample.end());
+  EXPECT_EQ(s.size(), 5u);
+}
+
+TEST(RngTest, WeightedIndexFollowsWeights) {
+  Rng rng(33);
+  std::vector<double> weights{1.0, 0.0, 3.0};
+  int counts[3] = {0, 0, 0};
+  for (int i = 0; i < 20000; ++i) ++counts[rng.WeightedIndex(weights)];
+  EXPECT_EQ(counts[1], 0);
+  EXPECT_NEAR(static_cast<double>(counts[2]) / counts[0], 3.0, 0.25);
+}
+
+TEST(RngTest, ForkProducesIndependentStreams) {
+  Rng parent(35);
+  Rng childa = parent.Fork(1);
+  Rng childb = parent.Fork(2);
+  int same = 0;
+  for (int i = 0; i < 64; ++i) same += (childa.Next64() == childb.Next64());
+  EXPECT_LT(same, 2);
+}
+
+TEST(RngTest, SplitMix64Deterministic) {
+  uint64_t s1 = 42;
+  uint64_t s2 = 42;
+  EXPECT_EQ(SplitMix64(&s1), SplitMix64(&s2));
+  EXPECT_EQ(s1, s2);
+}
+
+}  // namespace
+}  // namespace crowder

@@ -1,0 +1,162 @@
+// Unit tests for similarity measures, including the paper's §2.1.1 worked
+// Jaccard examples.
+#include <gtest/gtest.h>
+
+#include "similarity/edit_distance.h"
+#include "similarity/set_similarity.h"
+#include "text/tokenizer.h"
+#include "text/vocabulary.h"
+
+namespace crowder {
+namespace similarity {
+namespace {
+
+TokenSet Set(std::initializer_list<text::TokenId> ids) {
+  return MakeTokenSet(std::vector<text::TokenId>(ids));
+}
+
+TEST(SetSimilarityTest, PaperJaccardExampleR1R2) {
+  // §2.1.1: J(r1, r2) over Product Names
+  //   r1 = "iPad Two 16GB WiFi White", r2 = "iPad 2nd generation 16GB WiFi White"
+  // shared {ipad, 16gb, wifi, white} of union size 7 -> 4/7 = 0.57.
+  text::Tokenizer tok;
+  text::Vocabulary vocab;
+  const TokenSet r1 = MakeTokenSet(vocab.InternDocument(tok.Tokenize("iPad Two 16GB WiFi White")));
+  const TokenSet r2 =
+      MakeTokenSet(vocab.InternDocument(tok.Tokenize("iPad 2nd generation 16GB WiFi White")));
+  EXPECT_NEAR(Jaccard(r1, r2), 4.0 / 7.0, 1e-9);
+}
+
+TEST(SetSimilarityTest, PaperJaccardExampleR1R3) {
+  // J(r1, r3) = 0.25: r3 = "iPhone 4th generation White 16GB"; shared
+  // {white, 16gb} of union size 8.
+  text::Tokenizer tok;
+  text::Vocabulary vocab;
+  const TokenSet r1 = MakeTokenSet(vocab.InternDocument(tok.Tokenize("iPad Two 16GB WiFi White")));
+  const TokenSet r3 =
+      MakeTokenSet(vocab.InternDocument(tok.Tokenize("iPhone 4th generation White 16GB")));
+  EXPECT_NEAR(Jaccard(r1, r3), 0.25, 1e-9);
+}
+
+TEST(SetSimilarityTest, MakeTokenSetSortsAndDedups) {
+  EXPECT_EQ(MakeTokenSet({5, 3, 5, 1}), (TokenSet{1, 3, 5}));
+}
+
+TEST(SetSimilarityTest, OverlapSize) {
+  EXPECT_EQ(OverlapSize(Set({1, 2, 3}), Set({2, 3, 4})), 2u);
+  EXPECT_EQ(OverlapSize(Set({1}), Set({2})), 0u);
+  EXPECT_EQ(OverlapSize(Set({}), Set({1})), 0u);
+}
+
+TEST(SetSimilarityTest, JaccardEdgeCases) {
+  EXPECT_EQ(Jaccard(Set({}), Set({})), 1.0);
+  EXPECT_EQ(Jaccard(Set({1}), Set({})), 0.0);
+  EXPECT_EQ(Jaccard(Set({1, 2}), Set({1, 2})), 1.0);
+}
+
+TEST(SetSimilarityTest, DiceAndCosineAndOverlap) {
+  const TokenSet a = Set({1, 2, 3, 4});
+  const TokenSet b = Set({3, 4, 5, 6});
+  EXPECT_NEAR(Dice(a, b), 2.0 * 2 / 8, 1e-9);
+  EXPECT_NEAR(CosineSet(a, b), 2.0 / 4.0, 1e-9);
+  EXPECT_NEAR(OverlapCoefficient(a, b), 2.0 / 4.0, 1e-9);
+}
+
+TEST(SetSimilarityTest, MeasureOrderingConsistency) {
+  // For |a| == |b|, overlap >= dice >= jaccard.
+  const TokenSet a = Set({1, 2, 3, 4, 5});
+  const TokenSet b = Set({4, 5, 6, 7, 8});
+  EXPECT_GE(OverlapCoefficient(a, b), Dice(a, b));
+  EXPECT_GE(Dice(a, b), Jaccard(a, b));
+}
+
+TEST(SetSimilarityTest, DispatchMatchesDirectCalls) {
+  const TokenSet a = Set({1, 2, 3});
+  const TokenSet b = Set({2, 3, 4});
+  EXPECT_EQ(SetSimilarity(SetMeasure::kJaccard, a, b), Jaccard(a, b));
+  EXPECT_EQ(SetSimilarity(SetMeasure::kDice, a, b), Dice(a, b));
+  EXPECT_EQ(SetSimilarity(SetMeasure::kCosine, a, b), CosineSet(a, b));
+  EXPECT_EQ(SetSimilarity(SetMeasure::kOverlapCoefficient, a, b), OverlapCoefficient(a, b));
+}
+
+TEST(SetSimilarityTest, MinCompatibleSizeJaccard) {
+  // |b| >= t|a|: with |a|=10, t=0.5 -> 5.
+  EXPECT_EQ(MinCompatibleSize(SetMeasure::kJaccard, 10, 0.5), 5u);
+  EXPECT_EQ(MinCompatibleSize(SetMeasure::kJaccard, 10, 0.0), 0u);
+}
+
+TEST(SetSimilarityTest, MinRequiredOverlapJaccard) {
+  // o >= t(a+b)/(1+t): a=b=10, t=0.5 -> 20*0.5/1.5 = 6.67 -> 7.
+  EXPECT_EQ(MinRequiredOverlap(SetMeasure::kJaccard, 10, 10, 0.5), 7u);
+}
+
+TEST(SetSimilarityTest, FilterBoundsAreSound) {
+  // Property: whenever sim(a,b) >= t, |b| >= MinCompatibleSize(|a|) and
+  // overlap >= MinRequiredOverlap(|a|, |b|).
+  for (const SetMeasure m : {SetMeasure::kJaccard, SetMeasure::kDice, SetMeasure::kCosine}) {
+    for (size_t sa = 1; sa <= 8; ++sa) {
+      for (size_t sb = 1; sb <= 8; ++sb) {
+        for (size_t o = 0; o <= std::min(sa, sb); ++o) {
+          TokenSet a;
+          TokenSet b;
+          for (size_t i = 0; i < sa; ++i) a.push_back(static_cast<text::TokenId>(i));
+          for (size_t i = 0; i < o; ++i) b.push_back(static_cast<text::TokenId>(i));
+          for (size_t i = 0; i < sb - o; ++i) b.push_back(static_cast<text::TokenId>(100 + i));
+          b = MakeTokenSet(b);
+          const double sim = SetSimilarity(m, a, b);
+          for (double t : {0.3, 0.5, 0.8}) {
+            if (sim >= t) {
+              EXPECT_GE(sb, MinCompatibleSize(m, sa, t));
+              EXPECT_GE(o, MinRequiredOverlap(m, sa, sb, t));
+            }
+          }
+        }
+      }
+    }
+  }
+}
+
+TEST(EditDistanceTest, KnownDistances) {
+  EXPECT_EQ(Levenshtein("kitten", "sitting"), 3u);
+  EXPECT_EQ(Levenshtein("flaw", "lawn"), 2u);
+  EXPECT_EQ(Levenshtein("", "abc"), 3u);
+  EXPECT_EQ(Levenshtein("abc", ""), 3u);
+  EXPECT_EQ(Levenshtein("same", "same"), 0u);
+}
+
+TEST(EditDistanceTest, Symmetry) {
+  EXPECT_EQ(Levenshtein("abcdef", "azced"), Levenshtein("azced", "abcdef"));
+}
+
+TEST(EditDistanceTest, TriangleInequalityOnSamples) {
+  const std::vector<std::string> words{"apple", "apply", "ample", "maple", ""};
+  for (const auto& a : words) {
+    for (const auto& b : words) {
+      for (const auto& c : words) {
+        EXPECT_LE(Levenshtein(a, c), Levenshtein(a, b) + Levenshtein(b, c));
+      }
+    }
+  }
+}
+
+TEST(EditDistanceTest, BoundedMatchesExactWithinBound) {
+  EXPECT_EQ(BoundedLevenshtein("kitten", "sitting", 5), 3u);
+  EXPECT_EQ(BoundedLevenshtein("kitten", "sitting", 3), 3u);
+}
+
+TEST(EditDistanceTest, BoundedExceedsBoundQuickly) {
+  EXPECT_GT(BoundedLevenshtein("aaaaaaaaaa", "bbbbbbbbbb", 3), 3u);
+  // Length-difference shortcut.
+  EXPECT_GT(BoundedLevenshtein("abc", "abcdefgh", 2), 2u);
+}
+
+TEST(EditDistanceTest, EditSimilarityRange) {
+  EXPECT_EQ(EditSimilarity("", ""), 1.0);
+  EXPECT_EQ(EditSimilarity("abc", "abc"), 1.0);
+  EXPECT_EQ(EditSimilarity("abc", "xyz"), 0.0);
+  EXPECT_NEAR(EditSimilarity("kitten", "sitting"), 1.0 - 3.0 / 7.0, 1e-9);
+}
+
+}  // namespace
+}  // namespace similarity
+}  // namespace crowder

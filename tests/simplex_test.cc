@@ -1,0 +1,192 @@
+// Tests for the two-phase revised simplex solver.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/rng.h"
+#include "lp/simplex.h"
+
+namespace crowder {
+namespace lp {
+namespace {
+
+TEST(SimplexTest, SimpleMaximization) {
+  // max 3x + 2y s.t. x + y <= 4, x + 3y <= 6 -> x=4, y=0, obj 12.
+  LpProblem p;
+  p.maximize = true;
+  p.objective = {3, 2};
+  p.constraints = {{{1, 1}, Sense::kLe, 4}, {{1, 3}, Sense::kLe, 6}};
+  auto r = SolveLp(p);
+  ASSERT_TRUE(r.ok());
+  EXPECT_NEAR(r->objective, 12.0, 1e-7);
+  EXPECT_NEAR(r->x[0], 4.0, 1e-7);
+  EXPECT_NEAR(r->x[1], 0.0, 1e-7);
+}
+
+TEST(SimplexTest, SimpleMinimizationWithGe) {
+  // min 2x + 3y s.t. x + y >= 10, x >= 2 -> x=10 (cheaper), y=0, obj 20.
+  LpProblem p;
+  p.objective = {2, 3};
+  p.constraints = {{{1, 1}, Sense::kGe, 10}, {{1, 0}, Sense::kGe, 2}};
+  auto r = SolveLp(p);
+  ASSERT_TRUE(r.ok());
+  EXPECT_NEAR(r->objective, 20.0, 1e-7);
+  EXPECT_NEAR(r->x[0], 10.0, 1e-7);
+}
+
+TEST(SimplexTest, EqualityConstraint) {
+  // min x + y s.t. x + 2y = 4, x <= 3 -> x=0..? objective prefers fewer:
+  // y carries double weight in the constraint, so y=2, x=0, obj 2.
+  LpProblem p;
+  p.objective = {1, 1};
+  p.constraints = {{{1, 2}, Sense::kEq, 4}, {{1, 0}, Sense::kLe, 3}};
+  auto r = SolveLp(p);
+  ASSERT_TRUE(r.ok());
+  EXPECT_NEAR(r->objective, 2.0, 1e-7);
+  EXPECT_NEAR(r->x[1], 2.0, 1e-7);
+}
+
+TEST(SimplexTest, InfeasibleDetected) {
+  // x <= 1 and x >= 2 cannot both hold.
+  LpProblem p;
+  p.objective = {1};
+  p.constraints = {{{1}, Sense::kLe, 1}, {{1}, Sense::kGe, 2}};
+  auto r = SolveLp(p);
+  ASSERT_FALSE(r.ok());
+  EXPECT_TRUE(r.status().IsInfeasible());
+}
+
+TEST(SimplexTest, UnboundedDetected) {
+  // max x s.t. x >= 0 (no upper bound).
+  LpProblem p;
+  p.maximize = true;
+  p.objective = {1};
+  p.constraints = {{{1}, Sense::kGe, 0}};
+  auto r = SolveLp(p);
+  ASSERT_FALSE(r.ok());
+  EXPECT_TRUE(r.status().IsUnbounded());
+}
+
+TEST(SimplexTest, NegativeRhsNormalized) {
+  // x - y <= -2 (i.e. y >= x + 2); min y -> x=0, y=2.
+  LpProblem p;
+  p.objective = {0, 1};
+  p.constraints = {{{1, -1}, Sense::kLe, -2}};
+  auto r = SolveLp(p);
+  ASSERT_TRUE(r.ok());
+  EXPECT_NEAR(r->objective, 2.0, 1e-7);
+}
+
+TEST(SimplexTest, RaggedConstraintRejected) {
+  LpProblem p;
+  p.objective = {1, 2};
+  p.constraints = {{{1}, Sense::kLe, 3}};
+  EXPECT_FALSE(SolveLp(p).ok());
+}
+
+TEST(SimplexTest, DualsOfCoveringLp) {
+  // min x1 + x2 s.t. 2x1 >= 4, 3x2 >= 6: duals are 1/2 and 1/3.
+  LpProblem p;
+  p.objective = {1, 1};
+  p.constraints = {{{2, 0}, Sense::kGe, 4}, {{0, 3}, Sense::kGe, 6}};
+  auto r = SolveLp(p);
+  ASSERT_TRUE(r.ok());
+  ASSERT_EQ(r->duals.size(), 2u);
+  EXPECT_NEAR(r->duals[0], 0.5, 1e-7);
+  EXPECT_NEAR(r->duals[1], 1.0 / 3.0, 1e-7);
+}
+
+TEST(SimplexTest, StrongDualityOnCoveringLp) {
+  // For min c'x, Ax >= b: optimal objective == b'y at optimal duals.
+  LpProblem p;
+  p.objective = {3, 2, 4};
+  p.constraints = {{{1, 1, 2}, Sense::kGe, 4},
+                   {{2, 0, 1}, Sense::kGe, 5},
+                   {{0, 3, 1}, Sense::kGe, 2}};
+  auto r = SolveLp(p);
+  ASSERT_TRUE(r.ok());
+  double dual_obj = 0.0;
+  for (size_t i = 0; i < p.constraints.size(); ++i) {
+    dual_obj += r->duals[i] * p.constraints[i].rhs;
+  }
+  EXPECT_NEAR(r->objective, dual_obj, 1e-6);
+}
+
+TEST(SimplexTest, DegenerateProblemTerminates) {
+  // Multiple redundant constraints through the same vertex.
+  LpProblem p;
+  p.maximize = true;
+  p.objective = {1, 1};
+  p.constraints = {{{1, 0}, Sense::kLe, 1},
+                   {{0, 1}, Sense::kLe, 1},
+                   {{1, 1}, Sense::kLe, 2},
+                   {{2, 2}, Sense::kLe, 4}};
+  auto r = SolveLp(p);
+  ASSERT_TRUE(r.ok());
+  EXPECT_NEAR(r->objective, 2.0, 1e-7);
+}
+
+TEST(SimplexTest, ZeroRhsFeasible) {
+  LpProblem p;
+  p.objective = {1};
+  p.constraints = {{{1}, Sense::kGe, 0}};
+  auto r = SolveLp(p);
+  ASSERT_TRUE(r.ok());
+  EXPECT_NEAR(r->objective, 0.0, 1e-9);
+}
+
+// Property sweep: random covering LPs (min 1'x, Ax >= b, A >= 0). The
+// simplex solution must be feasible and must beat (or tie) a large sample of
+// random feasible points.
+class RandomCoveringLp : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(RandomCoveringLp, OptimalityAgainstSampledPoints) {
+  Rng rng(GetParam());
+  const size_t n = 2 + rng.Uniform(4);
+  const size_t m = 2 + rng.Uniform(3);
+  LpProblem p;
+  p.objective.resize(n);
+  for (auto& c : p.objective) c = 1.0 + rng.UniformDouble() * 4.0;
+  for (size_t i = 0; i < m; ++i) {
+    LpConstraint con;
+    con.sense = Sense::kGe;
+    con.rhs = 1.0 + rng.UniformDouble() * 10.0;
+    con.coeffs.resize(n);
+    for (auto& a : con.coeffs) a = rng.UniformDouble() * 3.0;
+    // Guarantee feasibility: at least one strictly positive coefficient.
+    con.coeffs[rng.Uniform(n)] += 1.0;
+    p.constraints.push_back(std::move(con));
+  }
+  auto r = SolveLp(p);
+  ASSERT_TRUE(r.ok());
+
+  // Feasibility of the reported solution.
+  for (size_t i = 0; i < m; ++i) {
+    double lhs = 0.0;
+    for (size_t j = 0; j < n; ++j) lhs += p.constraints[i].coeffs[j] * r->x[j];
+    EXPECT_GE(lhs, p.constraints[i].rhs - 1e-6);
+  }
+  for (double xj : r->x) EXPECT_GE(xj, -1e-9);
+
+  // No sampled feasible point does better.
+  for (int trial = 0; trial < 300; ++trial) {
+    std::vector<double> x(n);
+    for (auto& xj : x) xj = rng.UniformDouble() * 15.0;
+    bool feasible = true;
+    for (size_t i = 0; i < m && feasible; ++i) {
+      double lhs = 0.0;
+      for (size_t j = 0; j < n; ++j) lhs += p.constraints[i].coeffs[j] * x[j];
+      feasible = lhs >= p.constraints[i].rhs;
+    }
+    if (!feasible) continue;
+    double obj = 0.0;
+    for (size_t j = 0; j < n; ++j) obj += p.objective[j] * x[j];
+    EXPECT_GE(obj, r->objective - 1e-6);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RandomCoveringLp, ::testing::Range<uint64_t>(1, 13));
+
+}  // namespace
+}  // namespace lp
+}  // namespace crowder

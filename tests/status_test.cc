@@ -1,0 +1,120 @@
+// Unit tests for the Status / Result error model.
+#include "common/result.h"
+#include "common/status.h"
+
+#include <gtest/gtest.h>
+
+namespace crowder {
+namespace {
+
+TEST(StatusTest, DefaultIsOk) {
+  Status s;
+  EXPECT_TRUE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kOk);
+  EXPECT_EQ(s.message(), "");
+  EXPECT_EQ(s.ToString(), "OK");
+}
+
+TEST(StatusTest, FactoryFunctionsSetCodeAndMessage) {
+  Status s = Status::InvalidArgument("bad k");
+  EXPECT_FALSE(s.ok());
+  EXPECT_TRUE(s.IsInvalidArgument());
+  EXPECT_EQ(s.message(), "bad k");
+  EXPECT_EQ(s.ToString(), "InvalidArgument: bad k");
+}
+
+TEST(StatusTest, AllFactoryCodes) {
+  EXPECT_TRUE(Status::NotFound("x").IsNotFound());
+  EXPECT_TRUE(Status::OutOfRange("x").IsOutOfRange());
+  EXPECT_TRUE(Status::Internal("x").IsInternal());
+  EXPECT_TRUE(Status::IOError("x").IsIOError());
+  EXPECT_TRUE(Status::Infeasible("x").IsInfeasible());
+  EXPECT_TRUE(Status::Unbounded("x").IsUnbounded());
+  EXPECT_EQ(Status::AlreadyExists("x").code(), StatusCode::kAlreadyExists);
+  EXPECT_EQ(Status::Unimplemented("x").code(), StatusCode::kUnimplemented);
+}
+
+TEST(StatusTest, CopyIsCheapAndEquivalent) {
+  Status a = Status::Internal("boom");
+  Status b = a;
+  EXPECT_EQ(b.code(), StatusCode::kInternal);
+  EXPECT_EQ(b.message(), "boom");
+  EXPECT_TRUE(a == b);
+}
+
+TEST(StatusTest, CodeToStringCoversAll) {
+  EXPECT_STREQ(StatusCodeToString(StatusCode::kOk), "OK");
+  EXPECT_STREQ(StatusCodeToString(StatusCode::kInfeasible), "Infeasible");
+  EXPECT_STREQ(StatusCodeToString(StatusCode::kUnbounded), "Unbounded");
+}
+
+TEST(StatusTest, ReturnNotOkMacroPropagates) {
+  auto inner = []() -> Status { return Status::NotFound("gone"); };
+  auto outer = [&]() -> Status {
+    CROWDER_RETURN_NOT_OK(inner());
+    return Status::OK();
+  };
+  EXPECT_TRUE(outer().IsNotFound());
+}
+
+TEST(StatusTest, ReturnNotOkMacroPassesThroughOk) {
+  auto outer = []() -> Status {
+    CROWDER_RETURN_NOT_OK(Status::OK());
+    return Status::Internal("reached");
+  };
+  EXPECT_TRUE(outer().IsInternal());
+}
+
+TEST(ResultTest, HoldsValue) {
+  Result<int> r(42);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r.ValueOrDie(), 42);
+  EXPECT_EQ(*r, 42);
+  EXPECT_TRUE(r.status().ok());
+}
+
+TEST(ResultTest, HoldsError) {
+  Result<int> r(Status::InvalidArgument("nope"));
+  EXPECT_FALSE(r.ok());
+  EXPECT_TRUE(r.status().IsInvalidArgument());
+  EXPECT_EQ(r.ValueOr(-1), -1);
+}
+
+TEST(ResultTest, ValueOrReturnsValueWhenOk) {
+  Result<int> r(7);
+  EXPECT_EQ(r.ValueOr(-1), 7);
+}
+
+TEST(ResultTest, MoveOutValue) {
+  Result<std::string> r(std::string("hello"));
+  std::string s = std::move(r).ValueOrDie();
+  EXPECT_EQ(s, "hello");
+}
+
+TEST(ResultTest, ArrowOperator) {
+  Result<std::string> r(std::string("abc"));
+  EXPECT_EQ(r->size(), 3u);
+}
+
+TEST(ResultTest, AssignOrReturnMacro) {
+  auto producer = [](bool fail) -> Result<int> {
+    if (fail) return Status::Internal("bad");
+    return 10;
+  };
+  auto consumer = [&](bool fail) -> Result<int> {
+    CROWDER_ASSIGN_OR_RETURN(int v, producer(fail));
+    return v + 1;
+  };
+  EXPECT_EQ(consumer(false).ValueOrDie(), 11);
+  EXPECT_TRUE(consumer(true).status().IsInternal());
+}
+
+TEST(ResultTest, NonCopyableType) {
+  Result<std::unique_ptr<int>> r(std::make_unique<int>(5));
+  ASSERT_TRUE(r.ok());
+  std::unique_ptr<int> p = std::move(r).ValueOrDie();
+  EXPECT_EQ(*p, 5);
+}
+
+}  // namespace
+}  // namespace crowder

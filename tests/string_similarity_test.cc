@@ -1,0 +1,83 @@
+// Tests for Jaro, Jaro-Winkler and q-gram similarity.
+#include <gtest/gtest.h>
+
+#include "similarity/string_similarity.h"
+
+namespace crowder {
+namespace similarity {
+namespace {
+
+TEST(JaroTest, ClassicTextbookValues) {
+  EXPECT_NEAR(Jaro("martha", "marhta"), 0.9444, 1e-3);
+  EXPECT_NEAR(Jaro("dixon", "dicksonx"), 0.7667, 1e-3);
+  EXPECT_NEAR(Jaro("jellyfish", "smellyfish"), 0.8963, 1e-3);
+}
+
+TEST(JaroTest, EdgeCases) {
+  EXPECT_EQ(Jaro("", ""), 1.0);
+  EXPECT_EQ(Jaro("abc", ""), 0.0);
+  EXPECT_EQ(Jaro("", "abc"), 0.0);
+  EXPECT_EQ(Jaro("same", "same"), 1.0);
+  EXPECT_EQ(Jaro("abc", "xyz"), 0.0);
+}
+
+TEST(JaroTest, Symmetry) {
+  EXPECT_NEAR(Jaro("dwayne", "duane"), Jaro("duane", "dwayne"), 1e-12);
+}
+
+TEST(JaroWinklerTest, PrefixBoost) {
+  // Shared prefix raises JW above Jaro; disjoint prefixes leave it equal.
+  EXPECT_GT(JaroWinkler("martha", "marhta"), Jaro("martha", "marhta"));
+  EXPECT_NEAR(JaroWinkler("martha", "marhta"), 0.9611, 1e-3);
+  EXPECT_EQ(JaroWinkler("abcd", "xbcd"), Jaro("abcd", "xbcd"));
+}
+
+TEST(JaroWinklerTest, BoundedByOne) {
+  EXPECT_LE(JaroWinkler("prefix", "prefixx"), 1.0);
+  EXPECT_EQ(JaroWinkler("same", "same"), 1.0);
+}
+
+TEST(JaroWinklerTest, PrefixCapAtFour) {
+  // Only the first four characters count toward the boost.
+  const double jw5 = JaroWinkler("abcdef", "abcdex");
+  const double jw4 = JaroWinkler("abcdxf", "abcdyx");
+  EXPECT_GE(jw5, jw4);  // same 4-char boost basis, better jaro
+}
+
+TEST(QGramSimilarityTest, IdenticalAndDisjoint) {
+  EXPECT_EQ(QGramSimilarity("apple", "apple"), 1.0);
+  EXPECT_EQ(QGramSimilarity("", ""), 1.0);
+  EXPECT_EQ(QGramSimilarity("aaaa", "zzzz"), 0.0);
+}
+
+TEST(QGramSimilarityTest, TolerantToSmallEdits) {
+  const double near = QGramSimilarity("ipod touch 8gb", "ipod touch 8 gb");
+  const double far = QGramSimilarity("ipod touch 8gb", "sony bravia tv");
+  EXPECT_GT(near, 0.6);
+  EXPECT_LT(far, 0.2);
+  EXPECT_GT(near, far);
+}
+
+TEST(QGramSimilarityTest, QParameterMatters) {
+  // Larger q is stricter on reordering.
+  const double q2 = QGramSimilarity("abcd", "abdc", 2);
+  const double q3 = QGramSimilarity("abcd", "abdc", 3);
+  EXPECT_GE(q2, q3);
+}
+
+TEST(StringSimilarityPropertyTest, AllMeasuresInUnitInterval) {
+  const std::vector<std::string> samples{"", "a", "ab", "apple ipod", "golden dragon",
+                                         "4321", "zzzzzzzz"};
+  for (const auto& a : samples) {
+    for (const auto& b : samples) {
+      for (double v : {Jaro(a, b), JaroWinkler(a, b), QGramSimilarity(a, b)}) {
+        EXPECT_GE(v, 0.0) << a << " / " << b;
+        EXPECT_LE(v, 1.0 + 1e-12) << a << " / " << b;
+      }
+    }
+  }
+}
+
+}  // namespace
+}  // namespace similarity
+}  // namespace crowder

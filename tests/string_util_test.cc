@@ -1,0 +1,71 @@
+// Unit tests for string helpers.
+#include "common/string_util.h"
+
+#include <gtest/gtest.h>
+
+namespace crowder {
+namespace {
+
+TEST(SplitTest, BasicDelimiter) {
+  EXPECT_EQ(Split("a,b,c", ','), (std::vector<std::string>{"a", "b", "c"}));
+}
+
+TEST(SplitTest, KeepsEmptyFields) {
+  EXPECT_EQ(Split("a,,c", ','), (std::vector<std::string>{"a", "", "c"}));
+  EXPECT_EQ(Split(",", ','), (std::vector<std::string>{"", ""}));
+}
+
+TEST(SplitTest, EmptyInputYieldsOneEmptyField) {
+  EXPECT_EQ(Split("", ','), (std::vector<std::string>{""}));
+}
+
+TEST(SplitWhitespaceTest, DropsEmptyRuns) {
+  EXPECT_EQ(SplitWhitespace("  foo   bar\tbaz \n"),
+            (std::vector<std::string>{"foo", "bar", "baz"}));
+}
+
+TEST(SplitWhitespaceTest, EmptyAndBlank) {
+  EXPECT_TRUE(SplitWhitespace("").empty());
+  EXPECT_TRUE(SplitWhitespace("   \t\n").empty());
+}
+
+TEST(JoinTest, JoinsWithSeparator) {
+  EXPECT_EQ(Join({"a", "b", "c"}, ", "), "a, b, c");
+  EXPECT_EQ(Join({}, ","), "");
+  EXPECT_EQ(Join({"only"}, ","), "only");
+}
+
+TEST(TrimTest, RemovesEdges) {
+  EXPECT_EQ(Trim("  hi  "), "hi");
+  EXPECT_EQ(Trim("hi"), "hi");
+  EXPECT_EQ(Trim("   "), "");
+  EXPECT_EQ(Trim(""), "");
+}
+
+TEST(ToLowerTest, AsciiOnly) {
+  EXPECT_EQ(ToLower("AbC123xYz"), "abc123xyz");
+}
+
+TEST(StartsWithTest, Basic) {
+  EXPECT_TRUE(StartsWith("foobar", "foo"));
+  EXPECT_FALSE(StartsWith("foobar", "bar"));
+  EXPECT_TRUE(StartsWith("foo", ""));
+  EXPECT_FALSE(StartsWith("fo", "foo"));
+}
+
+TEST(FormatDoubleTest, FixedDigits) {
+  EXPECT_EQ(FormatDouble(3.14159, 2), "3.14");
+  EXPECT_EQ(FormatDouble(2.0, 0), "2");
+  EXPECT_EQ(FormatDouble(-0.5, 1), "-0.5");
+}
+
+TEST(WithThousandsTest, GroupsDigits) {
+  EXPECT_EQ(WithThousands(0), "0");
+  EXPECT_EQ(WithThousands(999), "999");
+  EXPECT_EQ(WithThousands(1000), "1,000");
+  EXPECT_EQ(WithThousands(1234567), "1,234,567");
+  EXPECT_EQ(WithThousands(-45678), "-45,678");
+}
+
+}  // namespace
+}  // namespace crowder

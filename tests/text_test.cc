@@ -1,0 +1,168 @@
+// Unit tests for the text pipeline: normalization, tokenization, vocabulary,
+// q-grams and TF-IDF.
+#include <gtest/gtest.h>
+
+#include "text/normalizer.h"
+#include "text/qgram.h"
+#include "text/tfidf.h"
+#include "text/tokenizer.h"
+#include "text/vocabulary.h"
+
+namespace crowder {
+namespace text {
+namespace {
+
+TEST(NormalizerTest, PaperPreprocessing) {
+  // §7.1: replace non-alphanumerics with spaces, lowercase.
+  Normalizer n;
+  EXPECT_EQ(n.Normalize("Apple 8GB Black 2nd Generation iPod Touch - MB528LLA"),
+            "apple 8gb black 2nd generation ipod touch mb528lla");
+  EXPECT_EQ(n.Normalize("55 E. 54th St."), "55 e 54th st");
+}
+
+TEST(NormalizerTest, CollapsesWhitespace) {
+  Normalizer n;
+  EXPECT_EQ(n.Normalize("  a   b  "), "a b");
+  EXPECT_EQ(n.Normalize("a--b"), "a b");
+}
+
+TEST(NormalizerTest, OptionsDisableStages) {
+  NormalizerOptions opts;
+  opts.lowercase = false;
+  Normalizer keep_case{opts};
+  EXPECT_EQ(keep_case.Normalize("AbC!"), "AbC");
+
+  NormalizerOptions opts2;
+  opts2.strip_non_alnum = false;
+  Normalizer keep_punct{opts2};
+  EXPECT_EQ(keep_punct.Normalize("a.b"), "a.b");
+}
+
+TEST(NormalizerTest, EmptyAndPunctuationOnly) {
+  Normalizer n;
+  EXPECT_EQ(n.Normalize(""), "");
+  EXPECT_EQ(n.Normalize("!!!"), "");
+}
+
+TEST(TokenizerTest, TokenizePreservesDuplicatesAndOrder) {
+  Tokenizer t;
+  EXPECT_EQ(t.Tokenize("iPad two iPad"), (std::vector<std::string>{"ipad", "two", "ipad"}));
+}
+
+TEST(TokenizerTest, TokenSetSortsAndDedups) {
+  Tokenizer t;
+  EXPECT_EQ(t.TokenSet("b a b c a"), (std::vector<std::string>{"a", "b", "c"}));
+}
+
+TEST(TokenizerTest, EmptyInput) {
+  Tokenizer t;
+  EXPECT_TRUE(t.Tokenize("").empty());
+  EXPECT_TRUE(t.TokenSet("...").empty());
+}
+
+TEST(VocabularyTest, InternAssignsStableIds) {
+  Vocabulary v;
+  const TokenId a = v.Intern("apple");
+  const TokenId b = v.Intern("banana");
+  EXPECT_NE(a, b);
+  EXPECT_EQ(v.Intern("apple"), a);
+  EXPECT_EQ(v.size(), 2u);
+  EXPECT_EQ(v.TokenString(a), "apple");
+}
+
+TEST(VocabularyTest, LookupMissingReturnsInvalid) {
+  Vocabulary v;
+  EXPECT_EQ(v.Lookup("ghost"), kInvalidToken);
+  v.Intern("real");
+  EXPECT_NE(v.Lookup("real"), kInvalidToken);
+}
+
+TEST(VocabularyTest, DocumentFrequencyCountsOncePerDocument) {
+  Vocabulary v;
+  v.InternDocument({"a", "a", "b"});
+  v.InternDocument({"a", "c"});
+  EXPECT_EQ(v.num_documents(), 2u);
+  EXPECT_EQ(v.DocumentFrequency(v.Lookup("a")), 2u);  // once per doc despite repeat
+  EXPECT_EQ(v.DocumentFrequency(v.Lookup("b")), 1u);
+  EXPECT_EQ(v.DocumentFrequency(v.Lookup("c")), 1u);
+}
+
+TEST(QGramTest, PaddedBigrams) {
+  const auto grams = QGrams("ab", 2);
+  EXPECT_EQ(grams, (std::vector<std::string>{"#a", "ab", "b$"}));
+}
+
+TEST(QGramTest, UnpaddedShortString) {
+  EXPECT_TRUE(QGrams("ab", 3, /*pad=*/false).empty());
+  EXPECT_EQ(QGrams("abc", 3, /*pad=*/false), (std::vector<std::string>{"abc"}));
+}
+
+TEST(QGramTest, SetFormSortedUnique) {
+  const auto set = QGramSet("aaa", 2);
+  // padded: #a aa aa a$ -> {#a, a$, aa}
+  EXPECT_EQ(set, (std::vector<std::string>{"#a", "a$", "aa"}));
+}
+
+TEST(QGramTest, CountMatchesLength) {
+  const auto grams = QGrams("hello", 3);
+  // padded length = 5 + 2*2 = 9 -> 7 grams
+  EXPECT_EQ(grams.size(), 7u);
+}
+
+TEST(TfIdfTest, CosineOfIdenticalDocsIsOne) {
+  Vocabulary v;
+  const auto d1 = v.InternDocument({"a", "b", "c"});
+  const auto d2 = v.InternDocument({"a", "b", "c"});
+  TfIdfVectorizer vec(&v);
+  EXPECT_NEAR(TfIdfVectorizer::Cosine(vec.Vectorize(d1), vec.Vectorize(d2)), 1.0, 1e-9);
+}
+
+TEST(TfIdfTest, CosineOfDisjointDocsIsZero) {
+  Vocabulary v;
+  const auto d1 = v.InternDocument({"a", "b"});
+  const auto d2 = v.InternDocument({"c", "d"});
+  TfIdfVectorizer vec(&v);
+  EXPECT_EQ(TfIdfVectorizer::Cosine(vec.Vectorize(d1), vec.Vectorize(d2)), 0.0);
+}
+
+TEST(TfIdfTest, RareTokensWeighMore) {
+  Vocabulary v;
+  // "common" appears in every doc; "rare" in one.
+  v.InternDocument({"common", "rare"});
+  v.InternDocument({"common", "x"});
+  v.InternDocument({"common", "y"});
+  TfIdfVectorizer vec(&v);
+  const SparseVector sv = vec.Vectorize({v.Lookup("common"), v.Lookup("rare")});
+  ASSERT_EQ(sv.entries.size(), 2u);
+  double w_common = 0.0;
+  double w_rare = 0.0;
+  for (const auto& [id, w] : sv.entries) {
+    if (id == v.Lookup("common")) w_common = w;
+    if (id == v.Lookup("rare")) w_rare = w;
+  }
+  EXPECT_GT(w_rare, w_common);
+}
+
+TEST(TfIdfTest, EmptyDocument) {
+  Vocabulary v;
+  v.InternDocument({"a"});
+  TfIdfVectorizer vec(&v);
+  const SparseVector empty = vec.Vectorize({});
+  EXPECT_TRUE(empty.empty());
+  const SparseVector other = vec.Vectorize({v.Lookup("a")});
+  EXPECT_EQ(TfIdfVectorizer::Cosine(empty, other), 0.0);
+}
+
+TEST(TfIdfTest, TermFrequencyCounted) {
+  Vocabulary v;
+  const auto doc = v.InternDocument({"a", "a", "b"});
+  TfIdfVectorizer vec(&v, /*use_idf=*/false);
+  const SparseVector sv = vec.Vectorize(doc);
+  ASSERT_EQ(sv.entries.size(), 2u);
+  EXPECT_EQ(sv.entries[0].second, 2.0);  // token "a" (id 0) has tf 2
+  EXPECT_EQ(sv.entries[1].second, 1.0);
+}
+
+}  // namespace
+}  // namespace text
+}  // namespace crowder

@@ -1,0 +1,239 @@
+// crowder_cli — command-line front end for the CrowdER library.
+//
+//   crowder_cli generate --dataset restaurant|product|productdup --out FILE
+//                        [--seed N]
+//       Writes a synthetic benchmark dataset (records + ground truth) to CSV.
+//
+//   crowder_cli run --in FILE [--threshold 0.3] [--k 10]
+//                   [--hit-type cluster|pair] [--algorithm two-tiered|bfs|
+//                    dfs|random|approximation] [--qt] [--seed N]
+//                   [--matches OUT.csv] [--merged OUT.csv]
+//       Runs the full hybrid workflow (simulated crowd) on a dataset CSV
+//       produced by `generate` (or any CSV with __source/__entity columns),
+//       prints the quality/cost/latency report, and optionally writes the
+//       confirmed matches and the deduplicated table.
+//
+//   crowder_cli plan --in FILE --budget DOLLARS [--k 10]
+//       Evaluates the cost/recall tradeoff across thresholds and recommends
+//       an operating point that fits the budget.
+#include <cstdlib>
+#include <iostream>
+#include <map>
+#include <string>
+
+#include "core/crowder.h"
+
+namespace crowder {
+namespace cli {
+namespace {
+
+struct Args {
+  std::string command;
+  std::map<std::string, std::string> flags;
+
+  bool Has(const std::string& key) const { return flags.count(key) > 0; }
+  std::string Get(const std::string& key, const std::string& fallback) const {
+    auto it = flags.find(key);
+    return it == flags.end() ? fallback : it->second;
+  }
+  double GetDouble(const std::string& key, double fallback) const {
+    auto it = flags.find(key);
+    return it == flags.end() ? fallback : std::stod(it->second);
+  }
+  long GetLong(const std::string& key, long fallback) const {
+    auto it = flags.find(key);
+    return it == flags.end() ? fallback : std::stol(it->second);
+  }
+};
+
+Result<Args> Parse(int argc, char** argv) {
+  if (argc < 2) return Status::InvalidArgument("missing command");
+  Args args;
+  args.command = argv[1];
+  for (int i = 2; i < argc; ++i) {
+    std::string token = argv[i];
+    if (!StartsWith(token, "--")) {
+      return Status::InvalidArgument("expected --flag, got '" + token + "'");
+    }
+    token = token.substr(2);
+    if (token == "qt") {
+      args.flags[token] = "true";  // boolean flag
+    } else {
+      if (i + 1 >= argc) return Status::InvalidArgument("flag --" + token + " needs a value");
+      args.flags[token] = argv[++i];
+    }
+  }
+  return args;
+}
+
+int Usage() {
+  std::cerr <<
+      R"(usage:
+  crowder_cli generate --dataset restaurant|product|productdup --out FILE [--seed N]
+  crowder_cli run --in FILE [--threshold 0.3] [--k 10] [--hit-type cluster|pair]
+                  [--algorithm two-tiered|bfs|dfs|random|approximation] [--qt]
+                  [--seed N] [--matches OUT.csv] [--merged OUT.csv]
+  crowder_cli plan --in FILE --budget DOLLARS [--k 10]
+)";
+  return 2;
+}
+
+Status Generate(const Args& args) {
+  const std::string kind = args.Get("dataset", "");
+  const std::string out = args.Get("out", "");
+  if (kind.empty() || out.empty()) {
+    return Status::InvalidArgument("generate requires --dataset and --out");
+  }
+  const uint64_t seed = static_cast<uint64_t>(args.GetLong("seed", 0));
+  data::Dataset dataset;
+  if (kind == "restaurant") {
+    data::RestaurantConfig config;
+    if (seed) config.seed = seed;
+    CROWDER_ASSIGN_OR_RETURN(dataset, data::GenerateRestaurant(config));
+  } else if (kind == "product") {
+    data::ProductConfig config;
+    if (seed) config.seed = seed;
+    CROWDER_ASSIGN_OR_RETURN(dataset, data::GenerateProduct(config));
+  } else if (kind == "productdup") {
+    data::ProductDupConfig config;
+    if (seed) config.seed = seed;
+    CROWDER_ASSIGN_OR_RETURN(dataset, data::GenerateProductDup(config));
+  } else {
+    return Status::InvalidArgument("unknown dataset kind '" + kind + "'");
+  }
+  CROWDER_RETURN_NOT_OK(data::WriteDatasetCsv(dataset, out));
+  std::cout << "wrote " << dataset.table.num_records() << " records ("
+            << dataset.CountMatchingPairs() << " matching pairs) to " << out << "\n";
+  return Status::OK();
+}
+
+Result<hitgen::ClusterAlgorithm> AlgorithmFromName(const std::string& name) {
+  if (name == "two-tiered") return hitgen::ClusterAlgorithm::kTwoTiered;
+  if (name == "bfs") return hitgen::ClusterAlgorithm::kBfs;
+  if (name == "dfs") return hitgen::ClusterAlgorithm::kDfs;
+  if (name == "random") return hitgen::ClusterAlgorithm::kRandom;
+  if (name == "approximation") return hitgen::ClusterAlgorithm::kApproximation;
+  return Status::InvalidArgument("unknown algorithm '" + name + "'");
+}
+
+Status Run(const Args& args) {
+  const std::string in = args.Get("in", "");
+  if (in.empty()) return Status::InvalidArgument("run requires --in");
+  CROWDER_ASSIGN_OR_RETURN(data::Dataset dataset, data::ReadDatasetCsv(in, in));
+
+  core::WorkflowConfig config;
+  config.likelihood_threshold = args.GetDouble("threshold", 0.3);
+  config.cluster_size = static_cast<uint32_t>(args.GetLong("k", 10));
+  config.pairs_per_hit = config.cluster_size;
+  config.seed = static_cast<uint64_t>(args.GetLong("seed", 42));
+  config.crowd.qualification_test = args.Has("qt");
+  const std::string hit_type = args.Get("hit-type", "cluster");
+  if (hit_type == "pair") {
+    config.hit_type = core::HitType::kPairBased;
+  } else if (hit_type != "cluster") {
+    return Status::InvalidArgument("unknown --hit-type '" + hit_type + "'");
+  }
+  CROWDER_ASSIGN_OR_RETURN(config.cluster_algorithm,
+                           AlgorithmFromName(args.Get("algorithm", "two-tiered")));
+
+  core::HybridWorkflow workflow(config);
+  CROWDER_ASSIGN_OR_RETURN(core::WorkflowResult result, workflow.Run(dataset));
+
+  std::cout << "records:            " << dataset.table.num_records() << "\n";
+  std::cout << "candidate pairs:    " << WithThousands(result.candidate_pairs.size())
+            << " (machine recall " << FormatDouble(100 * result.machine_recall, 1) << "%)\n";
+  std::cout << "HITs:               " << result.crowd_stats.num_hits << " ("
+            << (config.hit_type == core::HitType::kPairBased ? "pair-based" : "cluster-based")
+            << ", " << args.Get("algorithm", "two-tiered") << ")\n";
+  std::cout << "assignments:        " << result.crowd_stats.num_assignments << " ($"
+            << FormatDouble(result.crowd_stats.cost_dollars, 2) << ")\n";
+  std::cout << "crowd wall time:    "
+            << FormatDouble(result.crowd_stats.total_seconds / 3600.0, 1) << "h\n";
+  std::cout << "best F1:            " << FormatDouble(100 * eval::BestF1(result.pr_curve), 1)
+            << "%\n";
+  std::cout << "precision@recall90: "
+            << FormatDouble(100 * eval::PrecisionAtRecall(result.pr_curve, 0.9), 1) << "%\n";
+
+  CROWDER_ASSIGN_OR_RETURN(
+      core::EntityClusters clusters,
+      core::ResolveEntities(static_cast<uint32_t>(dataset.table.num_records()), result.ranked));
+  const auto quality = core::EvaluateClusters(clusters, dataset);
+  std::cout << "entity clusters:    " << clusters.num_clusters() << " ("
+            << clusters.num_duplicate_groups() << " duplicate groups; pairwise F1 "
+            << FormatDouble(100 * quality.f1, 1) << "%)\n";
+
+  if (args.Has("matches")) {
+    std::vector<std::vector<std::string>> rows;
+    for (const auto& rp : result.ranked) {
+      if (rp.score < 0.5) break;
+      rows.push_back({std::to_string(rp.a), std::to_string(rp.b), FormatDouble(rp.score, 4)});
+    }
+    CROWDER_RETURN_NOT_OK(
+        WriteCsvFile(args.Get("matches", ""), {"record_a", "record_b", "confidence"}, rows));
+    std::cout << "wrote " << rows.size() << " confirmed matches to " << args.Get("matches", "")
+              << "\n";
+  }
+  if (args.Has("merged")) {
+    const data::Table merged = core::MergeClusters(dataset.table, clusters);
+    std::vector<std::vector<std::string>> rows = merged.records;
+    CROWDER_RETURN_NOT_OK(WriteCsvFile(args.Get("merged", ""), merged.attribute_names, rows));
+    std::cout << "wrote " << merged.num_records() << " canonical records to "
+              << args.Get("merged", "") << "\n";
+  }
+  return Status::OK();
+}
+
+Status Plan(const Args& args) {
+  const std::string in = args.Get("in", "");
+  if (in.empty() || !args.Has("budget")) {
+    return Status::InvalidArgument("plan requires --in and --budget");
+  }
+  CROWDER_ASSIGN_OR_RETURN(data::Dataset dataset, data::ReadDatasetCsv(in, in));
+  core::WorkflowConfig base;
+  base.cluster_size = static_cast<uint32_t>(args.GetLong("k", 10));
+  CROWDER_ASSIGN_OR_RETURN(
+      core::BudgetPlan plan,
+      core::PlanForBudget(dataset, args.GetDouble("budget", 0.0), base,
+                          {0.5, 0.4, 0.3, 0.2, 0.1}));
+  eval::TablePrinter table({"threshold", "#pairs", "#HITs", "cost", "machine recall"});
+  for (const auto& pt : plan.evaluated) {
+    table.AddRow({FormatDouble(pt.threshold, 1), WithThousands(pt.num_pairs),
+                  WithThousands(pt.num_hits), "$" + FormatDouble(pt.cost_dollars, 2),
+                  FormatDouble(100 * pt.machine_recall, 1) + "%"});
+  }
+  std::cout << table.Render();
+  if (plan.feasible) {
+    std::cout << "recommended threshold: " << FormatDouble(plan.chosen.threshold, 1) << " ($"
+              << FormatDouble(plan.chosen.cost_dollars, 2) << ")\n";
+  } else {
+    std::cout << "no threshold fits the budget; raise it or shrink the data\n";
+  }
+  return Status::OK();
+}
+
+}  // namespace
+}  // namespace cli
+}  // namespace crowder
+
+int main(int argc, char** argv) {
+  auto args = crowder::cli::Parse(argc, argv);
+  if (!args.ok()) {
+    std::cerr << args.status().ToString() << "\n";
+    return crowder::cli::Usage();
+  }
+  crowder::Status status;
+  if (args->command == "generate") {
+    status = crowder::cli::Generate(*args);
+  } else if (args->command == "run") {
+    status = crowder::cli::Run(*args);
+  } else if (args->command == "plan") {
+    status = crowder::cli::Plan(*args);
+  } else {
+    return crowder::cli::Usage();
+  }
+  if (!status.ok()) {
+    std::cerr << "error: " << status.ToString() << "\n";
+    return 1;
+  }
+  return 0;
+}
