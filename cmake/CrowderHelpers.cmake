@@ -1,0 +1,42 @@
+# Target-definition helpers shared by the per-directory CMakeLists.
+#
+# Test tiers (ctest labels):
+#   tier1 — fast unit/property tests; the inner development loop (< 60 s).
+#   tier2 — end-to-end workflow / reproduction tests.
+#   smoke — bench, example, and CLI binaries exercised end-to-end on the
+#           small synthetic datasets; proves every binary still starts,
+#           computes, and exits 0.
+
+# crowder_module(<name> SRCS <sources...> DEPS <libraries...>)
+# Defines one static module library (also aliased as crowder::<name>) with
+# the shared build flags and explicit dependency edges.
+function(crowder_module name)
+  cmake_parse_arguments(ARG "" "" "SRCS;DEPS" ${ARGN})
+  add_library(${name} STATIC ${ARG_SRCS})
+  add_library(crowder::${name} ALIAS ${name})
+  target_link_libraries(${name} PUBLIC crowder_build_flags ${ARG_DEPS})
+endfunction()
+
+# crowder_test(<name> [TIER tier1|tier2])
+# Expects <name>.cc in the current directory; links the full library plus
+# gtest_main and registers the binary with ctest under the tier label.
+function(crowder_test name)
+  cmake_parse_arguments(ARG "" "TIER" "" ${ARGN})
+  if(NOT ARG_TIER)
+    set(ARG_TIER tier1)
+  endif()
+  add_executable(${name} ${name}.cc)
+  target_link_libraries(${name} PRIVATE crowder::crowder GTest::gtest_main)
+  add_test(NAME ${name} COMMAND ${name})
+  set_tests_properties(${name} PROPERTIES LABELS ${ARG_TIER})
+endfunction()
+
+# crowder_smoke_binary(<name> <source>)
+# An executable whose end-to-end run (no arguments) is registered as a
+# `smoke` test.
+function(crowder_smoke_binary name source)
+  add_executable(${name} ${source})
+  target_link_libraries(${name} PRIVATE crowder::crowder)
+  add_test(NAME smoke_${name} COMMAND ${name})
+  set_tests_properties(smoke_${name} PROPERTIES LABELS smoke)
+endfunction()

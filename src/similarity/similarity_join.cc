@@ -51,6 +51,10 @@ Result<std::vector<ScoredPair>> NaiveJoin(const JoinInput& input, const JoinOpti
   for (uint32_t i = 0; i < n; ++i) {
     for (uint32_t j = i + 1; j < n; ++j) {
       if (!Admissible(input, i, j)) continue;
+      // Two empty sets score 1.0 under every measure, but an empty record
+      // carries no matching evidence: at a positive threshold such pairs are
+      // not emitted (AllPairsJoin and blocking agree on this contract).
+      if (options.threshold > 0.0 && input.sets[i].empty() && input.sets[j].empty()) continue;
       const double sim = SetSimilarity(options.measure, input.sets[i], input.sets[j]);
       if (sim >= options.threshold) out.push_back({i, j, sim});
     }

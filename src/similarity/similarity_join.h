@@ -47,6 +47,9 @@ struct JoinOptions {
 
 /// \brief Reference implementation: compares every admissible pair.
 /// O(n^2) — used for small inputs, tests, and the ablation baseline.
+/// Contract shared with AllPairsJoin: at a positive threshold a pair of two
+/// empty token sets is never emitted (no matching evidence), even though
+/// every measure scores it 1.0.
 Result<std::vector<ScoredPair>> NaiveJoin(const JoinInput& input, const JoinOptions& options);
 
 /// \brief AllPairs-style prefix-filtering join with an inverted index over

@@ -1,0 +1,92 @@
+// Deterministic end-to-end golden test: the full HybridWorkflow on a small
+// generated Restaurant dataset with fixed seeds must keep producing exactly
+// the recorded outputs. This is the cheap regression gate for the whole
+// pipeline — machine pass, pair-graph clustering, cluster-HIT generation,
+// crowd simulation, and Dawid-Skene aggregation; any semantic drift in any
+// stage moves at least one golden value.
+//
+// If a deliberate algorithm change shifts these numbers, re-record them by
+// running the binary and copying the values its failure messages print —
+// and say why in the commit.
+#include <gtest/gtest.h>
+
+#include "core/workflow.h"
+#include "data/generators.h"
+#include "eval/metrics.h"
+#include "graph/connected_components.h"
+#include "graph/pair_graph.h"
+
+namespace crowder {
+namespace core {
+namespace {
+
+data::Dataset SmallRestaurant() {
+  data::RestaurantConfig config;
+  config.num_records = 160;
+  config.num_duplicate_pairs = 24;
+  config.num_chains = 8;
+  config.seed = 20260730;
+  return data::GenerateRestaurant(config).ValueOrDie();
+}
+
+WorkflowConfig GoldenConfig() {
+  WorkflowConfig config;
+  config.measure = similarity::SetMeasure::kJaccard;
+  config.likelihood_threshold = 0.3;
+  config.hit_type = HitType::kClusterBased;
+  config.cluster_size = 5;
+  config.cluster_algorithm = hitgen::ClusterAlgorithm::kTwoTiered;
+  config.aggregation = AggregationMethod::kDawidSkene;
+  config.seed = 1234;
+  return config;
+}
+
+TEST(GoldenWorkflowTest, SmallRestaurantPipelineIsStable) {
+  const data::Dataset dataset = SmallRestaurant();
+  const HybridWorkflow workflow(GoldenConfig());
+  auto result = workflow.Run(dataset);
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+
+  // ---- Golden values (recorded from the seed build; see header note). ----
+  EXPECT_EQ(dataset.table.num_records(), 160u);
+  EXPECT_EQ(result->total_matches, 24u);
+  EXPECT_EQ(result->candidate_pairs.size(), 234u);
+  EXPECT_NEAR(result->machine_recall, 23.0 / 24.0, 1e-12);
+
+  // Cluster structure of the candidate pair graph.
+  std::vector<graph::Edge> edges;
+  for (const auto& p : result->candidate_pairs) edges.push_back({p.a, p.b});
+  auto pair_graph =
+      graph::PairGraph::Create(dataset.table.num_records(), edges).ValueOrDie();
+  EXPECT_EQ(graph::ConnectedComponents(pair_graph).size(), 18u);
+
+  // Crowd execution.
+  EXPECT_EQ(result->crowd_stats.num_hits, 46u);
+  EXPECT_EQ(result->crowd_stats.num_assignments, 138u);
+
+  // Quality of the final ranked output.
+  EXPECT_EQ(result->ranked.size(), result->candidate_pairs.size());
+  EXPECT_NEAR(eval::BestF1(result->pr_curve), 0.93617021276595735, 1e-9);
+}
+
+TEST(GoldenWorkflowTest, RerunIsBitwiseIdentical) {
+  // Same config + same dataset must reproduce the identical ranked list —
+  // the determinism contract the golden values above rely on.
+  const data::Dataset dataset = SmallRestaurant();
+  const HybridWorkflow workflow(GoldenConfig());
+  auto first = workflow.Run(dataset);
+  auto second = workflow.Run(dataset);
+  ASSERT_TRUE(first.ok() && second.ok());
+  ASSERT_EQ(first->ranked.size(), second->ranked.size());
+  for (size_t i = 0; i < first->ranked.size(); ++i) {
+    EXPECT_EQ(first->ranked[i].a, second->ranked[i].a);
+    EXPECT_EQ(first->ranked[i].b, second->ranked[i].b);
+    EXPECT_EQ(first->ranked[i].score, second->ranked[i].score);
+  }
+  EXPECT_EQ(first->crowd_stats.num_hits, second->crowd_stats.num_hits);
+  EXPECT_EQ(first->crowd_stats.cost_dollars, second->crowd_stats.cost_dollars);
+}
+
+}  // namespace
+}  // namespace core
+}  // namespace crowder

@@ -1,0 +1,188 @@
+// Randomized property sweep enforcing the exact-equivalence contract of
+// similarity_join.h: NaiveJoin, AllPairsJoin, and token blocking +
+// verification (the kBlockingVerify candidate strategy) must produce
+// identical pair sets over arbitrary inputs.
+//
+//   * NaiveJoin ≡ AllPairsJoin — always (same pairs, same scores).
+//   * NaiveJoin ≡ TokenBlocking(max_block_size=0) + VerifyCandidates — for
+//     every overlap measure at a positive threshold, since any qualifying
+//     pair shares at least one token and therefore co-occurs in a block.
+//
+// Unlike the curated cases in similarity_join_test.cc, every dimension here
+// is drawn at random from a master seed: input size, vocabulary size, token
+// distribution, record length (including empty sets), self- vs cross-source
+// joins, all four set measures, and thresholds across [0, 1]. This is the
+// sweep that caught NaiveJoin emitting empty-empty pairs at positive
+// thresholds (fixed; see CHANGES.md).
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "common/rng.h"
+#include "similarity/blocking.h"
+#include "similarity/similarity_join.h"
+
+namespace crowder {
+namespace similarity {
+namespace {
+
+struct RandomCase {
+  uint64_t seed = 0;
+  size_t n = 0;
+  uint32_t vocab = 0;
+  size_t max_len = 0;
+  bool allow_empty_sets = false;
+  bool two_sources = false;
+  SetMeasure measure = SetMeasure::kJaccard;
+  double threshold = 0.0;
+
+  std::string Describe() const {
+    std::ostringstream os;
+    os << "seed=" << seed << " n=" << n << " vocab=" << vocab << " max_len=" << max_len
+       << " empty=" << allow_empty_sets << " two_sources=" << two_sources
+       << " measure=" << static_cast<int>(measure) << " threshold=" << threshold;
+    return os.str();
+  }
+};
+
+RandomCase DrawCase(Rng* rng) {
+  static const SetMeasure kMeasures[] = {SetMeasure::kJaccard, SetMeasure::kDice,
+                                         SetMeasure::kCosine, SetMeasure::kOverlapCoefficient};
+  static const double kThresholds[] = {0.0, 0.05, 0.1, 0.2, 0.3, 0.4, 0.5, 0.6, 0.7, 0.8,
+                                       0.9, 0.95, 1.0};
+  RandomCase c;
+  c.seed = rng->Next64();
+  c.n = 8 + rng->Uniform(96);
+  c.vocab = 4 + static_cast<uint32_t>(rng->Uniform(120));
+  c.max_len = 1 + rng->Uniform(12);
+  c.allow_empty_sets = rng->Uniform(4) == 0;
+  c.two_sources = rng->Uniform(2) == 0;
+  c.measure = kMeasures[rng->Uniform(4)];
+  c.threshold = kThresholds[rng->Uniform(sizeof(kThresholds) / sizeof(kThresholds[0]))];
+  return c;
+}
+
+JoinInput GenerateInput(const RandomCase& c) {
+  Rng rng(c.seed);
+  JoinInput input;
+  input.sets.reserve(c.n);
+  for (size_t i = 0; i < c.n; ++i) {
+    std::vector<text::TokenId> tokens;
+    const size_t min_len = c.allow_empty_sets ? 0 : 1;
+    const size_t len = min_len + rng.Uniform(c.max_len + 1 - min_len);
+    for (size_t t = 0; t < len; ++t) {
+      // Zipf-ish token frequencies, as in real text.
+      tokens.push_back(static_cast<text::TokenId>(rng.Zipf(c.vocab, 0.9)));
+    }
+    input.sets.push_back(MakeTokenSet(std::move(tokens)));
+    if (c.two_sources) input.sources.push_back(static_cast<int>(rng.Uniform(2)));
+  }
+  return input;
+}
+
+void ExpectSamePairs(const std::vector<ScoredPair>& expected,
+                     const std::vector<ScoredPair>& actual, bool compare_scores,
+                     const std::string& what, const std::string& context) {
+  ASSERT_EQ(expected.size(), actual.size()) << what << " pair count diverged; " << context;
+  for (size_t i = 0; i < expected.size(); ++i) {
+    ASSERT_EQ(expected[i].a, actual[i].a) << what << " pair " << i << "; " << context;
+    ASSERT_EQ(expected[i].b, actual[i].b) << what << " pair " << i << "; " << context;
+    if (compare_scores) {
+      ASSERT_NEAR(expected[i].score, actual[i].score, 1e-12)
+          << what << " score of (" << expected[i].a << "," << expected[i].b << "); " << context;
+    }
+  }
+}
+
+// Blocking + verification with all blocks kept, as kBlockingVerify configures
+// it in core/workflow.cc.
+Result<std::vector<ScoredPair>> BlockingVerify(const JoinInput& input,
+                                               const JoinOptions& options) {
+  BlockingOptions blocking;
+  blocking.max_block_size = 0;
+  CROWDER_ASSIGN_OR_RETURN(auto candidates, TokenBlocking(input, blocking));
+  return VerifyCandidates(input, candidates, options);
+}
+
+TEST(JoinEquivalenceProperty, RandomSweep) {
+  // One master seed fans out into every random decision, so a failure
+  // reproduces from the per-case seed printed in its context string.
+  Rng master(20260730);
+  constexpr int kCases = 250;
+  int blocking_checked = 0;
+  for (int i = 0; i < kCases; ++i) {
+    const RandomCase c = DrawCase(&master);
+    const std::string context = "case " + std::to_string(i) + ": " + c.Describe();
+    const JoinInput input = GenerateInput(c);
+    JoinOptions options;
+    options.measure = c.measure;
+    options.threshold = c.threshold;
+
+    auto naive = NaiveJoin(input, options);
+    auto all_pairs = AllPairsJoin(input, options);
+    ASSERT_TRUE(naive.ok()) << context;
+    ASSERT_TRUE(all_pairs.ok()) << context;
+    ASSERT_NO_FATAL_FAILURE(
+        ExpectSamePairs(*naive, *all_pairs, /*compare_scores=*/true, "AllPairsJoin", context));
+
+    // Blocking is exact only at positive thresholds (a qualifying pair must
+    // share a token); at threshold 0 disjoint pairs qualify without sharing
+    // any block, so the equivalence deliberately excludes it.
+    if (c.threshold > 0.0) {
+      auto blocked = BlockingVerify(input, options);
+      ASSERT_TRUE(blocked.ok()) << context;
+      ASSERT_NO_FATAL_FAILURE(
+          ExpectSamePairs(*naive, *blocked, /*compare_scores=*/true, "BlockingVerify", context));
+      ++blocking_checked;
+    }
+  }
+  // The threshold grid draws 0.0 one time in thirteen; the blocking leg of
+  // the property must still see substantial coverage.
+  EXPECT_GT(blocking_checked, kCases / 2);
+}
+
+TEST(JoinEquivalenceProperty, EmptySetsNeverPairAtPositiveThreshold) {
+  // Regression for the bug this sweep caught: empty sets score 1.0 under
+  // every measure, but must never be emitted at a positive threshold.
+  JoinInput input;
+  input.sets = {{}, {}, {}, {0, 1}};
+  for (SetMeasure measure : {SetMeasure::kJaccard, SetMeasure::kDice, SetMeasure::kCosine,
+                             SetMeasure::kOverlapCoefficient}) {
+    JoinOptions options;
+    options.measure = measure;
+    options.threshold = 0.25;
+    auto naive = NaiveJoin(input, options);
+    auto all_pairs = AllPairsJoin(input, options);
+    auto blocked = BlockingVerify(input, options);
+    ASSERT_TRUE(naive.ok() && all_pairs.ok() && blocked.ok());
+    EXPECT_TRUE(naive->empty()) << "measure " << static_cast<int>(measure);
+    EXPECT_TRUE(all_pairs->empty()) << "measure " << static_cast<int>(measure);
+    EXPECT_TRUE(blocked->empty()) << "measure " << static_cast<int>(measure);
+  }
+}
+
+TEST(JoinEquivalenceProperty, ZeroThresholdStillEquivalentAcrossJoins) {
+  // threshold == 0 admits every admissible pair; AllPairsJoin must still
+  // agree with the reference even though prefix filtering degenerates.
+  Rng master(7);
+  for (int i = 0; i < 10; ++i) {
+    RandomCase c = DrawCase(&master);
+    c.threshold = 0.0;
+    const std::string context = c.Describe();
+    const JoinInput input = GenerateInput(c);
+    JoinOptions options;
+    options.measure = c.measure;
+    options.threshold = 0.0;
+    auto naive = NaiveJoin(input, options);
+    auto all_pairs = AllPairsJoin(input, options);
+    ASSERT_TRUE(naive.ok() && all_pairs.ok()) << context;
+    ASSERT_NO_FATAL_FAILURE(
+        ExpectSamePairs(*naive, *all_pairs, /*compare_scores=*/true, "AllPairsJoin", context));
+  }
+}
+
+}  // namespace
+}  // namespace similarity
+}  // namespace crowder

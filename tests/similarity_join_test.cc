@@ -157,7 +157,9 @@ INSTANTIATE_TEST_SUITE_P(
         JoinEquivalenceCase{12, 40, 10, 4, false, SetMeasure::kJaccard, 0.6},
         JoinEquivalenceCase{13, 50, 200, 12, false, SetMeasure::kJaccard, 0.3},
         JoinEquivalenceCase{14, 70, 30, 7, false, SetMeasure::kJaccard, 0.0},
-        JoinEquivalenceCase{15, 90, 50, 9, true, SetMeasure::kCosine, 0.4}));
+        JoinEquivalenceCase{15, 90, 50, 9, true, SetMeasure::kCosine, 0.4},
+        JoinEquivalenceCase{16, 60, 40, 8, false, SetMeasure::kOverlapCoefficient, 0.5},
+        JoinEquivalenceCase{17, 80, 25, 6, true, SetMeasure::kOverlapCoefficient, 0.8}));
 
 TEST(TokenBlockingTest, CandidatesShareAToken) {
   JoinInput input;
