@@ -108,6 +108,83 @@ void BM_JoinBlockingVerify(benchmark::State& state) {
 BENCHMARK(BM_JoinBlockingVerify)->Arg(3)->Unit(benchmark::kMillisecond);
 
 // ---------------------------------------------------------------------------
+// Parallel machine pass (src/exec + similarity/parallel_join). Arg = thread
+// count (including the caller); compare against BM_JoinAllPairs/3 for the
+// serial baseline. Speedups require actual cores — pin with CROWDER_THREADS
+// or run on multi-core hardware; output is identical either way.
+// ---------------------------------------------------------------------------
+
+void BM_JoinAllPairsParallel(benchmark::State& state) {
+  similarity::JoinOptions options;
+  options.threshold = 0.3;
+  similarity::ParallelJoinOptions exec_options;
+  exec_options.num_threads = static_cast<uint32_t>(state.range(0));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        similarity::ParallelAllPairsJoin(RestaurantJoinInput(), options, exec_options));
+  }
+}
+BENCHMARK(BM_JoinAllPairsParallel)->Arg(1)->Arg(2)->Arg(4)->Unit(benchmark::kMillisecond);
+
+void BM_JoinBlockedStreaming(benchmark::State& state) {
+  similarity::JoinOptions options;
+  options.threshold = 0.3;
+  similarity::ParallelJoinOptions exec_options;
+  exec_options.num_threads = static_cast<uint32_t>(state.range(0));
+  exec_options.block_records = 256;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        similarity::BlockedAllPairsJoin(RestaurantJoinInput(), options, exec_options));
+  }
+}
+BENCHMARK(BM_JoinBlockedStreaming)->Arg(1)->Arg(4)->Unit(benchmark::kMillisecond);
+
+// The scaled-up workload the exec subsystem exists for: a scale_factor-grown
+// Product dataset (~54k records, >=50k per the acceptance bar) joined
+// serially vs in parallel. This is the serial-vs-parallel pair recorded in
+// BENCH_exec.json.
+const similarity::JoinInput& ScaledProductJoinInput() {
+  static const similarity::JoinInput kInput = [] {
+    data::ProductConfig config;
+    config.scale_factor = 25.0;  // 27,025 + 27,300 = 54,325 records
+    const auto dataset = data::GenerateProduct(config).ValueOrDie();
+    text::Tokenizer tokenizer;
+    text::Vocabulary vocab;
+    similarity::JoinInput input;
+    for (uint32_t r = 0; r < dataset.table.num_records(); ++r) {
+      input.sets.push_back(similarity::MakeTokenSet(
+          vocab.InternDocument(tokenizer.Tokenize(dataset.table.ConcatenatedRecord(r)))));
+    }
+    input.sources = dataset.table.sources;
+    return input;
+  }();
+  return kInput;
+}
+
+void BM_JoinScaledProductSerial(benchmark::State& state) {
+  similarity::JoinOptions options;
+  options.threshold = 0.5;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(similarity::AllPairsJoin(ScaledProductJoinInput(), options));
+  }
+  state.counters["records"] = static_cast<double>(ScaledProductJoinInput().sets.size());
+}
+BENCHMARK(BM_JoinScaledProductSerial)->Unit(benchmark::kMillisecond);
+
+void BM_JoinScaledProductParallel(benchmark::State& state) {
+  similarity::JoinOptions options;
+  options.threshold = 0.5;
+  similarity::ParallelJoinOptions exec_options;
+  exec_options.num_threads = static_cast<uint32_t>(state.range(0));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        similarity::ParallelAllPairsJoin(ScaledProductJoinInput(), options, exec_options));
+  }
+  state.counters["records"] = static_cast<double>(ScaledProductJoinInput().sets.size());
+}
+BENCHMARK(BM_JoinScaledProductParallel)->Arg(2)->Arg(4)->Unit(benchmark::kMillisecond);
+
+// ---------------------------------------------------------------------------
 // HIT generation throughput.
 // ---------------------------------------------------------------------------
 

@@ -18,6 +18,40 @@ struct PaperRow {
   double recall;
 };
 
+// Times the machine pass serial vs parallel (all hardware threads, honoring
+// CROWDER_THREADS) and verifies the outputs are identical — the parallel
+// subsystem's contract, re-checked here on every smoke run. Returns false on
+// a mismatch, which fails the binary.
+bool RunScalingSection(const data::Dataset& dataset, double threshold) {
+  const uint32_t threads = exec::HardwareConcurrency();
+  Banner("Machine pass: serial vs parallel (" + dataset.name + ", threshold " +
+         FormatDouble(threshold, 1) + ", " + std::to_string(threads) + " threads)");
+  WallTimer timer;
+  const auto serial =
+      core::HybridWorkflow::MachinePass(dataset, similarity::SetMeasure::kJaccard, threshold,
+                                        core::CandidateStrategy::kAllPairsJoin, 1)
+          .ValueOrDie();
+  const double serial_ms = timer.ElapsedMillis();
+  timer.Reset();
+  const auto parallel =
+      core::HybridWorkflow::MachinePass(dataset, similarity::SetMeasure::kJaccard, threshold,
+                                        core::CandidateStrategy::kAllPairsJoin, threads)
+          .ValueOrDie();
+  const double parallel_ms = timer.ElapsedMillis();
+
+  bool identical = serial.size() == parallel.size();
+  for (size_t i = 0; identical && i < serial.size(); ++i) {
+    identical = serial[i].a == parallel[i].a && serial[i].b == parallel[i].b &&
+                serial[i].score == parallel[i].score;
+  }
+  std::cout << "serial:   " << FormatDouble(serial_ms, 1) << " ms ("
+            << WithThousands(serial.size()) << " pairs)\n"
+            << "parallel: " << FormatDouble(parallel_ms, 1) << " ms ("
+            << WithThousands(parallel.size()) << " pairs, " << threads << " threads)\n"
+            << "outputs identical: " << (identical ? "PASS" : "FAIL") << "\n";
+  return identical;
+}
+
 void RunDataset(const data::Dataset& dataset, const std::vector<PaperRow>& paper) {
   Banner("Table 2: likelihood-threshold selection — " + dataset.name);
   const uint64_t total_matches = dataset.CountMatchingPairs();
@@ -79,5 +113,10 @@ int main() {
                                             {0.2, 3401, 1713, -1.0},
                                             {0.1, -1, -1, -1.0},
                                             {0.0, 157641, 1713, 1.0}});
-  return 0;
+  // Parallel variant of the machine pass behind every row above: same join,
+  // all hardware threads, asserted identical. Fails the binary (and the
+  // smoke label) on any divergence.
+  bool ok = crowder::bench::RunScalingSection(Restaurant(), 0.2);
+  ok = crowder::bench::RunScalingSection(Product(), 0.2) && ok;
+  return ok ? 0 : 1;
 }

@@ -25,7 +25,9 @@ Result<BudgetPlan> PlanForBudget(const data::Dataset& dataset, double budget_dol
   BudgetPlan plan;
   for (double threshold : thresholds) {
     CROWDER_ASSIGN_OR_RETURN(
-        auto pairs, HybridWorkflow::MachinePass(dataset, base_config.measure, threshold));
+        auto pairs,
+        HybridWorkflow::MachinePass(dataset, base_config.measure, threshold,
+                                    base_config.candidate_strategy, base_config.num_threads));
 
     BudgetPoint point;
     point.threshold = threshold;

@@ -34,6 +34,8 @@
 #include "eval/cluster_metrics.h"
 #include "eval/metrics.h"
 #include "eval/report.h"
+#include "exec/parallel.h"
+#include "exec/thread_pool.h"
 #include "graph/connected_components.h"
 #include "graph/pair_graph.h"
 #include "graph/traversal.h"
@@ -56,6 +58,7 @@
 #include "ml/scaler.h"
 #include "similarity/blocking.h"
 #include "similarity/edit_distance.h"
+#include "similarity/parallel_join.h"
 #include "similarity/set_similarity.h"
 #include "similarity/similarity_join.h"
 #include "similarity/sorted_neighborhood.h"

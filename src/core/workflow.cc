@@ -4,9 +4,11 @@
 
 #include "aggregate/majority_vote.h"
 #include "common/logging.h"
+#include "exec/thread_pool.h"
 #include "graph/pair_graph.h"
 #include "hitgen/pair_hit_generator.h"
 #include "similarity/blocking.h"
+#include "similarity/parallel_join.h"
 #include "similarity/sorted_neighborhood.h"
 #include "text/tokenizer.h"
 #include "text/vocabulary.h"
@@ -16,7 +18,7 @@ namespace core {
 
 Result<std::vector<similarity::ScoredPair>> HybridWorkflow::MachinePass(
     const data::Dataset& dataset, similarity::SetMeasure measure, double threshold,
-    CandidateStrategy strategy) {
+    CandidateStrategy strategy, uint32_t num_threads) {
   CROWDER_RETURN_NOT_OK(dataset.Validate());
 
   text::Tokenizer tokenizer;
@@ -42,8 +44,17 @@ Result<std::vector<similarity::ScoredPair>> HybridWorkflow::MachinePass(
   options.threshold = threshold;
 
   switch (strategy) {
-    case CandidateStrategy::kAllPairsJoin:
+    case CandidateStrategy::kAllPairsJoin: {
+      // The parallel join is byte-identical to the serial one (property-
+      // tested); take the serial path when one thread resolves so the
+      // num_threads=1 contract ("serial paths unchanged") holds literally.
+      if (exec::ResolveNumThreads(num_threads) > 1) {
+        similarity::ParallelJoinOptions exec_options;
+        exec_options.num_threads = num_threads;
+        return similarity::ParallelAllPairsJoin(input, options, exec_options);
+      }
       return similarity::AllPairsJoin(input, options);
+    }
     case CandidateStrategy::kBlockingVerify: {
       similarity::BlockingOptions blocking;
       blocking.max_block_size = 0;  // keep all blocks: exact for overlap measures
@@ -101,7 +112,7 @@ Result<WorkflowResult> HybridWorkflow::Run(const data::Dataset& dataset) const {
   CROWDER_ASSIGN_OR_RETURN(
       result.candidate_pairs,
       MachinePass(dataset, config_.measure, config_.likelihood_threshold,
-                  config_.candidate_strategy));
+                  config_.candidate_strategy, config_.num_threads));
   uint64_t candidate_matches = 0;
   for (const auto& p : result.candidate_pairs) {
     if (dataset.truth.IsMatch(p.a, p.b)) ++candidate_matches;

@@ -44,6 +44,11 @@ struct WorkflowConfig {
   similarity::SetMeasure measure = similarity::SetMeasure::kJaccard;
   double likelihood_threshold = 0.3;
   CandidateStrategy candidate_strategy = CandidateStrategy::kAllPairsJoin;
+  /// Threads for the machine pass (0 = exec::HardwareConcurrency(), which
+  /// honors CROWDER_THREADS; 1 = the serial code paths, unchanged). Only the
+  /// kAllPairsJoin strategy parallelizes; results are identical at any
+  /// value — a contract pinned by the golden workflow test.
+  uint32_t num_threads = 1;
 
   // ---- HIT generation. ----
   HitType hit_type = HitType::kClusterBased;
@@ -92,10 +97,13 @@ class HybridWorkflow {
   /// The machine pass alone: tokenize every record (all attributes), find
   /// candidates with `strategy`, and keep pairs at or above `threshold`.
   /// Exposed for benches that sweep thresholds without crowdsourcing
-  /// (Table 2, Figures 10-11).
+  /// (Table 2, Figures 10-11). `num_threads` follows the WorkflowConfig
+  /// convention (0 = auto, 1 = serial) and only affects kAllPairsJoin; the
+  /// returned pairs are identical at any value.
   static Result<std::vector<similarity::ScoredPair>> MachinePass(
       const data::Dataset& dataset, similarity::SetMeasure measure, double threshold,
-      CandidateStrategy strategy = CandidateStrategy::kAllPairsJoin);
+      CandidateStrategy strategy = CandidateStrategy::kAllPairsJoin,
+      uint32_t num_threads = 1);
 
  private:
   WorkflowConfig config_;

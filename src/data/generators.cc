@@ -1,6 +1,7 @@
 #include "data/generators.h"
 
 #include <algorithm>
+#include <cmath>
 #include <string>
 #include <vector>
 
@@ -16,6 +17,27 @@ namespace {
 
 std::string Pick(const std::vector<std::string_view>& pool, Rng* rng) {
   return std::string(pool[rng->Uniform(pool.size())]);
+}
+
+// Scales a configured count by the generator's scale_factor, keeping the
+// macro-statistic ratios between counts (they all scale by the same factor).
+// Errors rather than silently wrapping when the scaled count overflows a
+// uint32 (a scale of infinity fails here too).
+Result<uint32_t> Scaled(uint32_t value, double factor) {
+  const double scaled = std::round(static_cast<double>(value) * factor);
+  if (!(scaled < 4294967296.0)) {  // negated so NaN/inf land in the error arm
+    return Status::InvalidArgument("scale_factor " + std::to_string(factor) +
+                                   " overflows a record count (" + std::to_string(value) +
+                                   " scaled)");
+  }
+  return static_cast<uint32_t>(scaled);
+}
+
+Status ValidateScaleFactor(double factor) {
+  if (!(factor > 0.0)) {
+    return Status::InvalidArgument("scale_factor must be > 0, got " + std::to_string(factor));
+  }
+  return Status::OK();
 }
 
 std::string PickZipf(const std::vector<std::string_view>& pool, double s, Rng* rng) {
@@ -120,7 +142,14 @@ std::vector<std::string> PerturbRestaurant(const RestaurantEntity& e, uint32_t o
 }  // namespace
 
 Result<Dataset> GenerateRestaurant(const RestaurantConfig& config) {
-  if (config.num_duplicate_pairs * 2 > config.num_records) {
+  CROWDER_RETURN_NOT_OK(ValidateScaleFactor(config.scale_factor));
+  CROWDER_ASSIGN_OR_RETURN(const uint32_t num_records,
+                           Scaled(config.num_records, config.scale_factor));
+  CROWDER_ASSIGN_OR_RETURN(const uint32_t num_duplicate_pairs,
+                           Scaled(config.num_duplicate_pairs, config.scale_factor));
+  CROWDER_ASSIGN_OR_RETURN(const uint32_t num_chains,
+                           Scaled(config.num_chains, config.scale_factor));
+  if (num_duplicate_pairs * 2 > num_records) {
     return Status::InvalidArgument("more duplicate pairs than record capacity");
   }
   if (config.min_branches < 2 || config.max_branches < config.min_branches) {
@@ -135,8 +164,8 @@ Result<Dataset> GenerateRestaurant(const RestaurantConfig& config) {
   uint32_t next_entity = 0;
   // 1) Chain branches: distinct entities sharing name/type across cities.
   const auto& chains = ChainNames();
-  uint32_t budget = config.num_records - 2 * config.num_duplicate_pairs;
-  for (uint32_t c = 0; c < config.num_chains && budget > 0; ++c) {
+  uint32_t budget = num_records - 2 * num_duplicate_pairs;
+  for (uint32_t c = 0; c < num_chains && budget > 0; ++c) {
     const std::string chain_name = std::string(chains[c % chains.size()]);
     const std::string type = PickZipf(CuisineTypes(), 0.7, &rng);
     const uint32_t branches = std::min<uint32_t>(
@@ -167,7 +196,7 @@ Result<Dataset> GenerateRestaurant(const RestaurantConfig& config) {
   // 3) Duplicated entities: one clean record + one perturbed record each.
   //    Op-count mix calibrated to the Table 2(a) recall column: most
   //    duplicates stay above Jaccard 0.5; a thin tail reaches ~0.25.
-  for (uint32_t d = 0; d < config.num_duplicate_pairs; ++d) {
+  for (uint32_t d = 0; d < num_duplicate_pairs; ++d) {
     RestaurantEntity e = MakeRestaurantEntity(&rng);
     ds.table.records.push_back(RenderRestaurant(e, false));
     ds.truth.entity_of.push_back(next_entity);
@@ -279,18 +308,23 @@ std::vector<std::string> RenderProduct(const ProductEntity& e, int source, doubl
 }  // namespace
 
 Result<Dataset> GenerateProduct(const ProductConfig& config) {
-  if (config.num_abt == 0 || config.num_buy == 0) {
+  CROWDER_RETURN_NOT_OK(ValidateScaleFactor(config.scale_factor));
+  CROWDER_ASSIGN_OR_RETURN(const uint32_t num_abt, Scaled(config.num_abt, config.scale_factor));
+  CROWDER_ASSIGN_OR_RETURN(const uint32_t num_buy, Scaled(config.num_buy, config.scale_factor));
+  CROWDER_ASSIGN_OR_RETURN(const uint32_t num_matching_pairs,
+                           Scaled(config.num_matching_pairs, config.scale_factor));
+  if (num_abt == 0 || num_buy == 0) {
     return Status::InvalidArgument("both sources need records");
   }
-  const uint32_t min_side = std::min(config.num_abt, config.num_buy);
+  const uint32_t min_side = std::min(num_abt, num_buy);
   // Composition: a entities with 1 abt + 1 buy record (1 pair each) and
   // x entities with 2 abt + 1 buy plus x with 1 abt + 2 buy (2 pairs each):
   //   pairs = a + 4x,  per-source shared records = a + 3x = pairs - x.
-  uint32_t x = config.num_matching_pairs > min_side ? config.num_matching_pairs - min_side : 0;
-  if (config.num_matching_pairs < 4 * x) {
+  uint32_t x = num_matching_pairs > min_side ? num_matching_pairs - min_side : 0;
+  if (num_matching_pairs < 4 * x) {
     return Status::InvalidArgument("matching pairs incompatible with source sizes");
   }
-  const uint32_t a = config.num_matching_pairs - 4 * x;
+  const uint32_t a = num_matching_pairs - 4 * x;
   const uint32_t shared_per_source = a + 3 * x;
   if (shared_per_source > min_side) {
     return Status::InvalidArgument("matching pairs exceed what the source sizes allow");
@@ -344,10 +378,10 @@ Result<Dataset> GenerateProduct(const ProductConfig& config) {
   // Source-only records (entities present in just one catalog).
   const uint32_t abt_used = a + 3 * x;
   const uint32_t buy_used = a + 3 * x;
-  for (uint32_t i = abt_used; i < config.num_abt; ++i) {
+  for (uint32_t i = abt_used; i < num_abt; ++i) {
     emit(MakeProductEntity(&rng), 0, severity_sample(), next_entity++);
   }
-  for (uint32_t i = buy_used; i < config.num_buy; ++i) {
+  for (uint32_t i = buy_used; i < num_buy; ++i) {
     emit(MakeProductEntity(&rng), 1, severity_sample(), next_entity++);
   }
 
@@ -360,9 +394,11 @@ Result<Dataset> GenerateProduct(const ProductConfig& config) {
 // ---------------------------------------------------------------------------
 
 Result<Dataset> GenerateProductDup(const ProductDupConfig& config) {
+  CROWDER_RETURN_NOT_OK(ValidateScaleFactor(config.scale_factor));
   CROWDER_ASSIGN_OR_RETURN(Dataset product, GenerateProduct(config.product));
-  if (config.num_base_records == 0 ||
-      config.num_base_records > product.table.num_records()) {
+  CROWDER_ASSIGN_OR_RETURN(const uint32_t num_base_records,
+                           Scaled(config.num_base_records, config.scale_factor));
+  if (num_base_records == 0 || num_base_records > product.table.num_records()) {
     return Status::InvalidArgument("num_base_records out of range");
   }
   Rng rng(config.seed);
@@ -372,7 +408,7 @@ Result<Dataset> GenerateProductDup(const ProductDupConfig& config) {
   ds.table.attribute_names = product.table.attribute_names;
 
   const std::vector<size_t> picks = rng.SampleWithoutReplacement(
-      product.table.num_records(), config.num_base_records);
+      product.table.num_records(), num_base_records);
 
   uint32_t next_entity = 0;
   for (size_t pick : picks) {

@@ -33,6 +33,13 @@ struct RestaurantConfig {
   uint32_t num_chains = 36;
   uint32_t min_branches = 3;
   uint32_t max_branches = 7;
+  /// Multiplies num_records, num_duplicate_pairs, and num_chains before
+  /// generation (must be > 0; 1 = the paper-scale dataset). The macro
+  /// statistics — duplicate fraction, chain share, per-record token
+  /// distributions — are preserved, so a grown dataset exercises the same
+  /// join/recall regime at 100k+ records. Deterministic given (seed,
+  /// scale_factor); see EXPERIMENTS.md ("Scaled-up workloads").
+  double scale_factor = 1.0;
   uint64_t seed = 7;
 };
 
@@ -44,6 +51,10 @@ struct ProductConfig {
   uint32_t num_abt = 1081;
   uint32_t num_buy = 1092;
   uint32_t num_matching_pairs = 1097;
+  /// Multiplies num_abt, num_buy, and num_matching_pairs before generation
+  /// (must be > 0; 1 = paper scale). Macro-statistics-preserving and
+  /// deterministic given (seed, scale_factor), like RestaurantConfig's knob.
+  double scale_factor = 1.0;
   uint64_t seed = 11;
 };
 
@@ -56,6 +67,9 @@ struct ProductDupConfig {
   uint32_t num_base_records = 100;
   /// Duplicates per base record are uniform on [0, max_dups_per_record].
   uint32_t max_dups_per_record = 9;
+  /// Multiplies num_base_records (the underlying Product dataset scales via
+  /// product.scale_factor independently). Must be > 0.
+  double scale_factor = 1.0;
   uint64_t seed = 13;
   ProductConfig product;
 };

@@ -1,0 +1,61 @@
+// Internal prefix-filtering machinery shared by the serial (similarity_join.cc)
+// and parallel/blocked (parallel_join.cc) AllPairs joins. Not part of the
+// public similarity API — include only from similarity/*.cc and tests.
+//
+// The equivalence argument all three joins rest on: each record r gets a
+// probe prefix of its prefix_len[r] rarest tokens, and a qualifying pair
+// (by the prefix-filtering lemma, evaluated at the worst-case admissible
+// partner size min_partner[r]) must share at least one token between the
+// two prefixes. A join is therefore exact as long as, for every unordered
+// pair, one side probes an index that contains the other side's prefix —
+// which the serial join achieves by indexing records as it goes (size
+// order), and the parallel joins achieve by probing a full prefix index
+// restricted to records earlier in the same size order.
+#ifndef CROWDER_SIMILARITY_JOIN_INTERNAL_H_
+#define CROWDER_SIMILARITY_JOIN_INTERNAL_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "similarity/similarity_join.h"
+
+namespace crowder {
+namespace similarity {
+namespace internal {
+
+/// \brief Everything the AllPairs family precomputes before pairing:
+/// rare-first re-ranked token lists, the size-ordered processing sequence,
+/// and the per-record prefix/size bounds. Pure function of (input, options);
+/// building it twice yields identical contents.
+struct JoinPlan {
+  /// Per record: its tokens re-expressed as global rare-first ranks, sorted.
+  std::vector<std::vector<uint32_t>> ranked;
+  /// Record ids in non-decreasing ranked-size order (stable, so equal sizes
+  /// keep id order) — the canonical processing order of every variant.
+  std::vector<uint32_t> by_size;
+  /// Per record: number of prefix tokens probed AND indexed (0 for empty
+  /// records, which never pair at the positive thresholds this plan serves).
+  std::vector<size_t> prefix_len;
+  /// Per record: minimum ranked-size an admissible partner can have.
+  std::vector<size_t> min_partner;
+  /// Number of distinct token ranks (postings array size).
+  size_t num_ranks = 0;
+};
+
+/// \brief Builds the plan. Requires options.threshold > 0 (the zero-threshold
+/// case degenerates to the exhaustive join in every caller).
+JoinPlan BuildJoinPlan(const JoinInput& input, const JoinOptions& options);
+
+/// \brief Shared admissibility rule: every pair qualifies in a self-join;
+/// with source labels, only cross-source pairs do. One definition for every
+/// join variant so the exact-equivalence contract can't silently fork.
+inline bool Admissible(const JoinInput& input, uint32_t a, uint32_t b) {
+  return input.sources.empty() || input.sources[a] != input.sources[b];
+}
+
+}  // namespace internal
+}  // namespace similarity
+}  // namespace crowder
+
+#endif  // CROWDER_SIMILARITY_JOIN_INTERNAL_H_

@@ -1,0 +1,210 @@
+#include "similarity/parallel_join.h"
+
+#include <algorithm>
+#include <memory>
+
+#include "exec/parallel.h"
+#include "exec/thread_pool.h"
+#include "similarity/join_internal.h"
+
+namespace crowder {
+namespace similarity {
+
+namespace {
+
+using internal::Admissible;
+
+struct ExecKnobs {
+  std::unique_ptr<exec::ThreadPool> pool;  // null when running serial
+  size_t chunk_size = 256;
+  size_t block_records = 4096;
+};
+
+ExecKnobs ResolveKnobs(const ParallelJoinOptions& exec_options) {
+  ExecKnobs knobs;
+  const uint32_t threads = exec::ResolveNumThreads(exec_options.num_threads);
+  // num_threads counts the caller, which always participates in draining
+  // chunks (exec/parallel.h), so the pool supplies threads - 1 workers.
+  if (threads > 1) knobs.pool = std::make_unique<exec::ThreadPool>(threads - 1);
+  if (exec_options.chunk_size > 0) knobs.chunk_size = exec_options.chunk_size;
+  if (exec_options.block_records > 0) knobs.block_records = exec_options.block_records;
+  return knobs;
+}
+
+// Probes the records at positions [probe_begin, probe_end) of plan.by_size
+// against `global_postings` (records strictly before every probe position,
+// accepted unconditionally) and `local_postings` (records in the probe
+// range, accepted only when earlier than the probing position). Both
+// postings lists are ascending by position, read-only, and shared across
+// workers. Appends qualifying pairs to per-chunk shards in chunk order.
+std::vector<ScoredPair> ProbeRange(
+    const JoinInput& input, const JoinOptions& options, const internal::JoinPlan& plan,
+    const std::vector<std::vector<uint32_t>>& global_postings,
+    const std::vector<std::vector<uint32_t>>& local_postings,
+    size_t probe_begin, size_t probe_end, const ExecKnobs& knobs) {
+  const size_t n = input.sets.size();
+  const double t = options.threshold;
+  const size_t num_probes = probe_end - probe_begin;
+  const size_t num_chunks =
+      num_probes == 0 ? 0 : (num_probes - 1) / knobs.chunk_size + 1;
+  std::vector<std::vector<ScoredPair>> shards(num_chunks);
+
+  exec::ParallelForChunks(
+      knobs.pool.get(), probe_begin, probe_end, knobs.chunk_size,
+      [&](size_t chunk, size_t chunk_begin, size_t chunk_end) {
+        std::vector<ScoredPair>* shard = &shards[chunk];
+        // Per-thread scratch, reused across chunks (and joins) instead of
+        // being reallocated-and-zeroed per chunk — with small chunks on
+        // large inputs the per-chunk memset would dominate. Invariant:
+        // every entry of seen is 0 between probes, because each probe
+        // resets exactly the entries it set (the serial join's own
+        // O(candidates) cleanup); resize only ever appends zeros, so
+        // growing for a bigger join preserves it.
+        thread_local std::vector<char> seen;
+        thread_local std::vector<uint32_t> candidates;
+        if (seen.size() < n) seen.resize(n, 0);
+        for (size_t pos = chunk_begin; pos < chunk_end; ++pos) {
+          const uint32_t rec = plan.by_size[pos];
+          const auto& tokens = plan.ranked[rec];
+          if (tokens.empty()) continue;
+          const size_t prefix_len = plan.prefix_len[rec];
+          const size_t min_partner = plan.min_partner[rec];
+
+          candidates.clear();
+          for (size_t p = 0; p < prefix_len; ++p) {
+            for (uint32_t q : global_postings[tokens[p]]) {
+              const uint32_t other = plan.by_size[q];
+              if (seen[other]) continue;
+              seen[other] = 1;
+              candidates.push_back(other);
+            }
+            for (uint32_t q : local_postings[tokens[p]]) {
+              if (static_cast<size_t>(q) >= pos) break;  // ascending positions
+              const uint32_t other = plan.by_size[q];
+              if (seen[other]) continue;
+              seen[other] = 1;
+              candidates.push_back(other);
+            }
+          }
+          for (uint32_t other : candidates) {
+            seen[other] = 0;
+            if (plan.ranked[other].size() < min_partner) continue;
+            if (!Admissible(input, rec, other)) continue;
+            const double sim =
+                SetSimilarity(options.measure, input.sets[rec], input.sets[other]);
+            if (sim >= t) {
+              shard->push_back({std::min(rec, other), std::max(rec, other), sim});
+            }
+          }
+        }
+      });
+
+  size_t total = 0;
+  for (const auto& shard : shards) total += shard.size();
+  std::vector<ScoredPair> out;
+  out.reserve(total);
+  for (auto& shard : shards) {
+    out.insert(out.end(), shard.begin(), shard.end());
+  }
+  return out;
+}
+
+// Appends the prefixes of records at positions [pos_begin, pos_end) to
+// `postings`, keyed by token rank, storing positions (ascending because
+// positions are visited in order).
+void IndexRange(const internal::JoinPlan& plan, size_t pos_begin, size_t pos_end,
+                std::vector<std::vector<uint32_t>>* postings) {
+  for (size_t pos = pos_begin; pos < pos_end; ++pos) {
+    const uint32_t rec = plan.by_size[pos];
+    const auto& tokens = plan.ranked[rec];
+    for (size_t p = 0; p < plan.prefix_len[rec]; ++p) {
+      (*postings)[tokens[p]].push_back(static_cast<uint32_t>(pos));
+    }
+  }
+}
+
+}  // namespace
+
+Result<std::vector<ScoredPair>> ParallelAllPairsJoin(const JoinInput& input,
+                                                     const JoinOptions& options,
+                                                     const ParallelJoinOptions& exec_options) {
+  CROWDER_RETURN_NOT_OK(ValidateJoin(input, options));
+  // Zero threshold admits every pair; prefix filtering degenerates exactly
+  // as in the serial join, so defer to the same exhaustive reference.
+  if (options.threshold <= 0.0) return NaiveJoin(input, options);
+
+  const internal::JoinPlan plan = internal::BuildJoinPlan(input, options);
+  ExecKnobs knobs = ResolveKnobs(exec_options);
+
+  // Full prefix index, then one parallel probe pass over every position with
+  // the "earlier position only" filter (local_base 0 makes every posting
+  // position-filtered).
+  std::vector<std::vector<uint32_t>> local_postings(plan.num_ranks);
+  IndexRange(plan, 0, plan.by_size.size(), &local_postings);
+  const std::vector<std::vector<uint32_t>> global_postings(plan.num_ranks);
+
+  std::vector<ScoredPair> out =
+      ProbeRange(input, options, plan, global_postings, local_postings, 0,
+                 plan.by_size.size(), knobs);
+  SortPairs(&out);
+  return out;
+}
+
+Status BlockedAllPairsJoinStream(const JoinInput& input, const JoinOptions& options,
+                                 const ParallelJoinOptions& exec_options,
+                                 const PairSink& sink) {
+  CROWDER_RETURN_NOT_OK(ValidateJoin(input, options));
+  if (options.threshold <= 0.0) {
+    CROWDER_ASSIGN_OR_RETURN(auto all, NaiveJoin(input, options));
+    return sink(std::move(all));
+  }
+
+  const internal::JoinPlan plan = internal::BuildJoinPlan(input, options);
+  ExecKnobs knobs = ResolveKnobs(exec_options);
+  const size_t n = plan.by_size.size();
+
+  // Records at positions before the current block, fully indexed; grows as
+  // blocks complete. Within a block, a block-local index (position-filtered)
+  // covers intra-block pairs — together they cover exactly the "earlier
+  // position" partners the serial join pairs each probe with.
+  std::vector<std::vector<uint32_t>> global_postings(plan.num_ranks);
+  // Reused across blocks; only the lists a block touched are cleared after
+  // it (O(block prefix tokens), not O(num_ranks) per block).
+  std::vector<std::vector<uint32_t>> local_postings(plan.num_ranks);
+
+  for (size_t block_begin = 0; block_begin < n; block_begin += knobs.block_records) {
+    const size_t block_end = std::min(n, block_begin + knobs.block_records);
+    IndexRange(plan, block_begin, block_end, &local_postings);
+
+    std::vector<ScoredPair> block_pairs =
+        ProbeRange(input, options, plan, global_postings, local_postings,
+                   block_begin, block_end, knobs);
+    SortPairs(&block_pairs);
+    CROWDER_RETURN_NOT_OK(sink(std::move(block_pairs)));
+
+    IndexRange(plan, block_begin, block_end, &global_postings);
+    for (size_t pos = block_begin; pos < block_end; ++pos) {
+      const uint32_t rec = plan.by_size[pos];
+      for (size_t p = 0; p < plan.prefix_len[rec]; ++p) {
+        local_postings[plan.ranked[rec][p]].clear();
+      }
+    }
+  }
+  return Status::OK();
+}
+
+Result<std::vector<ScoredPair>> BlockedAllPairsJoin(const JoinInput& input,
+                                                    const JoinOptions& options,
+                                                    const ParallelJoinOptions& exec_options) {
+  std::vector<ScoredPair> out;
+  CROWDER_RETURN_NOT_OK(BlockedAllPairsJoinStream(
+      input, options, exec_options, [&out](std::vector<ScoredPair>&& block) {
+        out.insert(out.end(), block.begin(), block.end());
+        return Status::OK();
+      }));
+  SortPairs(&out);
+  return out;
+}
+
+}  // namespace similarity
+}  // namespace crowder

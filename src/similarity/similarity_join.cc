@@ -5,6 +5,7 @@
 #include <numeric>
 
 #include "common/logging.h"
+#include "similarity/join_internal.h"
 
 namespace crowder {
 namespace similarity {
@@ -36,13 +37,7 @@ Status ValidateJoin(const JoinInput& input, const JoinOptions& options) {
   return Status::OK();
 }
 
-namespace {
-
-inline bool Admissible(const JoinInput& input, uint32_t a, uint32_t b) {
-  return input.sources.empty() || input.sources[a] != input.sources[b];
-}
-
-}  // namespace
+using internal::Admissible;
 
 Result<std::vector<ScoredPair>> NaiveJoin(const JoinInput& input, const JoinOptions& options) {
   CROWDER_RETURN_NOT_OK(ValidateJoin(input, options));
@@ -63,14 +58,12 @@ Result<std::vector<ScoredPair>> NaiveJoin(const JoinInput& input, const JoinOpti
   return out;
 }
 
-Result<std::vector<ScoredPair>> AllPairsJoin(const JoinInput& input, const JoinOptions& options) {
-  CROWDER_RETURN_NOT_OK(ValidateJoin(input, options));
+namespace internal {
+
+JoinPlan BuildJoinPlan(const JoinInput& input, const JoinOptions& options) {
   const double t = options.threshold;
   const uint32_t n = static_cast<uint32_t>(input.sets.size());
-
-  // A zero threshold admits every pair; prefix filtering degenerates, so
-  // fall through to the exhaustive join.
-  if (t <= 0.0) return NaiveJoin(input, options);
+  JoinPlan plan;
 
   // 1. Compute per-token frequency within this input, then re-express each
   //    set with tokens ordered rarest-first (ties by id). Rare-first prefixes
@@ -91,48 +84,73 @@ Result<std::vector<ScoredPair>> AllPairsJoin(const JoinInput& input, const JoinO
   });
   std::vector<uint32_t> rank(freq.size());
   for (uint32_t pos = 0; pos < order.size(); ++pos) rank[order[pos]] = pos;
+  plan.num_ranks = order.size();
 
-  // Each record as a rank-sorted token list. Keep the original sets for the
-  // exact verification step.
-  std::vector<std::vector<uint32_t>> ranked(n);
+  plan.ranked.resize(n);
   for (uint32_t i = 0; i < n; ++i) {
-    ranked[i].reserve(input.sets[i].size());
-    for (text::TokenId tok : input.sets[i]) ranked[i].push_back(rank[tok]);
-    std::sort(ranked[i].begin(), ranked[i].end());
+    plan.ranked[i].reserve(input.sets[i].size());
+    for (text::TokenId tok : input.sets[i]) plan.ranked[i].push_back(rank[tok]);
+    std::sort(plan.ranked[i].begin(), plan.ranked[i].end());
   }
 
   // 2. Process records in non-decreasing size order so that indexed partners
   //    are never larger than the probing record.
-  std::vector<uint32_t> by_size(n);
-  std::iota(by_size.begin(), by_size.end(), 0);
-  std::stable_sort(by_size.begin(), by_size.end(), [&](uint32_t x, uint32_t y) {
-    return ranked[x].size() < ranked[y].size();
+  plan.by_size.resize(n);
+  std::iota(plan.by_size.begin(), plan.by_size.end(), 0);
+  std::stable_sort(plan.by_size.begin(), plan.by_size.end(), [&](uint32_t x, uint32_t y) {
+    return plan.ranked[x].size() < plan.ranked[y].size();
   });
 
-  // Inverted index: token rank -> list of (record, size at indexing time).
-  std::vector<std::vector<uint32_t>> postings(order.size());
+  // 3. Per-record bounds. Overlap lower bound against the *worst-case*
+  //    admissible partner: any y with sim(x,y) >= t has |y| >=
+  //    MinCompatibleSize, and the required overlap is monotone in |y|, so
+  //    evaluating it at the minimum partner size is a valid bound for all
+  //    partners. A pair meeting the bound must share a token within the
+  //    first sz - alpha + 1 tokens of each side (prefix-filtering lemma).
+  plan.prefix_len.resize(n, 0);
+  plan.min_partner.resize(n, 1);
+  for (uint32_t i = 0; i < n; ++i) {
+    const size_t sz = plan.ranked[i].size();
+    if (sz == 0) continue;
+    const size_t min_partner = std::max<size_t>(1, MinCompatibleSize(options.measure, sz, t));
+    const size_t alpha = std::max<size_t>(
+        1, MinRequiredOverlap(options.measure, sz, min_partner, t));
+    plan.min_partner[i] = min_partner;
+    plan.prefix_len[i] = std::min(sz, sz >= alpha ? sz - alpha + 1 : sz);
+  }
+  return plan;
+}
+
+}  // namespace internal
+
+Result<std::vector<ScoredPair>> AllPairsJoin(const JoinInput& input, const JoinOptions& options) {
+  CROWDER_RETURN_NOT_OK(ValidateJoin(input, options));
+  const double t = options.threshold;
+  const uint32_t n = static_cast<uint32_t>(input.sets.size());
+
+  // A zero threshold admits every pair; prefix filtering degenerates, so
+  // fall through to the exhaustive join.
+  if (t <= 0.0) return NaiveJoin(input, options);
+
+  const internal::JoinPlan plan = internal::BuildJoinPlan(input, options);
+
+  // Inverted index: token rank -> records that indexed it so far. Built
+  // incrementally — a record indexes its prefix right after probing, so the
+  // index only ever contains records earlier in by_size order.
+  std::vector<std::vector<uint32_t>> postings(plan.num_ranks);
 
   std::vector<ScoredPair> out;
   std::vector<uint32_t> candidates;
   std::vector<char> seen(n, 0);
 
-  for (uint32_t rec : by_size) {
-    const auto& tokens = ranked[rec];
-    const size_t sz = tokens.size();
-    if (sz == 0) continue;
-    // Overlap lower bound against the *worst-case* admissible partner: any y
-    // with sim(x,y) >= t has |y| >= MinCompatibleSize, and the required
-    // overlap is monotone in |y|, so evaluating it at the minimum partner
-    // size is a valid bound for all partners. A pair meeting the bound must
-    // share a token within the first sz - alpha + 1 tokens of each side
-    // (prefix-filtering lemma).
-    const size_t min_partner = std::max<size_t>(1, MinCompatibleSize(options.measure, sz, t));
-    const size_t alpha = std::max<size_t>(
-        1, MinRequiredOverlap(options.measure, sz, min_partner, t));
-    const size_t prefix_len = sz >= alpha ? sz - alpha + 1 : sz;
+  for (uint32_t rec : plan.by_size) {
+    const auto& tokens = plan.ranked[rec];
+    if (tokens.empty()) continue;
+    const size_t prefix_len = plan.prefix_len[rec];
+    const size_t min_partner = plan.min_partner[rec];
 
     candidates.clear();
-    for (size_t p = 0; p < std::min(prefix_len, sz); ++p) {
+    for (size_t p = 0; p < prefix_len; ++p) {
       for (uint32_t other : postings[tokens[p]]) {
         if (seen[other]) continue;
         seen[other] = 1;
@@ -141,7 +159,7 @@ Result<std::vector<ScoredPair>> AllPairsJoin(const JoinInput& input, const JoinO
     }
     for (uint32_t other : candidates) {
       seen[other] = 0;
-      if (ranked[other].size() < min_partner) continue;
+      if (plan.ranked[other].size() < min_partner) continue;
       if (!Admissible(input, rec, other)) continue;
       const double sim = SetSimilarity(options.measure, input.sets[rec], input.sets[other]);
       if (sim >= t) {
@@ -152,7 +170,7 @@ Result<std::vector<ScoredPair>> AllPairsJoin(const JoinInput& input, const JoinO
     }
     // Index the same prefix we probe with. (This is at least as long as the
     // tight "mid-prefix", so no pair can be missed.)
-    for (size_t p = 0; p < std::min(prefix_len, sz); ++p) {
+    for (size_t p = 0; p < prefix_len; ++p) {
       postings[tokens[p]].push_back(rec);
     }
   }

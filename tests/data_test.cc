@@ -2,6 +2,7 @@
 // macro-statistics, determinism, CSV round-trip).
 #include <gtest/gtest.h>
 
+#include <cmath>
 #include <cstdio>
 #include <map>
 #include <set>
@@ -110,6 +111,32 @@ TEST(RestaurantGeneratorTest, RejectsImpossibleConfig) {
   EXPECT_FALSE(GenerateRestaurant(config).ok());
 }
 
+TEST(RestaurantGeneratorTest, ScaleFactorGrowsCountsProportionally) {
+  RestaurantConfig config;
+  config.scale_factor = 3.0;
+  auto ds = GenerateRestaurant(config);
+  ASSERT_TRUE(ds.ok());
+  // Macro statistics preserved: every count scales by the same factor, so
+  // the duplicate fraction (and the join/recall regime) is unchanged.
+  EXPECT_EQ(ds->table.num_records(), 3 * config.num_records);
+  EXPECT_EQ(ds->CountMatchingPairs(), 3 * config.num_duplicate_pairs);
+  // Deterministic given (seed, scale_factor).
+  auto again = GenerateRestaurant(config).ValueOrDie();
+  EXPECT_EQ(ds->table.records, again.table.records);
+}
+
+TEST(GeneratorScaleFactorTest, RejectsNonPositive) {
+  RestaurantConfig restaurant;
+  restaurant.scale_factor = 0.0;
+  EXPECT_FALSE(GenerateRestaurant(restaurant).ok());
+  ProductConfig product;
+  product.scale_factor = -1.0;
+  EXPECT_FALSE(GenerateProduct(product).ok());
+  ProductDupConfig dup;
+  dup.scale_factor = 0.0;
+  EXPECT_FALSE(GenerateProductDup(dup).ok());
+}
+
 TEST(ProductGeneratorTest, MatchesPaperStatistics) {
   ProductConfig config;
   auto ds = GenerateProduct(config);
@@ -152,6 +179,21 @@ TEST(ProductGeneratorTest, RejectsImpossibleMatchCount) {
   config.num_buy = 10;
   config.num_matching_pairs = 100;
   EXPECT_FALSE(GenerateProduct(config).ok());
+}
+
+TEST(ProductGeneratorTest, ScaleFactorGrowsCountsProportionally) {
+  ProductConfig config;
+  config.scale_factor = 2.5;
+  auto ds = GenerateProduct(config);
+  ASSERT_TRUE(ds.ok());
+  EXPECT_EQ(ds->table.num_records(),
+            static_cast<size_t>(std::llround(2.5 * config.num_abt)) +
+                static_cast<size_t>(std::llround(2.5 * config.num_buy)));
+  EXPECT_EQ(ds->CountMatchingPairs(),
+            static_cast<uint64_t>(std::llround(2.5 * config.num_matching_pairs)));
+  size_t abt = 0;
+  for (int s : ds->table.sources) abt += (s == 0);
+  EXPECT_EQ(abt, static_cast<size_t>(std::llround(2.5 * config.num_abt)));
 }
 
 TEST(ProductDupGeneratorTest, ConstructionPerPaper) {

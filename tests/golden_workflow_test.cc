@@ -69,6 +69,48 @@ TEST(GoldenWorkflowTest, SmallRestaurantPipelineIsStable) {
   EXPECT_NEAR(eval::BestF1(result->pr_curve), 0.93617021276595735, 1e-9);
 }
 
+TEST(GoldenWorkflowTest, MultiThreadedRunLeavesGoldenValuesBitwiseUnchanged) {
+  // Determinism across thread counts is a contract, not an accident: with
+  // num_threads > 1 the machine pass runs the parallel join, and every
+  // golden value — and the full ranked list, bitwise — must match the
+  // serial run. A drift here means scheduling leaked into the output.
+  const data::Dataset dataset = SmallRestaurant();
+  const HybridWorkflow serial_workflow(GoldenConfig());
+  auto serial = serial_workflow.Run(dataset);
+  ASSERT_TRUE(serial.ok());
+
+  for (uint32_t threads : {2u, 4u, 7u}) {
+    WorkflowConfig config = GoldenConfig();
+    config.num_threads = threads;
+    const HybridWorkflow workflow(config);
+    auto result = workflow.Run(dataset);
+    ASSERT_TRUE(result.ok()) << result.status().ToString();
+
+    // The recorded goldens, verbatim.
+    EXPECT_EQ(result->candidate_pairs.size(), 234u) << "threads " << threads;
+    EXPECT_NEAR(result->machine_recall, 23.0 / 24.0, 1e-12) << "threads " << threads;
+    EXPECT_EQ(result->crowd_stats.num_hits, 46u) << "threads " << threads;
+    EXPECT_EQ(result->crowd_stats.num_assignments, 138u) << "threads " << threads;
+    EXPECT_NEAR(eval::BestF1(result->pr_curve), 0.93617021276595735, 1e-9)
+        << "threads " << threads;
+
+    // And the stronger form: bitwise equality with the serial run.
+    ASSERT_EQ(result->candidate_pairs.size(), serial->candidate_pairs.size());
+    for (size_t i = 0; i < serial->candidate_pairs.size(); ++i) {
+      EXPECT_EQ(result->candidate_pairs[i].a, serial->candidate_pairs[i].a);
+      EXPECT_EQ(result->candidate_pairs[i].b, serial->candidate_pairs[i].b);
+      EXPECT_EQ(result->candidate_pairs[i].score, serial->candidate_pairs[i].score);
+    }
+    ASSERT_EQ(result->ranked.size(), serial->ranked.size());
+    for (size_t i = 0; i < serial->ranked.size(); ++i) {
+      EXPECT_EQ(result->ranked[i].a, serial->ranked[i].a);
+      EXPECT_EQ(result->ranked[i].b, serial->ranked[i].b);
+      EXPECT_EQ(result->ranked[i].score, serial->ranked[i].score);
+    }
+    EXPECT_EQ(result->crowd_stats.cost_dollars, serial->crowd_stats.cost_dollars);
+  }
+}
+
 TEST(GoldenWorkflowTest, RerunIsBitwiseIdentical) {
   // Same config + same dataset must reproduce the identical ranked list —
   // the determinism contract the golden values above rely on.

@@ -1,12 +1,17 @@
 // Randomized property sweep enforcing the exact-equivalence contract of
-// similarity_join.h: NaiveJoin, AllPairsJoin, and token blocking +
-// verification (the kBlockingVerify candidate strategy) must produce
-// identical pair sets over arbitrary inputs.
+// similarity_join.h and parallel_join.h: NaiveJoin, AllPairsJoin, token
+// blocking + verification (the kBlockingVerify candidate strategy), and the
+// parallel/blocked joins must produce identical pair sets over arbitrary
+// inputs.
 //
 //   * NaiveJoin ≡ AllPairsJoin — always (same pairs, same scores).
 //   * NaiveJoin ≡ TokenBlocking(max_block_size=0) + VerifyCandidates — for
 //     every overlap measure at a positive threshold, since any qualifying
 //     pair shares at least one token and therefore co-occurs in a block.
+//   * NaiveJoin ≡ ParallelAllPairsJoin ≡ BlockedAllPairsJoin — at every
+//     thread count, chunk size, and block size (the parallel dimension of
+//     the sweep rotates through {1, 2, 4, 7} threads and tiny-to-large
+//     chunks/blocks so scheduling churn can never leak into the output).
 //
 // Unlike the curated cases in similarity_join_test.cc, every dimension here
 // is drawn at random from a master seed: input size, vocabulary size, token
@@ -22,6 +27,7 @@
 
 #include "common/rng.h"
 #include "similarity/blocking.h"
+#include "similarity/parallel_join.h"
 #include "similarity/similarity_join.h"
 
 namespace crowder {
@@ -111,6 +117,13 @@ TEST(JoinEquivalenceProperty, RandomSweep) {
   // reproduces from the per-case seed printed in its context string.
   Rng master(20260730);
   constexpr int kCases = 250;
+  // The parallel dimension rotates per case: thread counts the issue pins
+  // (1 = serial engine path, 2/4 = typical, 7 = odd and oversubscribed on
+  // small machines) crossed with chunk/block sizes from degenerate to
+  // larger-than-input.
+  static const uint32_t kThreads[] = {1, 2, 4, 7};
+  static const uint32_t kChunks[] = {1, 3, 16, 1024};
+  static const uint32_t kBlocks[] = {1, 5, 32, 4096};
   int blocking_checked = 0;
   for (int i = 0; i < kCases; ++i) {
     const RandomCase c = DrawCase(&master);
@@ -126,6 +139,23 @@ TEST(JoinEquivalenceProperty, RandomSweep) {
     ASSERT_TRUE(all_pairs.ok()) << context;
     ASSERT_NO_FATAL_FAILURE(
         ExpectSamePairs(*naive, *all_pairs, /*compare_scores=*/true, "AllPairsJoin", context));
+
+    ParallelJoinOptions exec_options;
+    exec_options.num_threads = kThreads[i % 4];
+    exec_options.chunk_size = kChunks[(i / 4) % 4];
+    exec_options.block_records = kBlocks[(i / 16) % 4];
+    const std::string par_context = context + " threads=" +
+                                    std::to_string(exec_options.num_threads) +
+                                    " chunk=" + std::to_string(exec_options.chunk_size) +
+                                    " block=" + std::to_string(exec_options.block_records);
+    auto parallel = ParallelAllPairsJoin(input, options, exec_options);
+    auto blocked_join = BlockedAllPairsJoin(input, options, exec_options);
+    ASSERT_TRUE(parallel.ok()) << par_context;
+    ASSERT_TRUE(blocked_join.ok()) << par_context;
+    ASSERT_NO_FATAL_FAILURE(ExpectSamePairs(*naive, *parallel, /*compare_scores=*/true,
+                                            "ParallelAllPairsJoin", par_context));
+    ASSERT_NO_FATAL_FAILURE(ExpectSamePairs(*naive, *blocked_join, /*compare_scores=*/true,
+                                            "BlockedAllPairsJoin", par_context));
 
     // Blocking is exact only at positive thresholds (a qualifying pair must
     // share a token); at threshold 0 disjoint pairs qualify without sharing
@@ -145,7 +175,8 @@ TEST(JoinEquivalenceProperty, RandomSweep) {
 
 TEST(JoinEquivalenceProperty, EmptySetsNeverPairAtPositiveThreshold) {
   // Regression for the bug this sweep caught: empty sets score 1.0 under
-  // every measure, but must never be emitted at a positive threshold.
+  // every measure, but must never be emitted at a positive threshold —
+  // including by the parallel and blocked joins at several thread counts.
   JoinInput input;
   input.sets = {{}, {}, {}, {0, 1}};
   for (SetMeasure measure : {SetMeasure::kJaccard, SetMeasure::kDice, SetMeasure::kCosine,
@@ -160,7 +191,125 @@ TEST(JoinEquivalenceProperty, EmptySetsNeverPairAtPositiveThreshold) {
     EXPECT_TRUE(naive->empty()) << "measure " << static_cast<int>(measure);
     EXPECT_TRUE(all_pairs->empty()) << "measure " << static_cast<int>(measure);
     EXPECT_TRUE(blocked->empty()) << "measure " << static_cast<int>(measure);
+    for (uint32_t threads : {1u, 2u, 4u, 7u}) {
+      ParallelJoinOptions exec_options;
+      exec_options.num_threads = threads;
+      exec_options.chunk_size = 1;
+      exec_options.block_records = 2;
+      auto parallel = ParallelAllPairsJoin(input, options, exec_options);
+      auto blocked_join = BlockedAllPairsJoin(input, options, exec_options);
+      ASSERT_TRUE(parallel.ok() && blocked_join.ok());
+      EXPECT_TRUE(parallel->empty())
+          << "measure " << static_cast<int>(measure) << " threads " << threads;
+      EXPECT_TRUE(blocked_join->empty())
+          << "measure " << static_cast<int>(measure) << " threads " << threads;
+    }
   }
+}
+
+TEST(JoinEquivalenceProperty, ParallelJoinsAreByteIdenticalToSerial) {
+  // The parallel contract is *byte*-identical output post-SortPairs, not
+  // just approximately equal scores: same pairs, bitwise-equal doubles.
+  // Exercised on self- and cross-source inputs across the thread grid.
+  Rng master(424242);
+  for (bool two_sources : {false, true}) {
+    RandomCase c = DrawCase(&master);
+    c.n = 300;
+    c.two_sources = two_sources;
+    c.threshold = 0.3;
+    const JoinInput input = GenerateInput(c);
+    JoinOptions options;
+    options.measure = c.measure;
+    options.threshold = c.threshold;
+    const auto serial = AllPairsJoin(input, options);
+    ASSERT_TRUE(serial.ok());
+    for (uint32_t threads : {1u, 2u, 4u, 7u}) {
+      for (uint32_t chunk : {1u, 8u, 4096u}) {
+        ParallelJoinOptions exec_options;
+        exec_options.num_threads = threads;
+        exec_options.chunk_size = chunk;
+        exec_options.block_records = 64;
+        const std::string context = std::string("two_sources=") +
+                                    (two_sources ? "1" : "0") + " threads=" +
+                                    std::to_string(threads) + " chunk=" + std::to_string(chunk);
+        auto parallel = ParallelAllPairsJoin(input, options, exec_options);
+        auto blocked = BlockedAllPairsJoin(input, options, exec_options);
+        ASSERT_TRUE(parallel.ok() && blocked.ok()) << context;
+        for (const auto* variant : {&*parallel, &*blocked}) {
+          ASSERT_EQ(serial->size(), variant->size()) << context;
+          for (size_t i = 0; i < serial->size(); ++i) {
+            ASSERT_EQ((*serial)[i].a, (*variant)[i].a) << context;
+            ASSERT_EQ((*serial)[i].b, (*variant)[i].b) << context;
+            ASSERT_EQ((*serial)[i].score, (*variant)[i].score) << context;  // bitwise
+          }
+        }
+      }
+    }
+  }
+}
+
+TEST(JoinEquivalenceProperty, BlockedStreamEmitsDisjointBlocksCoveringTheJoin) {
+  // The streaming driver's contract: blocks arrive internally sorted, are
+  // pairwise disjoint, and their union is exactly the serial join output.
+  Rng master(99);
+  RandomCase c = DrawCase(&master);
+  c.n = 200;
+  c.threshold = 0.2;
+  const JoinInput input = GenerateInput(c);
+  JoinOptions options;
+  options.measure = c.measure;
+  options.threshold = c.threshold;
+  const auto serial = AllPairsJoin(input, options);
+  ASSERT_TRUE(serial.ok());
+
+  ParallelJoinOptions exec_options;
+  exec_options.num_threads = 4;
+  exec_options.chunk_size = 8;
+  exec_options.block_records = 16;
+  std::vector<ScoredPair> all;
+  size_t num_blocks = 0;
+  const Status status = BlockedAllPairsJoinStream(
+      input, options, exec_options, [&](std::vector<ScoredPair>&& block) {
+        ++num_blocks;
+        for (size_t i = 1; i < block.size(); ++i) {
+          EXPECT_TRUE(block[i - 1].a < block[i].a ||
+                      (block[i - 1].a == block[i].a && block[i - 1].b < block[i].b))
+              << "block " << num_blocks << " not sorted";
+        }
+        all.insert(all.end(), block.begin(), block.end());
+        return Status::OK();
+      });
+  ASSERT_TRUE(status.ok()) << status.ToString();
+  EXPECT_EQ(num_blocks, (200 + 15) / 16u);
+  SortPairs(&all);
+  ASSERT_NO_FATAL_FAILURE(ExpectSamePairs(*serial, all, /*compare_scores=*/true,
+                                          "BlockedAllPairsJoinStream", "stream"));
+  // Disjointness: after sorting, adjacent duplicates would betray a pair
+  // emitted by two blocks.
+  for (size_t i = 1; i < all.size(); ++i) {
+    EXPECT_FALSE(all[i - 1].a == all[i].a && all[i - 1].b == all[i].b);
+  }
+}
+
+TEST(JoinEquivalenceProperty, StreamSinkErrorAbortsJoin) {
+  Rng master(5);
+  RandomCase c = DrawCase(&master);
+  c.n = 64;
+  c.threshold = 0.1;
+  const JoinInput input = GenerateInput(c);
+  JoinOptions options;
+  options.threshold = c.threshold;
+  ParallelJoinOptions exec_options;
+  exec_options.num_threads = 2;
+  exec_options.block_records = 8;
+  size_t calls = 0;
+  const Status status = BlockedAllPairsJoinStream(
+      input, options, exec_options, [&calls](std::vector<ScoredPair>&&) {
+        ++calls;
+        return Status::IOError("sink full");
+      });
+  EXPECT_TRUE(status.IsIOError());
+  EXPECT_EQ(calls, 1u);
 }
 
 TEST(JoinEquivalenceProperty, ZeroThresholdStillEquivalentAcrossJoins) {

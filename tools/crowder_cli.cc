@@ -1,19 +1,24 @@
 // crowder_cli — command-line front end for the CrowdER library.
 //
 //   crowder_cli generate --dataset restaurant|product|productdup --out FILE
-//                        [--seed N]
+//                        [--seed N] [--scale F]
 //       Writes a synthetic benchmark dataset (records + ground truth) to CSV.
+//       --scale multiplies the dataset's record counts while preserving its
+//       macro statistics (duplicate/match fractions) — e.g. --scale 25 grows
+//       Product to ~54k records, --scale 46 past 100k.
 //
 //   crowder_cli run --in FILE [--threshold 0.3] [--k 10]
 //                   [--hit-type cluster|pair] [--algorithm two-tiered|bfs|
 //                    dfs|random|approximation] [--qt] [--seed N]
-//                   [--matches OUT.csv] [--merged OUT.csv]
+//                   [--threads N] [--matches OUT.csv] [--merged OUT.csv]
 //       Runs the full hybrid workflow (simulated crowd) on a dataset CSV
 //       produced by `generate` (or any CSV with __source/__entity columns),
 //       prints the quality/cost/latency report, and optionally writes the
-//       confirmed matches and the deduplicated table.
+//       confirmed matches and the deduplicated table. --threads parallelizes
+//       the machine pass (0 = all hardware threads, honoring CROWDER_THREADS;
+//       default 1 = serial); results are identical at any value.
 //
-//   crowder_cli plan --in FILE --budget DOLLARS [--k 10]
+//   crowder_cli plan --in FILE --budget DOLLARS [--k 10] [--threads N]
 //       Evaluates the cost/recall tradeoff across thresholds and recommends
 //       an operating point that fits the budget.
 #include <cstdlib>
@@ -44,6 +49,16 @@ struct Args {
     auto it = flags.find(key);
     return it == flags.end() ? fallback : std::stol(it->second);
   }
+  /// --threads, range-checked: a negative value would otherwise wrap through
+  /// uint32_t and ask the pool for billions of workers.
+  Result<uint32_t> GetThreads() const {
+    const long threads = GetLong("threads", 1);
+    if (threads < 0 || threads > 4096) {
+      return Status::InvalidArgument("--threads must be in [0, 4096], got " +
+                                     std::to_string(threads));
+    }
+    return static_cast<uint32_t>(threads);
+  }
 };
 
 Result<Args> Parse(int argc, char** argv) {
@@ -70,10 +85,11 @@ int Usage() {
   std::cerr <<
       R"(usage:
   crowder_cli generate --dataset restaurant|product|productdup --out FILE [--seed N]
+                       [--scale F]
   crowder_cli run --in FILE [--threshold 0.3] [--k 10] [--hit-type cluster|pair]
                   [--algorithm two-tiered|bfs|dfs|random|approximation] [--qt]
-                  [--seed N] [--matches OUT.csv] [--merged OUT.csv]
-  crowder_cli plan --in FILE --budget DOLLARS [--k 10]
+                  [--seed N] [--threads N] [--matches OUT.csv] [--merged OUT.csv]
+  crowder_cli plan --in FILE --budget DOLLARS [--k 10] [--threads N]
 )";
   return 2;
 }
@@ -85,18 +101,24 @@ Status Generate(const Args& args) {
     return Status::InvalidArgument("generate requires --dataset and --out");
   }
   const uint64_t seed = static_cast<uint64_t>(args.GetLong("seed", 0));
+  const double scale = args.GetDouble("scale", 1.0);
   data::Dataset dataset;
   if (kind == "restaurant") {
     data::RestaurantConfig config;
     if (seed) config.seed = seed;
+    config.scale_factor = scale;
     CROWDER_ASSIGN_OR_RETURN(dataset, data::GenerateRestaurant(config));
   } else if (kind == "product") {
     data::ProductConfig config;
     if (seed) config.seed = seed;
+    config.scale_factor = scale;
     CROWDER_ASSIGN_OR_RETURN(dataset, data::GenerateProduct(config));
   } else if (kind == "productdup") {
     data::ProductDupConfig config;
     if (seed) config.seed = seed;
+    // Scale both the base-record sample and the Product dataset under it.
+    config.scale_factor = scale;
+    config.product.scale_factor = scale;
     CROWDER_ASSIGN_OR_RETURN(dataset, data::GenerateProductDup(config));
   } else {
     return Status::InvalidArgument("unknown dataset kind '" + kind + "'");
@@ -126,6 +148,7 @@ Status Run(const Args& args) {
   config.cluster_size = static_cast<uint32_t>(args.GetLong("k", 10));
   config.pairs_per_hit = config.cluster_size;
   config.seed = static_cast<uint64_t>(args.GetLong("seed", 42));
+  CROWDER_ASSIGN_OR_RETURN(config.num_threads, args.GetThreads());
   config.crowd.qualification_test = args.Has("qt");
   const std::string hit_type = args.Get("hit-type", "cluster");
   if (hit_type == "pair") {
@@ -191,6 +214,7 @@ Status Plan(const Args& args) {
   CROWDER_ASSIGN_OR_RETURN(data::Dataset dataset, data::ReadDatasetCsv(in, in));
   core::WorkflowConfig base;
   base.cluster_size = static_cast<uint32_t>(args.GetLong("k", 10));
+  CROWDER_ASSIGN_OR_RETURN(base.num_threads, args.GetThreads());
   CROWDER_ASSIGN_OR_RETURN(
       core::BudgetPlan plan,
       core::PlanForBudget(dataset, args.GetDouble("budget", 0.0), base,
