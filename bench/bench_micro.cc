@@ -29,6 +29,32 @@ void BM_Jaccard(benchmark::State& state) {
 }
 BENCHMARK(BM_Jaccard)->Arg(8)->Arg(64)->Arg(512);
 
+// Skewed-size set intersection: the machine pass's verify step compares a
+// probe record against partners of very different sizes. Arg = |large| /
+// |small| with |small| = 32; compare the two strategies directly (OverlapSize
+// auto-dispatches at ratio >= 16).
+template <size_t (*Intersect)(const similarity::TokenSet&, const similarity::TokenSet&)>
+void BM_OverlapSkewed(benchmark::State& state) {
+  Rng rng(11);
+  const size_t small_size = 32;
+  const size_t large_size = small_size * static_cast<size_t>(state.range(0));
+  similarity::TokenSet small_set;
+  similarity::TokenSet large_set;
+  for (size_t i = 0; i < small_size; ++i) {
+    small_set.push_back(static_cast<text::TokenId>(rng.Uniform(8 * large_size)));
+  }
+  for (size_t i = 0; i < large_size; ++i) {
+    large_set.push_back(static_cast<text::TokenId>(rng.Uniform(8 * large_size)));
+  }
+  small_set = similarity::MakeTokenSet(small_set);
+  large_set = similarity::MakeTokenSet(large_set);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(Intersect(small_set, large_set));
+  }
+}
+BENCHMARK(BM_OverlapSkewed<similarity::OverlapSizeLinear>)->Arg(4)->Arg(32)->Arg(256);
+BENCHMARK(BM_OverlapSkewed<similarity::OverlapSizeGalloping>)->Arg(4)->Arg(32)->Arg(256);
+
 void BM_EditDistance(benchmark::State& state) {
   Rng rng(2);
   std::string a;

@@ -23,7 +23,9 @@
 #include "common/string_util.h"
 #include "common/timer.h"
 #include "core/budget_planner.h"
+#include "core/pipeline.h"
 #include "core/resolution.h"
+#include "core/stages.h"
 #include "core/workflow.h"
 #include "crowd/crowd_model.h"
 #include "crowd/platform.h"

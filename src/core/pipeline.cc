@@ -1,0 +1,309 @@
+#include "core/pipeline.h"
+
+#include <algorithm>
+#include <cerrno>
+#include <cstdlib>
+#include <cstring>
+#include <optional>
+#include <queue>
+
+#include <fcntl.h>
+#include <unistd.h>
+
+#include "common/logging.h"
+#include "common/timer.h"
+
+namespace crowder {
+namespace core {
+
+namespace {
+
+static_assert(std::is_trivially_copyable<similarity::ScoredPair>::value,
+              "spill format writes ScoredPair as raw bytes");
+
+constexpr size_t kPairBytes = sizeof(similarity::ScoredPair);
+
+bool PairLess(const similarity::ScoredPair& x, const similarity::ScoredPair& y) {
+  return x.a != y.a ? x.a < y.a : x.b < y.b;
+}
+
+std::string ErrnoMessage(const char* what) {
+  return std::string(what) + ": " + std::strerror(errno);
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// SpillFile
+// ---------------------------------------------------------------------------
+
+Result<SpillFile> SpillFile::Create() {
+  const char* tmpdir = std::getenv("TMPDIR");
+  std::string templ = std::string(tmpdir && *tmpdir ? tmpdir : "/tmp") +
+                      "/crowder-spill-XXXXXX";
+  std::vector<char> buf(templ.begin(), templ.end());
+  buf.push_back('\0');
+  const int fd = ::mkstemp(buf.data());
+  if (fd < 0) return Status::IOError(ErrnoMessage("mkstemp"));
+  std::FILE* file = ::fdopen(fd, "wb");
+  if (file == nullptr) {
+    const Status status = Status::IOError(ErrnoMessage("fdopen"));
+    ::close(fd);
+    ::unlink(buf.data());
+    return status;
+  }
+  SpillFile out;
+  out.path_.assign(buf.data());
+  out.file_ = file;
+  return out;
+}
+
+SpillFile::SpillFile(SpillFile&& other) noexcept
+    : path_(std::move(other.path_)),
+      file_(other.file_),
+      read_fd_(other.read_fd_),
+      blocks_(std::move(other.blocks_)),
+      bytes_written_(other.bytes_written_) {
+  other.file_ = nullptr;
+  other.read_fd_ = -1;
+  other.path_.clear();
+}
+
+SpillFile& SpillFile::operator=(SpillFile&& other) noexcept {
+  if (this != &other) {
+    Close();
+    path_ = std::move(other.path_);
+    file_ = other.file_;
+    read_fd_ = other.read_fd_;
+    blocks_ = std::move(other.blocks_);
+    bytes_written_ = other.bytes_written_;
+    other.file_ = nullptr;
+    other.read_fd_ = -1;
+    other.path_.clear();
+  }
+  return *this;
+}
+
+SpillFile::~SpillFile() { Close(); }
+
+void SpillFile::Close() {
+  if (file_ != nullptr) {
+    std::fclose(file_);
+    file_ = nullptr;
+  }
+  if (read_fd_ >= 0) {
+    ::close(read_fd_);
+    read_fd_ = -1;
+  }
+  if (!path_.empty()) {
+    ::unlink(path_.c_str());
+    path_.clear();
+  }
+}
+
+Status SpillFile::AppendBlock(const PairBlock& block) {
+  CROWDER_CHECK(file_ != nullptr) << "AppendBlock on closed SpillFile";
+  BlockExtent extent;
+  extent.offset_bytes = bytes_written_;
+  extent.num_pairs = block.size();
+  if (!block.empty() &&
+      std::fwrite(block.data(), kPairBytes, block.size(), file_) != block.size()) {
+    return Status::IOError(ErrnoMessage("spill write"));
+  }
+  bytes_written_ += block.size() * kPairBytes;
+  blocks_.push_back(extent);
+  return Status::OK();
+}
+
+Result<SpillFile::BlockCursor> SpillFile::OpenBlock(size_t index) const {
+  CROWDER_CHECK_LT(index, blocks_.size());
+  // The write handle is buffered; make the bytes visible to the read side.
+  if (file_ != nullptr && std::fflush(file_) != 0) {
+    return Status::IOError(ErrnoMessage("spill flush"));
+  }
+  if (read_fd_ < 0) {
+    read_fd_ = ::open(path_.c_str(), O_RDONLY);
+    if (read_fd_ < 0) return Status::IOError(ErrnoMessage("spill open"));
+  }
+  return BlockCursor(read_fd_, blocks_[index].offset_bytes, blocks_[index].num_pairs);
+}
+
+Result<size_t> SpillFile::BlockCursor::Read(similarity::ScoredPair* out, size_t max_pairs) {
+  const size_t want = static_cast<size_t>(std::min<uint64_t>(max_pairs, remaining_));
+  if (want == 0) return static_cast<size_t>(0);
+  // Positioned read: no shared seek state, so interleaved cursors (the
+  // k-way merge) never disturb each other on the one descriptor.
+  size_t done = 0;
+  char* dst = reinterpret_cast<char*>(out);
+  while (done < want * kPairBytes) {
+    const ssize_t got = ::pread(fd_, dst + done, want * kPairBytes - done,
+                                static_cast<off_t>(offset_bytes_ + done));
+    if (got < 0) return Status::IOError(ErrnoMessage("spill read"));
+    if (got == 0) return Status::IOError("spill read: short read");
+    done += static_cast<size_t>(got);
+  }
+  offset_bytes_ += done;
+  remaining_ -= want;
+  return want;
+}
+
+// ---------------------------------------------------------------------------
+// PairStream
+// ---------------------------------------------------------------------------
+
+Status PairStream::Append(PairBlock&& block) {
+  if (finished_) return Status::InvalidArgument("Append on a finished PairStream");
+  if (block.empty()) return Status::OK();
+  num_pairs_ += block.size();
+  const uint64_t block_bytes = static_cast<uint64_t>(block.size()) * kPairBytes;
+  if (memory_budget_bytes_ > 0 && memory_bytes_ + block_bytes > memory_budget_bytes_) {
+    if (!spill_) {
+      CROWDER_ASSIGN_OR_RETURN(SpillFile file, SpillFile::Create());
+      spill_ = std::make_unique<SpillFile>(std::move(file));
+    }
+    return spill_->AppendBlock(block);
+  }
+  memory_bytes_ += block_bytes;
+  mem_blocks_.push_back(std::move(block));
+  return Status::OK();
+}
+
+Status PairStream::Finish() {
+  if (finished_) return Status::InvalidArgument("Finish on a finished PairStream");
+  finished_ = true;
+  return Status::OK();
+}
+
+namespace {
+
+// One sorted run feeding the merge: either an in-memory block or a buffered
+// cursor over a spilled block.
+class MergeSource {
+ public:
+  explicit MergeSource(const PairBlock* block) : mem_(block) {}
+  MergeSource(SpillFile::BlockCursor cursor, size_t buffer_pairs)
+      : cursor_(std::move(cursor)) {
+    buffer_.reserve(buffer_pairs);
+    buffer_capacity_ = buffer_pairs;
+  }
+
+  // Loads the first pair; returns false for an exhausted source.
+  Result<bool> Init() { return Advance(); }
+
+  const similarity::ScoredPair& current() const { return current_; }
+
+  // Moves to the next pair; false at end of run.
+  Result<bool> Advance() {
+    if (mem_ != nullptr) {
+      if (pos_ >= mem_->size()) return false;
+      current_ = (*mem_)[pos_++];
+      return true;
+    }
+    if (pos_ >= buffer_.size()) {
+      buffer_.resize(buffer_capacity_);
+      CROWDER_ASSIGN_OR_RETURN(const size_t got,
+                               cursor_->Read(buffer_.data(), buffer_capacity_));
+      buffer_.resize(got);
+      pos_ = 0;
+      if (got == 0) return false;
+    }
+    current_ = buffer_[pos_++];
+    return true;
+  }
+
+ private:
+  const PairBlock* mem_ = nullptr;
+  std::optional<SpillFile::BlockCursor> cursor_;
+  PairBlock buffer_;
+  size_t buffer_capacity_ = 0;
+  size_t pos_ = 0;
+  similarity::ScoredPair current_;
+};
+
+}  // namespace
+
+Status PairStream::ScanSorted(const std::function<Status(const PairBlock&)>& fn,
+                              size_t batch_pairs) const {
+  if (!finished_) return Status::InvalidArgument("ScanSorted before Finish");
+  if (batch_pairs == 0) batch_pairs = 8192;
+
+  // Sources: every in-memory block plus a buffered cursor per spilled block.
+  // The cursors split one fixed read-buffer pool (down to one pair each), so
+  // the merge's own resident memory is the pool plus O(#runs) bookkeeping
+  // with a tiny constant — the floor any single-pass k-way merge needs (one
+  // loaded pair per run), never a per-block 4 KiB that could dwarf the
+  // stream's budget when thousands of blocks spilled.
+  std::vector<std::unique_ptr<MergeSource>> sources;
+  sources.reserve(num_blocks());
+  for (const PairBlock& block : mem_blocks_) {
+    sources.push_back(std::make_unique<MergeSource>(&block));
+  }
+  if (spill_) {
+    const size_t spilled = spill_->num_blocks();
+    const size_t buffer_pairs = std::max<size_t>(1, 65536 / std::max<size_t>(1, spilled));
+    for (size_t b = 0; b < spilled; ++b) {
+      CROWDER_ASSIGN_OR_RETURN(auto cursor, spill_->OpenBlock(b));
+      sources.push_back(std::make_unique<MergeSource>(std::move(cursor), buffer_pairs));
+    }
+  }
+
+  // Min-heap on (a, b). Candidate pairs are unique across the stream, so the
+  // merge order — hence the scan — is total and deterministic.
+  auto greater = [&](size_t x, size_t y) {
+    return PairLess(sources[y]->current(), sources[x]->current());
+  };
+  std::priority_queue<size_t, std::vector<size_t>, decltype(greater)> heap(greater);
+  for (size_t i = 0; i < sources.size(); ++i) {
+    CROWDER_ASSIGN_OR_RETURN(const bool alive, sources[i]->Init());
+    if (alive) heap.push(i);
+  }
+
+  PairBlock batch;
+  batch.reserve(std::min<uint64_t>(batch_pairs, num_pairs_));
+  while (!heap.empty()) {
+    const size_t src = heap.top();
+    heap.pop();
+    batch.push_back(sources[src]->current());
+    CROWDER_ASSIGN_OR_RETURN(const bool alive, sources[src]->Advance());
+    if (alive) heap.push(src);
+    if (batch.size() >= batch_pairs) {
+      CROWDER_RETURN_NOT_OK(fn(batch));
+      batch.clear();
+    }
+  }
+  if (!batch.empty()) CROWDER_RETURN_NOT_OK(fn(batch));
+  return Status::OK();
+}
+
+Result<std::vector<similarity::ScoredPair>> PairStream::MaterializeSorted() const {
+  std::vector<similarity::ScoredPair> out;
+  out.reserve(num_pairs_);
+  CROWDER_RETURN_NOT_OK(ScanSorted([&out](const PairBlock& batch) {
+    out.insert(out.end(), batch.begin(), batch.end());
+    return Status::OK();
+  }));
+  return out;
+}
+
+// ---------------------------------------------------------------------------
+// Pipeline
+// ---------------------------------------------------------------------------
+
+Pipeline& Pipeline::Add(std::unique_ptr<Stage> stage) {
+  stages_.push_back(std::move(stage));
+  return *this;
+}
+
+Status Pipeline::Run(WorkflowState* state, PipelineStats* stats) {
+  for (const std::unique_ptr<Stage>& stage : stages_) {
+    WallTimer timer;
+    CROWDER_RETURN_NOT_OK(stage->Run(state));
+    if (stats != nullptr) {
+      stats->stages.push_back({stage->name(), timer.ElapsedMillis()});
+    }
+  }
+  return Status::OK();
+}
+
+}  // namespace core
+}  // namespace crowder

@@ -1,0 +1,201 @@
+// The staged streaming pipeline substrate.
+//
+// CrowdER is a pipeline by construction (§2.2): machine pass → prune → HIT
+// generation → crowd → aggregate. The seed implementation materialized every
+// intermediate before starting the next phase; this header provides the two
+// pieces that let the phases compose as bounded-memory stages instead:
+//
+//  * Stage / Pipeline — the composition surface. A Stage transforms the
+//    shared WorkflowState; Pipeline runs stages in order and records
+//    per-stage wall times. HybridWorkflow::Run is a Pipeline of
+//    MachinePassStage → HitGenStage → CrowdStage → AggregateStage
+//    (core/stages.h) in both execution modes — the modes differ only in how
+//    candidate pairs flow between the first two stages.
+//
+//  * PairStream — the spillable candidate-pair stream between the machine
+//    pass and its consumers. The producer appends blocks (each internally
+//    sorted by (a, b), as BlockedAllPairsJoinStream emits them); under a
+//    `memory_budget_bytes` the stream spills whole blocks to a temp file
+//    (SpillFile) so resident pair memory never exceeds the budget.
+//    Consumers read back with ScanSorted — a k-way merge across blocks that
+//    yields pairs in exactly SortPairs order, which is what makes the
+//    streaming workflow byte-identical to the materialized one: the merge of
+//    per-block sorted runs over a disjoint pair set IS the globally sorted
+//    pair list, whether or not any block ever touched disk.
+#ifndef CROWDER_CORE_PIPELINE_H_
+#define CROWDER_CORE_PIPELINE_H_
+
+#include <cstdint>
+#include <cstdio>
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "similarity/similarity_join.h"
+
+namespace crowder {
+namespace core {
+
+/// \brief One producer-emitted batch of scored candidate pairs.
+using PairBlock = std::vector<similarity::ScoredPair>;
+
+/// \brief Block-structured temp file holding spilled pair blocks. Created
+/// lazily by PairStream; removed (and closed) on destruction, including when
+/// an exception unwinds through the owning stream.
+class SpillFile {
+ public:
+  /// Creates an empty spill file under the system temp directory.
+  static Result<SpillFile> Create();
+
+  SpillFile(SpillFile&& other) noexcept;
+  SpillFile& operator=(SpillFile&& other) noexcept;
+  SpillFile(const SpillFile&) = delete;
+  SpillFile& operator=(const SpillFile&) = delete;
+  ~SpillFile();
+
+  /// Appends one block (raw ScoredPair array + in-memory offset record).
+  Status AppendBlock(const PairBlock& block);
+
+  size_t num_blocks() const { return blocks_.size(); }
+  uint64_t bytes_written() const { return bytes_written_; }
+  /// On-disk location; exposed so tests can assert cleanup.
+  const std::string& path() const { return path_; }
+
+  /// Sequential cursor over one spilled block. Any number of cursors may be
+  /// live simultaneously over different (or the same) blocks — the k-way
+  /// merge in PairStream::ScanSorted holds one per block. Cursors share the
+  /// file's single read descriptor via positioned reads (pread), so a
+  /// heavily spilled stream costs two fds total, not one per block. A
+  /// cursor must not outlive its SpillFile.
+  class BlockCursor {
+   public:
+    BlockCursor(BlockCursor&&) noexcept = default;
+    BlockCursor& operator=(BlockCursor&&) noexcept = default;
+    BlockCursor(const BlockCursor&) = delete;
+    BlockCursor& operator=(const BlockCursor&) = delete;
+
+    /// Reads up to `max_pairs` pairs into `out`; returns how many were read
+    /// (0 at end of block) or a Status on I/O failure.
+    Result<size_t> Read(similarity::ScoredPair* out, size_t max_pairs);
+
+   private:
+    friend class SpillFile;
+    BlockCursor(int fd, uint64_t offset_bytes, uint64_t remaining)
+        : fd_(fd), offset_bytes_(offset_bytes), remaining_(remaining) {}
+    int fd_ = -1;               // owned by the SpillFile
+    uint64_t offset_bytes_ = 0;  // next read position
+    uint64_t remaining_ = 0;     // pairs left in this block
+  };
+
+  /// Opens a cursor over block `index`.
+  Result<BlockCursor> OpenBlock(size_t index) const;
+
+ private:
+  SpillFile() = default;
+
+  struct BlockExtent {
+    uint64_t offset_bytes = 0;
+    uint64_t num_pairs = 0;
+  };
+
+  void Close();
+
+  std::string path_;
+  std::FILE* file_ = nullptr;   // write handle
+  mutable int read_fd_ = -1;    // shared by all cursors; opened on first read
+  std::vector<BlockExtent> blocks_;
+  uint64_t bytes_written_ = 0;
+};
+
+/// \brief Bounded buffer of candidate-pair blocks: in-memory up to
+/// `memory_budget_bytes`, spilling whole blocks to a SpillFile beyond it
+/// (0 = unbounded, never spills). Single producer, then Finish(), then any
+/// number of ScanSorted passes. Not thread-safe; the workflow appends from
+/// the join's sink on the driving thread.
+class PairStream {
+ public:
+  explicit PairStream(uint64_t memory_budget_bytes = 0)
+      : memory_budget_bytes_(memory_budget_bytes) {}
+
+  /// Appends one block (need not be sorted relative to other blocks, but
+  /// must itself be (a, b)-sorted — the BlockedAllPairsJoinStream contract —
+  /// for ScanSorted's merge to be correct). Empty blocks are dropped.
+  Status Append(PairBlock&& block);
+
+  /// Seals the stream; Append afterwards is an error.
+  Status Finish();
+  bool finished() const { return finished_; }
+
+  uint64_t num_pairs() const { return num_pairs_; }
+  size_t num_blocks() const { return mem_blocks_.size() + (spill_ ? spill_->num_blocks() : 0); }
+  /// Pair bytes currently resident in memory.
+  uint64_t memory_bytes() const { return memory_bytes_; }
+  uint64_t spilled_bytes() const { return spill_ ? spill_->bytes_written() : 0; }
+  bool spilled() const { return spill_ != nullptr; }
+  /// The backing spill file, or nullptr while fully in memory (tests).
+  const SpillFile* spill_file() const { return spill_.get(); }
+
+  /// Visits every pair in globally ascending (a, b) order — byte-identical
+  /// to SortPairs over the concatenation of all blocks — in batches of at
+  /// most `batch_pairs`. Requires Finish(); repeatable. A non-OK status from
+  /// `fn` aborts the scan with that status.
+  Status ScanSorted(const std::function<Status(const PairBlock&)>& fn,
+                    size_t batch_pairs = 8192) const;
+
+  /// Materializes the full sorted pair list (the boundary where a streaming
+  /// run must rejoin the materialized representation, e.g. for the crowd's
+  /// vote table).
+  Result<std::vector<similarity::ScoredPair>> MaterializeSorted() const;
+
+ private:
+  uint64_t memory_budget_bytes_;
+  std::vector<PairBlock> mem_blocks_;
+  std::unique_ptr<SpillFile> spill_;
+  uint64_t memory_bytes_ = 0;
+  uint64_t num_pairs_ = 0;
+  bool finished_ = false;
+};
+
+/// \brief Wall time of one pipeline stage.
+struct StageTiming {
+  std::string name;
+  double wall_ms = 0.0;
+};
+
+/// \brief What a pipeline run reports about itself (never part of the
+/// byte-identity contract between execution modes).
+struct PipelineStats {
+  std::vector<StageTiming> stages;
+  /// Pairs that flowed through the candidate stream (streaming mode only).
+  uint64_t streamed_pairs = 0;
+  /// Bytes the candidate stream spilled to disk (0 when under budget).
+  uint64_t spilled_bytes = 0;
+};
+
+struct WorkflowState;  // core/stages.h
+
+/// \brief One phase of the workflow: transforms the shared WorkflowState.
+class Stage {
+ public:
+  virtual ~Stage() = default;
+  virtual const char* name() const = 0;
+  virtual Status Run(WorkflowState* state) = 0;
+};
+
+/// \brief Runs stages in order, timing each into PipelineStats.
+class Pipeline {
+ public:
+  Pipeline& Add(std::unique_ptr<Stage> stage);
+  /// `stats` may be null. Stops at the first failing stage.
+  Status Run(WorkflowState* state, PipelineStats* stats);
+
+ private:
+  std::vector<std::unique_ptr<Stage>> stages_;
+};
+
+}  // namespace core
+}  // namespace crowder
+
+#endif  // CROWDER_CORE_PIPELINE_H_

@@ -1,0 +1,221 @@
+#include "core/stages.h"
+
+#include <algorithm>
+#include <string>
+
+#include "aggregate/majority_vote.h"
+#include "common/logging.h"
+#include "crowd/session.h"
+#include "exec/thread_pool.h"
+#include "graph/pair_graph.h"
+#include "hitgen/pair_hit_generator.h"
+#include "similarity/parallel_join.h"
+#include "text/tokenizer.h"
+#include "text/vocabulary.h"
+
+namespace crowder {
+namespace core {
+
+namespace internal {
+
+similarity::JoinInput BuildJoinInput(const data::Dataset& dataset, CandidateStrategy strategy,
+                                     std::vector<std::string>* keys) {
+  text::Tokenizer tokenizer;
+  text::Vocabulary vocab;
+  similarity::JoinInput input;
+  input.sets.reserve(dataset.table.num_records());
+  if (keys != nullptr && strategy == CandidateStrategy::kSortedNeighborhoodVerify) {
+    keys->reserve(dataset.table.num_records());
+  }
+  for (uint32_t r = 0; r < dataset.table.num_records(); ++r) {
+    const std::string concatenated = dataset.table.ConcatenatedRecord(r);
+    input.sets.push_back(
+        similarity::MakeTokenSet(vocab.InternDocument(tokenizer.Tokenize(concatenated))));
+    if (keys != nullptr && strategy == CandidateStrategy::kSortedNeighborhoodVerify) {
+      keys->push_back(tokenizer.normalizer().Normalize(concatenated));
+    }
+  }
+  input.sources = dataset.table.sources;
+  return input;
+}
+
+uint64_t CountCandidateMatches(const data::Dataset& dataset,
+                               const std::vector<similarity::ScoredPair>& pairs) {
+  uint64_t count = 0;
+  for (const auto& p : pairs) {
+    if (dataset.truth.IsMatch(p.a, p.b)) ++count;
+  }
+  return count;
+}
+
+}  // namespace internal
+
+// ---------------------------------------------------------------------------
+// MachinePassStage
+// ---------------------------------------------------------------------------
+
+Status MachinePassStage::Run(WorkflowState* state) {
+  const WorkflowConfig& config = *state->config;
+  WorkflowResult& result = state->result;
+
+  uint64_t candidate_matches = 0;
+  if (config.execution_mode == ExecutionMode::kStreaming) {
+    // Stream bounded blocks through state->stream, then rejoin the
+    // materialized representation: the sorted scan reproduces MachinePass'
+    // (a, b)-sorted output exactly, so everything downstream sees the same
+    // bytes as the materialized mode.
+    CROWDER_ASSIGN_OR_RETURN(
+        const auto stream_stats,
+        HybridWorkflow::MachinePassStream(*state->dataset, config.measure,
+                                          config.likelihood_threshold, config.num_threads,
+                                          &state->stream, config.stream_block_records));
+    result.pipeline_stats.streamed_pairs = stream_stats.num_pairs;
+    result.pipeline_stats.spilled_bytes = stream_stats.spilled_bytes;
+    candidate_matches = stream_stats.candidate_matches;  // counted in the sink
+    CROWDER_ASSIGN_OR_RETURN(result.candidate_pairs, state->stream.MaterializeSorted());
+    // The stream's job is done: downstream stages walk candidate_pairs, so
+    // keeping the blocks (and any spill file) alive would double the pair
+    // footprint for the rest of the run.
+    state->stream = PairStream();
+  } else {
+    CROWDER_ASSIGN_OR_RETURN(
+        result.candidate_pairs,
+        HybridWorkflow::MachinePass(*state->dataset, config.measure,
+                                    config.likelihood_threshold, config.candidate_strategy,
+                                    config.num_threads));
+    candidate_matches = internal::CountCandidateMatches(*state->dataset, result.candidate_pairs);
+  }
+  result.machine_recall =
+      static_cast<double>(candidate_matches) / static_cast<double>(result.total_matches);
+  return Status::OK();
+}
+
+// ---------------------------------------------------------------------------
+// HitGenStage
+// ---------------------------------------------------------------------------
+
+namespace {
+
+// Feeds the candidate pairs to `consume` as edge batches: bounded batches in
+// streaming mode (the incremental-builder path), one batch over the
+// materialized vector otherwise. Both walk result.candidate_pairs — by this
+// point the streaming machine pass has already materialized the sorted list
+// for the crowd's vote table, so re-merging the (possibly spilled) stream
+// would only repeat disk I/O for the identical edge sequence.
+Status ForEachEdgeBatch(WorkflowState* state,
+                        const std::function<Status(const std::vector<graph::Edge>&)>& consume) {
+  const auto& pairs = state->result.candidate_pairs;
+  const size_t batch_pairs =
+      state->config->execution_mode == ExecutionMode::kStreaming ? size_t{8192} : pairs.size();
+  std::vector<graph::Edge> edges;
+  for (size_t begin = 0; begin < pairs.size(); begin += batch_pairs) {
+    const size_t end = std::min(pairs.size(), begin + batch_pairs);
+    edges.clear();
+    edges.reserve(end - begin);
+    for (size_t i = begin; i < end; ++i) edges.push_back({pairs[i].a, pairs[i].b});
+    CROWDER_RETURN_NOT_OK(consume(edges));
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+Status HitGenStage::Run(WorkflowState* state) {
+  const WorkflowConfig& config = *state->config;
+  if (state->result.candidate_pairs.empty()) {
+    CROWDER_LOG(Warning) << "machine pass pruned every pair; crowd is idle";
+    return Status::OK();
+  }
+
+  if (config.hit_type == HitType::kPairBased) {
+    hitgen::PairHitPacker packer(config.pairs_per_hit);
+    CROWDER_RETURN_NOT_OK(ForEachEdgeBatch(
+        state, [&](const std::vector<graph::Edge>& batch) { return packer.Add(batch); }));
+    CROWDER_ASSIGN_OR_RETURN(state->pair_hits, packer.Finish());
+    return Status::OK();
+  }
+
+  graph::PairGraphBuilder builder(static_cast<uint32_t>(state->dataset->table.num_records()));
+  CROWDER_RETURN_NOT_OK(ForEachEdgeBatch(
+      state, [&](const std::vector<graph::Edge>& batch) { return builder.Add(batch); }));
+  CROWDER_ASSIGN_OR_RETURN(auto graph, builder.Build());
+  hitgen::ClusterGeneratorOptions gen_options;
+  gen_options.seed = config.seed;
+  std::unique_ptr<hitgen::ClusterHitGenerator> generator =
+      hitgen::MakeClusterGenerator(config.cluster_algorithm, gen_options);
+  CROWDER_ASSIGN_OR_RETURN(state->cluster_hits, generator->Generate(&graph, config.cluster_size));
+  graph.Reset();
+  CROWDER_RETURN_NOT_OK(
+      hitgen::ValidateClusterCover(state->cluster_hits, graph, config.cluster_size));
+  return Status::OK();
+}
+
+// ---------------------------------------------------------------------------
+// CrowdStage
+// ---------------------------------------------------------------------------
+
+Status CrowdStage::Run(WorkflowState* state) {
+  const WorkflowConfig& config = *state->config;
+  WorkflowResult& result = state->result;
+  if (state->pair_hits.empty() && state->cluster_hits.empty()) {
+    return Status::OK();  // machine pass pruned everything; crowd_stats stays zero
+  }
+
+  crowd::CrowdContext context;
+  context.pairs = &result.candidate_pairs;
+  context.entity_of = &state->dataset->truth.entity_of;
+  const crowd::CrowdPlatform platform(config.crowd, config.seed);
+  CROWDER_ASSIGN_OR_RETURN(auto session,
+                           crowd::CrowdSession::Create(platform, context, config.num_threads));
+
+  // One batch of everything: the session is batch-boundary-blind
+  // (crowd/session.h), so feeding all HITs at once costs no generality,
+  // copies nothing, and gives ParallelMap the widest dispatch. Incremental
+  // producers can call Process*Hits per batch and get identical bytes.
+  if (!state->pair_hits.empty()) {
+    CROWDER_RETURN_NOT_OK(session->ProcessPairHits(state->pair_hits));
+  } else {
+    CROWDER_RETURN_NOT_OK(session->ProcessClusterHits(state->cluster_hits));
+  }
+  CROWDER_ASSIGN_OR_RETURN(result.crowd_stats, session->Finish());
+  return Status::OK();
+}
+
+// ---------------------------------------------------------------------------
+// AggregateStage
+// ---------------------------------------------------------------------------
+
+Status AggregateStage::Run(WorkflowState* state) {
+  const WorkflowConfig& config = *state->config;
+  WorkflowResult& result = state->result;
+
+  std::vector<double> probabilities;
+  if (config.aggregation == AggregationMethod::kMajorityVote) {
+    probabilities = aggregate::MajorityVote(result.crowd_stats.votes);
+  } else {
+    CROWDER_ASSIGN_OR_RETURN(auto ds, aggregate::RunDawidSkene(result.crowd_stats.votes));
+    probabilities = std::move(ds.match_probability);
+  }
+
+  result.ranked.reserve(result.candidate_pairs.size());
+  for (size_t i = 0; i < result.candidate_pairs.size(); ++i) {
+    const auto& p = result.candidate_pairs[i];
+    eval::RankedPair rp;
+    rp.a = p.a;
+    rp.b = p.b;
+    // Crowd posterior ranks first; the machine likelihood breaks ties among
+    // equal posteriors (e.g. all-yes unanimous pairs).
+    rp.score = probabilities[i] + 1e-7 * p.score;
+    rp.is_match = state->dataset->truth.IsMatch(p.a, p.b);
+    result.ranked.push_back(rp);
+  }
+  eval::SortByScoreDesc(&result.ranked);
+  if (!result.ranked.empty()) {
+    CROWDER_ASSIGN_OR_RETURN(result.pr_curve,
+                             eval::PrCurve(result.ranked, result.total_matches));
+  }
+  return Status::OK();
+}
+
+}  // namespace core
+}  // namespace crowder

@@ -1,0 +1,103 @@
+// The four stages HybridWorkflow::Run composes (CrowdER §2.2's phases):
+//
+//   MachinePassStage  records → candidate pairs (materialized vector, or
+//                     bounded blocks through WorkflowState::stream)
+//   HitGenStage       candidate pairs → HITs (incremental PairGraphBuilder /
+//                     PairHitPacker fed by pair batches)
+//   CrowdStage        HITs → votes (CrowdSession, HIT batches in parallel)
+//   AggregateStage    votes → ranked matches + PR curve
+//
+// Stages communicate through WorkflowState, never through globals. The two
+// execution modes share every stage; only the transport between the first
+// two differs — which is why they are byte-identical (the stream's sorted
+// scan reproduces the materialized pair order exactly; see core/pipeline.h).
+#ifndef CROWDER_CORE_STAGES_H_
+#define CROWDER_CORE_STAGES_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "core/pipeline.h"
+#include "core/workflow.h"
+#include "hitgen/hit.h"
+
+namespace crowder {
+namespace core {
+
+/// \brief Everything the stages share. Owned by HybridWorkflow::Run for the
+/// duration of one pipeline execution.
+struct WorkflowState {
+  WorkflowState(const WorkflowConfig& config_in, const data::Dataset& dataset_in)
+      : config(&config_in), dataset(&dataset_in), stream(config_in.memory_budget_bytes) {}
+
+  const WorkflowConfig* config;
+  const data::Dataset* dataset;
+
+  /// Candidate-pair transport in kStreaming mode (unused in kMaterialized).
+  PairStream stream;
+
+  /// HITs handed from HitGenStage to CrowdStage (one of the two, by
+  /// config->hit_type).
+  std::vector<hitgen::PairBasedHit> pair_hits;
+  std::vector<hitgen::ClusterBasedHit> cluster_hits;
+
+  /// The result under construction (candidate_pairs, machine_recall,
+  /// crowd_stats, ranked, pr_curve, ... filled in stage by stage).
+  WorkflowResult result;
+};
+
+/// \brief Machine pass + prune. Materialized mode fills
+/// result.candidate_pairs directly; streaming mode drives
+/// BlockedAllPairsJoinStream into state->stream, then materializes the
+/// sorted pairs (the crowd's vote table needs the full list — the bounded
+/// benefit is for machine-pass-only runs via MachinePassStream). Also
+/// computes machine recall.
+class MachinePassStage : public Stage {
+ public:
+  const char* name() const override { return "machine-pass"; }
+  Status Run(WorkflowState* state) override;
+};
+
+/// \brief HIT generation, fed by pair batches: one batch in materialized
+/// mode, the stream's sorted batches in streaming mode.
+class HitGenStage : public Stage {
+ public:
+  const char* name() const override { return "hit-gen"; }
+  Status Run(WorkflowState* state) override;
+};
+
+/// \brief Crowd simulation over the generated HITs (crowd/session.h),
+/// parallel across HITs under config->num_threads.
+class CrowdStage : public Stage {
+ public:
+  const char* name() const override { return "crowd"; }
+  Status Run(WorkflowState* state) override;
+};
+
+/// \brief Vote aggregation into the ranked match list and PR curve.
+class AggregateStage : public Stage {
+ public:
+  const char* name() const override { return "aggregate"; }
+  Status Run(WorkflowState* state) override;
+};
+
+namespace internal {
+
+/// \brief Tokenizes every record into the join input (and, for sorted
+/// neighborhood, the normalized sort keys). Shared by the materialized and
+/// streaming machine passes so both see identical token sets.
+similarity::JoinInput BuildJoinInput(const data::Dataset& dataset, CandidateStrategy strategy,
+                                     std::vector<std::string>* keys);
+
+/// \brief True matches among `pairs` — the machine-recall numerator. The one
+/// definition shared by the workflow stages, the streaming sink, and the
+/// CLI's machine-only report.
+uint64_t CountCandidateMatches(const data::Dataset& dataset,
+                               const std::vector<similarity::ScoredPair>& pairs);
+
+}  // namespace internal
+
+}  // namespace core
+}  // namespace crowder
+
+#endif  // CROWDER_CORE_STAGES_H_

@@ -1,43 +1,51 @@
 #include "core/workflow.h"
 
-#include <algorithm>
+#include <memory>
 
-#include "aggregate/majority_vote.h"
 #include "common/logging.h"
+#include "core/stages.h"
 #include "exec/thread_pool.h"
-#include "graph/pair_graph.h"
-#include "hitgen/pair_hit_generator.h"
 #include "similarity/blocking.h"
 #include "similarity/parallel_join.h"
 #include "similarity/sorted_neighborhood.h"
-#include "text/tokenizer.h"
-#include "text/vocabulary.h"
 
 namespace crowder {
 namespace core {
+
+namespace {
+
+const char* StrategyName(CandidateStrategy strategy) {
+  switch (strategy) {
+    case CandidateStrategy::kAllPairsJoin:
+      return "all-pairs-join";
+    case CandidateStrategy::kBlockingVerify:
+      return "blocking-verify";
+    case CandidateStrategy::kSortedNeighborhoodVerify:
+      return "sorted-neighborhood-verify";
+  }
+  return "?";
+}
+
+}  // namespace
 
 Result<std::vector<similarity::ScoredPair>> HybridWorkflow::MachinePass(
     const data::Dataset& dataset, similarity::SetMeasure measure, double threshold,
     CandidateStrategy strategy, uint32_t num_threads) {
   CROWDER_RETURN_NOT_OK(dataset.Validate());
 
-  text::Tokenizer tokenizer;
-  text::Vocabulary vocab;
-  similarity::JoinInput input;
-  input.sets.reserve(dataset.table.num_records());
-  std::vector<std::string> keys;  // only filled for sorted neighborhood
-  keys.reserve(strategy == CandidateStrategy::kSortedNeighborhoodVerify
-                   ? dataset.table.num_records()
-                   : 0);
-  for (uint32_t r = 0; r < dataset.table.num_records(); ++r) {
-    const std::string concatenated = dataset.table.ConcatenatedRecord(r);
-    input.sets.push_back(
-        similarity::MakeTokenSet(vocab.InternDocument(tokenizer.Tokenize(concatenated))));
-    if (strategy == CandidateStrategy::kSortedNeighborhoodVerify) {
-      keys.push_back(tokenizer.normalizer().Normalize(concatenated));
-    }
+  // The thread contract (workflow.h): only kAllPairsJoin has a parallel
+  // machine pass. Asking for workers on a serial strategy is not an error —
+  // the crowd stage still parallelizes — but it must not be silent either.
+  if (strategy != CandidateStrategy::kAllPairsJoin &&
+      exec::ResolveNumThreads(num_threads) > 1) {
+    CROWDER_LOG(Warning) << "candidate strategy '" << StrategyName(strategy)
+                         << "' has no parallel machine pass; running it serially ("
+                         << "threads apply to the kAllPairsJoin join and the crowd "
+                         << "simulation only)";
   }
-  input.sources = dataset.table.sources;
+
+  std::vector<std::string> keys;  // only filled for sorted neighborhood
+  similarity::JoinInput input = internal::BuildJoinInput(dataset, strategy, &keys);
 
   similarity::JoinOptions options;
   options.measure = measure;
@@ -73,6 +81,34 @@ Result<std::vector<similarity::ScoredPair>> HybridWorkflow::MachinePass(
   return Status::InvalidArgument("unknown candidate strategy");
 }
 
+Result<HybridWorkflow::MachineStreamStats> HybridWorkflow::MachinePassStream(
+    const data::Dataset& dataset, similarity::SetMeasure measure, double threshold,
+    uint32_t num_threads, PairStream* stream, uint32_t block_records) {
+  CROWDER_CHECK(stream != nullptr);
+  CROWDER_RETURN_NOT_OK(dataset.Validate());
+  similarity::JoinInput input =
+      internal::BuildJoinInput(dataset, CandidateStrategy::kAllPairsJoin, nullptr);
+
+  similarity::JoinOptions options;
+  options.measure = measure;
+  options.threshold = threshold;
+  similarity::ParallelJoinOptions exec_options;
+  exec_options.num_threads = num_threads;
+  exec_options.block_records = block_records;
+
+  MachineStreamStats stats;
+  CROWDER_RETURN_NOT_OK(similarity::BlockedAllPairsJoinStream(
+      input, options, exec_options, [&](std::vector<similarity::ScoredPair>&& block) {
+        stats.num_pairs += block.size();
+        stats.candidate_matches += internal::CountCandidateMatches(dataset, block);
+        return stream->Append(std::move(block));
+      }));
+  CROWDER_RETURN_NOT_OK(stream->Finish());
+  stats.spilled_bytes = stream->spilled_bytes();
+  stats.num_blocks = stream->num_blocks();
+  return stats;
+}
+
 Status ValidateWorkflowConfig(const WorkflowConfig& config) {
   if (config.likelihood_threshold < 0.0 || config.likelihood_threshold > 1.0) {
     return Status::InvalidArgument("likelihood_threshold must be in [0,1]");
@@ -82,6 +118,12 @@ Status ValidateWorkflowConfig(const WorkflowConfig& config) {
   }
   if (config.pairs_per_hit < 1) {
     return Status::InvalidArgument("pairs_per_hit must be >= 1");
+  }
+  if (config.execution_mode == ExecutionMode::kStreaming &&
+      config.candidate_strategy != CandidateStrategy::kAllPairsJoin) {
+    return Status::InvalidArgument(
+        "streaming execution requires the kAllPairsJoin candidate strategy (the "
+        "other strategies have no streaming driver)");
   }
   const crowd::CrowdModel& crowd = config.crowd;
   if (crowd.assignments_per_hit < 1) {
@@ -102,83 +144,21 @@ Status ValidateWorkflowConfig(const WorkflowConfig& config) {
 
 Result<WorkflowResult> HybridWorkflow::Run(const data::Dataset& dataset) const {
   CROWDER_RETURN_NOT_OK(ValidateWorkflowConfig(config_));
-  WorkflowResult result;
-  result.total_matches = dataset.CountMatchingPairs();
-  if (result.total_matches == 0) {
+  WorkflowState state(config_, dataset);
+  state.result.total_matches = dataset.CountMatchingPairs();
+  if (state.result.total_matches == 0) {
     return Status::InvalidArgument("dataset has no matching pairs; nothing to resolve");
   }
 
-  // ---- 1. Machine pass: likelihoods + pruning. ----
-  CROWDER_ASSIGN_OR_RETURN(
-      result.candidate_pairs,
-      MachinePass(dataset, config_.measure, config_.likelihood_threshold,
-                  config_.candidate_strategy, config_.num_threads));
-  uint64_t candidate_matches = 0;
-  for (const auto& p : result.candidate_pairs) {
-    if (dataset.truth.IsMatch(p.a, p.b)) ++candidate_matches;
-  }
-  result.machine_recall =
-      static_cast<double>(candidate_matches) / static_cast<double>(result.total_matches);
-
-  crowd::CrowdContext context;
-  context.pairs = &result.candidate_pairs;
-  context.entity_of = &dataset.truth.entity_of;
-  crowd::CrowdPlatform platform(config_.crowd, config_.seed);
-
-  // ---- 2. HIT generation + 3. crowdsourcing. ----
-  if (result.candidate_pairs.empty()) {
-    CROWDER_LOG(Warning) << "machine pass pruned every pair; crowd is idle";
-  } else if (config_.hit_type == HitType::kPairBased) {
-    std::vector<graph::Edge> edges;
-    edges.reserve(result.candidate_pairs.size());
-    for (const auto& p : result.candidate_pairs) edges.push_back({p.a, p.b});
-    CROWDER_ASSIGN_OR_RETURN(auto hits,
-                             hitgen::GeneratePairHits(edges, config_.pairs_per_hit));
-    CROWDER_ASSIGN_OR_RETURN(result.crowd_stats, platform.RunPairHits(hits, context));
-  } else {
-    std::vector<graph::Edge> edges;
-    edges.reserve(result.candidate_pairs.size());
-    for (const auto& p : result.candidate_pairs) edges.push_back({p.a, p.b});
-    CROWDER_ASSIGN_OR_RETURN(
-        auto graph,
-        graph::PairGraph::Create(static_cast<uint32_t>(dataset.table.num_records()), edges));
-    hitgen::ClusterGeneratorOptions gen_options;
-    gen_options.seed = config_.seed;
-    std::unique_ptr<hitgen::ClusterHitGenerator> generator =
-        hitgen::MakeClusterGenerator(config_.cluster_algorithm, gen_options);
-    CROWDER_ASSIGN_OR_RETURN(auto hits, generator->Generate(&graph, config_.cluster_size));
-    graph.Reset();
-    CROWDER_RETURN_NOT_OK(hitgen::ValidateClusterCover(hits, graph, config_.cluster_size));
-    CROWDER_ASSIGN_OR_RETURN(result.crowd_stats, platform.RunClusterHits(hits, context));
-  }
-
-  // ---- 4. Aggregation into a ranked list. ----
-  std::vector<double> probabilities;
-  if (config_.aggregation == AggregationMethod::kMajorityVote) {
-    probabilities = aggregate::MajorityVote(result.crowd_stats.votes);
-  } else {
-    CROWDER_ASSIGN_OR_RETURN(auto ds, aggregate::RunDawidSkene(result.crowd_stats.votes));
-    probabilities = std::move(ds.match_probability);
-  }
-
-  result.ranked.reserve(result.candidate_pairs.size());
-  for (size_t i = 0; i < result.candidate_pairs.size(); ++i) {
-    const auto& p = result.candidate_pairs[i];
-    eval::RankedPair rp;
-    rp.a = p.a;
-    rp.b = p.b;
-    // Crowd posterior ranks first; the machine likelihood breaks ties among
-    // equal posteriors (e.g. all-yes unanimous pairs).
-    rp.score = probabilities[i] + 1e-7 * p.score;
-    rp.is_match = dataset.truth.IsMatch(p.a, p.b);
-    result.ranked.push_back(rp);
-  }
-  eval::SortByScoreDesc(&result.ranked);
-  if (!result.ranked.empty()) {
-    CROWDER_ASSIGN_OR_RETURN(result.pr_curve,
-                             eval::PrCurve(result.ranked, result.total_matches));
-  }
-  return result;
+  // The same four stages run in both execution modes; the mode only changes
+  // how candidate pairs travel between the first two (core/stages.h).
+  Pipeline pipeline;
+  pipeline.Add(std::make_unique<MachinePassStage>())
+      .Add(std::make_unique<HitGenStage>())
+      .Add(std::make_unique<CrowdStage>())
+      .Add(std::make_unique<AggregateStage>());
+  CROWDER_RETURN_NOT_OK(pipeline.Run(&state, &state.result.pipeline_stats));
+  return std::move(state.result);
 }
 
 }  // namespace core

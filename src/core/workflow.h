@@ -6,6 +6,11 @@
 // HybridWorkflow wires the substrates together behind one configuration
 // struct and returns both the ranked match list and the operational
 // statistics (HIT count, cost, latency) the paper's experiments report.
+// Run() is a composition of the four stages in core/stages.h over the
+// pipeline substrate in core/pipeline.h; WorkflowConfig::execution_mode
+// picks whether candidate pairs are materialized between the first two
+// stages or flow through a bounded, disk-spilling stream. The two modes are
+// byte-identical — the golden workflow test pins it.
 #ifndef CROWDER_CORE_WORKFLOW_H_
 #define CROWDER_CORE_WORKFLOW_H_
 
@@ -14,6 +19,7 @@
 
 #include "aggregate/dawid_skene.h"
 #include "common/result.h"
+#include "core/pipeline.h"
 #include "crowd/platform.h"
 #include "data/dataset.h"
 #include "eval/metrics.h"
@@ -39,16 +45,53 @@ enum class CandidateStrategy {
   kSortedNeighborhoodVerify,
 };
 
+/// \brief How candidate pairs flow from the machine pass to HIT generation.
+enum class ExecutionMode {
+  /// Every intermediate is materialized before the next stage starts (the
+  /// original shape; no disk I/O, peak memory O(|P|)).
+  kMaterialized,
+  /// The machine pass emits bounded blocks through a spillable PairStream
+  /// (core/pipeline.h); under `memory_budget_bytes` the stream's resident
+  /// pair memory is capped, with overflow spilled to a temp file. The cap
+  /// fully bounds machine-pass-only runs (MachinePassStream, `crowder_cli
+  /// run --machine-only --streaming`); the *full* workflow still rejoins a
+  /// materialized sorted pair list at the crowd boundary — the vote table
+  /// is pair-indexed — so its peak memory stays O(|P|) (and transiently up
+  /// to 2x |P| at that boundary when the budget is 0, since the unbounded
+  /// stream and the materialized copy coexist until the stream is
+  /// released). Requires CandidateStrategy::kAllPairsJoin (the other
+  /// strategies have no streaming driver). Output is byte-identical to
+  /// kMaterialized at any thread count, block size, and budget.
+  kStreaming,
+};
+
 struct WorkflowConfig {
   // ---- Machine pass. ----
   similarity::SetMeasure measure = similarity::SetMeasure::kJaccard;
   double likelihood_threshold = 0.3;
   CandidateStrategy candidate_strategy = CandidateStrategy::kAllPairsJoin;
-  /// Threads for the machine pass (0 = exec::HardwareConcurrency(), which
-  /// honors CROWDER_THREADS; 1 = the serial code paths, unchanged). Only the
-  /// kAllPairsJoin strategy parallelizes; results are identical at any
-  /// value — a contract pinned by the golden workflow test.
+  /// Worker threads (0 = exec::HardwareConcurrency(), which honors
+  /// CROWDER_THREADS; 1 = the serial code paths, unchanged). Results are
+  /// identical at any value — a contract pinned by the golden workflow test.
+  ///
+  /// What parallelizes: the machine pass only under
+  /// CandidateStrategy::kAllPairsJoin (kBlockingVerify and
+  /// kSortedNeighborhoodVerify are serial algorithms — requesting threads
+  /// with them logs a stderr warning and runs them serially), and the crowd
+  /// simulation under every strategy (per-HIT seed derivation, see
+  /// crowd/session.h). HIT generation is inherently sequential and ignores
+  /// this knob.
   uint32_t num_threads = 1;
+
+  // ---- Execution. ----
+  ExecutionMode execution_mode = ExecutionMode::kMaterialized;
+  /// kStreaming only: resident bytes the candidate PairStream may hold
+  /// before spilling blocks to disk (0 = unbounded, never spills).
+  uint64_t memory_budget_bytes = 0;
+  /// kStreaming only: probe records per emitted block — the granularity of
+  /// streaming (and of spilling). 0 = the join's default. Any value yields
+  /// identical output.
+  uint32_t stream_block_records = 0;
 
   // ---- HIT generation. ----
   HitType hit_type = HitType::kClusterBased;
@@ -67,7 +110,8 @@ struct WorkflowConfig {
 
 /// \brief Validates a configuration: threshold in [0,1], cluster size >= 2,
 /// pairs per HIT >= 1, sane crowd-model fractions, pool large enough for the
-/// replication factor. Run() calls this before any work.
+/// replication factor, and kStreaming only with kAllPairsJoin. Run() calls
+/// this before any work.
 Status ValidateWorkflowConfig(const WorkflowConfig& config);
 
 struct WorkflowResult {
@@ -82,6 +126,9 @@ struct WorkflowResult {
   /// Crowd statistics: #HITs, assignment durations, total latency, cost.
   crowd::CrowdRunResult crowd_stats;
   uint64_t total_matches = 0;
+  /// Per-stage timings and stream/spill counters. Informational — never part
+  /// of the byte-identity contract between execution modes.
+  PipelineStats pipeline_stats;
 };
 
 /// \brief End-to-end CrowdER pipeline over a Dataset.
@@ -104,6 +151,30 @@ class HybridWorkflow {
       const data::Dataset& dataset, similarity::SetMeasure measure, double threshold,
       CandidateStrategy strategy = CandidateStrategy::kAllPairsJoin,
       uint32_t num_threads = 1);
+
+  /// What a streaming machine pass reports without materializing its pairs.
+  struct MachineStreamStats {
+    uint64_t num_pairs = 0;
+    /// True matches among the emitted pairs (machine recall numerator).
+    uint64_t candidate_matches = 0;
+    uint64_t spilled_bytes = 0;
+    size_t num_blocks = 0;
+  };
+
+  /// The streaming machine pass alone (kAllPairsJoin only): emits candidate
+  /// blocks of `block_records` probe records (0 = the join's default) into
+  /// `stream` (whose memory budget the caller chose) and never holds more
+  /// than one block of pairs outside it — except at threshold <= 0, where
+  /// every pair qualifies and the O(n^2) output is first materialized by the
+  /// exhaustive join (then still fed to the stream in bounded blocks). The
+  /// stream's sorted scan is byte-identical to MachinePass' return value.
+  /// Backbone of `crowder_cli run --machine-only --streaming` and
+  /// bench_stream.
+  static Result<MachineStreamStats> MachinePassStream(const data::Dataset& dataset,
+                                                      similarity::SetMeasure measure,
+                                                      double threshold, uint32_t num_threads,
+                                                      PairStream* stream,
+                                                      uint32_t block_records = 0);
 
  private:
   WorkflowConfig config_;

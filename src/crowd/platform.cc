@@ -1,41 +1,16 @@
 #include "crowd/platform.h"
 
-#include <algorithm>
-#include <cmath>
-#include <queue>
-#include <unordered_map>
-
-#include "common/logging.h"
+#include "crowd/session.h"
 
 namespace crowder {
 namespace crowd {
 
-namespace {
-
-uint64_t PairKey(uint32_t a, uint32_t b) {
-  return (static_cast<uint64_t>(std::min(a, b)) << 32) | std::max(a, b);
-}
-
-// Deterministic per-pair hardness draw in [0,1): the same pair is equally
-// confusing for every worker and every run, which is what makes replication
-// imperfect insurance (as on the real platform).
-double PairHardness(uint32_t a, uint32_t b) {
-  uint64_t state = PairKey(a, b) ^ 0xCB0BDE12E5550AALL;
-  return static_cast<double>(SplitMix64(&state) >> 11) * 0x1.0p-53;
-}
-
-double Median(std::vector<double> v) {
-  if (v.empty()) return 0.0;
-  std::sort(v.begin(), v.end());
-  const size_t mid = v.size() / 2;
-  return v.size() % 2 == 1 ? v[mid] : 0.5 * (v[mid - 1] + v[mid]);
-}
-
-}  // namespace
-
 CrowdPlatform::CrowdPlatform(const CrowdModel& model, uint64_t seed)
-    : model_(model), rng_(seed) {
-  workers_ = MakeWorkerPool(model_, &rng_);
+    : model_(model), seed_(seed) {
+  // The pool (types, speeds, per-worker streams) and the qualification gate
+  // are built from a dedicated stream so they depend only on (model, seed).
+  Rng rng(seed);
+  workers_ = MakeWorkerPool(model_, &rng);
   if (model_.qualification_test) {
     // The test pairs are two clear matches/non-matches and one moderately
     // ambiguous pair: spammers coin-flip all of them and rarely pass;
@@ -56,236 +31,18 @@ CrowdPlatform::CrowdPlatform(const CrowdModel& model, uint64_t seed)
   }
 }
 
-Status CrowdPlatform::Validate(const CrowdContext& context) const {
-  if (context.pairs == nullptr || context.entity_of == nullptr) {
-    return Status::InvalidArgument("CrowdContext pairs/entity_of must be set");
-  }
-  if (eligible_.size() < model_.assignments_per_hit) {
-    return Status::Infeasible("only " + std::to_string(eligible_.size()) +
-                              " eligible workers; need " +
-                              std::to_string(model_.assignments_per_hit) +
-                              " distinct workers per HIT");
-  }
-  for (const auto& p : *context.pairs) {
-    if (p.a >= context.entity_of->size() || p.b >= context.entity_of->size()) {
-      return Status::OutOfRange("pair references record beyond entity_of");
-    }
-  }
-  return Status::OK();
-}
-
-std::vector<uint32_t> CrowdPlatform::PickWorkers(uint32_t count) {
-  std::vector<size_t> picks =
-      rng_.SampleWithoutReplacement(eligible_.size(), std::min<size_t>(count, eligible_.size()));
-  std::vector<uint32_t> out;
-  out.reserve(picks.size());
-  for (size_t p : picks) out.push_back(eligible_[p]);
-  return out;
-}
-
-double CrowdPlatform::SimulateCompletion(const std::vector<uint32_t>& hit_of_assignment,
-                                         const std::vector<double>& durations,
-                                         double visible_items, bool cluster_interface) {
-  if (durations.empty()) return 0.0;
-  const double familiarity =
-      cluster_interface ? model_.familiarity_cluster : model_.familiarity_pair;
-  double rate_per_min = model_.base_arrival_per_minute * familiarity *
-                        std::exp(-visible_items / model_.effort_scale);
-  if (model_.qualification_test) rate_per_min *= model_.qualification_arrival_factor;
-  rate_per_min = std::max(rate_per_min, 1e-3);
-  const double rate_per_sec = rate_per_min / 60.0;
-
-  // Event simulation: workers arrive Poisson(rate); a free worker takes the
-  // next assignment whose HIT they have not already done. Arrived workers
-  // are reused (min-heap on free time).
-  struct Sim {
-    double free_at;
-    uint32_t sim_id;
-  };
-  auto cmp = [](const Sim& a, const Sim& b) { return a.free_at > b.free_at; };
-  std::priority_queue<Sim, std::vector<Sim>, decltype(cmp)> free_workers(cmp);
-  std::unordered_map<uint32_t, std::vector<uint32_t>> done_hits;  // sim worker -> hits
-
-  double next_arrival = rng_.Exponential(rate_per_sec);
-  uint32_t arrived = 0;
-  double makespan = 0.0;
-
-  for (size_t i = 0; i < durations.size(); ++i) {
-    const uint32_t hit = hit_of_assignment[i];
-    // Collect candidates until one can legally take this assignment.
-    std::vector<Sim> rejected;
-    bool assigned = false;
-    while (!assigned) {
-      Sim cand{};
-      const bool heap_has = !free_workers.empty();
-      if (heap_has && free_workers.top().free_at <= next_arrival) {
-        cand = free_workers.top();
-        free_workers.pop();
-      } else {
-        cand = Sim{next_arrival, arrived++};
-        next_arrival += rng_.Exponential(rate_per_sec);
-      }
-      auto& done = done_hits[cand.sim_id];
-      if (std::find(done.begin(), done.end(), hit) != done.end()) {
-        rejected.push_back(cand);  // AMT: distinct workers per HIT
-        continue;
-      }
-      const double finish = cand.free_at + durations[i];
-      makespan = std::max(makespan, finish);
-      done.push_back(hit);
-      free_workers.push(Sim{finish, cand.sim_id});
-      assigned = true;
-    }
-    for (const Sim& r : rejected) free_workers.push(r);
-  }
-  return makespan;
-}
-
 Result<CrowdRunResult> CrowdPlatform::RunPairHits(const std::vector<hitgen::PairBasedHit>& hits,
-                                                  const CrowdContext& context) {
-  CROWDER_RETURN_NOT_OK(Validate(context));
-  const auto& pairs = *context.pairs;
-  const auto& entity_of = *context.entity_of;
-
-  // Map (a,b) -> pair index for vote alignment.
-  std::unordered_map<uint64_t, size_t> pair_index;
-  for (size_t i = 0; i < pairs.size(); ++i) pair_index[PairKey(pairs[i].a, pairs[i].b)] = i;
-
-  CrowdRunResult result;
-  result.votes.assign(pairs.size(), {});
-  result.num_hits = static_cast<uint32_t>(hits.size());
-
-  std::vector<uint32_t> hit_of_assignment;
-  std::vector<char> worker_used(workers_.size(), 0);
-  double total_visible = 0.0;
-
-  for (uint32_t h = 0; h < hits.size(); ++h) {
-    const auto& hit = hits[h];
-    total_visible += static_cast<double>(hit.pairs.size());
-    const std::vector<uint32_t> assignees = PickWorkers(model_.assignments_per_hit);
-    for (uint32_t wid : assignees) {
-      Worker& worker = workers_[wid];
-      worker_used[wid] = 1;
-      if (worker.is_spammer()) ++result.num_spammer_assignments;
-      uint64_t comparisons = 0;
-      for (const graph::Edge& e : hit.pairs) {
-        const auto it = pair_index.find(PairKey(e.a, e.b));
-        if (it == pair_index.end()) {
-          return Status::InvalidArgument("pair HIT contains pair (" + std::to_string(e.a) + "," +
-                                         std::to_string(e.b) + ") not in the candidate set");
-        }
-        const bool truth = entity_of[e.a] == entity_of[e.b];
-        const bool vote = worker.AnswerPair(truth, pairs[it->second].score,
-                                            PairHardness(e.a, e.b), model_);
-        result.votes[it->second].push_back({wid, vote});
-        ++comparisons;
-      }
-      result.total_comparisons += comparisons;
-      const double duration =
-          model_.base_seconds + model_.pair_comparison_seconds *
-                                    static_cast<double>(comparisons) * worker.speed_factor();
-      result.assignment_seconds.push_back(duration);
-      result.assignments.push_back(
-          {h, wid, duration, comparisons, worker.is_spammer()});
-      hit_of_assignment.push_back(h);
-    }
-  }
-
-  result.num_assignments = static_cast<uint32_t>(result.assignment_seconds.size());
-  result.cost_dollars = result.num_assignments * model_.CostPerAssignment();
-  result.median_assignment_seconds = Median(result.assignment_seconds);
-  result.num_distinct_workers =
-      static_cast<uint32_t>(std::count(worker_used.begin(), worker_used.end(), 1));
-  const double avg_visible = hits.empty() ? 0.0 : total_visible / hits.size();
-  result.total_seconds = SimulateCompletion(hit_of_assignment, result.assignment_seconds,
-                                            avg_visible, /*cluster_interface=*/false);
-  return result;
+                                                  const CrowdContext& context) const {
+  CROWDER_ASSIGN_OR_RETURN(auto session, CrowdSession::Create(*this, context));
+  CROWDER_RETURN_NOT_OK(session->ProcessPairHits(hits));
+  return session->Finish();
 }
 
 Result<CrowdRunResult> CrowdPlatform::RunClusterHits(
-    const std::vector<hitgen::ClusterBasedHit>& hits, const CrowdContext& context) {
-  CROWDER_RETURN_NOT_OK(Validate(context));
-  const auto& pairs = *context.pairs;
-  const auto& entity_of = *context.entity_of;
-
-  std::unordered_map<uint64_t, size_t> pair_index;
-  for (size_t i = 0; i < pairs.size(); ++i) pair_index[PairKey(pairs[i].a, pairs[i].b)] = i;
-  auto likelihood_of = [&](uint32_t a, uint32_t b) {
-    const auto it = pair_index.find(PairKey(a, b));
-    // Pairs inside a HIT that are not candidates were pruned as dissimilar;
-    // they are easy "no" decisions.
-    return it == pair_index.end() ? 0.0 : pairs[it->second].score;
-  };
-
-  CrowdRunResult result;
-  result.votes.assign(pairs.size(), {});
-  result.num_hits = static_cast<uint32_t>(hits.size());
-
-  std::vector<uint32_t> hit_of_assignment;
-  std::vector<char> worker_used(workers_.size(), 0);
-  double total_visible = 0.0;
-
-  for (uint32_t h = 0; h < hits.size(); ++h) {
-    const auto& hit = hits[h];
-    total_visible += static_cast<double>(hit.records.size());
-    const std::vector<uint32_t> assignees = PickWorkers(model_.assignments_per_hit);
-    for (uint32_t wid : assignees) {
-      Worker& worker = workers_[wid];
-      worker_used[wid] = 1;
-      if (worker.is_spammer()) ++result.num_spammer_assignments;
-
-      // The §6 labelling procedure: repeatedly seed a new entity with the
-      // first unlabelled record and compare it against the remaining
-      // unlabelled records; a "same" verdict absorbs the record (and it is
-      // never compared again), so one early error propagates — exactly the
-      // behaviour of the colour-labelling interface.
-      const size_t n = hit.records.size();
-      std::vector<int> label(n, -1);
-      int next_label = 0;
-      uint64_t comparisons = 0;
-      for (size_t i = 0; i < n; ++i) {
-        if (label[i] >= 0) continue;
-        label[i] = next_label;
-        for (size_t j = i + 1; j < n; ++j) {
-          if (label[j] >= 0) continue;
-          const uint32_t ra = hit.records[i];
-          const uint32_t rb = hit.records[j];
-          const bool truth = entity_of[ra] == entity_of[rb];
-          const bool same =
-              worker.AnswerPair(truth, likelihood_of(ra, rb), PairHardness(ra, rb), model_);
-          ++comparisons;
-          if (same) label[j] = next_label;
-        }
-        ++next_label;
-      }
-      // Derive pairwise votes for the candidate pairs inside the HIT.
-      for (size_t i = 0; i < n; ++i) {
-        for (size_t j = i + 1; j < n; ++j) {
-          const auto it = pair_index.find(PairKey(hit.records[i], hit.records[j]));
-          if (it == pair_index.end()) continue;
-          result.votes[it->second].push_back({wid, label[i] == label[j]});
-        }
-      }
-      result.total_comparisons += comparisons;
-      const double duration =
-          model_.base_seconds + model_.cluster_comparison_seconds *
-                                    static_cast<double>(comparisons) * worker.speed_factor();
-      result.assignment_seconds.push_back(duration);
-      result.assignments.push_back(
-          {h, wid, duration, comparisons, worker.is_spammer()});
-      hit_of_assignment.push_back(h);
-    }
-  }
-
-  result.num_assignments = static_cast<uint32_t>(result.assignment_seconds.size());
-  result.cost_dollars = result.num_assignments * model_.CostPerAssignment();
-  result.median_assignment_seconds = Median(result.assignment_seconds);
-  result.num_distinct_workers =
-      static_cast<uint32_t>(std::count(worker_used.begin(), worker_used.end(), 1));
-  const double avg_visible = hits.empty() ? 0.0 : total_visible / hits.size();
-  result.total_seconds = SimulateCompletion(hit_of_assignment, result.assignment_seconds,
-                                            avg_visible, /*cluster_interface=*/true);
-  return result;
+    const std::vector<hitgen::ClusterBasedHit>& hits, const CrowdContext& context) const {
+  CROWDER_ASSIGN_OR_RETURN(auto session, CrowdSession::Create(*this, context));
+  CROWDER_RETURN_NOT_OK(session->ProcessClusterHits(hits));
+  return session->Finish();
 }
 
 }  // namespace crowd

@@ -60,35 +60,41 @@ struct CrowdRunResult {
 };
 
 /// \brief The simulated platform. Deterministic given (model, seed).
+///
+/// Construction builds the worker pool and runs the optional qualification
+/// gate. HIT simulation itself lives in CrowdSession (crowd/session.h) —
+/// every HIT draws from an Rng derived from (seed, global HIT index), so
+/// runs are bitwise-identical at any batch partition and thread count. The
+/// Run*Hits entry points below are one-shot conveniences over a session.
 class CrowdPlatform {
  public:
   CrowdPlatform(const CrowdModel& model, uint64_t seed);
 
   /// Publishes pair-based HITs and collects all assignments.
   Result<CrowdRunResult> RunPairHits(const std::vector<hitgen::PairBasedHit>& hits,
-                                     const CrowdContext& context);
+                                     const CrowdContext& context) const;
 
   /// Publishes cluster-based HITs. Workers label the records entity by
   /// entity (the §6 procedure); pairwise votes are derived from the final
   /// labels for every candidate pair inside the HIT.
   Result<CrowdRunResult> RunClusterHits(const std::vector<hitgen::ClusterBasedHit>& hits,
-                                        const CrowdContext& context);
+                                        const CrowdContext& context) const;
 
   /// Workers who passed the gate (all workers when the qualification test is
   /// off). Exposed for tests.
   const std::vector<uint32_t>& eligible_workers() const { return eligible_; }
 
- private:
-  Status Validate(const CrowdContext& context) const;
-  // Picks `count` distinct eligible workers for one HIT.
-  std::vector<uint32_t> PickWorkers(uint32_t count);
-  // Poisson-arrival dispatch of assignments; returns makespan seconds.
-  double SimulateCompletion(const std::vector<uint32_t>& hit_of_assignment,
-                            const std::vector<double>& durations, double visible_items,
-                            bool cluster_interface);
+  /// The frozen worker pool (answer provenance indexes into this).
+  const std::vector<Worker>& workers() const { return workers_; }
 
+  const CrowdModel& model() const { return model_; }
+
+  /// The seed HIT streams derive from (see crowd/session.h).
+  uint64_t seed() const { return seed_; }
+
+ private:
   CrowdModel model_;
-  Rng rng_;
+  uint64_t seed_;
   std::vector<Worker> workers_;
   std::vector<uint32_t> eligible_;
 };

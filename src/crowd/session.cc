@@ -1,0 +1,323 @@
+#include "crowd/session.h"
+
+#include <algorithm>
+#include <cmath>
+#include <queue>
+
+#include "common/logging.h"
+#include "exec/parallel.h"
+
+namespace crowder {
+namespace crowd {
+
+namespace {
+
+uint64_t PairKey(uint32_t a, uint32_t b) {
+  return (static_cast<uint64_t>(std::min(a, b)) << 32) | std::max(a, b);
+}
+
+// Deterministic per-pair hardness draw in [0,1): the same pair is equally
+// confusing for every worker and every run, which is what makes replication
+// imperfect insurance (as on the real platform).
+double PairHardness(uint32_t a, uint32_t b) {
+  uint64_t state = PairKey(a, b) ^ 0xCB0BDE12E5550AALL;
+  return static_cast<double>(SplitMix64(&state) >> 11) * 0x1.0p-53;
+}
+
+double Median(std::vector<double> v) {
+  if (v.empty()) return 0.0;
+  std::sort(v.begin(), v.end());
+  const size_t mid = v.size() / 2;
+  return v.size() % 2 == 1 ? v[mid] : 0.5 * (v[mid - 1] + v[mid]);
+}
+
+// Salt for the completion simulation's stream — outside the HIT index range.
+constexpr uint64_t kCompletionSalt = ~0ULL;
+
+// Picks `count` distinct entries of `eligible` using `rng`.
+std::vector<uint32_t> PickWorkersFrom(const std::vector<uint32_t>& eligible, uint32_t count,
+                                      Rng* rng) {
+  std::vector<size_t> picks =
+      rng->SampleWithoutReplacement(eligible.size(), std::min<size_t>(count, eligible.size()));
+  std::vector<uint32_t> out;
+  out.reserve(picks.size());
+  for (size_t p : picks) out.push_back(eligible[p]);
+  return out;
+}
+
+// Poisson-arrival dispatch of assignments; returns makespan seconds.
+double SimulateCompletion(const CrowdModel& model, Rng* rng,
+                          const std::vector<uint32_t>& hit_of_assignment,
+                          const std::vector<double>& durations, double visible_items,
+                          bool cluster_interface) {
+  if (durations.empty()) return 0.0;
+  const double familiarity =
+      cluster_interface ? model.familiarity_cluster : model.familiarity_pair;
+  double rate_per_min = model.base_arrival_per_minute * familiarity *
+                        std::exp(-visible_items / model.effort_scale);
+  if (model.qualification_test) rate_per_min *= model.qualification_arrival_factor;
+  rate_per_min = std::max(rate_per_min, 1e-3);
+  const double rate_per_sec = rate_per_min / 60.0;
+
+  // Event simulation: workers arrive Poisson(rate); a free worker takes the
+  // next assignment whose HIT they have not already done. Arrived workers
+  // are reused (min-heap on free time).
+  struct Sim {
+    double free_at;
+    uint32_t sim_id;
+  };
+  auto cmp = [](const Sim& a, const Sim& b) { return a.free_at > b.free_at; };
+  std::priority_queue<Sim, std::vector<Sim>, decltype(cmp)> free_workers(cmp);
+  std::unordered_map<uint32_t, std::vector<uint32_t>> done_hits;  // sim worker -> hits
+
+  double next_arrival = rng->Exponential(rate_per_sec);
+  uint32_t arrived = 0;
+  double makespan = 0.0;
+
+  for (size_t i = 0; i < durations.size(); ++i) {
+    const uint32_t hit = hit_of_assignment[i];
+    // Collect candidates until one can legally take this assignment.
+    std::vector<Sim> rejected;
+    bool assigned = false;
+    while (!assigned) {
+      Sim cand{};
+      const bool heap_has = !free_workers.empty();
+      if (heap_has && free_workers.top().free_at <= next_arrival) {
+        cand = free_workers.top();
+        free_workers.pop();
+      } else {
+        cand = Sim{next_arrival, arrived++};
+        next_arrival += rng->Exponential(rate_per_sec);
+      }
+      auto& done = done_hits[cand.sim_id];
+      if (std::find(done.begin(), done.end(), hit) != done.end()) {
+        rejected.push_back(cand);  // AMT: distinct workers per HIT
+        continue;
+      }
+      const double finish = cand.free_at + durations[i];
+      makespan = std::max(makespan, finish);
+      done.push_back(hit);
+      free_workers.push(Sim{finish, cand.sim_id});
+      assigned = true;
+    }
+    for (const Sim& r : rejected) free_workers.push(r);
+  }
+  return makespan;
+}
+
+}  // namespace
+
+Rng DeriveRng(uint64_t seed, uint64_t salt) {
+  // Two SplitMix64 rounds over a multiplicatively-salted seed: enough mixing
+  // that adjacent HIT indices give unrelated xoshiro states.
+  uint64_t state = seed ^ ((salt + 1) * 0x9E3779B97F4A7C15ULL);
+  SplitMix64(&state);
+  return Rng(SplitMix64(&state));
+}
+
+Result<std::unique_ptr<CrowdSession>> CrowdSession::Create(const CrowdPlatform& platform,
+                                                           const CrowdContext& context,
+                                                           uint32_t num_threads) {
+  if (context.pairs == nullptr || context.entity_of == nullptr) {
+    return Status::InvalidArgument("CrowdContext pairs/entity_of must be set");
+  }
+  if (platform.eligible_workers().size() < platform.model().assignments_per_hit) {
+    return Status::Infeasible("only " + std::to_string(platform.eligible_workers().size()) +
+                              " eligible workers; need " +
+                              std::to_string(platform.model().assignments_per_hit) +
+                              " distinct workers per HIT");
+  }
+  for (const auto& p : *context.pairs) {
+    if (p.a >= context.entity_of->size() || p.b >= context.entity_of->size()) {
+      return Status::OutOfRange("pair references record beyond entity_of");
+    }
+  }
+  return std::unique_ptr<CrowdSession>(new CrowdSession(platform, context, num_threads));
+}
+
+CrowdSession::CrowdSession(const CrowdPlatform& platform, const CrowdContext& context,
+                           uint32_t num_threads)
+    : platform_(platform), context_(context) {
+  const auto& pairs = *context_.pairs;
+  pair_index_.reserve(pairs.size());
+  for (size_t i = 0; i < pairs.size(); ++i) pair_index_[PairKey(pairs[i].a, pairs[i].b)] = i;
+  result_.votes.assign(pairs.size(), {});
+  worker_used_.assign(platform_.workers().size(), 0);
+  const uint32_t threads = exec::ResolveNumThreads(num_threads);
+  // The caller participates in draining chunks (exec/parallel.h), so the
+  // pool supplies threads - 1 workers.
+  if (threads > 1) pool_ = std::make_unique<exec::ThreadPool>(threads - 1);
+}
+
+CrowdSession::HitOutcome CrowdSession::SimulatePairHit(uint32_t hit_index,
+                                                       const hitgen::PairBasedHit& hit) const {
+  const auto& pairs = *context_.pairs;
+  const auto& entity_of = *context_.entity_of;
+  const CrowdModel& model = platform_.model();
+
+  HitOutcome out;
+  out.visible_items = static_cast<double>(hit.pairs.size());
+  Rng rng = DeriveRng(platform_.seed(), hit_index);
+  const std::vector<uint32_t> assignees =
+      PickWorkersFrom(platform_.eligible_workers(), model.assignments_per_hit, &rng);
+  for (uint32_t wid : assignees) {
+    const Worker& worker = platform_.workers()[wid];
+    uint64_t comparisons = 0;
+    for (const graph::Edge& e : hit.pairs) {
+      const auto it = pair_index_.find(PairKey(e.a, e.b));
+      if (it == pair_index_.end()) {
+        out.status = Status::InvalidArgument("pair HIT contains pair (" + std::to_string(e.a) +
+                                             "," + std::to_string(e.b) +
+                                             ") not in the candidate set");
+        return out;
+      }
+      const bool truth = entity_of[e.a] == entity_of[e.b];
+      const bool vote = worker.AnswerPairWith(&rng, truth, pairs[it->second].score,
+                                              PairHardness(e.a, e.b), model);
+      out.votes.push_back({it->second, {wid, vote}});
+      ++comparisons;
+    }
+    const double duration =
+        model.base_seconds + model.pair_comparison_seconds *
+                                 static_cast<double>(comparisons) * worker.speed_factor();
+    out.assignments.push_back({hit_index, wid, duration, comparisons, worker.is_spammer()});
+  }
+  return out;
+}
+
+CrowdSession::HitOutcome CrowdSession::SimulateClusterHit(
+    uint32_t hit_index, const hitgen::ClusterBasedHit& hit) const {
+  const auto& pairs = *context_.pairs;
+  const auto& entity_of = *context_.entity_of;
+  const CrowdModel& model = platform_.model();
+  auto likelihood_of = [&](uint32_t a, uint32_t b) {
+    const auto it = pair_index_.find(PairKey(a, b));
+    // Pairs inside a HIT that are not candidates were pruned as dissimilar;
+    // they are easy "no" decisions.
+    return it == pair_index_.end() ? 0.0 : pairs[it->second].score;
+  };
+
+  HitOutcome out;
+  out.visible_items = static_cast<double>(hit.records.size());
+  Rng rng = DeriveRng(platform_.seed(), hit_index);
+  const std::vector<uint32_t> assignees =
+      PickWorkersFrom(platform_.eligible_workers(), model.assignments_per_hit, &rng);
+  for (uint32_t wid : assignees) {
+    const Worker& worker = platform_.workers()[wid];
+
+    // The §6 labelling procedure: repeatedly seed a new entity with the
+    // first unlabelled record and compare it against the remaining
+    // unlabelled records; a "same" verdict absorbs the record (and it is
+    // never compared again), so one early error propagates — exactly the
+    // behaviour of the colour-labelling interface.
+    const size_t n = hit.records.size();
+    std::vector<int> label(n, -1);
+    int next_label = 0;
+    uint64_t comparisons = 0;
+    for (size_t i = 0; i < n; ++i) {
+      if (label[i] >= 0) continue;
+      label[i] = next_label;
+      for (size_t j = i + 1; j < n; ++j) {
+        if (label[j] >= 0) continue;
+        const uint32_t ra = hit.records[i];
+        const uint32_t rb = hit.records[j];
+        const bool truth = entity_of[ra] == entity_of[rb];
+        const bool same = worker.AnswerPairWith(&rng, truth, likelihood_of(ra, rb),
+                                                PairHardness(ra, rb), model);
+        ++comparisons;
+        if (same) label[j] = next_label;
+      }
+      ++next_label;
+    }
+    // Derive pairwise votes for the candidate pairs inside the HIT.
+    for (size_t i = 0; i < n; ++i) {
+      for (size_t j = i + 1; j < n; ++j) {
+        const auto it = pair_index_.find(PairKey(hit.records[i], hit.records[j]));
+        if (it == pair_index_.end()) continue;
+        out.votes.push_back({it->second, {wid, label[i] == label[j]}});
+      }
+    }
+    const double duration =
+        model.base_seconds + model.cluster_comparison_seconds *
+                                 static_cast<double>(comparisons) * worker.speed_factor();
+    out.assignments.push_back({hit_index, wid, duration, comparisons, worker.is_spammer()});
+  }
+  return out;
+}
+
+Status CrowdSession::MergeOutcomes(std::vector<HitOutcome>&& outcomes) {
+  for (HitOutcome& out : outcomes) {
+    if (!out.status.ok()) {
+      // Poison the session: a batch prefix may already be merged, so letting
+      // the caller retry or continue would double-count those HITs.
+      failed_ = true;
+      return out.status;
+    }
+    total_visible_ += out.visible_items;
+    for (auto& [pair_idx, vote] : out.votes) result_.votes[pair_idx].push_back(vote);
+    for (const AssignmentRecord& rec : out.assignments) {
+      worker_used_[rec.worker] = 1;
+      if (rec.by_spammer) ++result_.num_spammer_assignments;
+      result_.total_comparisons += rec.comparisons;
+      result_.assignment_seconds.push_back(rec.duration_seconds);
+      hit_of_assignment_.push_back(rec.hit);
+      result_.assignments.push_back(rec);
+    }
+    ++next_hit_;
+  }
+  return Status::OK();
+}
+
+Status CrowdSession::ProcessPairHits(const std::vector<hitgen::PairBasedHit>& batch) {
+  CROWDER_CHECK(!finished_) << "ProcessPairHits after Finish";
+  if (failed_) return Status::InvalidArgument("CrowdSession already failed");
+  if (batch.empty()) return Status::OK();  // don't lock the HIT type on nothing
+  if (type_fixed_ && cluster_interface_) {
+    return Status::InvalidArgument("session already carries cluster-based HITs");
+  }
+  type_fixed_ = true;
+  cluster_interface_ = false;
+  const uint32_t base = next_hit_;
+  std::vector<HitOutcome> outcomes = exec::ParallelMap<HitOutcome>(
+      pool_.get(), batch.size(), /*chunk_size=*/1,
+      [&](size_t i) { return SimulatePairHit(base + static_cast<uint32_t>(i), batch[i]); });
+  return MergeOutcomes(std::move(outcomes));
+}
+
+Status CrowdSession::ProcessClusterHits(const std::vector<hitgen::ClusterBasedHit>& batch) {
+  CROWDER_CHECK(!finished_) << "ProcessClusterHits after Finish";
+  if (failed_) return Status::InvalidArgument("CrowdSession already failed");
+  if (batch.empty()) return Status::OK();  // don't lock the HIT type on nothing
+  if (type_fixed_ && !cluster_interface_) {
+    return Status::InvalidArgument("session already carries pair-based HITs");
+  }
+  type_fixed_ = true;
+  cluster_interface_ = true;
+  const uint32_t base = next_hit_;
+  std::vector<HitOutcome> outcomes = exec::ParallelMap<HitOutcome>(
+      pool_.get(), batch.size(), /*chunk_size=*/1,
+      [&](size_t i) { return SimulateClusterHit(base + static_cast<uint32_t>(i), batch[i]); });
+  return MergeOutcomes(std::move(outcomes));
+}
+
+Result<CrowdRunResult> CrowdSession::Finish() {
+  CROWDER_CHECK(!finished_) << "Finish called twice";
+  if (failed_) return Status::InvalidArgument("CrowdSession already failed");
+  finished_ = true;
+  result_.num_hits = next_hit_;
+  result_.num_assignments = static_cast<uint32_t>(result_.assignment_seconds.size());
+  result_.cost_dollars = result_.num_assignments * platform_.model().CostPerAssignment();
+  result_.median_assignment_seconds = Median(result_.assignment_seconds);
+  result_.num_distinct_workers =
+      static_cast<uint32_t>(std::count(worker_used_.begin(), worker_used_.end(), 1));
+  const double avg_visible =
+      next_hit_ == 0 ? 0.0 : total_visible_ / static_cast<double>(next_hit_);
+  Rng completion_rng = DeriveRng(platform_.seed(), kCompletionSalt);
+  result_.total_seconds =
+      SimulateCompletion(platform_.model(), &completion_rng, hit_of_assignment_,
+                         result_.assignment_seconds, avg_visible, cluster_interface_);
+  return std::move(result_);
+}
+
+}  // namespace crowd
+}  // namespace crowder

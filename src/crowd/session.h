@@ -1,0 +1,119 @@
+// Incremental, batch-parallel crowd simulation.
+//
+// CrowdSession is the streaming counterpart of CrowdPlatform::Run*Hits: HITs
+// arrive in batches (from an incremental HIT generator or all at once), each
+// batch is simulated with exec::ParallelMap, and Finish() assembles the same
+// CrowdRunResult the one-shot entry points return.
+//
+// Determinism argument (pinned by crowd_test and the golden workflow test):
+// every HIT is simulated from its own Rng derived from (platform seed,
+// global HIT index) — never from state mutated by earlier HITs. Worker
+// answers draw from that per-HIT stream via Worker::AnswerPairWith, not from
+// the workers' own streams, so a worker's verdicts do not depend on what
+// else they were assigned. Two consequences the staged workflow relies on:
+//
+//   1. Batch boundaries are invisible: one HIT per batch, one big batch, or
+//      any partition in between yields bitwise-identical results.
+//   2. Thread counts are invisible: per-HIT outcomes land in slots indexed
+//      by position and merge in HIT order (exec/parallel.h's layout
+//      determinism), so any `num_threads` produces the same bytes.
+//
+// The wall-clock completion simulation (worker arrival process) needs the
+// whole assignment list, so it runs once, sequentially, inside Finish() from
+// its own derived stream.
+#ifndef CROWDER_CROWD_SESSION_H_
+#define CROWDER_CROWD_SESSION_H_
+
+#include <cstdint>
+#include <memory>
+#include <unordered_map>
+#include <vector>
+
+#include "common/result.h"
+#include "common/rng.h"
+#include "crowd/platform.h"
+#include "exec/thread_pool.h"
+#include "hitgen/hit.h"
+
+namespace crowder {
+namespace crowd {
+
+/// \brief Derives the independent Rng a component uses for `salt` under a
+/// session seed. Distinct salts give statistically independent streams;
+/// CrowdSession uses the global HIT index as the salt.
+Rng DeriveRng(uint64_t seed, uint64_t salt);
+
+/// \brief One crowd run, fed HIT batches incrementally.
+///
+/// A session is either pair-based or cluster-based — determined by the first
+/// Process call; mixing the two in one session is an error. The platform and
+/// the vectors the context points at must outlive the session (the context
+/// struct itself is copied).
+class CrowdSession {
+ public:
+  /// Validates the context and prepares the vote table. `num_threads`
+  /// follows the workflow convention (0 = auto via CROWDER_THREADS /
+  /// hardware, 1 = serial on the caller); results are identical at any
+  /// value.
+  static Result<std::unique_ptr<CrowdSession>> Create(const CrowdPlatform& platform,
+                                                      const CrowdContext& context,
+                                                      uint32_t num_threads = 1);
+
+  CrowdSession(const CrowdSession&) = delete;
+  CrowdSession& operator=(const CrowdSession&) = delete;
+
+  /// Simulates a batch of pair-based HITs with global indices
+  /// [num_hits(), num_hits() + batch.size()).
+  Status ProcessPairHits(const std::vector<hitgen::PairBasedHit>& batch);
+
+  /// Simulates a batch of cluster-based HITs (the §6 labelling procedure).
+  Status ProcessClusterHits(const std::vector<hitgen::ClusterBasedHit>& batch);
+
+  /// Global HITs processed so far.
+  uint32_t num_hits() const { return next_hit_; }
+
+  /// Runs the completion simulation and returns the assembled result.
+  /// Terminal: Process/Finish must not be called again afterwards.
+  Result<CrowdRunResult> Finish();
+
+ private:
+  // Everything one simulated HIT produces, merged in HIT order.
+  struct HitOutcome {
+    Status status;  // first validation error wins, deterministically
+    // (pair index, vote) in cast order.
+    std::vector<std::pair<size_t, aggregate::Vote>> votes;
+    std::vector<AssignmentRecord> assignments;
+    double visible_items = 0.0;
+  };
+
+  CrowdSession(const CrowdPlatform& platform, const CrowdContext& context,
+               uint32_t num_threads);
+
+  HitOutcome SimulatePairHit(uint32_t hit_index, const hitgen::PairBasedHit& hit) const;
+  HitOutcome SimulateClusterHit(uint32_t hit_index, const hitgen::ClusterBasedHit& hit) const;
+  Status MergeOutcomes(std::vector<HitOutcome>&& outcomes);
+
+  const CrowdPlatform& platform_;
+  const CrowdContext context_;  // two pointers; copied so temporaries are safe
+  std::unordered_map<uint64_t, size_t> pair_index_;  // PairKey(a,b) -> index
+  std::unique_ptr<exec::ThreadPool> pool_;           // null when serial
+
+  // Accumulated across batches.
+  CrowdRunResult result_;
+  std::vector<uint32_t> hit_of_assignment_;
+  std::vector<char> worker_used_;
+  double total_visible_ = 0.0;
+  uint32_t next_hit_ = 0;
+  bool cluster_interface_ = false;
+  bool type_fixed_ = false;
+  bool finished_ = false;
+  /// Set when a batch failed mid-merge (a prefix of its HITs is already
+  /// counted); every later Process*/Finish call is rejected so the partial
+  /// state can never leak into a result.
+  bool failed_ = false;
+};
+
+}  // namespace crowd
+}  // namespace crowder
+
+#endif  // CROWDER_CROWD_SESSION_H_

@@ -44,11 +44,16 @@ double Worker::ErrorProbability(bool truth, double likelihood, double hardness_u
 
 bool Worker::AnswerPair(bool truth, double likelihood, double hardness_u,
                         const CrowdModel& model) {
+  return AnswerPairWith(&rng_, truth, likelihood, hardness_u, model);
+}
+
+bool Worker::AnswerPairWith(Rng* rng, bool truth, double likelihood, double hardness_u,
+                            const CrowdModel& model) const {
   if (type_ == WorkerType::kSpammer) {
-    return rng_.Bernoulli(model.spammer_yes_rate);
+    return rng->Bernoulli(model.spammer_yes_rate);
   }
   const double p_err = ErrorProbability(truth, likelihood, hardness_u, model);
-  const bool err = rng_.Bernoulli(p_err);
+  const bool err = rng->Bernoulli(p_err);
   return err ? !truth : truth;
 }
 

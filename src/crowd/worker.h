@@ -33,8 +33,17 @@ class Worker {
   /// `truth`, machine likelihood `likelihood`, and intrinsic hardness draw
   /// `hardness_u` in [0,1] (see CrowdModel for the error model). Honest
   /// workers err with the difficulty-dependent probability; spammers ignore
-  /// the records entirely.
+  /// the records entirely. Draws from the worker's own stream.
   bool AnswerPair(bool truth, double likelihood, double hardness_u, const CrowdModel& model);
+
+  /// Same decision rule, but drawing from a caller-provided stream instead of
+  /// the worker's own. This is what makes per-HIT seed derivation possible:
+  /// CrowdSession answers every pair of a HIT from that HIT's derived Rng, so
+  /// a worker's answers do not depend on which other HITs they were assigned
+  /// — the property that lets HIT batches simulate in parallel while staying
+  /// bitwise-deterministic.
+  bool AnswerPairWith(Rng* rng, bool truth, double likelihood, double hardness_u,
+                      const CrowdModel& model) const;
 
   /// Simulates the §7.1 qualification test: `truths` are the correct answers
   /// of the test pairs, `likelihoods` their difficulty. Test pairs are

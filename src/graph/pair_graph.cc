@@ -8,22 +8,34 @@ namespace crowder {
 namespace graph {
 
 Result<PairGraph> PairGraph::Create(uint32_t num_vertices, const std::vector<Edge>& edges) {
-  PairGraph g;
-  g.num_vertices_ = num_vertices;
-  g.adjacency_.resize(num_vertices);
-  g.alive_degree_.assign(num_vertices, 0);
+  PairGraphBuilder builder(num_vertices);
+  CROWDER_RETURN_NOT_OK(builder.Add(edges));
+  return builder.Build();
+}
 
-  for (const Edge& raw : edges) {
+PairGraphBuilder::PairGraphBuilder(uint32_t num_vertices) {
+  graph_.num_vertices_ = num_vertices;
+  graph_.adjacency_.resize(num_vertices);
+  graph_.alive_degree_.assign(num_vertices, 0);
+}
+
+Status PairGraphBuilder::Add(const std::vector<Edge>& batch) {
+  CROWDER_CHECK(!built_) << "Add after Build";
+  if (failed_) return Status::InvalidArgument("PairGraphBuilder already failed");
+  PairGraph& g = graph_;
+  for (const Edge& raw : batch) {
     uint32_t a = std::min(raw.a, raw.b);
     uint32_t b = std::max(raw.a, raw.b);
     if (a == b) {
+      failed_ = true;
       return Status::InvalidArgument("self-loop on vertex " + std::to_string(a));
     }
-    if (b >= num_vertices) {
+    if (b >= g.num_vertices_) {
+      failed_ = true;
       return Status::OutOfRange("edge endpoint " + std::to_string(b) + " >= num_vertices " +
-                                std::to_string(num_vertices));
+                                std::to_string(g.num_vertices_));
     }
-    const uint64_t key = Key(a, b);
+    const uint64_t key = PairGraph::Key(a, b);
     if (g.edge_index_.count(key) > 0) continue;  // deduplicate silently
 
     const uint32_t eid = static_cast<uint32_t>(g.edges_.size());
@@ -35,8 +47,15 @@ Result<PairGraph> PairGraph::Create(uint32_t num_vertices, const std::vector<Edg
     ++g.alive_degree_[a];
     ++g.alive_degree_[b];
   }
-  g.num_alive_ = g.edges_.size();
-  return g;
+  return Status::OK();
+}
+
+Result<PairGraph> PairGraphBuilder::Build() {
+  CROWDER_CHECK(!built_) << "Build called twice";
+  if (failed_) return Status::InvalidArgument("PairGraphBuilder already failed");
+  built_ = true;
+  graph_.num_alive_ = graph_.edges_.size();
+  return std::move(graph_);
 }
 
 uint32_t PairGraph::AliveDegree(uint32_t v) const {

@@ -29,6 +29,7 @@ class PairGraph {
  public:
   /// Builds a graph over vertices [0, num_vertices). Edges are normalized to
   /// a < b and deduplicated. Fails on self-loops or out-of-range endpoints.
+  /// One-shot convenience over PairGraphBuilder.
   static Result<PairGraph> Create(uint32_t num_vertices, const std::vector<Edge>& edges);
 
   uint32_t num_vertices() const { return num_vertices_; }
@@ -84,6 +85,8 @@ class PairGraph {
   std::vector<uint32_t> NonIsolatedVertices() const;
 
  private:
+  friend class PairGraphBuilder;
+
   PairGraph() = default;
 
   static uint64_t Key(uint32_t a, uint32_t b) {
@@ -97,6 +100,32 @@ class PairGraph {
   std::vector<uint32_t> alive_degree_;
   std::unordered_map<uint64_t, uint32_t> edge_index_;  // Key(a,b) -> edge id
   size_t num_alive_ = 0;
+};
+
+/// \brief Incremental PairGraph construction from edge batches — the shape a
+/// streaming machine pass produces (core/pipeline.h). Semantics are
+/// identical to PairGraph::Create over the concatenation of the batches:
+/// normalization, silent deduplication, the same validation failures, and —
+/// important for the byte-identity contract between execution modes — the
+/// same edge-id assignment (insertion order), which generators observe
+/// through adjacency iteration order.
+class PairGraphBuilder {
+ public:
+  explicit PairGraphBuilder(uint32_t num_vertices);
+
+  /// Appends one batch. Fails on self-loops or out-of-range endpoints,
+  /// leaving the builder unusable (as one-shot Create would have failed).
+  Status Add(const std::vector<Edge>& batch);
+
+  size_t num_edges() const { return graph_.num_edges(); }
+
+  /// Finalizes and returns the graph. Terminal: the builder is empty after.
+  Result<PairGraph> Build();
+
+ private:
+  PairGraph graph_;
+  bool failed_ = false;
+  bool built_ = false;
 };
 
 }  // namespace graph

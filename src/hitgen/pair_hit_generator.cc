@@ -1,23 +1,41 @@
 #include "hitgen/pair_hit_generator.h"
 
+#include "common/logging.h"
+
 namespace crowder {
 namespace hitgen {
 
-Result<std::vector<PairBasedHit>> GeneratePairHits(const std::vector<graph::Edge>& pairs,
-                                                   uint32_t pairs_per_hit) {
-  if (pairs_per_hit == 0) {
+Status PairHitPacker::Add(const std::vector<graph::Edge>& batch) {
+  CROWDER_CHECK(!finished_) << "Add after Finish";
+  if (pairs_per_hit_ == 0) {
     return Status::InvalidArgument("pairs_per_hit must be positive");
   }
-  std::vector<PairBasedHit> hits;
-  hits.reserve((pairs.size() + pairs_per_hit - 1) / pairs_per_hit);
-  for (size_t start = 0; start < pairs.size(); start += pairs_per_hit) {
-    PairBasedHit hit;
-    const size_t end = std::min(pairs.size(), start + pairs_per_hit);
-    hit.pairs.assign(pairs.begin() + static_cast<long>(start),
-                     pairs.begin() + static_cast<long>(end));
-    hits.push_back(std::move(hit));
+  for (const graph::Edge& pair : batch) {
+    current_.pairs.push_back(pair);
+    if (current_.pairs.size() >= pairs_per_hit_) {
+      hits_.push_back(std::move(current_));
+      current_ = PairBasedHit{};
+      current_.pairs.reserve(pairs_per_hit_);
+    }
   }
-  return hits;
+  return Status::OK();
+}
+
+Result<std::vector<PairBasedHit>> PairHitPacker::Finish() {
+  CROWDER_CHECK(!finished_) << "Finish called twice";
+  if (pairs_per_hit_ == 0) {
+    return Status::InvalidArgument("pairs_per_hit must be positive");
+  }
+  finished_ = true;
+  if (!current_.pairs.empty()) hits_.push_back(std::move(current_));
+  return std::move(hits_);
+}
+
+Result<std::vector<PairBasedHit>> GeneratePairHits(const std::vector<graph::Edge>& pairs,
+                                                   uint32_t pairs_per_hit) {
+  PairHitPacker packer(pairs_per_hit);
+  CROWDER_RETURN_NOT_OK(packer.Add(pairs));
+  return packer.Finish();
 }
 
 }  // namespace hitgen

@@ -155,8 +155,22 @@ Status BlockedAllPairsJoinStream(const JoinInput& input, const JoinOptions& opti
                                  const PairSink& sink) {
   CROWDER_RETURN_NOT_OK(ValidateJoin(input, options));
   if (options.threshold <= 0.0) {
+    // Zero threshold admits every pair: the output is O(n^2) by definition,
+    // so no algorithm can bound it — defer to the exhaustive join, but still
+    // hand the sink bounded blocks (chunks of a sorted vector are each
+    // sorted, and their union is the whole result) so the sink's own
+    // accounting, e.g. a budgeted PairStream, keeps working.
     CROWDER_ASSIGN_OR_RETURN(auto all, NaiveJoin(input, options));
-    return sink(std::move(all));
+    const size_t chunk = exec_options.block_records > 0
+                             ? static_cast<size_t>(exec_options.block_records) * 16
+                             : 65536;
+    for (size_t begin = 0; begin < all.size(); begin += chunk) {
+      const size_t end = std::min(all.size(), begin + chunk);
+      CROWDER_RETURN_NOT_OK(
+          sink(std::vector<ScoredPair>(all.begin() + static_cast<ptrdiff_t>(begin),
+                                       all.begin() + static_cast<ptrdiff_t>(end))));
+    }
+    return Status::OK();
   }
 
   const internal::JoinPlan plan = internal::BuildJoinPlan(input, options);

@@ -14,7 +14,7 @@ TokenSet MakeTokenSet(std::vector<text::TokenId> tokens) {
   return tokens;
 }
 
-size_t OverlapSize(const TokenSet& a, const TokenSet& b) {
+size_t OverlapSizeLinear(const TokenSet& a, const TokenSet& b) {
   size_t i = 0;
   size_t j = 0;
   size_t count = 0;
@@ -30,6 +30,56 @@ size_t OverlapSize(const TokenSet& a, const TokenSet& b) {
     }
   }
   return count;
+}
+
+namespace {
+
+// First index in [begin, v.size()) with v[idx] >= target: exponential probe
+// from `begin` to bracket the target, then binary search inside the bracket.
+// O(log distance) rather than O(log |v|), so a run of nearby probes stays
+// cheap.
+size_t GallopLowerBound(const TokenSet& v, size_t begin, text::TokenId target) {
+  size_t step = 1;
+  size_t hi = begin;
+  while (hi < v.size() && v[hi] < target) {
+    begin = hi + 1;
+    hi += step;
+    step *= 2;
+  }
+  hi = std::min(hi, v.size());
+  return static_cast<size_t>(
+      std::lower_bound(v.begin() + static_cast<ptrdiff_t>(begin),
+                       v.begin() + static_cast<ptrdiff_t>(hi), target) -
+      v.begin());
+}
+
+}  // namespace
+
+size_t OverlapSizeGalloping(const TokenSet& a, const TokenSet& b) {
+  // Walk the smaller set, galloping through the larger one.
+  const TokenSet& small = a.size() <= b.size() ? a : b;
+  const TokenSet& large = a.size() <= b.size() ? b : a;
+  size_t count = 0;
+  size_t pos = 0;
+  for (text::TokenId tok : small) {
+    pos = GallopLowerBound(large, pos, tok);
+    if (pos == large.size()) break;
+    if (large[pos] == tok) {
+      ++count;
+      ++pos;
+    }
+  }
+  return count;
+}
+
+size_t OverlapSize(const TokenSet& a, const TokenSet& b) {
+  // Crossover measured by bench_micro (BM_Overlap*): galloping wins once one
+  // set is ~16x the other; below that the linear merge's branch-predictable
+  // scan is faster.
+  const size_t small = std::min(a.size(), b.size());
+  const size_t large = std::max(a.size(), b.size());
+  if (small > 0 && large / small >= 16) return OverlapSizeGalloping(a, b);
+  return OverlapSizeLinear(a, b);
 }
 
 double Jaccard(const TokenSet& a, const TokenSet& b) {

@@ -18,8 +18,21 @@ using TokenSet = std::vector<text::TokenId>;
 /// \brief Returns a canonical TokenSet (sorts + dedups a token sequence).
 TokenSet MakeTokenSet(std::vector<text::TokenId> tokens);
 
-/// \brief |a ∩ b| for sorted sets.
+/// \brief |a ∩ b| for sorted sets. Dispatches between the linear merge and
+/// the galloping probe below on the size ratio; both return the same count.
 size_t OverlapSize(const TokenSet& a, const TokenSet& b);
+
+/// \brief Linear merge intersection count — O(|a| + |b|). The right shape
+/// when the sets are comparable in size. Exposed for benches and the
+/// equivalence property test; prefer OverlapSize.
+size_t OverlapSizeLinear(const TokenSet& a, const TokenSet& b);
+
+/// \brief Galloping (exponential + binary probe) intersection count —
+/// O(|small| log |large|). Wins when one set is much larger than the other,
+/// the common case a prefix-filtering join produces on skewed token-set
+/// sizes. Exposed for benches and the equivalence property test; prefer
+/// OverlapSize.
+size_t OverlapSizeGalloping(const TokenSet& a, const TokenSet& b);
 
 /// \brief Jaccard similarity |a∩b| / |a∪b|; 1.0 when both sets are empty.
 double Jaccard(const TokenSet& a, const TokenSet& b);

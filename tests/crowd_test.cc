@@ -5,6 +5,7 @@
 #include <algorithm>
 
 #include "crowd/platform.h"
+#include "crowd/session.h"
 #include "crowd/worker.h"
 #include "hitgen/pair_hit_generator.h"
 
@@ -326,6 +327,112 @@ TEST(PlatformTest, TotalTimeExceedsLongestAssignment) {
   const double longest = *std::max_element(run.assignment_seconds.begin(),
                                            run.assignment_seconds.end());
   EXPECT_GE(run.total_seconds, longest);
+}
+
+// ---------------------------------------------------------------------------
+// CrowdSession: the batch/thread invariance contracts the staged streaming
+// workflow is built on.
+// ---------------------------------------------------------------------------
+
+// A fixture big enough that batching and threading have something to chew on:
+// 24 records in 8 entities, with all intra-entity pairs plus a ring of
+// cross-entity pairs as candidates.
+Fixture MakeLargeFixture() {
+  Fixture f;
+  for (uint32_t r = 0; r < 24; ++r) f.entity_of.push_back(100 + r / 3);
+  for (uint32_t r = 0; r + 1 < 24; ++r) {
+    if (r / 3 == (r + 1) / 3) f.pairs.push_back({r, r + 1, 0.8});  // same entity
+    if (r % 3 == 2) f.pairs.push_back({r, r + 1, 0.35});           // entity boundary
+  }
+  return f;
+}
+
+void ExpectSameRun(const CrowdRunResult& x, const CrowdRunResult& y) {
+  ASSERT_EQ(x.votes.size(), y.votes.size());
+  for (size_t i = 0; i < x.votes.size(); ++i) {
+    ASSERT_EQ(x.votes[i].size(), y.votes[i].size()) << "pair " << i;
+    for (size_t j = 0; j < x.votes[i].size(); ++j) {
+      EXPECT_EQ(x.votes[i][j].worker_id, y.votes[i][j].worker_id);
+      EXPECT_EQ(x.votes[i][j].says_match, y.votes[i][j].says_match);
+    }
+  }
+  ASSERT_EQ(x.assignments.size(), y.assignments.size());
+  for (size_t i = 0; i < x.assignments.size(); ++i) {
+    EXPECT_EQ(x.assignments[i].hit, y.assignments[i].hit);
+    EXPECT_EQ(x.assignments[i].worker, y.assignments[i].worker);
+    EXPECT_EQ(x.assignments[i].duration_seconds, y.assignments[i].duration_seconds);
+  }
+  EXPECT_EQ(x.num_hits, y.num_hits);
+  EXPECT_EQ(x.num_assignments, y.num_assignments);
+  EXPECT_EQ(x.total_seconds, y.total_seconds);
+  EXPECT_EQ(x.cost_dollars, y.cost_dollars);
+  EXPECT_EQ(x.total_comparisons, y.total_comparisons);
+  EXPECT_EQ(x.num_distinct_workers, y.num_distinct_workers);
+}
+
+TEST(SessionTest, BatchPartitionIsInvisible) {
+  const Fixture f = MakeLargeFixture();
+  std::vector<graph::Edge> edges;
+  for (const auto& p : f.pairs) edges.push_back({p.a, p.b});
+  const auto hits = hitgen::GeneratePairHits(edges, 3).ValueOrDie();
+  ASSERT_GE(hits.size(), 5u);
+  const CrowdPlatform platform(CrowdModel{}, 321);
+
+  const auto one_shot = platform.RunPairHits(hits, f.Context()).ValueOrDie();
+
+  // One HIT per batch.
+  auto single = CrowdSession::Create(platform, f.Context()).ValueOrDie();
+  for (const auto& hit : hits) {
+    ASSERT_TRUE(single->ProcessPairHits({hit}).ok());
+  }
+  ExpectSameRun(one_shot, single->Finish().ValueOrDie());
+
+  // An uneven split.
+  auto split = CrowdSession::Create(platform, f.Context()).ValueOrDie();
+  const std::vector<hitgen::PairBasedHit> head(hits.begin(), hits.begin() + 2);
+  const std::vector<hitgen::PairBasedHit> tail(hits.begin() + 2, hits.end());
+  ASSERT_TRUE(split->ProcessPairHits(head).ok());
+  ASSERT_TRUE(split->ProcessPairHits(tail).ok());
+  ExpectSameRun(one_shot, split->Finish().ValueOrDie());
+}
+
+TEST(SessionTest, ThreadCountIsInvisible) {
+  const Fixture f = MakeLargeFixture();
+  std::vector<hitgen::ClusterBasedHit> hits;
+  for (uint32_t base = 0; base + 4 <= 24; base += 4) {
+    hits.push_back({{base, base + 1, base + 2, base + 3}});
+  }
+  const CrowdPlatform platform(CrowdModel{}, 654);
+  auto serial = CrowdSession::Create(platform, f.Context(), /*num_threads=*/1).ValueOrDie();
+  ASSERT_TRUE(serial->ProcessClusterHits(hits).ok());
+  const auto serial_run = serial->Finish().ValueOrDie();
+  for (uint32_t threads : {2u, 4u, 7u}) {
+    auto session = CrowdSession::Create(platform, f.Context(), threads).ValueOrDie();
+    ASSERT_TRUE(session->ProcessClusterHits(hits).ok());
+    ExpectSameRun(serial_run, session->Finish().ValueOrDie());
+  }
+}
+
+TEST(SessionTest, MixingHitTypesFails) {
+  const Fixture f = MakeFixture();
+  const CrowdPlatform platform(CrowdModel{}, 5);
+  auto session = CrowdSession::Create(platform, f.Context()).ValueOrDie();
+  ASSERT_TRUE(session->ProcessPairHits({{{{0, 1}}}}).ok());
+  auto status = session->ProcessClusterHits({{{0, 1, 2}}});
+  EXPECT_TRUE(status.IsInvalidArgument());
+}
+
+TEST(SessionTest, UnknownPairInHitIsReportedFromParallelRegion) {
+  const Fixture f = MakeFixture();
+  const CrowdPlatform platform(CrowdModel{}, 5);
+  auto session = CrowdSession::Create(platform, f.Context(), /*num_threads=*/4).ValueOrDie();
+  std::vector<hitgen::PairBasedHit> hits{{{{0, 1}}}, {{{0, 3}}}};  // (0,3) not a candidate
+  auto status = session->ProcessPairHits(hits);
+  EXPECT_TRUE(status.IsInvalidArgument());
+  // A failed batch may have merged a prefix of its HITs, so the session is
+  // poisoned: retrying or finishing must not double-count that prefix.
+  EXPECT_TRUE(session->ProcessPairHits({{{{0, 1}}}}).IsInvalidArgument());
+  EXPECT_TRUE(session->Finish().status().IsInvalidArgument());
 }
 
 }  // namespace

@@ -8,6 +8,13 @@
 // If a deliberate algorithm change shifts these numbers, re-record them by
 // running the binary and copying the values its failure messages print —
 // and say why in the commit.
+//
+// Re-record history:
+//  * BestF1 0.93617... → 0.91666...: the crowd platform moved to per-HIT
+//    seed derivation (crowd/session.h) so HIT batches can simulate in
+//    parallel and stream incrementally; the worker-pick and answer draws
+//    legitimately shifted. Candidate pairs, HIT counts, assignment counts,
+//    and cost are unchanged.
 #include <gtest/gtest.h>
 
 #include "core/workflow.h"
@@ -66,7 +73,7 @@ TEST(GoldenWorkflowTest, SmallRestaurantPipelineIsStable) {
 
   // Quality of the final ranked output.
   EXPECT_EQ(result->ranked.size(), result->candidate_pairs.size());
-  EXPECT_NEAR(eval::BestF1(result->pr_curve), 0.93617021276595735, 1e-9);
+  EXPECT_NEAR(eval::BestF1(result->pr_curve), 0.91666666666666663, 1e-9);
 }
 
 TEST(GoldenWorkflowTest, MultiThreadedRunLeavesGoldenValuesBitwiseUnchanged) {
@@ -91,7 +98,7 @@ TEST(GoldenWorkflowTest, MultiThreadedRunLeavesGoldenValuesBitwiseUnchanged) {
     EXPECT_NEAR(result->machine_recall, 23.0 / 24.0, 1e-12) << "threads " << threads;
     EXPECT_EQ(result->crowd_stats.num_hits, 46u) << "threads " << threads;
     EXPECT_EQ(result->crowd_stats.num_assignments, 138u) << "threads " << threads;
-    EXPECT_NEAR(eval::BestF1(result->pr_curve), 0.93617021276595735, 1e-9)
+    EXPECT_NEAR(eval::BestF1(result->pr_curve), 0.91666666666666663, 1e-9)
         << "threads " << threads;
 
     // And the stronger form: bitwise equality with the serial run.
@@ -108,6 +115,69 @@ TEST(GoldenWorkflowTest, MultiThreadedRunLeavesGoldenValuesBitwiseUnchanged) {
       EXPECT_EQ(result->ranked[i].score, serial->ranked[i].score);
     }
     EXPECT_EQ(result->crowd_stats.cost_dollars, serial->crowd_stats.cost_dollars);
+  }
+}
+
+TEST(GoldenWorkflowTest, StreamingModeIsBitwiseIdenticalToMaterialized) {
+  // The acceptance bar of the staged pipeline: kStreaming must produce the
+  // same bytes as kMaterialized at every golden config — across thread
+  // counts, and whether or not the candidate stream ever spilled to disk.
+  // The 1 KiB budget is well below this run's pair volume (234 pairs * 16 B
+  // across 64-record blocks), so the spill path genuinely executes — a
+  // stream can never end holding more than its budget, and the total
+  // exceeds it.
+  const data::Dataset dataset = SmallRestaurant();
+  const HybridWorkflow materialized_workflow(GoldenConfig());
+  auto materialized = materialized_workflow.Run(dataset);
+  ASSERT_TRUE(materialized.ok());
+
+  for (uint32_t threads : {1u, 4u}) {
+    for (uint64_t budget : {uint64_t{0}, uint64_t{1024}}) {
+      WorkflowConfig config = GoldenConfig();
+      config.execution_mode = ExecutionMode::kStreaming;
+      config.num_threads = threads;
+      config.memory_budget_bytes = budget;
+      config.stream_block_records = 64;
+      const HybridWorkflow workflow(config);
+      auto result = workflow.Run(dataset);
+      ASSERT_TRUE(result.ok()) << result.status().ToString();
+      const std::string which =
+          "threads " + std::to_string(threads) + " budget " + std::to_string(budget);
+
+      // The recorded goldens, verbatim.
+      EXPECT_EQ(result->candidate_pairs.size(), 234u) << which;
+      EXPECT_NEAR(result->machine_recall, 23.0 / 24.0, 1e-12) << which;
+      EXPECT_EQ(result->crowd_stats.num_hits, 46u) << which;
+      EXPECT_EQ(result->crowd_stats.num_assignments, 138u) << which;
+      EXPECT_NEAR(eval::BestF1(result->pr_curve), 0.91666666666666663, 1e-9) << which;
+
+      // Bitwise equality with the materialized run.
+      ASSERT_EQ(result->candidate_pairs.size(), materialized->candidate_pairs.size());
+      for (size_t i = 0; i < materialized->candidate_pairs.size(); ++i) {
+        EXPECT_EQ(result->candidate_pairs[i].a, materialized->candidate_pairs[i].a) << which;
+        EXPECT_EQ(result->candidate_pairs[i].b, materialized->candidate_pairs[i].b) << which;
+        EXPECT_EQ(result->candidate_pairs[i].score, materialized->candidate_pairs[i].score)
+            << which;
+      }
+      ASSERT_EQ(result->ranked.size(), materialized->ranked.size());
+      for (size_t i = 0; i < materialized->ranked.size(); ++i) {
+        EXPECT_EQ(result->ranked[i].a, materialized->ranked[i].a) << which;
+        EXPECT_EQ(result->ranked[i].b, materialized->ranked[i].b) << which;
+        EXPECT_EQ(result->ranked[i].score, materialized->ranked[i].score) << which;
+      }
+      EXPECT_EQ(result->crowd_stats.cost_dollars, materialized->crowd_stats.cost_dollars)
+          << which;
+      EXPECT_EQ(result->crowd_stats.total_seconds, materialized->crowd_stats.total_seconds)
+          << which;
+
+      // And the stream really streamed (and spilled, when asked to).
+      EXPECT_EQ(result->pipeline_stats.streamed_pairs, 234u) << which;
+      if (budget > 0) {
+        EXPECT_GT(result->pipeline_stats.spilled_bytes, 0u) << which;
+      } else {
+        EXPECT_EQ(result->pipeline_stats.spilled_bytes, 0u) << which;
+      }
+    }
   }
 }
 

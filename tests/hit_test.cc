@@ -96,6 +96,36 @@ TEST(PairHitGeneratorTest, ZeroBatchSizeRejected) {
   EXPECT_FALSE(GeneratePairHits(Figure5Edges(), 0).ok());
 }
 
+TEST(PairHitPackerTest, BatchPartitionMatchesOneShotGenerate) {
+  // Packing is batch-boundary-blind: every 2-way split of the pair sequence
+  // packs into exactly the HITs GeneratePairHits builds from the whole.
+  const std::vector<graph::Edge> pairs = Figure5Edges();
+  for (uint32_t per_hit : {1u, 3u, 4u, 20u}) {
+    const auto expected = GeneratePairHits(pairs, per_hit).ValueOrDie();
+    for (size_t split = 0; split <= pairs.size(); ++split) {
+      PairHitPacker packer(per_hit);
+      ASSERT_TRUE(packer
+                      .Add(std::vector<graph::Edge>(
+                          pairs.begin(), pairs.begin() + static_cast<ptrdiff_t>(split)))
+                      .ok());
+      ASSERT_TRUE(packer
+                      .Add(std::vector<graph::Edge>(
+                          pairs.begin() + static_cast<ptrdiff_t>(split), pairs.end()))
+                      .ok());
+      const auto hits = packer.Finish().ValueOrDie();
+      ASSERT_EQ(hits.size(), expected.size()) << "per_hit " << per_hit << " split " << split;
+      for (size_t h = 0; h < hits.size(); ++h) {
+        EXPECT_EQ(hits[h].pairs, expected[h].pairs);
+      }
+    }
+  }
+}
+
+TEST(PairHitPackerTest, ZeroPairsPerHitRejected) {
+  PairHitPacker packer(0);
+  EXPECT_FALSE(packer.Add(Figure5Edges()).ok());
+}
+
 }  // namespace
 }  // namespace hitgen
 }  // namespace crowder

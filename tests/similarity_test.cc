@@ -2,6 +2,7 @@
 // Jaccard examples.
 #include <gtest/gtest.h>
 
+#include "common/rng.h"
 #include "similarity/edit_distance.h"
 #include "similarity/set_similarity.h"
 #include "text/tokenizer.h"
@@ -46,6 +47,47 @@ TEST(SetSimilarityTest, OverlapSize) {
   EXPECT_EQ(OverlapSize(Set({1, 2, 3}), Set({2, 3, 4})), 2u);
   EXPECT_EQ(OverlapSize(Set({1}), Set({2})), 0u);
   EXPECT_EQ(OverlapSize(Set({}), Set({1})), 0u);
+}
+
+TEST(SetSimilarityTest, GallopingMatchesLinearOnEdgeCases) {
+  const std::vector<std::pair<TokenSet, TokenSet>> cases = {
+      {Set({}), Set({})},
+      {Set({}), Set({1, 2, 3})},
+      {Set({5}), Set({1, 2, 3, 4, 5, 6, 7, 8})},
+      {Set({1, 2, 3}), Set({1, 2, 3})},
+      {Set({1, 9}), Set({2, 3, 4, 5, 6, 7, 8})},
+      {Set({100}), Set({1})},
+  };
+  for (const auto& [a, b] : cases) {
+    EXPECT_EQ(OverlapSizeGalloping(a, b), OverlapSizeLinear(a, b));
+    EXPECT_EQ(OverlapSize(a, b), OverlapSizeLinear(a, b));
+  }
+}
+
+TEST(SetSimilarityTest, GallopingEquivalenceProperty) {
+  // Randomized sweep across skewed size ratios — the regime the galloping
+  // path exists for — plus balanced sizes where the linear merge dispatches.
+  Rng rng(20260730);
+  for (int trial = 0; trial < 400; ++trial) {
+    const size_t small_size = static_cast<size_t>(rng.Uniform(40));
+    const size_t ratio = 1 + static_cast<size_t>(rng.Uniform(64));
+    const size_t large_size = small_size * ratio + static_cast<size_t>(rng.Uniform(8));
+    const uint64_t universe = 1 + 4 * (small_size + large_size);
+    TokenSet a;
+    TokenSet b;
+    for (size_t i = 0; i < small_size; ++i) {
+      a.push_back(static_cast<text::TokenId>(rng.Uniform(universe)));
+    }
+    for (size_t i = 0; i < large_size; ++i) {
+      b.push_back(static_cast<text::TokenId>(rng.Uniform(universe)));
+    }
+    a = MakeTokenSet(std::move(a));
+    b = MakeTokenSet(std::move(b));
+    const size_t linear = OverlapSizeLinear(a, b);
+    EXPECT_EQ(OverlapSizeGalloping(a, b), linear) << "trial " << trial;
+    EXPECT_EQ(OverlapSizeGalloping(b, a), linear) << "trial " << trial;
+    EXPECT_EQ(OverlapSize(a, b), linear) << "trial " << trial;
+  }
 }
 
 TEST(SetSimilarityTest, JaccardEdgeCases) {

@@ -10,17 +10,30 @@
 //   crowder_cli run --in FILE [--threshold 0.3] [--k 10]
 //                   [--hit-type cluster|pair] [--algorithm two-tiered|bfs|
 //                    dfs|random|approximation] [--qt] [--seed N]
-//                   [--threads N] [--matches OUT.csv] [--merged OUT.csv]
+//                   [--threads N] [--strategy allpairs|blocking|
+//                    sorted-neighborhood] [--streaming]
+//                   [--memory-budget SIZE] [--machine-only]
+//                   [--matches OUT.csv] [--merged OUT.csv]
 //       Runs the full hybrid workflow (simulated crowd) on a dataset CSV
 //       produced by `generate` (or any CSV with __source/__entity columns),
 //       prints the quality/cost/latency report, and optionally writes the
 //       confirmed matches and the deduplicated table. --threads parallelizes
-//       the machine pass (0 = all hardware threads, honoring CROWDER_THREADS;
-//       default 1 = serial); results are identical at any value.
+//       the machine pass (allpairs strategy only — a serial strategy warns
+//       on stderr and runs serially) and the crowd simulation (0 = all
+//       hardware threads, honoring CROWDER_THREADS; default 1 = serial);
+//       results are identical at any value. --streaming runs the staged
+//       pipeline with the spillable candidate stream; --memory-budget caps
+//       the stream's resident pair bytes (suffixes K/M/G, e.g. 256M) before
+//       it spills to disk. --machine-only stops after the machine pass and
+//       reports pair counts, recall, throughput, and spill statistics —
+//       with --streaming, candidate pairs are never materialized in memory,
+//       which is the bounded-memory path for very large inputs.
 //
 //   crowder_cli plan --in FILE --budget DOLLARS [--k 10] [--threads N]
 //       Evaluates the cost/recall tradeoff across thresholds and recommends
 //       an operating point that fits the budget.
+#include <algorithm>
+#include <cctype>
 #include <cstdlib>
 #include <iostream>
 #include <map>
@@ -61,6 +74,39 @@ struct Args {
   }
 };
 
+/// Parses a byte size with an optional K/M/G suffix (binary units):
+/// "4096" -> 4096, "64K" -> 65536, "256M" -> 268435456, "1G" -> 2^30.
+Result<uint64_t> ParseByteSize(const std::string& text) {
+  if (text.empty()) return Status::InvalidArgument("empty byte size");
+  size_t digits = 0;
+  while (digits < text.size() && std::isdigit(static_cast<unsigned char>(text[digits]))) {
+    ++digits;
+  }
+  if (digits == 0) return Status::InvalidArgument("byte size must start with digits: " + text);
+  uint64_t value = 0;
+  try {
+    value = std::stoull(text.substr(0, digits));
+  } catch (const std::exception&) {
+    return Status::InvalidArgument("unparseable byte size: " + text);
+  }
+  const std::string suffix = text.substr(digits);
+  uint64_t multiplier = 1;
+  if (suffix == "K" || suffix == "k") {
+    multiplier = 1ULL << 10;
+  } else if (suffix == "M" || suffix == "m") {
+    multiplier = 1ULL << 20;
+  } else if (suffix == "G" || suffix == "g") {
+    multiplier = 1ULL << 30;
+  } else if (!suffix.empty()) {
+    return Status::InvalidArgument("unknown byte-size suffix '" + suffix + "' (use K/M/G)");
+  }
+  uint64_t bytes = 0;
+  if (__builtin_mul_overflow(value, multiplier, &bytes)) {
+    return Status::InvalidArgument("byte size overflows 64 bits: " + text);
+  }
+  return bytes;
+}
+
 Result<Args> Parse(int argc, char** argv) {
   if (argc < 2) return Status::InvalidArgument("missing command");
   Args args;
@@ -71,8 +117,8 @@ Result<Args> Parse(int argc, char** argv) {
       return Status::InvalidArgument("expected --flag, got '" + token + "'");
     }
     token = token.substr(2);
-    if (token == "qt") {
-      args.flags[token] = "true";  // boolean flag
+    if (token == "qt" || token == "streaming" || token == "machine-only") {
+      args.flags[token] = "true";  // boolean flags
     } else {
       if (i + 1 >= argc) return Status::InvalidArgument("flag --" + token + " needs a value");
       args.flags[token] = argv[++i];
@@ -88,7 +134,10 @@ int Usage() {
                        [--scale F]
   crowder_cli run --in FILE [--threshold 0.3] [--k 10] [--hit-type cluster|pair]
                   [--algorithm two-tiered|bfs|dfs|random|approximation] [--qt]
-                  [--seed N] [--threads N] [--matches OUT.csv] [--merged OUT.csv]
+                  [--seed N] [--threads N]
+                  [--strategy allpairs|blocking|sorted-neighborhood]
+                  [--streaming] [--memory-budget SIZE(K|M|G)] [--machine-only]
+                  [--matches OUT.csv] [--merged OUT.csv]
   crowder_cli plan --in FILE --budget DOLLARS [--k 10] [--threads N]
 )";
   return 2;
@@ -138,6 +187,85 @@ Result<hitgen::ClusterAlgorithm> AlgorithmFromName(const std::string& name) {
   return Status::InvalidArgument("unknown algorithm '" + name + "'");
 }
 
+Result<core::CandidateStrategy> StrategyFromName(const std::string& name) {
+  if (name == "allpairs") return core::CandidateStrategy::kAllPairsJoin;
+  if (name == "blocking") return core::CandidateStrategy::kBlockingVerify;
+  if (name == "sorted-neighborhood") return core::CandidateStrategy::kSortedNeighborhoodVerify;
+  return Status::InvalidArgument("unknown strategy '" + name + "'");
+}
+
+std::string FormatBytes(uint64_t bytes) {
+  if (bytes >= (1ULL << 30)) {
+    return FormatDouble(static_cast<double>(bytes) / (1 << 30), 1) + " GiB";
+  }
+  if (bytes >= (1ULL << 20)) {
+    return FormatDouble(static_cast<double>(bytes) / (1 << 20), 1) + " MiB";
+  }
+  if (bytes >= (1ULL << 10)) {
+    return FormatDouble(static_cast<double>(bytes) / (1 << 10), 1) + " KiB";
+  }
+  return std::to_string(bytes) + " B";
+}
+
+/// The machine pass alone (`run --machine-only`): with --streaming the
+/// candidate pairs flow through a budgeted PairStream and are never
+/// materialized — the bounded-memory path the CI smoke job runs under an
+/// address-space cap.
+Status RunMachineOnly(const data::Dataset& dataset,
+                      const core::WorkflowConfig& config) {
+  const uint64_t total_matches = dataset.CountMatchingPairs();
+  if (total_matches == 0) {
+    return Status::InvalidArgument("dataset has no matching pairs; nothing to resolve");
+  }
+  const bool streaming = config.execution_mode == core::ExecutionMode::kStreaming;
+  WallTimer timer;
+  uint64_t num_pairs = 0;
+  uint64_t candidate_matches = 0;
+  uint64_t spilled = 0;
+  uint64_t resident = 0;
+  if (streaming) {
+    core::PairStream stream(config.memory_budget_bytes);
+    CROWDER_ASSIGN_OR_RETURN(
+        const auto stats,
+        core::HybridWorkflow::MachinePassStream(dataset, config.measure,
+                                                config.likelihood_threshold,
+                                                config.num_threads, &stream));
+    num_pairs = stats.num_pairs;
+    candidate_matches = stats.candidate_matches;
+    spilled = stats.spilled_bytes;
+    resident = stream.memory_bytes();
+  } else {
+    CROWDER_ASSIGN_OR_RETURN(
+        const auto pairs,
+        core::HybridWorkflow::MachinePass(dataset, config.measure,
+                                          config.likelihood_threshold,
+                                          config.candidate_strategy, config.num_threads));
+    num_pairs = pairs.size();
+    candidate_matches = core::internal::CountCandidateMatches(dataset, pairs);
+  }
+  const double seconds = timer.ElapsedSeconds();
+  const double recall =
+      static_cast<double>(candidate_matches) / static_cast<double>(total_matches);
+
+  std::cout << "records:            " << dataset.table.num_records() << "\n";
+  std::cout << "machine pass:       " << (streaming ? "streaming" : "materialized");
+  if (streaming) {
+    std::cout << " (budget "
+              << (config.memory_budget_bytes == 0 ? std::string("unbounded")
+                                                  : FormatBytes(config.memory_budget_bytes))
+              << ", resident " << FormatBytes(resident) << ", spilled "
+              << FormatBytes(spilled) << ")";
+  }
+  std::cout << "\n";
+  std::cout << "candidate pairs:    " << WithThousands(num_pairs) << " (machine recall "
+            << FormatDouble(100 * recall, 1) << "%)\n";
+  std::cout << "machine time:       " << FormatDouble(seconds, 2) << "s ("
+            << WithThousands(static_cast<uint64_t>(
+                   static_cast<double>(dataset.table.num_records()) / std::max(seconds, 1e-9)))
+            << " records/s)\n";
+  return Status::OK();
+}
+
 Status Run(const Args& args) {
   const std::string in = args.Get("in", "");
   if (in.empty()) return Status::InvalidArgument("run requires --in");
@@ -149,6 +277,16 @@ Status Run(const Args& args) {
   config.pairs_per_hit = config.cluster_size;
   config.seed = static_cast<uint64_t>(args.GetLong("seed", 42));
   CROWDER_ASSIGN_OR_RETURN(config.num_threads, args.GetThreads());
+  CROWDER_ASSIGN_OR_RETURN(config.candidate_strategy,
+                           StrategyFromName(args.Get("strategy", "allpairs")));
+  if (args.Has("streaming")) config.execution_mode = core::ExecutionMode::kStreaming;
+  if (args.Has("memory-budget")) {
+    CROWDER_ASSIGN_OR_RETURN(config.memory_budget_bytes,
+                             ParseByteSize(args.Get("memory-budget", "")));
+    if (!args.Has("streaming")) {
+      std::cerr << "warning: --memory-budget only applies with --streaming; ignored\n";
+    }
+  }
   config.crowd.qualification_test = args.Has("qt");
   const std::string hit_type = args.Get("hit-type", "cluster");
   if (hit_type == "pair") {
@@ -158,11 +296,27 @@ Status Run(const Args& args) {
   }
   CROWDER_ASSIGN_OR_RETURN(config.cluster_algorithm,
                            AlgorithmFromName(args.Get("algorithm", "two-tiered")));
+  // After full flag validation, so a typo'd --hit-type/--algorithm fails the
+  // same way with or without --machine-only.
+  if (args.Has("machine-only")) {
+    if (args.Has("matches") || args.Has("merged")) {
+      std::cerr << "warning: --matches/--merged need the full workflow; "
+                   "ignored with --machine-only\n";
+    }
+    CROWDER_RETURN_NOT_OK(core::ValidateWorkflowConfig(config));
+    return RunMachineOnly(dataset, config);
+  }
 
   core::HybridWorkflow workflow(config);
   CROWDER_ASSIGN_OR_RETURN(core::WorkflowResult result, workflow.Run(dataset));
 
   std::cout << "records:            " << dataset.table.num_records() << "\n";
+  if (config.execution_mode == core::ExecutionMode::kStreaming) {
+    std::cout << "execution:          streaming (budget "
+              << (config.memory_budget_bytes == 0 ? std::string("unbounded")
+                                                  : FormatBytes(config.memory_budget_bytes))
+              << ", spilled " << FormatBytes(result.pipeline_stats.spilled_bytes) << ")\n";
+  }
   std::cout << "candidate pairs:    " << WithThousands(result.candidate_pairs.size())
             << " (machine recall " << FormatDouble(100 * result.machine_recall, 1) << "%)\n";
   std::cout << "HITs:               " << result.crowd_stats.num_hits << " ("
