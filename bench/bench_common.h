@@ -13,6 +13,23 @@
 namespace crowder {
 namespace bench {
 
+// Environment-variable knobs shared by the scale-configurable harnesses
+// (bench_stream, bench_e2e_stream): missing/empty means the fallback.
+inline double EnvDouble(const char* name, double fallback) {
+  const char* value = std::getenv(name);
+  return value && *value ? std::atof(value) : fallback;
+}
+
+inline uint64_t EnvU64(const char* name, uint64_t fallback) {
+  const char* value = std::getenv(name);
+  return value && *value ? static_cast<uint64_t>(std::atoll(value)) : fallback;
+}
+
+inline std::string EnvString(const char* name, const std::string& fallback) {
+  const char* value = std::getenv(name);
+  return value && *value ? value : fallback;
+}
+
 inline const data::Dataset& Restaurant() {
   static const data::Dataset kDataset = data::GenerateRestaurant({}).ValueOrDie();
   return kDataset;

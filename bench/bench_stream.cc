@@ -18,16 +18,6 @@ namespace crowder {
 namespace bench {
 namespace {
 
-double EnvDouble(const char* name, double fallback) {
-  const char* value = std::getenv(name);
-  return value && *value ? std::atof(value) : fallback;
-}
-
-uint64_t EnvU64(const char* name, uint64_t fallback) {
-  const char* value = std::getenv(name);
-  return value && *value ? static_cast<uint64_t>(std::atoll(value)) : fallback;
-}
-
 int Main() {
   const double scale = EnvDouble("CROWDER_STREAM_SCALE", 2.0);
   const uint64_t budget = EnvU64("CROWDER_STREAM_BUDGET", 4096);

@@ -1,117 +1,28 @@
 #include "aggregate/dawid_skene.h"
 
-#include <algorithm>
-#include <cmath>
-
-#include "aggregate/majority_vote.h"
-#include "common/logging.h"
+#include "aggregate/partitioned.h"
 
 namespace crowder {
 namespace aggregate {
 
-Result<DawidSkeneResult> RunDawidSkene(const VoteTable& votes, const DawidSkeneOptions& options) {
-  if (options.max_iterations <= 0) {
-    return Status::InvalidArgument("max_iterations must be positive");
-  }
-  if (options.smoothing < 0.0) {
-    return Status::InvalidArgument("smoothing must be non-negative");
-  }
-  if (options.prior_correct <= 0.0 || options.prior_incorrect <= 0.0) {
-    return Status::InvalidArgument("worker-quality pseudo-counts must be positive");
-  }
+Result<DawidSkeneResult> RunDawidSkene(const VoteTable& votes,
+                                       const DawidSkeneOptions& options) {
+  // One implementation serves both shapes: the materialized entry point is
+  // the sharded EM (aggregate/partitioned.h) run over a single in-memory
+  // shard, followed by one posterior-materialization pass. Bitwise-identical
+  // to the pre-sharding loop — the golden workflow test pins it.
+  InMemoryVoteShards shards(&votes, {votes.size()});
+  CROWDER_ASSIGN_OR_RETURN(DawidSkeneModel model, FitDawidSkeneSharded(&shards, options));
 
   DawidSkeneResult result;
-  result.match_probability = MajorityVote(votes);  // E-step initialization
-
-  // Worker id universe.
-  std::unordered_map<uint32_t, WorkerQuality> workers;
+  result.match_probability.reserve(votes.size());
   for (const auto& pair_votes : votes) {
-    for (const Vote& v : pair_votes) {
-      auto& w = workers[v.worker_id];
-      ++w.num_votes;
-    }
+    result.match_probability.push_back(PosteriorMatchProbability(pair_votes, model));
   }
-  if (workers.empty()) {
-    result.converged = true;
-    return result;
-  }
-
-  const double s = options.smoothing;
-  std::vector<double>& p = result.match_probability;
-
-  for (int iter = 0; iter < options.max_iterations; ++iter) {
-    // ---- M-step: worker confusion and class prior from posteriors. ----
-    for (auto& [id, w] : workers) {
-      w.sensitivity = 0.0;
-      w.specificity = 0.0;
-    }
-    std::unordered_map<uint32_t, double> pos_mass;
-    std::unordered_map<uint32_t, double> neg_mass;
-    double prior_num = 0.0;
-    size_t judged = 0;
-    for (size_t i = 0; i < votes.size(); ++i) {
-      if (votes[i].empty()) continue;
-      ++judged;
-      prior_num += p[i];
-      for (const Vote& v : votes[i]) {
-        auto& w = workers[v.worker_id];
-        pos_mass[v.worker_id] += p[i];
-        neg_mass[v.worker_id] += 1.0 - p[i];
-        if (v.says_match) {
-          w.sensitivity += p[i];
-        } else {
-          w.specificity += 1.0 - p[i];
-        }
-      }
-    }
-    if (judged == 0) {
-      result.converged = true;
-      return result;
-    }
-    // Smoothed prior: pseudo-counts keep EM from collapsing to "everything
-    // is (non-)match" on small inputs.
-    result.class_prior = std::clamp((prior_num + s) / (static_cast<double>(judged) + 2.0 * s),
-                                    0.01, 0.99);
-    const double good = options.prior_correct;
-    const double bad = options.prior_incorrect;
-    for (auto& [id, w] : workers) {
-      w.sensitivity = (w.sensitivity + good) / (pos_mass[id] + good + bad);
-      w.specificity = (w.specificity + good) / (neg_mass[id] + good + bad);
-      w.sensitivity = std::clamp(w.sensitivity, 1e-4, 1.0 - 1e-4);
-      w.specificity = std::clamp(w.specificity, 1e-4, 1.0 - 1e-4);
-    }
-
-    // ---- E-step: posteriors from worker confusion (log space). ----
-    double max_delta = 0.0;
-    for (size_t i = 0; i < votes.size(); ++i) {
-      if (votes[i].empty()) continue;
-      double log_pos = std::log(result.class_prior);
-      double log_neg = std::log(1.0 - result.class_prior);
-      for (const Vote& v : votes[i]) {
-        const WorkerQuality& w = workers.at(v.worker_id);
-        if (v.says_match) {
-          log_pos += std::log(w.sensitivity);
-          log_neg += std::log(1.0 - w.specificity);
-        } else {
-          log_pos += std::log(1.0 - w.sensitivity);
-          log_neg += std::log(w.specificity);
-        }
-      }
-      const double m = std::max(log_pos, log_neg);
-      const double pos = std::exp(log_pos - m);
-      const double neg = std::exp(log_neg - m);
-      const double updated = pos / (pos + neg);
-      max_delta = std::max(max_delta, std::fabs(updated - p[i]));
-      p[i] = updated;
-    }
-    result.iterations = iter + 1;
-    if (max_delta < options.tolerance) {
-      result.converged = true;
-      break;
-    }
-  }
-
-  result.workers = std::move(workers);
+  result.workers = std::move(model.workers);
+  result.class_prior = model.class_prior;
+  result.iterations = model.iterations;
+  result.converged = model.converged;
   return result;
 }
 

@@ -6,12 +6,9 @@ namespace crowder {
 namespace aggregate {
 
 std::vector<double> MajorityVote(const VoteTable& votes) {
-  std::vector<double> prob(votes.size(), 0.0);
+  std::vector<double> prob(votes.size(), kUnjudgedMatchProbability);
   for (size_t i = 0; i < votes.size(); ++i) {
-    if (votes[i].empty()) continue;
-    size_t yes = 0;
-    for (const Vote& v : votes[i]) yes += v.says_match ? 1 : 0;
-    prob[i] = static_cast<double>(yes) / static_cast<double>(votes[i].size());
+    prob[i] = MajorityMatchProbability(votes[i]);
   }
   return prob;
 }

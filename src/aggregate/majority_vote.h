@@ -1,5 +1,6 @@
-// Majority voting: the simple aggregation baseline the paper mentions
-// ("average the three responses") before adopting Dawid-Skene EM.
+/// \file
+/// \brief Majority voting: the simple aggregation baseline the paper
+/// mentions ("average the three responses") before adopting Dawid-Skene EM.
 #ifndef CROWDER_AGGREGATE_MAJORITY_VOTE_H_
 #define CROWDER_AGGREGATE_MAJORITY_VOTE_H_
 
@@ -10,8 +11,13 @@
 namespace crowder {
 namespace aggregate {
 
-/// \brief Per-pair match probability = fraction of yes votes.
-/// Pairs with no votes get probability 0 (never asked => not confirmed).
+/// \brief Per-pair match probability = fraction of yes votes
+/// (`MajorityMatchProbability` applied to every pair). Pairs with no votes
+/// get `kUnjudgedMatchProbability` (never asked means not confirmed).
+///
+/// Because each pair is scored independently, the sharded form
+/// (`MajorityVoteSharded`, aggregate/partitioned.h) is bitwise-identical to
+/// this one at any partitioning of the table.
 std::vector<double> MajorityVote(const VoteTable& votes);
 
 }  // namespace aggregate

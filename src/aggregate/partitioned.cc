@@ -1,0 +1,185 @@
+#include "aggregate/partitioned.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/logging.h"
+
+namespace crowder {
+namespace aggregate {
+
+InMemoryVoteShards::InMemoryVoteShards(const VoteTable* table, std::vector<size_t> shard_sizes)
+    : table_(table), shard_sizes_(std::move(shard_sizes)) {
+  size_t start = 0;
+  shard_starts_.reserve(shard_sizes_.size());
+  for (size_t size : shard_sizes_) {
+    shard_starts_.push_back(start);
+    start += size;
+  }
+  CROWDER_CHECK(start == table_->size()) << "shard sizes must sum to the table size";
+}
+
+Result<VoteTable> InMemoryVoteShards::LoadShard(size_t shard) {
+  if (shard >= shard_sizes_.size()) {
+    return Status::OutOfRange("shard " + std::to_string(shard) + " of " +
+                              std::to_string(shard_sizes_.size()));
+  }
+  VoteTable out(shard_sizes_[shard]);
+  for (size_t i = 0; i < out.size(); ++i) {
+    out[i] = (*table_)[shard_starts_[shard] + i];
+  }
+  return out;
+}
+
+Status InMemoryVoteShards::WithShard(size_t shard,
+                                     const std::function<Status(const VoteTable&)>& fn) {
+  if (shard == 0 && shard_sizes_.size() == 1 && shard_sizes_[0] == table_->size()) {
+    return fn(*table_);  // whole-table shard: lend, don't copy
+  }
+  return VoteShardSource::WithShard(shard, fn);
+}
+
+Status MajorityVoteSharded(
+    VoteShardSource* shards,
+    const std::function<Status(size_t shard, const std::vector<double>&)>& emit) {
+  CROWDER_CHECK(shards != nullptr);
+  std::vector<double> probabilities;
+  for (size_t shard = 0; shard < shards->num_shards(); ++shard) {
+    CROWDER_RETURN_NOT_OK(shards->WithShard(shard, [&](const VoteTable& table) {
+      probabilities.assign(table.size(), kUnjudgedMatchProbability);
+      for (size_t i = 0; i < table.size(); ++i) {
+        probabilities[i] = MajorityMatchProbability(table[i]);
+      }
+      return emit(shard, probabilities);
+    }));
+  }
+  return Status::OK();
+}
+
+double PosteriorMatchProbability(const std::vector<Vote>& pair_votes,
+                                 const DawidSkeneModel& model) {
+  if (pair_votes.empty()) return kUnjudgedMatchProbability;
+  // No EM iteration ran (no votes anywhere): the posterior is the
+  // initialization, i.e. the majority fraction.
+  if (model.workers.empty()) return MajorityMatchProbability(pair_votes);
+  double log_pos = std::log(model.class_prior);
+  double log_neg = std::log(1.0 - model.class_prior);
+  for (const Vote& v : pair_votes) {
+    const WorkerQuality& w = model.workers.at(v.worker_id);
+    if (v.says_match) {
+      log_pos += std::log(w.sensitivity);
+      log_neg += std::log(1.0 - w.specificity);
+    } else {
+      log_pos += std::log(1.0 - w.sensitivity);
+      log_neg += std::log(w.specificity);
+    }
+  }
+  const double m = std::max(log_pos, log_neg);
+  const double pos = std::exp(log_pos - m);
+  const double neg = std::exp(log_neg - m);
+  return pos / (pos + neg);
+}
+
+Result<DawidSkeneModel> FitDawidSkeneSharded(VoteShardSource* shards,
+                                             const DawidSkeneOptions& options) {
+  CROWDER_CHECK(shards != nullptr);
+  if (options.max_iterations <= 0) {
+    return Status::InvalidArgument("max_iterations must be positive");
+  }
+  if (options.smoothing < 0.0) {
+    return Status::InvalidArgument("smoothing must be non-negative");
+  }
+  if (options.prior_correct <= 0.0 || options.prior_incorrect <= 0.0) {
+    return Status::InvalidArgument("worker-quality pseudo-counts must be positive");
+  }
+
+  const double s = options.smoothing;
+  const double good = options.prior_correct;
+  const double bad = options.prior_incorrect;
+
+  // The EM loop, restructured around one shard pass per iteration. The
+  // posterior of a pair is a pure function of (its votes, the model of the
+  // previous iteration) — the exact E-step arithmetic lives in
+  // PosteriorMatchProbability — so pass t recomputes every posterior from
+  // `prev` (= params_{t-1}; the majority initialization when t == 0) while
+  // accumulating the M-step statistics that finalize params_t. Convergence
+  // is the materialized loop's criterion, recovered one model late: the
+  // E-step delta of iteration t-1 is max |E(params_{t-1}) - E(params_{t-2})|,
+  // both recomputable during pass t from `prev` and `older`.
+  DawidSkeneModel prev;   // params_{t-1}; meaningful from t >= 1
+  DawidSkeneModel older;  // params_{t-2}; meaningful from t >= 2
+
+  for (int t = 0;; ++t) {
+    std::unordered_map<uint32_t, double> sens_sum;
+    std::unordered_map<uint32_t, double> spec_sum;
+    std::unordered_map<uint32_t, double> pos_mass;
+    std::unordered_map<uint32_t, double> neg_mass;
+    std::unordered_map<uint32_t, uint32_t> vote_count;
+    double prior_num = 0.0;
+    size_t judged = 0;
+    double max_delta = 0.0;
+
+    for (size_t shard = 0; shard < shards->num_shards(); ++shard) {
+      CROWDER_RETURN_NOT_OK(shards->WithShard(shard, [&](const VoteTable& table) {
+        for (const auto& pair_votes : table) {
+          if (pair_votes.empty()) continue;
+          const double p = t == 0 ? MajorityMatchProbability(pair_votes)
+                                  : PosteriorMatchProbability(pair_votes, prev);
+          if (t >= 1) {
+            const double p_old = t == 1 ? MajorityMatchProbability(pair_votes)
+                                        : PosteriorMatchProbability(pair_votes, older);
+            max_delta = std::max(max_delta, std::fabs(p - p_old));
+          }
+          ++judged;
+          prior_num += p;
+          for (const Vote& v : pair_votes) {
+            ++vote_count[v.worker_id];
+            pos_mass[v.worker_id] += p;
+            neg_mass[v.worker_id] += 1.0 - p;
+            if (v.says_match) {
+              sens_sum[v.worker_id] += p;
+            } else {
+              spec_sum[v.worker_id] += 1.0 - p;
+            }
+          }
+        }
+        return Status::OK();
+      }));
+    }
+
+    if (judged == 0) {
+      // No votes anywhere: EM has nothing to fit (only reachable at t == 0).
+      DawidSkeneModel model;
+      model.converged = true;
+      return model;
+    }
+    if (t >= 1 && max_delta < options.tolerance) {
+      prev.converged = true;  // prev.iterations == t already
+      return prev;
+    }
+    if (t == options.max_iterations) {
+      return prev;  // params_{max-1}, iterations == max, converged == false
+    }
+
+    // Finalize params_t (the materialized loop's M-step normalization).
+    DawidSkeneModel next;
+    next.class_prior =
+        std::clamp((prior_num + s) / (static_cast<double>(judged) + 2.0 * s), 0.01, 0.99);
+    next.workers.reserve(vote_count.size());
+    for (const auto& [id, count] : vote_count) {
+      WorkerQuality w;
+      w.num_votes = count;
+      w.sensitivity = (sens_sum[id] + good) / (pos_mass[id] + good + bad);
+      w.specificity = (spec_sum[id] + good) / (neg_mass[id] + good + bad);
+      w.sensitivity = std::clamp(w.sensitivity, 1e-4, 1.0 - 1e-4);
+      w.specificity = std::clamp(w.specificity, 1e-4, 1.0 - 1e-4);
+      next.workers.emplace(id, w);
+    }
+    next.iterations = t + 1;
+    older = std::move(prev);
+    prev = std::move(next);
+  }
+}
+
+}  // namespace aggregate
+}  // namespace crowder

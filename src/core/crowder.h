@@ -15,6 +15,8 @@
 
 #include "aggregate/dawid_skene.h"
 #include "aggregate/majority_vote.h"
+#include "aggregate/partitioned.h"
+#include "aggregate/votes.h"
 #include "common/csv.h"
 #include "common/logging.h"
 #include "common/result.h"
@@ -23,8 +25,10 @@
 #include "common/string_util.h"
 #include "common/timer.h"
 #include "core/budget_planner.h"
+#include "core/partition.h"
 #include "core/pipeline.h"
 #include "core/resolution.h"
+#include "core/spill.h"
 #include "core/stages.h"
 #include "core/workflow.h"
 #include "crowd/crowd_model.h"

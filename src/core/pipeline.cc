@@ -1,14 +1,8 @@
 #include "core/pipeline.h"
 
 #include <algorithm>
-#include <cerrno>
-#include <cstdlib>
-#include <cstring>
 #include <optional>
 #include <queue>
-
-#include <fcntl.h>
-#include <unistd.h>
 
 #include "common/logging.h"
 #include "common/timer.h"
@@ -18,134 +12,13 @@ namespace core {
 
 namespace {
 
-static_assert(std::is_trivially_copyable<similarity::ScoredPair>::value,
-              "spill format writes ScoredPair as raw bytes");
-
 constexpr size_t kPairBytes = sizeof(similarity::ScoredPair);
 
 bool PairLess(const similarity::ScoredPair& x, const similarity::ScoredPair& y) {
   return x.a != y.a ? x.a < y.a : x.b < y.b;
 }
 
-std::string ErrnoMessage(const char* what) {
-  return std::string(what) + ": " + std::strerror(errno);
-}
-
 }  // namespace
-
-// ---------------------------------------------------------------------------
-// SpillFile
-// ---------------------------------------------------------------------------
-
-Result<SpillFile> SpillFile::Create() {
-  const char* tmpdir = std::getenv("TMPDIR");
-  std::string templ = std::string(tmpdir && *tmpdir ? tmpdir : "/tmp") +
-                      "/crowder-spill-XXXXXX";
-  std::vector<char> buf(templ.begin(), templ.end());
-  buf.push_back('\0');
-  const int fd = ::mkstemp(buf.data());
-  if (fd < 0) return Status::IOError(ErrnoMessage("mkstemp"));
-  std::FILE* file = ::fdopen(fd, "wb");
-  if (file == nullptr) {
-    const Status status = Status::IOError(ErrnoMessage("fdopen"));
-    ::close(fd);
-    ::unlink(buf.data());
-    return status;
-  }
-  SpillFile out;
-  out.path_.assign(buf.data());
-  out.file_ = file;
-  return out;
-}
-
-SpillFile::SpillFile(SpillFile&& other) noexcept
-    : path_(std::move(other.path_)),
-      file_(other.file_),
-      read_fd_(other.read_fd_),
-      blocks_(std::move(other.blocks_)),
-      bytes_written_(other.bytes_written_) {
-  other.file_ = nullptr;
-  other.read_fd_ = -1;
-  other.path_.clear();
-}
-
-SpillFile& SpillFile::operator=(SpillFile&& other) noexcept {
-  if (this != &other) {
-    Close();
-    path_ = std::move(other.path_);
-    file_ = other.file_;
-    read_fd_ = other.read_fd_;
-    blocks_ = std::move(other.blocks_);
-    bytes_written_ = other.bytes_written_;
-    other.file_ = nullptr;
-    other.read_fd_ = -1;
-    other.path_.clear();
-  }
-  return *this;
-}
-
-SpillFile::~SpillFile() { Close(); }
-
-void SpillFile::Close() {
-  if (file_ != nullptr) {
-    std::fclose(file_);
-    file_ = nullptr;
-  }
-  if (read_fd_ >= 0) {
-    ::close(read_fd_);
-    read_fd_ = -1;
-  }
-  if (!path_.empty()) {
-    ::unlink(path_.c_str());
-    path_.clear();
-  }
-}
-
-Status SpillFile::AppendBlock(const PairBlock& block) {
-  CROWDER_CHECK(file_ != nullptr) << "AppendBlock on closed SpillFile";
-  BlockExtent extent;
-  extent.offset_bytes = bytes_written_;
-  extent.num_pairs = block.size();
-  if (!block.empty() &&
-      std::fwrite(block.data(), kPairBytes, block.size(), file_) != block.size()) {
-    return Status::IOError(ErrnoMessage("spill write"));
-  }
-  bytes_written_ += block.size() * kPairBytes;
-  blocks_.push_back(extent);
-  return Status::OK();
-}
-
-Result<SpillFile::BlockCursor> SpillFile::OpenBlock(size_t index) const {
-  CROWDER_CHECK_LT(index, blocks_.size());
-  // The write handle is buffered; make the bytes visible to the read side.
-  if (file_ != nullptr && std::fflush(file_) != 0) {
-    return Status::IOError(ErrnoMessage("spill flush"));
-  }
-  if (read_fd_ < 0) {
-    read_fd_ = ::open(path_.c_str(), O_RDONLY);
-    if (read_fd_ < 0) return Status::IOError(ErrnoMessage("spill open"));
-  }
-  return BlockCursor(read_fd_, blocks_[index].offset_bytes, blocks_[index].num_pairs);
-}
-
-Result<size_t> SpillFile::BlockCursor::Read(similarity::ScoredPair* out, size_t max_pairs) {
-  const size_t want = static_cast<size_t>(std::min<uint64_t>(max_pairs, remaining_));
-  if (want == 0) return static_cast<size_t>(0);
-  // Positioned read: no shared seek state, so interleaved cursors (the
-  // k-way merge) never disturb each other on the one descriptor.
-  size_t done = 0;
-  char* dst = reinterpret_cast<char*>(out);
-  while (done < want * kPairBytes) {
-    const ssize_t got = ::pread(fd_, dst + done, want * kPairBytes - done,
-                                static_cast<off_t>(offset_bytes_ + done));
-    if (got < 0) return Status::IOError(ErrnoMessage("spill read"));
-    if (got == 0) return Status::IOError("spill read: short read");
-    done += static_cast<size_t>(got);
-  }
-  offset_bytes_ += done;
-  remaining_ -= want;
-  return want;
-}
 
 // ---------------------------------------------------------------------------
 // PairStream

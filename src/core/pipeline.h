@@ -33,6 +33,7 @@
 #include <vector>
 
 #include "common/result.h"
+#include "core/spill.h"
 #include "similarity/similarity_join.h"
 
 namespace crowder {
@@ -43,71 +44,11 @@ using PairBlock = std::vector<similarity::ScoredPair>;
 
 /// \brief Block-structured temp file holding spilled pair blocks. Created
 /// lazily by PairStream; removed (and closed) on destruction, including when
-/// an exception unwinds through the owning stream.
-class SpillFile {
- public:
-  /// Creates an empty spill file under the system temp directory.
-  static Result<SpillFile> Create();
-
-  SpillFile(SpillFile&& other) noexcept;
-  SpillFile& operator=(SpillFile&& other) noexcept;
-  SpillFile(const SpillFile&) = delete;
-  SpillFile& operator=(const SpillFile&) = delete;
-  ~SpillFile();
-
-  /// Appends one block (raw ScoredPair array + in-memory offset record).
-  Status AppendBlock(const PairBlock& block);
-
-  size_t num_blocks() const { return blocks_.size(); }
-  uint64_t bytes_written() const { return bytes_written_; }
-  /// On-disk location; exposed so tests can assert cleanup.
-  const std::string& path() const { return path_; }
-
-  /// Sequential cursor over one spilled block. Any number of cursors may be
-  /// live simultaneously over different (or the same) blocks — the k-way
-  /// merge in PairStream::ScanSorted holds one per block. Cursors share the
-  /// file's single read descriptor via positioned reads (pread), so a
-  /// heavily spilled stream costs two fds total, not one per block. A
-  /// cursor must not outlive its SpillFile.
-  class BlockCursor {
-   public:
-    BlockCursor(BlockCursor&&) noexcept = default;
-    BlockCursor& operator=(BlockCursor&&) noexcept = default;
-    BlockCursor(const BlockCursor&) = delete;
-    BlockCursor& operator=(const BlockCursor&) = delete;
-
-    /// Reads up to `max_pairs` pairs into `out`; returns how many were read
-    /// (0 at end of block) or a Status on I/O failure.
-    Result<size_t> Read(similarity::ScoredPair* out, size_t max_pairs);
-
-   private:
-    friend class SpillFile;
-    BlockCursor(int fd, uint64_t offset_bytes, uint64_t remaining)
-        : fd_(fd), offset_bytes_(offset_bytes), remaining_(remaining) {}
-    int fd_ = -1;               // owned by the SpillFile
-    uint64_t offset_bytes_ = 0;  // next read position
-    uint64_t remaining_ = 0;     // pairs left in this block
-  };
-
-  /// Opens a cursor over block `index`.
-  Result<BlockCursor> OpenBlock(size_t index) const;
-
- private:
-  SpillFile() = default;
-
-  struct BlockExtent {
-    uint64_t offset_bytes = 0;
-    uint64_t num_pairs = 0;
-  };
-
-  void Close();
-
-  std::string path_;
-  std::FILE* file_ = nullptr;   // write handle
-  mutable int read_fd_ = -1;    // shared by all cursors; opened on first read
-  std::vector<BlockExtent> blocks_;
-  uint64_t bytes_written_ = 0;
-};
+/// an exception unwinds through the owning stream. Since the partitioned
+/// crowd boundary (core/partition.h) the underlying machinery is the
+/// record-type-generic SpillLog (core/spill.h); this alias is its
+/// candidate-pair instantiation.
+using SpillFile = SpillLog<similarity::ScoredPair>;
 
 /// \brief Bounded buffer of candidate-pair blocks: in-memory up to
 /// `memory_budget_bytes`, spilling whole blocks to a SpillFile beyond it
@@ -172,6 +113,14 @@ struct PipelineStats {
   uint64_t streamed_pairs = 0;
   /// Bytes the candidate stream spilled to disk (0 when under budget).
   uint64_t spilled_bytes = 0;
+  /// Crowd-boundary partitions the streaming run was split into (pair
+  /// partitions for pair-based HITs, HIT ranges for cluster-based).
+  uint64_t crowd_partitions = 0;
+  /// Bytes the partitioned vote table spilled to disk.
+  uint64_t vote_spilled_bytes = 0;
+  /// Bytes the component-bucket pair store spilled to disk (cluster-based
+  /// streaming only).
+  uint64_t boundary_spilled_bytes = 0;
 };
 
 struct WorkflowState;  // core/stages.h

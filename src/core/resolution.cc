@@ -113,6 +113,42 @@ Result<EntityClusters> ResolveEntities(uint32_t num_records,
   return out;
 }
 
+StreamingResolver::StreamingResolver(uint32_t num_records) : uf_(num_records) {}
+
+uint32_t StreamingResolver::num_records() const { return uf_.num_elements(); }
+
+Status StreamingResolver::AddMatch(uint32_t a, uint32_t b) {
+  CROWDER_CHECK(!finished_) << "AddMatch after Finish";
+  if (a >= uf_.num_elements() || b >= uf_.num_elements()) {
+    return Status::OutOfRange("pair references record beyond num_records");
+  }
+  if (a == b) return Status::InvalidArgument("self-pair in input");
+  uf_.Union(a, b);
+  return Status::OK();
+}
+
+Result<EntityClusters> StreamingResolver::Finish() {
+  CROWDER_CHECK(!finished_) << "Finish called twice";
+  finished_ = true;
+  const uint32_t n = uf_.num_elements();
+  EntityClusters out;
+  out.cluster_of.assign(n, 0);
+  // Ascending record order visits each set's smallest member first, so
+  // first-seen roots assign dense cluster ids in exactly the
+  // smallest-member order ResolveEntities canonicalizes to.
+  std::unordered_map<uint32_t, uint32_t> cluster_of_root;
+  cluster_of_root.reserve(n);
+  for (uint32_t r = 0; r < n; ++r) {
+    const uint32_t root = uf_.Find(r);
+    auto [it, inserted] =
+        cluster_of_root.emplace(root, static_cast<uint32_t>(out.clusters.size()));
+    if (inserted) out.clusters.emplace_back();
+    out.cluster_of[r] = it->second;
+    out.clusters[it->second].push_back(r);  // ascending by construction
+  }
+  return out;
+}
+
 ClusteringQuality EvaluateClusters(const EntityClusters& clusters,
                                    const data::Dataset& dataset) {
   ClusteringQuality q;

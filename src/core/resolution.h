@@ -14,6 +14,7 @@
 #include "common/result.h"
 #include "data/dataset.h"
 #include "eval/metrics.h"
+#include "graph/union_find.h"
 
 namespace crowder {
 namespace core {
@@ -47,6 +48,41 @@ struct EntityClusters {
 Result<EntityClusters> ResolveEntities(uint32_t num_records,
                                        const std::vector<eval::RankedPair>& pairs,
                                        const ResolutionOptions& options = {});
+
+/// \brief Bounded-memory entity clustering for the partitioned streaming
+/// workflow: a union-find over the records that consumes *matched pairs* in
+/// batches of any size and order, instead of a materialized, sorted edge
+/// list. Resident state is O(records), independent of how many pairs flow
+/// through.
+///
+/// Semantics are pure transitive closure — batch order cannot matter,
+/// because the cross-support heuristic of ResolveEntities needs the full
+/// confirmed edge list, which is exactly what a bounded run cannot hold.
+/// Finish() canonicalizes exactly like ResolveEntities (dense cluster ids
+/// ordered by smallest member, members ascending, one cluster per isolated
+/// record), so for any input the result equals
+/// `ResolveEntities(n, pairs, {.transitive_closure = true})` over the
+/// pairs at or above the caller's threshold — a property the resolution
+/// tests pin.
+class StreamingResolver {
+ public:
+  /// \brief Prepares a resolver over records [0, num_records).
+  explicit StreamingResolver(uint32_t num_records);
+
+  /// \brief Merges one confirmed match. Fails on out-of-range records or
+  /// self-pairs (mirroring ResolveEntities' validation).
+  Status AddMatch(uint32_t a, uint32_t b);
+
+  /// \brief Records seen so far.
+  uint32_t num_records() const;
+
+  /// \brief Canonicalizes the partition. Terminal.
+  Result<EntityClusters> Finish();
+
+ private:
+  graph::UnionFind uf_;
+  bool finished_ = false;
+};
 
 /// \brief Pairwise clustering quality against ground truth: precision /
 /// recall / F1 over the set of same-cluster pairs.

@@ -4,11 +4,15 @@
 #include <string>
 
 #include "aggregate/majority_vote.h"
+#include "aggregate/partitioned.h"
 #include "common/logging.h"
 #include "crowd/session.h"
 #include "exec/thread_pool.h"
+#include "graph/connected_components.h"
 #include "graph/pair_graph.h"
+#include "hitgen/packing.h"
 #include "hitgen/pair_hit_generator.h"
+#include "hitgen/two_tiered_generator.h"
 #include "similarity/parallel_join.h"
 #include "text/tokenizer.h"
 #include "text/vocabulary.h"
@@ -50,6 +54,28 @@ uint64_t CountCandidateMatches(const data::Dataset& dataset,
 
 }  // namespace internal
 
+namespace {
+
+bool IsStreaming(const WorkflowState& state) {
+  return state.config->execution_mode == ExecutionMode::kStreaming;
+}
+
+// The one place the ranked score is assembled, shared by both execution
+// modes (the byte-identity contract depends on the formula never
+// diverging): the crowd posterior ranks first; the machine likelihood
+// breaks ties among equal posteriors (e.g. all-yes unanimous pairs).
+eval::RankedPair MakeRankedPair(const similarity::ScoredPair& pair, double probability,
+                                const data::Dataset& dataset) {
+  eval::RankedPair rp;
+  rp.a = pair.a;
+  rp.b = pair.b;
+  rp.score = probability + 1e-7 * pair.score;
+  rp.is_match = dataset.truth.IsMatch(pair.a, pair.b);
+  return rp;
+}
+
+}  // namespace
+
 // ---------------------------------------------------------------------------
 // MachinePassStage
 // ---------------------------------------------------------------------------
@@ -59,9 +85,11 @@ Status MachinePassStage::Run(WorkflowState* state) {
   WorkflowResult& result = state->result;
 
   uint64_t candidate_matches = 0;
-  if (config.execution_mode == ExecutionMode::kStreaming) {
-    // Stream bounded blocks through state->stream, then rejoin the
-    // materialized representation: the sorted scan reproduces MachinePass'
+  if (IsStreaming(*state)) {
+    // Stream bounded blocks through state->stream, where the pairs stay for
+    // the rest of the run: the crowd boundary consumes them partition by
+    // partition and the final ranked pass re-scans them, so the full sorted
+    // list is never materialized. The sorted scan reproduces MachinePass'
     // (a, b)-sorted output exactly, so everything downstream sees the same
     // bytes as the materialized mode.
     CROWDER_ASSIGN_OR_RETURN(
@@ -71,18 +99,15 @@ Status MachinePassStage::Run(WorkflowState* state) {
                                           &state->stream, config.stream_block_records));
     result.pipeline_stats.streamed_pairs = stream_stats.num_pairs;
     result.pipeline_stats.spilled_bytes = stream_stats.spilled_bytes;
+    result.num_candidate_pairs = stream_stats.num_pairs;
     candidate_matches = stream_stats.candidate_matches;  // counted in the sink
-    CROWDER_ASSIGN_OR_RETURN(result.candidate_pairs, state->stream.MaterializeSorted());
-    // The stream's job is done: downstream stages walk candidate_pairs, so
-    // keeping the blocks (and any spill file) alive would double the pair
-    // footprint for the rest of the run.
-    state->stream = PairStream();
   } else {
     CROWDER_ASSIGN_OR_RETURN(
         result.candidate_pairs,
         HybridWorkflow::MachinePass(*state->dataset, config.measure,
                                     config.likelihood_threshold, config.candidate_strategy,
                                     config.num_threads));
+    result.num_candidate_pairs = result.candidate_pairs.size();
     candidate_matches = internal::CountCandidateMatches(*state->dataset, result.candidate_pairs);
   }
   result.machine_recall =
@@ -96,35 +121,120 @@ Status MachinePassStage::Run(WorkflowState* state) {
 
 namespace {
 
-// Feeds the candidate pairs to `consume` as edge batches: bounded batches in
-// streaming mode (the incremental-builder path), one batch over the
-// materialized vector otherwise. Both walk result.candidate_pairs — by this
-// point the streaming machine pass has already materialized the sorted list
-// for the crowd's vote table, so re-merging the (possibly spilled) stream
-// would only repeat disk I/O for the identical edge sequence.
+// Streaming cluster-based boundary: component buckets, per-bucket two-tiered
+// decomposition, one global pack. Produces the HIT list the materialized
+// TwoTieredGenerator produces — same HITs, same order — because
+//  (1) buckets hold whole components, in the ConnectedComponents order
+//      (ascending smallest member), so concatenating the per-bucket
+//      decompositions reproduces the global component order;
+//  (2) PartitionLcc only ever touches one component's vertices and edges,
+//      and a bucket subgraph presents each component with the same
+//      adjacency order (pairs arrive in globally sorted order), so the
+//      per-LCC parts are identical; and
+//  (3) the bottom-tier pack runs once, globally, over the identical scc
+//      sequence (all small components in component order, then all LCC
+//      parts in LCC order — exactly TwoTieredGenerator::Generate's order).
+Status BuildClusterBoundary(WorkflowState* state) {
+  const WorkflowConfig& config = *state->config;
+  const uint32_t num_records = static_cast<uint32_t>(state->dataset->table.num_records());
+
+  CROWDER_ASSIGN_OR_RETURN(
+      ComponentBucketPlan plan,
+      PlanComponentBuckets(state->stream, num_records, state->partition_capacity));
+
+  // Route every pair into its component's bucket, tagged with its global
+  // sorted index (the vote table's pair-indexing contract).
+  auto store = std::make_unique<ShardedSpillStore<IndexedPair>>(config.memory_budget_bytes);
+  store->AddShards(plan.num_buckets());
+  uint64_t next_index = 0;
+  CROWDER_RETURN_NOT_OK(state->stream.ScanSorted([&](const PairBlock& block) {
+    for (const auto& p : block) {
+      IndexedPair ip;
+      ip.index = next_index++;
+      ip.pair = p;
+      CROWDER_RETURN_NOT_OK(store->AppendRecord(plan.bucket_of_record[p.a], ip));
+    }
+    return Status::OK();
+  }));
+  CROWDER_RETURN_NOT_OK(store->Finish());
+
+  // Decompose bucket by bucket; only one bucket's subgraph is ever resident.
+  std::vector<std::vector<std::vector<uint32_t>>> small_per_bucket(plan.num_buckets());
+  std::vector<std::vector<std::vector<uint32_t>>> parts_per_bucket(plan.num_buckets());
+  std::vector<graph::Edge> edges;
+  for (size_t b = 0; b < plan.num_buckets(); ++b) {
+    graph::PairGraphBuilder builder(num_records);
+    CROWDER_RETURN_NOT_OK(store->Scan(b, [&](const std::vector<IndexedPair>& block) {
+      edges.clear();
+      edges.reserve(block.size());
+      for (const auto& ip : block) edges.push_back({ip.pair.a, ip.pair.b});
+      return builder.Add(edges);
+    }));
+    CROWDER_ASSIGN_OR_RETURN(auto graph, builder.Build());
+    graph::SplitComponents split =
+        graph::SplitBySize(graph::ConnectedComponents(graph), config.cluster_size);
+    small_per_bucket[b] = std::move(split.small);
+    for (const auto& lcc : split.large) {
+      auto lcc_parts =
+          hitgen::PartitionLcc(&graph, lcc, config.cluster_size, hitgen::PartitionOptions{});
+      for (auto& part : lcc_parts) parts_per_bucket[b].push_back(std::move(part));
+    }
+    // Coverage invariant: PartitionLcc consumed every LCC edge; small
+    // components are packed whole below, so their edges are covered too.
+    for (const auto& comp : small_per_bucket[b]) graph.RemoveEdgesCoveredBy(comp);
+    if (graph.HasAliveEdges()) {
+      return Status::Internal("bucket decomposition left uncovered edges");
+    }
+  }
+
+  // Bottom tier, once and globally, over the materialized generator's
+  // exact scc order.
+  std::vector<std::vector<uint32_t>> sccs;
+  for (auto& bucket_smalls : small_per_bucket) {
+    for (auto& comp : bucket_smalls) sccs.push_back(std::move(comp));
+  }
+  for (auto& bucket_parts : parts_per_bucket) {
+    for (auto& part : bucket_parts) sccs.push_back(std::move(part));
+  }
+  CROWDER_ASSIGN_OR_RETURN(state->cluster_hits,
+                           hitgen::PackSccs(sccs, config.cluster_size, hitgen::PackingOptions{}));
+
+  state->result.pipeline_stats.boundary_spilled_bytes = store->spilled_bytes();
+  state->buckets = std::make_unique<ComponentBucketPlan>(std::move(plan));
+  state->bucket_pairs = std::move(store);
+  return Status::OK();
+}
+
+// Feeds the materialized candidate pairs to `consume` as one edge batch
+// (the incremental builders are batch-boundary-blind; unit tests pin that).
 Status ForEachEdgeBatch(WorkflowState* state,
                         const std::function<Status(const std::vector<graph::Edge>&)>& consume) {
   const auto& pairs = state->result.candidate_pairs;
-  const size_t batch_pairs =
-      state->config->execution_mode == ExecutionMode::kStreaming ? size_t{8192} : pairs.size();
   std::vector<graph::Edge> edges;
-  for (size_t begin = 0; begin < pairs.size(); begin += batch_pairs) {
-    const size_t end = std::min(pairs.size(), begin + batch_pairs);
-    edges.clear();
-    edges.reserve(end - begin);
-    for (size_t i = begin; i < end; ++i) edges.push_back({pairs[i].a, pairs[i].b});
-    CROWDER_RETURN_NOT_OK(consume(edges));
-  }
-  return Status::OK();
+  edges.reserve(pairs.size());
+  for (const auto& p : pairs) edges.push_back({p.a, p.b});
+  return consume(edges);
 }
 
 }  // namespace
 
 Status HitGenStage::Run(WorkflowState* state) {
   const WorkflowConfig& config = *state->config;
-  if (state->result.candidate_pairs.empty()) {
+  if (state->result.num_candidate_pairs == 0) {
     CROWDER_LOG(Warning) << "machine pass pruned every pair; crowd is idle";
     return Status::OK();
+  }
+
+  if (IsStreaming(*state)) {
+    state->partition_capacity =
+        ResolvePartitionCapacity(config.crowd_partition_pairs, config.memory_budget_bytes);
+    if (config.hit_type == HitType::kPairBased) {
+      // Pair-based HITs close every pairs_per_hit pairs of the sorted
+      // sequence, so they are packed partition-by-partition inside
+      // CrowdStage's single walk — nothing to precompute here.
+      return Status::OK();
+    }
+    return BuildClusterBoundary(state);
   }
 
   if (config.hit_type == HitType::kPairBased) {
@@ -154,9 +264,166 @@ Status HitGenStage::Run(WorkflowState* state) {
 // CrowdStage
 // ---------------------------------------------------------------------------
 
+namespace {
+
+// Tiles [0, total) into contiguous ranges of at most `capacity` — the vote
+// shard layout, which for pair-based HITs is also the partition layout.
+std::vector<uint64_t> TileRanges(uint64_t total, uint64_t capacity) {
+  std::vector<uint64_t> counts;
+  for (uint64_t start = 0; start < total; start += capacity) {
+    counts.push_back(std::min<uint64_t>(capacity, total - start));
+  }
+  return counts;
+}
+
+// Streaming pair-based crowd: one walk over the sorted stream. Each full
+// partition is packed into HITs and simulated immediately; its votes are
+// filed into the shard store and the partition's pairs are dropped before
+// the next one loads. Partition capacity is a multiple of pairs_per_hit, so
+// HIT boundaries — and with per-HIT seeding, every byte of the outcome —
+// match the materialized pack.
+Status RunPairPartitions(WorkflowState* state, crowd::CrowdSession* session) {
+  const WorkflowConfig& config = *state->config;
+  const uint64_t total = state->result.num_candidate_pairs;
+  const uint64_t capacity =
+      AlignedPartitionCapacity(state->partition_capacity, config.pairs_per_hit);
+
+  state->votes =
+      std::make_unique<VoteShardStore>(config.memory_budget_bytes, TileRanges(total, capacity));
+  state->result.pipeline_stats.crowd_partitions = state->votes->num_shards();
+
+  std::vector<similarity::ScoredPair> partition;
+  partition.reserve(static_cast<size_t>(std::min<uint64_t>(capacity, total)));
+  std::vector<graph::Edge> edges;
+  uint64_t base = 0;
+
+  const auto flush = [&]() -> Status {
+    if (partition.empty()) return Status::OK();
+    hitgen::PairHitPacker packer(config.pairs_per_hit);
+    edges.clear();
+    edges.reserve(partition.size());
+    for (const auto& p : partition) edges.push_back({p.a, p.b});
+    CROWDER_RETURN_NOT_OK(packer.Add(edges));
+    CROWDER_ASSIGN_OR_RETURN(const auto hits, packer.Finish());
+    CROWDER_RETURN_NOT_OK(session->StartPartition(partition));
+    CROWDER_RETURN_NOT_OK(session->ProcessPairHits(hits));
+    CROWDER_ASSIGN_OR_RETURN(const aggregate::VoteTable votes, session->TakePartitionVotes());
+    for (size_t i = 0; i < votes.size(); ++i) {
+      for (const aggregate::Vote& v : votes[i]) {
+        CROWDER_RETURN_NOT_OK(state->votes->Append(base + i, v));
+      }
+    }
+    base += partition.size();
+    partition.clear();
+    return Status::OK();
+  };
+
+  CROWDER_RETURN_NOT_OK(state->stream.ScanSorted([&](const PairBlock& block) {
+    for (const auto& p : block) {
+      partition.push_back(p);
+      if (partition.size() >= capacity) CROWDER_RETURN_NOT_OK(flush());
+    }
+    return Status::OK();
+  }));
+  return flush();
+}
+
+// Streaming cluster-based crowd: HITs (already in the materialized order)
+// are simulated in bounded ranges. A range's pair context — the candidate
+// pairs among its records, with their global indices — is rebuilt by
+// filtering the touched component buckets; SimulateClusterHit only ever
+// looks up pairs among one HIT's records, so the filtered context answers
+// exactly the lookups the full pair index would.
+Status RunClusterRanges(WorkflowState* state, crowd::CrowdSession* session) {
+  const WorkflowConfig& config = *state->config;
+  const uint64_t total = state->result.num_candidate_pairs;
+  const uint64_t capacity = state->partition_capacity;
+  const auto& hits = state->cluster_hits;
+  const ComponentBucketPlan& plan = *state->buckets;
+
+  state->votes =
+      std::make_unique<VoteShardStore>(config.memory_budget_bytes, TileRanges(total, capacity));
+
+  // Bound the context of one range by the partition capacity: a HIT of k
+  // records references at most k(k-1)/2 pairs.
+  const uint64_t k = config.cluster_size;
+  const uint64_t context_per_hit = std::max<uint64_t>(1, k * (k - 1) / 2);
+  const size_t hits_per_range =
+      capacity == UINT64_MAX
+          ? std::max<size_t>(hits.size(), 1)
+          : static_cast<size_t>(std::max<uint64_t>(1, capacity / context_per_hit));
+
+  std::vector<uint32_t> mark(state->dataset->table.num_records(), 0);
+  uint32_t generation = 0;
+  std::vector<similarity::ScoredPair> context;
+  std::vector<uint64_t> context_index;
+
+  for (size_t begin = 0; begin < hits.size(); begin += hits_per_range) {
+    const size_t end = std::min(hits.size(), begin + hits_per_range);
+    ++generation;
+    std::vector<uint32_t> touched;
+    for (size_t h = begin; h < end; ++h) {
+      for (uint32_t r : hits[h].records) {
+        mark[r] = generation;
+        const uint32_t bucket = plan.bucket_of_record[r];
+        if (bucket != ComponentBucketPlan::kNoBucket) touched.push_back(bucket);
+      }
+    }
+    std::sort(touched.begin(), touched.end());
+    touched.erase(std::unique(touched.begin(), touched.end()), touched.end());
+
+    context.clear();
+    context_index.clear();
+    for (uint32_t bucket : touched) {
+      CROWDER_RETURN_NOT_OK(
+          state->bucket_pairs->Scan(bucket, [&](const std::vector<IndexedPair>& block) {
+            for (const auto& ip : block) {
+              if (mark[ip.pair.a] == generation && mark[ip.pair.b] == generation) {
+                context.push_back(ip.pair);
+                context_index.push_back(ip.index);
+              }
+            }
+            return Status::OK();
+          }));
+    }
+
+    const std::vector<hitgen::ClusterBasedHit> range(hits.begin() + begin, hits.begin() + end);
+    CROWDER_RETURN_NOT_OK(session->StartPartition(context));
+    CROWDER_RETURN_NOT_OK(session->ProcessClusterHits(range));
+    CROWDER_ASSIGN_OR_RETURN(const aggregate::VoteTable votes, session->TakePartitionVotes());
+    for (size_t i = 0; i < votes.size(); ++i) {
+      for (const aggregate::Vote& v : votes[i]) {
+        CROWDER_RETURN_NOT_OK(state->votes->Append(context_index[i], v));
+      }
+    }
+    ++state->result.pipeline_stats.crowd_partitions;
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
 Status CrowdStage::Run(WorkflowState* state) {
   const WorkflowConfig& config = *state->config;
   WorkflowResult& result = state->result;
+
+  if (IsStreaming(*state)) {
+    if (result.num_candidate_pairs == 0) return Status::OK();
+    const crowd::CrowdPlatform platform(config.crowd, config.seed);
+    CROWDER_ASSIGN_OR_RETURN(auto session,
+                             crowd::CrowdSession::CreatePartitioned(
+                                 platform, state->dataset->truth.entity_of, config.num_threads));
+    if (config.hit_type == HitType::kPairBased) {
+      CROWDER_RETURN_NOT_OK(RunPairPartitions(state, session.get()));
+    } else {
+      CROWDER_RETURN_NOT_OK(RunClusterRanges(state, session.get()));
+    }
+    CROWDER_RETURN_NOT_OK(state->votes->Finish());
+    CROWDER_ASSIGN_OR_RETURN(result.crowd_stats, session->Finish());
+    result.pipeline_stats.vote_spilled_bytes = state->votes->spilled_bytes();
+    return Status::OK();
+  }
+
   if (state->pair_hits.empty() && state->cluster_hits.empty()) {
     return Status::OK();  // machine pass pruned everything; crowd_stats stays zero
   }
@@ -185,9 +452,65 @@ Status CrowdStage::Run(WorkflowState* state) {
 // AggregateStage
 // ---------------------------------------------------------------------------
 
+namespace {
+
+// Streaming aggregation: fit (Dawid-Skene) or nothing (majority), then one
+// synchronized walk — vote shards advance in lockstep with the sorted
+// stream, so each pair meets its votes under the global index both sides
+// agree on. The per-pair probability goes through the same helpers the
+// materialized aggregators use, and shards tile the global pair order, so
+// the ranked list is bitwise the materialized one even before the final
+// sort.
+Status RunStreamingAggregate(WorkflowState* state) {
+  const WorkflowConfig& config = *state->config;
+  WorkflowResult& result = state->result;
+  if (result.num_candidate_pairs == 0 || state->votes == nullptr) return Status::OK();
+  VoteShardStore* votes = state->votes.get();
+
+  aggregate::DawidSkeneModel model;
+  const bool dawid_skene = config.aggregation == AggregationMethod::kDawidSkene;
+  if (dawid_skene) {
+    CROWDER_ASSIGN_OR_RETURN(model, aggregate::FitDawidSkeneSharded(votes, {}));
+  }
+
+  const data::Dataset& dataset = *state->dataset;
+  result.ranked.reserve(static_cast<size_t>(result.num_candidate_pairs));
+  aggregate::VoteTable shard_votes;
+  size_t shard = 0;
+  uint64_t shard_start = 0;
+  uint64_t shard_end = 0;  // exclusive; 0 forces the first load
+  uint64_t index = 0;
+  CROWDER_RETURN_NOT_OK(state->stream.ScanSorted([&](const PairBlock& block) {
+    for (const auto& p : block) {
+      if (index >= shard_end) {
+        shard = index == 0 ? 0 : shard + 1;
+        CROWDER_ASSIGN_OR_RETURN(shard_votes, votes->LoadShard(shard));
+        shard_start = votes->shard_start(shard);
+        shard_end = shard_start + votes->shard_pairs(shard);
+      }
+      const auto& pair_votes = shard_votes[static_cast<size_t>(index - shard_start)];
+      const double probability =
+          dawid_skene ? aggregate::PosteriorMatchProbability(pair_votes, model)
+                      : aggregate::MajorityMatchProbability(pair_votes);
+      result.ranked.push_back(MakeRankedPair(p, probability, dataset));
+      ++index;
+    }
+    return Status::OK();
+  }));
+  eval::SortByScoreDesc(&result.ranked);
+  if (!result.ranked.empty()) {
+    CROWDER_ASSIGN_OR_RETURN(result.pr_curve, eval::PrCurve(result.ranked, result.total_matches));
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
 Status AggregateStage::Run(WorkflowState* state) {
   const WorkflowConfig& config = *state->config;
   WorkflowResult& result = state->result;
+
+  if (IsStreaming(*state)) return RunStreamingAggregate(state);
 
   std::vector<double> probabilities;
   if (config.aggregation == AggregationMethod::kMajorityVote) {
@@ -199,15 +522,8 @@ Status AggregateStage::Run(WorkflowState* state) {
 
   result.ranked.reserve(result.candidate_pairs.size());
   for (size_t i = 0; i < result.candidate_pairs.size(); ++i) {
-    const auto& p = result.candidate_pairs[i];
-    eval::RankedPair rp;
-    rp.a = p.a;
-    rp.b = p.b;
-    // Crowd posterior ranks first; the machine likelihood breaks ties among
-    // equal posteriors (e.g. all-yes unanimous pairs).
-    rp.score = probabilities[i] + 1e-7 * p.score;
-    rp.is_match = state->dataset->truth.IsMatch(p.a, p.b);
-    result.ranked.push_back(rp);
+    result.ranked.push_back(
+        MakeRankedPair(result.candidate_pairs[i], probabilities[i], *state->dataset));
   }
   eval::SortByScoreDesc(&result.ranked);
   if (!result.ranked.empty()) {

@@ -3,20 +3,30 @@
 //   MachinePassStage  records → candidate pairs (materialized vector, or
 //                     bounded blocks through WorkflowState::stream)
 //   HitGenStage       candidate pairs → HITs (incremental PairGraphBuilder /
-//                     PairHitPacker fed by pair batches)
-//   CrowdStage        HITs → votes (CrowdSession, HIT batches in parallel)
-//   AggregateStage    votes → ranked matches + PR curve
+//                     PairHitPacker fed by pair batches; in partitioned
+//                     streaming cluster mode: component buckets + per-bucket
+//                     two-tiered decomposition + one global pack)
+//   CrowdStage        HITs → votes (CrowdSession, HIT batches in parallel;
+//                     in streaming mode one bounded partition at a time,
+//                     votes filed into the spill-backed VoteShardStore)
+//   AggregateStage    votes → ranked matches + PR curve (sharded
+//                     aggregation in streaming mode)
 //
 // Stages communicate through WorkflowState, never through globals. The two
-// execution modes share every stage; only the transport between the first
-// two differs — which is why they are byte-identical (the stream's sorted
-// scan reproduces the materialized pair order exactly; see core/pipeline.h).
+// execution modes share every stage; streaming mode differs in transport —
+// candidate pairs live in a spillable stream and cross the crowd boundary
+// partition by partition (core/partition.h) instead of as one materialized
+// list — which is why the modes are byte-identical (see the merge lemma in
+// core/pipeline.h and the partition-invisibility argument in
+// docs/ARCHITECTURE.md).
 #ifndef CROWDER_CORE_STAGES_H_
 #define CROWDER_CORE_STAGES_H_
 
 #include <cstdint>
+#include <memory>
 #include <vector>
 
+#include "core/partition.h"
 #include "core/pipeline.h"
 #include "core/workflow.h"
 #include "hitgen/hit.h"
@@ -34,12 +44,29 @@ struct WorkflowState {
   const data::Dataset* dataset;
 
   /// Candidate-pair transport in kStreaming mode (unused in kMaterialized).
+  /// Stays alive through the whole streaming run: the crowd boundary and
+  /// the final ranked pass re-scan it instead of materializing the pairs.
   PairStream stream;
 
   /// HITs handed from HitGenStage to CrowdStage (one of the two, by
-  /// config->hit_type).
+  /// config->hit_type). In streaming mode, pair-based HITs are packed
+  /// partition-by-partition inside CrowdStage instead (pair_hits stays
+  /// empty); cluster HITs are bounded by the two-tiered decomposition, not
+  /// by |P|, and are kept whole in both modes.
   std::vector<hitgen::PairBasedHit> pair_hits;
   std::vector<hitgen::ClusterBasedHit> cluster_hits;
+
+  // ---- Partitioned crowd boundary (kStreaming only; core/partition.h). ----
+
+  /// Pairs per crowd partition, resolved from the config by HitGenStage.
+  uint64_t partition_capacity = 0;
+  /// Component-aligned buckets (cluster-based HITs only).
+  std::unique_ptr<ComponentBucketPlan> buckets;
+  /// Per-bucket pair storage, global-index tagged (cluster-based only).
+  std::unique_ptr<ShardedSpillStore<IndexedPair>> bucket_pairs;
+  /// The disk-backed vote table, filled by CrowdStage, drained by
+  /// AggregateStage.
+  std::unique_ptr<VoteShardStore> votes;
 
   /// The result under construction (candidate_pairs, machine_recall,
   /// crowd_stats, ranked, pr_curve, ... filled in stage by stage).
@@ -48,18 +75,23 @@ struct WorkflowState {
 
 /// \brief Machine pass + prune. Materialized mode fills
 /// result.candidate_pairs directly; streaming mode drives
-/// BlockedAllPairsJoinStream into state->stream, then materializes the
-/// sorted pairs (the crowd's vote table needs the full list — the bounded
-/// benefit is for machine-pass-only runs via MachinePassStream). Also
-/// computes machine recall.
+/// BlockedAllPairsJoinStream into state->stream, where the pairs stay —
+/// every downstream consumer re-scans the (possibly spilled) stream in
+/// sorted order. Also computes machine recall.
 class MachinePassStage : public Stage {
  public:
   const char* name() const override { return "machine-pass"; }
   Status Run(WorkflowState* state) override;
 };
 
-/// \brief HIT generation, fed by pair batches: one batch in materialized
-/// mode, the stream's sorted batches in streaming mode.
+/// \brief HIT generation. Materialized mode feeds the pair list to the
+/// incremental builders in one batch. Streaming pair-based mode defers to
+/// CrowdStage (HITs are packed per partition in the same walk that
+/// simulates them). Streaming cluster-based mode plans component buckets,
+/// routes pairs into them, runs the two-tiered decomposition bucket by
+/// bucket, and packs all small components globally — the identical HIT
+/// list the materialized generator produces, without ever holding the
+/// whole pair graph.
 class HitGenStage : public Stage {
  public:
   const char* name() const override { return "hit-gen"; }
@@ -67,7 +99,11 @@ class HitGenStage : public Stage {
 };
 
 /// \brief Crowd simulation over the generated HITs (crowd/session.h),
-/// parallel across HITs under config->num_threads.
+/// parallel across HITs under config->num_threads. Streaming mode runs one
+/// partition at a time (pair partitions, or HIT ranges whose pair context
+/// is rebuilt from the touched buckets) and files votes into
+/// state->votes; the per-HIT seed derivation makes partition boundaries
+/// bitwise-invisible.
 class CrowdStage : public Stage {
  public:
   const char* name() const override { return "crowd"; }
@@ -75,6 +111,11 @@ class CrowdStage : public Stage {
 };
 
 /// \brief Vote aggregation into the ranked match list and PR curve.
+/// Streaming mode aggregates shard by shard (aggregate/partitioned.h) while
+/// re-scanning the candidate stream for the pair identities — majority vote
+/// bitwise-identical by pair independence, Dawid-Skene bitwise-identical
+/// because shards tile the global pair order, so every floating-point
+/// accumulation happens in the materialized order.
 class AggregateStage : public Stage {
  public:
   const char* name() const override { return "aggregate"; }

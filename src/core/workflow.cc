@@ -125,6 +125,14 @@ Status ValidateWorkflowConfig(const WorkflowConfig& config) {
         "streaming execution requires the kAllPairsJoin candidate strategy (the "
         "other strategies have no streaming driver)");
   }
+  if (config.execution_mode == ExecutionMode::kStreaming &&
+      config.hit_type == HitType::kClusterBased &&
+      config.cluster_algorithm != hitgen::ClusterAlgorithm::kTwoTiered) {
+    return Status::InvalidArgument(
+        "streaming execution with cluster-based HITs requires the two-tiered "
+        "generator (the only cluster algorithm whose decomposition is "
+        "component-local and therefore partitionable)");
+  }
   const crowd::CrowdModel& crowd = config.crowd;
   if (crowd.assignments_per_hit < 1) {
     return Status::InvalidArgument("assignments_per_hit must be >= 1");

@@ -52,16 +52,19 @@ enum class ExecutionMode {
   kMaterialized,
   /// The machine pass emits bounded blocks through a spillable PairStream
   /// (core/pipeline.h); under `memory_budget_bytes` the stream's resident
-  /// pair memory is capped, with overflow spilled to a temp file. The cap
-  /// fully bounds machine-pass-only runs (MachinePassStream, `crowder_cli
-  /// run --machine-only --streaming`); the *full* workflow still rejoins a
-  /// materialized sorted pair list at the crowd boundary — the vote table
-  /// is pair-indexed — so its peak memory stays O(|P|) (and transiently up
-  /// to 2x |P| at that boundary when the budget is 0, since the unbounded
-  /// stream and the materialized copy coexist until the stream is
-  /// released). Requires CandidateStrategy::kAllPairsJoin (the other
-  /// strategies have no streaming driver). Output is byte-identical to
-  /// kMaterialized at any thread count, block size, and budget.
+  /// pair memory is capped, with overflow spilled to a temp file. The crowd
+  /// boundary is *partitioned* (core/partition.h): HIT generation, crowd
+  /// simulation, vote storage, and aggregation run one bounded pair
+  /// partition at a time, so the full workflow never materializes the pair
+  /// list, the pair graph, or the vote table — `result.candidate_pairs`
+  /// stays empty (see `num_candidate_pairs`) and the only pair-proportional
+  /// output is the final ranked list. Requires
+  /// CandidateStrategy::kAllPairsJoin (the other strategies have no
+  /// streaming driver); cluster-based HITs additionally require the
+  /// two-tiered generator (the only cluster algorithm whose decomposition
+  /// is component-local and therefore partitionable). Output is
+  /// byte-identical to kMaterialized at any thread count, block size,
+  /// budget, and partition capacity.
   kStreaming,
 };
 
@@ -92,6 +95,14 @@ struct WorkflowConfig {
   /// streaming (and of spilling). 0 = the join's default. Any value yields
   /// identical output.
   uint32_t stream_block_records = 0;
+  /// kStreaming only: pairs per crowd-boundary partition (0 = derived from
+  /// memory_budget_bytes, or a single partition when that is 0 too). For
+  /// pair-based HITs the capacity is rounded down to a multiple of
+  /// pairs_per_hit; for cluster-based HITs partitions hold whole connected
+  /// components, so one oversized component can exceed the capacity. Any
+  /// value yields identical output (the partitioned golden dimension pins
+  /// it).
+  uint64_t crowd_partition_pairs = 0;
 
   // ---- HIT generation. ----
   HitType hit_type = HitType::kClusterBased;
@@ -116,7 +127,11 @@ Status ValidateWorkflowConfig(const WorkflowConfig& config);
 
 struct WorkflowResult {
   /// Pairs surviving the machine pass (the set P sent to the crowd).
+  /// Materialized mode only — the partitioned streaming mode never holds P,
+  /// so this stays empty there; use num_candidate_pairs for the count.
   std::vector<similarity::ScoredPair> candidate_pairs;
+  /// |P| in both execution modes.
+  uint64_t num_candidate_pairs = 0;
   /// Recall of the machine pass: matches in P / matches in the dataset.
   double machine_recall = 0.0;
   /// Final output: pairs sorted by decreasing crowd-derived match score.

@@ -115,38 +115,98 @@ Rng DeriveRng(uint64_t seed, uint64_t salt) {
   return Rng(SplitMix64(&state));
 }
 
-Result<std::unique_ptr<CrowdSession>> CrowdSession::Create(const CrowdPlatform& platform,
-                                                           const CrowdContext& context,
-                                                           uint32_t num_threads) {
-  if (context.pairs == nullptr || context.entity_of == nullptr) {
-    return Status::InvalidArgument("CrowdContext pairs/entity_of must be set");
-  }
+namespace {
+
+// Shared worker-pool feasibility check for both Create shapes.
+Status ValidatePool(const CrowdPlatform& platform) {
   if (platform.eligible_workers().size() < platform.model().assignments_per_hit) {
     return Status::Infeasible("only " + std::to_string(platform.eligible_workers().size()) +
                               " eligible workers; need " +
                               std::to_string(platform.model().assignments_per_hit) +
                               " distinct workers per HIT");
   }
-  for (const auto& p : *context.pairs) {
-    if (p.a >= context.entity_of->size() || p.b >= context.entity_of->size()) {
+  return Status::OK();
+}
+
+// Every pair must reference a record the ground truth knows about.
+Status ValidatePairBounds(const std::vector<similarity::ScoredPair>& pairs,
+                          const std::vector<uint32_t>& entity_of) {
+  for (const auto& p : pairs) {
+    if (p.a >= entity_of.size() || p.b >= entity_of.size()) {
       return Status::OutOfRange("pair references record beyond entity_of");
     }
   }
+  return Status::OK();
+}
+
+}  // namespace
+
+Result<std::unique_ptr<CrowdSession>> CrowdSession::Create(const CrowdPlatform& platform,
+                                                           const CrowdContext& context,
+                                                           uint32_t num_threads) {
+  if (context.pairs == nullptr || context.entity_of == nullptr) {
+    return Status::InvalidArgument("CrowdContext pairs/entity_of must be set");
+  }
+  CROWDER_RETURN_NOT_OK(ValidatePool(platform));
+  CROWDER_RETURN_NOT_OK(ValidatePairBounds(*context.pairs, *context.entity_of));
+  auto session =
+      std::unique_ptr<CrowdSession>(new CrowdSession(platform, context, num_threads));
+  // Classic shape: the whole run is one implicit, already-open partition.
+  session->partition_open_ = true;
+  return session;
+}
+
+Result<std::unique_ptr<CrowdSession>> CrowdSession::CreatePartitioned(
+    const CrowdPlatform& platform, const std::vector<uint32_t>& entity_of,
+    uint32_t num_threads) {
+  CROWDER_RETURN_NOT_OK(ValidatePool(platform));
+  CrowdContext context;
+  context.pairs = nullptr;  // installed by StartPartition
+  context.entity_of = &entity_of;
   return std::unique_ptr<CrowdSession>(new CrowdSession(platform, context, num_threads));
 }
 
 CrowdSession::CrowdSession(const CrowdPlatform& platform, const CrowdContext& context,
                            uint32_t num_threads)
     : platform_(platform), context_(context) {
-  const auto& pairs = *context_.pairs;
-  pair_index_.reserve(pairs.size());
-  for (size_t i = 0; i < pairs.size(); ++i) pair_index_[PairKey(pairs[i].a, pairs[i].b)] = i;
-  result_.votes.assign(pairs.size(), {});
+  if (context_.pairs != nullptr) {
+    const auto& pairs = *context_.pairs;
+    pair_index_.reserve(pairs.size());
+    for (size_t i = 0; i < pairs.size(); ++i) pair_index_[PairKey(pairs[i].a, pairs[i].b)] = i;
+    result_.votes.assign(pairs.size(), {});
+  }
   worker_used_.assign(platform_.workers().size(), 0);
   const uint32_t threads = exec::ResolveNumThreads(num_threads);
   // The caller participates in draining chunks (exec/parallel.h), so the
   // pool supplies threads - 1 workers.
   if (threads > 1) pool_ = std::make_unique<exec::ThreadPool>(threads - 1);
+}
+
+Status CrowdSession::StartPartition(const std::vector<similarity::ScoredPair>& pairs) {
+  CROWDER_CHECK(!finished_) << "StartPartition after Finish";
+  if (failed_) return Status::InvalidArgument("CrowdSession already failed");
+  if (partition_open_) {
+    return Status::InvalidArgument(
+        "StartPartition before the previous partition's votes were taken");
+  }
+  CROWDER_RETURN_NOT_OK(ValidatePairBounds(pairs, *context_.entity_of));
+  context_.pairs = &pairs;
+  pair_index_.clear();
+  pair_index_.reserve(pairs.size());
+  for (size_t i = 0; i < pairs.size(); ++i) pair_index_[PairKey(pairs[i].a, pairs[i].b)] = i;
+  result_.votes.assign(pairs.size(), {});
+  partition_open_ = true;
+  return Status::OK();
+}
+
+Result<aggregate::VoteTable> CrowdSession::TakePartitionVotes() {
+  CROWDER_CHECK(!finished_) << "TakePartitionVotes after Finish";
+  if (failed_) return Status::InvalidArgument("CrowdSession already failed");
+  if (!partition_open_) return Status::InvalidArgument("no open partition to take votes from");
+  aggregate::VoteTable votes = std::move(result_.votes);
+  result_.votes.clear();
+  partition_open_ = false;
+  return votes;
 }
 
 CrowdSession::HitOutcome CrowdSession::SimulatePairHit(uint32_t hit_index,
@@ -271,6 +331,9 @@ Status CrowdSession::MergeOutcomes(std::vector<HitOutcome>&& outcomes) {
 Status CrowdSession::ProcessPairHits(const std::vector<hitgen::PairBasedHit>& batch) {
   CROWDER_CHECK(!finished_) << "ProcessPairHits after Finish";
   if (failed_) return Status::InvalidArgument("CrowdSession already failed");
+  if (!partition_open_) {
+    return Status::InvalidArgument("ProcessPairHits without an open partition");
+  }
   if (batch.empty()) return Status::OK();  // don't lock the HIT type on nothing
   if (type_fixed_ && cluster_interface_) {
     return Status::InvalidArgument("session already carries cluster-based HITs");
@@ -287,6 +350,9 @@ Status CrowdSession::ProcessPairHits(const std::vector<hitgen::PairBasedHit>& ba
 Status CrowdSession::ProcessClusterHits(const std::vector<hitgen::ClusterBasedHit>& batch) {
   CROWDER_CHECK(!finished_) << "ProcessClusterHits after Finish";
   if (failed_) return Status::InvalidArgument("CrowdSession already failed");
+  if (!partition_open_) {
+    return Status::InvalidArgument("ProcessClusterHits without an open partition");
+  }
   if (batch.empty()) return Status::OK();  // don't lock the HIT type on nothing
   if (type_fixed_ && !cluster_interface_) {
     return Status::InvalidArgument("session already carries pair-based HITs");

@@ -49,6 +49,22 @@ Rng DeriveRng(uint64_t seed, uint64_t salt);
 /// Process call; mixing the two in one session is an error. The platform and
 /// the vectors the context points at must outlive the session (the context
 /// struct itself is copied).
+///
+/// Two usage shapes:
+///
+///   * Classic (`Create`): one pair context for the whole run; votes come
+///     back inside `Finish()`'s CrowdRunResult, aligned to the context's
+///     pair list.
+///   * Partitioned (`CreatePartitioned`): the pair list is consumed in
+///     bounded partitions. For each partition the caller calls
+///     `StartPartition(pairs)`, processes its HIT batches, and drains the
+///     partition-local vote table with `TakePartitionVotes()`; `Finish()`
+///     then runs the one global completion simulation over every
+///     assignment of every partition. Because each HIT draws from its
+///     per-(seed, global-HIT-index) stream, the votes and assignments are
+///     bitwise what the classic shape produces for the concatenated pair
+///     list — partition boundaries are exactly as invisible as batch
+///     boundaries.
 class CrowdSession {
  public:
   /// Validates the context and prepares the vote table. `num_threads`
@@ -58,6 +74,25 @@ class CrowdSession {
   static Result<std::unique_ptr<CrowdSession>> Create(const CrowdPlatform& platform,
                                                       const CrowdContext& context,
                                                       uint32_t num_threads = 1);
+
+  /// Partitioned-boundary variant: no pair context yet — the caller must
+  /// StartPartition before the first Process call. `entity_of` must outlive
+  /// the session.
+  static Result<std::unique_ptr<CrowdSession>> CreatePartitioned(
+      const CrowdPlatform& platform, const std::vector<uint32_t>& entity_of,
+      uint32_t num_threads = 1);
+
+  /// Re-points the session at the next partition's pair list (which must
+  /// outlive the partition) and opens a fresh vote table aligned to it.
+  /// Requires the previous partition's votes to have been taken. Global HIT
+  /// indexing continues across partitions.
+  Status StartPartition(const std::vector<similarity::ScoredPair>& pairs);
+
+  /// Drains the current partition's vote table (votes[i] aligned to pair i
+  /// of the current partition's list) and closes the partition. The
+  /// assignment/worker/latency accumulators keep running; only votes are
+  /// handed off per partition.
+  Result<aggregate::VoteTable> TakePartitionVotes();
 
   CrowdSession(const CrowdSession&) = delete;
   CrowdSession& operator=(const CrowdSession&) = delete;
@@ -94,7 +129,8 @@ class CrowdSession {
   Status MergeOutcomes(std::vector<HitOutcome>&& outcomes);
 
   const CrowdPlatform& platform_;
-  const CrowdContext context_;  // two pointers; copied so temporaries are safe
+  CrowdContext context_;  // two pointers; copied so temporaries are safe;
+                          // pairs re-pointed per partition in partitioned use
   std::unordered_map<uint64_t, size_t> pair_index_;  // PairKey(a,b) -> index
   std::unique_ptr<exec::ThreadPool> pool_;           // null when serial
 
@@ -107,6 +143,10 @@ class CrowdSession {
   bool cluster_interface_ = false;
   bool type_fixed_ = false;
   bool finished_ = false;
+  /// A pair context is installed and its votes have not been taken. Classic
+  /// sessions open their single implicit partition at Create; partitioned
+  /// sessions toggle via StartPartition / TakePartitionVotes.
+  bool partition_open_ = false;
   /// Set when a batch failed mid-merge (a prefix of its HITs is already
   /// counted); every later Process*/Finish call is rejected so the partial
   /// state can never leak into a result.

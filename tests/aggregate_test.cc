@@ -1,8 +1,11 @@
-// Tests for answer aggregation: majority vote and Dawid-Skene EM.
+// Tests for answer aggregation: majority vote and Dawid-Skene EM, including
+// the property that the sharded (partition-aware) implementations are
+// equivalent to the materialized ones at any partitioning.
 #include <gtest/gtest.h>
 
 #include "aggregate/dawid_skene.h"
 #include "aggregate/majority_vote.h"
+#include "aggregate/partitioned.h"
 #include "common/rng.h"
 
 namespace crowder {
@@ -159,6 +162,116 @@ TEST(DawidSkeneTest, DisagreementYieldsIntermediateProbability) {
   ASSERT_TRUE(ds.ok());
   EXPECT_GT(ds->match_probability[0], 0.05);
   EXPECT_LT(ds->match_probability[0], 0.95);
+}
+
+// ---------------------------------------------------------------------------
+// Partitioned aggregation: sharded == materialized, at any partitioning.
+// ---------------------------------------------------------------------------
+
+// A random vote table: `num_pairs` pairs, a random subset voteless, votes
+// from a small worker pool with mixed reliability.
+VoteTable RandomVoteTable(Rng* rng, size_t num_pairs) {
+  VoteTable votes(num_pairs);
+  for (auto& pair_votes : votes) {
+    if (rng->Bernoulli(0.15)) continue;  // voteless pair
+    const uint64_t count = 1 + rng->Uniform(5);
+    for (uint64_t v = 0; v < count; ++v) {
+      pair_votes.push_back(
+          {static_cast<uint32_t>(rng->Uniform(10)), rng->Bernoulli(0.55)});
+    }
+  }
+  return votes;
+}
+
+// A random partition of [0, total) into consecutive shard sizes (empty
+// shards included on purpose — a partition may legitimately be voteless or
+// pairless).
+std::vector<size_t> RandomShardSizes(Rng* rng, size_t total) {
+  std::vector<size_t> sizes;
+  size_t assigned = 0;
+  while (assigned < total) {
+    const size_t size = std::min<size_t>(total - assigned, rng->Uniform(40));
+    sizes.push_back(size);
+    assigned += size;
+  }
+  if (sizes.empty() || rng->Bernoulli(0.3)) sizes.push_back(0);
+  return sizes;
+}
+
+// The satellite property, strengthened: sharded majority vote is bitwise
+// the materialized result, and the sharded Dawid-Skene *fit* is bitwise the
+// materialized fit (not merely within EM tolerance) — the shards tile the
+// pair order, so every floating-point accumulation happens in the same
+// order.
+TEST(PartitionedAggregationTest, ShardedEqualsMaterializedAtAnyPartitioning) {
+  Rng rng(20260731);
+  for (int trial = 0; trial < 40; ++trial) {
+    const size_t num_pairs = rng.Uniform(120);
+    const VoteTable votes = RandomVoteTable(&rng, num_pairs);
+    const auto mv = MajorityVote(votes);
+    const auto ds = RunDawidSkene(votes).ValueOrDie();
+
+    for (int split = 0; split < 3; ++split) {
+      const std::vector<size_t> sizes = RandomShardSizes(&rng, num_pairs);
+      InMemoryVoteShards shards(&votes, sizes);
+
+      // Majority vote: bitwise per shard.
+      size_t offset_holder = 0;
+      std::vector<size_t> starts;
+      for (size_t s : sizes) {
+        starts.push_back(offset_holder);
+        offset_holder += s;
+      }
+      const std::function<Status(size_t, const std::vector<double>&)> check_shard =
+          [&](size_t shard, const std::vector<double>& probabilities) {
+            for (size_t i = 0; i < probabilities.size(); ++i) {
+              EXPECT_EQ(probabilities[i], mv[starts[shard] + i])
+                  << "trial " << trial << " shard " << shard << " pair " << i;
+            }
+            return Status::OK();
+          };
+      const Status mv_status = MajorityVoteSharded(&shards, check_shard);
+      ASSERT_TRUE(mv_status.ok());
+
+      // Dawid-Skene: the fitted model and every posterior, bitwise.
+      InMemoryVoteShards refit_shards(&votes, sizes);
+      auto fit = FitDawidSkeneSharded(&refit_shards);
+      ASSERT_TRUE(fit.ok());
+      const DawidSkeneModel& model = *fit;
+      EXPECT_EQ(model.class_prior, ds.class_prior) << "trial " << trial;
+      EXPECT_EQ(model.iterations, ds.iterations) << "trial " << trial;
+      EXPECT_EQ(model.converged, ds.converged) << "trial " << trial;
+      ASSERT_EQ(model.workers.size(), ds.workers.size());
+      for (const auto& [id, w] : model.workers) {
+        const auto& expected = ds.workers.at(id);
+        EXPECT_EQ(w.sensitivity, expected.sensitivity) << "worker " << id;
+        EXPECT_EQ(w.specificity, expected.specificity) << "worker " << id;
+        EXPECT_EQ(w.num_votes, expected.num_votes) << "worker " << id;
+      }
+      for (size_t i = 0; i < votes.size(); ++i) {
+        EXPECT_EQ(PosteriorMatchProbability(votes[i], model), ds.match_probability[i])
+            << "trial " << trial << " pair " << i;
+      }
+    }
+  }
+}
+
+TEST(PartitionedAggregationTest, VotelessPairsGetTheUnjudgedProbability) {
+  // The one documented policy point (votes.h): never asked means never
+  // confirmed, in every aggregator.
+  VoteTable votes{{}, {{0, true}}};
+  EXPECT_EQ(MajorityVote(votes)[0], kUnjudgedMatchProbability);
+  const auto ds = RunDawidSkene(votes).ValueOrDie();
+  EXPECT_EQ(ds.match_probability[0], kUnjudgedMatchProbability);
+  EXPECT_EQ(MajorityMatchProbability({}), kUnjudgedMatchProbability);
+}
+
+TEST(PartitionedAggregationTest, ShardedValidatesOptions) {
+  VoteTable votes{{{0, true}}};
+  InMemoryVoteShards shards(&votes, {1});
+  DawidSkeneOptions bad;
+  bad.max_iterations = 0;
+  EXPECT_FALSE(FitDawidSkeneSharded(&shards, bad).ok());
 }
 
 }  // namespace

@@ -422,6 +422,109 @@ TEST(SessionTest, MixingHitTypesFails) {
   EXPECT_TRUE(status.IsInvalidArgument());
 }
 
+// Splitting one run into pair partitions (CreatePartitioned /
+// StartPartition / TakePartitionVotes) must reproduce the classic run
+// bitwise: the concatenated per-partition vote tables equal the one-shot
+// vote table, and the global statistics — assignments, cost, completion
+// time — are untouched, because HIT indices (and hence every per-HIT
+// random stream) keep counting across partitions.
+TEST(SessionTest, PairPartitionsAreInvisible) {
+  const Fixture f = MakeLargeFixture();
+  const uint32_t pairs_per_hit = 3;
+  std::vector<graph::Edge> edges;
+  for (const auto& p : f.pairs) edges.push_back({p.a, p.b});
+  const auto hits = hitgen::GeneratePairHits(edges, pairs_per_hit).ValueOrDie();
+  const CrowdPlatform platform(CrowdModel{}, 977);
+  const auto one_shot = platform.RunPairHits(hits, f.Context()).ValueOrDie();
+
+  // Partition capacities aligned to the HIT size (the invisibility
+  // precondition), including one that forces many partitions.
+  for (const size_t capacity : {size_t{3}, size_t{6}, size_t{9}, f.pairs.size()}) {
+    auto session = CrowdSession::CreatePartitioned(platform, f.entity_of).ValueOrDie();
+    aggregate::VoteTable merged;
+    std::vector<similarity::ScoredPair> partition;
+    size_t hit_cursor = 0;
+    for (size_t begin = 0; begin < f.pairs.size(); begin += capacity) {
+      const size_t end = std::min(f.pairs.size(), begin + capacity);
+      partition.assign(f.pairs.begin() + begin, f.pairs.begin() + end);
+      std::vector<graph::Edge> part_edges;
+      for (const auto& p : partition) part_edges.push_back({p.a, p.b});
+      const auto part_hits = hitgen::GeneratePairHits(part_edges, pairs_per_hit).ValueOrDie();
+      ASSERT_TRUE(session->StartPartition(partition).ok());
+      ASSERT_TRUE(session->ProcessPairHits(part_hits).ok());
+      auto votes = session->TakePartitionVotes().ValueOrDie();
+      for (auto& pair_votes : votes) merged.push_back(std::move(pair_votes));
+      hit_cursor += part_hits.size();
+    }
+    ASSERT_EQ(hit_cursor, hits.size()) << "capacity " << capacity;
+    auto run = session->Finish().ValueOrDie();
+    EXPECT_TRUE(run.votes.empty());  // drained per partition
+    run.votes = std::move(merged);
+    ExpectSameRun(one_shot, run);
+  }
+}
+
+// The cluster-HIT analogue: ranges of HITs simulated against a context
+// holding only the candidate pairs among the range's records must vote
+// exactly like the full-context run.
+TEST(SessionTest, ClusterHitRangesWithFilteredContextAreInvisible) {
+  const Fixture f = MakeLargeFixture();
+  std::vector<hitgen::ClusterBasedHit> hits;
+  for (uint32_t base = 0; base + 4 <= 24; base += 4) {
+    hits.push_back({{base, base + 1, base + 2, base + 3}});
+  }
+  const CrowdPlatform platform(CrowdModel{}, 1543);
+  const auto one_shot = platform.RunClusterHits(hits, f.Context()).ValueOrDie();
+
+  for (const size_t hits_per_range : {size_t{1}, size_t{2}, hits.size()}) {
+    auto session = CrowdSession::CreatePartitioned(platform, f.entity_of).ValueOrDie();
+    aggregate::VoteTable merged(f.pairs.size());
+    for (size_t begin = 0; begin < hits.size(); begin += hits_per_range) {
+      const size_t end = std::min(hits.size(), begin + hits_per_range);
+      std::vector<char> in_range(24, 0);
+      for (size_t h = begin; h < end; ++h) {
+        for (uint32_t r : hits[h].records) in_range[r] = 1;
+      }
+      std::vector<similarity::ScoredPair> context;
+      std::vector<size_t> global_index;
+      for (size_t i = 0; i < f.pairs.size(); ++i) {
+        if (in_range[f.pairs[i].a] && in_range[f.pairs[i].b]) {
+          context.push_back(f.pairs[i]);
+          global_index.push_back(i);
+        }
+      }
+      const std::vector<hitgen::ClusterBasedHit> range(hits.begin() + begin,
+                                                       hits.begin() + end);
+      ASSERT_TRUE(session->StartPartition(context).ok());
+      ASSERT_TRUE(session->ProcessClusterHits(range).ok());
+      auto votes = session->TakePartitionVotes().ValueOrDie();
+      for (size_t i = 0; i < votes.size(); ++i) {
+        for (const auto& v : votes[i]) merged[global_index[i]].push_back(v);
+      }
+    }
+    auto run = session->Finish().ValueOrDie();
+    EXPECT_TRUE(run.votes.empty());
+    run.votes = std::move(merged);
+    ExpectSameRun(one_shot, run);
+  }
+}
+
+TEST(SessionTest, PartitionLifecycleIsEnforced) {
+  const Fixture f = MakeFixture();
+  const CrowdPlatform platform(CrowdModel{}, 5);
+  auto session = CrowdSession::CreatePartitioned(platform, f.entity_of).ValueOrDie();
+  // No partition open yet: processing and taking votes both fail.
+  EXPECT_TRUE(session->ProcessPairHits({{{{0, 1}}}}).IsInvalidArgument());
+  EXPECT_TRUE(session->TakePartitionVotes().status().IsInvalidArgument());
+  ASSERT_TRUE(session->StartPartition(f.pairs).ok());
+  // Double-open without draining fails.
+  EXPECT_TRUE(session->StartPartition(f.pairs).IsInvalidArgument());
+  ASSERT_TRUE(session->ProcessPairHits({{{{0, 1}}}}).ok());
+  ASSERT_TRUE(session->TakePartitionVotes().ok());
+  // Drained: reopening is legal.
+  EXPECT_TRUE(session->StartPartition(f.pairs).ok());
+}
+
 TEST(SessionTest, UnknownPairInHitIsReportedFromParallelRegion) {
   const Fixture f = MakeFixture();
   const CrowdPlatform platform(CrowdModel{}, 5);

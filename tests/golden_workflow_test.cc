@@ -118,66 +118,105 @@ TEST(GoldenWorkflowTest, MultiThreadedRunLeavesGoldenValuesBitwiseUnchanged) {
   }
 }
 
+// Shared matrix body: a streaming run under (threads, budget,
+// partition_pairs) must reproduce `materialized` bitwise — ranked list,
+// crowd statistics, cost, and completion time — without ever materializing
+// the candidate pair list.
+void ExpectStreamingMatchesMaterialized(const data::Dataset& dataset,
+                                        const WorkflowConfig& base,
+                                        const WorkflowResult& materialized, uint32_t threads,
+                                        uint64_t budget, uint64_t partition_pairs) {
+  WorkflowConfig config = base;
+  config.execution_mode = ExecutionMode::kStreaming;
+  config.num_threads = threads;
+  config.memory_budget_bytes = budget;
+  config.stream_block_records = 64;
+  config.crowd_partition_pairs = partition_pairs;
+  const HybridWorkflow workflow(config);
+  auto result = workflow.Run(dataset);
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  const std::string which = "threads " + std::to_string(threads) + " budget " +
+                            std::to_string(budget) + " partition " +
+                            std::to_string(partition_pairs);
+
+  // The partitioned boundary never materializes the pair list; only the
+  // count survives.
+  EXPECT_TRUE(result->candidate_pairs.empty()) << which;
+  EXPECT_EQ(result->num_candidate_pairs, materialized.num_candidate_pairs) << which;
+  EXPECT_EQ(result->pipeline_stats.streamed_pairs, materialized.num_candidate_pairs) << which;
+  EXPECT_EQ(result->machine_recall, materialized.machine_recall) << which;
+
+  // Crowd statistics, bitwise.
+  EXPECT_EQ(result->crowd_stats.num_hits, materialized.crowd_stats.num_hits) << which;
+  EXPECT_EQ(result->crowd_stats.num_assignments, materialized.crowd_stats.num_assignments)
+      << which;
+  EXPECT_EQ(result->crowd_stats.cost_dollars, materialized.crowd_stats.cost_dollars) << which;
+  EXPECT_EQ(result->crowd_stats.total_seconds, materialized.crowd_stats.total_seconds) << which;
+
+  // The ranked output, bitwise.
+  ASSERT_EQ(result->ranked.size(), materialized.ranked.size()) << which;
+  for (size_t i = 0; i < materialized.ranked.size(); ++i) {
+    EXPECT_EQ(result->ranked[i].a, materialized.ranked[i].a) << which;
+    EXPECT_EQ(result->ranked[i].b, materialized.ranked[i].b) << which;
+    EXPECT_EQ(result->ranked[i].score, materialized.ranked[i].score) << which;
+  }
+
+  // The boundary really partitioned / spilled when asked to.
+  EXPECT_GE(result->pipeline_stats.crowd_partitions, 1u) << which;
+  if (partition_pairs > 0 && partition_pairs < materialized.num_candidate_pairs) {
+    EXPECT_GT(result->pipeline_stats.crowd_partitions, 1u) << which;
+  }
+  if (budget > 0) {
+    EXPECT_GT(result->pipeline_stats.spilled_bytes, 0u) << which;
+  } else {
+    EXPECT_EQ(result->pipeline_stats.spilled_bytes, 0u) << which;
+  }
+}
+
 TEST(GoldenWorkflowTest, StreamingModeIsBitwiseIdenticalToMaterialized) {
-  // The acceptance bar of the staged pipeline: kStreaming must produce the
-  // same bytes as kMaterialized at every golden config — across thread
-  // counts, and whether or not the candidate stream ever spilled to disk.
-  // The 1 KiB budget is well below this run's pair volume (234 pairs * 16 B
-  // across 64-record blocks), so the spill path genuinely executes — a
-  // stream can never end holding more than its budget, and the total
-  // exceeds it.
+  // The acceptance bar of the partitioned crowd boundary: kStreaming must
+  // produce the same bytes as kMaterialized at every golden config — across
+  // thread counts, partition counts {1, ~4}, and whether or not the
+  // candidate stream ever spilled to disk. The 1 KiB budget is well below
+  // this run's pair volume (234 pairs * 16 B across 64-record blocks), so
+  // the spill path genuinely executes; partition_pairs = 64 splits the 234
+  // pairs across ~4 crowd partitions.
   const data::Dataset dataset = SmallRestaurant();
   const HybridWorkflow materialized_workflow(GoldenConfig());
   auto materialized = materialized_workflow.Run(dataset);
   ASSERT_TRUE(materialized.ok());
+  EXPECT_EQ(materialized->num_candidate_pairs, 234u);
 
   for (uint32_t threads : {1u, 4u}) {
-    for (uint64_t budget : {uint64_t{0}, uint64_t{1024}}) {
-      WorkflowConfig config = GoldenConfig();
-      config.execution_mode = ExecutionMode::kStreaming;
-      config.num_threads = threads;
-      config.memory_budget_bytes = budget;
-      config.stream_block_records = 64;
-      const HybridWorkflow workflow(config);
-      auto result = workflow.Run(dataset);
-      ASSERT_TRUE(result.ok()) << result.status().ToString();
-      const std::string which =
-          "threads " + std::to_string(threads) + " budget " + std::to_string(budget);
+    ExpectStreamingMatchesMaterialized(dataset, GoldenConfig(), *materialized, threads,
+                                       /*budget=*/0, /*partition_pairs=*/0);
+    ExpectStreamingMatchesMaterialized(dataset, GoldenConfig(), *materialized, threads,
+                                       /*budget=*/0, /*partition_pairs=*/64);
+    ExpectStreamingMatchesMaterialized(dataset, GoldenConfig(), *materialized, threads,
+                                       /*budget=*/1024, /*partition_pairs=*/64);
+  }
+}
 
-      // The recorded goldens, verbatim.
-      EXPECT_EQ(result->candidate_pairs.size(), 234u) << which;
-      EXPECT_NEAR(result->machine_recall, 23.0 / 24.0, 1e-12) << which;
-      EXPECT_EQ(result->crowd_stats.num_hits, 46u) << which;
-      EXPECT_EQ(result->crowd_stats.num_assignments, 138u) << which;
-      EXPECT_NEAR(eval::BestF1(result->pr_curve), 0.91666666666666663, 1e-9) << which;
+TEST(GoldenWorkflowTest, PairHitPartitionedStreamingMatchesMaterialized) {
+  // The same contract along the pair-based HIT path (partition boundaries
+  // must fall on HIT boundaries to be invisible) and for both aggregators.
+  const data::Dataset dataset = SmallRestaurant();
+  for (const AggregationMethod aggregation :
+       {AggregationMethod::kDawidSkene, AggregationMethod::kMajorityVote}) {
+    WorkflowConfig base = GoldenConfig();
+    base.hit_type = HitType::kPairBased;
+    base.pairs_per_hit = 7;  // deliberately not a divisor of 64
+    base.aggregation = aggregation;
+    const HybridWorkflow materialized_workflow(base);
+    auto materialized = materialized_workflow.Run(dataset);
+    ASSERT_TRUE(materialized.ok());
 
-      // Bitwise equality with the materialized run.
-      ASSERT_EQ(result->candidate_pairs.size(), materialized->candidate_pairs.size());
-      for (size_t i = 0; i < materialized->candidate_pairs.size(); ++i) {
-        EXPECT_EQ(result->candidate_pairs[i].a, materialized->candidate_pairs[i].a) << which;
-        EXPECT_EQ(result->candidate_pairs[i].b, materialized->candidate_pairs[i].b) << which;
-        EXPECT_EQ(result->candidate_pairs[i].score, materialized->candidate_pairs[i].score)
-            << which;
-      }
-      ASSERT_EQ(result->ranked.size(), materialized->ranked.size());
-      for (size_t i = 0; i < materialized->ranked.size(); ++i) {
-        EXPECT_EQ(result->ranked[i].a, materialized->ranked[i].a) << which;
-        EXPECT_EQ(result->ranked[i].b, materialized->ranked[i].b) << which;
-        EXPECT_EQ(result->ranked[i].score, materialized->ranked[i].score) << which;
-      }
-      EXPECT_EQ(result->crowd_stats.cost_dollars, materialized->crowd_stats.cost_dollars)
-          << which;
-      EXPECT_EQ(result->crowd_stats.total_seconds, materialized->crowd_stats.total_seconds)
-          << which;
-
-      // And the stream really streamed (and spilled, when asked to).
-      EXPECT_EQ(result->pipeline_stats.streamed_pairs, 234u) << which;
-      if (budget > 0) {
-        EXPECT_GT(result->pipeline_stats.spilled_bytes, 0u) << which;
-      } else {
-        EXPECT_EQ(result->pipeline_stats.spilled_bytes, 0u) << which;
-      }
-    }
+    ExpectStreamingMatchesMaterialized(dataset, base, *materialized, /*threads=*/1,
+                                       /*budget=*/0, /*partition_pairs=*/0);
+    ExpectStreamingMatchesMaterialized(dataset, base, *materialized, /*threads=*/4,
+                                       /*budget=*/0, /*partition_pairs=*/64);
+    ExpectStreamingMatchesMaterialized(dataset, base, *materialized, /*threads=*/1,
+                                       /*budget=*/1024, /*partition_pairs=*/64);
   }
 }
 

@@ -12,8 +12,8 @@
 //                    dfs|random|approximation] [--qt] [--seed N]
 //                   [--threads N] [--strategy allpairs|blocking|
 //                    sorted-neighborhood] [--streaming]
-//                   [--memory-budget SIZE] [--machine-only]
-//                   [--matches OUT.csv] [--merged OUT.csv]
+//                   [--memory-budget SIZE] [--partition-pairs N]
+//                   [--machine-only] [--matches OUT.csv] [--merged OUT.csv]
 //       Runs the full hybrid workflow (simulated crowd) on a dataset CSV
 //       produced by `generate` (or any CSV with __source/__entity columns),
 //       prints the quality/cost/latency report, and optionally writes the
@@ -22,12 +22,22 @@
 //       on stderr and runs serially) and the crowd simulation (0 = all
 //       hardware threads, honoring CROWDER_THREADS; default 1 = serial);
 //       results are identical at any value. --streaming runs the staged
-//       pipeline with the spillable candidate stream; --memory-budget caps
-//       the stream's resident pair bytes (suffixes K/M/G, e.g. 256M) before
-//       it spills to disk. --machine-only stops after the machine pass and
-//       reports pair counts, recall, throughput, and spill statistics —
-//       with --streaming, candidate pairs are never materialized in memory,
-//       which is the bounded-memory path for very large inputs.
+//       pipeline end-to-end in bounded memory: the candidate pairs flow
+//       through a spillable stream and the crowd boundary (HIT generation,
+//       crowd simulation, vote table, aggregation) runs one pair partition
+//       at a time, so the full pair list / pair graph / vote table are
+//       never resident; entity clustering switches to the streaming
+//       union-find resolver (pure transitive closure — the cross-support
+//       merge guard of the materialized path needs the full confirmed edge
+//       set, so the cluster report is labeled with which rule produced
+//       it). --memory-budget caps each bounded structure's resident bytes
+//       (suffixes K/M/G, e.g. 256M) before it spills to disk;
+//       --partition-pairs pins the crowd partition capacity (0/absent =
+//       derived from the budget). The workflow outputs — candidate pairs,
+//       HITs, votes, ranked matches, F1 — are byte-identical to the
+//       materialized run at any setting; only the clustering rule differs,
+//       by design. --machine-only stops after the machine pass and reports
+//       pair counts, recall, throughput, and spill statistics.
 //
 //   crowder_cli plan --in FILE --budget DOLLARS [--k 10] [--threads N]
 //       Evaluates the cost/recall tradeoff across thresholds and recommends
@@ -136,7 +146,8 @@ int Usage() {
                   [--algorithm two-tiered|bfs|dfs|random|approximation] [--qt]
                   [--seed N] [--threads N]
                   [--strategy allpairs|blocking|sorted-neighborhood]
-                  [--streaming] [--memory-budget SIZE(K|M|G)] [--machine-only]
+                  [--streaming] [--memory-budget SIZE(K|M|G)]
+                  [--partition-pairs N] [--machine-only]
                   [--matches OUT.csv] [--merged OUT.csv]
   crowder_cli plan --in FILE --budget DOLLARS [--k 10] [--threads N]
 )";
@@ -287,6 +298,16 @@ Status Run(const Args& args) {
       std::cerr << "warning: --memory-budget only applies with --streaming; ignored\n";
     }
   }
+  if (args.Has("partition-pairs")) {
+    const long partition_pairs = args.GetLong("partition-pairs", 0);
+    if (partition_pairs < 0) {
+      return Status::InvalidArgument("--partition-pairs must be non-negative");
+    }
+    config.crowd_partition_pairs = static_cast<uint64_t>(partition_pairs);
+    if (!args.Has("streaming")) {
+      std::cerr << "warning: --partition-pairs only applies with --streaming; ignored\n";
+    }
+  }
   config.crowd.qualification_test = args.Has("qt");
   const std::string hit_type = args.Get("hit-type", "cluster");
   if (hit_type == "pair") {
@@ -315,9 +336,12 @@ Status Run(const Args& args) {
     std::cout << "execution:          streaming (budget "
               << (config.memory_budget_bytes == 0 ? std::string("unbounded")
                                                   : FormatBytes(config.memory_budget_bytes))
-              << ", spilled " << FormatBytes(result.pipeline_stats.spilled_bytes) << ")\n";
+              << ", stream spill " << FormatBytes(result.pipeline_stats.spilled_bytes)
+              << "; crowd partitions " << result.pipeline_stats.crowd_partitions
+              << ", vote spill " << FormatBytes(result.pipeline_stats.vote_spilled_bytes)
+              << ")\n";
   }
-  std::cout << "candidate pairs:    " << WithThousands(result.candidate_pairs.size())
+  std::cout << "candidate pairs:    " << WithThousands(result.num_candidate_pairs)
             << " (machine recall " << FormatDouble(100 * result.machine_recall, 1) << "%)\n";
   std::cout << "HITs:               " << result.crowd_stats.num_hits << " ("
             << (config.hit_type == core::HitType::kPairBased ? "pair-based" : "cluster-based")
@@ -331,13 +355,30 @@ Status Run(const Args& args) {
   std::cout << "precision@recall90: "
             << FormatDouble(100 * eval::PrecisionAtRecall(result.pr_curve, 0.9), 1) << "%\n";
 
-  CROWDER_ASSIGN_OR_RETURN(
-      core::EntityClusters clusters,
-      core::ResolveEntities(static_cast<uint32_t>(dataset.table.num_records()), result.ranked));
+  core::EntityClusters clusters;
+  const char* clustering_label = "verified merges";
+  if (config.execution_mode == core::ExecutionMode::kStreaming) {
+    // Bounded-memory clustering: the streaming union-find resolver consumes
+    // confirmed pairs in batches (here: the ranked list it would otherwise
+    // have to hold sorted) — pure transitive closure, O(records) resident.
+    clustering_label = "transitive closure";
+    const double match_threshold = core::ResolutionOptions{}.match_threshold;
+    core::StreamingResolver resolver(static_cast<uint32_t>(dataset.table.num_records()));
+    for (const auto& rp : result.ranked) {
+      if (rp.score < match_threshold) continue;
+      CROWDER_RETURN_NOT_OK(resolver.AddMatch(rp.a, rp.b));
+    }
+    CROWDER_ASSIGN_OR_RETURN(clusters, resolver.Finish());
+  } else {
+    CROWDER_ASSIGN_OR_RETURN(
+        clusters,
+        core::ResolveEntities(static_cast<uint32_t>(dataset.table.num_records()),
+                              result.ranked));
+  }
   const auto quality = core::EvaluateClusters(clusters, dataset);
   std::cout << "entity clusters:    " << clusters.num_clusters() << " ("
-            << clusters.num_duplicate_groups() << " duplicate groups; pairwise F1 "
-            << FormatDouble(100 * quality.f1, 1) << "%)\n";
+            << clusters.num_duplicate_groups() << " duplicate groups, " << clustering_label
+            << "; pairwise F1 " << FormatDouble(100 * quality.f1, 1) << "%)\n";
 
   if (args.Has("matches")) {
     std::vector<std::vector<std::string>> rows;
