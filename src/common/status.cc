@@ -31,6 +31,8 @@ const char* StatusCodeToString(StatusCode code) {
       return "Infeasible";
     case StatusCode::kUnbounded:
       return "Unbounded";
+    case StatusCode::kDataLoss:
+      return "DataLoss";
   }
   return "Unknown";
 }

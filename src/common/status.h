@@ -23,6 +23,7 @@ enum class StatusCode : int {
   kIOError = 7,
   kInfeasible = 8,  // LP/ILP: no feasible solution
   kUnbounded = 9,   // LP: objective unbounded
+  kDataLoss = 10,   // recorded data truncated or inconsistent (vote-log replay)
 };
 
 /// \brief Returns a human-readable name for a status code ("OK", "IOError"...).
@@ -77,6 +78,9 @@ class Status {
   static Status Unbounded(std::string msg) {
     return Status(StatusCode::kUnbounded, std::move(msg));
   }
+  static Status DataLoss(std::string msg) {
+    return Status(StatusCode::kDataLoss, std::move(msg));
+  }
 
   bool IsInvalidArgument() const { return code() == StatusCode::kInvalidArgument; }
   bool IsNotFound() const { return code() == StatusCode::kNotFound; }
@@ -85,6 +89,7 @@ class Status {
   bool IsIOError() const { return code() == StatusCode::kIOError; }
   bool IsInfeasible() const { return code() == StatusCode::kInfeasible; }
   bool IsUnbounded() const { return code() == StatusCode::kUnbounded; }
+  bool IsDataLoss() const { return code() == StatusCode::kDataLoss; }
 
   friend bool operator==(const Status& a, const Status& b) {
     return a.code() == b.code();

@@ -25,14 +25,17 @@
 #include "common/string_util.h"
 #include "common/timer.h"
 #include "core/budget_planner.h"
+#include "core/driver.h"
 #include "core/partition.h"
 #include "core/pipeline.h"
 #include "core/resolution.h"
 #include "core/spill.h"
 #include "core/stages.h"
 #include "core/workflow.h"
+#include "crowd/backend.h"
 #include "crowd/crowd_model.h"
 #include "crowd/platform.h"
+#include "crowd/vote_log.h"
 #include "crowd/worker.h"
 #include "data/dataset.h"
 #include "data/generators.h"

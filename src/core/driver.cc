@@ -1,0 +1,351 @@
+#include "core/driver.h"
+
+#include <algorithm>
+#include <numeric>
+#include <string>
+
+#include "common/logging.h"
+#include "hitgen/pair_hit_generator.h"
+
+namespace crowder {
+namespace core {
+
+namespace {
+
+using crowd::PairKey;  // the seam's shared pair normalization
+
+std::string PairName(uint32_t a, uint32_t b) {
+  return "(" + std::to_string(a) + "," + std::to_string(b) + ")";
+}
+
+}  // namespace
+
+WorkflowDriver::WorkflowDriver(WorkflowConfig config) : config_(std::move(config)) {}
+WorkflowDriver::~WorkflowDriver() = default;
+
+Status WorkflowDriver::Start(const data::Dataset& dataset) {
+  if (phase_ != Phase::kIdle) return Status::InvalidArgument("Start called twice");
+  CROWDER_RETURN_NOT_OK(ValidateWorkflowConfig(config_));
+  state_ = std::make_unique<WorkflowState>(config_, dataset);
+  state_->result.total_matches = dataset.CountMatchingPairs();
+  if (state_->result.total_matches == 0) {
+    return Status::InvalidArgument("dataset has no matching pairs; nothing to resolve");
+  }
+
+  // The machine pass and HIT generation run eagerly, as pipeline stages (the
+  // crowd rounds and aggregation continue the same PipelineStats record).
+  Pipeline pipeline;
+  pipeline.Add(std::make_unique<MachinePassStage>()).Add(std::make_unique<HitGenStage>());
+  CROWDER_RETURN_NOT_OK(pipeline.Run(state_.get(), &state_->result.pipeline_stats));
+
+  // Round-source setup. Mirrors the pre-driver crowd stage exactly: the
+  // pair route fixes the partition/shard layout up front; the cluster route
+  // sizes HIT ranges so one range's pair context stays within the partition
+  // capacity (a HIT of k records references at most k(k-1)/2 pairs).
+  const uint64_t total = state_->result.num_candidate_pairs;
+  if (config_.execution_mode == ExecutionMode::kStreaming && total > 0) {
+    if (config_.hit_type == HitType::kPairBased) {
+      aligned_capacity_ =
+          AlignedPartitionCapacity(state_->partition_capacity, config_.pairs_per_hit);
+      state_->votes = std::make_unique<VoteShardStore>(
+          config_.memory_budget_bytes, TileShardCounts(total, aligned_capacity_));
+      state_->result.pipeline_stats.crowd_partitions = state_->votes->num_shards();
+      CROWDER_ASSIGN_OR_RETURN(auto cursor, state_->stream.OpenSortedCursor());
+      cursor_.emplace(std::move(cursor));
+    } else {
+      const uint64_t capacity = state_->partition_capacity;
+      state_->votes = std::make_unique<VoteShardStore>(config_.memory_budget_bytes,
+                                                       TileShardCounts(total, capacity));
+      const uint64_t k = config_.cluster_size;
+      const uint64_t context_per_hit = std::max<uint64_t>(1, k * (k - 1) / 2);
+      hits_per_range_ =
+          capacity == UINT64_MAX
+              ? std::max<size_t>(state_->cluster_hits.size(), 1)
+              : static_cast<size_t>(std::max<uint64_t>(1, capacity / context_per_hit));
+      mark_.assign(state_->dataset->table.num_records(), 0);
+    }
+  }
+  crowd_timer_.Reset();
+  return Advance();
+}
+
+void WorkflowDriver::IndexRoundPairs(const std::vector<similarity::ScoredPair>& pairs) {
+  round_pair_index_.clear();
+  round_pair_index_.reserve(pairs.size());
+  for (size_t i = 0; i < pairs.size(); ++i) {
+    round_pair_index_[PairKey(pairs[i].a, pairs[i].b)] = i;
+  }
+}
+
+Status WorkflowDriver::PrepareMaterializedRound() {
+  if (next_hit_ > 0) return Status::OK();  // the single all-HITs round was served
+  const auto& pairs = state_->result.candidate_pairs;
+  if (state_->pair_hits.empty() && state_->cluster_hits.empty()) return Status::OK();
+  IndexRoundPairs(pairs);
+  round_global_index_.resize(pairs.size());
+  std::iota(round_global_index_.begin(), round_global_index_.end(), uint64_t{0});
+  vote_table_.assign(pairs.size(), {});
+  pending_.first_hit = 0;
+  pending_.pairs = &pairs;
+  if (!state_->pair_hits.empty()) {
+    pending_.pair_hits = &state_->pair_hits;
+  } else {
+    pending_.cluster_hits = &state_->cluster_hits;
+  }
+  return Status::OK();
+}
+
+Status WorkflowDriver::PreparePairPartitionRound() {
+  const uint64_t total = state_->result.num_candidate_pairs;
+  if (next_pair_base_ >= total) return Status::OK();
+  const uint64_t want = std::min<uint64_t>(aligned_capacity_, total - next_pair_base_);
+  round_pairs_.reserve(static_cast<size_t>(want));
+  CROWDER_ASSIGN_OR_RETURN(const size_t got,
+                           cursor_->Next(static_cast<size_t>(want), &round_pairs_));
+  if (got == 0) return Status::OK();
+
+  // Pack this partition's HITs — identical to the materialized pack because
+  // the partition capacity is a multiple of pairs_per_hit.
+  hitgen::PairHitPacker packer(config_.pairs_per_hit);
+  std::vector<graph::Edge> edges;
+  edges.reserve(round_pairs_.size());
+  for (const auto& p : round_pairs_) edges.push_back({p.a, p.b});
+  CROWDER_RETURN_NOT_OK(packer.Add(edges));
+  CROWDER_ASSIGN_OR_RETURN(round_pair_hits_, packer.Finish());
+
+  IndexRoundPairs(round_pairs_);
+  round_global_index_.resize(round_pairs_.size());
+  std::iota(round_global_index_.begin(), round_global_index_.end(), next_pair_base_);
+  pending_.first_hit = next_hit_;
+  pending_.pairs = &round_pairs_;
+  pending_.pair_hits = &round_pair_hits_;
+  next_pair_base_ += got;
+  return Status::OK();
+}
+
+Status WorkflowDriver::PrepareClusterRangeRound() {
+  const auto& hits = state_->cluster_hits;
+  if (next_range_begin_ >= hits.size()) return Status::OK();
+  const size_t begin = next_range_begin_;
+  const size_t end = std::min(hits.size(), begin + hits_per_range_);
+  const ComponentBucketPlan& plan = *state_->buckets;
+
+  // The range's pair context — the candidate pairs among its records, with
+  // their global indices — is rebuilt by filtering the touched component
+  // buckets; simulating (or answering) a cluster HIT only ever looks up
+  // pairs among that HIT's records, so the filtered context answers exactly
+  // the lookups the full pair index would.
+  ++generation_;
+  std::vector<uint32_t> touched;
+  for (size_t h = begin; h < end; ++h) {
+    for (uint32_t r : hits[h].records) {
+      mark_[r] = generation_;
+      const uint32_t bucket = plan.bucket_of_record[r];
+      if (bucket != ComponentBucketPlan::kNoBucket) touched.push_back(bucket);
+    }
+  }
+  std::sort(touched.begin(), touched.end());
+  touched.erase(std::unique(touched.begin(), touched.end()), touched.end());
+
+  round_global_index_.clear();
+  for (uint32_t bucket : touched) {
+    CROWDER_RETURN_NOT_OK(
+        state_->bucket_pairs->Scan(bucket, [&](const std::vector<IndexedPair>& block) {
+          for (const auto& ip : block) {
+            if (mark_[ip.pair.a] == generation_ && mark_[ip.pair.b] == generation_) {
+              round_pairs_.push_back(ip.pair);
+              round_global_index_.push_back(ip.index);
+            }
+          }
+          return Status::OK();
+        }));
+  }
+
+  round_cluster_hits_.assign(hits.begin() + begin, hits.begin() + end);
+  IndexRoundPairs(round_pairs_);
+  pending_.first_hit = next_hit_;
+  pending_.pairs = &round_pairs_;
+  pending_.cluster_hits = &round_cluster_hits_;
+  next_range_begin_ = end;
+  return Status::OK();
+}
+
+Status WorkflowDriver::Advance() {
+  next_hit_ += static_cast<uint32_t>(pending_.num_hits());  // retire the answered round
+  pending_ = crowd::HitBatch{};
+  round_pairs_.clear();
+  round_pair_hits_.clear();
+  round_cluster_hits_.clear();
+  round_pair_index_.clear();
+  round_global_index_.clear();
+  votes_submitted_ = false;
+
+  if (state_->result.num_candidate_pairs > 0) {
+    if (config_.execution_mode == ExecutionMode::kMaterialized) {
+      CROWDER_RETURN_NOT_OK(PrepareMaterializedRound());
+    } else if (config_.hit_type == HitType::kPairBased) {
+      CROWDER_RETURN_NOT_OK(PreparePairPartitionRound());
+    } else {
+      CROWDER_RETURN_NOT_OK(PrepareClusterRangeRound());
+    }
+  }
+  if (!pending_.empty()) {
+    phase_ = Phase::kAwaitingVotes;
+    return Status::OK();
+  }
+  return Finalize();
+}
+
+Status WorkflowDriver::Finalize() {
+  WorkflowResult& result = state_->result;
+  if (config_.execution_mode == ExecutionMode::kStreaming && state_->votes != nullptr) {
+    CROWDER_RETURN_NOT_OK(state_->votes->Finish());
+    result.pipeline_stats.vote_spilled_bytes = state_->votes->spilled_bytes();
+  }
+  if (config_.execution_mode == ExecutionMode::kMaterialized) {
+    result.crowd_stats.votes = std::move(vote_table_);
+  }
+  // Fallback crowd statistics from what flowed through SubmitVotes; a
+  // backend's Finish result (SubmitCrowdStats) replaces them with the
+  // authoritative numbers, preserving the vote table.
+  crowd::CrowdRunResult& stats = result.crowd_stats;
+  stats.num_hits = next_hit_;
+  stats.num_assignments = static_cast<uint32_t>(stats.assignment_seconds.size());
+  stats.median_assignment_seconds = crowd::AssignmentMedianSeconds(stats.assignment_seconds);
+
+  result.pipeline_stats.stages.push_back({"crowd", crowd_timer_.ElapsedMillis()});
+  Pipeline aggregate;
+  aggregate.Add(std::make_unique<AggregateStage>());
+  CROWDER_RETURN_NOT_OK(aggregate.Run(state_.get(), &result.pipeline_stats));
+  phase_ = Phase::kDone;
+  return Status::OK();
+}
+
+Status WorkflowDriver::SubmitVotes(crowd::VoteBatch votes) {
+  if (failed_) return Status::InvalidArgument("WorkflowDriver already failed");
+  if (done()) {
+    return Status::InvalidArgument("SubmitVotes after the workflow finished (done() is true)");
+  }
+  if (phase_ != Phase::kAwaitingVotes) {
+    return Status::InvalidArgument("SubmitVotes before Start");
+  }
+  if (votes_submitted_) {
+    return Status::InvalidArgument(
+        "duplicate vote submission: the pending HIT batch was already answered");
+  }
+
+  // Validate the whole batch before filing any of it, so a rejection leaves
+  // no partial state behind; the rejection still poisons the driver (the
+  // failed_ latch) because a transport that produced one corrupt vote
+  // cannot be trusted for the rest of the run. Each vote's context position
+  // is cached here so filing needn't hash the keys a second time.
+  const uint32_t first = pending_.first_hit;
+  const uint32_t end_hit = first + static_cast<uint32_t>(pending_.num_hits());
+  std::vector<size_t> vote_locals;
+  size_t total_votes = 0;
+  for (const crowd::HitVotes& hv : votes.hit_votes) total_votes += hv.votes.size();
+  vote_locals.reserve(total_votes);
+  for (const crowd::HitVotes& hv : votes.hit_votes) {
+    if (hv.hit < first || hv.hit >= end_hit) {
+      failed_ = true;
+      return Status::InvalidArgument(
+          "vote batch names HIT " + std::to_string(hv.hit) + " outside the pending batch [" +
+          std::to_string(first) + ", " + std::to_string(end_hit) + ")");
+    }
+    for (const crowd::PairVote& pv : hv.votes) {
+      const auto it = round_pair_index_.find(PairKey(pv.a, pv.b));
+      if (it == round_pair_index_.end()) {
+        failed_ = true;
+        return Status::InvalidArgument("vote on unknown pair " + PairName(pv.a, pv.b) +
+                                       ": not in the pending batch's candidate context (HIT " +
+                                       std::to_string(hv.hit) + ")");
+      }
+      vote_locals.push_back(it->second);
+    }
+  }
+  for (const crowd::AssignmentRecord& rec : votes.assignments) {
+    if (rec.hit < first || rec.hit >= end_hit) {
+      failed_ = true;
+      return Status::InvalidArgument(
+          "assignment record names HIT " + std::to_string(rec.hit) +
+          " outside the pending batch [" + std::to_string(first) + ", " +
+          std::to_string(end_hit) + ")");
+    }
+  }
+
+  // File the votes in the given order (per-pair cast order is what the
+  // aggregators — and the byte-identity contract — observe). A filing
+  // failure (e.g. vote-shard spill I/O) leaves a prefix already appended,
+  // so it must latch too — a retry would double-file that prefix.
+  const bool streaming = config_.execution_mode == ExecutionMode::kStreaming;
+  size_t vote_cursor = 0;
+  for (const crowd::HitVotes& hv : votes.hit_votes) {
+    for (const crowd::PairVote& pv : hv.votes) {
+      const uint64_t global = round_global_index_[vote_locals[vote_cursor++]];
+      if (streaming) {
+        const Status filed = state_->votes->Append(global, pv.vote);
+        if (!filed.ok()) {
+          failed_ = true;
+          return filed;
+        }
+      } else {
+        vote_table_[static_cast<size_t>(global)].push_back(pv.vote);
+      }
+    }
+  }
+  crowd::CrowdRunResult& stats = state_->result.crowd_stats;
+  for (const crowd::AssignmentRecord& rec : votes.assignments) {
+    if (rec.by_spammer) ++stats.num_spammer_assignments;
+    stats.total_comparisons += rec.comparisons;
+    stats.assignment_seconds.push_back(rec.duration_seconds);
+    stats.assignments.push_back(rec);
+  }
+  votes_submitted_ = true;
+  return Status::OK();
+}
+
+Status WorkflowDriver::Step() {
+  if (failed_) return Status::InvalidArgument("WorkflowDriver already failed");
+  if (phase_ == Phase::kIdle) return Status::InvalidArgument("Step before Start");
+  if (done()) return Status::InvalidArgument("Step after the workflow finished");
+  if (!votes_submitted_) {
+    return Status::InvalidArgument(
+        "the pending HIT batch has not been answered (SubmitVotes first)");
+  }
+  if (config_.execution_mode == ExecutionMode::kStreaming &&
+      config_.hit_type == HitType::kClusterBased) {
+    ++state_->result.pipeline_stats.crowd_partitions;
+  }
+  return Advance();
+}
+
+Status WorkflowDriver::SubmitCrowdStats(crowd::CrowdRunResult stats) {
+  if (failed_) return Status::InvalidArgument("WorkflowDriver already failed");
+  if (phase_ == Phase::kTaken) {
+    return Status::InvalidArgument("SubmitCrowdStats after TakeResult");
+  }
+  if (phase_ != Phase::kDone) {
+    return Status::InvalidArgument("SubmitCrowdStats before the workflow finished");
+  }
+  stats.votes = std::move(state_->result.crowd_stats.votes);
+  state_->result.crowd_stats = std::move(stats);
+  return Status::OK();
+}
+
+Result<WorkflowResult> WorkflowDriver::TakeResult() {
+  if (failed_) return Status::InvalidArgument("WorkflowDriver already failed");
+  if (phase_ == Phase::kTaken) return Status::InvalidArgument("result already taken");
+  if (phase_ != Phase::kDone) {
+    return Status::InvalidArgument(
+        std::string("TakeResult before the workflow finished") +
+        (phase_ == Phase::kAwaitingVotes
+             ? (votes_submitted_ ? " (answered round not yet stepped)"
+                                 : " (pending HIT batch unanswered)")
+             : ""));
+  }
+  phase_ = Phase::kTaken;
+  return std::move(state_->result);
+}
+
+}  // namespace core
+}  // namespace crowder

@@ -1,0 +1,176 @@
+/// \file
+/// \brief `WorkflowDriver`: the CrowdER workflow as a resumable step
+/// machine, with the crowd on the outside.
+///
+/// `HybridWorkflow::Run` answers "run everything, simulate the crowd, give
+/// me the result". The driver inverts that control flow for embedders who
+/// *are* the crowd — replay harnesses, adaptive question selectors, live
+/// platform adapters: it runs the machine pass and HIT generation, then
+/// surfaces the crowd work one **round** (HIT batch) at a time and waits
+/// for votes before moving on:
+///
+/// \code
+///   core::WorkflowDriver driver(config);
+///   CROWDER_RETURN_NOT_OK(driver.Start(dataset));
+///   while (!driver.done()) {
+///     const crowd::HitBatch& batch = driver.PendingHits();
+///     crowd::VoteBatch votes = AnswerSomehow(batch);   // your crowd here
+///     CROWDER_RETURN_NOT_OK(driver.SubmitVotes(std::move(votes)));
+///     CROWDER_RETURN_NOT_OK(driver.Step());
+///   }
+///   CROWDER_ASSIGN_OR_RETURN(core::WorkflowResult result, driver.TakeResult());
+/// \endcode
+///
+/// `HybridWorkflow::Run` itself is exactly this loop over a
+/// `crowd::CrowdBackend` (core/workflow.cc), so every workflow test
+/// exercises the driver path.
+///
+/// Rounds follow the execution mode: one round carrying every HIT in
+/// kMaterialized; one round per crowd partition (pair-based HITs) or HIT
+/// range (cluster-based) in kStreaming — the PR-3/4 staged machinery
+/// underneath is unchanged, and the results are bitwise those of the
+/// pre-driver workflow in both modes (golden-pinned).
+///
+/// Error discipline (the `failed_` latch, as in crowd::CrowdSession):
+/// submitting corrupt vote *data* — a vote on a pair outside the round's
+/// context, an assignment for a HIT outside the round — rejects the batch
+/// without filing anything AND poisons the driver, so a partial or
+/// untrustworthy crowd transport can never leak into a result. Protocol
+/// misuse (Step before votes, a second SubmitVotes for the same round,
+/// SubmitVotes after done(), TakeResult before done()) returns a clean
+/// error and leaves the driver usable.
+#ifndef CROWDER_CORE_DRIVER_H_
+#define CROWDER_CORE_DRIVER_H_
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <unordered_map>
+#include <vector>
+
+#include "common/result.h"
+#include "common/timer.h"
+#include "core/stages.h"
+#include "core/workflow.h"
+#include "crowd/backend.h"
+
+namespace crowder {
+namespace core {
+
+/// \brief Step/poll workflow execution: Start → (PendingHits → SubmitVotes →
+/// Step)* → TakeResult. See the file comment for the loop shape.
+///
+/// Not thread-safe; drive it from one thread. The dataset passed to Start
+/// must outlive the driver (the driver keeps a pointer, like the stages).
+class WorkflowDriver {
+ public:
+  /// \brief Holds the configuration; no work happens until Start.
+  explicit WorkflowDriver(WorkflowConfig config);
+  /// \brief Drops the run's state (temp spill files included).
+  ~WorkflowDriver();
+
+  WorkflowDriver(const WorkflowDriver&) = delete;             ///< not copyable
+  WorkflowDriver& operator=(const WorkflowDriver&) = delete;  ///< not copyable
+
+  /// \brief Validates the config, runs the machine pass and HIT generation
+  /// (both execution modes), and prepares the first crowd round. After a
+  /// successful Start either done() is true (nothing for the crowd to do)
+  /// or PendingHits() carries the first batch.
+  Status Start(const data::Dataset& dataset);
+
+  /// \brief True once the ranked result is ready (all rounds answered and
+  /// aggregated — or there was never crowd work to do).
+  bool done() const { return phase_ == Phase::kDone || phase_ == Phase::kTaken; }
+
+  /// \brief The HIT batch awaiting crowd answers. Valid — and stable — from
+  /// the Start/Step that prepared it until the Step that retires it; an
+  /// empty batch when nothing is pending.
+  const crowd::HitBatch& PendingHits() const { return pending_; }
+
+  /// \brief Files the crowd's answers for the pending batch: every vote
+  /// must name a pair of the batch's context and every assignment a HIT of
+  /// the batch (validated before anything is filed; a violation poisons the
+  /// driver — see the latch discipline in the file comment). Votes are
+  /// filed in the given order; per-pair cast order is what aggregation
+  /// sees. One submission per round.
+  Status SubmitVotes(crowd::VoteBatch votes);
+
+  /// \brief Retires the answered round: prepares the next round, or — after
+  /// the last one — runs aggregation, after which done() is true. Requires
+  /// SubmitVotes first.
+  Status Step();
+
+  /// \brief Installs the crowd's run statistics (cost, latency, audit
+  /// trail — typically `CrowdBackend::Finish()`'s result) into the pending
+  /// WorkflowResult, preserving the vote table the driver assembled.
+  /// Optional: without it the result carries the driver's own fallback
+  /// counts (HITs, assignments, durations) with zero cost/latency. Only
+  /// legal when done() and before TakeResult.
+  Status SubmitCrowdStats(crowd::CrowdRunResult stats);
+
+  /// \brief Terminal: moves the finished WorkflowResult out. Errors before
+  /// done() — e.g. with a submitted-but-not-stepped round ("partial batch")
+  /// — and on a poisoned driver.
+  Result<WorkflowResult> TakeResult();
+
+  /// \brief The configuration the driver was built with.
+  const WorkflowConfig& config() const { return config_; }
+
+ private:
+  enum class Phase { kIdle, kAwaitingVotes, kDone, kTaken };
+
+  /// Prepares the next round into pending_ or, when rounds are exhausted,
+  /// finalizes (vote store seal, crowd timing, aggregation).
+  Status Advance();
+  Status PrepareMaterializedRound();
+  Status PreparePairPartitionRound();
+  Status PrepareClusterRangeRound();
+  /// Rebuilds round_pair_index_ (and, for rounds whose context is not the
+  /// global order, round_global_index_) for the pending context.
+  void IndexRoundPairs(const std::vector<similarity::ScoredPair>& pairs);
+  Status Finalize();
+
+  WorkflowConfig config_;
+  std::unique_ptr<WorkflowState> state_;
+  Phase phase_ = Phase::kIdle;
+  /// Corrupt vote data was rejected; every later call fails cleanly.
+  bool failed_ = false;
+  bool votes_submitted_ = false;
+
+  // ---- The pending round. ----
+  crowd::HitBatch pending_;
+  /// Round-owned backing storage for pending_ (streaming rounds; the
+  /// materialized round points into WorkflowState instead).
+  std::vector<similarity::ScoredPair> round_pairs_;
+  std::vector<hitgen::PairBasedHit> round_pair_hits_;
+  std::vector<hitgen::ClusterBasedHit> round_cluster_hits_;
+  /// PairKey(a, b) -> position in the pending context.
+  std::unordered_map<uint64_t, size_t> round_pair_index_;
+  /// Position in the pending context -> global pair index (vote filing key).
+  std::vector<uint64_t> round_global_index_;
+  /// Global HIT counter across rounds (== first_hit of the next round).
+  uint32_t next_hit_ = 0;
+
+  // ---- Materialized filing target. ----
+  aggregate::VoteTable vote_table_;
+
+  // ---- Streaming pair-partition rounds. ----
+  std::optional<PairStream::SortedCursor> cursor_;
+  uint64_t aligned_capacity_ = 0;
+  uint64_t next_pair_base_ = 0;
+
+  // ---- Streaming cluster-range rounds. ----
+  size_t next_range_begin_ = 0;
+  size_t hits_per_range_ = 0;
+  std::vector<uint32_t> mark_;
+  uint32_t generation_ = 0;
+
+  /// Wall clock of the crowd phase (rounds start → aggregation), reported
+  /// as the "crowd" stage timing.
+  WallTimer crowd_timer_;
+};
+
+}  // namespace core
+}  // namespace crowder
+
+#endif  // CROWDER_CORE_DRIVER_H_

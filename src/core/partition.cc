@@ -34,6 +34,15 @@ uint64_t AlignedPartitionCapacity(uint64_t capacity_pairs, uint32_t pairs_per_hi
   return std::max<uint64_t>(aligned, pairs_per_hit);
 }
 
+std::vector<uint64_t> TileShardCounts(uint64_t total, uint64_t capacity) {
+  CROWDER_CHECK_GT(capacity, 0u);
+  std::vector<uint64_t> counts;
+  for (uint64_t start = 0; start < total; start += capacity) {
+    counts.push_back(std::min<uint64_t>(capacity, total - start));
+  }
+  return counts;
+}
+
 // ---------------------------------------------------------------------------
 // VoteShardStore
 // ---------------------------------------------------------------------------

@@ -60,6 +60,11 @@ uint64_t ResolvePartitionCapacity(uint64_t partition_pairs, uint64_t memory_budg
 /// materialized pack.
 uint64_t AlignedPartitionCapacity(uint64_t capacity_pairs, uint32_t pairs_per_hit);
 
+/// \brief Tiles [0, total) into contiguous ranges of at most `capacity` and
+/// returns the per-range sizes — the VoteShardStore shard layout, which for
+/// pair-based HITs is also the crowd partition layout.
+std::vector<uint64_t> TileShardCounts(uint64_t total, uint64_t capacity);
+
 /// \brief A candidate pair tagged with its global position in the
 /// (a, b)-sorted surviving pair list. Component buckets reorder pairs by
 /// component, so each routed pair carries the global index its votes must

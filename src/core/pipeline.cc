@@ -2,7 +2,6 @@
 
 #include <algorithm>
 #include <optional>
-#include <queue>
 
 #include "common/logging.h"
 #include "common/timer.h"
@@ -95,10 +94,53 @@ class MergeSource {
 
 }  // namespace
 
-Status PairStream::ScanSorted(const std::function<Status(const PairBlock&)>& fn,
-                              size_t batch_pairs) const {
-  if (!finished_) return Status::InvalidArgument("ScanSorted before Finish");
-  if (batch_pairs == 0) batch_pairs = 8192;
+// The k-way merge state behind a resumable cursor. Min-heap on (a, b);
+// candidate pairs are unique across the stream, so the merge order — hence
+// every scan — is total and deterministic.
+struct PairStream::SortedCursor::Impl {
+  std::vector<std::unique_ptr<MergeSource>> sources;
+  std::vector<size_t> heap;  // indices into sources, min-heap on current()
+
+  bool HeapGreater(size_t x, size_t y) const {
+    return PairLess(sources[y]->current(), sources[x]->current());
+  }
+  void HeapPush(size_t src) {
+    heap.push_back(src);
+    std::push_heap(heap.begin(), heap.end(),
+                   [this](size_t x, size_t y) { return HeapGreater(x, y); });
+  }
+  size_t HeapPop() {
+    std::pop_heap(heap.begin(), heap.end(),
+                  [this](size_t x, size_t y) { return HeapGreater(x, y); });
+    const size_t src = heap.back();
+    heap.pop_back();
+    return src;
+  }
+};
+
+PairStream::SortedCursor::SortedCursor(std::unique_ptr<Impl> impl) : impl_(std::move(impl)) {}
+PairStream::SortedCursor::SortedCursor(SortedCursor&&) noexcept = default;
+PairStream::SortedCursor& PairStream::SortedCursor::operator=(SortedCursor&&) noexcept =
+    default;
+PairStream::SortedCursor::~SortedCursor() = default;
+
+Result<size_t> PairStream::SortedCursor::Next(size_t max_pairs,
+                                              std::vector<similarity::ScoredPair>* out) {
+  CROWDER_CHECK(out != nullptr);
+  Impl& impl = *impl_;
+  size_t appended = 0;
+  while (appended < max_pairs && !impl.heap.empty()) {
+    const size_t src = impl.HeapPop();
+    out->push_back(impl.sources[src]->current());
+    ++appended;
+    CROWDER_ASSIGN_OR_RETURN(const bool alive, impl.sources[src]->Advance());
+    if (alive) impl.HeapPush(src);
+  }
+  return appended;
+}
+
+Result<PairStream::SortedCursor> PairStream::OpenSortedCursor() const {
+  if (!finished_) return Status::InvalidArgument("OpenSortedCursor before Finish");
 
   // Sources: every in-memory block plus a buffered cursor per spilled block.
   // The cursors split one fixed read-buffer pool (down to one pair each), so
@@ -106,45 +148,39 @@ Status PairStream::ScanSorted(const std::function<Status(const PairBlock&)>& fn,
   // with a tiny constant — the floor any single-pass k-way merge needs (one
   // loaded pair per run), never a per-block 4 KiB that could dwarf the
   // stream's budget when thousands of blocks spilled.
-  std::vector<std::unique_ptr<MergeSource>> sources;
-  sources.reserve(num_blocks());
+  auto impl = std::make_unique<SortedCursor::Impl>();
+  impl->sources.reserve(num_blocks());
   for (const PairBlock& block : mem_blocks_) {
-    sources.push_back(std::make_unique<MergeSource>(&block));
+    impl->sources.push_back(std::make_unique<MergeSource>(&block));
   }
   if (spill_) {
     const size_t spilled = spill_->num_blocks();
     const size_t buffer_pairs = std::max<size_t>(1, 65536 / std::max<size_t>(1, spilled));
     for (size_t b = 0; b < spilled; ++b) {
       CROWDER_ASSIGN_OR_RETURN(auto cursor, spill_->OpenBlock(b));
-      sources.push_back(std::make_unique<MergeSource>(std::move(cursor), buffer_pairs));
+      impl->sources.push_back(std::make_unique<MergeSource>(std::move(cursor), buffer_pairs));
     }
   }
-
-  // Min-heap on (a, b). Candidate pairs are unique across the stream, so the
-  // merge order — hence the scan — is total and deterministic.
-  auto greater = [&](size_t x, size_t y) {
-    return PairLess(sources[y]->current(), sources[x]->current());
-  };
-  std::priority_queue<size_t, std::vector<size_t>, decltype(greater)> heap(greater);
-  for (size_t i = 0; i < sources.size(); ++i) {
-    CROWDER_ASSIGN_OR_RETURN(const bool alive, sources[i]->Init());
-    if (alive) heap.push(i);
+  for (size_t i = 0; i < impl->sources.size(); ++i) {
+    CROWDER_ASSIGN_OR_RETURN(const bool alive, impl->sources[i]->Init());
+    if (alive) impl->HeapPush(i);
   }
+  return SortedCursor(std::move(impl));
+}
 
+Status PairStream::ScanSorted(const std::function<Status(const PairBlock&)>& fn,
+                              size_t batch_pairs) const {
+  if (!finished_) return Status::InvalidArgument("ScanSorted before Finish");
+  if (batch_pairs == 0) batch_pairs = 8192;
+  CROWDER_ASSIGN_OR_RETURN(SortedCursor cursor, OpenSortedCursor());
   PairBlock batch;
-  batch.reserve(std::min<uint64_t>(batch_pairs, num_pairs_));
-  while (!heap.empty()) {
-    const size_t src = heap.top();
-    heap.pop();
-    batch.push_back(sources[src]->current());
-    CROWDER_ASSIGN_OR_RETURN(const bool alive, sources[src]->Advance());
-    if (alive) heap.push(src);
-    if (batch.size() >= batch_pairs) {
-      CROWDER_RETURN_NOT_OK(fn(batch));
-      batch.clear();
-    }
+  batch.reserve(static_cast<size_t>(std::min<uint64_t>(batch_pairs, num_pairs_)));
+  while (true) {
+    batch.clear();
+    CROWDER_ASSIGN_OR_RETURN(const size_t got, cursor.Next(batch_pairs, &batch));
+    if (got == 0) break;
+    CROWDER_RETURN_NOT_OK(fn(batch));
   }
-  if (!batch.empty()) CROWDER_RETURN_NOT_OK(fn(batch));
   return Status::OK();
 }
 

@@ -7,10 +7,11 @@
 //
 //  * Stage / Pipeline — the composition surface. A Stage transforms the
 //    shared WorkflowState; Pipeline runs stages in order and records
-//    per-stage wall times. HybridWorkflow::Run is a Pipeline of
-//    MachinePassStage → HitGenStage → CrowdStage → AggregateStage
-//    (core/stages.h) in both execution modes — the modes differ only in how
-//    candidate pairs flow between the first two stages.
+//    per-stage wall times. WorkflowDriver (core/driver.h) composes
+//    MachinePassStage → HitGenStage in Start and AggregateStage at the end,
+//    with the crowd rounds in between (timed as the "crowd" stage), in both
+//    execution modes — the modes differ only in how candidate pairs flow
+//    between the first two phases.
 //
 //  * PairStream — the spillable candidate-pair stream between the machine
 //    pass and its consumers. The producer appends blocks (each internally
@@ -81,9 +82,37 @@ class PairStream {
   /// Visits every pair in globally ascending (a, b) order — byte-identical
   /// to SortPairs over the concatenation of all blocks — in batches of at
   /// most `batch_pairs`. Requires Finish(); repeatable. A non-OK status from
-  /// `fn` aborts the scan with that status.
+  /// `fn` aborts the scan with that status. (Implemented over SortedCursor.)
   Status ScanSorted(const std::function<Status(const PairBlock&)>& fn,
                     size_t batch_pairs = 8192) const;
+
+  /// \brief A resumable sorted scan: the pull-shaped dual of ScanSorted.
+  /// Callers draw the globally sorted pair sequence in increments of their
+  /// choosing and may stop between draws — which is what lets the
+  /// step/poll WorkflowDriver (core/driver.h) surface one crowd partition
+  /// at a time without re-merging from the start. Same bytes as ScanSorted.
+  class SortedCursor {
+   public:
+    SortedCursor(SortedCursor&&) noexcept;
+    SortedCursor& operator=(SortedCursor&&) noexcept;
+    ~SortedCursor();
+
+    /// Appends up to `max_pairs` further pairs (continuing the global
+    /// (a, b) order) to `*out`. Returns how many were appended; 0 means the
+    /// stream is exhausted.
+    Result<size_t> Next(size_t max_pairs, std::vector<similarity::ScoredPair>* out);
+
+   private:
+    friend class PairStream;
+    struct Impl;
+    explicit SortedCursor(std::unique_ptr<Impl> impl);
+    std::unique_ptr<Impl> impl_;
+  };
+
+  /// Opens a cursor at the start of the sorted order. Requires Finish();
+  /// the stream must outlive the cursor. Any number of concurrent cursors
+  /// may be open (each holds its own read positions).
+  Result<SortedCursor> OpenSortedCursor() const;
 
   /// Materializes the full sorted pair list (the boundary where a streaming
   /// run must rejoin the materialized representation, e.g. for the crowd's

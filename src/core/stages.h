@@ -1,16 +1,22 @@
-// The four stages HybridWorkflow::Run composes (CrowdER §2.2's phases):
+// The pipeline stages HybridWorkflow composes (CrowdER §2.2's phases):
 //
 //   MachinePassStage  records → candidate pairs (materialized vector, or
 //                     bounded blocks through WorkflowState::stream)
 //   HitGenStage       candidate pairs → HITs (incremental PairGraphBuilder /
 //                     PairHitPacker fed by pair batches; in partitioned
 //                     streaming cluster mode: component buckets + per-bucket
-//                     two-tiered decomposition + one global pack)
-//   CrowdStage        HITs → votes (CrowdSession, HIT batches in parallel;
-//                     in streaming mode one bounded partition at a time,
-//                     votes filed into the spill-backed VoteShardStore)
+//                     two-tiered decomposition over local-id subgraphs + one
+//                     global pack — see internal::BuildClusterBoundary)
 //   AggregateStage    votes → ranked matches + PR curve (sharded
 //                     aggregation in streaming mode)
+//
+// The crowd phase is no longer a Stage: since the backend redesign it is a
+// sequence of *rounds* surfaced by core::WorkflowDriver (driver.h) — the
+// driver prepares one HIT batch at a time, any crowd::CrowdBackend answers
+// it, and the driver files the votes (into the materialized vote table or
+// the spill-backed VoteShardStore). HybridWorkflow::Run is a thin loop over
+// driver + backend; its PipelineStats still reports a "crowd" stage timing
+// spanning the rounds.
 //
 // Stages communicate through WorkflowState, never through globals. The two
 // execution modes share every stage; streaming mode differs in transport —
@@ -34,8 +40,8 @@
 namespace crowder {
 namespace core {
 
-/// \brief Everything the stages share. Owned by HybridWorkflow::Run for the
-/// duration of one pipeline execution.
+/// \brief Everything the stages (and the driver's crowd rounds) share.
+/// Owned by WorkflowDriver for the duration of one workflow execution.
 struct WorkflowState {
   WorkflowState(const WorkflowConfig& config_in, const data::Dataset& dataset_in)
       : config(&config_in), dataset(&dataset_in), stream(config_in.memory_budget_bytes) {}
@@ -48,11 +54,11 @@ struct WorkflowState {
   /// the final ranked pass re-scan it instead of materializing the pairs.
   PairStream stream;
 
-  /// HITs handed from HitGenStage to CrowdStage (one of the two, by
+  /// HITs handed from HitGenStage to the crowd rounds (one of the two, by
   /// config->hit_type). In streaming mode, pair-based HITs are packed
-  /// partition-by-partition inside CrowdStage instead (pair_hits stays
-  /// empty); cluster HITs are bounded by the two-tiered decomposition, not
-  /// by |P|, and are kept whole in both modes.
+  /// partition-by-partition by the driver instead (pair_hits stays empty);
+  /// cluster HITs are bounded by the two-tiered decomposition, not by |P|,
+  /// and are kept whole in both modes.
   std::vector<hitgen::PairBasedHit> pair_hits;
   std::vector<hitgen::ClusterBasedHit> cluster_hits;
 
@@ -64,8 +70,8 @@ struct WorkflowState {
   std::unique_ptr<ComponentBucketPlan> buckets;
   /// Per-bucket pair storage, global-index tagged (cluster-based only).
   std::unique_ptr<ShardedSpillStore<IndexedPair>> bucket_pairs;
-  /// The disk-backed vote table, filled by CrowdStage, drained by
-  /// AggregateStage.
+  /// The disk-backed vote table, filled by the driver's crowd rounds,
+  /// drained by AggregateStage.
   std::unique_ptr<VoteShardStore> votes;
 
   /// The result under construction (candidate_pairs, machine_recall,
@@ -86,36 +92,23 @@ class MachinePassStage : public Stage {
 
 /// \brief HIT generation. Materialized mode feeds the pair list to the
 /// incremental builders in one batch. Streaming pair-based mode defers to
-/// CrowdStage (HITs are packed per partition in the same walk that
-/// simulates them). Streaming cluster-based mode plans component buckets,
-/// routes pairs into them, runs the two-tiered decomposition bucket by
-/// bucket, and packs all small components globally — the identical HIT
-/// list the materialized generator produces, without ever holding the
-/// whole pair graph.
+/// the driver's rounds (HITs are packed per partition as the partitions are
+/// drawn from the stream). Streaming cluster-based mode runs
+/// internal::BuildClusterBoundary — the identical HIT list the materialized
+/// generator produces, without ever holding the whole pair graph.
 class HitGenStage : public Stage {
  public:
   const char* name() const override { return "hit-gen"; }
   Status Run(WorkflowState* state) override;
 };
 
-/// \brief Crowd simulation over the generated HITs (crowd/session.h),
-/// parallel across HITs under config->num_threads. Streaming mode runs one
-/// partition at a time (pair partitions, or HIT ranges whose pair context
-/// is rebuilt from the touched buckets) and files votes into
-/// state->votes; the per-HIT seed derivation makes partition boundaries
-/// bitwise-invisible.
-class CrowdStage : public Stage {
- public:
-  const char* name() const override { return "crowd"; }
-  Status Run(WorkflowState* state) override;
-};
-
 /// \brief Vote aggregation into the ranked match list and PR curve.
-/// Streaming mode aggregates shard by shard (aggregate/partitioned.h) while
-/// re-scanning the candidate stream for the pair identities — majority vote
-/// bitwise-identical by pair independence, Dawid-Skene bitwise-identical
-/// because shards tile the global pair order, so every floating-point
-/// accumulation happens in the materialized order.
+/// Materialized mode reads result.crowd_stats.votes (assembled by the
+/// driver); streaming mode aggregates shard by shard
+/// (aggregate/partitioned.h) while re-scanning the candidate stream for the
+/// pair identities — majority vote bitwise-identical by pair independence,
+/// Dawid-Skene bitwise-identical because shards tile the global pair order,
+/// so every floating-point accumulation happens in the materialized order.
 class AggregateStage : public Stage {
  public:
   const char* name() const override { return "aggregate"; }
@@ -135,6 +128,40 @@ similarity::JoinInput BuildJoinInput(const data::Dataset& dataset, CandidateStra
 /// CLI's machine-only report.
 uint64_t CountCandidateMatches(const data::Dataset& dataset,
                                const std::vector<similarity::ScoredPair>& pairs);
+
+/// \brief What the streaming cluster-based crowd boundary precomputes.
+struct ClusterBoundary {
+  /// Component-aligned bucket plan (which bucket holds each record).
+  ComponentBucketPlan plan;
+  /// Per-bucket pairs, tagged with their global sorted index.
+  std::unique_ptr<ShardedSpillStore<IndexedPair>> bucket_pairs;
+  /// The full cluster-HIT list — identical to the materialized two-tiered
+  /// generator's output.
+  std::vector<hitgen::ClusterBasedHit> hits;
+  /// Bytes the bucket store spilled while routing pairs.
+  uint64_t spilled_bytes = 0;
+};
+
+/// \brief Streaming cluster-based boundary: component buckets, per-bucket
+/// two-tiered decomposition, one global pack. Produces the HIT list the
+/// materialized TwoTieredGenerator produces — same HITs, same order —
+/// because
+///  (1) buckets hold whole components, in the ConnectedComponents order
+///      (ascending smallest member), so concatenating the per-bucket
+///      decompositions reproduces the global component order;
+///  (2) each bucket's subgraph is remapped to dense *local* vertex ids in
+///      ascending global order — a strictly monotone renaming, so every id
+///      comparison, tie-break, adjacency order, and component order the
+///      decomposition observes is preserved, while the per-bucket graph
+///      costs O(bucket records) instead of O(all records); and
+///  (3) the bottom-tier pack runs once, globally, over the identical scc
+///      sequence (all small components in component order, then all LCC
+///      parts in LCC order — exactly TwoTieredGenerator::Generate's order).
+/// Exposed for partition_test, which asserts the identity directly.
+Result<ClusterBoundary> BuildClusterBoundary(const PairStream& stream, uint32_t num_records,
+                                             uint64_t partition_capacity,
+                                             uint32_t cluster_size,
+                                             uint64_t memory_budget_bytes);
 
 }  // namespace internal
 

@@ -3,7 +3,9 @@
 #include <memory>
 
 #include "common/logging.h"
+#include "core/driver.h"
 #include "core/stages.h"
+#include "crowd/backend.h"
 #include "exec/thread_pool.h"
 #include "similarity/blocking.h"
 #include "similarity/parallel_join.h"
@@ -151,22 +153,35 @@ Status ValidateWorkflowConfig(const WorkflowConfig& config) {
 }
 
 Result<WorkflowResult> HybridWorkflow::Run(const data::Dataset& dataset) const {
+  // Validate before building the backend so configuration errors surface
+  // with the same message (and precedence) they always had.
   CROWDER_RETURN_NOT_OK(ValidateWorkflowConfig(config_));
-  WorkflowState state(config_, dataset);
-  state.result.total_matches = dataset.CountMatchingPairs();
-  if (state.result.total_matches == 0) {
-    return Status::InvalidArgument("dataset has no matching pairs; nothing to resolve");
-  }
+  crowd::SimulatedCrowdBackend::Options options;
+  options.num_threads = config_.num_threads;
+  CROWDER_ASSIGN_OR_RETURN(auto backend,
+                           crowd::SimulatedCrowdBackend::Create(
+                               config_.crowd, config_.seed, dataset.truth.entity_of, options));
+  return Run(dataset, backend.get());
+}
 
-  // The same four stages run in both execution modes; the mode only changes
-  // how candidate pairs travel between the first two (core/stages.h).
-  Pipeline pipeline;
-  pipeline.Add(std::make_unique<MachinePassStage>())
-      .Add(std::make_unique<HitGenStage>())
-      .Add(std::make_unique<CrowdStage>())
-      .Add(std::make_unique<AggregateStage>());
-  CROWDER_RETURN_NOT_OK(pipeline.Run(&state, &state.result.pipeline_stats));
-  return std::move(state.result);
+Result<WorkflowResult> HybridWorkflow::Run(const data::Dataset& dataset,
+                                           crowd::CrowdBackend* backend) const {
+  CROWDER_CHECK(backend != nullptr);
+  // The driver loop — the one place the control flow of a workflow run
+  // lives. Embedders who need to interleave their own logic between crowd
+  // rounds write this loop themselves (core/driver.h); everything here is
+  // reachable from that API.
+  WorkflowDriver driver(config_);
+  CROWDER_RETURN_NOT_OK(driver.Start(dataset));
+  while (!driver.done()) {
+    CROWDER_ASSIGN_OR_RETURN(const crowd::Ticket ticket, backend->Post(driver.PendingHits()));
+    CROWDER_ASSIGN_OR_RETURN(crowd::VoteBatch votes, backend->Poll(ticket));
+    CROWDER_RETURN_NOT_OK(driver.SubmitVotes(std::move(votes)));
+    CROWDER_RETURN_NOT_OK(driver.Step());
+  }
+  CROWDER_ASSIGN_OR_RETURN(crowd::CrowdRunResult stats, backend->Finish());
+  CROWDER_RETURN_NOT_OK(driver.SubmitCrowdStats(std::move(stats)));
+  return driver.TakeResult();
 }
 
 }  // namespace core

@@ -6,11 +6,14 @@
 // HybridWorkflow wires the substrates together behind one configuration
 // struct and returns both the ranked match list and the operational
 // statistics (HIT count, cost, latency) the paper's experiments report.
-// Run() is a composition of the four stages in core/stages.h over the
-// pipeline substrate in core/pipeline.h; WorkflowConfig::execution_mode
-// picks whether candidate pairs are materialized between the first two
-// stages or flow through a bounded, disk-spilling stream. The two modes are
-// byte-identical — the golden workflow test pins it.
+// Run() is a thin loop over core::WorkflowDriver (the step machine that
+// surfaces crowd work one HIT batch at a time) and a crowd::CrowdBackend
+// (who answers it — by default the deterministic simulator; pass your own
+// backend to replay a recorded run or attach a real crowd).
+// WorkflowConfig::execution_mode picks whether candidate pairs are
+// materialized between the machine pass and HIT generation or flow through
+// a bounded, disk-spilling stream. The two modes are byte-identical — the
+// golden workflow test pins it.
 #ifndef CROWDER_CORE_WORKFLOW_H_
 #define CROWDER_CORE_WORKFLOW_H_
 
@@ -27,6 +30,10 @@
 #include "similarity/similarity_join.h"
 
 namespace crowder {
+namespace crowd {
+class CrowdBackend;  // crowd/backend.h
+}  // namespace crowd
+
 namespace core {
 
 enum class HitType { kPairBased, kClusterBased };
@@ -151,8 +158,17 @@ class HybridWorkflow {
  public:
   explicit HybridWorkflow(WorkflowConfig config) : config_(std::move(config)) {}
 
-  /// Runs the full pipeline. Deterministic given (config, dataset).
+  /// Runs the full pipeline with the built-in simulated crowd
+  /// (crowd::SimulatedCrowdBackend under config.crowd / config.seed).
+  /// Deterministic given (config, dataset).
   Result<WorkflowResult> Run(const data::Dataset& dataset) const;
+
+  /// Runs the full pipeline against `backend` — the driver loop spelled out
+  /// in core/driver.h: post each pending HIT batch, poll its votes, submit,
+  /// step; then install the backend's crowd statistics. The backend must be
+  /// fresh (nothing posted yet) and is consumed by the run (Finish is
+  /// called on it).
+  Result<WorkflowResult> Run(const data::Dataset& dataset, crowd::CrowdBackend* backend) const;
 
   const WorkflowConfig& config() const { return config_; }
 

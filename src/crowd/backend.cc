@@ -1,0 +1,172 @@
+#include "crowd/backend.h"
+
+#include <algorithm>
+
+#include "crowd/vote_log.h"
+
+namespace crowder {
+namespace crowd {
+
+double AssignmentMedianSeconds(std::vector<double> durations) {
+  if (durations.empty()) return 0.0;
+  std::sort(durations.begin(), durations.end());
+  const size_t mid = durations.size() / 2;
+  return durations.size() % 2 == 1 ? durations[mid]
+                                   : 0.5 * (durations[mid - 1] + durations[mid]);
+}
+
+Status ValidateBatchShape(const HitBatch& batch) {
+  if (batch.pairs == nullptr) {
+    return Status::InvalidArgument("HitBatch.pairs must be set (the round's pair context)");
+  }
+  const bool has_pair = batch.pair_hits != nullptr && !batch.pair_hits->empty();
+  const bool has_cluster = batch.cluster_hits != nullptr && !batch.cluster_hits->empty();
+  if (has_pair == has_cluster) {
+    return Status::InvalidArgument(
+        "HitBatch must carry exactly one non-empty HIT list (pair-based or cluster-based)");
+  }
+  return Status::OK();
+}
+
+// ---------------------------------------------------------------------------
+// SimulatedCrowdBackend
+// ---------------------------------------------------------------------------
+
+SimulatedCrowdBackend::SimulatedCrowdBackend(const CrowdModel& model, uint64_t seed,
+                                             VoteLogWriter* tee)
+    : platform_(model, seed), tee_(tee) {}
+
+Result<std::unique_ptr<SimulatedCrowdBackend>> SimulatedCrowdBackend::Create(
+    const CrowdModel& model, uint64_t seed, const std::vector<uint32_t>& entity_of,
+    Options options) {
+  auto backend = std::unique_ptr<SimulatedCrowdBackend>(
+      new SimulatedCrowdBackend(model, seed, options.tee));
+  CROWDER_ASSIGN_OR_RETURN(
+      backend->session_,
+      CrowdSession::CreatePartitioned(backend->platform_, entity_of, options.num_threads,
+                                      /*capture_responses=*/true));
+  return backend;
+}
+
+Result<Ticket> SimulatedCrowdBackend::Post(const HitBatch& batch) {
+  if (finished_) return Status::InvalidArgument("Post after Finish");
+  if (ticket_outstanding_) {
+    return Status::InvalidArgument("Post before the previous batch was polled");
+  }
+  CROWDER_RETURN_NOT_OK(ValidateBatchShape(batch));
+  if (batch.first_hit != session_->num_hits()) {
+    return Status::InvalidArgument("HitBatch.first_hit " + std::to_string(batch.first_hit) +
+                                   " does not continue the session's HIT sequence (next is " +
+                                   std::to_string(session_->num_hits()) + ")");
+  }
+
+  // Simulate synchronously: one partition per batch. The session's per-HIT
+  // seeding keeps the outcome bitwise-independent of the batching.
+  CROWDER_RETURN_NOT_OK(session_->StartPartition(*batch.pairs));
+  if (batch.pair_hits != nullptr) {
+    CROWDER_RETURN_NOT_OK(session_->ProcessPairHits(*batch.pair_hits));
+  } else {
+    CROWDER_RETURN_NOT_OK(session_->ProcessClusterHits(*batch.cluster_hits));
+  }
+  CROWDER_ASSIGN_OR_RETURN(CrowdSession::PartitionResponses responses,
+                           session_->TakePartitionResponses());
+
+  // Convert partition-local pair indices to record-id keyed votes.
+  const std::vector<similarity::ScoredPair>& pairs = *batch.pairs;
+  pending_votes_ = VoteBatch{};
+  pending_votes_.hit_votes.reserve(responses.hits.size());
+  for (CrowdSession::HitResponse& hit : responses.hits) {
+    HitVotes out;
+    out.hit = hit.hit;
+    out.votes.reserve(hit.votes.size());
+    for (const auto& [pair_idx, vote] : hit.votes) {
+      out.votes.push_back({pairs[pair_idx].a, pairs[pair_idx].b, vote});
+    }
+    pending_votes_.hit_votes.push_back(std::move(out));
+  }
+  pending_votes_.assignments = std::move(responses.assignments);
+
+  pending_batch_ = &batch;
+  ticket_outstanding_ = true;
+  return next_ticket_;
+}
+
+Result<VoteBatch> SimulatedCrowdBackend::Poll(Ticket ticket) {
+  if (finished_) return Status::InvalidArgument("Poll after Finish");
+  if (!ticket_outstanding_ || ticket != next_ticket_) {
+    return Status::InvalidArgument("Poll for unknown ticket " + std::to_string(ticket));
+  }
+  if (tee_ != nullptr) {
+    CROWDER_RETURN_NOT_OK(tee_->WriteBatch(*pending_batch_, pending_votes_));
+  }
+  ticket_outstanding_ = false;
+  pending_batch_ = nullptr;
+  ++next_ticket_;
+  return std::move(pending_votes_);
+}
+
+Result<CrowdRunResult> SimulatedCrowdBackend::Finish() {
+  if (finished_) return Status::InvalidArgument("Finish called twice");
+  if (ticket_outstanding_) {
+    return Status::InvalidArgument("Finish with an unpolled HIT batch outstanding");
+  }
+  finished_ = true;
+  CROWDER_ASSIGN_OR_RETURN(CrowdRunResult stats, session_->Finish());
+  if (tee_ != nullptr) CROWDER_RETURN_NOT_OK(tee_->WriteFinish(stats));
+  return stats;
+}
+
+// ---------------------------------------------------------------------------
+// CallbackCrowdBackend
+// ---------------------------------------------------------------------------
+
+CallbackCrowdBackend::CallbackCrowdBackend(CrowdCallback callback)
+    : callback_(std::move(callback)) {}
+
+Result<Ticket> CallbackCrowdBackend::Post(const HitBatch& batch) {
+  if (finished_) return Status::InvalidArgument("Post after Finish");
+  if (ticket_outstanding_) {
+    return Status::InvalidArgument("Post before the previous batch was polled");
+  }
+  CROWDER_RETURN_NOT_OK(ValidateBatchShape(batch));
+  pending_batch_ = &batch;
+  ticket_outstanding_ = true;
+  return next_ticket_;
+}
+
+Result<VoteBatch> CallbackCrowdBackend::Poll(Ticket ticket) {
+  if (finished_) return Status::InvalidArgument("Poll after Finish");
+  if (!ticket_outstanding_ || ticket != next_ticket_) {
+    return Status::InvalidArgument("Poll for unknown ticket " + std::to_string(ticket));
+  }
+  CROWDER_ASSIGN_OR_RETURN(VoteBatch votes, callback_(*pending_batch_));
+  stats_.num_hits += static_cast<uint32_t>(pending_batch_->num_hits());
+  for (const AssignmentRecord& rec : votes.assignments) {
+    workers_seen_.insert(rec.worker);
+    if (rec.by_spammer) ++stats_.num_spammer_assignments;
+    stats_.total_comparisons += rec.comparisons;
+    stats_.assignment_seconds.push_back(rec.duration_seconds);
+    stats_.assignments.push_back(rec);
+  }
+  ticket_outstanding_ = false;
+  pending_batch_ = nullptr;
+  ++next_ticket_;
+  return votes;
+}
+
+Result<CrowdRunResult> CallbackCrowdBackend::Finish() {
+  if (finished_) return Status::InvalidArgument("Finish called twice");
+  if (ticket_outstanding_) {
+    return Status::InvalidArgument("Finish with an unpolled HIT batch outstanding");
+  }
+  finished_ = true;
+  stats_.num_assignments = static_cast<uint32_t>(stats_.assignment_seconds.size());
+  stats_.median_assignment_seconds = AssignmentMedianSeconds(stats_.assignment_seconds);
+  stats_.num_distinct_workers = static_cast<uint32_t>(workers_seen_.size());
+  // cost_dollars / total_seconds stay zero: platform concerns the callback
+  // cannot observe (see the class comment).
+  return std::move(stats_);
+}
+
+}  // namespace crowd
+}  // namespace crowder

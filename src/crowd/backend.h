@@ -1,0 +1,237 @@
+/// \file
+/// \brief The pluggable crowd boundary: `CrowdBackend`, the interface the
+/// workflow talks to instead of a baked-in simulator.
+///
+/// CrowdER is a hybrid human-machine loop, but until this seam existed the
+/// human half was hard-wired: `HybridWorkflow::Run` drove the built-in
+/// simulator to completion and only then returned. `CrowdBackend` inverts
+/// that — the workflow (via `core::WorkflowDriver`) *posts* HIT batches and
+/// *polls* answers, and what sits behind the boundary is the caller's
+/// choice:
+///
+///  * `SimulatedCrowdBackend` — the deterministic simulator
+///    (crowd/session.h) behind the interface; bitwise-identical to the
+///    pre-interface workflow, and able to tee every response into a
+///    `VoteLogWriter` (crowd/vote_log.h) for later replay.
+///  * `RecordedCrowdBackend` (crowd/vote_log.h) — replays a recorded vote
+///    log, reproducing the ranked output byte for byte without simulating.
+///  * `CallbackCrowdBackend` — a user-supplied function: the embedding hook
+///    for tests, oracle crowds, and live platform adapters.
+///
+/// The protocol is deliberately small: `Post(HitBatch) -> Ticket`,
+/// `Poll(Ticket) -> VoteBatch` (votes + assignment records), optional
+/// `Drain()`, terminal `Finish() -> CrowdRunResult`. Synchronous backends
+/// complete the work inside Post/Poll; an asynchronous adapter would return
+/// from Post immediately and block (or report not-ready) in Poll.
+#ifndef CROWDER_CROWD_BACKEND_H_
+#define CROWDER_CROWD_BACKEND_H_
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <set>
+#include <vector>
+
+#include "common/result.h"
+#include "crowd/platform.h"
+#include "crowd/session.h"
+#include "hitgen/hit.h"
+#include "similarity/similarity_join.h"
+
+namespace crowder {
+/// \brief The crowd: worker pool simulation, crowd sessions, and the
+/// pluggable CrowdBackend boundary with its vote-log record/replay.
+namespace crowd {
+
+class VoteLogWriter;  // crowd/vote_log.h
+
+/// \brief One posted round of crowd work: a batch of HITs plus the candidate
+/// pairs they reference (the round's pair context, with machine
+/// likelihoods). Exactly one of `pair_hits` / `cluster_hits` is non-null.
+///
+/// The batch is a non-owning view: the pointed-at vectors belong to the
+/// producer (core::WorkflowDriver keeps them alive until the round is
+/// stepped past) and must outlive every Post/Poll call that uses the batch.
+struct HitBatch {
+  /// Global index of the first HIT in the batch; HIT *i* of the batch has
+  /// global index `first_hit + i`.
+  uint32_t first_hit = 0;
+  /// The candidate pairs the batch's HITs may reference. Votes name pairs by
+  /// their (a, b) record ids, which must appear in this list.
+  const std::vector<similarity::ScoredPair>* pairs = nullptr;
+  /// Pair-based HITs of the round (null for a cluster round).
+  const std::vector<hitgen::PairBasedHit>* pair_hits = nullptr;
+  /// Cluster-based HITs of the round (null for a pair round).
+  const std::vector<hitgen::ClusterBasedHit>* cluster_hits = nullptr;
+
+  /// \brief HITs in the batch.
+  size_t num_hits() const {
+    return (pair_hits != nullptr ? pair_hits->size() : 0) +
+           (cluster_hits != nullptr ? cluster_hits->size() : 0);
+  }
+  /// \brief True when the batch carries no HITs.
+  bool empty() const { return num_hits() == 0; }
+};
+
+/// \brief Canonical 64-bit key of an unordered record pair — min(a, b) in
+/// the high word, max(a, b) in the low. The one normalization shared by
+/// every component that indexes votes by record pair (the session's pair
+/// index, the driver's round context, the simulator's per-pair hardness
+/// draw); a single definition keeps the seam's key spaces identical.
+inline uint64_t PairKey(uint32_t a, uint32_t b) {
+  return (static_cast<uint64_t>(a < b ? a : b) << 32) | (a < b ? b : a);
+}
+
+/// \brief One worker's verdict on one record pair, named by record ids (not
+/// positional indices) so answers survive any transport — a live platform, a
+/// JSONL log, a test callback.
+struct PairVote {
+  uint32_t a = 0;  ///< smaller record id of the pair
+  uint32_t b = 0;  ///< larger record id of the pair
+  /// The verdict (worker id + yes/no).
+  aggregate::Vote vote;
+};
+
+/// \brief Everything the crowd returned for one HIT: its votes in cast
+/// order. Assignment records travel separately in VoteBatch::assignments
+/// (they already carry their HIT index).
+struct HitVotes {
+  uint32_t hit = 0;  ///< global HIT index
+  /// Votes cast while answering this HIT, in cast order. Per-pair vote
+  /// order is what aggregation observes, so producers must preserve it.
+  std::vector<PairVote> votes;
+};
+
+/// \brief The crowd's answer to one posted HitBatch.
+struct VoteBatch {
+  /// Per-HIT responses. Producers emit them in global HIT order; the
+  /// aggregate per-pair vote sequences (HIT order, then cast order within a
+  /// HIT) are part of the byte-identity contract.
+  std::vector<HitVotes> hit_votes;
+  /// Completed assignments of the batch, in publish order.
+  std::vector<AssignmentRecord> assignments;
+};
+
+/// \brief Handle for one posted HitBatch, echoed back to Poll.
+using Ticket = uint64_t;
+
+/// \brief Median of a set of assignment durations (0 when empty). Shared by
+/// the stat assemblers that cannot see a platform (CallbackCrowdBackend,
+/// the driver's fallback statistics).
+double AssignmentMedianSeconds(std::vector<double> durations);
+
+/// \brief The precondition every backend's Post enforces: a pair context is
+/// set and exactly one of the two HIT lists is non-empty. Exposed so custom
+/// backends can validate the same way the built-in ones do.
+Status ValidateBatchShape(const HitBatch& batch);
+
+/// \brief Abstract crowd. One backend instance spans one workflow run; the
+/// workflow posts HIT batches in round order and polls each ticket exactly
+/// once before posting the next round (the driver's shape — backends may,
+/// but need not, support multiple outstanding tickets).
+class CrowdBackend {
+ public:
+  virtual ~CrowdBackend() = default;  ///< virtual for interface use
+
+  /// \brief Publishes one batch of HITs. The batch (and the vectors it
+  /// points at) must stay alive until the ticket has been polled.
+  virtual Result<Ticket> Post(const HitBatch& batch) = 0;
+
+  /// \brief Collects the answers for `ticket`: votes (per HIT, in cast
+  /// order) plus the batch's assignment records.
+  virtual Result<VoteBatch> Poll(Ticket ticket) = 0;
+
+  /// \brief Blocks until every outstanding ticket is answerable. A no-op
+  /// for synchronous backends (the default); asynchronous adapters
+  /// override it.
+  virtual Status Drain() { return Status::OK(); }
+
+  /// \brief Terminal: returns the run's crowd statistics (cost, latency,
+  /// assignment audit trail — the `votes` table stays empty; votes were
+  /// delivered through Poll). Fails if a posted ticket was never polled.
+  virtual Result<CrowdRunResult> Finish() = 0;
+};
+
+/// \brief Construction knobs for SimulatedCrowdBackend.
+struct SimulatedCrowdOptions {
+  /// Worker threads for the per-HIT-parallel simulation (workflow
+  /// convention: 0 = auto, 1 = serial). Identical output at any value.
+  uint32_t num_threads = 1;
+  /// Optional export tee: every polled response (and the finish record) is
+  /// also appended to this writer — `record:` mode. Must outlive the
+  /// backend.
+  VoteLogWriter* tee = nullptr;
+};
+
+/// \brief Today's deterministic simulator behind the backend interface.
+///
+/// Bitwise contract: driving a workflow through this backend produces
+/// exactly the bytes the pre-backend `HybridWorkflow::Run` produced — the
+/// simulation still runs per HIT from Rng(seed, global HIT index) inside
+/// one CrowdSession that spans all batches, so batch boundaries, execution
+/// mode, and thread counts remain invisible (pinned by the golden workflow
+/// test's backend dimension).
+class SimulatedCrowdBackend : public CrowdBackend {
+ public:
+  /// \brief Construction knobs (alias; see SimulatedCrowdOptions).
+  using Options = SimulatedCrowdOptions;
+
+  /// \brief Builds the worker pool from (model, seed) and opens a
+  /// partitioned CrowdSession over it. `entity_of` (ground truth per
+  /// record) must outlive the backend.
+  static Result<std::unique_ptr<SimulatedCrowdBackend>> Create(
+      const CrowdModel& model, uint64_t seed, const std::vector<uint32_t>& entity_of,
+      Options options = Options());
+
+  Result<Ticket> Post(const HitBatch& batch) override;
+  Result<VoteBatch> Poll(Ticket ticket) override;
+  Result<CrowdRunResult> Finish() override;
+
+ private:
+  SimulatedCrowdBackend(const CrowdModel& model, uint64_t seed, VoteLogWriter* tee);
+
+  CrowdPlatform platform_;
+  std::unique_ptr<CrowdSession> session_;
+  VoteLogWriter* tee_ = nullptr;
+  /// The answer prepared by Post, awaiting its Poll.
+  VoteBatch pending_votes_;
+  const HitBatch* pending_batch_ = nullptr;  // non-owning; valid until Poll
+  Ticket next_ticket_ = 0;
+  bool ticket_outstanding_ = false;
+  bool finished_ = false;
+};
+
+/// \brief The answer-producing function a CallbackCrowdBackend wraps: given
+/// a posted batch, return its votes and assignment records (or an error).
+using CrowdCallback = std::function<Result<VoteBatch>(const HitBatch&)>;
+
+/// \brief A crowd implemented by a user-supplied function — the embedding
+/// hook for tests, ground-truth oracles, and adapters to live platforms.
+///
+/// Finish() assembles statistics from what the callback returned
+/// (HIT/assignment counts, durations, distinct workers); cost and
+/// wall-clock latency stay zero unless the embedder knows better — they are
+/// platform concerns the callback cannot see.
+class CallbackCrowdBackend : public CrowdBackend {
+ public:
+  /// \brief Wraps `callback`; it is invoked once per posted batch, at Poll.
+  explicit CallbackCrowdBackend(CrowdCallback callback);
+
+  Result<Ticket> Post(const HitBatch& batch) override;
+  Result<VoteBatch> Poll(Ticket ticket) override;
+  Result<CrowdRunResult> Finish() override;
+
+ private:
+  CrowdCallback callback_;
+  const HitBatch* pending_batch_ = nullptr;  // non-owning; valid until Poll
+  Ticket next_ticket_ = 0;
+  bool ticket_outstanding_ = false;
+  bool finished_ = false;
+  CrowdRunResult stats_;
+  std::set<uint32_t> workers_seen_;
+};
+
+}  // namespace crowd
+}  // namespace crowder
+
+#endif  // CROWDER_CROWD_BACKEND_H_

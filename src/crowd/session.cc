@@ -5,6 +5,7 @@
 #include <queue>
 
 #include "common/logging.h"
+#include "crowd/backend.h"  // the shared PairKey normalization
 #include "exec/parallel.h"
 
 namespace crowder {
@@ -12,23 +13,12 @@ namespace crowd {
 
 namespace {
 
-uint64_t PairKey(uint32_t a, uint32_t b) {
-  return (static_cast<uint64_t>(std::min(a, b)) << 32) | std::max(a, b);
-}
-
 // Deterministic per-pair hardness draw in [0,1): the same pair is equally
 // confusing for every worker and every run, which is what makes replication
 // imperfect insurance (as on the real platform).
 double PairHardness(uint32_t a, uint32_t b) {
   uint64_t state = PairKey(a, b) ^ 0xCB0BDE12E5550AALL;
   return static_cast<double>(SplitMix64(&state) >> 11) * 0x1.0p-53;
-}
-
-double Median(std::vector<double> v) {
-  if (v.empty()) return 0.0;
-  std::sort(v.begin(), v.end());
-  const size_t mid = v.size() / 2;
-  return v.size() % 2 == 1 ? v[mid] : 0.5 * (v[mid - 1] + v[mid]);
 }
 
 // Salt for the completion simulation's stream — outside the HIT index range.
@@ -158,12 +148,15 @@ Result<std::unique_ptr<CrowdSession>> CrowdSession::Create(const CrowdPlatform& 
 
 Result<std::unique_ptr<CrowdSession>> CrowdSession::CreatePartitioned(
     const CrowdPlatform& platform, const std::vector<uint32_t>& entity_of,
-    uint32_t num_threads) {
+    uint32_t num_threads, bool capture_responses) {
   CROWDER_RETURN_NOT_OK(ValidatePool(platform));
   CrowdContext context;
   context.pairs = nullptr;  // installed by StartPartition
   context.entity_of = &entity_of;
-  return std::unique_ptr<CrowdSession>(new CrowdSession(platform, context, num_threads));
+  auto session =
+      std::unique_ptr<CrowdSession>(new CrowdSession(platform, context, num_threads));
+  session->capture_responses_ = capture_responses;
+  return session;
 }
 
 CrowdSession::CrowdSession(const CrowdPlatform& platform, const CrowdContext& context,
@@ -194,7 +187,15 @@ Status CrowdSession::StartPartition(const std::vector<similarity::ScoredPair>& p
   pair_index_.clear();
   pair_index_.reserve(pairs.size());
   for (size_t i = 0; i < pairs.size(); ++i) pair_index_[PairKey(pairs[i].a, pairs[i].b)] = i;
-  result_.votes.assign(pairs.size(), {});
+  // Capture mode keeps votes per HIT instead; building the per-pair table
+  // too would file every vote twice just to throw one copy away.
+  if (capture_responses_) {
+    result_.votes.clear();
+  } else {
+    result_.votes.assign(pairs.size(), {});
+  }
+  hit_responses_.clear();
+  partition_assignment_begin_ = result_.assignments.size();
   partition_open_ = true;
   return Status::OK();
 }
@@ -202,11 +203,32 @@ Status CrowdSession::StartPartition(const std::vector<similarity::ScoredPair>& p
 Result<aggregate::VoteTable> CrowdSession::TakePartitionVotes() {
   CROWDER_CHECK(!finished_) << "TakePartitionVotes after Finish";
   if (failed_) return Status::InvalidArgument("CrowdSession already failed");
+  if (capture_responses_) {
+    return Status::InvalidArgument(
+        "session captures per-HIT responses; use TakePartitionResponses");
+  }
   if (!partition_open_) return Status::InvalidArgument("no open partition to take votes from");
   aggregate::VoteTable votes = std::move(result_.votes);
   result_.votes.clear();
   partition_open_ = false;
   return votes;
+}
+
+Result<CrowdSession::PartitionResponses> CrowdSession::TakePartitionResponses() {
+  CROWDER_CHECK(!finished_) << "TakePartitionResponses after Finish";
+  if (failed_) return Status::InvalidArgument("CrowdSession already failed");
+  if (!capture_responses_) {
+    return Status::InvalidArgument(
+        "TakePartitionResponses requires CreatePartitioned(capture_responses = true)");
+  }
+  if (!partition_open_) return Status::InvalidArgument("no open partition to take responses from");
+  PartitionResponses responses;
+  responses.hits = std::move(hit_responses_);
+  hit_responses_.clear();
+  responses.assignments.assign(result_.assignments.begin() + partition_assignment_begin_,
+                               result_.assignments.end());
+  partition_open_ = false;
+  return responses;
 }
 
 CrowdSession::HitOutcome CrowdSession::SimulatePairHit(uint32_t hit_index,
@@ -314,7 +336,11 @@ Status CrowdSession::MergeOutcomes(std::vector<HitOutcome>&& outcomes) {
       return out.status;
     }
     total_visible_ += out.visible_items;
-    for (auto& [pair_idx, vote] : out.votes) result_.votes[pair_idx].push_back(vote);
+    if (capture_responses_) {
+      hit_responses_.push_back({next_hit_, std::move(out.votes)});
+    } else {
+      for (auto& [pair_idx, vote] : out.votes) result_.votes[pair_idx].push_back(vote);
+    }
     for (const AssignmentRecord& rec : out.assignments) {
       worker_used_[rec.worker] = 1;
       if (rec.by_spammer) ++result_.num_spammer_assignments;
@@ -373,7 +399,7 @@ Result<CrowdRunResult> CrowdSession::Finish() {
   result_.num_hits = next_hit_;
   result_.num_assignments = static_cast<uint32_t>(result_.assignment_seconds.size());
   result_.cost_dollars = result_.num_assignments * platform_.model().CostPerAssignment();
-  result_.median_assignment_seconds = Median(result_.assignment_seconds);
+  result_.median_assignment_seconds = AssignmentMedianSeconds(result_.assignment_seconds);
   result_.num_distinct_workers =
       static_cast<uint32_t>(std::count(worker_used_.begin(), worker_used_.end(), 1));
   const double avg_visible =

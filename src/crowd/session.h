@@ -77,10 +77,14 @@ class CrowdSession {
 
   /// Partitioned-boundary variant: no pair context yet — the caller must
   /// StartPartition before the first Process call. `entity_of` must outlive
-  /// the session.
+  /// the session. With `capture_responses` the session records votes per
+  /// HIT (drained with TakePartitionResponses — the provenance a
+  /// crowd::CrowdBackend exports) *instead of* the per-pair vote table, so
+  /// TakePartitionVotes becomes an error; capture never changes the
+  /// simulation itself.
   static Result<std::unique_ptr<CrowdSession>> CreatePartitioned(
       const CrowdPlatform& platform, const std::vector<uint32_t>& entity_of,
-      uint32_t num_threads = 1);
+      uint32_t num_threads = 1, bool capture_responses = false);
 
   /// Re-points the session at the next partition's pair list (which must
   /// outlive the partition) and opens a fresh vote table aligned to it.
@@ -93,6 +97,28 @@ class CrowdSession {
   /// assignment/worker/latency accumulators keep running; only votes are
   /// handed off per partition.
   Result<aggregate::VoteTable> TakePartitionVotes();
+
+  /// One simulated HIT's votes, in cast order, with partition-local pair
+  /// indices (positions in the partition's pair list).
+  struct HitResponse {
+    uint32_t hit = 0;  ///< global HIT index
+    std::vector<std::pair<size_t, aggregate::Vote>> votes;
+  };
+
+  /// What TakePartitionResponses drains for one partition.
+  struct PartitionResponses {
+    /// Per-HIT responses, in global HIT order.
+    std::vector<HitResponse> hits;
+    /// The partition's assignment records, in publish order.
+    std::vector<AssignmentRecord> assignments;
+  };
+
+  /// Capture-mode counterpart of TakePartitionVotes: drains the current
+  /// partition's per-HIT responses and assignment records and closes the
+  /// partition. Requires CreatePartitioned(..., capture_responses = true)
+  /// — in that mode the per-pair vote table is never built (the responses
+  /// carry every vote, with HIT provenance).
+  Result<PartitionResponses> TakePartitionResponses();
 
   CrowdSession(const CrowdSession&) = delete;
   CrowdSession& operator=(const CrowdSession&) = delete;
@@ -136,6 +162,10 @@ class CrowdSession {
 
   // Accumulated across batches.
   CrowdRunResult result_;
+  // Per-HIT capture (capture_responses_ only), reset per partition.
+  std::vector<HitResponse> hit_responses_;
+  size_t partition_assignment_begin_ = 0;
+  bool capture_responses_ = false;
   std::vector<uint32_t> hit_of_assignment_;
   std::vector<char> worker_used_;
   double total_visible_ = 0.0;

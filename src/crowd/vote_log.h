@@ -1,0 +1,125 @@
+/// \file
+/// \brief The JSONL vote log: recording a crowd run for exact replay.
+///
+/// A vote log captures everything a crowd returned — per HIT: the HIT's
+/// identity (its pairs or records), every vote in cast order, and the
+/// assignment records — plus a trailing finish record with the run's
+/// statistics. `VoteLogWriter` produces the format (usually as
+/// `SimulatedCrowdBackend`'s tee); `RecordedCrowdBackend` replays it as a
+/// `crowd::CrowdBackend`, reproducing the ranked workflow output byte for
+/// byte without simulating anything.
+///
+/// Format: one JSON object per line.
+///
+///     {"crowder_vote_log":1}                                   // header
+///     {"hit":0,"pairs":[[1,5],[2,7]],
+///      "votes":[[1,5,3,1],[2,7,4,0]],                          // [a,b,worker,match]
+///      "assignments":[[3,12.25,2,0],[4,13.5,2,0]]}             // [worker,secs,comparisons,spammer]
+///     {"hit":1,"records":[4,8,9], ...}                         // cluster HIT
+///     {"finish":{"total_seconds":...,"cost_dollars":..., ...}} // footer
+///
+/// Doubles are printed with std::to_chars (shortest round-trip form,
+/// locale-independent) and parsed with std::from_chars, so every finite
+/// IEEE-754 value round-trips exactly — replayed assignment durations and
+/// statistics are bitwise the recorded ones, regardless of the embedding
+/// process's locale. Because lines are keyed by *global HIT index*
+/// and HIT identity, a log records the HIT sequence, not the round
+/// partitioning: a run recorded under one partition capacity (or execution
+/// mode) replays under any other, as long as the generated HIT sequence is
+/// identical — which the workflow's byte-identity contract guarantees.
+///
+/// Replay failures are `StatusCode::kDataLoss` and name the offending HIT
+/// index: a truncated log, a HIT whose recorded identity mismatches the
+/// generated one, or a missing finish record.
+#ifndef CROWDER_CROWD_VOTE_LOG_H_
+#define CROWDER_CROWD_VOTE_LOG_H_
+
+#include <cstdint>
+#include <fstream>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "crowd/backend.h"
+
+namespace crowder {
+namespace crowd {
+
+/// \brief Appends crowd responses to a JSONL vote log.
+///
+/// Lifecycle: Create → WriteBatch per answered HitBatch (in HIT order) →
+/// WriteFinish once → Close. `SimulatedCrowdBackend` drives the first two
+/// when installed as its tee; the owner must still Close (which flushes and
+/// surfaces any deferred I/O error).
+class VoteLogWriter {
+ public:
+  /// \brief Opens `path` for writing (truncating) and writes the header
+  /// line.
+  static Result<std::unique_ptr<VoteLogWriter>> Create(const std::string& path);
+
+  /// \brief Appends one line per HIT of `batch`, pairing each HIT's
+  /// identity from `hits` with its votes and assignment records from
+  /// `votes`.
+  Status WriteBatch(const HitBatch& hits, const VoteBatch& votes);
+
+  /// \brief Appends the finish record carrying the run statistics.
+  Status WriteFinish(const CrowdRunResult& stats);
+
+  /// \brief Flushes and closes; returns the first I/O error, if any.
+  /// Terminal.
+  Status Close();
+
+  /// \brief Log path (for reports).
+  const std::string& path() const { return path_; }
+
+ private:
+  VoteLogWriter(std::string path, std::ofstream out);
+
+  std::string path_;
+  std::ofstream out_;
+  bool closed_ = false;
+  /// A write failed (I/O or an out-of-order VoteBatch): the log on disk may
+  /// be partial, so every later Write*/Close reports the log as incomplete
+  /// rather than sealing it (the failed_ latch discipline).
+  bool failed_ = false;
+};
+
+/// \brief Replays a recorded vote log as a crowd.
+///
+/// The backend streams the log (bounded memory): each posted batch consumes
+/// the next `batch.num_hits()` lines, verifying per HIT that the recorded
+/// global index and identity (pairs / records) match the generated HIT —
+/// any divergence is a `kDataLoss` error naming the HIT index. Finish
+/// requires the finish record and returns the recorded statistics with the
+/// replayed assignment trail.
+class RecordedCrowdBackend : public CrowdBackend {
+ public:
+  /// \brief Opens `path` and validates the header line.
+  static Result<std::unique_ptr<RecordedCrowdBackend>> Open(const std::string& path);
+
+  Result<Ticket> Post(const HitBatch& batch) override;
+  Result<VoteBatch> Poll(Ticket ticket) override;
+  Result<CrowdRunResult> Finish() override;
+
+ private:
+  RecordedCrowdBackend(std::string path, std::ifstream in);
+
+  /// Reads the next log line into `line` (false at EOF).
+  bool NextLine(std::string* line);
+
+  std::string path_;
+  std::ifstream in_;
+  const HitBatch* pending_batch_ = nullptr;  // non-owning; valid until Poll
+  Ticket next_ticket_ = 0;
+  bool ticket_outstanding_ = false;
+  bool finished_ = false;
+  uint32_t hits_replayed_ = 0;
+  std::vector<AssignmentRecord> assignments_;  // replayed audit trail
+  std::vector<double> assignment_seconds_;
+};
+
+}  // namespace crowd
+}  // namespace crowder
+
+#endif  // CROWDER_CROWD_VOTE_LOG_H_

@@ -1,0 +1,359 @@
+// Tests for the pluggable crowd boundary (crowd/backend.h) and the JSONL
+// vote log (crowd/vote_log.h): the simulated backend reproduces the
+// session's votes with per-HIT provenance, the writer/replayer round-trip
+// is exact (votes, assignments, statistics — doubles included), and replay
+// failures (truncation, mismatch, missing finish record) are DataLoss
+// errors naming the offending HIT.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "crowd/backend.h"
+#include "crowd/platform.h"
+#include "crowd/vote_log.h"
+#include "hitgen/hit.h"
+
+namespace crowder {
+namespace crowd {
+namespace {
+
+// A tiny fixed world: 8 records in 4 entities, pairs over them.
+std::vector<uint32_t> EntityOf() { return {0, 0, 1, 1, 2, 2, 3, 3}; }
+
+std::vector<similarity::ScoredPair> SomePairs() {
+  return {{0, 1, 0.9}, {2, 3, 0.8}, {4, 5, 0.7}, {6, 7, 0.6}, {0, 2, 0.4}, {4, 6, 0.3}};
+}
+
+std::vector<hitgen::PairBasedHit> PairHits() {
+  // Three HITs of two pairs each, covering the six pairs in order.
+  std::vector<hitgen::PairBasedHit> hits(3);
+  hits[0].pairs = {{0, 1}, {2, 3}};
+  hits[1].pairs = {{4, 5}, {6, 7}};
+  hits[2].pairs = {{0, 2}, {4, 6}};
+  return hits;
+}
+
+std::string TempPath(const std::string& name) {
+  return ::testing::TempDir() + "/" + name;
+}
+
+TEST(SimulatedCrowdBackendTest, MatchesPartitionedSessionBitwise) {
+  // The backend is the session behind an interface: same platform, same
+  // seed, same batches → the per-pair vote sequences must be identical.
+  const auto entity_of = EntityOf();
+  const auto pairs = SomePairs();
+  const auto hits = PairHits();
+  const CrowdModel model;
+  const uint64_t seed = 77;
+
+  // Reference: the raw partitioned session.
+  const CrowdPlatform platform(model, seed);
+  auto session = CrowdSession::CreatePartitioned(platform, entity_of).ValueOrDie();
+  ASSERT_TRUE(session->StartPartition(pairs).ok());
+  ASSERT_TRUE(session->ProcessPairHits(hits).ok());
+  auto session_votes = session->TakePartitionVotes().ValueOrDie();
+  auto session_stats = session->Finish().ValueOrDie();
+
+  // The backend, posted the same single batch.
+  auto backend = SimulatedCrowdBackend::Create(model, seed, entity_of).ValueOrDie();
+  HitBatch batch;
+  batch.first_hit = 0;
+  batch.pairs = &pairs;
+  batch.pair_hits = &hits;
+  auto ticket = backend->Post(batch);
+  ASSERT_TRUE(ticket.ok()) << ticket.status().ToString();
+  auto votes = backend->Poll(*ticket).ValueOrDie();
+  auto stats = backend->Finish().ValueOrDie();
+
+  // Reassemble a per-pair table from the per-HIT responses and compare.
+  aggregate::VoteTable rebuilt(pairs.size());
+  for (const HitVotes& hv : votes.hit_votes) {
+    for (const PairVote& pv : hv.votes) {
+      for (size_t i = 0; i < pairs.size(); ++i) {
+        if (pairs[i].a == pv.a && pairs[i].b == pv.b) {
+          rebuilt[i].push_back(pv.vote);
+          break;
+        }
+      }
+    }
+  }
+  ASSERT_EQ(rebuilt.size(), session_votes.size());
+  for (size_t i = 0; i < rebuilt.size(); ++i) {
+    ASSERT_EQ(rebuilt[i].size(), session_votes[i].size()) << "pair " << i;
+    for (size_t v = 0; v < rebuilt[i].size(); ++v) {
+      EXPECT_EQ(rebuilt[i][v].worker_id, session_votes[i][v].worker_id);
+      EXPECT_EQ(rebuilt[i][v].says_match, session_votes[i][v].says_match);
+    }
+  }
+  EXPECT_EQ(stats.num_hits, session_stats.num_hits);
+  EXPECT_EQ(stats.num_assignments, session_stats.num_assignments);
+  EXPECT_EQ(stats.cost_dollars, session_stats.cost_dollars);
+  EXPECT_EQ(stats.total_seconds, session_stats.total_seconds);
+  ASSERT_EQ(votes.assignments.size(), stats.assignments.size());
+}
+
+// Posts the three HITs in two batches through `backend`, returning the
+// polled votes (empty on error).
+Result<std::vector<VoteBatch>> DriveBatches(CrowdBackend* backend,
+                                            const std::vector<similarity::ScoredPair>& pairs,
+                                            const std::vector<hitgen::PairBasedHit>& hits) {
+  std::vector<hitgen::PairBasedHit> first(hits.begin(), hits.begin() + 2);
+  std::vector<hitgen::PairBasedHit> second(hits.begin() + 2, hits.end());
+  std::vector<VoteBatch> out;
+  HitBatch batch;
+  batch.pairs = &pairs;
+  batch.first_hit = 0;
+  batch.pair_hits = &first;
+  CROWDER_ASSIGN_OR_RETURN(Ticket t0, backend->Post(batch));
+  CROWDER_ASSIGN_OR_RETURN(VoteBatch v0, backend->Poll(t0));
+  out.push_back(std::move(v0));
+  batch.first_hit = 2;
+  batch.pair_hits = &second;
+  CROWDER_ASSIGN_OR_RETURN(Ticket t1, backend->Post(batch));
+  CROWDER_ASSIGN_OR_RETURN(VoteBatch v1, backend->Poll(t1));
+  out.push_back(std::move(v1));
+  return out;
+}
+
+TEST(VoteLogTest, RecordThenReplayRoundTripsExactly) {
+  const auto entity_of = EntityOf();
+  const auto pairs = SomePairs();
+  const auto hits = PairHits();
+  const std::string path = TempPath("votes_roundtrip.jsonl");
+
+  // Record through the simulated backend's tee.
+  auto writer = VoteLogWriter::Create(path).ValueOrDie();
+  SimulatedCrowdOptions options;
+  options.tee = writer.get();
+  auto recorder =
+      SimulatedCrowdBackend::Create(CrowdModel{}, 5, entity_of, options).ValueOrDie();
+  auto recorded = DriveBatches(recorder.get(), pairs, hits).ValueOrDie();
+  auto recorded_stats = recorder->Finish().ValueOrDie();
+  ASSERT_TRUE(writer->Close().ok());
+
+  // Replay — deliberately with a different batching (all three HITs at
+  // once): the log stores the HIT sequence, not the batch boundaries.
+  auto replayer = RecordedCrowdBackend::Open(path).ValueOrDie();
+  HitBatch all;
+  all.first_hit = 0;
+  all.pairs = &pairs;
+  all.pair_hits = &hits;
+  auto ticket = replayer->Post(all);
+  ASSERT_TRUE(ticket.ok());
+  auto replayed = replayer->Poll(*ticket).ValueOrDie();
+  auto replayed_stats = replayer->Finish().ValueOrDie();
+
+  // Votes: concatenation of the recorded batches, verbatim.
+  std::vector<HitVotes> recorded_flat;
+  for (const auto& vb : recorded) {
+    for (const auto& hv : vb.hit_votes) recorded_flat.push_back(hv);
+  }
+  ASSERT_EQ(replayed.hit_votes.size(), recorded_flat.size());
+  for (size_t h = 0; h < recorded_flat.size(); ++h) {
+    EXPECT_EQ(replayed.hit_votes[h].hit, recorded_flat[h].hit);
+    ASSERT_EQ(replayed.hit_votes[h].votes.size(), recorded_flat[h].votes.size());
+    for (size_t v = 0; v < recorded_flat[h].votes.size(); ++v) {
+      const PairVote& a = replayed.hit_votes[h].votes[v];
+      const PairVote& b = recorded_flat[h].votes[v];
+      EXPECT_EQ(a.a, b.a);
+      EXPECT_EQ(a.b, b.b);
+      EXPECT_EQ(a.vote.worker_id, b.vote.worker_id);
+      EXPECT_EQ(a.vote.says_match, b.vote.says_match);
+    }
+  }
+  // Assignments: bitwise, doubles included (%.17g round trip).
+  std::vector<AssignmentRecord> recorded_assignments;
+  for (const auto& vb : recorded) {
+    recorded_assignments.insert(recorded_assignments.end(), vb.assignments.begin(),
+                                vb.assignments.end());
+  }
+  ASSERT_EQ(replayed.assignments.size(), recorded_assignments.size());
+  for (size_t i = 0; i < recorded_assignments.size(); ++i) {
+    EXPECT_EQ(replayed.assignments[i].hit, recorded_assignments[i].hit);
+    EXPECT_EQ(replayed.assignments[i].worker, recorded_assignments[i].worker);
+    EXPECT_EQ(replayed.assignments[i].duration_seconds,
+              recorded_assignments[i].duration_seconds);
+    EXPECT_EQ(replayed.assignments[i].comparisons, recorded_assignments[i].comparisons);
+    EXPECT_EQ(replayed.assignments[i].by_spammer, recorded_assignments[i].by_spammer);
+  }
+  // Statistics: bitwise.
+  EXPECT_EQ(replayed_stats.num_hits, recorded_stats.num_hits);
+  EXPECT_EQ(replayed_stats.num_assignments, recorded_stats.num_assignments);
+  EXPECT_EQ(replayed_stats.total_comparisons, recorded_stats.total_comparisons);
+  EXPECT_EQ(replayed_stats.cost_dollars, recorded_stats.cost_dollars);
+  EXPECT_EQ(replayed_stats.total_seconds, recorded_stats.total_seconds);
+  EXPECT_EQ(replayed_stats.median_assignment_seconds,
+            recorded_stats.median_assignment_seconds);
+}
+
+// Writes a recorded log for the fixed world and returns its path.
+std::string RecordFixedLog(const std::string& name) {
+  const auto entity_of = EntityOf();
+  const auto pairs = SomePairs();
+  const auto hits = PairHits();
+  const std::string path = TempPath(name);
+  auto writer = VoteLogWriter::Create(path).ValueOrDie();
+  SimulatedCrowdOptions options;
+  options.tee = writer.get();
+  auto recorder =
+      SimulatedCrowdBackend::Create(CrowdModel{}, 5, entity_of, options).ValueOrDie();
+  auto batches = DriveBatches(recorder.get(), pairs, hits);
+  EXPECT_TRUE(batches.ok());
+  EXPECT_TRUE(recorder->Finish().ok());
+  EXPECT_TRUE(writer->Close().ok());
+  return path;
+}
+
+TEST(VoteLogTest, TruncatedLogFailsWithDataLossNamingTheHit) {
+  const std::string full = RecordFixedLog("votes_full.jsonl");
+  // Keep the header and the first HIT line only.
+  const std::string truncated = TempPath("votes_truncated.jsonl");
+  {
+    std::ifstream in(full);
+    std::ofstream out(truncated);
+    std::string line;
+    for (int i = 0; i < 2 && std::getline(in, line); ++i) out << line << "\n";
+  }
+  const auto pairs = SomePairs();
+  const auto hits = PairHits();
+  auto replayer = RecordedCrowdBackend::Open(truncated).ValueOrDie();
+  HitBatch all;
+  all.pairs = &pairs;
+  all.pair_hits = &hits;
+  auto ticket = replayer->Post(all).ValueOrDie();
+  auto votes = replayer->Poll(ticket);
+  ASSERT_FALSE(votes.ok());
+  EXPECT_TRUE(votes.status().IsDataLoss()) << votes.status().ToString();
+  EXPECT_NE(votes.status().message().find("HIT 1"), std::string::npos)
+      << votes.status().ToString();
+}
+
+TEST(VoteLogTest, MismatchedHitIdentityFailsWithDataLoss) {
+  const std::string path = RecordFixedLog("votes_mismatch.jsonl");
+  const auto pairs = SomePairs();
+  auto hits = PairHits();
+  hits[1].pairs[0] = {0, 1};  // not what was recorded for HIT 1
+  auto replayer = RecordedCrowdBackend::Open(path).ValueOrDie();
+  HitBatch all;
+  all.pairs = &pairs;
+  all.pair_hits = &hits;
+  auto ticket = replayer->Post(all).ValueOrDie();
+  auto votes = replayer->Poll(ticket);
+  ASSERT_FALSE(votes.ok());
+  EXPECT_TRUE(votes.status().IsDataLoss());
+  EXPECT_NE(votes.status().message().find("HIT 1"), std::string::npos)
+      << votes.status().ToString();
+  EXPECT_NE(votes.status().message().find("pairs differ"), std::string::npos);
+}
+
+TEST(VoteLogTest, CorruptVoteRecordIdFailsWithDataLossNotGenericRejection) {
+  // Corruption *inside* a vote entry (a record id pointing outside the
+  // batch's candidate context) must be classified at the replay boundary as
+  // DataLoss — not leak through to the driver's generic bad-transport
+  // rejection (which would exit crowder_cli with the wrong code).
+  const std::string full = RecordFixedLog("votes_badvote_src.jsonl");
+  const std::string corrupted = TempPath("votes_badvote.jsonl");
+  {
+    std::ifstream in(full);
+    std::ofstream out(corrupted);
+    std::string line;
+    while (std::getline(in, line)) {
+      // Rewrite the first vote of HIT 0 to name the non-candidate pair
+      // (0,3): "votes":[[0,1,... -> "votes":[[0,3,...
+      const std::string needle = "\"votes\":[[0,1,";
+      const size_t at = line.find(needle);
+      if (at != std::string::npos) line.replace(at, needle.size(), "\"votes\":[[0,3,");
+      out << line << "\n";
+    }
+  }
+  const auto pairs = SomePairs();
+  const auto hits = PairHits();
+  auto replayer = RecordedCrowdBackend::Open(corrupted).ValueOrDie();
+  HitBatch all;
+  all.pairs = &pairs;
+  all.pair_hits = &hits;
+  auto ticket = replayer->Post(all).ValueOrDie();
+  auto votes = replayer->Poll(ticket);
+  ASSERT_FALSE(votes.ok());
+  EXPECT_TRUE(votes.status().IsDataLoss()) << votes.status().ToString();
+  EXPECT_NE(votes.status().message().find("(0,3)"), std::string::npos)
+      << votes.status().ToString();
+}
+
+TEST(VoteLogTest, MissingFinishRecordFailsWithDataLoss) {
+  const std::string full = RecordFixedLog("votes_nofinish_src.jsonl");
+  const std::string headless = TempPath("votes_nofinish.jsonl");
+  {
+    // Drop the last (finish) line.
+    std::ifstream in(full);
+    std::vector<std::string> lines;
+    std::string line;
+    while (std::getline(in, line)) lines.push_back(line);
+    ASSERT_GE(lines.size(), 2u);
+    std::ofstream out(headless);
+    for (size_t i = 0; i + 1 < lines.size(); ++i) out << lines[i] << "\n";
+  }
+  const auto pairs = SomePairs();
+  const auto hits = PairHits();
+  auto replayer = RecordedCrowdBackend::Open(headless).ValueOrDie();
+  HitBatch all;
+  all.pairs = &pairs;
+  all.pair_hits = &hits;
+  auto ticket = replayer->Post(all).ValueOrDie();
+  ASSERT_TRUE(replayer->Poll(ticket).ok());
+  auto finish = replayer->Finish();
+  ASSERT_FALSE(finish.ok());
+  EXPECT_TRUE(finish.status().IsDataLoss());
+  EXPECT_NE(finish.status().message().find("missing finish record"), std::string::npos);
+}
+
+TEST(VoteLogTest, NonLogFileFailsToOpen) {
+  const std::string path = TempPath("not_a_log.jsonl");
+  {
+    std::ofstream out(path);
+    out << "{\"something\":true}\n";
+  }
+  auto replayer = RecordedCrowdBackend::Open(path);
+  ASSERT_FALSE(replayer.ok());
+  EXPECT_TRUE(replayer.status().IsDataLoss());
+}
+
+TEST(CallbackCrowdBackendTest, AccumulatesStatsAndEnforcesProtocol) {
+  const auto pairs = SomePairs();
+  const auto hits = PairHits();
+  CallbackCrowdBackend backend([](const HitBatch& batch) -> Result<VoteBatch> {
+    VoteBatch votes;
+    for (size_t i = 0; i < batch.pair_hits->size(); ++i) {
+      AssignmentRecord rec;
+      rec.hit = batch.first_hit + static_cast<uint32_t>(i);
+      rec.worker = static_cast<uint32_t>(i % 2);
+      rec.duration_seconds = 2.0 + static_cast<double>(i);
+      votes.assignments.push_back(rec);
+    }
+    return votes;
+  });
+
+  HitBatch all;
+  all.pairs = &pairs;
+  all.pair_hits = &hits;
+  auto ticket = backend.Post(all).ValueOrDie();
+  // Post again before polling: one outstanding ticket at a time.
+  EXPECT_TRUE(backend.Post(all).status().IsInvalidArgument());
+  ASSERT_TRUE(backend.Poll(ticket).ok());
+  EXPECT_TRUE(backend.Poll(ticket).status().IsInvalidArgument());  // already polled
+
+  auto stats = backend.Finish().ValueOrDie();
+  EXPECT_EQ(stats.num_hits, 3u);
+  EXPECT_EQ(stats.num_assignments, 3u);
+  EXPECT_EQ(stats.num_distinct_workers, 2u);
+  EXPECT_EQ(stats.median_assignment_seconds, 3.0);
+  EXPECT_EQ(stats.cost_dollars, 0.0);
+}
+
+}  // namespace
+}  // namespace crowd
+}  // namespace crowder

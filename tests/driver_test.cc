@@ -1,0 +1,294 @@
+// Tests for the step/poll WorkflowDriver (core/driver.h): the manual driver
+// loop must reproduce HybridWorkflow::Run bitwise in both execution modes,
+// embedders can bring their own crowd through CallbackCrowdBackend, and
+// hostile vote injection through SubmitVotes — unknown pair keys, duplicate
+// submissions, votes after done(), taking the result off a half-answered
+// run — fails with clean Status errors that never corrupt state (the
+// failed_ latch discipline).
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <utility>
+
+#include "core/driver.h"
+#include "core/workflow.h"
+#include "crowd/backend.h"
+#include "data/generators.h"
+#include "eval/metrics.h"
+
+namespace crowder {
+namespace core {
+namespace {
+
+data::Dataset SmallRestaurant() {
+  data::RestaurantConfig config;
+  config.num_records = 120;
+  config.num_duplicate_pairs = 20;
+  config.num_chains = 4;
+  config.seed = 3;
+  return data::GenerateRestaurant(config).ValueOrDie();
+}
+
+WorkflowConfig BaseConfig() {
+  WorkflowConfig config;
+  config.likelihood_threshold = 0.35;
+  config.cluster_size = 5;
+  config.pairs_per_hit = 5;
+  config.seed = 17;
+  return config;
+}
+
+// Runs the manual driver loop against a fresh simulated backend.
+Result<WorkflowResult> DriveManually(const WorkflowConfig& config,
+                                     const data::Dataset& dataset) {
+  crowd::SimulatedCrowdOptions options;
+  options.num_threads = config.num_threads;
+  CROWDER_ASSIGN_OR_RETURN(auto backend,
+                           crowd::SimulatedCrowdBackend::Create(
+                               config.crowd, config.seed, dataset.truth.entity_of, options));
+  WorkflowDriver driver(config);
+  CROWDER_RETURN_NOT_OK(driver.Start(dataset));
+  while (!driver.done()) {
+    CROWDER_ASSIGN_OR_RETURN(const crowd::Ticket ticket, backend->Post(driver.PendingHits()));
+    CROWDER_ASSIGN_OR_RETURN(crowd::VoteBatch votes, backend->Poll(ticket));
+    CROWDER_RETURN_NOT_OK(driver.SubmitVotes(std::move(votes)));
+    CROWDER_RETURN_NOT_OK(driver.Step());
+  }
+  CROWDER_ASSIGN_OR_RETURN(crowd::CrowdRunResult stats, backend->Finish());
+  CROWDER_RETURN_NOT_OK(driver.SubmitCrowdStats(std::move(stats)));
+  return driver.TakeResult();
+}
+
+void ExpectBitwiseEqual(const WorkflowResult& a, const WorkflowResult& b) {
+  ASSERT_EQ(a.ranked.size(), b.ranked.size());
+  for (size_t i = 0; i < a.ranked.size(); ++i) {
+    EXPECT_EQ(a.ranked[i].a, b.ranked[i].a);
+    EXPECT_EQ(a.ranked[i].b, b.ranked[i].b);
+    EXPECT_EQ(a.ranked[i].score, b.ranked[i].score);
+  }
+  EXPECT_EQ(a.crowd_stats.num_hits, b.crowd_stats.num_hits);
+  EXPECT_EQ(a.crowd_stats.num_assignments, b.crowd_stats.num_assignments);
+  EXPECT_EQ(a.crowd_stats.cost_dollars, b.crowd_stats.cost_dollars);
+  EXPECT_EQ(a.crowd_stats.total_seconds, b.crowd_stats.total_seconds);
+  EXPECT_EQ(a.machine_recall, b.machine_recall);
+}
+
+TEST(WorkflowDriverTest, ManualLoopMatchesRunInEveryMode) {
+  const auto dataset = SmallRestaurant();
+  for (const HitType hit_type : {HitType::kClusterBased, HitType::kPairBased}) {
+    for (const bool streaming : {false, true}) {
+      WorkflowConfig config = BaseConfig();
+      config.hit_type = hit_type;
+      if (streaming) {
+        config.execution_mode = ExecutionMode::kStreaming;
+        config.crowd_partition_pairs = 64;  // several rounds
+        config.memory_budget_bytes = 1024;  // force the spill paths too
+      }
+      auto via_run = HybridWorkflow(config).Run(dataset);
+      ASSERT_TRUE(via_run.ok()) << via_run.status().ToString();
+      auto via_driver = DriveManually(config, dataset);
+      ASSERT_TRUE(via_driver.ok()) << via_driver.status().ToString();
+      ExpectBitwiseEqual(*via_run, *via_driver);
+    }
+  }
+}
+
+TEST(WorkflowDriverTest, CallbackBackendOracleCrowd) {
+  // A ground-truth oracle through CallbackCrowdBackend: pair-based HITs,
+  // one perfect worker. The posterior separates matches perfectly, so the
+  // only F1 loss is machine-pass pruning.
+  const auto dataset = SmallRestaurant();
+  WorkflowConfig config = BaseConfig();
+  config.hit_type = HitType::kPairBased;
+  config.aggregation = AggregationMethod::kMajorityVote;
+
+  const auto& entity_of = dataset.truth.entity_of;
+  int batches_seen = 0;
+  crowd::CallbackCrowdBackend oracle(
+      [&](const crowd::HitBatch& batch) -> Result<crowd::VoteBatch> {
+        ++batches_seen;
+        crowd::VoteBatch votes;
+        for (size_t i = 0; i < batch.pair_hits->size(); ++i) {
+          crowd::HitVotes hv;
+          hv.hit = batch.first_hit + static_cast<uint32_t>(i);
+          for (const graph::Edge& e : (*batch.pair_hits)[i].pairs) {
+            crowd::PairVote pv;
+            pv.a = e.a;
+            pv.b = e.b;
+            pv.vote.worker_id = 0;
+            pv.vote.says_match = entity_of[e.a] == entity_of[e.b];
+            hv.votes.push_back(pv);
+          }
+          crowd::AssignmentRecord rec;
+          rec.hit = hv.hit;
+          rec.duration_seconds = 3.0;
+          rec.comparisons = hv.votes.size();
+          votes.assignments.push_back(rec);
+          votes.hit_votes.push_back(std::move(hv));
+        }
+        return votes;
+      });
+
+  auto result = HybridWorkflow(config).Run(dataset, &oracle);
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  EXPECT_EQ(batches_seen, 1);  // materialized mode: one all-HITs round
+  EXPECT_GT(result->crowd_stats.num_hits, 0u);
+  EXPECT_EQ(result->crowd_stats.num_assignments, result->crowd_stats.num_hits);
+  EXPECT_EQ(result->crowd_stats.cost_dollars, 0.0);  // callback knows no platform
+  // Every ranked score is either confidently yes or confidently no.
+  for (const auto& rp : result->ranked) {
+    EXPECT_EQ(rp.is_match, rp.score > 0.5);
+  }
+  EXPECT_NEAR(eval::BestF1(result->pr_curve), result->machine_recall, 1e-9);
+}
+
+// ---------------------------------------------------------------------------
+// Hostile vote injection through SubmitVotes.
+// ---------------------------------------------------------------------------
+
+// Starts a driver and answers nothing: the pending batch is live.
+struct OpenRun {
+  WorkflowDriver driver;
+  std::unique_ptr<crowd::SimulatedCrowdBackend> backend;
+  crowd::VoteBatch honest_votes;
+
+  explicit OpenRun(const WorkflowConfig& config) : driver(config) {}
+};
+
+std::unique_ptr<OpenRun> StartOpenRun(const WorkflowConfig& config,
+                                      const data::Dataset& dataset) {
+  auto run = std::make_unique<OpenRun>(config);
+  crowd::SimulatedCrowdOptions options;
+  EXPECT_TRUE(run->driver.Start(dataset).ok());
+  run->backend = crowd::SimulatedCrowdBackend::Create(config.crowd, config.seed,
+                                                      dataset.truth.entity_of, options)
+                     .ValueOrDie();
+  auto ticket = run->backend->Post(run->driver.PendingHits());
+  EXPECT_TRUE(ticket.ok());
+  auto votes = run->backend->Poll(ticket.ValueOrDie());
+  EXPECT_TRUE(votes.ok());
+  run->honest_votes = std::move(votes).ValueOrDie();
+  return run;
+}
+
+TEST(SubmitVotesHostileTest, UnknownPairKeyIsRejectedAndLatches) {
+  const auto dataset = SmallRestaurant();
+  auto run = StartOpenRun(BaseConfig(), dataset);
+
+  // Inject a vote on a pair that is not in the batch's candidate context.
+  crowd::VoteBatch hostile = run->honest_votes;
+  crowd::PairVote bogus;
+  bogus.a = 0;
+  bogus.b = 1;  // records exist, but (0,1) is not a candidate pair here
+  ASSERT_FALSE(run->driver.PendingHits().pairs->empty());
+  for (const auto& p : *run->driver.PendingHits().pairs) {
+    ASSERT_FALSE(p.a == bogus.a && p.b == bogus.b) << "test premise broken";
+  }
+  hostile.hit_votes.front().votes.push_back(bogus);
+
+  const Status rejected = run->driver.SubmitVotes(std::move(hostile));
+  EXPECT_TRUE(rejected.IsInvalidArgument());
+  EXPECT_NE(rejected.message().find("unknown pair"), std::string::npos) << rejected;
+
+  // The latch: the driver is poisoned — even an honest retry is refused,
+  // and no result can ever be taken from the corrupt-transport run.
+  EXPECT_TRUE(run->driver.SubmitVotes(run->honest_votes).IsInvalidArgument());
+  EXPECT_TRUE(run->driver.Step().IsInvalidArgument());
+  EXPECT_FALSE(run->driver.TakeResult().ok());
+}
+
+TEST(SubmitVotesHostileTest, AssignmentOutsideBatchIsRejectedAndLatches) {
+  const auto dataset = SmallRestaurant();
+  auto run = StartOpenRun(BaseConfig(), dataset);
+
+  crowd::VoteBatch hostile = run->honest_votes;
+  crowd::AssignmentRecord bogus;
+  bogus.hit = static_cast<uint32_t>(run->driver.PendingHits().num_hits());  // one past
+  hostile.assignments.push_back(bogus);
+
+  const Status rejected = run->driver.SubmitVotes(std::move(hostile));
+  EXPECT_TRUE(rejected.IsInvalidArgument());
+  EXPECT_NE(rejected.message().find("outside the pending batch"), std::string::npos);
+  EXPECT_TRUE(run->driver.Step().IsInvalidArgument());  // latched
+}
+
+TEST(SubmitVotesHostileTest, DuplicateSubmissionIsRejected) {
+  const auto dataset = SmallRestaurant();
+  auto run = StartOpenRun(BaseConfig(), dataset);
+
+  ASSERT_TRUE(run->driver.SubmitVotes(run->honest_votes).ok());
+  const Status duplicate = run->driver.SubmitVotes(run->honest_votes);
+  EXPECT_TRUE(duplicate.IsInvalidArgument());
+  EXPECT_NE(duplicate.message().find("duplicate vote submission"), std::string::npos);
+
+  // Protocol misuse does not latch: the run completes normally afterwards,
+  // and the double-submitted votes were not double-filed (bitwise equality
+  // with a clean run proves it).
+  ASSERT_TRUE(run->driver.Step().ok());
+  ASSERT_TRUE(run->driver.done());
+  ASSERT_TRUE(run->driver.SubmitCrowdStats(run->backend->Finish().ValueOrDie()).ok());
+  auto result = run->driver.TakeResult();
+  ASSERT_TRUE(result.ok());
+  auto clean = HybridWorkflow(BaseConfig()).Run(dataset);
+  ASSERT_TRUE(clean.ok());
+  ASSERT_EQ(result->ranked.size(), clean->ranked.size());
+  for (size_t i = 0; i < clean->ranked.size(); ++i) {
+    EXPECT_EQ(result->ranked[i].score, clean->ranked[i].score);
+  }
+}
+
+TEST(SubmitVotesHostileTest, VotesAfterDoneAreRejected) {
+  const auto dataset = SmallRestaurant();
+  auto run = StartOpenRun(BaseConfig(), dataset);
+  ASSERT_TRUE(run->driver.SubmitVotes(run->honest_votes).ok());
+  ASSERT_TRUE(run->driver.Step().ok());
+  ASSERT_TRUE(run->driver.done());
+
+  const Status late = run->driver.SubmitVotes(run->honest_votes);
+  EXPECT_TRUE(late.IsInvalidArgument());
+  EXPECT_NE(late.message().find("done()"), std::string::npos);
+  // Not a corruption: the result is still intact and takeable.
+  EXPECT_TRUE(run->driver.TakeResult().ok());
+}
+
+TEST(SubmitVotesHostileTest, PartialBatchThenTakeResultIsRejected) {
+  const auto dataset = SmallRestaurant();
+  auto run = StartOpenRun(BaseConfig(), dataset);
+
+  // Nothing submitted yet: the run is mid-batch ("partial batch").
+  auto too_early = run->driver.TakeResult();
+  ASSERT_FALSE(too_early.ok());
+  EXPECT_NE(too_early.status().message().find("unanswered"), std::string::npos);
+  EXPECT_TRUE(run->driver.Step().IsInvalidArgument());  // unanswered round
+
+  // Submitted but not stepped: still not done.
+  ASSERT_TRUE(run->driver.SubmitVotes(run->honest_votes).ok());
+  auto mid_step = run->driver.TakeResult();
+  ASSERT_FALSE(mid_step.ok());
+  EXPECT_NE(mid_step.status().message().find("not yet stepped"), std::string::npos);
+
+  // None of the misuse corrupted anything: the run completes cleanly.
+  ASSERT_TRUE(run->driver.Step().ok());
+  ASSERT_TRUE(run->driver.done());
+  EXPECT_TRUE(run->driver.TakeResult().ok());
+}
+
+TEST(SubmitVotesHostileTest, BackendFinishWithUnpolledBatchIsRejected) {
+  const auto dataset = SmallRestaurant();
+  WorkflowConfig config = BaseConfig();
+  WorkflowDriver driver(config);
+  ASSERT_TRUE(driver.Start(dataset).ok());
+  auto backend = crowd::SimulatedCrowdBackend::Create(config.crowd, config.seed,
+                                                      dataset.truth.entity_of)
+                     .ValueOrDie();
+  ASSERT_TRUE(backend->Post(driver.PendingHits()).ok());
+  // Posted but never polled: Finish must refuse ("partial batch then
+  // Finish" at the backend boundary).
+  auto finish = backend->Finish();
+  ASSERT_FALSE(finish.ok());
+  EXPECT_NE(finish.status().message().find("unpolled"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace core
+}  // namespace crowder

@@ -17,7 +17,13 @@
 //    and cost are unchanged.
 #include <gtest/gtest.h>
 
+#include <string>
+#include <utility>
+
+#include "core/driver.h"
 #include "core/workflow.h"
+#include "crowd/backend.h"
+#include "crowd/vote_log.h"
 #include "data/generators.h"
 #include "eval/metrics.h"
 #include "graph/connected_components.h"
@@ -217,6 +223,106 @@ TEST(GoldenWorkflowTest, PairHitPartitionedStreamingMatchesMaterialized) {
                                        /*budget=*/0, /*partition_pairs=*/64);
     ExpectStreamingMatchesMaterialized(dataset, base, *materialized, /*threads=*/1,
                                        /*budget=*/1024, /*partition_pairs=*/64);
+  }
+}
+
+// The backend dimension of the golden contract: a WorkflowDriver driven by
+// hand against a SimulatedCrowdBackend — the public step/poll API, not
+// HybridWorkflow::Run — must reproduce the pre-redesign goldens bitwise, in
+// both execution modes. (Run() itself is a loop over the same driver and
+// backend, so the classic golden tests above already pin that path; this
+// one pins the exposed seam.)
+TEST(GoldenWorkflowTest, ManualDriverLoopReproducesGoldensInBothModes) {
+  const data::Dataset dataset = SmallRestaurant();
+  for (const bool streaming : {false, true}) {
+    WorkflowConfig config = GoldenConfig();
+    if (streaming) {
+      config.execution_mode = ExecutionMode::kStreaming;
+      config.crowd_partition_pairs = 64;  // several rounds
+    }
+    crowd::SimulatedCrowdOptions options;
+    auto backend = crowd::SimulatedCrowdBackend::Create(config.crowd, config.seed,
+                                                        dataset.truth.entity_of, options)
+                       .ValueOrDie();
+    WorkflowDriver driver(config);
+    ASSERT_TRUE(driver.Start(dataset).ok());
+    size_t rounds = 0;
+    while (!driver.done()) {
+      ++rounds;
+      auto ticket = backend->Post(driver.PendingHits());
+      ASSERT_TRUE(ticket.ok()) << ticket.status().ToString();
+      auto votes = backend->Poll(*ticket);
+      ASSERT_TRUE(votes.ok()) << votes.status().ToString();
+      ASSERT_TRUE(driver.SubmitVotes(std::move(*votes)).ok());
+      ASSERT_TRUE(driver.Step().ok());
+    }
+    ASSERT_TRUE(driver.SubmitCrowdStats(backend->Finish().ValueOrDie()).ok());
+    auto result = driver.TakeResult();
+    ASSERT_TRUE(result.ok()) << result.status().ToString();
+
+    // The recorded goldens, verbatim (see the header note).
+    const std::string which = streaming ? "streaming" : "materialized";
+    EXPECT_EQ(result->num_candidate_pairs, 234u) << which;
+    EXPECT_NEAR(result->machine_recall, 23.0 / 24.0, 1e-12) << which;
+    EXPECT_EQ(result->crowd_stats.num_hits, 46u) << which;
+    EXPECT_EQ(result->crowd_stats.num_assignments, 138u) << which;
+    EXPECT_NEAR(eval::BestF1(result->pr_curve), 0.91666666666666663, 1e-9) << which;
+    if (streaming) {
+      EXPECT_GT(rounds, 1u);  // the step machine really surfaced partitions
+      EXPECT_TRUE(result->candidate_pairs.empty()) << which;
+    } else {
+      EXPECT_EQ(rounds, 1u);
+    }
+  }
+}
+
+// Record → replay must reproduce the ranked list byte for byte — including
+// across execution modes, because the vote log stores the HIT sequence, not
+// the round partitioning.
+TEST(GoldenWorkflowTest, RecordReplayRoundTripIsByteIdentical) {
+  const data::Dataset dataset = SmallRestaurant();
+  const std::string log_path = ::testing::TempDir() + "/golden_votes.jsonl";
+
+  // Record a materialized run.
+  auto writer = crowd::VoteLogWriter::Create(log_path).ValueOrDie();
+  crowd::SimulatedCrowdOptions options;
+  options.tee = writer.get();
+  auto recorder = crowd::SimulatedCrowdBackend::Create(GoldenConfig().crowd,
+                                                       GoldenConfig().seed,
+                                                       dataset.truth.entity_of, options)
+                      .ValueOrDie();
+  const HybridWorkflow workflow(GoldenConfig());
+  auto recorded = workflow.Run(dataset, recorder.get());
+  ASSERT_TRUE(recorded.ok()) << recorded.status().ToString();
+  ASSERT_TRUE(writer->Close().ok());
+  EXPECT_NEAR(eval::BestF1(recorded->pr_curve), 0.91666666666666663, 1e-9);
+
+  // Replay it back — once materialized, once through the partitioned
+  // streaming boundary with forced spilling.
+  for (const bool streaming : {false, true}) {
+    WorkflowConfig config = GoldenConfig();
+    if (streaming) {
+      config.execution_mode = ExecutionMode::kStreaming;
+      config.memory_budget_bytes = 1024;
+      config.crowd_partition_pairs = 64;
+    }
+    auto replayer = crowd::RecordedCrowdBackend::Open(log_path).ValueOrDie();
+    auto replayed = HybridWorkflow(config).Run(dataset, replayer.get());
+    ASSERT_TRUE(replayed.ok()) << replayed.status().ToString();
+    const std::string which = streaming ? "streaming replay" : "materialized replay";
+
+    ASSERT_EQ(replayed->ranked.size(), recorded->ranked.size()) << which;
+    for (size_t i = 0; i < recorded->ranked.size(); ++i) {
+      EXPECT_EQ(replayed->ranked[i].a, recorded->ranked[i].a) << which;
+      EXPECT_EQ(replayed->ranked[i].b, recorded->ranked[i].b) << which;
+      EXPECT_EQ(replayed->ranked[i].score, recorded->ranked[i].score) << which;
+    }
+    EXPECT_EQ(replayed->crowd_stats.num_hits, recorded->crowd_stats.num_hits) << which;
+    EXPECT_EQ(replayed->crowd_stats.num_assignments, recorded->crowd_stats.num_assignments)
+        << which;
+    EXPECT_EQ(replayed->crowd_stats.cost_dollars, recorded->crowd_stats.cost_dollars) << which;
+    EXPECT_EQ(replayed->crowd_stats.total_seconds, recorded->crowd_stats.total_seconds)
+        << which;
   }
 }
 

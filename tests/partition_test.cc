@@ -1,6 +1,7 @@
 // Tests for the partitioned crowd boundary's building blocks
 // (core/partition.h): the sharded spill store, the disk-backed vote table,
-// the partition plans, and the streaming union-find resolver
+// the partition plans, the streaming cluster boundary (local-id-remapped
+// per-bucket decomposition), and the streaming union-find resolver
 // (core/resolution.h).
 #include <gtest/gtest.h>
 
@@ -10,6 +11,9 @@
 #include "common/rng.h"
 #include "core/partition.h"
 #include "core/resolution.h"
+#include "core/stages.h"
+#include "graph/pair_graph.h"
+#include "hitgen/two_tiered_generator.h"
 
 namespace crowder {
 namespace core {
@@ -246,6 +250,96 @@ TEST(PartitionPlanTest, OversizedComponentGetsItsOwnBucket) {
   }
   EXPECT_NE(plan.bucket_of_record[8], plan.bucket_of_record[0]);
   EXPECT_EQ(plan.bucket_pair_counts[plan.bucket_of_record[0]], 6u);
+}
+
+// ---------------------------------------------------------------------------
+// Streaming cluster boundary (per-bucket local-id remap)
+// ---------------------------------------------------------------------------
+
+// The remap identity contract (stages.h, internal::BuildClusterBoundary):
+// decomposing each bucket over a dense *local* vertex renaming must produce
+// exactly the HIT list the materialized TwoTieredGenerator produces over
+// the global graph — the renaming is strictly monotone, so every ordering
+// and tie-break is preserved. Sparse, high-valued record ids (the case the
+// remap exists for: per-bucket O(V) skeletons would dominate) and random
+// structured graphs both must agree.
+void ExpectStreamingClusterHitsMatchMaterialized(
+    const std::vector<similarity::ScoredPair>& pairs, uint32_t num_records, uint32_t k,
+    uint64_t capacity_pairs) {
+  const PairStream stream = StreamOf(pairs);
+  auto boundary =
+      core::internal::BuildClusterBoundary(stream, num_records, capacity_pairs, k,
+                                           /*memory_budget_bytes=*/0);
+  ASSERT_TRUE(boundary.ok()) << boundary.status().ToString();
+
+  std::vector<graph::Edge> edges;
+  auto sorted = pairs;
+  std::sort(sorted.begin(), sorted.end(), [](const auto& x, const auto& y) {
+    return x.a != y.a ? x.a < y.a : x.b < y.b;
+  });
+  for (const auto& p : sorted) edges.push_back({p.a, p.b});
+  auto graph = graph::PairGraph::Create(num_records, edges).ValueOrDie();
+  hitgen::TwoTieredGenerator generator;
+  auto expected = generator.Generate(&graph, k).ValueOrDie();
+
+  ASSERT_EQ(boundary->hits.size(), expected.size());
+  for (size_t h = 0; h < expected.size(); ++h) {
+    EXPECT_EQ(boundary->hits[h].records, expected[h].records) << "HIT " << h;
+  }
+}
+
+TEST(ClusterBoundaryTest, SparseHighIdsDecomposeIdentically) {
+  // Components scattered across a 50k-record id space: a triangle, a chain
+  // long enough to be an LCC at k = 4, a star, and a lone pair. Capacity 6
+  // forces several buckets, so the per-bucket remap really runs on
+  // subgraphs whose local id space is tiny compared to num_records.
+  std::vector<similarity::ScoredPair> pairs;
+  // Triangle at ~10k.
+  pairs.push_back({10000, 10007, 0.9});
+  pairs.push_back({10000, 10013, 0.8});
+  pairs.push_back({10007, 10013, 0.7});
+  // Chain of 11 records at ~25k (an LCC for k = 4).
+  for (uint32_t i = 0; i < 10; ++i) {
+    pairs.push_back({25000 + 3 * i, 25000 + 3 * (i + 1), 0.6});
+  }
+  // Star at ~40k.
+  for (uint32_t i = 1; i <= 5; ++i) {
+    pairs.push_back({40000, 40000 + 100 * i, 0.5});
+  }
+  // Lone pair near the end of the id space.
+  pairs.push_back({49990, 49999, 0.4});
+  ExpectStreamingClusterHitsMatchMaterialized(pairs, 50000, /*k=*/4, /*capacity_pairs=*/6);
+}
+
+TEST(ClusterBoundaryTest, RandomGraphsDecomposeIdenticallyAtEveryCapacity) {
+  Rng rng(20260731);
+  for (int trial = 0; trial < 12; ++trial) {
+    const uint32_t num_records = 200 + static_cast<uint32_t>(rng.Uniform(1800));
+    std::vector<similarity::ScoredPair> pairs;
+    const uint64_t num_pairs = 20 + rng.Uniform(120);
+    for (uint64_t i = 0; i < num_pairs; ++i) {
+      // Cluster the ids so components form; leave gaps so ids are sparse.
+      const uint32_t base = static_cast<uint32_t>(rng.Uniform(num_records / 20)) * 20;
+      const uint32_t a = base + static_cast<uint32_t>(rng.Uniform(10));
+      const uint32_t b = base + static_cast<uint32_t>(rng.Uniform(10));
+      if (a == b || std::max(a, b) >= num_records) continue;
+      pairs.push_back({std::min(a, b), std::max(a, b), rng.UniformDouble()});
+    }
+    // Dedup (PairGraph::Create dedups silently; the stream must not carry
+    // duplicates, its pairs are unique by construction in the workflow).
+    std::sort(pairs.begin(), pairs.end(), [](const auto& x, const auto& y) {
+      return x.a != y.a ? x.a < y.a : x.b < y.b;
+    });
+    pairs.erase(std::unique(pairs.begin(), pairs.end(),
+                            [](const auto& x, const auto& y) {
+                              return x.a == y.a && x.b == y.b;
+                            }),
+                pairs.end());
+    if (pairs.empty()) continue;
+    for (const uint64_t capacity : {uint64_t{3}, uint64_t{16}, uint64_t{1} << 30}) {
+      ExpectStreamingClusterHitsMatchMaterialized(pairs, num_records, /*k=*/5, capacity);
+    }
+  }
 }
 
 // ---------------------------------------------------------------------------

@@ -30,6 +30,7 @@ TEST(StatusTest, AllFactoryCodes) {
   EXPECT_TRUE(Status::IOError("x").IsIOError());
   EXPECT_TRUE(Status::Infeasible("x").IsInfeasible());
   EXPECT_TRUE(Status::Unbounded("x").IsUnbounded());
+  EXPECT_TRUE(Status::DataLoss("x").IsDataLoss());
   EXPECT_EQ(Status::AlreadyExists("x").code(), StatusCode::kAlreadyExists);
   EXPECT_EQ(Status::Unimplemented("x").code(), StatusCode::kUnimplemented);
 }
@@ -46,6 +47,7 @@ TEST(StatusTest, CodeToStringCoversAll) {
   EXPECT_STREQ(StatusCodeToString(StatusCode::kOk), "OK");
   EXPECT_STREQ(StatusCodeToString(StatusCode::kInfeasible), "Infeasible");
   EXPECT_STREQ(StatusCodeToString(StatusCode::kUnbounded), "Unbounded");
+  EXPECT_STREQ(StatusCodeToString(StatusCode::kDataLoss), "DataLoss");
 }
 
 TEST(StatusTest, ReturnNotOkMacroPropagates) {

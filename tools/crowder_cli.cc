@@ -13,6 +13,7 @@
 //                   [--threads N] [--strategy allpairs|blocking|
 //                    sorted-neighborhood] [--streaming]
 //                   [--memory-budget SIZE] [--partition-pairs N]
+//                   [--crowd sim|record:FILE|replay:FILE]
 //                   [--machine-only] [--matches OUT.csv] [--merged OUT.csv]
 //       Runs the full hybrid workflow (simulated crowd) on a dataset CSV
 //       produced by `generate` (or any CSV with __source/__entity columns),
@@ -36,8 +37,16 @@
 //       derived from the budget). The workflow outputs — candidate pairs,
 //       HITs, votes, ranked matches, F1 — are byte-identical to the
 //       materialized run at any setting; only the clustering rule differs,
-//       by design. --machine-only stops after the machine pass and reports
-//       pair counts, recall, throughput, and spill statistics.
+//       by design. --crowd picks who answers the HITs: `sim` (default) is
+//       the deterministic simulator; `record:FILE` simulates AND exports
+//       every vote/assignment to a JSONL vote log; `replay:FILE` answers
+//       from a recorded log instead of simulating — the ranked output is
+//       byte-identical to the recording run. A truncated, corrupt, or
+//       mismatched replay log fails with a DataLoss error naming the
+//       offending HIT index, and the process exits with the distinct code
+//       3 (1 = any other failure, 2 = usage). --machine-only stops after
+//       the machine pass and reports pair counts, recall, throughput, and
+//       spill statistics.
 //
 //   crowder_cli plan --in FILE --budget DOLLARS [--k 10] [--threads N]
 //       Evaluates the cost/recall tradeoff across thresholds and recommends
@@ -47,6 +56,7 @@
 #include <cstdlib>
 #include <iostream>
 #include <map>
+#include <memory>
 #include <string>
 
 #include "core/crowder.h"
@@ -147,8 +157,8 @@ int Usage() {
                   [--seed N] [--threads N]
                   [--strategy allpairs|blocking|sorted-neighborhood]
                   [--streaming] [--memory-budget SIZE(K|M|G)]
-                  [--partition-pairs N] [--machine-only]
-                  [--matches OUT.csv] [--merged OUT.csv]
+                  [--partition-pairs N] [--crowd sim|record:FILE|replay:FILE]
+                  [--machine-only] [--matches OUT.csv] [--merged OUT.csv]
   crowder_cli plan --in FILE --budget DOLLARS [--k 10] [--threads N]
 )";
   return 2;
@@ -317,6 +327,15 @@ Status Run(const Args& args) {
   }
   CROWDER_ASSIGN_OR_RETURN(config.cluster_algorithm,
                            AlgorithmFromName(args.Get("algorithm", "two-tiered")));
+  // Who answers the HITs (crowd/backend.h): the simulator, the simulator
+  // teeing into a vote log, or a recorded log replayed.
+  const std::string crowd_mode = args.Get("crowd", "sim");
+  if (crowd_mode != "sim" && !StartsWith(crowd_mode, "record:") &&
+      !StartsWith(crowd_mode, "replay:")) {
+    return Status::InvalidArgument("unknown --crowd mode '" + crowd_mode +
+                                   "' (use sim, record:FILE, or replay:FILE)");
+  }
+
   // After full flag validation, so a typo'd --hit-type/--algorithm fails the
   // same way with or without --machine-only.
   if (args.Has("machine-only")) {
@@ -324,14 +343,43 @@ Status Run(const Args& args) {
       std::cerr << "warning: --matches/--merged need the full workflow; "
                    "ignored with --machine-only\n";
     }
+    if (crowd_mode != "sim") {
+      std::cerr << "warning: --crowd needs the full workflow; ignored with --machine-only\n";
+    }
     CROWDER_RETURN_NOT_OK(core::ValidateWorkflowConfig(config));
     return RunMachineOnly(dataset, config);
   }
 
   core::HybridWorkflow workflow(config);
-  CROWDER_ASSIGN_OR_RETURN(core::WorkflowResult result, workflow.Run(dataset));
+  std::unique_ptr<crowd::VoteLogWriter> log_writer;
+  std::unique_ptr<crowd::CrowdBackend> backend;
+  if (StartsWith(crowd_mode, "record:")) {
+    CROWDER_ASSIGN_OR_RETURN(log_writer,
+                             crowd::VoteLogWriter::Create(crowd_mode.substr(7)));
+    crowd::SimulatedCrowdOptions options;
+    options.num_threads = config.num_threads;
+    options.tee = log_writer.get();
+    CROWDER_ASSIGN_OR_RETURN(backend,
+                             crowd::SimulatedCrowdBackend::Create(
+                                 config.crowd, config.seed, dataset.truth.entity_of, options));
+  } else if (StartsWith(crowd_mode, "replay:")) {
+    CROWDER_ASSIGN_OR_RETURN(backend, crowd::RecordedCrowdBackend::Open(crowd_mode.substr(7)));
+  }
+
+  core::WorkflowResult result;
+  if (backend != nullptr) {
+    CROWDER_ASSIGN_OR_RETURN(result, workflow.Run(dataset, backend.get()));
+    if (log_writer != nullptr) CROWDER_RETURN_NOT_OK(log_writer->Close());
+  } else {
+    CROWDER_ASSIGN_OR_RETURN(result, workflow.Run(dataset));
+  }
 
   std::cout << "records:            " << dataset.table.num_records() << "\n";
+  if (StartsWith(crowd_mode, "record:")) {
+    std::cout << "crowd:              simulated, recorded to " << crowd_mode.substr(7) << "\n";
+  } else if (StartsWith(crowd_mode, "replay:")) {
+    std::cout << "crowd:              replayed from " << crowd_mode.substr(7) << "\n";
+  }
   if (config.execution_mode == core::ExecutionMode::kStreaming) {
     std::cout << "execution:          streaming (budget "
               << (config.memory_budget_bytes == 0 ? std::string("unbounded")
@@ -452,7 +500,10 @@ int main(int argc, char** argv) {
   }
   if (!status.ok()) {
     std::cerr << "error: " << status.ToString() << "\n";
-    return 1;
+    // Replay-log failures (truncated / corrupt / mismatched vote log) get a
+    // distinct exit code so scripts can tell a bad recording apart from any
+    // other failure.
+    return status.code() == crowder::StatusCode::kDataLoss ? 3 : 1;
   }
   return 0;
 }
