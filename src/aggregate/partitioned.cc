@@ -39,6 +39,29 @@ Status InMemoryVoteShards::WithShard(size_t shard,
   return VoteShardSource::WithShard(shard, fn);
 }
 
+FilteredVoteShardSource::FilteredVoteShardSource(VoteShardSource* inner,
+                                                 std::unordered_set<uint32_t> banned)
+    : inner_(inner), banned_(std::move(banned)) {}
+
+Result<VoteTable> FilteredVoteShardSource::LoadShard(size_t shard) {
+  CROWDER_ASSIGN_OR_RETURN(VoteTable table, inner_->LoadShard(shard));
+  if (banned_.empty()) return table;
+  for (std::vector<Vote>& pair_votes : table) {
+    pair_votes.erase(
+        std::remove_if(pair_votes.begin(), pair_votes.end(),
+                       [&](const Vote& v) { return banned_.count(v.worker_id) > 0; }),
+        pair_votes.end());
+  }
+  return table;
+}
+
+Status FilteredVoteShardSource::WithShard(size_t shard,
+                                          const std::function<Status(const VoteTable&)>& fn) {
+  if (banned_.empty()) return inner_->WithShard(shard, fn);  // lend through
+  CROWDER_ASSIGN_OR_RETURN(const VoteTable table, LoadShard(shard));
+  return fn(table);
+}
+
 Status MajorityVoteSharded(
     VoteShardSource* shards,
     const std::function<Status(size_t shard, const std::vector<double>&)>& emit) {

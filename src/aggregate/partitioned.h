@@ -36,6 +36,7 @@
 #include <cstdint>
 #include <functional>
 #include <unordered_map>
+#include <unordered_set>
 #include <vector>
 
 #include "aggregate/dawid_skene.h"
@@ -94,6 +95,32 @@ class InMemoryVoteShards : public VoteShardSource {
   const VoteTable* table_;
   std::vector<size_t> shard_sizes_;
   std::vector<size_t> shard_starts_;
+};
+
+/// \brief A shard view with the votes of banned workers removed at load
+/// time. The aggregation-side half of the worker-filter defense: the
+/// underlying store keeps every vote (audit truth), while everything the
+/// aggregators see — majority tallies, Dawid-Skene confusion masses — is
+/// re-derived from the surviving votes only. Filtering at the shard
+/// boundary keeps the bounded-memory property: one shard plus the O(#banned)
+/// set resident, exactly as without the filter.
+///
+/// With an empty ban set, WithShard lends the inner shard through untouched,
+/// so the unfiltered path (every golden) pays nothing.
+class FilteredVoteShardSource : public VoteShardSource {
+ public:
+  /// \brief Wraps `inner` (not owned; must outlive the view). `banned` is
+  /// copied.
+  FilteredVoteShardSource(VoteShardSource* inner, std::unordered_set<uint32_t> banned);
+
+  size_t num_shards() const override { return inner_->num_shards(); }
+  Result<VoteTable> LoadShard(size_t shard) override;
+  Status WithShard(size_t shard,
+                   const std::function<Status(const VoteTable&)>& fn) override;
+
+ private:
+  VoteShardSource* inner_;
+  std::unordered_set<uint32_t> banned_;
 };
 
 /// \brief Majority vote, one shard at a time: for each shard in order,

@@ -78,4 +78,37 @@ std::string WithThousands(long long value) {
   return std::string(out.rbegin(), out.rend());
 }
 
+
+Result<uint64_t> ParseByteSize(const std::string& text) {
+  if (text.empty()) return Status::InvalidArgument("empty byte size");
+  size_t digits = 0;
+  while (digits < text.size() && std::isdigit(static_cast<unsigned char>(text[digits]))) {
+    ++digits;
+  }
+  if (digits == 0) return Status::InvalidArgument("byte size must start with digits: " + text);
+  uint64_t value = 0;
+  try {
+    value = std::stoull(text.substr(0, digits));
+  } catch (const std::exception&) {
+    return Status::InvalidArgument("unparseable byte size: " + text);
+  }
+  const std::string suffix = text.substr(digits);
+  uint64_t multiplier = 1;
+  if (suffix == "K" || suffix == "k") {
+    multiplier = 1ULL << 10;
+  } else if (suffix == "M" || suffix == "m") {
+    multiplier = 1ULL << 20;
+  } else if (suffix == "G" || suffix == "g") {
+    multiplier = 1ULL << 30;
+  } else if (!suffix.empty()) {
+    return Status::InvalidArgument("unknown byte-size suffix '" + suffix +
+                                   "' (use K/M/G, either case)");
+  }
+  uint64_t bytes = 0;
+  if (__builtin_mul_overflow(value, multiplier, &bytes)) {
+    return Status::InvalidArgument("byte size overflows 64 bits: " + text);
+  }
+  return bytes;
+}
+
 }  // namespace crowder

@@ -2,9 +2,12 @@
 #ifndef CROWDER_COMMON_STRING_UTIL_H_
 #define CROWDER_COMMON_STRING_UTIL_H_
 
+#include <cstdint>
 #include <string>
 #include <string_view>
 #include <vector>
+
+#include "common/result.h"
 
 namespace crowder {
 
@@ -31,6 +34,14 @@ std::string FormatDouble(double value, int digits);
 
 /// \brief Renders 12345 as "12,345" for table output.
 std::string WithThousands(long long value);
+
+/// \brief Parses a byte size with an optional binary-unit suffix, upper- or
+/// lowercase: "4096" -> 4096, "64K" == "64k" -> 65536, "256M" -> 2^28,
+/// "1G" -> 2^30. Errors (InvalidArgument) on an empty string, a missing
+/// leading number ("K"), an unknown or multi-letter suffix ("10KB"), a
+/// number that does not fit ("999999999999999999999"), and a value whose
+/// multiplied result overflows 64 bits.
+Result<uint64_t> ParseByteSize(const std::string& text);
 
 }  // namespace crowder
 

@@ -4,6 +4,7 @@
 #include <numeric>
 #include <string>
 
+#include "aggregate/agreement.h"
 #include "common/logging.h"
 #include "hitgen/pair_hit_generator.h"
 
@@ -26,6 +27,10 @@ WorkflowDriver::~WorkflowDriver() = default;
 Status WorkflowDriver::Start(const data::Dataset& dataset) {
   if (phase_ != Phase::kIdle) return Status::InvalidArgument("Start called twice");
   CROWDER_RETURN_NOT_OK(ValidateWorkflowConfig(config_));
+  if (config_.filter_workers && filter_ == nullptr) {
+    owned_filter_ = std::make_unique<crowd::ApprovalRateWorkerFilter>(config_.filter);
+    filter_ = owned_filter_.get();
+  }
   state_ = std::make_unique<WorkflowState>(config_, dataset);
   state_->result.total_matches = dataset.CountMatchingPairs();
   if (state_->result.total_matches == 0) {
@@ -178,6 +183,10 @@ Status WorkflowDriver::Advance() {
   round_cluster_hits_.clear();
   round_pair_index_.clear();
   round_global_index_.clear();
+  round_hits_filed_.clear();
+  round_votes_.clear();
+  round_votes_reviewed_ = 0;
+  repair_rounds_used_ = 0;
   votes_submitted_ = false;
 
   if (state_->result.num_candidate_pairs > 0) {
@@ -198,6 +207,13 @@ Status WorkflowDriver::Advance() {
 
 Status WorkflowDriver::Finalize() {
   WorkflowResult& result = state_->result;
+  // Hand the accumulated bans to aggregation (the revision point: every
+  // decision is derived from the surviving votes only) and report them.
+  if (!banned_workers_.empty()) {
+    result.filtered_workers.assign(banned_workers_.begin(), banned_workers_.end());
+    std::sort(result.filtered_workers.begin(), result.filtered_workers.end());
+    state_->banned_workers = banned_workers_;
+  }
   if (config_.execution_mode == ExecutionMode::kStreaming && state_->votes != nullptr) {
     CROWDER_RETURN_NOT_OK(state_->votes->Finish());
     result.pipeline_stats.vote_spilled_bytes = state_->votes->spilled_bytes();
@@ -245,12 +261,23 @@ Status WorkflowDriver::SubmitVotes(crowd::VoteBatch votes) {
   size_t total_votes = 0;
   for (const crowd::HitVotes& hv : votes.hit_votes) total_votes += hv.votes.size();
   vote_locals.reserve(total_votes);
+  std::unordered_set<uint32_t> batch_hits;
+  batch_hits.reserve(votes.hit_votes.size());
   for (const crowd::HitVotes& hv : votes.hit_votes) {
     if (hv.hit < first || hv.hit >= end_hit) {
       failed_ = true;
       return Status::InvalidArgument(
           "vote batch names HIT " + std::to_string(hv.hit) + " outside the pending batch [" +
           std::to_string(first) + ", " + std::to_string(end_hit) + ")");
+    }
+    // A HIT's votes are atomic across an asynchronous round's deliveries
+    // (crowd/backend.h): seeing the same HIT twice — in this batch or an
+    // earlier partial one — means the transport re-delivered, and filing it
+    // again would double-count its votes.
+    if (round_hits_filed_.count(hv.hit) != 0 || !batch_hits.insert(hv.hit).second) {
+      failed_ = true;
+      return Status::InvalidArgument("HIT " + std::to_string(hv.hit) +
+                                     " delivered twice in this round");
     }
     for (const crowd::PairVote& pv : hv.votes) {
       const auto it = round_pair_index_.find(PairKey(pv.a, pv.b));
@@ -280,8 +307,10 @@ Status WorkflowDriver::SubmitVotes(crowd::VoteBatch votes) {
   const bool streaming = config_.execution_mode == ExecutionMode::kStreaming;
   size_t vote_cursor = 0;
   for (const crowd::HitVotes& hv : votes.hit_votes) {
+    round_hits_filed_.insert(hv.hit);
     for (const crowd::PairVote& pv : hv.votes) {
-      const uint64_t global = round_global_index_[vote_locals[vote_cursor++]];
+      const size_t local = vote_locals[vote_cursor++];
+      const uint64_t global = round_global_index_[local];
       if (streaming) {
         const Status filed = state_->votes->Append(global, pv.vote);
         if (!filed.ok()) {
@@ -291,6 +320,7 @@ Status WorkflowDriver::SubmitVotes(crowd::VoteBatch votes) {
       } else {
         vote_table_[static_cast<size_t>(global)].push_back(pv.vote);
       }
+      round_votes_.emplace_back(local, pv.vote);
     }
   }
   crowd::CrowdRunResult& stats = state_->result.crowd_stats;
@@ -299,9 +329,98 @@ Status WorkflowDriver::SubmitVotes(crowd::VoteBatch votes) {
     stats.total_comparisons += rec.comparisons;
     stats.assignment_seconds.push_back(rec.duration_seconds);
     stats.assignments.push_back(rec);
+    crowd::WorkerStats& ws = worker_stats_[rec.worker];
+    ws.worker = rec.worker;
+    ++ws.num_assignments;
+    ws.work_seconds += rec.duration_seconds;
   }
-  votes_submitted_ = true;
+  // A partial delivery (complete = false) leaves the round open: more
+  // submissions may follow before the completing one closes it.
+  votes_submitted_ = votes.complete;
   return Status::OK();
+}
+
+void WorkflowDriver::FinishRound() {
+  // Only the segment this round delivered: earlier entries belong to the
+  // context's previous (repaired) rounds and are already folded in.
+  const size_t context = pending_.pairs != nullptr ? pending_.pairs->size() : 0;
+  const size_t begin = round_votes_reviewed_;
+  std::vector<uint32_t> yes(context, 0);
+  std::vector<uint32_t> total(context, 0);
+  for (size_t i = begin; i < round_votes_.size(); ++i) {
+    const auto& [local, vote] = round_votes_[i];
+    ++total[local];
+    if (vote.says_match) ++yes[local];
+  }
+
+  CrowdRoundStats round;
+  round.first_hit = pending_.first_hit;
+  round.num_hits = static_cast<uint32_t>(pending_.num_hits());
+  round.num_votes = round_votes_.size() - begin;
+  round.fleiss_kappa = aggregate::FleissKappa(yes, total);
+
+  // Fold the round into the lifetime approval statistics: a vote is
+  // approved when it sides with its pair's round majority (ties approve —
+  // a split pair is evidence about the pair, not the worker).
+  for (size_t i = begin; i < round_votes_.size(); ++i) {
+    const auto& [local, vote] = round_votes_[i];
+    crowd::WorkerStats& ws = worker_stats_[vote.worker_id];
+    ws.worker = vote.worker_id;
+    ++ws.num_votes;
+    const uint64_t twice_yes = 2ULL * yes[local];
+    const bool with_majority =
+        vote.says_match ? twice_yes >= total[local] : twice_yes <= total[local];
+    if (with_majority) ++ws.num_agreements;
+  }
+  round_votes_reviewed_ = round_votes_.size();
+
+  if (filter_ != nullptr) {
+    std::vector<crowd::WorkerStats> stats;
+    stats.reserve(worker_stats_.size());
+    for (const auto& [id, ws] : worker_stats_) stats.push_back(ws);
+    for (const uint32_t banned : filter_->Review(stats)) {
+      if (banned_workers_.insert(banned).second) ++round.workers_banned;
+    }
+  }
+  state_->result.crowd_rounds.push_back(round);
+}
+
+Result<bool> WorkflowDriver::PrepareRepairRound() {
+  if (filter_ == nullptr || banned_workers_.empty()) return false;
+  if (repair_rounds_used_ >= config_.repair_rounds) return false;
+  if (pending_.pairs == nullptr) return false;
+
+  // A pair is under-replicated when fewer than assignments_per_hit of its
+  // votes survive the cumulative bans — the replication the config promised
+  // it. All the context's votes count, including earlier repair rounds'.
+  const uint32_t target = config_.crowd.assignments_per_hit;
+  std::vector<uint32_t> surviving(pending_.pairs->size(), 0);
+  for (const auto& [local, vote] : round_votes_) {
+    if (banned_workers_.count(vote.worker_id) == 0) ++surviving[local];
+  }
+  std::vector<graph::Edge> deficient;
+  for (size_t i = 0; i < surviving.size(); ++i) {
+    if (surviving[i] < target) {
+      deficient.push_back({(*pending_.pairs)[i].a, (*pending_.pairs)[i].b});
+    }
+  }
+  if (deficient.empty()) return false;
+
+  // Re-post the deficient pairs as fresh pair-based HITs over the same
+  // context (legal even for a cluster round: backends dispatch on the
+  // batch's shape). The HIT sequence stays continuous — retire the answered
+  // round's HITs before swapping the repair HITs in.
+  hitgen::PairHitPacker packer(config_.pairs_per_hit);
+  CROWDER_RETURN_NOT_OK(packer.Add(deficient));
+  next_hit_ += static_cast<uint32_t>(pending_.num_hits());
+  CROWDER_ASSIGN_OR_RETURN(round_pair_hits_, packer.Finish());
+  pending_.first_hit = next_hit_;
+  pending_.pair_hits = &round_pair_hits_;
+  pending_.cluster_hits = nullptr;
+  round_hits_filed_.clear();
+  votes_submitted_ = false;
+  ++repair_rounds_used_;
+  return true;
 }
 
 Status WorkflowDriver::Step() {
@@ -312,6 +431,9 @@ Status WorkflowDriver::Step() {
     return Status::InvalidArgument(
         "the pending HIT batch has not been answered (SubmitVotes first)");
   }
+  FinishRound();
+  CROWDER_ASSIGN_OR_RETURN(const bool repairing, PrepareRepairRound());
+  if (repairing) return Status::OK();  // same context, new HITs, await votes
   if (config_.execution_mode == ExecutionMode::kStreaming &&
       config_.hit_type == HitType::kClusterBased) {
     ++state_->result.pipeline_stats.crowd_partitions;

@@ -43,9 +43,12 @@
 #define CROWDER_CORE_DRIVER_H_
 
 #include <cstdint>
+#include <map>
 #include <memory>
 #include <optional>
 #include <unordered_map>
+#include <unordered_set>
+#include <utility>
 #include <vector>
 
 #include "common/result.h"
@@ -92,8 +95,28 @@ class WorkflowDriver {
   /// the batch (validated before anything is filed; a violation poisons the
   /// driver — see the latch discipline in the file comment). Votes are
   /// filed in the given order; per-pair cast order is what aggregation
-  /// sees. One submission per round.
+  /// sees.
+  ///
+  /// Asynchronous transports may deliver a round in pieces: a batch with
+  /// `complete = false` is filed but leaves the round open for further
+  /// submissions; the batch with `complete = true` (the synchronous default)
+  /// closes it. Across all of a round's deliveries each HIT may appear at
+  /// most once — a re-delivery is corrupt data and latches the failure.
+  /// After the completing batch, further submissions for the round are
+  /// protocol errors ("duplicate vote submission"), and submissions naming
+  /// earlier rounds' HITs fail the batch-range check — late votes are filed
+  /// exactly once or rejected by name, never silently double-counted.
   Status SubmitVotes(crowd::VoteBatch votes);
+
+  /// \brief Installs an admission filter (crowd/worker_filter.h), consulted
+  /// after every answered round with the lifetime per-worker statistics; the
+  /// ids it returns are banned — cumulatively and *retroactively*: at
+  /// aggregation every vote a banned worker ever cast is excluded and the
+  /// affected pairs' decisions are re-derived from the surviving votes (the
+  /// revision path). Not owned; must outlive the driver. Call before the
+  /// first Step; overrides the built-in filter `config.filter_workers`
+  /// would install.
+  void SetWorkerFilter(crowd::WorkerFilter* filter) { filter_ = filter; }
 
   /// \brief Retires the answered round: prepares the next round, or — after
   /// the last one — runs aggregation, after which done() is true. Requires
@@ -128,6 +151,15 @@ class WorkflowDriver {
   /// Rebuilds round_pair_index_ (and, for rounds whose context is not the
   /// global order, round_global_index_) for the pending context.
   void IndexRoundPairs(const std::vector<similarity::ScoredPair>& pairs);
+  /// Closes the books on the answered round (Step, before Advance): records
+  /// CrowdRoundStats (votes, Fleiss' kappa), folds the round's votes into
+  /// the lifetime worker statistics, and consults the filter.
+  void FinishRound();
+  /// The fault-tolerance half of revision (config.repair_rounds): when bans
+  /// leave pairs of the answered context under-replicated, stages a repair
+  /// round re-posting those pairs as fresh pair-based HITs over the same
+  /// context. Returns true when a repair round is now pending.
+  Result<bool> PrepareRepairRound();
   Status Finalize();
 
   WorkflowConfig config_;
@@ -150,6 +182,29 @@ class WorkflowDriver {
   std::vector<uint64_t> round_global_index_;
   /// Global HIT counter across rounds (== first_hit of the next round).
   uint32_t next_hit_ = 0;
+  /// HITs of the pending round already filed — the duplicate-delivery check
+  /// across partial submissions.
+  std::unordered_set<uint32_t> round_hits_filed_;
+  /// The answered context's votes (context position, vote) in filing order —
+  /// the raw material of FinishRound's kappa and approval statistics and of
+  /// PrepareRepairRound's surviving-vote counts. Accumulates across a
+  /// round's repair rounds (same context); round_votes_reviewed_ marks the
+  /// prefix FinishRound has already folded into the statistics.
+  std::vector<std::pair<size_t, aggregate::Vote>> round_votes_;
+  size_t round_votes_reviewed_ = 0;
+  /// Repair rounds staged for the current context so far (capped by
+  /// config.repair_rounds).
+  uint32_t repair_rounds_used_ = 0;
+
+  // ---- Crowd defenses (crowd/worker_filter.h). ----
+  crowd::WorkerFilter* filter_ = nullptr;  ///< not owned
+  /// The built-in filter when config_.filter_workers asked for one.
+  std::unique_ptr<crowd::WorkerFilter> owned_filter_;
+  /// Lifetime per-worker statistics; an ordered map so Review sees
+  /// ascending worker ids (the determinism contract).
+  std::map<uint32_t, crowd::WorkerStats> worker_stats_;
+  /// Every worker banned so far (cumulative across rounds).
+  std::unordered_set<uint32_t> banned_workers_;
 
   // ---- Materialized filing target. ----
   aggregate::VoteTable vote_table_;

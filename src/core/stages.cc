@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <string>
 
+#include "aggregate/agreement.h"
 #include "aggregate/majority_vote.h"
 #include "aggregate/partitioned.h"
 #include "common/logging.h"
@@ -312,11 +313,16 @@ Status RunStreamingAggregate(WorkflowState* state) {
   WorkflowResult& result = state->result;
   if (result.num_candidate_pairs == 0 || state->votes == nullptr) return Status::OK();
   VoteShardStore* votes = state->votes.get();
+  // The revision path: banned workers' votes vanish at the shard boundary,
+  // so every downstream decision is re-derived from the surviving votes —
+  // while the store itself keeps the unfiltered audit truth. With no bans
+  // the view is the identity and the bytes are the pre-filter ones.
+  aggregate::FilteredVoteShardSource filtered(votes, state->banned_workers);
 
   aggregate::DawidSkeneModel model;
   const bool dawid_skene = config.aggregation == AggregationMethod::kDawidSkene;
   if (dawid_skene) {
-    CROWDER_ASSIGN_OR_RETURN(model, aggregate::FitDawidSkeneSharded(votes, {}));
+    CROWDER_ASSIGN_OR_RETURN(model, aggregate::FitDawidSkeneSharded(&filtered, {}));
   }
 
   const data::Dataset& dataset = *state->dataset;
@@ -330,7 +336,7 @@ Status RunStreamingAggregate(WorkflowState* state) {
     for (const auto& p : block) {
       if (index >= shard_end) {
         shard = index == 0 ? 0 : shard + 1;
-        CROWDER_ASSIGN_OR_RETURN(shard_votes, votes->LoadShard(shard));
+        CROWDER_ASSIGN_OR_RETURN(shard_votes, filtered.LoadShard(shard));
         shard_start = votes->shard_start(shard);
         shard_end = shard_start + votes->shard_pairs(shard);
       }
@@ -361,11 +367,22 @@ Status AggregateStage::Run(WorkflowState* state) {
 
   if (IsStreaming(*state)) return RunStreamingAggregate(state);
 
+  // The materialized revision path: decisions are derived from a filtered
+  // copy of the vote table; the original stays in crowd_stats.votes as the
+  // audit trail. Without bans the original table is used directly.
+  const aggregate::VoteTable* table = &result.crowd_stats.votes;
+  aggregate::VoteTable surviving;
+  if (!state->banned_workers.empty()) {
+    surviving = result.crowd_stats.votes;
+    aggregate::RemoveVotesFrom(&surviving, state->banned_workers);
+    table = &surviving;
+  }
+
   std::vector<double> probabilities;
   if (config.aggregation == AggregationMethod::kMajorityVote) {
-    probabilities = aggregate::MajorityVote(result.crowd_stats.votes);
+    probabilities = aggregate::MajorityVote(*table);
   } else {
-    CROWDER_ASSIGN_OR_RETURN(auto ds, aggregate::RunDawidSkene(result.crowd_stats.votes));
+    CROWDER_ASSIGN_OR_RETURN(auto ds, aggregate::RunDawidSkene(*table));
     probabilities = std::move(ds.match_probability);
   }
 

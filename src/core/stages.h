@@ -30,6 +30,7 @@
 
 #include <cstdint>
 #include <memory>
+#include <unordered_set>
 #include <vector>
 
 #include "core/partition.h"
@@ -73,6 +74,12 @@ struct WorkflowState {
   /// The disk-backed vote table, filled by the driver's crowd rounds,
   /// drained by AggregateStage.
   std::unique_ptr<VoteShardStore> votes;
+
+  /// Workers banned by the driver's admission filter (crowd/worker_filter.h),
+  /// copied in at Finalize. AggregateStage excludes their votes when it
+  /// derives decisions — in both execution modes — while the unfiltered
+  /// tables above (and result.crowd_stats.votes) keep the audit truth.
+  std::unordered_set<uint32_t> banned_workers;
 
   /// The result under construction (candidate_pairs, machine_recall,
   /// crowd_stats, ranked, pr_curve, ... filled in stage by stage).

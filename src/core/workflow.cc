@@ -5,7 +5,9 @@
 #include "common/logging.h"
 #include "core/driver.h"
 #include "core/stages.h"
+#include "crowd/async_backend.h"
 #include "crowd/backend.h"
+#include "crowd/crowd_model.h"
 #include "exec/thread_pool.h"
 #include "similarity/blocking.h"
 #include "similarity/parallel_join.h"
@@ -142,12 +144,15 @@ Status ValidateWorkflowConfig(const WorkflowConfig& config) {
   if (crowd.pool_size < crowd.assignments_per_hit) {
     return Status::InvalidArgument("worker pool smaller than assignments per HIT");
   }
-  if (crowd.reliable_fraction < 0.0 || crowd.noisy_fraction < 0.0 ||
-      crowd.reliable_fraction + crowd.noisy_fraction > 1.0 + 1e-12) {
-    return Status::InvalidArgument("worker-type fractions must be non-negative and sum <= 1");
-  }
+  // Fractions, rates, and the adversarial knobs: one validator, shared with
+  // the session layer, so both entry points name the offending field the
+  // same way (crowd/crowd_model.h).
+  CROWDER_RETURN_NOT_OK(crowd::ValidateCrowdModel(crowd));
   if (crowd.payment_per_assignment < 0.0 || crowd.fee_per_assignment < 0.0) {
     return Status::InvalidArgument("payments must be non-negative");
+  }
+  if (config.filter_workers && config.filter.min_approval_rate < 0.0) {
+    return Status::InvalidArgument("filter.min_approval_rate must be non-negative");
   }
   return Status::OK();
 }
@@ -161,6 +166,12 @@ Result<WorkflowResult> HybridWorkflow::Run(const data::Dataset& dataset) const {
   CROWDER_ASSIGN_OR_RETURN(auto backend,
                            crowd::SimulatedCrowdBackend::Create(
                                config_.crowd, config_.seed, dataset.truth.entity_of, options));
+  if (config_.async_crowd) {
+    // Same vote set, hostile transport: deliveries arrive out of order and
+    // in partial batches (crowd/async_backend.h).
+    crowd::AsyncCrowdBackend async(backend.get(), config_.crowd, config_.seed);
+    return Run(dataset, &async);
+  }
   return Run(dataset, backend.get());
 }
 
@@ -175,8 +186,15 @@ Result<WorkflowResult> HybridWorkflow::Run(const data::Dataset& dataset,
   CROWDER_RETURN_NOT_OK(driver.Start(dataset));
   while (!driver.done()) {
     CROWDER_ASSIGN_OR_RETURN(const crowd::Ticket ticket, backend->Post(driver.PendingHits()));
-    CROWDER_ASSIGN_OR_RETURN(crowd::VoteBatch votes, backend->Poll(ticket));
-    CROWDER_RETURN_NOT_OK(driver.SubmitVotes(std::move(votes)));
+    // An asynchronous backend hands the round back in partial deliveries;
+    // keep polling (and submitting) until the completing one arrives.
+    // Synchronous backends return complete = true on the first Poll.
+    bool complete = false;
+    while (!complete) {
+      CROWDER_ASSIGN_OR_RETURN(crowd::VoteBatch votes, backend->Poll(ticket));
+      complete = votes.complete;
+      CROWDER_RETURN_NOT_OK(driver.SubmitVotes(std::move(votes)));
+    }
     CROWDER_RETURN_NOT_OK(driver.Step());
   }
   CROWDER_ASSIGN_OR_RETURN(crowd::CrowdRunResult stats, backend->Finish());

@@ -24,6 +24,7 @@
 #include "common/result.h"
 #include "core/pipeline.h"
 #include "crowd/platform.h"
+#include "crowd/worker_filter.h"
 #include "data/dataset.h"
 #include "eval/metrics.h"
 #include "hitgen/cluster_generator.h"
@@ -123,6 +124,32 @@ struct WorkflowConfig {
   crowd::CrowdModel crowd;
   AggregationMethod aggregation = AggregationMethod::kDawidSkene;
 
+  // ---- Crowd defenses (crowd/worker_filter.h; docs/ARCHITECTURE.md). ----
+  /// Installs the built-in approval-rate admission filter: the driver
+  /// reviews worker statistics between rounds and bans offenders, whose
+  /// votes are excluded when decisions are derived at aggregation
+  /// (retroactively — the revision path). Off by default; a custom filter
+  /// can be installed via WorkflowDriver::SetWorkerFilter instead.
+  bool filter_workers = false;
+  /// Thresholds for the built-in filter.
+  crowd::ApprovalRateFilterOptions filter;
+  /// Fault tolerance for banned work: after a round whose bans (cumulative)
+  /// leave pairs with fewer surviving votes than `crowd.assignments_per_hit`,
+  /// the driver re-posts those pairs as fresh pair-based HITs — at most this
+  /// many repair rounds per original round — so revision does not starve
+  /// pairs of evidence. Replacement votes come from freshly drawn workers
+  /// (who are themselves reviewed, and banned, like any others). Only active
+  /// once a filter has banned someone, so default runs are untouched.
+  uint32_t repair_rounds = 2;
+
+  /// Wraps the simulated crowd in an AsyncCrowdBackend
+  /// (crowd/async_backend.h): votes arrive out of order, in partial
+  /// batches, under the arrival-time model. Only affects
+  /// Run(dataset) — when you bring your own backend, wrap it yourself.
+  /// The vote *set* is unchanged; delivery order is not, so async runs are
+  /// deterministic but not byte-identical to synchronous ones.
+  bool async_crowd = false;
+
   uint64_t seed = 42;
 };
 
@@ -131,6 +158,21 @@ struct WorkflowConfig {
 /// replication factor, and kStreaming only with kAllPairsJoin. Run() calls
 /// this before any work.
 Status ValidateWorkflowConfig(const WorkflowConfig& config);
+
+/// \brief What the driver observed about one crowd round (one HIT batch):
+/// how much arrived and how well the raters agreed. Computed from the votes
+/// alone — no ground truth — so it is available to a live deployment too.
+struct CrowdRoundStats {
+  uint32_t first_hit = 0;
+  uint32_t num_hits = 0;
+  uint64_t num_votes = 0;
+  /// Fleiss' kappa over the round's per-pair votes
+  /// (aggregate/agreement.h). Near 1 for an honest crowd on easy pairs;
+  /// collapses toward (or below) 0 as answer-blind workers dilute it.
+  double fleiss_kappa = 0.0;
+  /// Workers newly banned by the filter after this round.
+  uint32_t workers_banned = 0;
+};
 
 struct WorkflowResult {
   /// Pairs surviving the machine pass (the set P sent to the crowd).
@@ -147,6 +189,12 @@ struct WorkflowResult {
   std::vector<eval::PrPoint> pr_curve;
   /// Crowd statistics: #HITs, assignment durations, total latency, cost.
   crowd::CrowdRunResult crowd_stats;
+  /// Per-round agreement and filtering observations, in round order.
+  std::vector<CrowdRoundStats> crowd_rounds;
+  /// Workers banned by the admission filter (ascending id; empty without a
+  /// filter). Their votes were excluded from the aggregated decisions but
+  /// remain in crowd_stats for auditing.
+  std::vector<uint32_t> filtered_workers;
   uint64_t total_matches = 0;
   /// Per-stage timings and stream/spill counters. Informational — never part
   /// of the byte-identity contract between execution modes.

@@ -102,14 +102,23 @@ struct HitVotes {
   std::vector<PairVote> votes;
 };
 
-/// \brief The crowd's answer to one posted HitBatch.
+/// \brief The crowd's answer to one posted HitBatch — or, for an
+/// asynchronous backend, one *delivery* of it.
 struct VoteBatch {
-  /// Per-HIT responses. Producers emit them in global HIT order; the
-  /// aggregate per-pair vote sequences (HIT order, then cast order within a
-  /// HIT) are part of the byte-identity contract.
+  /// Per-HIT responses. Synchronous producers emit them in global HIT
+  /// order; the aggregate per-pair vote sequences (HIT order, then cast
+  /// order within a HIT) are part of the byte-identity contract.
+  /// Asynchronous deliveries may arrive in any order, but a HIT's votes are
+  /// atomic: each HIT appears in exactly one HitVotes entry across all
+  /// deliveries of a round (the driver rejects a second appearance).
   std::vector<HitVotes> hit_votes;
-  /// Completed assignments of the batch, in publish order.
+  /// Completed assignments of the batch, in publish order. An asynchronous
+  /// delivery carries the assignments of the HITs it delivers.
   std::vector<AssignmentRecord> assignments;
+  /// False when more deliveries for this ticket follow (poll again).
+  /// Synchronous backends always return true; core::WorkflowDriver accepts
+  /// any number of partial submissions before the completing one.
+  bool complete = true;
 };
 
 /// \brief Handle for one posted HitBatch, echoed back to Poll.

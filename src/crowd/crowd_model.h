@@ -13,6 +13,8 @@
 
 #include <cstdint>
 
+#include "common/status.h"
+
 namespace crowder {
 namespace crowd {
 
@@ -49,6 +51,24 @@ struct CrowdModel {
   /// Spammers answer yes with this probability, independent of the records.
   double spammer_yes_rate = 0.55;
 
+  // ---- Adversarial archetypes (default off). ----
+  /// Colluding spammer rings: every member of a ring casts the *same* vote
+  /// on a given pair (a shared deterministic yes/no policy), so replication
+  /// cannot average them out the way it averages independent spammers.
+  /// Fraction 0 keeps the default pool bitwise identical to the pre-
+  /// adversarial model (the bucketing thresholds collapse and no extra
+  /// random draws are consumed).
+  double colluder_fraction = 0.0;
+  /// Number of independent rings the colluders are split across (round-robin
+  /// by worker id). Each ring has its own policy seed.
+  uint32_t colluder_rings = 3;
+  /// Marginal yes-rate of a ring's policy across pairs.
+  double colluder_yes_rate = 0.7;
+  /// Sleeper workers ace the qualification test, then answer real pairs
+  /// like spammers (yes with spammer_yes_rate). They model the §7.1
+  /// observation that a gate only filters workers at admission time.
+  double sleeper_fraction = 0.0;
+
   // ---- Qualification test (§7.1). ----
   bool qualification_test = false;
   /// The test has this many pairs; a worker must answer all correctly.
@@ -83,6 +103,13 @@ struct CrowdModel {
 
   double CostPerAssignment() const { return payment_per_assignment + fee_per_assignment; }
 };
+
+/// \brief Checks the model's fractions and rates, naming the offending field.
+/// Out-of-range fractions are not harmless: reliable_fraction +
+/// noisy_fraction > 1 silently produces zero spammers, and a negative
+/// fraction inverts the bucketing in MakeWorkerPool. Called at session/pool
+/// construction and from workflow-config validation.
+Status ValidateCrowdModel(const CrowdModel& model);
 
 }  // namespace crowd
 }  // namespace crowder

@@ -35,6 +35,7 @@ struct AssignmentRecord {
   uint32_t worker = 0;  ///< pool worker id (answer provenance)
   double duration_seconds = 0.0;
   uint64_t comparisons = 0;
+  /// True when the assignee is answer-blind (spammer, colluder, or sleeper).
   bool by_spammer = false;
 };
 

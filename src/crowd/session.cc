@@ -107,8 +107,12 @@ Rng DeriveRng(uint64_t seed, uint64_t salt) {
 
 namespace {
 
-// Shared worker-pool feasibility check for both Create shapes.
+// Shared worker-pool feasibility check for both Create shapes. Model
+// validation lives here too: the platform constructor cannot return a
+// Status, so a malformed model (negative fractions, sum > 1) is caught the
+// moment a session tries to use the pool it produced.
 Status ValidatePool(const CrowdPlatform& platform) {
+  CROWDER_RETURN_NOT_OK(ValidateCrowdModel(platform.model()));
   if (platform.eligible_workers().size() < platform.model().assignments_per_hit) {
     return Status::Infeasible("only " + std::to_string(platform.eligible_workers().size()) +
                               " eligible workers; need " +
@@ -262,7 +266,7 @@ CrowdSession::HitOutcome CrowdSession::SimulatePairHit(uint32_t hit_index,
     const double duration =
         model.base_seconds + model.pair_comparison_seconds *
                                  static_cast<double>(comparisons) * worker.speed_factor();
-    out.assignments.push_back({hit_index, wid, duration, comparisons, worker.is_spammer()});
+    out.assignments.push_back({hit_index, wid, duration, comparisons, worker.is_adversarial()});
   }
   return out;
 }
@@ -322,7 +326,7 @@ CrowdSession::HitOutcome CrowdSession::SimulateClusterHit(
     const double duration =
         model.base_seconds + model.cluster_comparison_seconds *
                                  static_cast<double>(comparisons) * worker.speed_factor();
-    out.assignments.push_back({hit_index, wid, duration, comparisons, worker.is_spammer()});
+    out.assignments.push_back({hit_index, wid, duration, comparisons, worker.is_adversarial()});
   }
   return out;
 }

@@ -1,5 +1,6 @@
-// Simulated crowd workers: reliable, noisy, and spammer profiles with a
-// difficulty-dependent error model and per-worker deterministic randomness.
+// Simulated crowd workers: reliable, noisy, spammer, colluder, and sleeper
+// profiles with a difficulty-dependent error model and per-worker
+// deterministic randomness.
 #ifndef CROWDER_CROWD_WORKER_H_
 #define CROWDER_CROWD_WORKER_H_
 
@@ -12,7 +13,7 @@
 namespace crowder {
 namespace crowd {
 
-enum class WorkerType { kReliable, kNoisy, kSpammer };
+enum class WorkerType { kReliable, kNoisy, kSpammer, kColluder, kSleeper };
 
 const char* WorkerTypeName(WorkerType type);
 
@@ -20,12 +21,24 @@ const char* WorkerTypeName(WorkerType type);
 /// stream, so results do not depend on the order in which workers are asked.
 class Worker {
  public:
-  Worker(uint32_t id, WorkerType type, double speed_factor, Rng rng)
-      : id_(id), type_(type), speed_factor_(speed_factor), rng_(std::move(rng)) {}
+  Worker(uint32_t id, WorkerType type, double speed_factor, Rng rng, uint64_t policy_seed = 0)
+      : id_(id),
+        type_(type),
+        speed_factor_(speed_factor),
+        rng_(std::move(rng)),
+        policy_seed_(policy_seed) {}
 
   uint32_t id() const { return id_; }
   WorkerType type() const { return type_; }
   bool is_spammer() const { return type_ == WorkerType::kSpammer; }
+  /// True for every archetype that answers without reading the records:
+  /// independent spammers, colluding rings, and sleepers (post-admission).
+  bool is_adversarial() const {
+    return type_ == WorkerType::kSpammer || type_ == WorkerType::kColluder ||
+           type_ == WorkerType::kSleeper;
+  }
+  /// Shared ring seed for colluders (0 for every other type).
+  uint64_t policy_seed() const { return policy_seed_; }
   /// Multiplier on comparison time (1.0 = average worker).
   double speed_factor() const { return speed_factor_; }
 
@@ -52,8 +65,12 @@ class Worker {
   bool TakeQualificationTest(const std::vector<bool>& truths,
                              const std::vector<double>& likelihoods, const CrowdModel& model);
 
-  /// The error probability an honest worker of this type has on a pair
-  /// (exposed for tests).
+  /// The truth-conditional error probability this worker has on a pair
+  /// (exposed for tests and for filters calibrated on worker behaviour).
+  /// For answer-blind archetypes (spammer, sleeper, colluder) this is the
+  /// actual error implied by their yes-rate — e.g. a spammer with
+  /// spammer_yes_rate 0.55 errs with probability 0.45 on true matches and
+  /// 0.55 on non-matches, not a flat 0.5.
   double ErrorProbability(bool truth, double likelihood, double hardness_u,
                           const CrowdModel& model) const;
 
@@ -62,6 +79,7 @@ class Worker {
   WorkerType type_;
   double speed_factor_;
   Rng rng_;
+  uint64_t policy_seed_ = 0;
 };
 
 /// \brief Builds the worker pool for a platform run: `pool_size` workers with

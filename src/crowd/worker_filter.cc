@@ -1,0 +1,19 @@
+#include "crowd/worker_filter.h"
+
+namespace crowder {
+namespace crowd {
+
+std::vector<uint32_t> ApprovalRateWorkerFilter::Review(const std::vector<WorkerStats>& stats) {
+  std::vector<uint32_t> banned;
+  for (const WorkerStats& w : stats) {
+    const bool disapproved =
+        w.num_votes >= options_.min_votes && w.ApprovalRate() < options_.min_approval_rate;
+    const bool too_fast = options_.min_assignment_seconds > 0.0 && w.num_assignments > 0 &&
+                          w.MeanAssignmentSeconds() < options_.min_assignment_seconds;
+    if (disapproved || too_fast) banned.push_back(w.worker);
+  }
+  return banned;
+}
+
+}  // namespace crowd
+}  // namespace crowder

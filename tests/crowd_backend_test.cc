@@ -6,12 +6,14 @@
 // errors naming the offending HIT.
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <cstdio>
 #include <fstream>
 #include <string>
 #include <utility>
 #include <vector>
 
+#include "crowd/async_backend.h"
 #include "crowd/backend.h"
 #include "crowd/platform.h"
 #include "crowd/vote_log.h"
@@ -352,6 +354,121 @@ TEST(CallbackCrowdBackendTest, AccumulatesStatsAndEnforcesProtocol) {
   EXPECT_EQ(stats.num_distinct_workers, 2u);
   EXPECT_EQ(stats.median_assignment_seconds, 3.0);
   EXPECT_EQ(stats.cost_dollars, 0.0);
+}
+
+// ---------------------------------------------------------------------------
+// AsyncCrowdBackend: the hostile-transport adapter at the backend boundary.
+// ---------------------------------------------------------------------------
+
+TEST(AsyncCrowdBackendTest, DeliversTheInnerBackendsVoteSetInPieces) {
+  const auto entity_of = EntityOf();
+  const auto pairs = SomePairs();
+  const auto hits = PairHits();
+  const CrowdModel model;
+  const uint64_t seed = 77;
+
+  // Reference: the synchronous backend's single complete batch.
+  auto sync = SimulatedCrowdBackend::Create(model, seed, entity_of).ValueOrDie();
+  HitBatch batch;
+  batch.first_hit = 0;
+  batch.pairs = &pairs;
+  batch.pair_hits = &hits;
+  auto sync_votes = sync->Poll(sync->Post(batch).ValueOrDie()).ValueOrDie();
+  EXPECT_TRUE(sync_votes.complete);  // the synchronous default
+
+  // The same crowd behind the async adapter, one HIT per poll.
+  auto inner = SimulatedCrowdBackend::Create(model, seed, entity_of).ValueOrDie();
+  AsyncCrowdOptions options;
+  options.hits_per_poll = 1;
+  AsyncCrowdBackend async(inner.get(), model, seed, options);
+  const Ticket ticket = async.Post(batch).ValueOrDie();
+
+  std::vector<HitVotes> delivered;
+  size_t polls = 0;
+  bool complete = false;
+  while (!complete) {
+    VoteBatch piece = async.Poll(ticket).ValueOrDie();
+    ++polls;
+    complete = piece.complete;
+    for (HitVotes& hv : piece.hit_votes) delivered.push_back(std::move(hv));
+  }
+  EXPECT_EQ(polls, hits.size());  // one HIT per poll, partial until the last
+
+  // Every HIT arrives exactly once, votes identical to the synchronous run.
+  ASSERT_EQ(delivered.size(), sync_votes.hit_votes.size());
+  std::sort(delivered.begin(), delivered.end(),
+            [](const HitVotes& x, const HitVotes& y) { return x.hit < y.hit; });
+  for (size_t i = 0; i < delivered.size(); ++i) {
+    const HitVotes& got = delivered[i];
+    const HitVotes& want = sync_votes.hit_votes[i];
+    ASSERT_EQ(got.hit, want.hit);
+    ASSERT_EQ(got.votes.size(), want.votes.size());
+    for (size_t v = 0; v < want.votes.size(); ++v) {
+      EXPECT_EQ(got.votes[v].a, want.votes[v].a);
+      EXPECT_EQ(got.votes[v].b, want.votes[v].b);
+      EXPECT_EQ(got.votes[v].vote.worker_id, want.votes[v].vote.worker_id);
+      EXPECT_EQ(got.votes[v].vote.says_match, want.votes[v].vote.says_match);
+    }
+  }
+
+  // Finish forwards to the inner backend once everything is delivered.
+  EXPECT_TRUE(async.Finish().ok());
+}
+
+TEST(AsyncCrowdBackendTest, FinishBeforeFullDeliveryIsRejectedDrainUnblocks) {
+  const auto entity_of = EntityOf();
+  const auto pairs = SomePairs();
+  const auto hits = PairHits();
+  const CrowdModel model;
+  auto inner = SimulatedCrowdBackend::Create(model, 5, entity_of).ValueOrDie();
+  AsyncCrowdOptions options;
+  options.hits_per_poll = 1;
+  AsyncCrowdBackend async(inner.get(), model, 5, options);
+
+  HitBatch batch;
+  batch.first_hit = 0;
+  batch.pairs = &pairs;
+  batch.pair_hits = &hits;
+  const Ticket ticket = async.Post(batch).ValueOrDie();
+  ASSERT_FALSE(async.Poll(ticket).ValueOrDie().complete);
+
+  // Undelivered votes outstanding: a vote "arriving after Finish" can not
+  // exist, because Finish refuses while the transport still owes votes.
+  auto finish = async.Finish();
+  ASSERT_FALSE(finish.ok());
+  EXPECT_NE(finish.status().message().find("undelivered"), std::string::npos);
+
+  // Drain: the next poll flushes the rest and completes the round.
+  ASSERT_TRUE(async.Drain().ok());
+  EXPECT_TRUE(async.Poll(ticket).ValueOrDie().complete);
+  EXPECT_TRUE(async.Finish().ok());
+}
+
+TEST(AsyncCrowdBackendTest, DeterministicGivenSeed) {
+  const auto entity_of = EntityOf();
+  const auto pairs = SomePairs();
+  const auto hits = PairHits();
+  const CrowdModel model;
+  HitBatch batch;
+  batch.first_hit = 0;
+  batch.pairs = &pairs;
+  batch.pair_hits = &hits;
+
+  auto run = [&](uint64_t seed) {
+    auto inner = SimulatedCrowdBackend::Create(model, seed, entity_of).ValueOrDie();
+    AsyncCrowdBackend async(inner.get(), model, seed);
+    const Ticket ticket = async.Post(batch).ValueOrDie();
+    std::vector<uint32_t> order;
+    bool complete = false;
+    while (!complete) {
+      VoteBatch piece = async.Poll(ticket).ValueOrDie();
+      complete = piece.complete;
+      for (const HitVotes& hv : piece.hit_votes) order.push_back(hv.hit);
+    }
+    return order;
+  };
+
+  EXPECT_EQ(run(123), run(123));  // same seed, same delivery order
 }
 
 }  // namespace

@@ -3,7 +3,9 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <limits>
 
+#include "crowd/crowd_model.h"
 #include "crowd/platform.h"
 #include "crowd/session.h"
 #include "crowd/worker.h"
@@ -54,15 +56,38 @@ TEST(WorkerTest, NoisyWorseThanReliable) {
             reliable.ErrorProbability(true, 0.5, 0.5, model));
 }
 
-TEST(WorkerTest, SpammerIsCoinFlip) {
+TEST(WorkerTest, SpammerIsTruthBlindBiasedCoin) {
   Worker spammer = MakeWorker(WorkerType::kSpammer, 3);
   CrowdModel model;
-  EXPECT_EQ(spammer.ErrorProbability(true, 0.5, 0.0, model), 0.5);
+  // The reported error model is truth-conditional: a yes-biased coin is
+  // wrong on a match when it says no (1 - yes_rate) and wrong on a
+  // non-match when it says yes (yes_rate). The flat 0.5 the old model
+  // reported disagreed with the answers the spammer actually draws.
+  EXPECT_EQ(spammer.ErrorProbability(true, 0.5, 0.0, model), 1.0 - model.spammer_yes_rate);
+  EXPECT_EQ(spammer.ErrorProbability(false, 0.5, 0.0, model), model.spammer_yes_rate);
   int yes = 0;
   for (int i = 0; i < 2000; ++i) {
     yes += spammer.AnswerPair(false, 0.0, 0.0, model);  // truth irrelevant
   }
   EXPECT_NEAR(yes / 2000.0, model.spammer_yes_rate, 0.05);
+}
+
+TEST(WorkerTest, SpammerEmpiricalErrorMatchesReportedProbability) {
+  // Consistency between the two halves of the error model: the empirical
+  // error rate of drawn answers must approximate ErrorProbability for both
+  // truth values (the satellite bugfix's regression pin).
+  Worker spammer = MakeWorker(WorkerType::kSpammer, 11);
+  CrowdModel model;
+  for (const bool truth : {true, false}) {
+    int wrong = 0;
+    const int kTrials = 4000;
+    for (int i = 0; i < kTrials; ++i) {
+      wrong += (spammer.AnswerPair(truth, 0.5, 0.0, model) != truth);
+    }
+    EXPECT_NEAR(static_cast<double>(wrong) / kTrials,
+                spammer.ErrorProbability(truth, 0.5, 0.0, model), 0.05)
+        << "truth=" << truth;
+  }
 }
 
 TEST(WorkerTest, HonestWorkersMostlyCorrectOnEasyPairs) {
@@ -110,6 +135,9 @@ TEST(WorkerPoolTest, MixMatchesFractions) {
       case WorkerType::kSpammer:
         ++spam;
         break;
+      case WorkerType::kColluder:
+      case WorkerType::kSleeper:
+        break;  // default model has none
     }
   }
   EXPECT_NEAR(reliable / 4000.0, model.reliable_fraction, 0.03);
@@ -536,6 +564,93 @@ TEST(SessionTest, UnknownPairInHitIsReportedFromParallelRegion) {
   // poisoned: retrying or finishing must not double-count that prefix.
   EXPECT_TRUE(session->ProcessPairHits({{{{0, 1}}}}).IsInvalidArgument());
   EXPECT_TRUE(session->Finish().status().IsInvalidArgument());
+}
+
+// ---------------------------------------------------------------------------
+// CrowdModel validation: fractions and rates are checked at session/pool
+// construction, with the offending field named.
+// ---------------------------------------------------------------------------
+
+TEST(CrowdModelValidationTest, DefaultAndBoundaryValuesAreLegal) {
+  EXPECT_TRUE(ValidateCrowdModel(CrowdModel{}).ok());
+
+  CrowdModel all_reliable;
+  all_reliable.reliable_fraction = 1.0;  // sum exactly 1 with noisy = 0
+  all_reliable.noisy_fraction = 0.0;
+  EXPECT_TRUE(ValidateCrowdModel(all_reliable).ok());
+
+  CrowdModel all_spammers;  // every fraction at the 0 boundary
+  all_spammers.reliable_fraction = 0.0;
+  all_spammers.noisy_fraction = 0.0;
+  all_spammers.spammer_yes_rate = 1.0;  // rate boundaries are legal too
+  EXPECT_TRUE(ValidateCrowdModel(all_spammers).ok());
+
+  CrowdModel adversarial;
+  adversarial.reliable_fraction = 0.4;
+  adversarial.noisy_fraction = 0.2;
+  adversarial.colluder_fraction = 0.25;
+  adversarial.sleeper_fraction = 0.15;  // sum exactly 1
+  adversarial.colluder_yes_rate = 0.0;
+  EXPECT_TRUE(ValidateCrowdModel(adversarial).ok());
+}
+
+TEST(CrowdModelValidationTest, OutOfRangeFractionIsNamed) {
+  CrowdModel model;
+  model.reliable_fraction = -0.1;
+  auto status = ValidateCrowdModel(model);
+  EXPECT_TRUE(status.IsInvalidArgument());
+  EXPECT_NE(status.message().find("reliable_fraction"), std::string::npos);
+
+  model = CrowdModel{};
+  model.colluder_fraction = 1.5;
+  status = ValidateCrowdModel(model);
+  EXPECT_TRUE(status.IsInvalidArgument());
+  EXPECT_NE(status.message().find("colluder_fraction"), std::string::npos);
+
+  model = CrowdModel{};
+  model.sleeper_fraction = std::numeric_limits<double>::quiet_NaN();
+  status = ValidateCrowdModel(model);
+  EXPECT_TRUE(status.IsInvalidArgument());
+  EXPECT_NE(status.message().find("sleeper_fraction"), std::string::npos);
+
+  model = CrowdModel{};
+  model.spammer_yes_rate = 1.01;
+  status = ValidateCrowdModel(model);
+  EXPECT_TRUE(status.IsInvalidArgument());
+  EXPECT_NE(status.message().find("spammer_yes_rate"), std::string::npos);
+}
+
+TEST(CrowdModelValidationTest, FractionSumAboveOneIsRejected) {
+  CrowdModel model;  // defaults already use 0.92; push past 1 with colluders
+  model.colluder_fraction = 0.05;
+  model.sleeper_fraction = 0.04;  // 0.66 + 0.26 + 0.05 + 0.04 = 1.01
+  const auto status = ValidateCrowdModel(model);
+  EXPECT_TRUE(status.IsInvalidArgument());
+  EXPECT_NE(status.message().find("sum to <= 1"), std::string::npos);
+}
+
+TEST(CrowdModelValidationTest, ColludersNeedARing) {
+  CrowdModel model;
+  model.reliable_fraction = 0.5;
+  model.noisy_fraction = 0.2;
+  model.colluder_fraction = 0.2;
+  model.colluder_rings = 0;
+  const auto status = ValidateCrowdModel(model);
+  EXPECT_TRUE(status.IsInvalidArgument());
+  EXPECT_NE(status.message().find("colluder_rings"), std::string::npos);
+}
+
+TEST(CrowdModelValidationTest, SessionConstructionRejectsMalformedModel) {
+  // The enforcement point: a malformed model cannot produce a session (the
+  // platform constructor cannot return a Status, so the session checks).
+  const Fixture f = MakeFixture();
+  CrowdModel model;
+  model.noisy_fraction = -0.25;
+  const CrowdPlatform platform(model, 9);
+  const auto session = CrowdSession::Create(platform, f.Context());
+  ASSERT_FALSE(session.ok());
+  EXPECT_TRUE(session.status().IsInvalidArgument());
+  EXPECT_NE(session.status().message().find("noisy_fraction"), std::string::npos);
 }
 
 }  // namespace

@@ -12,6 +12,7 @@
 
 #include "core/driver.h"
 #include "core/workflow.h"
+#include "crowd/async_backend.h"
 #include "crowd/backend.h"
 #include "data/generators.h"
 #include "eval/metrics.h"
@@ -287,6 +288,212 @@ TEST(SubmitVotesHostileTest, BackendFinishWithUnpolledBatchIsRejected) {
   auto finish = backend->Finish();
   ASSERT_FALSE(finish.ok());
   EXPECT_NE(finish.status().message().find("unpolled"), std::string::npos);
+}
+
+// ---------------------------------------------------------------------------
+// Hostile asynchrony at the driver seam: out-of-order partial deliveries
+// through AsyncCrowdBackend, re-delivered HITs, and late votes naming
+// earlier rounds. Every vote is filed exactly once or rejected by name.
+// ---------------------------------------------------------------------------
+
+TEST(AsyncCrowdTest, OutOfOrderPartialDeliveriesAggregateIdentically) {
+  const auto dataset = SmallRestaurant();
+  WorkflowConfig config = BaseConfig();
+  config.hit_type = HitType::kPairBased;  // each pair lives in exactly one HIT
+  config.seed = 42;  // a seed whose completion order provably inverts HIT order
+
+  // Synchronous reference run.
+  auto sync = HybridWorkflow(config).Run(dataset);
+  ASSERT_TRUE(sync.ok()) << sync.status().ToString();
+
+  // The same crowd behind the async adapter, driven by hand so the delivery
+  // pattern is observable.
+  crowd::SimulatedCrowdOptions options;
+  auto inner = crowd::SimulatedCrowdBackend::Create(config.crowd, config.seed,
+                                                    dataset.truth.entity_of, options)
+                   .ValueOrDie();
+  crowd::AsyncCrowdOptions async_options;
+  async_options.hits_per_poll = 2;
+  crowd::AsyncCrowdBackend async(inner.get(), config.crowd, config.seed, async_options);
+
+  WorkflowDriver driver(config);
+  ASSERT_TRUE(driver.Start(dataset).ok());
+  int partial_batches = 0;
+  bool out_of_order = false;
+  while (!driver.done()) {
+    const crowd::Ticket ticket = async.Post(driver.PendingHits()).ValueOrDie();
+    bool complete = false;
+    uint32_t last_hit = 0;
+    bool first_delivery = true;
+    while (!complete) {
+      crowd::VoteBatch votes = async.Poll(ticket).ValueOrDie();
+      complete = votes.complete;
+      if (!complete) ++partial_batches;
+      for (const crowd::HitVotes& hv : votes.hit_votes) {
+        if (!first_delivery && hv.hit < last_hit) out_of_order = true;
+        last_hit = hv.hit;
+        first_delivery = false;
+      }
+      ASSERT_TRUE(driver.SubmitVotes(std::move(votes)).ok());
+    }
+    ASSERT_TRUE(driver.Step().ok());
+  }
+  ASSERT_TRUE(driver.SubmitCrowdStats(async.Finish().ValueOrDie()).ok());
+  auto result = driver.TakeResult();
+  ASSERT_TRUE(result.ok());
+
+  // The transport was genuinely hostile...
+  EXPECT_GT(partial_batches, 0);
+  EXPECT_TRUE(out_of_order);
+  // ...and still: with pair-based HITs a pair's votes are atomic to one
+  // HIT, so even per-pair vote order survives — the ranking is bitwise the
+  // synchronous one.
+  ASSERT_EQ(result->ranked.size(), sync->ranked.size());
+  for (size_t i = 0; i < sync->ranked.size(); ++i) {
+    EXPECT_EQ(result->ranked[i].a, sync->ranked[i].a);
+    EXPECT_EQ(result->ranked[i].b, sync->ranked[i].b);
+    EXPECT_EQ(result->ranked[i].score, sync->ranked[i].score);
+  }
+}
+
+TEST(AsyncCrowdTest, RunWithAsyncCrowdConfigMatchesSynchronousRun) {
+  const auto dataset = SmallRestaurant();
+  WorkflowConfig config = BaseConfig();
+  config.hit_type = HitType::kPairBased;
+  auto sync = HybridWorkflow(config).Run(dataset);
+  ASSERT_TRUE(sync.ok());
+  config.async_crowd = true;  // the one-flag form of the loop above
+  auto async = HybridWorkflow(config).Run(dataset);
+  ASSERT_TRUE(async.ok()) << async.status().ToString();
+  ASSERT_EQ(async->ranked.size(), sync->ranked.size());
+  for (size_t i = 0; i < sync->ranked.size(); ++i) {
+    EXPECT_EQ(async->ranked[i].score, sync->ranked[i].score);
+  }
+}
+
+TEST(AsyncCrowdTest, RedeliveredHitIsRejectedByNameAndLatches) {
+  const auto dataset = SmallRestaurant();
+  WorkflowConfig config = BaseConfig();
+  config.hit_type = HitType::kPairBased;
+  auto run = StartOpenRun(config, dataset);
+  ASSERT_GE(run->honest_votes.hit_votes.size(), 2u);
+
+  // First partial delivery: HIT 0 alone, round stays open.
+  crowd::VoteBatch first;
+  first.hit_votes.push_back(run->honest_votes.hit_votes[0]);
+  first.complete = false;
+  ASSERT_TRUE(run->driver.SubmitVotes(std::move(first)).ok());
+
+  // Second delivery re-delivers HIT 0: filing it again would double-count.
+  crowd::VoteBatch second;
+  second.hit_votes.push_back(run->honest_votes.hit_votes[0]);
+  const Status redelivered = run->driver.SubmitVotes(std::move(second));
+  EXPECT_TRUE(redelivered.IsInvalidArgument());
+  EXPECT_NE(redelivered.message().find("delivered twice in this round"), std::string::npos)
+      << redelivered;
+  // Corrupt transport: the failure latches.
+  EXPECT_TRUE(run->driver.Step().IsInvalidArgument());
+  EXPECT_FALSE(run->driver.TakeResult().ok());
+}
+
+TEST(AsyncCrowdTest, DuplicateHitWithinOneBatchIsRejected) {
+  const auto dataset = SmallRestaurant();
+  WorkflowConfig config = BaseConfig();
+  config.hit_type = HitType::kPairBased;
+  auto run = StartOpenRun(config, dataset);
+
+  crowd::VoteBatch hostile = run->honest_votes;
+  hostile.hit_votes.push_back(hostile.hit_votes.front());  // same HIT twice
+  const Status rejected = run->driver.SubmitVotes(std::move(hostile));
+  EXPECT_TRUE(rejected.IsInvalidArgument());
+  EXPECT_NE(rejected.message().find("delivered twice in this round"), std::string::npos);
+}
+
+TEST(AsyncCrowdTest, PartialDeliveriesCompleteTheRoundExactlyOnce) {
+  const auto dataset = SmallRestaurant();
+  WorkflowConfig config = BaseConfig();
+  config.hit_type = HitType::kPairBased;
+  auto run = StartOpenRun(config, dataset);
+  const size_t n = run->honest_votes.hit_votes.size();
+  ASSERT_GE(n, 2u);
+
+  // Deliver the round in two pieces, back half first (out of order).
+  crowd::VoteBatch back;
+  back.hit_votes.assign(run->honest_votes.hit_votes.begin() + static_cast<long>(n / 2),
+                        run->honest_votes.hit_votes.end());
+  back.complete = false;
+  ASSERT_TRUE(run->driver.SubmitVotes(std::move(back)).ok());
+  // Stepping mid-round is refused: the round is not complete yet.
+  EXPECT_TRUE(run->driver.Step().IsInvalidArgument());
+
+  crowd::VoteBatch front;
+  front.hit_votes.assign(run->honest_votes.hit_votes.begin(),
+                         run->honest_votes.hit_votes.begin() + static_cast<long>(n / 2));
+  front.assignments = run->honest_votes.assignments;
+  ASSERT_TRUE(run->driver.SubmitVotes(std::move(front)).ok());  // complete = true
+  ASSERT_TRUE(run->driver.Step().ok());
+  ASSERT_TRUE(run->driver.done());
+
+  // The split changed per-pair filing order by HIT, not the vote multiset;
+  // filing each HIT exactly once means the totals match a clean run.
+  auto result = run->driver.TakeResult();
+  ASSERT_TRUE(result.ok());
+  auto clean = HybridWorkflow(config).Run(dataset);
+  ASSERT_TRUE(clean.ok());
+  EXPECT_EQ(result->ranked.size(), clean->ranked.size());
+}
+
+TEST(AsyncCrowdTest, LateVotesForARetiredRoundAreRejectedByName) {
+  const auto dataset = SmallRestaurant();
+  WorkflowConfig config = BaseConfig();
+  config.hit_type = HitType::kPairBased;
+  config.execution_mode = ExecutionMode::kStreaming;
+  config.crowd_partition_pairs = 16;  // several rounds over ~60 pairs
+  WorkflowDriver driver(config);
+  ASSERT_TRUE(driver.Start(dataset).ok());
+  crowd::SimulatedCrowdOptions options;
+  auto backend = crowd::SimulatedCrowdBackend::Create(config.crowd, config.seed,
+                                                      dataset.truth.entity_of, options)
+                     .ValueOrDie();
+
+  // Answer round 1, keep its votes, move to round 2.
+  const auto ticket = backend->Post(driver.PendingHits()).ValueOrDie();
+  crowd::VoteBatch round1 = backend->Poll(ticket).ValueOrDie();
+  ASSERT_TRUE(driver.SubmitVotes(round1).ok());
+  ASSERT_TRUE(driver.Step().ok());
+  ASSERT_FALSE(driver.done()) << "need a second round for this test";
+
+  // A late (re)delivery of round 1's votes names HITs before the pending
+  // batch: rejected by HIT index, never silently double-counted.
+  const Status late = driver.SubmitVotes(round1);
+  EXPECT_TRUE(late.IsInvalidArgument());
+  EXPECT_NE(late.message().find("outside the pending batch"), std::string::npos) << late;
+}
+
+TEST(AsyncCrowdTest, AsyncBackendFinishWithUndeliveredVotesIsRejected) {
+  const auto dataset = SmallRestaurant();
+  WorkflowConfig config = BaseConfig();
+  config.hit_type = HitType::kPairBased;
+  WorkflowDriver driver(config);
+  ASSERT_TRUE(driver.Start(dataset).ok());
+  crowd::SimulatedCrowdOptions options;
+  auto inner = crowd::SimulatedCrowdBackend::Create(config.crowd, config.seed,
+                                                    dataset.truth.entity_of, options)
+                   .ValueOrDie();
+  crowd::AsyncCrowdBackend async(inner.get(), config.crowd, config.seed);
+
+  const auto ticket = async.Post(driver.PendingHits()).ValueOrDie();
+  crowd::VoteBatch piece = async.Poll(ticket).ValueOrDie();
+  ASSERT_FALSE(piece.complete) << "first poll should be partial here";
+
+  auto finish = async.Finish();
+  ASSERT_FALSE(finish.ok());
+  EXPECT_NE(finish.status().message().find("undelivered"), std::string::npos);
+
+  // Drain flushes everything outstanding; the next poll completes the round.
+  ASSERT_TRUE(async.Drain().ok());
+  crowd::VoteBatch rest = async.Poll(ticket).ValueOrDie();
+  EXPECT_TRUE(rest.complete);
 }
 
 }  // namespace

@@ -67,5 +67,51 @@ TEST(WithThousandsTest, GroupsDigits) {
   EXPECT_EQ(WithThousands(-45678), "-45,678");
 }
 
+TEST(ParseByteSizeTest, PlainNumberAndSuffixesEitherCase) {
+  EXPECT_EQ(ParseByteSize("0").ValueOrDie(), 0u);
+  EXPECT_EQ(ParseByteSize("4096").ValueOrDie(), 4096u);
+  // The documented contract: upper- and lowercase suffixes are equivalent.
+  EXPECT_EQ(ParseByteSize("64K").ValueOrDie(), 64u * 1024u);
+  EXPECT_EQ(ParseByteSize("64k").ValueOrDie(), 64u * 1024u);
+  EXPECT_EQ(ParseByteSize("256M").ValueOrDie(), 256ull << 20);
+  EXPECT_EQ(ParseByteSize("256m").ValueOrDie(), 256ull << 20);
+  EXPECT_EQ(ParseByteSize("3G").ValueOrDie(), 3ull << 30);
+  EXPECT_EQ(ParseByteSize("3g").ValueOrDie(), 3ull << 30);
+}
+
+TEST(ParseByteSizeTest, RejectsMalformedInput) {
+  EXPECT_TRUE(ParseByteSize("").status().IsInvalidArgument());
+
+  // A bare suffix has no number to scale.
+  const auto bare = ParseByteSize("K");
+  ASSERT_FALSE(bare.ok());
+  EXPECT_NE(bare.status().message().find("start with digits"), std::string::npos);
+
+  // "10KB" is not "10K": only single-letter binary suffixes exist, and the
+  // error names the offender.
+  const auto kb = ParseByteSize("10KB");
+  ASSERT_FALSE(kb.ok());
+  EXPECT_NE(kb.status().message().find("unknown byte-size suffix 'KB'"), std::string::npos);
+
+  EXPECT_TRUE(ParseByteSize("10Q").status().IsInvalidArgument());
+  EXPECT_TRUE(ParseByteSize("-1").status().IsInvalidArgument());
+  EXPECT_TRUE(ParseByteSize(" 10").status().IsInvalidArgument());
+}
+
+TEST(ParseByteSizeTest, RejectsOverflow) {
+  // More digits than uint64 can hold.
+  const auto digits = ParseByteSize("999999999999999999999");
+  ASSERT_FALSE(digits.ok());
+  EXPECT_TRUE(digits.status().IsInvalidArgument());
+
+  // Parses as a number but overflows once multiplied by the suffix.
+  const auto scaled = ParseByteSize("99999999999G");
+  ASSERT_FALSE(scaled.ok());
+  EXPECT_NE(scaled.status().message().find("overflows 64 bits"), std::string::npos);
+
+  // The largest representable scaled value still parses.
+  EXPECT_EQ(ParseByteSize("17179869183G").ValueOrDie(), 17179869183ull << 30);
+}
+
 }  // namespace
 }  // namespace crowder

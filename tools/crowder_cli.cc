@@ -14,6 +14,8 @@
 //                    sorted-neighborhood] [--streaming]
 //                   [--memory-budget SIZE] [--partition-pairs N]
 //                   [--crowd sim|record:FILE|replay:FILE]
+//                   [--spammer-fraction F] [--colluder-fraction F]
+//                   [--sleeper-fraction F] [--filter-workers] [--async-crowd]
 //                   [--machine-only] [--matches OUT.csv] [--merged OUT.csv]
 //       Runs the full hybrid workflow (simulated crowd) on a dataset CSV
 //       produced by `generate` (or any CSV with __source/__entity columns),
@@ -32,7 +34,8 @@
 //       merge guard of the materialized path needs the full confirmed edge
 //       set, so the cluster report is labeled with which rule produced
 //       it). --memory-budget caps each bounded structure's resident bytes
-//       (suffixes K/M/G, e.g. 256M) before it spills to disk;
+//       (suffixes K/M/G, upper- or lowercase, e.g. 256M or 256m) before it
+//       spills to disk;
 //       --partition-pairs pins the crowd partition capacity (0/absent =
 //       derived from the budget). The workflow outputs — candidate pairs,
 //       HITs, votes, ranked matches, F1 — are byte-identical to the
@@ -46,7 +49,16 @@
 //       offending HIT index, and the process exits with the distinct code
 //       3 (1 = any other failure, 2 = usage). --machine-only stops after
 //       the machine pass and reports pair counts, recall, throughput, and
-//       spill statistics.
+//       spill statistics. The adversarial knobs recompose the simulated
+//       worker pool: --spammer-fraction / --colluder-fraction /
+//       --sleeper-fraction displace honest workers (the honest remainder
+//       keeps the default reliable:noisy ratio). --filter-workers turns on
+//       the between-rounds approval-rate admission filter, whose bans are
+//       retroactive at aggregation; --async-crowd delivers the simulator's
+//       votes out of order and in partial batches under the arrival-time
+//       model. Any of the three adds the crowd-agreement (Fleiss' kappa)
+//       line to the report; --filter-workers also reports banned workers.
+//       The default report (no such flags) is byte-for-byte unchanged.
 //
 //   crowder_cli plan --in FILE --budget DOLLARS [--k 10] [--threads N]
 //       Evaluates the cost/recall tradeoff across thresholds and recommends
@@ -94,39 +106,6 @@ struct Args {
   }
 };
 
-/// Parses a byte size with an optional K/M/G suffix (binary units):
-/// "4096" -> 4096, "64K" -> 65536, "256M" -> 268435456, "1G" -> 2^30.
-Result<uint64_t> ParseByteSize(const std::string& text) {
-  if (text.empty()) return Status::InvalidArgument("empty byte size");
-  size_t digits = 0;
-  while (digits < text.size() && std::isdigit(static_cast<unsigned char>(text[digits]))) {
-    ++digits;
-  }
-  if (digits == 0) return Status::InvalidArgument("byte size must start with digits: " + text);
-  uint64_t value = 0;
-  try {
-    value = std::stoull(text.substr(0, digits));
-  } catch (const std::exception&) {
-    return Status::InvalidArgument("unparseable byte size: " + text);
-  }
-  const std::string suffix = text.substr(digits);
-  uint64_t multiplier = 1;
-  if (suffix == "K" || suffix == "k") {
-    multiplier = 1ULL << 10;
-  } else if (suffix == "M" || suffix == "m") {
-    multiplier = 1ULL << 20;
-  } else if (suffix == "G" || suffix == "g") {
-    multiplier = 1ULL << 30;
-  } else if (!suffix.empty()) {
-    return Status::InvalidArgument("unknown byte-size suffix '" + suffix + "' (use K/M/G)");
-  }
-  uint64_t bytes = 0;
-  if (__builtin_mul_overflow(value, multiplier, &bytes)) {
-    return Status::InvalidArgument("byte size overflows 64 bits: " + text);
-  }
-  return bytes;
-}
-
 Result<Args> Parse(int argc, char** argv) {
   if (argc < 2) return Status::InvalidArgument("missing command");
   Args args;
@@ -137,7 +116,8 @@ Result<Args> Parse(int argc, char** argv) {
       return Status::InvalidArgument("expected --flag, got '" + token + "'");
     }
     token = token.substr(2);
-    if (token == "qt" || token == "streaming" || token == "machine-only") {
+    if (token == "qt" || token == "streaming" || token == "machine-only" ||
+        token == "filter-workers" || token == "async-crowd") {
       args.flags[token] = "true";  // boolean flags
     } else {
       if (i + 1 >= argc) return Status::InvalidArgument("flag --" + token + " needs a value");
@@ -156,8 +136,10 @@ int Usage() {
                   [--algorithm two-tiered|bfs|dfs|random|approximation] [--qt]
                   [--seed N] [--threads N]
                   [--strategy allpairs|blocking|sorted-neighborhood]
-                  [--streaming] [--memory-budget SIZE(K|M|G)]
+                  [--streaming] [--memory-budget SIZE(K|M|G, either case)]
                   [--partition-pairs N] [--crowd sim|record:FILE|replay:FILE]
+                  [--spammer-fraction F] [--colluder-fraction F]
+                  [--sleeper-fraction F] [--filter-workers] [--async-crowd]
                   [--machine-only] [--matches OUT.csv] [--merged OUT.csv]
   crowder_cli plan --in FILE --budget DOLLARS [--k 10] [--threads N]
 )";
@@ -319,6 +301,36 @@ Status Run(const Args& args) {
     }
   }
   config.crowd.qualification_test = args.Has("qt");
+
+  // ---- Adversarial crowd composition & defenses (crowd/crowd_model.h,
+  // crowd/worker_filter.h). The requested adversarial mass displaces honest
+  // workers proportionally: the honest remainder keeps the default model's
+  // reliable:noisy ratio, and whatever the colluder/sleeper flags don't
+  // claim of the adversarial mass becomes independent spammers.
+  const bool adversarial = args.Has("spammer-fraction") || args.Has("colluder-fraction") ||
+                           args.Has("sleeper-fraction");
+  if (adversarial) {
+    const double spammer = args.GetDouble("spammer-fraction", 0.0);
+    const double colluder = args.GetDouble("colluder-fraction", 0.0);
+    const double sleeper = args.GetDouble("sleeper-fraction", 0.0);
+    if (spammer < 0.0 || colluder < 0.0 || sleeper < 0.0 ||
+        spammer + colluder + sleeper > 1.0) {
+      return Status::InvalidArgument(
+          "adversarial fractions must be non-negative and sum to <= 1");
+    }
+    const double honest = 1.0 - (spammer + colluder + sleeper);
+    const crowd::CrowdModel defaults;
+    const double honest_default = defaults.reliable_fraction + defaults.noisy_fraction;
+    config.crowd.reliable_fraction = honest * defaults.reliable_fraction / honest_default;
+    config.crowd.noisy_fraction = honest * defaults.noisy_fraction / honest_default;
+    config.crowd.colluder_fraction = colluder;
+    config.crowd.sleeper_fraction = sleeper;
+    // The spammer fraction is the unallocated remainder of the pool
+    // bucketing, which is exactly `spammer` by construction.
+  }
+  config.filter_workers = args.Has("filter-workers");
+  config.async_crowd = args.Has("async-crowd");
+
   const std::string hit_type = args.Get("hit-type", "cluster");
   if (hit_type == "pair") {
     config.hit_type = core::HitType::kPairBased;
@@ -353,6 +365,11 @@ Status Run(const Args& args) {
   core::HybridWorkflow workflow(config);
   std::unique_ptr<crowd::VoteLogWriter> log_writer;
   std::unique_ptr<crowd::CrowdBackend> backend;
+  if (config.async_crowd && crowd_mode != "sim") {
+    std::cerr << "warning: --async-crowd applies to the simulated crowd only; "
+                 "ignored with --crowd " << crowd_mode.substr(0, crowd_mode.find(':'))
+              << "\n";
+  }
   if (StartsWith(crowd_mode, "record:")) {
     CROWDER_ASSIGN_OR_RETURN(log_writer,
                              crowd::VoteLogWriter::Create(crowd_mode.substr(7)));
@@ -398,6 +415,25 @@ Status Run(const Args& args) {
             << FormatDouble(result.crowd_stats.cost_dollars, 2) << ")\n";
   std::cout << "crowd wall time:    "
             << FormatDouble(result.crowd_stats.total_seconds / 3600.0, 1) << "h\n";
+  // The defense report — printed only when an adversarial/defense flag is
+  // in play, so the default report's bytes stay golden-stable.
+  if ((adversarial || config.filter_workers || config.async_crowd) &&
+      !result.crowd_rounds.empty()) {
+    double kappa = 0.0;
+    uint64_t kappa_votes = 0;
+    for (const auto& round : result.crowd_rounds) {
+      kappa += round.fleiss_kappa * static_cast<double>(round.num_votes);
+      kappa_votes += round.num_votes;
+    }
+    if (kappa_votes > 0) kappa /= static_cast<double>(kappa_votes);
+    std::cout << "crowd agreement:    kappa " << FormatDouble(kappa, 3) << " ("
+              << result.crowd_rounds.size() << " round"
+              << (result.crowd_rounds.size() == 1 ? "" : "s") << ")\n";
+  }
+  if (config.filter_workers) {
+    std::cout << "filtered workers:   " << result.filtered_workers.size() << " banned ("
+              << result.crowd_stats.num_distinct_workers << " workers active)\n";
+  }
   std::cout << "best F1:            " << FormatDouble(100 * eval::BestF1(result.pr_curve), 1)
             << "%\n";
   std::cout << "precision@recall90: "
