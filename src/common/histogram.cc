@@ -1,0 +1,104 @@
+#include "common/histogram.h"
+
+#include <algorithm>
+
+namespace crowder {
+
+uint32_t HistogramBuckets::Index(uint64_t value) {
+  if (value < kSubBuckets) return static_cast<uint32_t>(value);
+  // Octave = bit width; within it, the kSubBuckets linear slices are indexed
+  // by the bits just below the leading one.
+  uint32_t bits = 0;
+  uint64_t v = value;
+  while (v >>= 1) ++bits;  // bits = floor(log2(value)) >= 4 here
+  const uint32_t shift = bits - 4;  // 2^4 == kSubBuckets
+  const uint32_t sub = static_cast<uint32_t>((value >> shift) & (kSubBuckets - 1));
+  const uint32_t index = (bits - 3) * kSubBuckets + sub;
+  return std::min(index, kNumBuckets - 1);
+}
+
+uint64_t HistogramBuckets::UpperBound(uint32_t index) {
+  if (index < kSubBuckets) return index;
+  const uint32_t octave = index / kSubBuckets + 3;  // inverse of Index
+  const uint32_t sub = index % kSubBuckets;
+  const uint32_t shift = octave - 4;
+  // Largest value with this (octave, sub): fill every bit below the slice.
+  const uint64_t base = (1ULL << octave) | (static_cast<uint64_t>(sub) << shift);
+  return base + ((1ULL << shift) - 1);
+}
+
+void Histogram::Record(uint64_t value) {
+  ++buckets_[HistogramBuckets::Index(value)];
+  ++count_;
+  sum_ += value;
+  min_ = std::min(min_, value);
+  max_ = std::max(max_, value);
+}
+
+void Histogram::Merge(const Histogram& other) {
+  for (uint32_t i = 0; i < HistogramBuckets::kNumBuckets; ++i) buckets_[i] += other.buckets_[i];
+  count_ += other.count_;
+  sum_ += other.sum_;
+  min_ = std::min(min_, other.min_);
+  max_ = std::max(max_, other.max_);
+}
+
+double Histogram::Mean() const {
+  return count_ == 0 ? 0.0 : static_cast<double>(sum_) / static_cast<double>(count_);
+}
+
+uint64_t Histogram::ValueAtQuantile(double q) const {
+  if (count_ == 0) return 0;
+  q = std::min(1.0, std::max(0.0, q));
+  // Rank of the quantile value, 1-based; q = 0 still needs the first value.
+  const uint64_t rank = std::max<uint64_t>(
+      1, static_cast<uint64_t>(q * static_cast<double>(count_) + 0.5));
+  uint64_t seen = 0;
+  for (uint32_t i = 0; i < HistogramBuckets::kNumBuckets; ++i) {
+    seen += buckets_[i];
+    if (seen >= rank) return std::min(HistogramBuckets::UpperBound(i), max_);
+  }
+  return max_;
+}
+
+std::vector<std::pair<uint64_t, uint64_t>> Histogram::NonEmptyBuckets() const {
+  std::vector<std::pair<uint64_t, uint64_t>> out;
+  for (uint32_t i = 0; i < HistogramBuckets::kNumBuckets; ++i) {
+    if (buckets_[i] != 0) out.emplace_back(HistogramBuckets::UpperBound(i), buckets_[i]);
+  }
+  return out;
+}
+
+ConcurrentHistogram::ConcurrentHistogram() : count_(0), sum_(0), min_(UINT64_MAX), max_(0) {
+  for (auto& b : buckets_) b.store(0, std::memory_order_relaxed);
+}
+
+void ConcurrentHistogram::Record(uint64_t value) {
+  buckets_[HistogramBuckets::Index(value)].fetch_add(1, std::memory_order_relaxed);
+  count_.fetch_add(1, std::memory_order_relaxed);
+  sum_.fetch_add(value, std::memory_order_relaxed);
+  // Monotone min/max: losing a race just retries against a tighter bound;
+  // Record never waits on other writers beyond these bounded CAS retries.
+  uint64_t cur = min_.load(std::memory_order_relaxed);
+  while (value < cur && !min_.compare_exchange_weak(cur, value, std::memory_order_relaxed)) {
+  }
+  cur = max_.load(std::memory_order_relaxed);
+  while (value > cur && !max_.compare_exchange_weak(cur, value, std::memory_order_relaxed)) {
+  }
+}
+
+Histogram ConcurrentHistogram::Snapshot() const {
+  Histogram out;
+  for (uint32_t i = 0; i < HistogramBuckets::kNumBuckets; ++i) {
+    out.buckets_[i] = buckets_[i].load(std::memory_order_relaxed);
+    out.count_ += out.buckets_[i];
+  }
+  // Derived scalars come from their own counters; count_ is re-derived from
+  // the buckets so quantile ranks always see a self-consistent total.
+  out.sum_ = sum_.load(std::memory_order_relaxed);
+  out.min_ = min_.load(std::memory_order_relaxed);
+  out.max_ = max_.load(std::memory_order_relaxed);
+  return out;
+}
+
+}  // namespace crowder

@@ -1,0 +1,120 @@
+// Fixed log-bucket latency histograms for the serving and workflow layers.
+//
+// Two types share one bucket layout (HistogramBuckets):
+//
+//  * Histogram — a plain, copyable value type. Record/Merge/quantiles with
+//    no synchronization; the form results carry (WorkflowResult,
+//    BENCH_*.json) and the form tests reason about.
+//  * ConcurrentHistogram — the same buckets behind relaxed atomics, so any
+//    number of threads Record() while readers take Snapshot()s without
+//    locks (the service's query-latency path must never serialize readers
+//    against ingest). A snapshot is a plain Histogram.
+//
+// The layout is HdrHistogram-flavoured: values are bucketed by magnitude
+// (floor(log2)) with `kSubBuckets` linear sub-buckets per octave, giving a
+// bounded relative error of 1/kSubBuckets (6.25%) at every scale — fixed
+// memory, no allocation on Record, mergeable by element-wise addition.
+// Values are dimensionless uint64s; callers pick the unit (the serving
+// stack records microseconds).
+#ifndef CROWDER_COMMON_HISTOGRAM_H_
+#define CROWDER_COMMON_HISTOGRAM_H_
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace crowder {
+
+/// \brief The shared bucket layout: 64 octaves x kSubBuckets linear
+/// sub-buckets. Bucket index and representative value are pure functions,
+/// identical for both histogram types (and pinned by histogram_test).
+struct HistogramBuckets {
+  /// Linear sub-buckets per power of two; relative error <= 1/kSubBuckets.
+  static constexpr uint32_t kSubBuckets = 16;
+  /// Total buckets: values 0..kSubBuckets-1 map 1:1 into the first octave's
+  /// sub-buckets, every further octave contributes kSubBuckets buckets.
+  static constexpr uint32_t kNumBuckets = 64 * kSubBuckets;
+
+  /// \brief Bucket index of `value` (exact for values < kSubBuckets).
+  static uint32_t Index(uint64_t value);
+
+  /// \brief Upper-bound representative of bucket `index`: the largest value
+  /// the bucket holds, so quantiles never under-report a latency.
+  static uint64_t UpperBound(uint32_t index);
+};
+
+/// \brief Plain (single-writer) log-bucket histogram: copyable, mergeable,
+/// with count/sum/min/max and quantile queries. Not thread-safe — use
+/// ConcurrentHistogram when multiple threads record.
+class Histogram {
+ public:
+  /// \brief Files one value.
+  void Record(uint64_t value);
+
+  /// \brief Element-wise addition of another histogram (same fixed layout).
+  void Merge(const Histogram& other);
+
+  /// \brief Values recorded.
+  uint64_t count() const { return count_; }
+  /// \brief Sum of recorded values (saturating add not needed at realistic
+  /// latency scales).
+  uint64_t sum() const { return sum_; }
+  /// \brief Smallest recorded value (0 when empty).
+  uint64_t min() const { return count_ == 0 ? 0 : min_; }
+  /// \brief Largest recorded value (0 when empty).
+  uint64_t max() const { return max_; }
+  /// \brief Mean of recorded values (0 when empty).
+  double Mean() const;
+
+  /// \brief Value at quantile `q` in [0, 1]: the bucket upper bound at the
+  /// smallest rank >= q * count, clamped to the observed max (0 when
+  /// empty). ValueAtQuantile(0.5) is the p50, (0.99) the p99, (0.999) the
+  /// p999.
+  uint64_t ValueAtQuantile(double q) const;
+
+  /// \brief Occupied-bucket view for export: (upper_bound, count) pairs in
+  /// ascending value order.
+  std::vector<std::pair<uint64_t, uint64_t>> NonEmptyBuckets() const;
+
+ private:
+  friend class ConcurrentHistogram;
+  uint64_t buckets_[HistogramBuckets::kNumBuckets] = {};
+  uint64_t count_ = 0;
+  uint64_t sum_ = 0;
+  uint64_t min_ = UINT64_MAX;
+  uint64_t max_ = 0;
+};
+
+/// \brief Multi-writer, lock-free histogram: Record() from any thread
+/// (relaxed atomic adds; no CAS loops, no locks), Snapshot() from any thread
+/// without stopping writers. A snapshot taken concurrently with writers is a
+/// consistent-enough sum: every counter is monotone, so quantiles over it
+/// are exact for all values recorded strictly before the snapshot began and
+/// may include a subset of in-flight ones — the standard telemetry contract.
+/// min/max converge via compare-exchange but never block Record.
+class ConcurrentHistogram {
+ public:
+  /// \brief Starts empty (all counters zero).
+  ConcurrentHistogram();
+
+  /// \brief Files one value. Wait-free (one relaxed fetch_add per counter).
+  void Record(uint64_t value);
+
+  /// \brief Copies the counters into a plain Histogram.
+  Histogram Snapshot() const;
+
+  /// \brief Values recorded so far (relaxed read).
+  uint64_t count() const { return count_.load(std::memory_order_relaxed); }
+
+ private:
+  std::atomic<uint64_t> buckets_[HistogramBuckets::kNumBuckets];
+  std::atomic<uint64_t> count_;
+  std::atomic<uint64_t> sum_;
+  std::atomic<uint64_t> min_;
+  std::atomic<uint64_t> max_;
+};
+
+}  // namespace crowder
+
+#endif  // CROWDER_COMMON_HISTOGRAM_H_

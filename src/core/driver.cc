@@ -200,6 +200,7 @@ Status WorkflowDriver::Advance() {
   }
   if (!pending_.empty()) {
     phase_ = Phase::kAwaitingVotes;
+    round_timer_.Reset();
     return Status::OK();
   }
   return Finalize();
@@ -431,9 +432,14 @@ Status WorkflowDriver::Step() {
     return Status::InvalidArgument(
         "the pending HIT batch has not been answered (SubmitVotes first)");
   }
+  state_->result.pipeline_stats.round_wall_micros.Record(
+      static_cast<uint64_t>(round_timer_.ElapsedSeconds() * 1e6));
   FinishRound();
   CROWDER_ASSIGN_OR_RETURN(const bool repairing, PrepareRepairRound());
-  if (repairing) return Status::OK();  // same context, new HITs, await votes
+  if (repairing) {
+    round_timer_.Reset();
+    return Status::OK();  // same context, new HITs, await votes
+  }
   if (config_.execution_mode == ExecutionMode::kStreaming &&
       config_.hit_type == HitType::kClusterBased) {
     ++state_->result.pipeline_stats.crowd_partitions;

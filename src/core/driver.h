@@ -223,6 +223,10 @@ class WorkflowDriver {
   /// Wall clock of the crowd phase (rounds start → aggregation), reported
   /// as the "crowd" stage timing.
   WallTimer crowd_timer_;
+  /// Wall clock of the pending round (prepare → Step), recorded into
+  /// PipelineStats::round_wall_micros — the per-round spread the aggregate
+  /// "crowd" timing flattens.
+  WallTimer round_timer_;
 };
 
 }  // namespace core

@@ -33,6 +33,7 @@
 #include <string>
 #include <vector>
 
+#include "common/histogram.h"
 #include "common/result.h"
 #include "core/spill.h"
 #include "similarity/similarity_join.h"
@@ -150,6 +151,11 @@ struct PipelineStats {
   /// Bytes the component-bucket pair store spilled to disk (cluster-based
   /// streaming only).
   uint64_t boundary_spilled_bytes = 0;
+  /// Per-crowd-round wall times, microseconds (one Record per answered HIT
+  /// batch, repair rounds included). The aggregate "crowd" stage timing
+  /// hides the per-round spread this keeps: a streaming run's many small
+  /// rounds vs the materialized run's single one.
+  Histogram round_wall_micros;
 };
 
 struct WorkflowState;  // core/stages.h

@@ -11,20 +11,11 @@
 namespace crowder {
 namespace crowd {
 
-namespace {
-
-// Deterministic per-pair hardness draw in [0,1): the same pair is equally
-// confusing for every worker and every run, which is what makes replication
-// imperfect insurance (as on the real platform).
 double PairHardness(uint32_t a, uint32_t b) {
   uint64_t state = PairKey(a, b) ^ 0xCB0BDE12E5550AALL;
   return static_cast<double>(SplitMix64(&state) >> 11) * 0x1.0p-53;
 }
 
-// Salt for the completion simulation's stream — outside the HIT index range.
-constexpr uint64_t kCompletionSalt = ~0ULL;
-
-// Picks `count` distinct entries of `eligible` using `rng`.
 std::vector<uint32_t> PickWorkersFrom(const std::vector<uint32_t>& eligible, uint32_t count,
                                       Rng* rng) {
   std::vector<size_t> picks =
@@ -34,6 +25,11 @@ std::vector<uint32_t> PickWorkersFrom(const std::vector<uint32_t>& eligible, uin
   for (size_t p : picks) out.push_back(eligible[p]);
   return out;
 }
+
+namespace {
+
+// Salt for the completion simulation's stream — outside the HIT index range.
+constexpr uint64_t kCompletionSalt = ~0ULL;
 
 // Poisson-arrival dispatch of assignments; returns makespan seconds.
 double SimulateCompletion(const CrowdModel& model, Rng* rng,

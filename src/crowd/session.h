@@ -43,6 +43,19 @@ namespace crowd {
 /// CrowdSession uses the global HIT index as the salt.
 Rng DeriveRng(uint64_t seed, uint64_t salt);
 
+/// \brief Deterministic per-pair hardness draw in [0,1): the same pair is
+/// equally confusing for every worker and every run, which is what makes
+/// replication imperfect insurance (as on the real platform). Exported so
+/// the serving stack's per-pair crowd simulation (serve/pair_crowd.h) draws
+/// the *same* hardness the batch session does.
+double PairHardness(uint32_t a, uint32_t b);
+
+/// \brief Picks `count` distinct entries of `eligible` using `rng` (sample
+/// without replacement over positions). Shared by the batch session and the
+/// serving stack so both assign the same workers to the same draw.
+std::vector<uint32_t> PickWorkersFrom(const std::vector<uint32_t>& eligible, uint32_t count,
+                                      Rng* rng);
+
 /// \brief One crowd run, fed HIT batches incrementally.
 ///
 /// A session is either pair-based or cluster-based — determined by the first

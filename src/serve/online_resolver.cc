@@ -1,0 +1,56 @@
+#include "serve/online_resolver.h"
+
+#include <unordered_map>
+#include <utility>
+
+namespace crowder {
+namespace serve {
+
+uint32_t OnlineResolver::AddRecord() {
+  const uint32_t id = num_records();
+  parent_.push_back(id);
+  size_.push_back(1);
+  return id;
+}
+
+uint32_t OnlineResolver::Find(uint32_t x) const {
+  while (parent_[x] != x) x = parent_[x];
+  return x;
+}
+
+Status OnlineResolver::AddMatch(uint32_t a, uint32_t b) {
+  if (a >= parent_.size() || b >= parent_.size()) {
+    return Status::OutOfRange("pair references record beyond num_records");
+  }
+  if (a == b) return Status::InvalidArgument("self-pair in input");
+  uint32_t ra = Find(a);
+  uint32_t rb = Find(b);
+  if (ra == rb) return Status::OK();
+  if (size_[ra] < size_[rb]) std::swap(ra, rb);
+  parent_[rb] = ra;
+  size_[ra] += size_[rb];
+  return Status::OK();
+}
+
+core::EntityClusters OnlineResolver::CurrentClusters() const {
+  const uint32_t n = num_records();
+  core::EntityClusters out;
+  out.cluster_of.assign(n, 0);
+  // Ascending record order visits each set's smallest member first, so
+  // first-seen roots assign dense cluster ids in exactly the smallest-member
+  // order StreamingResolver::Finish canonicalizes to.
+  std::unordered_map<uint32_t, uint32_t> cluster_of_root;
+  cluster_of_root.reserve(n);
+  for (uint32_t r = 0; r < n; ++r) {
+    const uint32_t root = Find(r);
+    auto [it, inserted] =
+        cluster_of_root.emplace(root, static_cast<uint32_t>(out.clusters.size()));
+    if (inserted) out.clusters.emplace_back();
+    out.cluster_of[r] = it->second;
+    out.clusters[it->second].push_back(r);
+  }
+  return out;
+}
+
+}  // namespace serve
+}  // namespace crowder

@@ -1,0 +1,49 @@
+#include "serve/snapshot.h"
+
+#include <atomic>
+
+namespace crowder {
+namespace serve {
+
+std::vector<PendingPair> Snapshot::PendingOf(uint32_t record) const {
+  std::vector<PendingPair> out;
+  if (record + 1 >= pending_offset.size()) return out;
+  for (uint32_t i = pending_offset[record]; i < pending_offset[record + 1]; ++i) {
+    out.push_back(pending[pending_index[i]]);
+  }
+  return out;
+}
+
+SnapshotStore::SnapshotStore() : current_(std::make_shared<const Snapshot>()) {}
+
+std::shared_ptr<const Snapshot> SnapshotStore::Get() const {
+  return std::atomic_load_explicit(&current_, std::memory_order_acquire);
+}
+
+void SnapshotStore::Publish(std::shared_ptr<const Snapshot> snapshot) {
+  std::atomic_store_explicit(&current_, std::move(snapshot), std::memory_order_release);
+}
+
+void BuildPendingAdjacency(Snapshot* snapshot) {
+  snapshot->pending_offset.assign(static_cast<size_t>(snapshot->num_records) + 1, 0);
+  snapshot->pending_index.clear();
+  snapshot->pending_index.reserve(snapshot->pending.size() * 2);
+  // Counting sort over record endpoints: each pair contributes to both ends.
+  for (const PendingPair& p : snapshot->pending) {
+    ++snapshot->pending_offset[p.a + 1];
+    ++snapshot->pending_offset[p.b + 1];
+  }
+  for (size_t r = 1; r < snapshot->pending_offset.size(); ++r) {
+    snapshot->pending_offset[r] += snapshot->pending_offset[r - 1];
+  }
+  snapshot->pending_index.resize(snapshot->pending_offset.back());
+  std::vector<uint32_t> cursor(snapshot->pending_offset.begin(),
+                               snapshot->pending_offset.end() - 1);
+  for (size_t i = 0; i < snapshot->pending.size(); ++i) {
+    snapshot->pending_index[cursor[snapshot->pending[i].a]++] = static_cast<uint32_t>(i);
+    snapshot->pending_index[cursor[snapshot->pending[i].b]++] = static_cast<uint32_t>(i);
+  }
+}
+
+}  // namespace serve
+}  // namespace crowder

@@ -1,0 +1,89 @@
+// Epoch snapshots: how the service answers queries without ever blocking
+// ingest. Writers (ingest + the crowd-apply loop) periodically publish an
+// immutable Snapshot; readers grab the current shared_ptr with an atomic
+// load and read freely — no lock is ever taken on the query path, and a
+// reader keeps its snapshot alive for as long as it holds the pointer even
+// if many epochs are published meanwhile.
+//
+// The consistency contract (pinned by serve_test's interleaving property):
+// a snapshot is built under the service's state lock, so its clusters are
+// exactly ResolveEntities (transitive closure) over the first
+// `applied_matches` entries of the service's append-only match log, over
+// `num_records` records — never a torn mixture of epochs.
+#ifndef CROWDER_SERVE_SNAPSHOT_H_
+#define CROWDER_SERVE_SNAPSHOT_H_
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "core/resolution.h"
+
+namespace crowder {
+namespace serve {
+
+/// \brief A candidate pair the crowd has been (or will be) asked about and
+/// has not yet decided, as exposed to queries.
+struct PendingPair {
+  uint32_t a = 0;  ///< smaller record id
+  uint32_t b = 0;  ///< larger record id
+  double score = 0.0;  ///< machine likelihood
+};
+
+/// \brief One immutable epoch of service state.
+struct Snapshot {
+  /// Monotone publish counter (epoch 0 = the empty pre-ingest snapshot).
+  uint64_t epoch = 0;
+  /// Records ingested when the snapshot was built.
+  uint32_t num_records = 0;
+  /// Prefix length of the service's append-only match log this snapshot's
+  /// clusters reflect (the replay handle of the consistency contract).
+  uint64_t applied_matches = 0;
+  /// Candidate pairs discovered so far (auto-matched + crowd-bound).
+  uint64_t candidate_pairs = 0;
+  /// The canonical partition at this epoch.
+  core::EntityClusters clusters;
+  /// Undecided crowd-bound pairs, sorted by (a, b).
+  std::vector<PendingPair> pending;
+  /// CSR adjacency over `pending`: indices of the pairs touching record r
+  /// are pending_index[pending_offset[r] .. pending_offset[r + 1]).
+  std::vector<uint32_t> pending_offset;
+  /// The CSR value array paired with `pending_offset` (indices into
+  /// `pending`).
+  std::vector<uint32_t> pending_index;
+
+  /// \brief The pending pairs touching `record` (by CSR lookup).
+  std::vector<PendingPair> PendingOf(uint32_t record) const;
+};
+
+/// \brief Lock-free publish/read cell for the current snapshot.
+///
+/// C++17: synchronization uses the std::atomic_load/atomic_store free
+/// functions on shared_ptr (the pre-C++20 spelling of
+/// atomic<shared_ptr>). Publish is release, Get is acquire, so a reader
+/// that observes an epoch observes every byte of it.
+class SnapshotStore {
+ public:
+  /// \brief Starts at an empty epoch-0 snapshot, so Get never returns null.
+  SnapshotStore();
+
+  /// \brief Current snapshot (never null; wait-free atomic load).
+  std::shared_ptr<const Snapshot> Get() const;
+
+  /// \brief Atomically replaces the current snapshot. The caller assembles
+  /// the snapshot fully before publishing; epochs must be monotone (the
+  /// service's state lock serializes publishers).
+  void Publish(std::shared_ptr<const Snapshot> snapshot);
+
+ private:
+  std::shared_ptr<const Snapshot> current_;
+};
+
+/// \brief Builds the CSR pending-pair adjacency of a snapshot from its
+/// sorted `pending` list (fills pending_offset / pending_index).
+void BuildPendingAdjacency(Snapshot* snapshot);
+
+}  // namespace serve
+}  // namespace crowder
+
+#endif  // CROWDER_SERVE_SNAPSHOT_H_

@@ -47,6 +47,31 @@ struct JoinPlan {
 /// case degenerates to the exhaustive join in every caller).
 JoinPlan BuildJoinPlan(const JoinInput& input, const JoinOptions& options);
 
+/// \brief The per-record half of the precompute, factored out of
+/// BuildJoinPlan so an *incremental* index (serve/incremental_index.h) can
+/// grow a plan one record at a time: given only a record's ranked size, the
+/// prefix length it probes/indexes and the minimum admissible partner size.
+/// Pure function of (measure, threshold, size); threshold must be > 0.
+///
+/// The bounds are order-symmetric: the prefix-filtering lemma they encode
+/// ("two qualifying records must share a token within their first
+/// size - alpha + 1 tokens under any one total token order") does not
+/// depend on which record is probing and which is indexed, only on both
+/// sides using prefixes at least this long under the *same* token order.
+/// That is what lets the batch join process records in size order while the
+/// incremental index inserts them in arrival order — both are exact.
+struct PrefixBounds {
+  /// Tokens of the record's rank-sorted list that are probed AND indexed
+  /// (0 for an empty record, which never pairs at a positive threshold).
+  size_t prefix_len = 0;
+  /// Minimum ranked-size an admissible partner can have.
+  size_t min_partner = 1;
+};
+
+/// \brief Computes the bounds for one record of `size` tokens. See
+/// PrefixBounds for the contract.
+PrefixBounds ComputePrefixBounds(SetMeasure measure, double threshold, size_t size);
+
 /// \brief Shared admissibility rule: every pair qualifies in a self-join;
 /// with source labels, only cross-source pairs do. One definition for every
 /// join variant so the exact-equivalence contract can't silently fork.

@@ -60,6 +60,22 @@ Result<std::vector<ScoredPair>> NaiveJoin(const JoinInput& input, const JoinOpti
 
 namespace internal {
 
+PrefixBounds ComputePrefixBounds(SetMeasure measure, double threshold, size_t size) {
+  PrefixBounds bounds;
+  if (size == 0) return bounds;  // empty records never pair at threshold > 0
+  // Overlap lower bound against the *worst-case* admissible partner: any y
+  // with sim(x,y) >= t has |y| >= MinCompatibleSize, and the required overlap
+  // is monotone in |y|, so evaluating it at the minimum partner size is a
+  // valid bound for all partners. A pair meeting the bound must share a token
+  // within the first size - alpha + 1 tokens of each side (prefix-filtering
+  // lemma).
+  bounds.min_partner = std::max<size_t>(1, MinCompatibleSize(measure, size, threshold));
+  const size_t alpha =
+      std::max<size_t>(1, MinRequiredOverlap(measure, size, bounds.min_partner, threshold));
+  bounds.prefix_len = std::min(size, size >= alpha ? size - alpha + 1 : size);
+  return bounds;
+}
+
 JoinPlan BuildJoinPlan(const JoinInput& input, const JoinOptions& options) {
   const double t = options.threshold;
   const uint32_t n = static_cast<uint32_t>(input.sets.size());
@@ -101,22 +117,14 @@ JoinPlan BuildJoinPlan(const JoinInput& input, const JoinOptions& options) {
     return plan.ranked[x].size() < plan.ranked[y].size();
   });
 
-  // 3. Per-record bounds. Overlap lower bound against the *worst-case*
-  //    admissible partner: any y with sim(x,y) >= t has |y| >=
-  //    MinCompatibleSize, and the required overlap is monotone in |y|, so
-  //    evaluating it at the minimum partner size is a valid bound for all
-  //    partners. A pair meeting the bound must share a token within the
-  //    first sz - alpha + 1 tokens of each side (prefix-filtering lemma).
+  // 3. Per-record bounds, shared with the incremental index (see
+  //    ComputePrefixBounds for the lemma).
   plan.prefix_len.resize(n, 0);
   plan.min_partner.resize(n, 1);
   for (uint32_t i = 0; i < n; ++i) {
-    const size_t sz = plan.ranked[i].size();
-    if (sz == 0) continue;
-    const size_t min_partner = std::max<size_t>(1, MinCompatibleSize(options.measure, sz, t));
-    const size_t alpha = std::max<size_t>(
-        1, MinRequiredOverlap(options.measure, sz, min_partner, t));
-    plan.min_partner[i] = min_partner;
-    plan.prefix_len[i] = std::min(sz, sz >= alpha ? sz - alpha + 1 : sz);
+    const PrefixBounds bounds = ComputePrefixBounds(options.measure, t, plan.ranked[i].size());
+    plan.min_partner[i] = bounds.min_partner;
+    plan.prefix_len[i] = bounds.prefix_len;
   }
   return plan;
 }

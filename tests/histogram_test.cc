@@ -1,0 +1,167 @@
+// Tests for the fixed log-bucket latency histograms (common/histogram.h):
+// the bucket layout's exactness and error bounds, the plain Histogram's
+// counters/quantiles/merge, and the ConcurrentHistogram's agreement with a
+// serial recording under multi-threaded writers and lock-free readers (the
+// threaded cases double as the TSan targets).
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <thread>
+#include <vector>
+
+#include "common/histogram.h"
+#include "common/rng.h"
+
+namespace crowder {
+namespace {
+
+TEST(HistogramBucketsTest, SmallValuesMapExactly) {
+  for (uint64_t v = 0; v < HistogramBuckets::kSubBuckets; ++v) {
+    EXPECT_EQ(HistogramBuckets::Index(v), v);
+    EXPECT_EQ(HistogramBuckets::UpperBound(static_cast<uint32_t>(v)), v);
+  }
+}
+
+TEST(HistogramBucketsTest, UpperBoundDominatesWithBoundedRelativeError) {
+  Rng rng(7);
+  for (uint32_t bit = 4; bit < 63; ++bit) {
+    const uint64_t base = uint64_t{1} << bit;
+    const uint64_t samples[] = {base, base + 1, base + rng.Uniform(base), 2 * base - 1};
+    for (const uint64_t v : samples) {
+      const uint32_t idx = HistogramBuckets::Index(v);
+      ASSERT_LT(idx, HistogramBuckets::kNumBuckets);
+      const uint64_t upper = HistogramBuckets::UpperBound(idx);
+      // The bucket's representative never under-reports, and over-reports by
+      // at most one sub-bucket width = 1/kSubBuckets of the value.
+      EXPECT_GE(upper, v);
+      EXPECT_LE(upper - v, v / HistogramBuckets::kSubBuckets);
+    }
+  }
+}
+
+TEST(HistogramBucketsTest, IndexIsMonotone) {
+  uint32_t prev = HistogramBuckets::Index(0);
+  for (uint64_t v = 1; v < 100000; ++v) {
+    const uint32_t idx = HistogramBuckets::Index(v);
+    EXPECT_GE(idx, prev) << "at value " << v;
+    prev = idx;
+  }
+  EXPECT_LT(HistogramBuckets::Index(UINT64_MAX), HistogramBuckets::kNumBuckets);
+  EXPECT_GE(HistogramBuckets::UpperBound(HistogramBuckets::Index(UINT64_MAX)), UINT64_MAX);
+}
+
+TEST(HistogramTest, EmptyHistogramReportsZeros) {
+  Histogram h;
+  EXPECT_EQ(h.count(), 0u);
+  EXPECT_EQ(h.sum(), 0u);
+  EXPECT_EQ(h.min(), 0u);
+  EXPECT_EQ(h.max(), 0u);
+  EXPECT_EQ(h.Mean(), 0.0);
+  EXPECT_EQ(h.ValueAtQuantile(0.5), 0u);
+  EXPECT_TRUE(h.NonEmptyBuckets().empty());
+}
+
+TEST(HistogramTest, CountersTrackRecordedValues) {
+  Histogram h;
+  h.Record(10);
+  h.Record(30);
+  h.Record(20);
+  EXPECT_EQ(h.count(), 3u);
+  EXPECT_EQ(h.sum(), 60u);
+  EXPECT_EQ(h.min(), 10u);
+  EXPECT_EQ(h.max(), 30u);
+  EXPECT_DOUBLE_EQ(h.Mean(), 20.0);
+}
+
+TEST(HistogramTest, QuantilesOnUniformRange) {
+  Histogram h;
+  for (uint64_t v = 1; v <= 1000; ++v) h.Record(v);
+  // Each quantile answer is a bucket upper bound: at least the true order
+  // statistic, at most one sub-bucket width above it (and capped at max).
+  const double quantiles[] = {0.5, 0.9, 0.99, 0.999};
+  for (const double q : quantiles) {
+    const uint64_t truth = static_cast<uint64_t>(q * 1000);
+    const uint64_t got = h.ValueAtQuantile(q);
+    EXPECT_GE(got, truth) << "q=" << q;
+    EXPECT_LE(got, truth + truth / HistogramBuckets::kSubBuckets + 1) << "q=" << q;
+  }
+  EXPECT_EQ(h.ValueAtQuantile(1.0), 1000u);  // clamped to the observed max
+}
+
+TEST(HistogramTest, MergeEqualsRecordingEverything) {
+  Rng rng(21);
+  Histogram whole, left, right;
+  for (int i = 0; i < 5000; ++i) {
+    const uint64_t v = rng.Uniform(uint64_t{1} << rng.Uniform(40));
+    whole.Record(v);
+    (i % 2 == 0 ? left : right).Record(v);
+  }
+  left.Merge(right);
+  EXPECT_EQ(left.count(), whole.count());
+  EXPECT_EQ(left.sum(), whole.sum());
+  EXPECT_EQ(left.min(), whole.min());
+  EXPECT_EQ(left.max(), whole.max());
+  EXPECT_EQ(left.NonEmptyBuckets(), whole.NonEmptyBuckets());
+  for (const double q : {0.5, 0.99, 0.999}) {
+    EXPECT_EQ(left.ValueAtQuantile(q), whole.ValueAtQuantile(q));
+  }
+}
+
+TEST(HistogramTest, RecordOrderIsInvisible) {
+  Histogram forward, backward;
+  for (uint64_t v = 1; v <= 2000; ++v) forward.Record(v * 7);
+  for (uint64_t v = 2000; v >= 1; --v) backward.Record(v * 7);
+  EXPECT_EQ(forward.NonEmptyBuckets(), backward.NonEmptyBuckets());
+  EXPECT_EQ(forward.ValueAtQuantile(0.5), backward.ValueAtQuantile(0.5));
+}
+
+TEST(ConcurrentHistogramTest, ThreadedRecordingMatchesSerial) {
+  constexpr int kThreads = 4;
+  constexpr int kPerThread = 20000;
+  ConcurrentHistogram concurrent;
+  Histogram serial;
+  for (int t = 0; t < kThreads; ++t) {
+    Rng rng(100 + t);
+    for (int i = 0; i < kPerThread; ++i) {
+      serial.Record(rng.Uniform(uint64_t{1} << 32));
+    }
+  }
+
+  std::atomic<bool> done{false};
+  // A lock-free reader snapshots while writers record: counts must be
+  // monotone and never exceed the final total.
+  std::thread reader([&] {
+    uint64_t last = 0;
+    while (!done.load(std::memory_order_acquire)) {
+      const Histogram snap = concurrent.Snapshot();
+      EXPECT_GE(snap.count(), last);
+      EXPECT_LE(snap.count(), uint64_t{kThreads} * kPerThread);
+      last = snap.count();
+    }
+  });
+  std::vector<std::thread> writers;
+  for (int t = 0; t < kThreads; ++t) {
+    writers.emplace_back([&concurrent, t] {
+      Rng rng(100 + t);
+      for (int i = 0; i < kPerThread; ++i) {
+        concurrent.Record(rng.Uniform(uint64_t{1} << 32));
+      }
+    });
+  }
+  for (std::thread& w : writers) w.join();
+  done.store(true, std::memory_order_release);
+  reader.join();
+
+  const Histogram snap = concurrent.Snapshot();
+  EXPECT_EQ(snap.count(), serial.count());
+  EXPECT_EQ(snap.sum(), serial.sum());
+  EXPECT_EQ(snap.min(), serial.min());
+  EXPECT_EQ(snap.max(), serial.max());
+  EXPECT_EQ(snap.NonEmptyBuckets(), serial.NonEmptyBuckets());
+  for (const double q : {0.5, 0.99, 0.999}) {
+    EXPECT_EQ(snap.ValueAtQuantile(q), serial.ValueAtQuantile(q));
+  }
+}
+
+}  // namespace
+}  // namespace crowder

@@ -63,6 +63,15 @@
 //   crowder_cli plan --in FILE --budget DOLLARS [--k 10] [--threads N]
 //       Evaluates the cost/recall tradeoff across thresholds and recommends
 //       an operating point that fits the budget.
+//
+//   crowder_cli serve-batch --in FILE [--threshold 0.3] [--auto-match F]
+//                           [--match-threshold 0.5] [--seed N]
+//                           [--report OUT.csv]
+//       The serving stack's batch reference (serve::BatchResolve): one
+//       AllPairs join over the whole dataset, the per-pair-seeded crowd,
+//       transitive closure. Its `record,cluster` report (--report) is
+//       bitwise what crowder_serve / crowder_bench_serve produce for the
+//       same data and config — the smoke chain compares the files.
 #include <algorithm>
 #include <cctype>
 #include <cstdlib>
@@ -72,6 +81,7 @@
 #include <string>
 
 #include "core/crowder.h"
+#include "serve/service.h"
 
 namespace crowder {
 namespace cli {
@@ -142,6 +152,8 @@ int Usage() {
                   [--sleeper-fraction F] [--filter-workers] [--async-crowd]
                   [--machine-only] [--matches OUT.csv] [--merged OUT.csv]
   crowder_cli plan --in FILE --budget DOLLARS [--k 10] [--threads N]
+  crowder_cli serve-batch --in FILE [--threshold 0.3] [--auto-match F]
+                          [--match-threshold 0.5] [--seed N] [--report OUT.csv]
 )";
   return 2;
 }
@@ -514,6 +526,40 @@ Status Plan(const Args& args) {
   return Status::OK();
 }
 
+Status ServeBatch(const Args& args) {
+  const std::string in = args.Get("in", "");
+  if (in.empty()) return Status::InvalidArgument("serve-batch requires --in");
+  CROWDER_ASSIGN_OR_RETURN(data::Dataset dataset, data::ReadDatasetCsv(in, in));
+
+  serve::ServiceConfig config;
+  config.threshold = args.GetDouble("threshold", config.threshold);
+  config.auto_match_threshold = args.GetDouble("auto-match", config.auto_match_threshold);
+  config.match_threshold = args.GetDouble("match-threshold", config.match_threshold);
+  config.seed = static_cast<uint64_t>(args.GetLong("seed", static_cast<long>(config.seed)));
+
+  CROWDER_ASSIGN_OR_RETURN(const serve::ServiceReport report,
+                           serve::BatchResolve(dataset, config));
+  std::cout << "records: " << WithThousands(report.stats.num_records)
+            << ", candidates: " << WithThousands(report.stats.candidate_pairs)
+            << " (auto " << WithThousands(report.stats.auto_matches) << ", crowd "
+            << WithThousands(report.stats.crowd_pairs) << ")\n";
+  std::cout << "matches: " << WithThousands(report.stats.applied_matches)
+            << ", clusters: " << WithThousands(report.clusters.num_clusters()) << " ("
+            << WithThousands(report.clusters.num_duplicate_groups())
+            << " duplicate groups)\n";
+  std::cout << "crowd: " << WithThousands(report.crowd.num_assignments) << " assignments, "
+            << report.crowd.num_distinct_workers << " workers, $"
+            << FormatDouble(report.crowd.cost_dollars, 2) << ", median assignment "
+            << FormatDouble(report.crowd.median_assignment_seconds, 1) << "s\n";
+
+  const std::string report_path = args.Get("report", "");
+  if (!report_path.empty()) {
+    CROWDER_RETURN_NOT_OK(serve::WriteClusterReport(report.clusters, report_path));
+    std::cout << "wrote cluster report to " << report_path << "\n";
+  }
+  return Status::OK();
+}
+
 }  // namespace
 }  // namespace cli
 }  // namespace crowder
@@ -531,6 +577,8 @@ int main(int argc, char** argv) {
     status = crowder::cli::Run(*args);
   } else if (args->command == "plan") {
     status = crowder::cli::Plan(*args);
+  } else if (args->command == "serve-batch") {
+    status = crowder::cli::ServeBatch(*args);
   } else {
     return crowder::cli::Usage();
   }
