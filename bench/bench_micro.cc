@@ -31,9 +31,10 @@ BENCHMARK(BM_Jaccard)->Arg(8)->Arg(64)->Arg(512);
 
 // Skewed-size set intersection: the machine pass's verify step compares a
 // probe record against partners of very different sizes. Arg = |large| /
-// |small| with |small| = 32; compare the two strategies directly (OverlapSize
-// auto-dispatches at ratio >= 16).
-template <size_t (*Intersect)(const similarity::TokenSet&, const similarity::TokenSet&)>
+// |small| with |small| = 32; compare the three kernel shapes directly
+// (OverlapSize auto-dispatches to galloping at the measured crossover ratio —
+// see kGallopDispatchRatio in set_similarity.cc and bench_machine's sweep).
+template <size_t (*Intersect)(similarity::TokenSpan, similarity::TokenSpan)>
 void BM_OverlapSkewed(benchmark::State& state) {
   Rng rng(11);
   const size_t small_size = 32;
@@ -54,6 +55,7 @@ void BM_OverlapSkewed(benchmark::State& state) {
 }
 BENCHMARK(BM_OverlapSkewed<similarity::OverlapSizeLinear>)->Arg(4)->Arg(32)->Arg(256);
 BENCHMARK(BM_OverlapSkewed<similarity::OverlapSizeGalloping>)->Arg(4)->Arg(32)->Arg(256);
+BENCHMARK(BM_OverlapSkewed<similarity::OverlapSizeSimd>)->Arg(4)->Arg(32)->Arg(256);
 
 void BM_EditDistance(benchmark::State& state) {
   Rng rng(2);
@@ -102,21 +104,35 @@ const similarity::JoinInput& RestaurantJoinInput() {
   return kInput;
 }
 
+// Every join bench reports pair_verifications/s: verified pairs (candidates
+// that reached the intersection kernel) per second of bench time — the
+// kernel-level throughput number that surfaces intersection regressions even
+// when candidate generation dominates the wall time. kIsRate divides the
+// accumulated count by the total elapsed seconds.
+void ReportVerifications(benchmark::State& state, uint64_t verifications) {
+  state.counters["pair_verifications/s"] =
+      benchmark::Counter(static_cast<double>(verifications), benchmark::Counter::kIsRate);
+}
+
 void BM_JoinNaive(benchmark::State& state) {
   similarity::JoinOptions options;
   options.threshold = static_cast<double>(state.range(0)) / 10.0;
+  similarity::JoinStats stats;
   for (auto _ : state) {
-    benchmark::DoNotOptimize(similarity::NaiveJoin(RestaurantJoinInput(), options));
+    benchmark::DoNotOptimize(similarity::NaiveJoin(RestaurantJoinInput(), options, &stats));
   }
+  ReportVerifications(state, stats.pair_verifications);
 }
 BENCHMARK(BM_JoinNaive)->Arg(3)->Unit(benchmark::kMillisecond);
 
 void BM_JoinAllPairs(benchmark::State& state) {
   similarity::JoinOptions options;
   options.threshold = static_cast<double>(state.range(0)) / 10.0;
+  similarity::JoinStats stats;
   for (auto _ : state) {
-    benchmark::DoNotOptimize(similarity::AllPairsJoin(RestaurantJoinInput(), options));
+    benchmark::DoNotOptimize(similarity::AllPairsJoin(RestaurantJoinInput(), options, &stats));
   }
+  ReportVerifications(state, stats.pair_verifications);
 }
 BENCHMARK(BM_JoinAllPairs)->Arg(3)->Arg(5)->Unit(benchmark::kMillisecond);
 
@@ -145,10 +161,12 @@ void BM_JoinAllPairsParallel(benchmark::State& state) {
   options.threshold = 0.3;
   similarity::ParallelJoinOptions exec_options;
   exec_options.num_threads = static_cast<uint32_t>(state.range(0));
+  similarity::JoinStats stats;
   for (auto _ : state) {
     benchmark::DoNotOptimize(
-        similarity::ParallelAllPairsJoin(RestaurantJoinInput(), options, exec_options));
+        similarity::ParallelAllPairsJoin(RestaurantJoinInput(), options, exec_options, &stats));
   }
+  ReportVerifications(state, stats.pair_verifications);
 }
 BENCHMARK(BM_JoinAllPairsParallel)->Arg(1)->Arg(2)->Arg(4)->Unit(benchmark::kMillisecond);
 
@@ -158,10 +176,12 @@ void BM_JoinBlockedStreaming(benchmark::State& state) {
   similarity::ParallelJoinOptions exec_options;
   exec_options.num_threads = static_cast<uint32_t>(state.range(0));
   exec_options.block_records = 256;
+  similarity::JoinStats stats;
   for (auto _ : state) {
     benchmark::DoNotOptimize(
-        similarity::BlockedAllPairsJoin(RestaurantJoinInput(), options, exec_options));
+        similarity::BlockedAllPairsJoin(RestaurantJoinInput(), options, exec_options, &stats));
   }
+  ReportVerifications(state, stats.pair_verifications);
 }
 BENCHMARK(BM_JoinBlockedStreaming)->Arg(1)->Arg(4)->Unit(benchmark::kMillisecond);
 
@@ -190,10 +210,13 @@ const similarity::JoinInput& ScaledProductJoinInput() {
 void BM_JoinScaledProductSerial(benchmark::State& state) {
   similarity::JoinOptions options;
   options.threshold = 0.5;
+  similarity::JoinStats stats;
   for (auto _ : state) {
-    benchmark::DoNotOptimize(similarity::AllPairsJoin(ScaledProductJoinInput(), options));
+    benchmark::DoNotOptimize(
+        similarity::AllPairsJoin(ScaledProductJoinInput(), options, &stats));
   }
   state.counters["records"] = static_cast<double>(ScaledProductJoinInput().sets.size());
+  ReportVerifications(state, stats.pair_verifications);
 }
 BENCHMARK(BM_JoinScaledProductSerial)->Unit(benchmark::kMillisecond);
 
@@ -202,11 +225,14 @@ void BM_JoinScaledProductParallel(benchmark::State& state) {
   options.threshold = 0.5;
   similarity::ParallelJoinOptions exec_options;
   exec_options.num_threads = static_cast<uint32_t>(state.range(0));
+  similarity::JoinStats stats;
   for (auto _ : state) {
     benchmark::DoNotOptimize(
-        similarity::ParallelAllPairsJoin(ScaledProductJoinInput(), options, exec_options));
+        similarity::ParallelAllPairsJoin(ScaledProductJoinInput(), options, exec_options,
+                                         &stats));
   }
   state.counters["records"] = static_cast<double>(ScaledProductJoinInput().sets.size());
+  ReportVerifications(state, stats.pair_verifications);
 }
 BENCHMARK(BM_JoinScaledProductParallel)->Arg(2)->Arg(4)->Unit(benchmark::kMillisecond);
 

@@ -67,7 +67,7 @@ Status WorkflowDriver::Start(const data::Dataset& dataset) {
           capacity == UINT64_MAX
               ? std::max<size_t>(state_->cluster_hits.size(), 1)
               : static_cast<size_t>(std::max<uint64_t>(1, capacity / context_per_hit));
-      mark_.assign(state_->dataset->table.num_records(), 0);
+      CROWDER_RETURN_NOT_OK(BuildClusterRangeIndex());
     }
   }
   crowd_timer_.Reset();
@@ -128,43 +128,91 @@ Status WorkflowDriver::PreparePairPartitionRound() {
   return Status::OK();
 }
 
-Status WorkflowDriver::PrepareClusterRangeRound() {
+Status WorkflowDriver::BuildClusterRangeIndex() {
+  WallTimer index_timer;
   const auto& hits = state_->cluster_hits;
-  if (next_range_begin_ >= hits.size()) return Status::OK();
-  const size_t begin = next_range_begin_;
-  const size_t end = std::min(hits.size(), begin + hits_per_range_);
   const ComponentBucketPlan& plan = *state_->buckets;
+  const size_t num_ranges = (hits.size() + hits_per_range_ - 1) / hits_per_range_;
 
-  // The range's pair context — the candidate pairs among its records, with
-  // their global indices — is rebuilt by filtering the touched component
-  // buckets; simulating (or answering) a cluster HIT only ever looks up
-  // pairs among that HIT's records, so the filtered context answers exactly
-  // the lookups the full pair index would.
-  ++generation_;
-  std::vector<uint32_t> touched;
-  for (size_t h = begin; h < end; ++h) {
+  // Per-record ascending, deduplicated list of the HIT ranges referencing
+  // it: hits are scanned in range order, so the lists stay sorted and a
+  // last-element check deduplicates. A record's list has an entry for range
+  // r exactly when the old per-round re-scan would have marked the record
+  // for r's round.
+  std::vector<std::vector<uint32_t>> record_ranges(state_->dataset->table.num_records());
+  for (size_t h = 0; h < hits.size(); ++h) {
+    const uint32_t range = static_cast<uint32_t>(h / hits_per_range_);
     for (uint32_t r : hits[h].records) {
-      mark_[r] = generation_;
-      const uint32_t bucket = plan.bucket_of_record[r];
-      if (bucket != ComponentBucketPlan::kNoBucket) touched.push_back(bucket);
+      auto& list = record_ranges[r];
+      if (list.empty() || list.back() != range) list.push_back(range);
     }
   }
-  std::sort(touched.begin(), touched.end());
-  touched.erase(std::unique(touched.begin(), touched.end()), touched.end());
 
-  round_global_index_.clear();
-  for (uint32_t bucket : touched) {
+  // Join each bucketed pair against its records' range lists in one sorted
+  // pass over ALL buckets, ascending. The replay order per range shard —
+  // bucket ascending, append order within a bucket — is exactly what the
+  // old route produced: it scanned the round's touched buckets sorted
+  // ascending, a pair lives only in its own component's bucket, and an
+  // untouched bucket can contribute no pair whose records are both in the
+  // round's HITs. Order matters because PrepareRepairRound re-posts
+  // deficient pairs in context order.
+  range_pairs_ = std::make_unique<ShardedSpillStore<IndexedPair>>(config_.memory_budget_bytes);
+  range_pairs_->AddShards(num_ranges);
+  for (uint32_t bucket = 0; bucket < plan.num_buckets(); ++bucket) {
     CROWDER_RETURN_NOT_OK(
         state_->bucket_pairs->Scan(bucket, [&](const std::vector<IndexedPair>& block) {
           for (const auto& ip : block) {
-            if (mark_[ip.pair.a] == generation_ && mark_[ip.pair.b] == generation_) {
-              round_pairs_.push_back(ip.pair);
-              round_global_index_.push_back(ip.index);
+            // A pair belongs to range r's context iff both records appear in
+            // r's HITs: intersect the two ascending range lists.
+            const auto& ra = record_ranges[ip.pair.a];
+            const auto& rb = record_ranges[ip.pair.b];
+            size_t i = 0;
+            size_t j = 0;
+            while (i < ra.size() && j < rb.size()) {
+              if (ra[i] < rb[j]) {
+                ++i;
+              } else if (rb[j] < ra[i]) {
+                ++j;
+              } else {
+                CROWDER_RETURN_NOT_OK(range_pairs_->AppendRecord(ra[i], ip));
+                ++i;
+                ++j;
+              }
             }
           }
           return Status::OK();
         }));
   }
+  CROWDER_RETURN_NOT_OK(range_pairs_->Finish());
+  state_->result.pipeline_stats.boundary_spilled_bytes += range_pairs_->spilled_bytes();
+  // Every bucketed pair has been folded into the range index; the bucket
+  // stores (and their spill files) are no longer needed.
+  state_->bucket_pairs.reset();
+  state_->result.pipeline_stats.cluster_index_wall_ms = index_timer.ElapsedMillis();
+  return Status::OK();
+}
+
+Status WorkflowDriver::PrepareClusterRangeRound() {
+  const auto& hits = state_->cluster_hits;
+  if (next_range_begin_ >= hits.size()) return Status::OK();
+  WallTimer context_timer;
+  const size_t begin = next_range_begin_;
+  const size_t end = std::min(hits.size(), begin + hits_per_range_);
+
+  // The range's pair context — the candidate pairs among its records, with
+  // their global indices — is its shard of the inverted pair→HIT-range
+  // index, replayed in append order. Simulating (or answering) a cluster
+  // HIT only ever looks up pairs among that HIT's records, so this context
+  // answers exactly the lookups the full pair index would.
+  round_global_index_.clear();
+  CROWDER_RETURN_NOT_OK(range_pairs_->Scan(
+      begin / hits_per_range_, [&](const std::vector<IndexedPair>& block) {
+        for (const auto& ip : block) {
+          round_pairs_.push_back(ip.pair);
+          round_global_index_.push_back(ip.index);
+        }
+        return Status::OK();
+      }));
 
   round_cluster_hits_.assign(hits.begin() + begin, hits.begin() + end);
   IndexRoundPairs(round_pairs_);
@@ -172,6 +220,7 @@ Status WorkflowDriver::PrepareClusterRangeRound() {
   pending_.pairs = &round_pairs_;
   pending_.cluster_hits = &round_cluster_hits_;
   next_range_begin_ = end;
+  state_->result.pipeline_stats.cluster_context_wall_ms += context_timer.ElapsedMillis();
   return Status::OK();
 }
 

@@ -148,6 +148,11 @@ class WorkflowDriver {
   Status PrepareMaterializedRound();
   Status PreparePairPartitionRound();
   Status PrepareClusterRangeRound();
+  /// One sorted pass joining the component-bucket pair stores against the
+  /// per-record HIT-range lists into range_pairs_ (Start, cluster-based
+  /// streaming only; timed as PipelineStats::cluster_index_wall_ms).
+  /// Releases state_->bucket_pairs — the range index subsumes it.
+  Status BuildClusterRangeIndex();
   /// Rebuilds round_pair_index_ (and, for rounds whose context is not the
   /// global order, round_global_index_) for the pending context.
   void IndexRoundPairs(const std::vector<similarity::ScoredPair>& pairs);
@@ -217,8 +222,12 @@ class WorkflowDriver {
   // ---- Streaming cluster-range rounds. ----
   size_t next_range_begin_ = 0;
   size_t hits_per_range_ = 0;
-  std::vector<uint32_t> mark_;
-  uint32_t generation_ = 0;
+  /// The inverted pair→HIT-range index: shard r holds, in (bucket asc,
+  /// append order) order, every candidate pair both of whose records appear
+  /// in range r's HITs. Built once by BuildClusterRangeIndex (Start); each
+  /// round then replays its own shard instead of re-scanning the component
+  /// buckets it touches.
+  std::unique_ptr<ShardedSpillStore<IndexedPair>> range_pairs_;
 
   /// Wall clock of the crowd phase (rounds start → aggregation), reported
   /// as the "crowd" stage timing.

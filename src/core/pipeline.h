@@ -151,6 +151,15 @@ struct PipelineStats {
   /// Bytes the component-bucket pair store spilled to disk (cluster-based
   /// streaming only).
   uint64_t boundary_spilled_bytes = 0;
+  /// Wall time Start spent building the inverted pair→HIT-range index that
+  /// routes each candidate pair to the cluster rounds referencing it
+  /// (cluster-based streaming only; one pass over the bucket stores).
+  double cluster_index_wall_ms = 0.0;
+  /// Cumulative wall time the cluster rounds spent assembling their pair
+  /// contexts (cluster-based streaming only). Together with
+  /// cluster_index_wall_ms this is the before/after axis of the pair→HIT
+  /// join rework recorded in BENCH_machine.json.
+  double cluster_context_wall_ms = 0.0;
   /// Per-crowd-round wall times, microseconds (one Record per answered HIT
   /// batch, repair rounds included). The aggregate "crowd" stage timing
   /// hides the per-round spread this keeps: a streaming run's many small

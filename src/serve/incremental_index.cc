@@ -63,7 +63,7 @@ Result<std::vector<similarity::ScoredPair>> IncrementalIndex::Insert(similarity:
   for (text::TokenId tok : set) ranks.push_back(rank_[tok]);
   std::sort(ranks.begin(), ranks.end());
 
-  seen_.resize(sets_.size(), 0);
+  seen_.resize(num_records(), 0);
   std::vector<uint32_t> candidates;
   for (size_t p = 0; p < bounds.prefix_len; ++p) {
     for (uint32_t other : postings_[ranks[p]]) {
@@ -76,18 +76,26 @@ Result<std::vector<similarity::ScoredPair>> IncrementalIndex::Insert(similarity:
   std::vector<similarity::ScoredPair> out;
   for (uint32_t other : candidates) {
     seen_[other] = 0;
-    if (sets_[other].size() < bounds.min_partner) continue;
+    const similarity::TokenSpan other_set = this->set(other);
+    if (other_set.size() < bounds.min_partner) continue;
     if (options_.cross_source_only && sources_[other] == source) continue;
-    const double sim = similarity::SetSimilarity(options_.measure, sets_[other], set);
-    if (sim >= options_.threshold) out.push_back({other, id, sim});
+    // Threshold-aware verify over the original token sets — bitwise the same
+    // accept set and scores as SetSimilarity >= threshold, with the early
+    // exit on pairs that cannot reach it (similarity/join_internal.h).
+    double sim;
+    if (similarity::internal::VerifyPair(options_.measure, options_.threshold, other_set, set,
+                                         &sim)) {
+      out.push_back({other, id, sim});
+    }
   }
   similarity::SortPairs(&out);
 
-  sets_.push_back(std::move(set));
+  arena_.insert(arena_.end(), set.begin(), set.end());
+  set_offset_.push_back(arena_.size());
   sources_.push_back(source);
   IndexRecord(id);
 
-  if (sets_.size() >= next_rebuild_at_) {
+  if (num_records() >= next_rebuild_at_) {
     Rebuild();
     next_rebuild_at_ *= 2;
   }
@@ -95,7 +103,7 @@ Result<std::vector<similarity::ScoredPair>> IncrementalIndex::Insert(similarity:
 }
 
 void IncrementalIndex::IndexRecord(uint32_t id) {
-  const similarity::TokenSet& set = sets_[id];
+  const similarity::TokenSpan set = this->set(id);
   const size_t prefix_len =
       ComputePrefixBounds(options_.measure, options_.threshold, set.size()).prefix_len;
   if (prefix_len == 0) return;

@@ -77,15 +77,19 @@ class IncrementalIndex {
   Result<std::vector<similarity::ScoredPair>> Insert(similarity::TokenSet set, int source = 0);
 
   /// \brief Records inserted so far.
-  uint32_t num_records() const { return static_cast<uint32_t>(sets_.size()); }
+  uint32_t num_records() const { return static_cast<uint32_t>(set_offset_.size() - 1); }
 
   /// \brief Rare-first re-ranks + postings rebuilds performed (observability;
   /// exercised directly by tests via small rebuild_base).
   size_t num_rebuilds() const { return num_rebuilds_; }
 
   /// \brief Original token set of record `id` (for score re-verification and
-  /// the batch reference path).
-  const similarity::TokenSet& set(uint32_t id) const { return sets_[id]; }
+  /// the batch reference path). A view into the index's token arena; valid
+  /// until the next Insert.
+  similarity::TokenSpan set(uint32_t id) const {
+    const size_t begin = set_offset_[id];
+    return similarity::TokenSpan(arena_.data() + begin, set_offset_[id + 1] - begin);
+  }
 
  private:
   explicit IncrementalIndex(const IncrementalIndexOptions& options) : options_(options) {}
@@ -103,8 +107,13 @@ class IncrementalIndex {
   void IndexRecord(uint32_t id);
 
   IncrementalIndexOptions options_;
-  /// Original token sets, by record id (the similarity ground truth).
-  std::vector<similarity::TokenSet> sets_;
+  /// Original token sets, back-to-back in one flat arena (the similarity
+  /// ground truth). Record id occupies arena_[set_offset_[id],
+  /// set_offset_[id + 1]); one contiguous buffer keeps verification
+  /// cache-dense and feeds the SIMD intersection kernels directly.
+  std::vector<text::TokenId> arena_;
+  /// num_records() + 1 prefix offsets into arena_.
+  std::vector<size_t> set_offset_{0};
   std::vector<int> sources_;
   /// rank_[token] = position in the current total token order.
   std::vector<uint32_t> rank_;

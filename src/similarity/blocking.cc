@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "common/logging.h"
+#include "similarity/join_internal.h"
 
 namespace crowder {
 namespace similarity {
@@ -56,8 +57,14 @@ Result<std::vector<ScoredPair>> VerifyCandidates(const JoinInput& input,
     if (cand.a >= input.sets.size() || cand.b >= input.sets.size()) {
       return Status::OutOfRange("candidate pair references record beyond input");
     }
-    const double sim = SetSimilarity(options.measure, input.sets[cand.a], input.sets[cand.b]);
-    if (sim >= options.threshold) out.push_back({cand.a, cand.b, sim});
+    // Threshold-aware verify over the original sorted sets: bitwise the same
+    // accept set and scores as SetSimilarity >= threshold, but free to abandon
+    // pairs that cannot reach the threshold (internal::VerifyPair).
+    double sim;
+    if (internal::VerifyPair(options.measure, options.threshold, input.sets[cand.a],
+                             input.sets[cand.b], &sim)) {
+      out.push_back({cand.a, cand.b, sim});
+    }
   }
   SortPairs(&out);
   return out;

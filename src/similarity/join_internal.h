@@ -25,12 +25,20 @@ namespace similarity {
 namespace internal {
 
 /// \brief Everything the AllPairs family precomputes before pairing:
-/// rare-first re-ranked token lists, the size-ordered processing sequence,
-/// and the per-record prefix/size bounds. Pure function of (input, options);
-/// building it twice yields identical contents.
+/// rare-first re-ranked token lists (in one flat arena), the size-ordered
+/// processing sequence, and the per-record prefix/size bounds. Pure function
+/// of (input, options); building it twice yields identical contents.
+///
+/// The token arena: every record's rank-sorted token list lives back-to-back
+/// in one contiguous `uint32_t` buffer, addressed by (offset, length) spans —
+/// probe sets are cache-dense and feed the SIMD intersection kernels
+/// directly, instead of hopping across per-record vector allocations.
 struct JoinPlan {
-  /// Per record: its tokens re-expressed as global rare-first ranks, sorted.
-  std::vector<std::vector<uint32_t>> ranked;
+  /// All records' tokens re-expressed as global rare-first ranks; record i
+  /// occupies arena[token_offset[i], token_offset[i + 1]), sorted ascending.
+  std::vector<uint32_t> arena;
+  /// n + 1 prefix offsets into `arena` (token_offset[n] == arena.size()).
+  std::vector<size_t> token_offset;
   /// Record ids in non-decreasing ranked-size order (stable, so equal sizes
   /// keep id order) — the canonical processing order of every variant.
   std::vector<uint32_t> by_size;
@@ -41,6 +49,17 @@ struct JoinPlan {
   std::vector<size_t> min_partner;
   /// Number of distinct token ranks (postings array size).
   size_t num_ranks = 0;
+
+  /// \brief Record `rec`'s rank-sorted token list as an arena span.
+  TokenSpan ranked(uint32_t rec) const {
+    const size_t begin = token_offset[rec];
+    return TokenSpan(arena.data() + begin, token_offset[rec + 1] - begin);
+  }
+
+  /// \brief Ranked-size of record `rec` (== its original token-set size).
+  size_t ranked_size(uint32_t rec) const {
+    return token_offset[rec + 1] - token_offset[rec];
+  }
 };
 
 /// \brief Builds the plan. Requires options.threshold > 0 (the zero-threshold
@@ -77,6 +96,30 @@ PrefixBounds ComputePrefixBounds(SetMeasure measure, double threshold, size_t si
 /// join variant so the exact-equivalence contract can't silently fork.
 inline bool Admissible(const JoinInput& input, uint32_t a, uint32_t b) {
   return input.sources.empty() || input.sources[a] != input.sources[b];
+}
+
+/// \brief The shared threshold-aware verify step: decides `sim(a, b) >=
+/// threshold` and, when it holds, leaves the score in `*sim` — while
+/// allowing the intersection to exit early on unpromising pairs.
+///
+/// Bitwise equal to "intersect fully, compute the measure, compare":
+///  * RequiredOverlapExact makes `overlap >= required ⟺ sim >= threshold`
+///    exact in the measure's own double arithmetic, so the early exit can
+///    only fire on pairs the full computation would reject;
+///  * when the pair qualifies, OverlapSizeAtLeast has returned the exact
+///    overlap, and SimilarityFromOverlap replays the measure's exact double
+///    operations on it.
+/// Spans may be the *ranked* arena lists rather than the original token
+/// sets: the rank map is a bijection, so the overlap is the same number,
+/// the sizes are the same, and every measure is a function of (sizes,
+/// overlap) only — the score is the original sets' score, bitwise.
+inline bool VerifyPair(SetMeasure measure, double threshold, TokenSpan a, TokenSpan b,
+                       double* sim) {
+  const size_t required = RequiredOverlapExact(measure, a.size(), b.size(), threshold);
+  const size_t overlap = OverlapSizeAtLeast(a, b, required);
+  if (overlap < required) return false;
+  *sim = SimilarityFromOverlap(measure, a.size(), b.size(), overlap);
+  return true;
 }
 
 }  // namespace internal

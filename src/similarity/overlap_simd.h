@@ -1,0 +1,39 @@
+// Internal seam between the portable similarity API (set_similarity.h) and
+// the vectorized intersection kernels (overlap_simd.cc). Not part of the
+// public API — include only from similarity/*.cc and tests/benches that
+// exercise the kernels directly.
+//
+// The kernel is resolved ONCE, at first use, to the widest implementation
+// the host CPU supports (AVX2 → SSE2 → scalar); non-x86 targets and
+// -DCROWDER_DISABLE_SIMD=ON builds always resolve to the scalar merge. All
+// kernels share one signature: a threshold-aware intersection count with the
+// OverlapSizeAtLeast contract (exact when the overlap reaches `required`,
+// some smaller count otherwise; `required = 0` is the plain exact
+// intersection).
+#ifndef CROWDER_SIMILARITY_OVERLAP_SIMD_H_
+#define CROWDER_SIMILARITY_OVERLAP_SIMD_H_
+
+#include <cstddef>
+
+#include "text/vocabulary.h"
+
+namespace crowder {
+namespace similarity {
+namespace internal_simd {
+
+/// Exact |a ∩ b| via the resolved kernel.
+size_t OverlapDispatch(const text::TokenId* a, size_t na, const text::TokenId* b, size_t nb);
+
+/// Threshold-aware count via the resolved kernel (OverlapSizeAtLeast
+/// contract).
+size_t OverlapAtLeastDispatch(const text::TokenId* a, size_t na, const text::TokenId* b,
+                              size_t nb, size_t required);
+
+/// "avx2", "sse2", or "scalar".
+const char* KernelName();
+
+}  // namespace internal_simd
+}  // namespace similarity
+}  // namespace crowder
+
+#endif  // CROWDER_SIMILARITY_OVERLAP_SIMD_H_

@@ -41,18 +41,23 @@ std::vector<ScoredPair> ProbeRange(
     const JoinInput& input, const JoinOptions& options, const internal::JoinPlan& plan,
     const std::vector<std::vector<uint32_t>>& global_postings,
     const std::vector<std::vector<uint32_t>>& local_postings,
-    size_t probe_begin, size_t probe_end, const ExecKnobs& knobs) {
+    size_t probe_begin, size_t probe_end, const ExecKnobs& knobs, JoinStats* stats) {
   const size_t n = input.sets.size();
   const double t = options.threshold;
   const size_t num_probes = probe_end - probe_begin;
   const size_t num_chunks =
       num_probes == 0 ? 0 : (num_probes - 1) / knobs.chunk_size + 1;
   std::vector<std::vector<ScoredPair>> shards(num_chunks);
+  // Per-chunk verification counts; each chunk is owned by exactly one worker
+  // at a time, so plain uint64_t slots need no atomics — summed after the
+  // barrier below.
+  std::vector<uint64_t> chunk_verifications(num_chunks, 0);
 
   exec::ParallelForChunks(
       knobs.pool.get(), probe_begin, probe_end, knobs.chunk_size,
       [&](size_t chunk, size_t chunk_begin, size_t chunk_end) {
         std::vector<ScoredPair>* shard = &shards[chunk];
+        uint64_t verifications = 0;
         // Per-thread scratch, reused across chunks (and joins) instead of
         // being reallocated-and-zeroed per chunk — with small chunks on
         // large inputs the per-chunk memset would dominate. Invariant:
@@ -65,7 +70,7 @@ std::vector<ScoredPair> ProbeRange(
         if (seen.size() < n) seen.resize(n, 0);
         for (size_t pos = chunk_begin; pos < chunk_end; ++pos) {
           const uint32_t rec = plan.by_size[pos];
-          const auto& tokens = plan.ranked[rec];
+          const TokenSpan tokens = plan.ranked(rec);
           if (tokens.empty()) continue;
           const size_t prefix_len = plan.prefix_len[rec];
           const size_t min_partner = plan.min_partner[rec];
@@ -88,17 +93,23 @@ std::vector<ScoredPair> ProbeRange(
           }
           for (uint32_t other : candidates) {
             seen[other] = 0;
-            if (plan.ranked[other].size() < min_partner) continue;
+            if (plan.ranked_size(other) < min_partner) continue;
             if (!Admissible(input, rec, other)) continue;
-            const double sim =
-                SetSimilarity(options.measure, input.sets[rec], input.sets[other]);
-            if (sim >= t) {
+            ++verifications;
+            double sim;
+            // Same arena-span verify as the serial join — bitwise the same
+            // score as scoring the original sets (internal::VerifyPair).
+            if (internal::VerifyPair(options.measure, t, tokens, plan.ranked(other), &sim)) {
               shard->push_back({std::min(rec, other), std::max(rec, other), sim});
             }
           }
         }
+        chunk_verifications[chunk] = verifications;
       });
 
+  if (stats != nullptr) {
+    for (uint64_t v : chunk_verifications) stats->pair_verifications += v;
+  }
   size_t total = 0;
   for (const auto& shard : shards) total += shard.size();
   std::vector<ScoredPair> out;
@@ -116,7 +127,7 @@ void IndexRange(const internal::JoinPlan& plan, size_t pos_begin, size_t pos_end
                 std::vector<std::vector<uint32_t>>* postings) {
   for (size_t pos = pos_begin; pos < pos_end; ++pos) {
     const uint32_t rec = plan.by_size[pos];
-    const auto& tokens = plan.ranked[rec];
+    const TokenSpan tokens = plan.ranked(rec);
     for (size_t p = 0; p < plan.prefix_len[rec]; ++p) {
       (*postings)[tokens[p]].push_back(static_cast<uint32_t>(pos));
     }
@@ -127,11 +138,12 @@ void IndexRange(const internal::JoinPlan& plan, size_t pos_begin, size_t pos_end
 
 Result<std::vector<ScoredPair>> ParallelAllPairsJoin(const JoinInput& input,
                                                      const JoinOptions& options,
-                                                     const ParallelJoinOptions& exec_options) {
+                                                     const ParallelJoinOptions& exec_options,
+                                                     JoinStats* stats) {
   CROWDER_RETURN_NOT_OK(ValidateJoin(input, options));
   // Zero threshold admits every pair; prefix filtering degenerates exactly
   // as in the serial join, so defer to the same exhaustive reference.
-  if (options.threshold <= 0.0) return NaiveJoin(input, options);
+  if (options.threshold <= 0.0) return NaiveJoin(input, options, stats);
 
   const internal::JoinPlan plan = internal::BuildJoinPlan(input, options);
   ExecKnobs knobs = ResolveKnobs(exec_options);
@@ -145,14 +157,14 @@ Result<std::vector<ScoredPair>> ParallelAllPairsJoin(const JoinInput& input,
 
   std::vector<ScoredPair> out =
       ProbeRange(input, options, plan, global_postings, local_postings, 0,
-                 plan.by_size.size(), knobs);
+                 plan.by_size.size(), knobs, stats);
   SortPairs(&out);
   return out;
 }
 
 Status BlockedAllPairsJoinStream(const JoinInput& input, const JoinOptions& options,
                                  const ParallelJoinOptions& exec_options,
-                                 const PairSink& sink) {
+                                 const PairSink& sink, JoinStats* stats) {
   CROWDER_RETURN_NOT_OK(ValidateJoin(input, options));
   if (options.threshold <= 0.0) {
     // Zero threshold admits every pair: the output is O(n^2) by definition,
@@ -160,7 +172,7 @@ Status BlockedAllPairsJoinStream(const JoinInput& input, const JoinOptions& opti
     // hand the sink bounded blocks (chunks of a sorted vector are each
     // sorted, and their union is the whole result) so the sink's own
     // accounting, e.g. a budgeted PairStream, keeps working.
-    CROWDER_ASSIGN_OR_RETURN(auto all, NaiveJoin(input, options));
+    CROWDER_ASSIGN_OR_RETURN(auto all, NaiveJoin(input, options, stats));
     const size_t chunk = exec_options.block_records > 0
                              ? static_cast<size_t>(exec_options.block_records) * 16
                              : 65536;
@@ -192,15 +204,16 @@ Status BlockedAllPairsJoinStream(const JoinInput& input, const JoinOptions& opti
 
     std::vector<ScoredPair> block_pairs =
         ProbeRange(input, options, plan, global_postings, local_postings,
-                   block_begin, block_end, knobs);
+                   block_begin, block_end, knobs, stats);
     SortPairs(&block_pairs);
     CROWDER_RETURN_NOT_OK(sink(std::move(block_pairs)));
 
     IndexRange(plan, block_begin, block_end, &global_postings);
     for (size_t pos = block_begin; pos < block_end; ++pos) {
       const uint32_t rec = plan.by_size[pos];
+      const TokenSpan tokens = plan.ranked(rec);
       for (size_t p = 0; p < plan.prefix_len[rec]; ++p) {
-        local_postings[plan.ranked[rec][p]].clear();
+        local_postings[tokens[p]].clear();
       }
     }
   }
@@ -209,13 +222,16 @@ Status BlockedAllPairsJoinStream(const JoinInput& input, const JoinOptions& opti
 
 Result<std::vector<ScoredPair>> BlockedAllPairsJoin(const JoinInput& input,
                                                     const JoinOptions& options,
-                                                    const ParallelJoinOptions& exec_options) {
+                                                    const ParallelJoinOptions& exec_options,
+                                                    JoinStats* stats) {
   std::vector<ScoredPair> out;
   CROWDER_RETURN_NOT_OK(BlockedAllPairsJoinStream(
-      input, options, exec_options, [&out](std::vector<ScoredPair>&& block) {
+      input, options, exec_options,
+      [&out](std::vector<ScoredPair>&& block) {
         out.insert(out.end(), block.begin(), block.end());
         return Status::OK();
-      }));
+      },
+      stats));
   SortPairs(&out);
   return out;
 }

@@ -45,7 +45,7 @@ struct ParallelJoinOptions {
 /// AllPairsJoin, byte-identical after the included SortPairs.
 Result<std::vector<ScoredPair>> ParallelAllPairsJoin(
     const JoinInput& input, const JoinOptions& options,
-    const ParallelJoinOptions& exec_options = {});
+    const ParallelJoinOptions& exec_options = {}, JoinStats* stats = nullptr);
 
 /// \brief Receives each block's pairs as they are produced. Blocks arrive in
 /// size-order position, each block internally sorted by (a, b); the global
@@ -60,13 +60,13 @@ using PairSink = std::function<Status(std::vector<ScoredPair>&&)>;
 /// output exactly.
 Status BlockedAllPairsJoinStream(const JoinInput& input, const JoinOptions& options,
                                  const ParallelJoinOptions& exec_options,
-                                 const PairSink& sink);
+                                 const PairSink& sink, JoinStats* stats = nullptr);
 
 /// \brief Convenience wrapper: accumulates every block and returns the
 /// SortPairs-canonicalized result — byte-identical to AllPairsJoin.
 Result<std::vector<ScoredPair>> BlockedAllPairsJoin(
     const JoinInput& input, const JoinOptions& options,
-    const ParallelJoinOptions& exec_options = {});
+    const ParallelJoinOptions& exec_options = {}, JoinStats* stats = nullptr);
 
 }  // namespace similarity
 }  // namespace crowder

@@ -4,6 +4,7 @@
 #include <cmath>
 
 #include "common/logging.h"
+#include "similarity/overlap_simd.h"
 
 namespace crowder {
 namespace similarity {
@@ -14,7 +15,7 @@ TokenSet MakeTokenSet(std::vector<text::TokenId> tokens) {
   return tokens;
 }
 
-size_t OverlapSizeLinear(const TokenSet& a, const TokenSet& b) {
+size_t OverlapSizeLinear(TokenSpan a, TokenSpan b) {
   size_t i = 0;
   size_t j = 0;
   size_t count = 0;
@@ -38,7 +39,7 @@ namespace {
 // from `begin` to bracket the target, then binary search inside the bracket.
 // O(log distance) rather than O(log |v|), so a run of nearby probes stays
 // cheap.
-size_t GallopLowerBound(const TokenSet& v, size_t begin, text::TokenId target) {
+size_t GallopLowerBound(TokenSpan v, size_t begin, text::TokenId target) {
   size_t step = 1;
   size_t hi = begin;
   while (hi < v.size() && v[hi] < target) {
@@ -47,18 +48,26 @@ size_t GallopLowerBound(const TokenSet& v, size_t begin, text::TokenId target) {
     step *= 2;
   }
   hi = std::min(hi, v.size());
-  return static_cast<size_t>(
-      std::lower_bound(v.begin() + static_cast<ptrdiff_t>(begin),
-                       v.begin() + static_cast<ptrdiff_t>(hi), target) -
-      v.begin());
+  return static_cast<size_t>(std::lower_bound(v.begin() + begin, v.begin() + hi, target) -
+                             v.begin());
 }
+
+// Size ratio at which OverlapSize abandons the SIMD block merge for the
+// galloping probe. Crossover measured by bench_machine's ratio sweep
+// (BENCH_machine.json "galloping_crossover", |small| = 32 against the AVX2
+// merge): simd wins decisively through 8x, the two are within noise at 16x,
+// and galloping wins from 24x up (2x faster by 32x, 7x by 256x). 16 is the
+// first measured ratio where galloping is ahead, and it matches the
+// seed's scalar-merge crossover — the AVX2 merge gains on the merge side
+// roughly what cache-friendlier probes gain on the gallop side.
+constexpr size_t kGallopDispatchRatio = 16;
 
 }  // namespace
 
-size_t OverlapSizeGalloping(const TokenSet& a, const TokenSet& b) {
+size_t OverlapSizeGalloping(TokenSpan a, TokenSpan b) {
   // Walk the smaller set, galloping through the larger one.
-  const TokenSet& small = a.size() <= b.size() ? a : b;
-  const TokenSet& large = a.size() <= b.size() ? b : a;
+  const TokenSpan small = a.size() <= b.size() ? a : b;
+  const TokenSpan large = a.size() <= b.size() ? b : a;
   size_t count = 0;
   size_t pos = 0;
   for (text::TokenId tok : small) {
@@ -72,31 +81,50 @@ size_t OverlapSizeGalloping(const TokenSet& a, const TokenSet& b) {
   return count;
 }
 
-size_t OverlapSize(const TokenSet& a, const TokenSet& b) {
-  // Crossover measured by bench_micro (BM_Overlap*): galloping wins once one
-  // set is ~16x the other; below that the linear merge's branch-predictable
-  // scan is faster.
+size_t OverlapSize(TokenSpan a, TokenSpan b) {
   const size_t small = std::min(a.size(), b.size());
   const size_t large = std::max(a.size(), b.size());
-  if (small > 0 && large / small >= 16) return OverlapSizeGalloping(a, b);
-  return OverlapSizeLinear(a, b);
+  if (small > 0 && large / small >= kGallopDispatchRatio) return OverlapSizeGalloping(a, b);
+  return OverlapSizeSimd(a, b);
 }
 
-double Jaccard(const TokenSet& a, const TokenSet& b) {
+size_t OverlapSizeAtLeast(TokenSpan a, TokenSpan b, size_t required) {
+  const size_t small = std::min(a.size(), b.size());
+  const size_t large = std::max(a.size(), b.size());
+  // An unreachable bound (required > min size) can't produce a qualifying
+  // overlap; say so without touching the data. Returning `small` satisfies
+  // the contract: it is < required and equals the largest possible overlap.
+  if (required > small) return small;
+  if (small > 0 && large / small >= kGallopDispatchRatio) {
+    // Galloping is already o(|a|+|b|) and the probe positions don't line up
+    // with remaining-element bounds; run it to completion (exact count
+    // satisfies the contract unconditionally).
+    return OverlapSizeGalloping(a, b);
+  }
+  return internal_simd::OverlapAtLeastDispatch(a.data(), a.size(), b.data(), b.size(), required);
+}
+
+size_t OverlapSizeSimd(TokenSpan a, TokenSpan b) {
+  return internal_simd::OverlapDispatch(a.data(), a.size(), b.data(), b.size());
+}
+
+const char* OverlapSimdKernelName() { return internal_simd::KernelName(); }
+
+double Jaccard(TokenSpan a, TokenSpan b) {
   if (a.empty() && b.empty()) return 1.0;
   const size_t inter = OverlapSize(a, b);
   const size_t uni = a.size() + b.size() - inter;
   return uni == 0 ? 0.0 : static_cast<double>(inter) / static_cast<double>(uni);
 }
 
-double Dice(const TokenSet& a, const TokenSet& b) {
+double Dice(TokenSpan a, TokenSpan b) {
   if (a.empty() && b.empty()) return 1.0;
   const size_t inter = OverlapSize(a, b);
   const size_t denom = a.size() + b.size();
   return denom == 0 ? 0.0 : 2.0 * static_cast<double>(inter) / static_cast<double>(denom);
 }
 
-double CosineSet(const TokenSet& a, const TokenSet& b) {
+double CosineSet(TokenSpan a, TokenSpan b) {
   if (a.empty() && b.empty()) return 1.0;
   if (a.empty() || b.empty()) return 0.0;
   const size_t inter = OverlapSize(a, b);
@@ -104,14 +132,14 @@ double CosineSet(const TokenSet& a, const TokenSet& b) {
          std::sqrt(static_cast<double>(a.size()) * static_cast<double>(b.size()));
 }
 
-double OverlapCoefficient(const TokenSet& a, const TokenSet& b) {
+double OverlapCoefficient(TokenSpan a, TokenSpan b) {
   if (a.empty() && b.empty()) return 1.0;
   if (a.empty() || b.empty()) return 0.0;
   const size_t inter = OverlapSize(a, b);
   return static_cast<double>(inter) / static_cast<double>(std::min(a.size(), b.size()));
 }
 
-double SetSimilarity(SetMeasure measure, const TokenSet& a, const TokenSet& b) {
+double SetSimilarity(SetMeasure measure, TokenSpan a, TokenSpan b) {
   switch (measure) {
     case SetMeasure::kJaccard:
       return Jaccard(a, b);
@@ -121,6 +149,35 @@ double SetSimilarity(SetMeasure measure, const TokenSet& a, const TokenSet& b) {
       return CosineSet(a, b);
     case SetMeasure::kOverlapCoefficient:
       return OverlapCoefficient(a, b);
+  }
+  CROWDER_CHECK(false) << "unknown measure";
+  return 0.0;
+}
+
+double SimilarityFromOverlap(SetMeasure measure, size_t size_a, size_t size_b, size_t overlap) {
+  // Each branch replays the corresponding measure function's double
+  // operations exactly (same guards, same order), so scoring from a known
+  // overlap is bitwise the measure's own result.
+  if (size_a == 0 && size_b == 0) return 1.0;
+  switch (measure) {
+    case SetMeasure::kJaccard: {
+      const size_t uni = size_a + size_b - overlap;
+      return uni == 0 ? 0.0 : static_cast<double>(overlap) / static_cast<double>(uni);
+    }
+    case SetMeasure::kDice: {
+      const size_t denom = size_a + size_b;
+      return denom == 0 ? 0.0
+                        : 2.0 * static_cast<double>(overlap) / static_cast<double>(denom);
+    }
+    case SetMeasure::kCosine: {
+      if (size_a == 0 || size_b == 0) return 0.0;
+      return static_cast<double>(overlap) /
+             std::sqrt(static_cast<double>(size_a) * static_cast<double>(size_b));
+    }
+    case SetMeasure::kOverlapCoefficient: {
+      if (size_a == 0 || size_b == 0) return 0.0;
+      return static_cast<double>(overlap) / static_cast<double>(std::min(size_a, size_b));
+    }
   }
   CROWDER_CHECK(false) << "unknown measure";
   return 0.0;
@@ -171,6 +228,19 @@ size_t MinRequiredOverlap(SetMeasure measure, size_t sa, size_t sb, double thres
       break;
   }
   return static_cast<size_t>(std::ceil(need - 1e-9));
+}
+
+size_t RequiredOverlapExact(SetMeasure measure, size_t sa, size_t sb, double threshold) {
+  const size_t cap = std::min(sa, sb);
+  // Closed-form start, then ±1 fixup against the actual double formula. The
+  // score is monotone non-decreasing in the overlap (each formula divides a
+  // non-decreasing numerator by a non-increasing positive denominator, and
+  // double division is monotone), so each loop runs at most a step or two —
+  // the closed form is off by at most rounding.
+  size_t o = std::min(cap, MinRequiredOverlap(measure, sa, sb, threshold));
+  while (o > 0 && SimilarityFromOverlap(measure, sa, sb, o - 1) >= threshold) --o;
+  while (o <= cap && SimilarityFromOverlap(measure, sa, sb, o) < threshold) ++o;
+  return o;  // cap + 1 when even a full overlap scores below the threshold
 }
 
 }  // namespace similarity

@@ -1,6 +1,18 @@
 // Set-overlap similarity measures over interned token sets. These are the
 // "machine-based technique" of CrowdER §2.1.1: Jaccard over record token sets
 // is the paper's likelihood function.
+//
+// Intersection kernels (the join's hot path) come in three shapes:
+//   * OverlapSizeLinear   — scalar merge, O(|a|+|b|); the reference every
+//                           other kernel is property-tested against.
+//   * OverlapSizeGalloping— O(|small| log |large|); wins on skewed sizes.
+//   * OverlapSizeSimd     — vectorized block merge (AVX2, SSE2, or the scalar
+//                           merge, chosen once at startup); wins on
+//                           comparable sizes.
+// OverlapSize dispatches between galloping and SIMD on the size ratio, and
+// OverlapSizeAtLeast adds threshold-aware early exit for the verify step.
+// Every kernel returns the exact |a ∩ b| (AtLeast: exact whenever it matters
+// — see its contract), so which kernel ran is unobservable in any result.
 #ifndef CROWDER_SIMILARITY_SET_SIMILARITY_H_
 #define CROWDER_SIMILARITY_SET_SIMILARITY_H_
 
@@ -15,50 +27,120 @@ namespace similarity {
 /// A token set: sorted, deduplicated token ids.
 using TokenSet = std::vector<text::TokenId>;
 
+/// \brief A non-owning view of a sorted, deduplicated token sequence — the
+/// currency of the intersection kernels, so they run equally over owned
+/// TokenSets and over slices of a flat token arena (internal::JoinPlan,
+/// serve::IncrementalIndex). Implicitly constructible from a TokenSet, so
+/// every TokenSet call site keeps compiling unchanged.
+class TokenSpan {
+ public:
+  constexpr TokenSpan() = default;
+  constexpr TokenSpan(const text::TokenId* data, size_t size) : data_(data), size_(size) {}
+  /// Implicit view of a whole TokenSet (valid while the set is alive).
+  TokenSpan(const TokenSet& set) : data_(set.data()), size_(set.size()) {}  // NOLINT
+
+  constexpr const text::TokenId* data() const { return data_; }
+  constexpr size_t size() const { return size_; }
+  constexpr bool empty() const { return size_ == 0; }
+  constexpr text::TokenId operator[](size_t i) const { return data_[i]; }
+  constexpr const text::TokenId* begin() const { return data_; }
+  constexpr const text::TokenId* end() const { return data_ + size_; }
+
+ private:
+  const text::TokenId* data_ = nullptr;
+  size_t size_ = 0;
+};
+
 /// \brief Returns a canonical TokenSet (sorts + dedups a token sequence).
 TokenSet MakeTokenSet(std::vector<text::TokenId> tokens);
 
-/// \brief |a ∩ b| for sorted sets. Dispatches between the linear merge and
-/// the galloping probe below on the size ratio; both return the same count.
-size_t OverlapSize(const TokenSet& a, const TokenSet& b);
+/// \brief |a ∩ b| for sorted sets. Dispatches between the galloping probe
+/// (skewed sizes) and the SIMD block merge (comparable sizes); every path
+/// returns the same count.
+size_t OverlapSize(TokenSpan a, TokenSpan b);
 
-/// \brief Linear merge intersection count — O(|a| + |b|). The right shape
-/// when the sets are comparable in size. Exposed for benches and the
-/// equivalence property test; prefer OverlapSize.
-size_t OverlapSizeLinear(const TokenSet& a, const TokenSet& b);
+/// \brief Linear merge intersection count — O(|a| + |b|). The portable
+/// reference kernel: every other intersection kernel is property-tested
+/// against it (and bench_machine's divergence check exits nonzero on any
+/// disagreement). Exposed for benches and tests; prefer OverlapSize.
+size_t OverlapSizeLinear(TokenSpan a, TokenSpan b);
 
 /// \brief Galloping (exponential + binary probe) intersection count —
 /// O(|small| log |large|). Wins when one set is much larger than the other,
 /// the common case a prefix-filtering join produces on skewed token-set
 /// sizes. Exposed for benches and the equivalence property test; prefer
 /// OverlapSize.
-size_t OverlapSizeGalloping(const TokenSet& a, const TokenSet& b);
+size_t OverlapSizeGalloping(TokenSpan a, TokenSpan b);
+
+/// \brief Vectorized block-merge intersection count. Resolved once at
+/// startup to the widest kernel the CPU supports: AVX2 (8-lane
+/// shuffle/compare), SSE2 (4-lane), or the scalar linear merge on non-x86
+/// hardware and under -DCROWDER_DISABLE_SIMD=ON. Exact on every input —
+/// the kernels differ only in speed.
+size_t OverlapSizeSimd(TokenSpan a, TokenSpan b);
+
+/// \brief Which kernel OverlapSizeSimd resolved to: "avx2", "sse2", or
+/// "scalar" (observability for benches and BENCH_machine.json).
+const char* OverlapSimdKernelName();
+
+/// \brief Threshold-aware intersection: counts |a ∩ b| but may abandon the
+/// scan once the remaining elements cannot lift the count to `required`.
+///
+/// Contract: when |a ∩ b| >= required the exact overlap is returned;
+/// otherwise SOME value < required is returned (how far the scan got).
+/// Callers therefore learn exactly "overlap >= required, and if so its exact
+/// value" — which, with `required = RequiredOverlapExact(...)`, is exactly
+/// what the verify step needs, while unpromising pairs exit after a few
+/// blocks instead of a full merge. `required = 0` always returns the exact
+/// overlap. Skewed sizes dispatch to the galloping kernel (which is already
+/// o(|a|+|b|) and returns the exact count unconditionally).
+size_t OverlapSizeAtLeast(TokenSpan a, TokenSpan b, size_t required);
 
 /// \brief Jaccard similarity |a∩b| / |a∪b|; 1.0 when both sets are empty.
-double Jaccard(const TokenSet& a, const TokenSet& b);
+double Jaccard(TokenSpan a, TokenSpan b);
 
 /// \brief Dice coefficient 2|a∩b| / (|a|+|b|); 1.0 when both empty.
-double Dice(const TokenSet& a, const TokenSet& b);
+double Dice(TokenSpan a, TokenSpan b);
 
 /// \brief Set cosine |a∩b| / sqrt(|a||b|); 1.0 when both empty.
-double CosineSet(const TokenSet& a, const TokenSet& b);
+double CosineSet(TokenSpan a, TokenSpan b);
 
 /// \brief Overlap coefficient |a∩b| / min(|a|,|b|); 1.0 when both empty.
-double OverlapCoefficient(const TokenSet& a, const TokenSet& b);
+double OverlapCoefficient(TokenSpan a, TokenSpan b);
 
 /// \brief Which set measure a join should use.
 enum class SetMeasure { kJaccard, kDice, kCosine, kOverlapCoefficient };
 
 /// \brief Dispatches on the measure enum.
-double SetSimilarity(SetMeasure measure, const TokenSet& a, const TokenSet& b);
+double SetSimilarity(SetMeasure measure, TokenSpan a, TokenSpan b);
+
+/// \brief The similarity score as a function of the set sizes and the exact
+/// overlap — bitwise the value the measure functions above compute (same
+/// double operations in the same order), so a caller that already knows
+/// |a ∩ b| (e.g. from OverlapSizeAtLeast) can score without re-intersecting.
+double SimilarityFromOverlap(SetMeasure measure, size_t size_a, size_t size_b, size_t overlap);
 
 /// \brief For prefix filtering: the minimum size |b| may have so that
 /// sim(a, b) >= threshold can still hold, given |a| = size.
 size_t MinCompatibleSize(SetMeasure measure, size_t size, double threshold);
 
 /// \brief For prefix filtering: minimum required overlap between sets of
-/// sizes `sa` and `sb` for sim >= threshold.
+/// sizes `sa` and `sb` for sim >= threshold. Closed-form; a sound lower
+/// bound, but not guaranteed tight against the double arithmetic of the
+/// score itself — use RequiredOverlapExact when exactness matters.
 size_t MinRequiredOverlap(SetMeasure measure, size_t sa, size_t sb, double threshold);
+
+/// \brief The exact integer threshold on the overlap: the minimal o such
+/// that SimilarityFromOverlap(measure, sa, sb, o) >= threshold, or
+/// min(sa, sb) + 1 when no achievable overlap reaches the threshold. Starts
+/// from the closed-form MinRequiredOverlap and fixes it up (±1 steps)
+/// against the actual double formula — the score is monotone in the
+/// overlap, so the minimal qualifying o is well-defined and
+///   overlap >= RequiredOverlapExact(...)  ⟺  sim(overlap) >= threshold
+/// holds EXACTLY, in the join's own floating-point arithmetic. This is what
+/// lets the verify step cut intersections short (OverlapSizeAtLeast) while
+/// emitting bitwise the same pair set as a full intersect-then-compare.
+size_t RequiredOverlapExact(SetMeasure measure, size_t sa, size_t sb, double threshold);
 
 }  // namespace similarity
 }  // namespace crowder

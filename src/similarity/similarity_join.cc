@@ -39,10 +39,12 @@ Status ValidateJoin(const JoinInput& input, const JoinOptions& options) {
 
 using internal::Admissible;
 
-Result<std::vector<ScoredPair>> NaiveJoin(const JoinInput& input, const JoinOptions& options) {
+Result<std::vector<ScoredPair>> NaiveJoin(const JoinInput& input, const JoinOptions& options,
+                                          JoinStats* stats) {
   CROWDER_RETURN_NOT_OK(ValidateJoin(input, options));
   std::vector<ScoredPair> out;
   const uint32_t n = static_cast<uint32_t>(input.sets.size());
+  uint64_t verifications = 0;
   for (uint32_t i = 0; i < n; ++i) {
     for (uint32_t j = i + 1; j < n; ++j) {
       if (!Admissible(input, i, j)) continue;
@@ -50,10 +52,12 @@ Result<std::vector<ScoredPair>> NaiveJoin(const JoinInput& input, const JoinOpti
       // carries no matching evidence: at a positive threshold such pairs are
       // not emitted (AllPairsJoin and blocking agree on this contract).
       if (options.threshold > 0.0 && input.sets[i].empty() && input.sets[j].empty()) continue;
+      ++verifications;
       const double sim = SetSimilarity(options.measure, input.sets[i], input.sets[j]);
       if (sim >= options.threshold) out.push_back({i, j, sim});
     }
   }
+  if (stats != nullptr) stats->pair_verifications += verifications;
   SortPairs(&out);
   return out;
 }
@@ -102,11 +106,18 @@ JoinPlan BuildJoinPlan(const JoinInput& input, const JoinOptions& options) {
   for (uint32_t pos = 0; pos < order.size(); ++pos) rank[order[pos]] = pos;
   plan.num_ranks = order.size();
 
-  plan.ranked.resize(n);
+  // One flat arena for every record's ranked list: sizes are known up front,
+  // so prefix-sum the offsets, fill each span, and sort it in place.
+  plan.token_offset.resize(n + 1, 0);
   for (uint32_t i = 0; i < n; ++i) {
-    plan.ranked[i].reserve(input.sets[i].size());
-    for (text::TokenId tok : input.sets[i]) plan.ranked[i].push_back(rank[tok]);
-    std::sort(plan.ranked[i].begin(), plan.ranked[i].end());
+    plan.token_offset[i + 1] = plan.token_offset[i] + input.sets[i].size();
+  }
+  plan.arena.resize(plan.token_offset[n]);
+  for (uint32_t i = 0; i < n; ++i) {
+    uint32_t* span = plan.arena.data() + plan.token_offset[i];
+    size_t k = 0;
+    for (text::TokenId tok : input.sets[i]) span[k++] = rank[tok];
+    std::sort(span, span + k);
   }
 
   // 2. Process records in non-decreasing size order so that indexed partners
@@ -114,7 +125,7 @@ JoinPlan BuildJoinPlan(const JoinInput& input, const JoinOptions& options) {
   plan.by_size.resize(n);
   std::iota(plan.by_size.begin(), plan.by_size.end(), 0);
   std::stable_sort(plan.by_size.begin(), plan.by_size.end(), [&](uint32_t x, uint32_t y) {
-    return plan.ranked[x].size() < plan.ranked[y].size();
+    return plan.ranked_size(x) < plan.ranked_size(y);
   });
 
   // 3. Per-record bounds, shared with the incremental index (see
@@ -122,7 +133,7 @@ JoinPlan BuildJoinPlan(const JoinInput& input, const JoinOptions& options) {
   plan.prefix_len.resize(n, 0);
   plan.min_partner.resize(n, 1);
   for (uint32_t i = 0; i < n; ++i) {
-    const PrefixBounds bounds = ComputePrefixBounds(options.measure, t, plan.ranked[i].size());
+    const PrefixBounds bounds = ComputePrefixBounds(options.measure, t, plan.ranked_size(i));
     plan.min_partner[i] = bounds.min_partner;
     plan.prefix_len[i] = bounds.prefix_len;
   }
@@ -131,14 +142,15 @@ JoinPlan BuildJoinPlan(const JoinInput& input, const JoinOptions& options) {
 
 }  // namespace internal
 
-Result<std::vector<ScoredPair>> AllPairsJoin(const JoinInput& input, const JoinOptions& options) {
+Result<std::vector<ScoredPair>> AllPairsJoin(const JoinInput& input, const JoinOptions& options,
+                                             JoinStats* stats) {
   CROWDER_RETURN_NOT_OK(ValidateJoin(input, options));
   const double t = options.threshold;
   const uint32_t n = static_cast<uint32_t>(input.sets.size());
 
   // A zero threshold admits every pair; prefix filtering degenerates, so
   // fall through to the exhaustive join.
-  if (t <= 0.0) return NaiveJoin(input, options);
+  if (t <= 0.0) return NaiveJoin(input, options, stats);
 
   const internal::JoinPlan plan = internal::BuildJoinPlan(input, options);
 
@@ -150,9 +162,10 @@ Result<std::vector<ScoredPair>> AllPairsJoin(const JoinInput& input, const JoinO
   std::vector<ScoredPair> out;
   std::vector<uint32_t> candidates;
   std::vector<char> seen(n, 0);
+  uint64_t verifications = 0;
 
   for (uint32_t rec : plan.by_size) {
-    const auto& tokens = plan.ranked[rec];
+    const TokenSpan tokens = plan.ranked(rec);
     if (tokens.empty()) continue;
     const size_t prefix_len = plan.prefix_len[rec];
     const size_t min_partner = plan.min_partner[rec];
@@ -167,10 +180,14 @@ Result<std::vector<ScoredPair>> AllPairsJoin(const JoinInput& input, const JoinO
     }
     for (uint32_t other : candidates) {
       seen[other] = 0;
-      if (plan.ranked[other].size() < min_partner) continue;
+      if (plan.ranked_size(other) < min_partner) continue;
       if (!Admissible(input, rec, other)) continue;
-      const double sim = SetSimilarity(options.measure, input.sets[rec], input.sets[other]);
-      if (sim >= t) {
+      ++verifications;
+      double sim;
+      // Verification runs over the arena's ranked spans, not the original
+      // sets — same overlap, same sizes, bitwise the same score (see
+      // internal::VerifyPair), but cache-dense and free to exit early.
+      if (internal::VerifyPair(options.measure, t, tokens, plan.ranked(other), &sim)) {
         const uint32_t a = std::min(rec, other);
         const uint32_t b = std::max(rec, other);
         out.push_back({a, b, sim});
@@ -182,6 +199,7 @@ Result<std::vector<ScoredPair>> AllPairsJoin(const JoinInput& input, const JoinO
       postings[tokens[p]].push_back(rec);
     }
   }
+  if (stats != nullptr) stats->pair_verifications += verifications;
   SortPairs(&out);
   return out;
 }

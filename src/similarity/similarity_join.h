@@ -45,18 +45,30 @@ struct JoinOptions {
   double threshold = 0.3;
 };
 
+/// \brief Observability counters a join fills when handed one (purely
+/// additive — never part of the result or the byte-identity contract). The
+/// join benches report pair_verifications/s so kernel-level regressions show
+/// up without an end-to-end run.
+struct JoinStats {
+  /// Candidate pairs that reached the verify step (an intersection was
+  /// computed, fully or until the threshold-aware early exit).
+  uint64_t pair_verifications = 0;
+};
+
 /// \brief Reference implementation: compares every admissible pair.
 /// O(n^2) — used for small inputs, tests, and the ablation baseline.
 /// Contract shared with AllPairsJoin: at a positive threshold a pair of two
 /// empty token sets is never emitted (no matching evidence), even though
 /// every measure scores it 1.0.
-Result<std::vector<ScoredPair>> NaiveJoin(const JoinInput& input, const JoinOptions& options);
+Result<std::vector<ScoredPair>> NaiveJoin(const JoinInput& input, const JoinOptions& options,
+                                          JoinStats* stats = nullptr);
 
 /// \brief AllPairs-style prefix-filtering join with an inverted index over
 /// rare-token prefixes and a size filter. Produces exactly the same pairs as
 /// NaiveJoin (property-tested), typically orders of magnitude faster at
 /// realistic thresholds.
-Result<std::vector<ScoredPair>> AllPairsJoin(const JoinInput& input, const JoinOptions& options);
+Result<std::vector<ScoredPair>> AllPairsJoin(const JoinInput& input, const JoinOptions& options,
+                                             JoinStats* stats = nullptr);
 
 /// \brief Validates a JoinInput/JoinOptions combination (threshold in [0,1],
 /// source labels consistent). Shared by both join implementations.

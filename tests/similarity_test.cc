@@ -3,6 +3,7 @@
 #include <gtest/gtest.h>
 
 #include "common/rng.h"
+#include "data/generators.h"
 #include "similarity/edit_distance.h"
 #include "similarity/set_similarity.h"
 #include "text/tokenizer.h"
@@ -64,9 +65,28 @@ TEST(SetSimilarityTest, GallopingMatchesLinearOnEdgeCases) {
   }
 }
 
-TEST(SetSimilarityTest, GallopingEquivalenceProperty) {
+// Asserts every intersection kernel against the linear reference, in both
+// argument orders, including the threshold-aware OverlapSizeAtLeast at
+// required ∈ {0, exact, exact + 1}. The AtLeast contract: the exact overlap
+// whenever exact >= required, otherwise some value < required.
+void ExpectKernelEquivalence(const TokenSet& a, const TokenSet& b, const std::string& label) {
+  const size_t linear = OverlapSizeLinear(a, b);
+  EXPECT_EQ(OverlapSizeGalloping(a, b), linear) << label;
+  EXPECT_EQ(OverlapSizeGalloping(b, a), linear) << label;
+  EXPECT_EQ(OverlapSizeSimd(a, b), linear) << label;
+  EXPECT_EQ(OverlapSizeSimd(b, a), linear) << label;
+  EXPECT_EQ(OverlapSize(a, b), linear) << label;
+  EXPECT_EQ(OverlapSize(b, a), linear) << label;
+  EXPECT_EQ(OverlapSizeAtLeast(a, b, 0), linear) << label;
+  EXPECT_EQ(OverlapSizeAtLeast(a, b, linear), linear) << label;
+  EXPECT_EQ(OverlapSizeAtLeast(b, a, linear), linear) << label;
+  EXPECT_LT(OverlapSizeAtLeast(a, b, linear + 1), linear + 1) << label;
+  EXPECT_LT(OverlapSizeAtLeast(b, a, linear + 1), linear + 1) << label;
+}
+
+TEST(SetSimilarityTest, KernelEquivalenceProperty) {
   // Randomized sweep across skewed size ratios — the regime the galloping
-  // path exists for — plus balanced sizes where the linear merge dispatches.
+  // path exists for — plus balanced sizes where the SIMD merge dispatches.
   Rng rng(20260730);
   for (int trial = 0; trial < 400; ++trial) {
     const size_t small_size = static_cast<size_t>(rng.Uniform(40));
@@ -83,10 +103,57 @@ TEST(SetSimilarityTest, GallopingEquivalenceProperty) {
     }
     a = MakeTokenSet(std::move(a));
     b = MakeTokenSet(std::move(b));
-    const size_t linear = OverlapSizeLinear(a, b);
-    EXPECT_EQ(OverlapSizeGalloping(a, b), linear) << "trial " << trial;
-    EXPECT_EQ(OverlapSizeGalloping(b, a), linear) << "trial " << trial;
-    EXPECT_EQ(OverlapSize(a, b), linear) << "trial " << trial;
+    ExpectKernelEquivalence(a, b, "trial " + std::to_string(trial));
+  }
+}
+
+TEST(SetSimilarityTest, KernelEquivalenceAdversarialLengths) {
+  // Every length 0–70 on one side crosses the SSE (4-lane) and AVX2
+  // (8-lane) block boundaries many times over; the partner lengths hit the
+  // boundary values exactly. Three densities so tails carry matches,
+  // non-matches, and near-misses.
+  Rng rng(20260808);
+  for (size_t la = 0; la <= 70; ++la) {
+    for (size_t lb : {0u, 1u, 3u, 4u, 5u, 7u, 8u, 9u, 15u, 16u, 17u, 31u, 32u, 33u, 70u}) {
+      for (uint64_t universe : {8u, 64u, 4096u}) {
+        TokenSet a;
+        TokenSet b;
+        for (size_t i = 0; i < la; ++i) {
+          a.push_back(static_cast<text::TokenId>(rng.Uniform(universe)));
+        }
+        for (size_t i = 0; i < lb; ++i) {
+          b.push_back(static_cast<text::TokenId>(rng.Uniform(universe)));
+        }
+        a = MakeTokenSet(std::move(a));
+        b = MakeTokenSet(std::move(b));
+        ExpectKernelEquivalence(a, b, "la=" + std::to_string(la) + " lb=" + std::to_string(lb) +
+                                          " universe=" + std::to_string(universe));
+      }
+    }
+  }
+}
+
+TEST(SetSimilarityTest, KernelEquivalenceOnDatasets) {
+  // Real token-id distributions from both source-gated generators,
+  // including identical and fully disjoint records.
+  Rng rng(42);
+  for (const bool restaurant : {true, false}) {
+    const data::Dataset dataset = restaurant ? data::GenerateRestaurant({}).ValueOrDie()
+                                             : data::GenerateProduct({}).ValueOrDie();
+    text::Tokenizer tokenizer;
+    text::Vocabulary vocab;
+    std::vector<TokenSet> sets;
+    const uint32_t n = std::min<uint32_t>(static_cast<uint32_t>(dataset.table.num_records()), 300);
+    for (uint32_t r = 0; r < n; ++r) {
+      sets.push_back(MakeTokenSet(
+          vocab.InternDocument(tokenizer.Tokenize(dataset.table.ConcatenatedRecord(r)))));
+    }
+    for (int trial = 0; trial < 400; ++trial) {
+      const auto& a = sets[rng.Uniform(sets.size())];
+      const auto& b = sets[rng.Uniform(sets.size())];
+      ExpectKernelEquivalence(a, b, std::string(restaurant ? "restaurant" : "product") +
+                                        " trial " + std::to_string(trial));
+    }
   }
 }
 
