@@ -31,6 +31,11 @@ Status WorkflowDriver::Start(const data::Dataset& dataset) {
     owned_filter_ = std::make_unique<crowd::ApprovalRateWorkerFilter>(config_.filter);
     filter_ = owned_filter_.get();
   }
+  if (adaptive()) {
+    policy_ = MakeQuestionPolicy(config_.question_policy);
+    closure_ = std::make_unique<graph::AnswerClosure>(
+        static_cast<uint32_t>(dataset.table.num_records()));
+  }
   state_ = std::make_unique<WorkflowState>(config_, dataset);
   state_->result.total_matches = dataset.CountMatchingPairs();
   if (state_->result.total_matches == 0) {
@@ -224,6 +229,337 @@ Status WorkflowDriver::PrepareClusterRangeRound() {
   return Status::OK();
 }
 
+// ---------------------------------------------------------------------------
+// Adaptive question selection (config.question_policy == kInferenceOrdered).
+// Each fixed-mode round source becomes a *base context* served as selection
+// sub-rounds; see the selection paragraph of the file comment in driver.h.
+// ---------------------------------------------------------------------------
+
+uint64_t WorkflowDriver::ResolveSelectionBatch() const {
+  uint64_t batch = config_.selection_batch_pairs;
+  if (batch == 0) {
+    // Auto: big enough to fill at least two HITs, and no finer than ~64
+    // sub-rounds across the whole pair population — selection stays o(|P|)
+    // rounds at any scale.
+    const uint64_t total = state_->result.num_candidate_pairs;
+    batch = std::max<uint64_t>(2ULL * config_.pairs_per_hit, (total + 63) / 64);
+  }
+  if (config_.hit_type == HitType::kPairBased) {
+    const uint64_t per_hit = std::max<uint32_t>(config_.pairs_per_hit, 1);
+    batch = (batch + per_hit - 1) / per_hit * per_hit;  // whole HITs
+  }
+  return std::max<uint64_t>(batch, 1);
+}
+
+namespace {
+
+/// The consensus verdict over the votes surviving the ban set: nullopt
+/// when no vote survives or the survivors disagree, otherwise their
+/// unanimous verdict. The closure only learns *unanimous* answers: a transitive
+/// inference compounds the error of every answer it rests on, so a bare
+/// majority (1 noisy dissent in 3) is too weak a fact to propagate — it
+/// still reaches aggregation as ordinary votes, it just cannot stand in
+/// for a question the crowd was never asked.
+std::optional<bool> SurvivingConsensus(const std::vector<aggregate::Vote>& votes,
+                                       const std::unordered_set<uint32_t>& banned) {
+  uint64_t yes = 0;
+  uint64_t total = 0;
+  for (const aggregate::Vote& v : votes) {
+    if (banned.count(v.worker_id) != 0) continue;
+    ++total;
+    if (v.says_match) ++yes;
+  }
+  if (total == 0 || (yes != 0 && yes != total)) return std::nullopt;
+  return yes == total;
+}
+
+}  // namespace
+
+Status WorkflowDriver::LoadNextBaseContext() {
+  base_unresolved_.clear();
+  base_cluster_hits_.clear();
+  base_hit_posted_.clear();
+
+  if (config_.execution_mode == ExecutionMode::kMaterialized) {
+    if (materialized_served_) return Status::OK();
+    materialized_served_ = true;
+    const auto& pairs = state_->result.candidate_pairs;
+    if (state_->pair_hits.empty() && state_->cluster_hits.empty()) return Status::OK();
+    vote_table_.assign(pairs.size(), {});
+    base_unresolved_.reserve(pairs.size());
+    for (size_t i = 0; i < pairs.size(); ++i) {
+      base_unresolved_.push_back({pairs[i], static_cast<uint64_t>(i)});
+    }
+    if (config_.hit_type == HitType::kClusterBased) {
+      base_cluster_hits_ = state_->cluster_hits;
+      base_hit_posted_.assign(base_cluster_hits_.size(), false);
+    }
+    base_active_ = true;
+    return Status::OK();
+  }
+
+  if (config_.hit_type == HitType::kPairBased) {
+    const uint64_t total = state_->result.num_candidate_pairs;
+    if (next_pair_base_ >= total) return Status::OK();
+    const uint64_t want = std::min<uint64_t>(aligned_capacity_, total - next_pair_base_);
+    std::vector<similarity::ScoredPair> drawn;
+    drawn.reserve(static_cast<size_t>(want));
+    CROWDER_ASSIGN_OR_RETURN(const size_t got, cursor_->Next(static_cast<size_t>(want), &drawn));
+    if (got == 0) return Status::OK();
+    base_unresolved_.reserve(drawn.size());
+    for (size_t i = 0; i < drawn.size(); ++i) {
+      base_unresolved_.push_back({drawn[i], next_pair_base_ + i});
+    }
+    next_pair_base_ += got;
+    base_active_ = true;
+    return Status::OK();
+  }
+
+  const auto& hits = state_->cluster_hits;
+  if (next_range_begin_ >= hits.size()) return Status::OK();
+  WallTimer context_timer;
+  const size_t begin = next_range_begin_;
+  const size_t end = std::min(hits.size(), begin + hits_per_range_);
+  CROWDER_RETURN_NOT_OK(range_pairs_->Scan(
+      begin / hits_per_range_, [&](const std::vector<IndexedPair>& block) {
+        for (const auto& ip : block) base_unresolved_.push_back({ip.pair, ip.index});
+        return Status::OK();
+      }));
+  base_cluster_hits_.assign(hits.begin() + begin, hits.begin() + end);
+  base_hit_posted_.assign(base_cluster_hits_.size(), false);
+  next_range_begin_ = end;
+  base_active_ = true;
+  state_->result.pipeline_stats.cluster_context_wall_ms += context_timer.ElapsedMillis();
+  return Status::OK();
+}
+
+void WorkflowDriver::SweepClosure() {
+  size_t kept = 0;
+  for (const PendingQuestion& q : base_unresolved_) {
+    // Already resolved through another context (overlapping cluster ranges
+    // share pairs) or awaiting its re-ask — either way, not this context's
+    // question anymore.
+    if (asked_.count(q.global_index) != 0 || inferred_.count(q.global_index) != 0 ||
+        reask_pending_.count(q.global_index) != 0) {
+      continue;
+    }
+    if (auto verdict = closure_->Infer(q.pair.a, q.pair.b)) {
+      inferred_.emplace(q.global_index, InferredPair{q.pair, *verdict});
+      inferred_key_[PairKey(q.pair.a, q.pair.b)] = q.global_index;
+      ++inferred_new_;
+      continue;
+    }
+    base_unresolved_[kept++] = q;
+  }
+  base_unresolved_.resize(kept);
+}
+
+Status WorkflowDriver::PostReaskRound() {
+  const size_t take =
+      std::min<size_t>(reask_queue_.size(), static_cast<size_t>(ResolveSelectionBatch()));
+  round_pairs_.reserve(take);
+  round_global_index_.reserve(take);
+  std::vector<graph::Edge> edges;
+  edges.reserve(take);
+  for (size_t i = 0; i < take; ++i) {
+    const PendingQuestion& q = reask_queue_[i];
+    round_pairs_.push_back(q.pair);
+    round_global_index_.push_back(q.global_index);
+    edges.push_back({q.pair.a, q.pair.b});
+    reask_pending_.erase(q.global_index);
+  }
+  reask_queue_.erase(reask_queue_.begin(), reask_queue_.begin() + take);
+
+  hitgen::PairHitPacker packer(config_.pairs_per_hit);
+  CROWDER_RETURN_NOT_OK(packer.Add(edges));
+  CROWDER_ASSIGN_OR_RETURN(round_pair_hits_, packer.Finish());
+  IndexRoundPairs(round_pairs_);
+  pending_.first_hit = next_hit_;
+  pending_.pairs = &round_pairs_;
+  pending_.pair_hits = &round_pair_hits_;
+  return Status::OK();
+}
+
+Status WorkflowDriver::PostSelectionRound() {
+  const uint64_t batch = ResolveSelectionBatch();
+
+  if (config_.hit_type == HitType::kPairBased) {
+    policy_->Rank(closure_.get(), &base_unresolved_);
+    const size_t take = std::min<size_t>(base_unresolved_.size(), static_cast<size_t>(batch));
+    round_pairs_.reserve(take);
+    round_global_index_.reserve(take);
+    std::vector<graph::Edge> edges;
+    edges.reserve(take);
+    for (size_t i = 0; i < take; ++i) {
+      const PendingQuestion& q = base_unresolved_[i];
+      round_pairs_.push_back(q.pair);
+      round_global_index_.push_back(q.global_index);
+      edges.push_back({q.pair.a, q.pair.b});
+    }
+    base_unresolved_.erase(base_unresolved_.begin(), base_unresolved_.begin() + take);
+    hitgen::PairHitPacker packer(config_.pairs_per_hit);
+    CROWDER_RETURN_NOT_OK(packer.Add(edges));
+    CROWDER_ASSIGN_OR_RETURN(round_pair_hits_, packer.Finish());
+    IndexRoundPairs(round_pairs_);
+    pending_.first_hit = next_hit_;
+    pending_.pairs = &round_pairs_;
+    pending_.pair_hits = &round_pair_hits_;
+    return Status::OK();
+  }
+
+  // Cluster-based: selection is per *HIT* (a cluster HIT is the atomic unit
+  // of crowd work — its pairs cannot be posted separately). Rank the
+  // unposted HITs by the summed gain of their unresolved pairs, skip HITs
+  // with none (the savings), and post the ranked top until the batch's
+  // pair budget is covered. The sub-round's context is exactly the posted
+  // HITs' unresolved pairs, so already-resolved pairs inside a posted HIT
+  // receive no votes.
+  std::unordered_map<uint64_t, size_t> unresolved_index;
+  unresolved_index.reserve(base_unresolved_.size());
+  std::vector<double> gain(base_unresolved_.size(), 0.0);
+  for (size_t i = 0; i < base_unresolved_.size(); ++i) {
+    const PendingQuestion& q = base_unresolved_[i];
+    unresolved_index[PairKey(q.pair.a, q.pair.b)] = i;
+    gain[i] = policy_->Gain(closure_.get(), q);
+  }
+
+  struct HitRank {
+    size_t hit = 0;
+    double gain = 0.0;
+    std::vector<size_t> pairs;  // indices into base_unresolved_
+  };
+  std::vector<HitRank> ranked;
+  for (size_t h = 0; h < base_cluster_hits_.size(); ++h) {
+    if (base_hit_posted_[h]) continue;
+    const auto& records = base_cluster_hits_[h].records;
+    HitRank hr;
+    hr.hit = h;
+    for (size_t i = 0; i < records.size(); ++i) {
+      for (size_t j = i + 1; j < records.size(); ++j) {
+        const auto it = unresolved_index.find(PairKey(records[i], records[j]));
+        if (it == unresolved_index.end()) continue;
+        hr.gain += gain[it->second];
+        hr.pairs.push_back(it->second);
+      }
+    }
+    if (!hr.pairs.empty()) ranked.push_back(std::move(hr));
+  }
+  if (ranked.empty()) {
+    // Defensive: every unresolved pair is covered by some unposted HIT (the
+    // cluster cover), so this can only mean the context is exhausted.
+    base_unresolved_.clear();
+    return Status::OK();
+  }
+  std::stable_sort(ranked.begin(), ranked.end(),
+                   [](const HitRank& x, const HitRank& y) { return x.gain > y.gain; });
+
+  std::unordered_set<size_t> context;  // indices into base_unresolved_
+  std::vector<size_t> posted;
+  for (const HitRank& hr : ranked) {
+    if (!posted.empty() && context.size() >= batch) break;
+    posted.push_back(hr.hit);
+    base_hit_posted_[hr.hit] = true;
+    for (const size_t p : hr.pairs) context.insert(p);
+  }
+
+  // Deterministic context order: ascending global index (vote filing and
+  // FinishRound statistics see this order).
+  std::vector<size_t> ordered(context.begin(), context.end());
+  std::sort(ordered.begin(), ordered.end(), [&](size_t x, size_t y) {
+    return base_unresolved_[x].global_index < base_unresolved_[y].global_index;
+  });
+  round_pairs_.reserve(ordered.size());
+  round_global_index_.reserve(ordered.size());
+  for (const size_t i : ordered) {
+    round_pairs_.push_back(base_unresolved_[i].pair);
+    round_global_index_.push_back(base_unresolved_[i].global_index);
+  }
+  std::sort(posted.begin(), posted.end());
+  round_cluster_hits_.reserve(posted.size());
+  for (const size_t h : posted) round_cluster_hits_.push_back(base_cluster_hits_[h]);
+
+  size_t kept = 0;
+  for (size_t i = 0; i < base_unresolved_.size(); ++i) {
+    if (context.count(i) != 0) continue;
+    base_unresolved_[kept++] = base_unresolved_[i];
+  }
+  base_unresolved_.resize(kept);
+
+  IndexRoundPairs(round_pairs_);
+  pending_.first_hit = next_hit_;
+  pending_.pairs = &round_pairs_;
+  pending_.cluster_hits = &round_cluster_hits_;
+  return Status::OK();
+}
+
+Status WorkflowDriver::PrepareAdaptiveRound() {
+  for (;;) {
+    // Retractions first: a re-asked pair may unlock inferences for every
+    // later context.
+    if (!reask_queue_.empty()) return PostReaskRound();
+    if (!base_active_) {
+      CROWDER_RETURN_NOT_OK(LoadNextBaseContext());
+      if (!base_active_) return Status::OK();  // sources exhausted → Finalize
+    }
+    SweepClosure();
+    if (base_unresolved_.empty()) {
+      base_active_ = false;  // context fully resolved — retire it
+      if (config_.execution_mode == ExecutionMode::kStreaming &&
+          config_.hit_type == HitType::kClusterBased) {
+        ++state_->result.pipeline_stats.crowd_partitions;
+      }
+      continue;
+    }
+    CROWDER_RETURN_NOT_OK(PostSelectionRound());
+    if (!pending_.empty()) return Status::OK();
+  }
+}
+
+void WorkflowDriver::FoldAnsweredRound() {
+  if (pending_.pairs == nullptr) return;
+  const auto& pairs = *pending_.pairs;
+  std::vector<std::vector<aggregate::Vote>> per_pair(pairs.size());
+  for (const auto& [local, vote] : round_votes_) per_pair[local].push_back(vote);
+  for (size_t i = 0; i < pairs.size(); ++i) {
+    const uint64_t global = round_global_index_[i];
+    AskedPair& rec = asked_[global];
+    rec.pair = pairs[i];
+    rec.votes.insert(rec.votes.end(), per_pair[i].begin(), per_pair[i].end());
+    if (auto verdict = SurvivingConsensus(rec.votes, banned_workers_)) {
+      closure_->AddAnswer(rec.pair.a, rec.pair.b, *verdict);
+    }
+  }
+}
+
+void WorkflowDriver::MaybeRebuildClosure() {
+  if (banned_workers_.size() == banned_seen_) return;
+  banned_seen_ = banned_workers_.size();
+
+  // The closure cannot un-union, so revision means replay: rebuild from the
+  // asked log's surviving consensus (ascending global index — the
+  // deterministic rebuild order), then re-validate every inferred verdict
+  // against the rebuilt closure.
+  closure_->Reset();
+  for (const auto& [global, rec] : asked_) {
+    if (auto verdict = SurvivingConsensus(rec.votes, banned_workers_)) {
+      closure_->AddAnswer(rec.pair.a, rec.pair.b, *verdict);
+    }
+  }
+  for (auto it = inferred_.begin(); it != inferred_.end();) {
+    const auto verdict = closure_->Infer(it->second.pair.a, it->second.pair.b);
+    if (verdict.has_value() && *verdict == it->second.verdict) {
+      ++it;
+      continue;
+    }
+    // Un-inferred: the evidence that implied this verdict no longer
+    // survives (or now implies the opposite). Conservative re-ask.
+    reask_queue_.push_back({it->second.pair, it->first});
+    reask_pending_.insert(it->first);
+    inferred_key_.erase(PairKey(it->second.pair.a, it->second.pair.b));
+    it = inferred_.erase(it);
+  }
+}
+
 Status WorkflowDriver::Advance() {
   next_hit_ += static_cast<uint32_t>(pending_.num_hits());  // retire the answered round
   pending_ = crowd::HitBatch{};
@@ -239,7 +575,9 @@ Status WorkflowDriver::Advance() {
   votes_submitted_ = false;
 
   if (state_->result.num_candidate_pairs > 0) {
-    if (config_.execution_mode == ExecutionMode::kMaterialized) {
+    if (adaptive()) {
+      CROWDER_RETURN_NOT_OK(PrepareAdaptiveRound());
+    } else if (config_.execution_mode == ExecutionMode::kMaterialized) {
       CROWDER_RETURN_NOT_OK(PrepareMaterializedRound());
     } else if (config_.hit_type == HitType::kPairBased) {
       CROWDER_RETURN_NOT_OK(PreparePairPartitionRound());
@@ -270,6 +608,16 @@ Status WorkflowDriver::Finalize() {
   }
   if (config_.execution_mode == ExecutionMode::kMaterialized) {
     result.crowd_stats.votes = std::move(vote_table_);
+  }
+  if (adaptive()) {
+    for (const auto& [global, ip] : inferred_) {
+      state_->inferred_verdicts.emplace(global, ip.verdict);
+    }
+    result.crowd_pairs_asked = asked_.size();
+    result.pairs_inferred = inferred_.size();
+  } else {
+    // Fixed order asks everything (when there was crowd work at all).
+    result.crowd_pairs_asked = next_hit_ > 0 ? result.num_candidate_pairs : 0;
   }
   // Fallback crowd statistics from what flowed through SubmitVotes; a
   // backend's Finish result (SubmitCrowdStats) replaces them with the
@@ -332,6 +680,17 @@ Status WorkflowDriver::SubmitVotes(crowd::VoteBatch votes) {
     for (const crowd::PairVote& pv : hv.votes) {
       const auto it = round_pair_index_.find(PairKey(pv.a, pv.b));
       if (it == round_pair_index_.end()) {
+        // A vote on a pair the answer closure already resolved is a clean
+        // protocol error, not corrupt data: the pair was deliberately never
+        // posted, so a well-meaning caller answering from its own records
+        // can hit this — reject the batch (nothing was filed yet) without
+        // latching, so the corrected batch can be resubmitted.
+        if (inferred_key_.count(PairKey(pv.a, pv.b)) != 0) {
+          return Status::InvalidArgument(
+              "vote on pair " + PairName(pv.a, pv.b) +
+              " already resolved by the answer closure: the pair was inferred, not posted "
+              "(HIT " + std::to_string(hv.hit) + ")");
+        }
         failed_ = true;
         return Status::InvalidArgument("vote on unknown pair " + PairName(pv.a, pv.b) +
                                        ": not in the pending batch's candidate context (HIT " +
@@ -408,6 +767,10 @@ void WorkflowDriver::FinishRound() {
   round.num_hits = static_cast<uint32_t>(pending_.num_hits());
   round.num_votes = round_votes_.size() - begin;
   round.fleiss_kappa = aggregate::FleissKappa(yes, total);
+  // The selection savings banked while this round was prepared (adaptive
+  // only; the counter stays 0 under kFixedOrder).
+  round.pairs_inferred = inferred_new_;
+  inferred_new_ = 0;
 
   // Fold the round into the lifetime approval statistics: a vote is
   // approved when it sides with its pair's round majority (ties approve —
@@ -489,8 +852,17 @@ Status WorkflowDriver::Step() {
     round_timer_.Reset();
     return Status::OK();  // same context, new HITs, await votes
   }
-  if (config_.execution_mode == ExecutionMode::kStreaming &&
-      config_.hit_type == HitType::kClusterBased) {
+  if (adaptive()) {
+    // The sub-round (repairs included) is fully answered: teach the closure
+    // its unanimous verdicts, and if this round's review grew the ban set,
+    // rebuild
+    // and retract (driver.h's retraction contract).
+    FoldAnsweredRound();
+    MaybeRebuildClosure();
+  } else if (config_.execution_mode == ExecutionMode::kStreaming &&
+             config_.hit_type == HitType::kClusterBased) {
+    // Adaptive mode counts a crowd partition when a base context retires
+    // (PrepareAdaptiveRound), not once per sub-round.
     ++state_->result.pipeline_stats.crowd_partitions;
   }
   return Advance();

@@ -37,8 +37,31 @@
 /// without filing anything AND poisons the driver, so a partial or
 /// untrustworthy crowd transport can never leak into a result. Protocol
 /// misuse (Step before votes, a second SubmitVotes for the same round,
-/// SubmitVotes after done(), TakeResult before done()) returns a clean
-/// error and leaves the driver usable.
+/// SubmitVotes after done(), TakeResult before done(), a vote on a pair the
+/// answer closure already resolved by inference) returns a clean error and
+/// leaves the driver usable.
+///
+/// Question selection (config.question_policy, core/question_policy.h):
+/// under the default kFixedOrder the rounds above are the whole story —
+/// bitwise unchanged. Under kInferenceOrdered each round source's context
+/// (the materialized pair list / one pair partition / one cluster-HIT
+/// range) becomes a *base context* served as adaptive **sub-rounds**:
+/// between sub-rounds the driver folds the answered pairs'
+/// surviving-vote *consensus* (unanimous verdicts only — see
+/// SurvivingConsensus in driver.cc) into a graph::AnswerClosure, records
+/// every closure-implied
+/// pair as inferred (never posting it), and asks the policy-ranked top of
+/// the rest. Streaming mode therefore reorders only within the resident
+/// partition — the partition sequence itself is the stream's order.
+/// Composition with the crowd defenses: repair rounds re-post
+/// under-replicated pairs of the current sub-round context as usual, and
+/// when a ban changes the surviving consensus the closure is rebuilt from
+/// the asked-pair log and every inferred verdict is re-validated — a
+/// verdict the rebuilt closure no longer implies is retracted and its pair
+/// conservatively re-asked (the retraction contract; see
+/// docs/ARCHITECTURE.md). The asked-pair log keeps one entry per asked
+/// pair (with its votes) resident for the whole run — the adaptive mode's
+/// documented O(pairs asked) memory cost on top of the streaming budget.
 #ifndef CROWDER_CORE_DRIVER_H_
 #define CROWDER_CORE_DRIVER_H_
 
@@ -53,9 +76,11 @@
 
 #include "common/result.h"
 #include "common/timer.h"
+#include "core/question_policy.h"
 #include "core/stages.h"
 #include "core/workflow.h"
 #include "crowd/backend.h"
+#include "graph/answer_closure.h"
 
 namespace crowder {
 namespace core {
@@ -167,6 +192,37 @@ class WorkflowDriver {
   Result<bool> PrepareRepairRound();
   Status Finalize();
 
+  // ---- Adaptive question selection (kInferenceOrdered only). ----
+  bool adaptive() const {
+    return config_.question_policy == QuestionPolicyKind::kInferenceOrdered;
+  }
+  /// The adaptive round dispatcher: drains the re-ask queue, loads base
+  /// contexts from the mode's round source, sweeps the closure over them,
+  /// and posts policy-ranked selection sub-rounds until a round is pending
+  /// or everything is resolved.
+  Status PrepareAdaptiveRound();
+  /// Pulls the next base context (whole pair list / pair partition /
+  /// cluster-HIT range) into base_unresolved_; leaves base_active_ false
+  /// when the source is exhausted.
+  Status LoadNextBaseContext();
+  /// Drops every pending question the closure (or an earlier context)
+  /// already resolves, recording fresh verdicts as inferred.
+  void SweepClosure();
+  /// Posts the policy-ranked top of base_unresolved_ as one sub-round.
+  Status PostSelectionRound();
+  /// Posts retracted pairs (the conservative re-ask path) as pair HITs.
+  Status PostReaskRound();
+  /// Pairs per selection sub-round (config.selection_batch_pairs; 0=auto).
+  uint64_t ResolveSelectionBatch() const;
+  /// After a sub-round (and its repairs) is answered: files its pairs into
+  /// the asked log and folds their surviving-vote consensus (unanimous
+  /// verdicts only) into the closure.
+  void FoldAnsweredRound();
+  /// When the ban set grew: rebuilds the closure from the asked log's
+  /// surviving votes and retracts (queues for re-ask) every inferred
+  /// verdict the rebuilt closure no longer implies.
+  void MaybeRebuildClosure();
+
   WorkflowConfig config_;
   std::unique_ptr<WorkflowState> state_;
   Phase phase_ = Phase::kIdle;
@@ -228,6 +284,52 @@ class WorkflowDriver {
   /// round then replays its own shard instead of re-scanning the component
   /// buckets it touches.
   std::unique_ptr<ShardedSpillStore<IndexedPair>> range_pairs_;
+
+  // ---- Adaptive question selection (kInferenceOrdered only; empty and
+  //      untouched under kFixedOrder). ----
+  /// The ranking strategy (MakeQuestionPolicy(config.question_policy)).
+  std::unique_ptr<QuestionPolicy> policy_;
+  /// Positive + negative transitive closure over the answered pairs.
+  std::unique_ptr<graph::AnswerClosure> closure_;
+  /// One asked pair's resident record: identity and every vote it ever
+  /// received (across sub-rounds, repairs, and re-asks) — the rebuild
+  /// source of the retraction contract.
+  struct AskedPair {
+    similarity::ScoredPair pair;
+    std::vector<aggregate::Vote> votes;
+  };
+  /// Global pair index -> asked record. Ordered for deterministic rebuild.
+  std::map<uint64_t, AskedPair> asked_;
+  /// One closure-resolved pair: identity and the inferred verdict.
+  struct InferredPair {
+    similarity::ScoredPair pair;
+    bool verdict = false;
+  };
+  /// Global pair index -> inferred verdict (ordered; copied into
+  /// WorkflowState::inferred_verdicts at Finalize).
+  std::map<uint64_t, InferredPair> inferred_;
+  /// PairKey -> global index of the inferred pairs — the SubmitVotes check
+  /// that a vote on a closure-resolved pair is a clean protocol error.
+  std::unordered_map<uint64_t, uint64_t> inferred_key_;
+  /// Pairs inferred since the last FinishRound (the per-round savings stat).
+  uint64_t inferred_new_ = 0;
+  /// Retracted pairs awaiting their conservative re-ask, in retraction
+  /// order; reask_pending_ mirrors it for membership checks.
+  std::vector<PendingQuestion> reask_queue_;
+  std::unordered_set<uint64_t> reask_pending_;
+  /// banned_workers_ size at the last closure (re)build — the trigger for
+  /// MaybeRebuildClosure.
+  size_t banned_seen_ = 0;
+  // The resident base context being served as sub-rounds.
+  bool base_active_ = false;
+  /// Materialized mode's single base context was already loaded.
+  bool materialized_served_ = false;
+  /// Questions of the base context not yet asked or inferred.
+  std::vector<PendingQuestion> base_unresolved_;
+  /// Cluster-based only: the context's HITs and which were already posted
+  /// (a HIT whose pairs are all resolved is skipped outright).
+  std::vector<hitgen::ClusterBasedHit> base_cluster_hits_;
+  std::vector<bool> base_hit_posted_;
 
   /// Wall clock of the crowd phase (rounds start → aggregation), reported
   /// as the "crowd" stage timing.

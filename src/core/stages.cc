@@ -332,6 +332,10 @@ Status RunStreamingAggregate(WorkflowState* state) {
   uint64_t shard_start = 0;
   uint64_t shard_end = 0;  // exclusive; 0 forces the first load
   uint64_t index = 0;
+  // Closure-inferred verdicts override voteless pairs as the walk passes
+  // them: the map is ordered by global index, the walk ascends it.
+  auto inferred = state->inferred_verdicts.cbegin();
+  const auto inferred_end = state->inferred_verdicts.cend();
   CROWDER_RETURN_NOT_OK(state->stream.ScanSorted([&](const PairBlock& block) {
     for (const auto& p : block) {
       if (index >= shard_end) {
@@ -341,9 +345,13 @@ Status RunStreamingAggregate(WorkflowState* state) {
         shard_end = shard_start + votes->shard_pairs(shard);
       }
       const auto& pair_votes = shard_votes[static_cast<size_t>(index - shard_start)];
-      const double probability =
+      double probability =
           dawid_skene ? aggregate::PosteriorMatchProbability(pair_votes, model)
                       : aggregate::MajorityMatchProbability(pair_votes);
+      if (inferred != inferred_end && inferred->first == index) {
+        probability = inferred->second ? 1.0 : 0.0;
+        ++inferred;
+      }
       result.ranked.push_back(MakeRankedPair(p, probability, dataset));
       ++index;
     }
@@ -384,6 +392,11 @@ Status AggregateStage::Run(WorkflowState* state) {
   } else {
     CROWDER_ASSIGN_OR_RETURN(auto ds, aggregate::RunDawidSkene(*table));
     probabilities = std::move(ds.match_probability);
+  }
+  // Closure-inferred verdicts (kInferenceOrdered) have no votes; their
+  // probability is the inference, not "never judged".
+  for (const auto& [global, verdict] : state->inferred_verdicts) {
+    if (global < probabilities.size()) probabilities[global] = verdict ? 1.0 : 0.0;
   }
 
   result.ranked.reserve(result.candidate_pairs.size());

@@ -29,6 +29,7 @@
 #define CROWDER_CORE_STAGES_H_
 
 #include <cstdint>
+#include <map>
 #include <memory>
 #include <unordered_set>
 #include <vector>
@@ -80,6 +81,15 @@ struct WorkflowState {
   /// derives decisions — in both execution modes — while the unfiltered
   /// tables above (and result.crowd_stats.votes) keep the audit truth.
   std::unordered_set<uint32_t> banned_workers;
+
+  /// Verdicts the driver's answer closure inferred instead of crowdsourcing
+  /// (QuestionPolicyKind::kInferenceOrdered; copied in at Finalize), keyed
+  /// by global pair index — ordered, so the streaming aggregate can walk it
+  /// in lockstep with the sorted stream. AggregateStage overrides these
+  /// pairs' match probabilities with 1.0 / 0.0 (they have no votes; without
+  /// the override they would rank as never-judged). Empty under
+  /// kFixedOrder, leaving both aggregate paths bitwise untouched.
+  std::map<uint64_t, bool> inferred_verdicts;
 
   /// The result under construction (candidate_pairs, machine_recall,
   /// crowd_stats, ranked, pr_curve, ... filled in stage by stage).

@@ -40,6 +40,25 @@ namespace core {
 enum class HitType { kPairBased, kClusterBased };
 enum class AggregationMethod { kMajorityVote, kDawidSkene };
 
+/// \brief In what order — and whether — candidate pairs are put to the
+/// crowd (core/question_policy.h; the selection layer on WorkflowDriver).
+enum class QuestionPolicyKind {
+  /// Ask every pair, in the machine pass' (a, b)-sorted order — today's
+  /// behavior, bitwise unchanged (golden-pinned).
+  kFixedOrder,
+  /// Adaptive selection: between sub-rounds the driver folds the answers
+  /// into a graph::AnswerClosure, skips every pair the closure already
+  /// implies (recording it as *inferred* instead of crowdsourcing it), and
+  /// ranks the rest by expected information gain — machine likelihood
+  /// weighted by the records' current cluster sizes (the degree /
+  /// component-size heuristic of "Select Your Questions Wisely",
+  /// Yalavarthi et al.). In streaming mode selection reorders only within
+  /// the resident partition (the stream's global order is the partition
+  /// sequence). Results are deterministic but not byte-identical to
+  /// kFixedOrder — fewer pairs reach the crowd.
+  kInferenceOrdered,
+};
+
 /// \brief How the machine pass finds candidate pairs (footnote 1 of the
 /// paper: indexing techniques avoid the all-pairs comparison).
 enum class CandidateStrategy {
@@ -112,6 +131,19 @@ struct WorkflowConfig {
   /// it).
   uint64_t crowd_partition_pairs = 0;
 
+  // ---- Question selection (core/question_policy.h). ----
+  /// Which pairs reach the crowd, and in what order. kFixedOrder is the
+  /// bitwise-pinned default; kInferenceOrdered skips closure-implied pairs
+  /// and asks the most informative ones first.
+  QuestionPolicyKind question_policy = QuestionPolicyKind::kFixedOrder;
+  /// kInferenceOrdered only: pairs asked per selection sub-round — the
+  /// granularity at which the closure gets to veto questions (smaller =
+  /// more inference opportunities, more rounds). 0 = auto:
+  /// max(2 * pairs_per_hit, |P| / 64), so a run stays within ~64 sub-rounds
+  /// per context at any scale. Rounded up to a multiple of pairs_per_hit
+  /// for pair-based HITs (whole HITs per sub-round).
+  uint64_t selection_batch_pairs = 0;
+
   // ---- HIT generation. ----
   HitType hit_type = HitType::kClusterBased;
   /// Cluster-size threshold k (cluster-based HITs).
@@ -172,6 +204,10 @@ struct CrowdRoundStats {
   double fleiss_kappa = 0.0;
   /// Workers newly banned by the filter after this round.
   uint32_t workers_banned = 0;
+  /// Pairs the answer closure resolved without crowdsourcing while this
+  /// round was being selected (kInferenceOrdered only — the per-round
+  /// savings; always 0 under kFixedOrder).
+  uint64_t pairs_inferred = 0;
 };
 
 struct WorkflowResult {
@@ -195,6 +231,14 @@ struct WorkflowResult {
   /// filter). Their votes were excluded from the aggregated decisions but
   /// remain in crowd_stats for auditing.
   std::vector<uint32_t> filtered_workers;
+  /// Candidate pairs actually posted to the crowd. Under kFixedOrder this
+  /// is every candidate pair (when crowd rounds ran at all); under
+  /// kInferenceOrdered, the pairs the closure could not resolve.
+  uint64_t crowd_pairs_asked = 0;
+  /// Pairs whose verdict was inferred from the answer closure instead of
+  /// crowdsourced (kInferenceOrdered only; 0 under kFixedOrder). Inferred
+  /// verdicts enter `ranked` with probability 1.0 / 0.0.
+  uint64_t pairs_inferred = 0;
   uint64_t total_matches = 0;
   /// Per-stage timings and stream/spill counters. Informational — never part
   /// of the byte-identity contract between execution modes.

@@ -1,0 +1,73 @@
+#include "graph/answer_closure.h"
+
+namespace crowder {
+namespace graph {
+
+AnswerClosure::AnswerClosure(uint32_t num_records)
+    : num_records_(num_records), dsu_(num_records) {}
+
+void AnswerClosure::AddAnswer(uint32_t a, uint32_t b, bool is_match) {
+  if (a == b || a >= num_records_ || b >= num_records_) return;
+  ++num_answers_;
+  uint32_t ra = dsu_.Find(a);
+  uint32_t rb = dsu_.Find(b);
+
+  if (!is_match) {
+    if (ra == rb) {
+      // Connected but voted apart: match evidence dominates (file comment).
+      ++num_contradictions_;
+      return;
+    }
+    enemies_[ra].insert(rb);
+    enemies_[rb].insert(ra);
+    return;
+  }
+
+  if (ra == rb) return;  // already implied; nothing to fold
+  auto between = enemies_.find(ra);
+  if (between != enemies_.end() && between->second.count(rb) != 0) {
+    // The clusters were enemy-constrained and are now voted together: the
+    // union wins, the constraint dies.
+    ++num_contradictions_;
+    between->second.erase(rb);
+    enemies_[rb].erase(ra);
+  }
+  dsu_.Union(ra, rb);
+  const uint32_t winner = dsu_.Find(ra);
+  const uint32_t loser = winner == ra ? rb : ra;
+
+  // Re-key the retired root's enemy constraints under the surviving root so
+  // every stored endpoint remains a current root. A constraint both sides
+  // carried is deduplicated by the set; a constraint that would now point at
+  // the winner itself cannot exist (it was erased above).
+  auto retired = enemies_.find(loser);
+  if (retired != enemies_.end()) {
+    for (const uint32_t enemy : retired->second) {
+      enemies_[enemy].erase(loser);
+      enemies_[enemy].insert(winner);
+      enemies_[winner].insert(enemy);
+    }
+    enemies_.erase(retired);
+  }
+}
+
+std::optional<bool> AnswerClosure::Infer(uint32_t a, uint32_t b) {
+  if (a >= num_records_ || b >= num_records_) return std::nullopt;
+  if (a == b) return true;
+  const uint32_t ra = dsu_.Find(a);
+  const uint32_t rb = dsu_.Find(b);
+  if (ra == rb) return true;
+  const auto it = enemies_.find(ra);
+  if (it != enemies_.end() && it->second.count(rb) != 0) return false;
+  return std::nullopt;
+}
+
+void AnswerClosure::Reset() {
+  dsu_ = UnionFind(num_records_);
+  enemies_.clear();
+  num_answers_ = 0;
+  num_contradictions_ = 0;
+}
+
+}  // namespace graph
+}  // namespace crowder

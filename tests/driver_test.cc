@@ -496,6 +496,206 @@ TEST(AsyncCrowdTest, AsyncBackendFinishWithUndeliveredVotesIsRejected) {
   EXPECT_TRUE(rest.complete);
 }
 
+// ---------------------------------------------------------------------------
+// Adaptive selection at the driver seam: a vote naming a closure-resolved
+// pair is a clean protocol error (no latch — the corrected batch goes
+// through), and a worker ban can un-infer a pair, which the driver then
+// conservatively re-asks (driver.h's retraction contract).
+// ---------------------------------------------------------------------------
+
+// Five records engineered so the machine pass admits exactly four pairs:
+// (0,1) and (3,4) at Jaccard 1.0, (0,2) and (1,2) at 2/3. Once (0,1) and
+// (0,2) are answered "match", (1,2) is decided by transitive closure.
+data::Dataset TinyChain() {
+  data::Dataset dataset;
+  dataset.name = "tiny-chain";
+  dataset.table.attribute_names = {"name"};
+  dataset.table.records = {{"alpha beta"},
+                           {"alpha beta"},
+                           {"alpha beta gamma"},
+                           {"delta epsilon"},
+                           {"delta epsilon"}};
+  dataset.truth.entity_of = {0, 0, 0, 1, 1};
+  return dataset;
+}
+
+WorkflowConfig TinyAdaptiveConfig() {
+  WorkflowConfig config;
+  config.likelihood_threshold = 0.35;
+  config.hit_type = HitType::kPairBased;
+  config.pairs_per_hit = 1;
+  config.aggregation = AggregationMethod::kMajorityVote;
+  config.question_policy = QuestionPolicyKind::kInferenceOrdered;
+  config.selection_batch_pairs = 1;  // one question per sub-round
+  config.crowd.assignments_per_hit = 1;
+  config.seed = 5;
+  return config;
+}
+
+// Answers every pair in the pending batch truthfully as one worker.
+crowd::VoteBatch OracleAnswer(const crowd::HitBatch& batch,
+                              const std::vector<uint32_t>& entity_of, uint32_t worker_id) {
+  crowd::VoteBatch votes;
+  for (size_t i = 0; i < batch.pair_hits->size(); ++i) {
+    crowd::HitVotes hv;
+    hv.hit = batch.first_hit + static_cast<uint32_t>(i);
+    for (const graph::Edge& e : (*batch.pair_hits)[i].pairs) {
+      crowd::PairVote pv;
+      pv.a = e.a;
+      pv.b = e.b;
+      pv.vote.worker_id = worker_id;
+      pv.vote.says_match = entity_of[e.a] == entity_of[e.b];
+      hv.votes.push_back(pv);
+    }
+    crowd::AssignmentRecord rec;
+    rec.hit = hv.hit;
+    rec.duration_seconds = 3.0;
+    rec.comparisons = hv.votes.size();
+    votes.assignments.push_back(rec);
+    votes.hit_votes.push_back(std::move(hv));
+  }
+  return votes;
+}
+
+// The single pair the one-question sub-round posted.
+graph::Edge PendingPair(const WorkflowDriver& driver) {
+  const crowd::HitBatch& batch = driver.PendingHits();
+  EXPECT_EQ(batch.num_hits(), 1u);
+  EXPECT_EQ((*batch.pair_hits)[0].pairs.size(), 1u);
+  return (*batch.pair_hits)[0].pairs[0];
+}
+
+TEST(AdaptiveDriverTest, VoteOnClosureResolvedPairIsACleanNonLatchingError) {
+  const data::Dataset dataset = TinyChain();
+  WorkflowDriver driver(TinyAdaptiveConfig());
+  ASSERT_TRUE(driver.Start(dataset).ok());
+
+  // Sub-round 1: the highest-gain pair is (0,1). Sub-round 2: with cluster
+  // {0,1} formed, (0,2)'s gain doubles past (3,4)'s. Both answered "match"
+  // ⇒ the closure resolves (1,2) by transitivity.
+  graph::Edge asked = PendingPair(driver);
+  EXPECT_EQ(asked.a, 0u);
+  EXPECT_EQ(asked.b, 1u);
+  ASSERT_TRUE(
+      driver.SubmitVotes(OracleAnswer(driver.PendingHits(), dataset.truth.entity_of, 1)).ok());
+  ASSERT_TRUE(driver.Step().ok());
+
+  asked = PendingPair(driver);
+  EXPECT_EQ(asked.a, 0u);
+  EXPECT_EQ(asked.b, 2u);
+  ASSERT_TRUE(
+      driver.SubmitVotes(OracleAnswer(driver.PendingHits(), dataset.truth.entity_of, 1)).ok());
+  ASSERT_TRUE(driver.Step().ok());
+
+  // Sub-round 3 asks the one pair left un-inferred: (3,4).
+  ASSERT_FALSE(driver.done());
+  asked = PendingPair(driver);
+  EXPECT_EQ(asked.a, 3u);
+  EXPECT_EQ(asked.b, 4u);
+
+  // A batch that also answers the inferred pair (1,2) is refused by name —
+  // a clean protocol error, because the pair was deliberately never posted.
+  crowd::VoteBatch hostile = OracleAnswer(driver.PendingHits(), dataset.truth.entity_of, 1);
+  crowd::PairVote on_inferred;
+  on_inferred.a = 1;
+  on_inferred.b = 2;
+  on_inferred.vote.worker_id = 1;
+  on_inferred.vote.says_match = true;
+  hostile.hit_votes.front().votes.push_back(on_inferred);
+  const Status rejected = driver.SubmitVotes(std::move(hostile));
+  EXPECT_TRUE(rejected.IsInvalidArgument());
+  EXPECT_NE(rejected.message().find("already resolved by the answer closure"),
+            std::string::npos)
+      << rejected;
+
+  // No latch: nothing was filed, and the corrected batch completes the run
+  // with the inferred verdict in the output.
+  ASSERT_TRUE(
+      driver.SubmitVotes(OracleAnswer(driver.PendingHits(), dataset.truth.entity_of, 1)).ok());
+  ASSERT_TRUE(driver.Step().ok());
+  ASSERT_TRUE(driver.done());
+  auto result = driver.TakeResult();
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  EXPECT_EQ(result->num_candidate_pairs, 4u);
+  EXPECT_EQ(result->crowd_pairs_asked, 3u);
+  EXPECT_EQ(result->pairs_inferred, 1u);
+  for (const auto& rp : result->ranked) {
+    EXPECT_GT(rp.score, 0.5) << "(" << rp.a << "," << rp.b << ")";  // all truly match
+  }
+}
+
+// Bans a scripted worker on the Nth round review, nobody else ever.
+struct ScriptedBanFilter : crowd::WorkerFilter {
+  uint32_t target = 0;
+  int reviews_until_ban = 0;
+  std::vector<uint32_t> Review(const std::vector<crowd::WorkerStats>&) override {
+    if (--reviews_until_ban == 0) return {target};
+    return {};
+  }
+};
+
+TEST(AdaptiveDriverTest, BanCanUnInferAPairWhichIsThenReAsked) {
+  // Rounds 1-2 establish (0,1) and (0,2) as matches — round 2 answered by
+  // worker 7 alone — so (1,2) is inferred. The round-3 review bans worker 7:
+  // (0,2)'s only vote dies, the closure rebuild can no longer derive (1,2),
+  // and the driver must retract the inference and re-ask (1,2) as a real
+  // question rather than silently keeping a verdict it can no longer prove.
+  const data::Dataset dataset = TinyChain();
+  WorkflowDriver driver(TinyAdaptiveConfig());
+  ScriptedBanFilter filter;
+  filter.target = 7;
+  filter.reviews_until_ban = 3;
+  driver.SetWorkerFilter(&filter);
+  ASSERT_TRUE(driver.Start(dataset).ok());
+
+  graph::Edge asked = PendingPair(driver);  // (0,1), worker 1
+  EXPECT_EQ(asked.a, 0u);
+  EXPECT_EQ(asked.b, 1u);
+  ASSERT_TRUE(
+      driver.SubmitVotes(OracleAnswer(driver.PendingHits(), dataset.truth.entity_of, 1)).ok());
+  ASSERT_TRUE(driver.Step().ok());
+
+  asked = PendingPair(driver);  // (0,2), worker 7 — the vote the ban kills
+  EXPECT_EQ(asked.a, 0u);
+  EXPECT_EQ(asked.b, 2u);
+  ASSERT_TRUE(
+      driver.SubmitVotes(OracleAnswer(driver.PendingHits(), dataset.truth.entity_of, 7)).ok());
+  ASSERT_TRUE(driver.Step().ok());
+
+  asked = PendingPair(driver);  // (3,4); this round's review bans worker 7
+  EXPECT_EQ(asked.a, 3u);
+  EXPECT_EQ(asked.b, 4u);
+  ASSERT_TRUE(
+      driver.SubmitVotes(OracleAnswer(driver.PendingHits(), dataset.truth.entity_of, 1)).ok());
+  ASSERT_TRUE(driver.Step().ok());
+
+  // The retraction: (1,2) — inferred until the ban — is back as a question,
+  // and answering it is accepted (it is no longer closure-resolved).
+  ASSERT_FALSE(driver.done()) << "retraction must re-ask the un-inferred pair";
+  asked = PendingPair(driver);
+  EXPECT_EQ(asked.a, 1u);
+  EXPECT_EQ(asked.b, 2u);
+  ASSERT_TRUE(
+      driver.SubmitVotes(OracleAnswer(driver.PendingHits(), dataset.truth.entity_of, 1)).ok());
+  ASSERT_TRUE(driver.Step().ok());
+  ASSERT_TRUE(driver.done());
+
+  auto result = driver.TakeResult();
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  EXPECT_EQ(result->crowd_pairs_asked, 4u);  // the retraction cost one re-ask
+  EXPECT_EQ(result->pairs_inferred, 0u);     // nothing inferred survived
+  ASSERT_EQ(result->filtered_workers.size(), 1u);
+  EXPECT_EQ(result->filtered_workers[0], 7u);
+  // One round reported the (later retracted) inference as its saving.
+  uint64_t per_round = 0;
+  for (const auto& round : result->crowd_rounds) per_round += round.pairs_inferred;
+  EXPECT_EQ(per_round, 1u);
+  // (1,2) was decided by its re-asked vote, not the dead inference.
+  for (const auto& rp : result->ranked) {
+    if (rp.a == 1 && rp.b == 2) EXPECT_GT(rp.score, 0.5);
+  }
+}
+
 }  // namespace
 }  // namespace core
 }  // namespace crowder

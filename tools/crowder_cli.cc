@@ -16,6 +16,7 @@
 //                   [--crowd sim|record:FILE|replay:FILE]
 //                   [--spammer-fraction F] [--colluder-fraction F]
 //                   [--sleeper-fraction F] [--filter-workers] [--async-crowd]
+//                   [--select fixed|adaptive]
 //                   [--machine-only] [--matches OUT.csv] [--merged OUT.csv]
 //       Runs the full hybrid workflow (simulated crowd) on a dataset CSV
 //       produced by `generate` (or any CSV with __source/__entity columns),
@@ -58,7 +59,13 @@
 //       votes out of order and in partial batches under the arrival-time
 //       model. Any of the three adds the crowd-agreement (Fleiss' kappa)
 //       line to the report; --filter-workers also reports banned workers.
-//       The default report (no such flags) is byte-for-byte unchanged.
+//       --select picks the question-selection policy (core/question_policy.h):
+//       `fixed` (default) asks every candidate pair in HIT order; `adaptive`
+//       re-ranks the remaining questions between sub-rounds by expected
+//       information gain and skips pairs the answer closure already decides,
+//       adding a "question selection" line (pairs asked / inferred) to the
+//       report. The default report (no such flags) is byte-for-byte
+//       unchanged.
 //
 //   crowder_cli plan --in FILE --budget DOLLARS [--k 10] [--threads N]
 //       Evaluates the cost/recall tradeoff across thresholds and recommends
@@ -150,6 +157,7 @@ int Usage() {
                   [--partition-pairs N] [--crowd sim|record:FILE|replay:FILE]
                   [--spammer-fraction F] [--colluder-fraction F]
                   [--sleeper-fraction F] [--filter-workers] [--async-crowd]
+                  [--select fixed|adaptive]
                   [--machine-only] [--matches OUT.csv] [--merged OUT.csv]
   crowder_cli plan --in FILE --budget DOLLARS [--k 10] [--threads N]
   crowder_cli serve-batch --in FILE [--threshold 0.3] [--auto-match F]
@@ -343,6 +351,14 @@ Status Run(const Args& args) {
   config.filter_workers = args.Has("filter-workers");
   config.async_crowd = args.Has("async-crowd");
 
+  const std::string select = args.Get("select", "fixed");
+  if (select == "adaptive") {
+    config.question_policy = core::QuestionPolicyKind::kInferenceOrdered;
+  } else if (select != "fixed") {
+    return Status::InvalidArgument("unknown --select '" + select +
+                                   "' (use fixed or adaptive)");
+  }
+
   const std::string hit_type = args.Get("hit-type", "cluster");
   if (hit_type == "pair") {
     config.hit_type = core::HitType::kPairBased;
@@ -420,6 +436,11 @@ Status Run(const Args& args) {
   }
   std::cout << "candidate pairs:    " << WithThousands(result.num_candidate_pairs)
             << " (machine recall " << FormatDouble(100 * result.machine_recall, 1) << "%)\n";
+  // Adaptive-only line, so the default report's bytes stay golden-stable.
+  if (config.question_policy == core::QuestionPolicyKind::kInferenceOrdered) {
+    std::cout << "question selection: adaptive (" << WithThousands(result.crowd_pairs_asked)
+              << " pairs asked, " << WithThousands(result.pairs_inferred) << " inferred)\n";
+  }
   std::cout << "HITs:               " << result.crowd_stats.num_hits << " ("
             << (config.hit_type == core::HitType::kPairBased ? "pair-based" : "cluster-based")
             << ", " << args.Get("algorithm", "two-tiered") << ")\n";
