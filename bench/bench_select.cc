@@ -8,11 +8,25 @@
 // on either dataset: strictly fewer crowd assignments at equal-or-better
 // mean F1.
 //
+// The second section is the Mazumdar–Saha query-complexity yardstick
+// (PAPERS.md, "A Theoretical Analysis of First Heuristics of Crowdsourced
+// Entity Resolution"): clustering the n' records of the candidate graph
+// into its k' ground-truth clusters needs at least n'-k' pairwise queries
+// even from a perfect oracle (a spanning forest of the clusters), and
+// Theta(n'k') in the noisy no-side-information regime. The yardstick runs
+// the adaptive policy at increasing crowd noise (spammer fraction of the
+// worker pool) and reports #questions against both bounds — how much of
+// the gap to the noiseless bound the inferred-answer closure recovers, and
+// how far the machine pass's side information keeps us from the n'k'
+// regime. Observational: the curve is recorded, not gated.
+//
 // Environment knobs (smoke defaults in parentheses):
 //   CROWDER_SELECT_RESTAURANT_SCALE  Restaurant scale_factor (1)
 //   CROWDER_SELECT_PRODUCT_SCALE     ProductDup scale_factor (2)
 //   CROWDER_SELECT_SEEDS             seeds per config, averaged (3)
 //   CROWDER_SELECT_THREADS           num_threads for every run (1)
+#include <set>
+
 #include "bench/bench_common.h"
 
 namespace crowder {
@@ -97,6 +111,105 @@ bool Compare(const std::string& label, const data::Dataset& dataset, double thre
   return cheaper && as_good;
 }
 
+// ---- Mazumdar–Saha query-complexity yardstick. ----
+
+// Ground-truth cluster structure of the candidate graph — the universe the
+// crowd actually clusters after the machine pass prunes everything else.
+struct ClusterBounds {
+  uint64_t nodes = 0;             // n': records in >= 1 candidate pair
+  uint64_t clusters = 0;          // k': ground-truth entities among them
+  uint64_t noiseless_bound = 0;   // n' - k': perfect-oracle spanning forest
+  uint64_t noisy_regime_bound = 0;  // n' * k': no-side-information regime
+};
+
+ClusterBounds CandidateClusterBounds(const data::Dataset& dataset, double threshold) {
+  const auto candidates =
+      core::HybridWorkflow::MachinePass(dataset, similarity::SetMeasure::kJaccard, threshold)
+          .ValueOrDie();
+  std::vector<bool> in_graph(dataset.table.num_records(), false);
+  for (const auto& pair : candidates) in_graph[pair.a] = in_graph[pair.b] = true;
+  std::set<uint32_t> entities;
+  ClusterBounds bounds;
+  for (uint32_t id = 0; id < in_graph.size(); ++id) {
+    if (!in_graph[id]) continue;
+    ++bounds.nodes;
+    entities.insert(dataset.truth.entity_of[id]);
+  }
+  bounds.clusters = entities.size();
+  bounds.noiseless_bound = bounds.nodes - bounds.clusters;
+  bounds.noisy_regime_bound = bounds.nodes * bounds.clusters;
+  return bounds;
+}
+
+// One point on the noise curve: the adaptive policy with the given spammer
+// fraction (honest workers keep their default reliable:noisy composition).
+PolicyNumbers RunAtNoise(const data::Dataset& dataset, double threshold, uint32_t threads,
+                         uint64_t num_seeds, double spammer_fraction) {
+  PolicyNumbers out;
+  WallTimer timer;
+  for (uint64_t seed = 1; seed <= num_seeds; ++seed) {
+    core::WorkflowConfig config;
+    config.likelihood_threshold = threshold;
+    config.hit_type = core::HitType::kPairBased;
+    config.pairs_per_hit = 10;
+    config.filter_workers = true;
+    config.num_threads = threads;
+    config.question_policy = core::QuestionPolicyKind::kInferenceOrdered;
+    config.seed = seed;
+    const double honest = 1.0 - spammer_fraction;
+    config.crowd.reliable_fraction = honest * (0.66 / 0.92);
+    config.crowd.noisy_fraction = honest * (0.26 / 0.92);
+    const auto result = core::HybridWorkflow(config).Run(dataset).ValueOrDie();
+    out.mean_f1 += eval::BestF1(result.pr_curve);
+    out.assignments += result.crowd_stats.num_assignments;
+    out.pairs_asked += result.crowd_pairs_asked;
+    out.pairs_inferred += result.pairs_inferred;
+  }
+  out.mean_f1 /= static_cast<double>(num_seeds);
+  out.seconds = timer.ElapsedSeconds();
+  return out;
+}
+
+void QueryComplexityCurve(const data::Dataset& dataset, double threshold, uint32_t threads,
+                          uint64_t num_seeds, std::string* json) {
+  const ClusterBounds bounds = CandidateClusterBounds(dataset, threshold);
+  std::cout << "\nquery-complexity yardstick (productdup candidate graph): n' = "
+            << WithThousands(bounds.nodes) << " records, k' = " << WithThousands(bounds.clusters)
+            << " clusters\n";
+  std::cout << "  noiseless lower bound n'-k' = " << WithThousands(bounds.noiseless_bound)
+            << ", noisy no-side-info regime n'*k' = " << WithThousands(bounds.noisy_regime_bound)
+            << "\n";
+
+  *json += ",\n  \"query_complexity\": {\n";
+  *json += "    \"candidate_nodes\": " + std::to_string(bounds.nodes) + ",\n";
+  *json += "    \"candidate_clusters\": " + std::to_string(bounds.clusters) + ",\n";
+  *json += "    \"noiseless_lower_bound\": " + std::to_string(bounds.noiseless_bound) + ",\n";
+  *json += "    \"noisy_regime_bound\": " + std::to_string(bounds.noisy_regime_bound) + ",\n";
+  *json += "    \"curve\": [\n";
+  const double fractions[] = {0.0, 0.1, 0.2, 0.3};
+  for (size_t i = 0; i < 4; ++i) {
+    const double f = fractions[i];
+    const PolicyNumbers point = RunAtNoise(dataset, threshold, threads, num_seeds, f);
+    // Seed-averaged questions, so the ratio compares one run to the bound.
+    const double asked = static_cast<double>(point.pairs_asked) / static_cast<double>(num_seeds);
+    const double ratio = bounds.noiseless_bound == 0
+                             ? 0.0
+                             : asked / static_cast<double>(bounds.noiseless_bound);
+    std::cout << "  spammers " << Pct(f) << ": " << FormatDouble(asked, 1)
+              << " pairs asked/seed (" << FormatDouble(ratio, 2) << "x the noiseless bound, "
+              << Pct(asked / static_cast<double>(bounds.noisy_regime_bound))
+              << " of the n'*k' regime), mean best F1 " << Pct(point.mean_f1) << "\n";
+    *json += "      {\"spammer_fraction\": " + FormatDouble(f, 2) +
+             ", \"pairs_asked_per_seed\": " + FormatDouble(asked, 1) +
+             ", \"pairs_inferred\": " + std::to_string(point.pairs_inferred) +
+             ", \"assignments\": " + std::to_string(point.assignments) +
+             ", \"ratio_to_noiseless_bound\": " + FormatDouble(ratio, 3) +
+             ", \"mean_best_f1\": " + FormatDouble(point.mean_f1, 4) + "}" +
+             (i + 1 < 4 ? "," : "") + "\n";
+  }
+  *json += "    ]\n  }";
+}
+
 int Main() {
   const double restaurant_scale = EnvDouble("CROWDER_SELECT_RESTAURANT_SCALE", 1.0);
   const double product_scale = EnvDouble("CROWDER_SELECT_PRODUCT_SCALE", 2.0);
@@ -124,6 +237,7 @@ int Main() {
   const bool restaurant_ok = Compare("restaurant", restaurant, 0.3, threads, num_seeds, &json);
   json += ",\n";
   const bool product_ok = Compare("productdup", product, 0.5, threads, num_seeds, &json);
+  QueryComplexityCurve(product, 0.5, threads, num_seeds, &json);
 
   std::cout << "\nJSON for BENCH_select.json:\n{\n" << json << "\n}\n";
   return restaurant_ok && product_ok ? 0 : 1;

@@ -185,7 +185,34 @@ Status MachinePassStage::Run(WorkflowState* state) {
   WorkflowResult& result = state->result;
 
   uint64_t candidate_matches = 0;
-  if (IsStreaming(*state)) {
+  if (config.num_shards >= 2) {
+    // Sharded machine pass (src/shard/): N workers, one owned band each,
+    // merged through a PairStream's k-way merge — byte-identical to the
+    // single-process pass (the ownership lemma + merge-identity argument,
+    // shard/plan.h). Both execution modes route through the stream; the
+    // materialized mode then rejoins its usual representation via
+    // MaterializeSorted, which IS the sorted scan, so downstream stages see
+    // the same bytes either way.
+    shard::ShardExecOptions exec;
+    exec.num_shards = config.num_shards;
+    exec.worker_path = config.shard_worker_path;
+    const bool streaming = IsStreaming(*state);
+    PairStream local_stream(config.memory_budget_bytes);
+    PairStream* stream = streaming ? &state->stream : &local_stream;
+    CROWDER_ASSIGN_OR_RETURN(
+        const auto stream_stats,
+        HybridWorkflow::MachinePassSharded(*state->dataset, config.measure,
+                                           config.likelihood_threshold, exec, stream,
+                                           &result.shard_stats));
+    result.num_candidate_pairs = stream_stats.num_pairs;
+    candidate_matches = stream_stats.candidate_matches;
+    if (streaming) {
+      result.pipeline_stats.streamed_pairs = stream_stats.num_pairs;
+      result.pipeline_stats.spilled_bytes = stream_stats.spilled_bytes;
+    } else {
+      CROWDER_ASSIGN_OR_RETURN(result.candidate_pairs, local_stream.MaterializeSorted());
+    }
+  } else if (IsStreaming(*state)) {
     // Stream bounded blocks through state->stream, where the pairs stay for
     // the rest of the run: the crowd boundary consumes them partition by
     // partition and the final ranked pass re-scans them, so the full sorted

@@ -113,6 +113,38 @@ Result<HybridWorkflow::MachineStreamStats> HybridWorkflow::MachinePassStream(
   return stats;
 }
 
+Result<HybridWorkflow::MachineStreamStats> HybridWorkflow::MachinePassSharded(
+    const data::Dataset& dataset, similarity::SetMeasure measure, double threshold,
+    const shard::ShardExecOptions& exec, PairStream* stream,
+    shard::ShardRunStats* shard_run_stats) {
+  CROWDER_CHECK(stream != nullptr);
+  CROWDER_RETURN_NOT_OK(dataset.Validate());
+  similarity::JoinInput input =
+      internal::BuildJoinInput(dataset, CandidateStrategy::kAllPairsJoin, nullptr);
+
+  similarity::JoinOptions options;
+  options.measure = measure;
+  options.threshold = threshold;
+
+  // The coordinator hands over blocks that are internally (a, b)-sorted
+  // with disjoint pair sets across shards (shard/coordinator.h) — exactly
+  // the PairStream::Append contract, so the stream's k-way merge
+  // reproduces the single-process SortPairs order byte-for-byte.
+  MachineStreamStats stats;
+  CROWDER_RETURN_NOT_OK(shard::RunShardedJoin(
+      input, options, exec,
+      [&](std::vector<similarity::ScoredPair>&& block) {
+        stats.num_pairs += block.size();
+        stats.candidate_matches += internal::CountCandidateMatches(dataset, block);
+        return stream->Append(std::move(block));
+      },
+      shard_run_stats));
+  CROWDER_RETURN_NOT_OK(stream->Finish());
+  stats.spilled_bytes = stream->spilled_bytes();
+  stats.num_blocks = stream->num_blocks();
+  return stats;
+}
+
 Status ValidateWorkflowConfig(const WorkflowConfig& config) {
   if (config.likelihood_threshold < 0.0 || config.likelihood_threshold > 1.0) {
     return Status::InvalidArgument("likelihood_threshold must be in [0,1]");
@@ -136,6 +168,18 @@ Status ValidateWorkflowConfig(const WorkflowConfig& config) {
         "streaming execution with cluster-based HITs requires the two-tiered "
         "generator (the only cluster algorithm whose decomposition is "
         "component-local and therefore partitionable)");
+  }
+  if (config.num_shards >= 2) {
+    if (config.candidate_strategy != CandidateStrategy::kAllPairsJoin) {
+      return Status::InvalidArgument(
+          "the sharded machine pass (num_shards >= 2) requires the kAllPairsJoin "
+          "candidate strategy");
+    }
+    if (config.likelihood_threshold <= 0.0) {
+      return Status::InvalidArgument(
+          "the sharded machine pass (num_shards >= 2) requires a positive "
+          "likelihood_threshold (prefix filtering degenerates at 0)");
+    }
   }
   const crowd::CrowdModel& crowd = config.crowd;
   if (crowd.assignments_per_hit < 1) {

@@ -28,6 +28,7 @@
 #include "data/dataset.h"
 #include "eval/metrics.h"
 #include "hitgen/cluster_generator.h"
+#include "shard/coordinator.h"
 #include "similarity/similarity_join.h"
 
 namespace crowder {
@@ -130,6 +131,19 @@ struct WorkflowConfig {
   /// value yields identical output (the partitioned golden dimension pins
   /// it).
   uint64_t crowd_partition_pairs = 0;
+
+  // ---- Sharded machine pass (src/shard/; docs/ARCHITECTURE.md). ----
+  /// Number of worker shards the machine pass is split across. 0 or 1 runs
+  /// the single-process pass (unchanged, golden-pinned bytes). >= 2 runs
+  /// the sharded runtime — requires kAllPairsJoin and a positive
+  /// likelihood_threshold (prefix filtering degenerates at 0) — whose
+  /// merged candidate list is byte-identical to the single-process pass at
+  /// any shard count, in both execution modes.
+  uint32_t num_shards = 0;
+  /// Path to the crowder_shardd worker binary. Empty runs every shard
+  /// worker in-process (same frames, same bytes, no subprocesses — the
+  /// transport the tests and TSan use).
+  std::string shard_worker_path;
 
   // ---- Question selection (core/question_policy.h). ----
   /// Which pairs reach the crowd, and in what order. kFixedOrder is the
@@ -243,6 +257,9 @@ struct WorkflowResult {
   /// Per-stage timings and stream/spill counters. Informational — never part
   /// of the byte-identity contract between execution modes.
   PipelineStats pipeline_stats;
+  /// Sharded machine pass only (num_shards >= 2): per-shard wall/CPU/RSS
+  /// and coordinator timings. Informational, like pipeline_stats.
+  shard::ShardRunStats shard_stats;
 };
 
 /// \brief End-to-end CrowdER pipeline over a Dataset.
@@ -298,6 +315,22 @@ class HybridWorkflow {
                                                       double threshold, uint32_t num_threads,
                                                       PairStream* stream,
                                                       uint32_t block_records = 0);
+
+  /// The sharded machine pass (kAllPairsJoin only, threshold > 0): plans
+  /// the shard bands, runs `exec.num_shards` workers — crowder_shardd
+  /// subprocesses when `exec.worker_path` is set, in-process otherwise —
+  /// and feeds their sorted, disjoint owned pair blocks into `stream`,
+  /// whose k-way-merged sorted scan is byte-identical to MachinePass /
+  /// MachinePassStream over the same dataset (the ownership lemma and
+  /// merge-identity argument live in shard/plan.h, shard/coordinator.h and
+  /// docs/ARCHITECTURE.md). `shard_run_stats` (optional) receives the
+  /// per-shard wall/CPU/RSS and coordinator timings.
+  static Result<MachineStreamStats> MachinePassSharded(const data::Dataset& dataset,
+                                                       similarity::SetMeasure measure,
+                                                       double threshold,
+                                                       const shard::ShardExecOptions& exec,
+                                                       PairStream* stream,
+                                                       shard::ShardRunStats* shard_run_stats);
 
  private:
   WorkflowConfig config_;

@@ -1,0 +1,88 @@
+// The shard planner: how one AllPairs join is split across N workers so
+// that every qualifying pair is owned by exactly one shard and the merged
+// output is byte-identical to the single-process join.
+//
+// The plan is built on the join's own canonical processing order — the
+// JoinPlan `by_size` sequence (non-decreasing token-set size, ties by
+// record id; see similarity/join_internal.h). Each shard *owns* one
+// contiguous band of positions in that order, balanced by cumulative token
+// count. Ownership of a pair follows the pair's LATER endpoint in the
+// order: the endpoint that would probe the index in the single-process
+// join. That makes ownership a pure function of the plan — no
+// coordination, no duplicates.
+//
+// Completeness needs the earlier endpoint to be present on the owner
+// shard, so each shard additionally receives a *replica* band: the
+// contiguous run of positions directly below its owned band whose sizes
+// are still admissible partners for some owned record. The band's lower
+// edge comes from the same order-symmetric prefix-filtering bounds the
+// join itself uses (internal::ComputePrefixBounds): any y qualifying with
+// an owned record x has |y| >= min_partner(|x|), so taking
+// m = min over owned non-empty records of min_partner(size) and shipping
+// every earlier position of size >= m covers every possible earlier
+// endpoint. Sizes are non-decreasing along the order, so that set is one
+// contiguous position range found by binary search — the "deterministic
+// replica routing" of the runtime.
+//
+// The ownership lemma the shard tests pin:
+//   * every record is owned by exactly one shard (the owned bands
+//     partition [0, n));
+//   * every qualifying pair (threshold > 0) is emitted by exactly one
+//     shard — the owner of its later endpoint, on which the earlier
+//     endpoint is present as an owned record or a replica.
+#ifndef CROWDER_SHARD_PLAN_H_
+#define CROWDER_SHARD_PLAN_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/result.h"
+#include "similarity/similarity_join.h"
+
+namespace crowder {
+namespace shard {
+
+/// \brief One shard's slice of the by_size position order. Positions in
+/// [replica_begin, owned_begin) are shipped as replicas (indexed, never
+/// probed); positions in [owned_begin, owned_end) are owned (probed and
+/// indexed). Invariant: replica_begin <= owned_begin <= owned_end.
+struct ShardAssignment {
+  uint64_t replica_begin = 0;
+  uint64_t owned_begin = 0;
+  uint64_t owned_end = 0;
+
+  uint64_t num_owned() const { return owned_end - owned_begin; }
+  uint64_t num_replicas() const { return owned_begin - replica_begin; }
+};
+
+/// \brief The full plan: the canonical processing order plus one
+/// assignment per shard. Pure function of (input, options, num_shards) —
+/// building it twice yields identical contents, which is what lets the
+/// coordinator and the tests reason about the same bands.
+struct ShardPlan {
+  /// Record ids in non-decreasing token-set-size order, ties by id —
+  /// byte-identical to the JoinPlan::by_size the single-process join
+  /// builds over the same input.
+  std::vector<uint32_t> by_size;
+  /// Owned bands partition [0, by_size.size()); ascending, contiguous.
+  std::vector<ShardAssignment> shards;
+
+  uint32_t num_shards() const { return static_cast<uint32_t>(shards.size()); }
+
+  /// \brief The shard owning position `pos` (linear in num_shards).
+  uint32_t OwnerOfPosition(uint64_t pos) const;
+};
+
+/// \brief Builds the plan. Requires 1 <= num_shards and a positive
+/// threshold (at threshold <= 0 prefix filtering degenerates and the
+/// sharded runtime refuses the job — the single-process exhaustive join is
+/// the only exact implementation there). Owned bands are balanced by
+/// cumulative token count (records weigh size + 1, so empty records still
+/// move the balance); shards beyond the record count get empty bands.
+Result<ShardPlan> BuildShardPlan(const similarity::JoinInput& input,
+                                 const similarity::JoinOptions& options, uint32_t num_shards);
+
+}  // namespace shard
+}  // namespace crowder
+
+#endif  // CROWDER_SHARD_PLAN_H_

@@ -1,0 +1,136 @@
+#include "shard/process.h"
+
+#include <errno.h>
+#include <fcntl.h>
+#include <signal.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <cstring>
+#include <mutex>
+#include <utility>
+
+namespace crowder {
+namespace shard {
+
+namespace {
+
+void IgnoreSigpipeOnce() {
+  static std::once_flag flag;
+  std::call_once(flag, [] { ::signal(SIGPIPE, SIG_IGN); });
+}
+
+}  // namespace
+
+WorkerProcess::WorkerProcess(pid_t pid, std::unique_ptr<FrameTransport> transport,
+                             std::string name)
+    : pid_(pid), transport_(std::move(transport)), name_(std::move(name)) {}
+
+WorkerProcess::WorkerProcess(WorkerProcess&& other) noexcept
+    : pid_(other.pid_),
+      transport_(std::move(other.transport_)),
+      name_(std::move(other.name_)),
+      reaped_(other.reaped_) {
+  other.reaped_ = true;
+}
+
+WorkerProcess& WorkerProcess::operator=(WorkerProcess&& other) noexcept {
+  if (this != &other) {
+    KillAndReap();
+    pid_ = other.pid_;
+    transport_ = std::move(other.transport_);
+    name_ = std::move(other.name_);
+    reaped_ = other.reaped_;
+    other.reaped_ = true;
+  }
+  return *this;
+}
+
+WorkerProcess::~WorkerProcess() { KillAndReap(); }
+
+void WorkerProcess::KillAndReap() {
+  if (reaped_) return;
+  reaped_ = true;
+  // Close our pipe ends first so a worker blocked on I/O unblocks, then
+  // make sure it is gone. The SIGKILL is a no-op for a worker that already
+  // exited; waitpid reaps it either way (no zombies on error paths).
+  transport_.reset();
+  ::kill(pid_, SIGKILL);
+  int wstatus = 0;
+  while (::waitpid(pid_, &wstatus, 0) < 0 && errno == EINTR) {
+  }
+}
+
+Status WorkerProcess::Wait() {
+  if (reaped_) return Status::OK();
+  reaped_ = true;
+  int wstatus = 0;
+  pid_t got;
+  while ((got = ::waitpid(pid_, &wstatus, 0)) < 0 && errno == EINTR) {
+  }
+  if (got < 0) {
+    return Status::IOError(name_ + ": waitpid failed: " + std::strerror(errno));
+  }
+  if (WIFSIGNALED(wstatus)) {
+    return Status::IOError(name_ + ": killed by signal " + std::to_string(WTERMSIG(wstatus)));
+  }
+  if (WIFEXITED(wstatus) && WEXITSTATUS(wstatus) != 0) {
+    return Status::IOError(name_ + ": exited with status " +
+                           std::to_string(WEXITSTATUS(wstatus)));
+  }
+  return Status::OK();
+}
+
+Result<WorkerProcess> SpawnWorkerProcess(const std::string& worker_path, uint32_t shard_index,
+                                         uint32_t num_shards) {
+  IgnoreSigpipeOnce();
+  if (::access(worker_path.c_str(), X_OK) != 0) {
+    return Status::InvalidArgument("shard worker binary not executable: " + worker_path);
+  }
+  int to_child[2];
+  int from_child[2];
+  if (::pipe(to_child) != 0) {
+    return Status::IOError(std::string("pipe() failed: ") + std::strerror(errno));
+  }
+  if (::pipe(from_child) != 0) {
+    const int saved = errno;
+    ::close(to_child[0]);
+    ::close(to_child[1]);
+    return Status::IOError(std::string("pipe() failed: ") + std::strerror(saved));
+  }
+
+  const pid_t pid = ::fork();
+  if (pid < 0) {
+    const int saved = errno;
+    ::close(to_child[0]);
+    ::close(to_child[1]);
+    ::close(from_child[0]);
+    ::close(from_child[1]);
+    return Status::IOError(std::string("fork() failed: ") + std::strerror(saved));
+  }
+  if (pid == 0) {
+    // Child: pipes become stdin/stdout, everything else is inherited.
+    ::dup2(to_child[0], STDIN_FILENO);
+    ::dup2(from_child[1], STDOUT_FILENO);
+    ::close(to_child[0]);
+    ::close(to_child[1]);
+    ::close(from_child[0]);
+    ::close(from_child[1]);
+    const std::string index_arg = std::to_string(shard_index);
+    const char* argv[] = {worker_path.c_str(), "worker", index_arg.c_str(), nullptr};
+    ::execv(worker_path.c_str(), const_cast<char* const*>(argv));
+    // Exec failed; nothing sane to do but exit loudly (the coordinator sees
+    // EOF + a non-zero exit status).
+    ::_exit(127);
+  }
+  ::close(to_child[0]);
+  ::close(from_child[1]);
+  const std::string name =
+      "shard " + std::to_string(shard_index) + "/" + std::to_string(num_shards) + " worker (pid " +
+      std::to_string(pid) + ")";
+  auto transport = std::make_unique<PipeTransport>(from_child[0], to_child[1], name);
+  return WorkerProcess(pid, std::move(transport), name);
+}
+
+}  // namespace shard
+}  // namespace crowder

@@ -1,0 +1,57 @@
+// Subprocess management for the sharded runtime: fork/exec of the
+// crowder_shardd worker binary with a pipe pair per worker, and the
+// guard that guarantees no zombies and no hangs on error paths.
+#ifndef CROWDER_SHARD_PROCESS_H_
+#define CROWDER_SHARD_PROCESS_H_
+
+#include <sys/types.h>
+
+#include <memory>
+#include <string>
+
+#include "common/result.h"
+#include "shard/transport.h"
+
+namespace crowder {
+namespace shard {
+
+/// \brief One spawned worker: its pid and the coordinator-side transport
+/// (worker stdin/stdout are the pipe ends). Movable, not copyable; if the
+/// process was never reaped, the destructor SIGKILLs and reaps it — error
+/// paths can simply drop the handle.
+class WorkerProcess {
+ public:
+  WorkerProcess(pid_t pid, std::unique_ptr<FrameTransport> transport, std::string name);
+  ~WorkerProcess();
+  WorkerProcess(WorkerProcess&&) noexcept;
+  WorkerProcess& operator=(WorkerProcess&&) noexcept;
+
+  FrameTransport* transport() { return transport_.get(); }
+  pid_t pid() const { return pid_; }
+
+  /// Waits for the worker to exit; non-zero exit or a signal death is an
+  /// IOError naming the worker. Idempotent.
+  Status Wait();
+
+ private:
+  void KillAndReap();
+
+  pid_t pid_;
+  std::unique_ptr<FrameTransport> transport_;
+  std::string name_;
+  bool reaped_ = false;
+};
+
+/// \brief Spawns `worker_path` as shard `shard_index` of `num_shards`:
+/// fork, wire a pipe pair to the child's stdin/stdout, exec
+/// `worker_path worker <shard_index>`. Installs SIG_IGN for SIGPIPE once
+/// per process (a dead worker must surface as an EPIPE IOError, not kill
+/// the coordinator). The argv shard index is cosmetic (ps-visible); the
+/// authoritative index travels in the kJobSpec frame.
+Result<WorkerProcess> SpawnWorkerProcess(const std::string& worker_path, uint32_t shard_index,
+                                         uint32_t num_shards);
+
+}  // namespace shard
+}  // namespace crowder
+
+#endif  // CROWDER_SHARD_PROCESS_H_

@@ -1,0 +1,198 @@
+#include "shard/worker.h"
+
+#include <sys/resource.h>
+#include <sys/time.h>
+
+#include <algorithm>
+#include <chrono>
+#include <string>
+#include <utility>
+
+#include "similarity/join_internal.h"
+
+namespace crowder {
+namespace shard {
+
+namespace {
+
+double RusageCpuMs(const rusage& ru) {
+  const auto tv_ms = [](const timeval& tv) {
+    return static_cast<double>(tv.tv_sec) * 1e3 + static_cast<double>(tv.tv_usec) * 1e-3;
+  };
+  return tv_ms(ru.ru_utime) + tv_ms(ru.ru_stime);
+}
+
+}  // namespace
+
+Status ShardWorkerJob::Feed(const Frame& frame) {
+  if (sealed_) return Status::IOError("shard job frame after kJobSealed");
+  switch (frame.type) {
+    case FrameType::kJobSpec: {
+      if (have_spec_) return Status::IOError("duplicate kJobSpec frame");
+      CROWDER_ASSIGN_OR_RETURN(spec_, DecodeJobSpec(frame));
+      have_spec_ = true;
+      global_ids_.reserve(spec_.num_records);
+      positions_.reserve(spec_.num_records);
+      owned_.reserve(spec_.num_records);
+      input_.sets.reserve(spec_.num_records);
+      return Status::OK();
+    }
+    case FrameType::kRecordBatch: {
+      if (!have_spec_) return Status::IOError("kRecordBatch before kJobSpec");
+      CROWDER_ASSIGN_OR_RETURN(auto entries, DecodeRecordBatch(frame));
+      for (auto& e : entries) {
+        if (!positions_.empty() && e.position <= positions_.back()) {
+          return Status::IOError("shard spec records out of position order");
+        }
+        global_ids_.push_back(e.global_id);
+        positions_.push_back(e.position);
+        owned_.push_back(e.owned ? 1 : 0);
+        input_.sets.push_back(std::move(e.tokens));
+        if (spec_.has_sources) input_.sources.push_back(e.source);
+      }
+      return Status::OK();
+    }
+    case FrameType::kJobSealed: {
+      if (!have_spec_) return Status::IOError("kJobSealed before kJobSpec");
+      sealed_ = true;
+      return Status::OK();
+    }
+    default:
+      return Status::IOError("unexpected frame type " +
+                             std::to_string(static_cast<uint32_t>(frame.type)) +
+                             " in shard job spec");
+  }
+}
+
+Result<std::vector<Frame>> ShardWorkerJob::ExecuteOrError(size_t pairs_per_frame) {
+  if (!sealed_) return Status::Internal("shard job executed before kJobSealed");
+  if (global_ids_.size() != spec_.num_records) {
+    return Status::IOError("shard spec promised " + std::to_string(spec_.num_records) +
+                           " records, received " + std::to_string(global_ids_.size()));
+  }
+  const similarity::JoinOptions options{spec_.measure, spec_.threshold};
+  if (options.threshold <= 0.0) {
+    return Status::InvalidArgument("shard worker requires a positive threshold");
+  }
+  CROWDER_RETURN_NOT_OK(similarity::ValidateJoin(input_, options));
+  // Records arrive in ascending global by_size-position order, which is
+  // non-decreasing in size — the local stable sort must be the identity so
+  // the local processing order is the global order restricted to this slice.
+  for (size_t i = 1; i < input_.sets.size(); ++i) {
+    if (input_.sets[i].size() < input_.sets[i - 1].size()) {
+      return Status::IOError("shard spec records not in size order");
+    }
+  }
+
+  const auto wall_begin = std::chrono::steady_clock::now();
+  rusage ru_begin{};
+  getrusage(RUSAGE_SELF, &ru_begin);
+
+  WorkerStats stats;
+  std::vector<similarity::ScoredPair> out;
+  const uint32_t n = static_cast<uint32_t>(input_.sets.size());
+  if (n > 0) {
+    // The AllPairs loop of similarity_join.cc with the owned-probe
+    // restriction. The plan re-ranks tokens by LOCAL frequency — a
+    // different bijection than the global join's, which changes candidate
+    // generation but never the verified overlap, sizes, or score (the
+    // order-symmetric lemma of join_internal.h holds under any one total
+    // token order).
+    const similarity::internal::JoinPlan plan =
+        similarity::internal::BuildJoinPlan(input_, options);
+    std::vector<std::vector<uint32_t>> postings(plan.num_ranks);
+    std::vector<uint32_t> candidates;
+    std::vector<char> seen(n, 0);
+    for (uint32_t rec : plan.by_size) {
+      const similarity::TokenSpan tokens = plan.ranked(rec);
+      if (tokens.empty()) continue;
+      const size_t prefix_len = plan.prefix_len[rec];
+      if (owned_[rec]) {
+        const size_t min_partner = plan.min_partner[rec];
+        candidates.clear();
+        for (size_t p = 0; p < prefix_len; ++p) {
+          for (uint32_t other : postings[tokens[p]]) {
+            if (seen[other]) continue;
+            seen[other] = 1;
+            candidates.push_back(other);
+          }
+        }
+        for (uint32_t other : candidates) {
+          seen[other] = 0;
+          if (plan.ranked_size(other) < min_partner) continue;
+          if (!similarity::internal::Admissible(input_, rec, other)) continue;
+          ++stats.pair_verifications;
+          double sim;
+          if (similarity::internal::VerifyPair(options.measure, options.threshold, tokens,
+                                               plan.ranked(other), &sim)) {
+            const uint32_t ga = global_ids_[rec];
+            const uint32_t gb = global_ids_[other];
+            out.push_back({std::min(ga, gb), std::max(ga, gb), sim});
+          }
+        }
+      }
+      for (size_t p = 0; p < prefix_len; ++p) postings[tokens[p]].push_back(rec);
+    }
+  }
+  // Canonical output order: global (a, b) ascending, so every kPairBatch
+  // frame is a contiguous chunk of a sorted sequence (the PairStream
+  // k-way-merge contract on the coordinator side).
+  similarity::SortPairs(&out);
+
+  const auto wall_end = std::chrono::steady_clock::now();
+  rusage ru_end{};
+  getrusage(RUSAGE_SELF, &ru_end);
+  stats.num_pairs = out.size();
+  for (uint8_t o : owned_) {
+    if (o) ++stats.owned_records;
+  }
+  stats.replica_records = owned_.size() - stats.owned_records;
+  stats.wall_ms = std::chrono::duration<double, std::milli>(wall_end - wall_begin).count();
+  stats.cpu_ms = RusageCpuMs(ru_end) - RusageCpuMs(ru_begin);
+  stats.max_rss_kb = static_cast<uint64_t>(ru_end.ru_maxrss);
+
+  std::vector<Frame> frames;
+  if (pairs_per_frame == 0) pairs_per_frame = 65536;
+  for (size_t begin = 0; begin < out.size(); begin += pairs_per_frame) {
+    const size_t end = std::min(out.size(), begin + pairs_per_frame);
+    frames.push_back(EncodePairBatch(out, begin, end));
+  }
+  frames.push_back(EncodeWorkerDone(stats));
+  return frames;
+}
+
+std::vector<Frame> ShardWorkerJob::Execute(size_t pairs_per_frame) {
+  auto result = ExecuteOrError(pairs_per_frame);
+  if (result.ok()) return std::move(result).ValueOrDie();
+  WorkerError error;
+  error.code = result.status().code();
+  error.message = result.status().message();
+  return {EncodeWorkerError(error)};
+}
+
+Status RunShardWorker(FrameTransport* transport) {
+  ShardWorkerJob job;
+  Status feed_status;
+  while (!job.sealed()) {
+    auto frame = transport->Recv();
+    if (!frame.ok()) return frame.status();
+    feed_status = job.Feed(frame.ValueOrDie());
+    if (!feed_status.ok()) break;
+  }
+  std::vector<Frame> frames;
+  if (feed_status.ok()) {
+    frames = job.Execute();
+  } else {
+    WorkerError error;
+    error.code = feed_status.code();
+    error.message = feed_status.message();
+    frames.push_back(EncodeWorkerError(error));
+  }
+  for (const Frame& frame : frames) {
+    CROWDER_RETURN_NOT_OK(transport->Send(frame));
+  }
+  return transport->CloseSend();
+}
+
+}  // namespace shard
+}  // namespace crowder

@@ -1,0 +1,69 @@
+// The shard worker: consumes one job spec (proto.h frames), runs the
+// prefix-filtering join over its slice, and produces the shard's owned
+// pair list plus run statistics.
+//
+// The join is the single-process AllPairs algorithm with one restriction:
+// only OWNED records probe the inverted index; replicas are indexed but
+// never probe. Records arrive in ascending global by_size-position order,
+// so the local processing order is the global order restricted to the
+// slice — the record that probes for a pair locally is exactly the record
+// that probes for it in the single-process join. Combined with
+// internal::VerifyPair being a pure function of (sizes, overlap) — and a
+// token-rank bijection preserving both — every emitted score is bitwise
+// the single-process score, and the emitted pair set is exactly the pairs
+// this shard owns (probe side owned ⇔ later endpoint owned).
+#ifndef CROWDER_SHARD_WORKER_H_
+#define CROWDER_SHARD_WORKER_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/result.h"
+#include "shard/proto.h"
+#include "shard/transport.h"
+
+namespace crowder {
+namespace shard {
+
+/// \brief Accumulates one job from decoded spec frames, then executes it.
+/// Frame order: kJobSpec, kRecordBatch*, kJobSealed. Invalid jobs (bad
+/// frame order, positions out of order, token sets unsorted) surface from
+/// Execute as a single kWorkerError frame — the transport stays healthy so
+/// the coordinator reads a clean error instead of an EOF.
+class ShardWorkerJob {
+ public:
+  /// Feeds one spec frame. Returns IOError on malformed frames or
+  /// protocol-order violations.
+  Status Feed(const Frame& frame);
+
+  /// True once kJobSealed was fed.
+  bool sealed() const { return sealed_; }
+
+  /// Runs the join and returns the result stream: kPairBatch frames of at
+  /// most `pairs_per_frame` pairs (each a contiguous chunk of the shard's
+  /// (a, b)-sorted owned pair list) followed by kWorkerDone — or a single
+  /// kWorkerError frame when the job was invalid.
+  std::vector<Frame> Execute(size_t pairs_per_frame = 65536);
+
+ private:
+  Result<std::vector<Frame>> ExecuteOrError(size_t pairs_per_frame);
+
+  JobSpec spec_;
+  bool have_spec_ = false;
+  bool sealed_ = false;
+  std::vector<uint32_t> global_ids_;
+  std::vector<uint64_t> positions_;
+  std::vector<uint8_t> owned_;
+  similarity::JoinInput input_;
+};
+
+/// \brief The crowder_shardd main loop: Recv spec frames until kJobSealed,
+/// execute, Send every result frame, CloseSend. Job-level failures travel
+/// to the coordinator as kWorkerError frames (and return OK here);
+/// transport failures — the coordinator died — are returned.
+Status RunShardWorker(FrameTransport* transport);
+
+}  // namespace shard
+}  // namespace crowder
+
+#endif  // CROWDER_SHARD_WORKER_H_

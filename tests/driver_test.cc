@@ -692,7 +692,9 @@ TEST(AdaptiveDriverTest, BanCanUnInferAPairWhichIsThenReAsked) {
   EXPECT_EQ(per_round, 1u);
   // (1,2) was decided by its re-asked vote, not the dead inference.
   for (const auto& rp : result->ranked) {
-    if (rp.a == 1 && rp.b == 2) EXPECT_GT(rp.score, 0.5);
+    if (rp.a == 1 && rp.b == 2) {
+      EXPECT_GT(rp.score, 0.5);
+    }
   }
 }
 

@@ -1,0 +1,523 @@
+// Property sweep for the sharded runtime (src/shard/): the ownership lemma,
+// the merge-identity contract, the wire protocol, and the failure paths.
+//
+//   * Plan properties — over random inputs, the owned bands partition the
+//     by_size order, every qualifying pair (brute-forced with NaiveJoin) is
+//     owned by exactly one shard, and that shard holds the pair's earlier
+//     endpoint in its replica or owned band.
+//   * Merge identity — RunShardedJoin through the in-process transport fed
+//     into a core::PairStream produces, at shards {1, 2, 4, 7} across all
+//     four measures and a positive-threshold grid, a sorted pair list
+//     bitwise identical to single-process AllPairsJoin (same pairs, same
+//     IEEE-754 score bits).
+//   * Protocol — encode/decode round trips for every frame type; corrupt
+//     frames (truncated, trailing bytes, bad magic/version) are rejected.
+//   * Failure paths — a worker that reports an error, a transport that dies
+//     mid-stream, and a subprocess worker that exits without results all
+//     surface as a clean Status naming the shard, with no hang and no
+//     zombie.
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "common/rng.h"
+#include "core/pipeline.h"
+#include "shard/coordinator.h"
+#include "shard/plan.h"
+#include "shard/proto.h"
+#include "shard/transport.h"
+#include "shard/worker.h"
+#include "similarity/similarity_join.h"
+
+namespace crowder {
+namespace shard {
+namespace {
+
+using similarity::JoinInput;
+using similarity::JoinOptions;
+using similarity::ScoredPair;
+using similarity::SetMeasure;
+
+struct RandomCase {
+  uint64_t seed = 0;
+  size_t n = 0;
+  uint32_t vocab = 0;
+  size_t max_len = 0;
+  bool allow_empty_sets = false;
+  bool two_sources = false;
+  SetMeasure measure = SetMeasure::kJaccard;
+  double threshold = 0.3;
+
+  std::string Describe() const {
+    return "seed=" + std::to_string(seed) + " n=" + std::to_string(n) +
+           " vocab=" + std::to_string(vocab) + " max_len=" + std::to_string(max_len) +
+           " empty=" + std::to_string(allow_empty_sets) +
+           " two_sources=" + std::to_string(two_sources) +
+           " measure=" + std::to_string(static_cast<int>(measure)) +
+           " threshold=" + std::to_string(threshold);
+  }
+};
+
+RandomCase DrawCase(Rng* rng) {
+  static const SetMeasure kMeasures[] = {SetMeasure::kJaccard, SetMeasure::kDice,
+                                         SetMeasure::kCosine, SetMeasure::kOverlapCoefficient};
+  // Positive thresholds only: the sharded runtime refuses threshold <= 0 by
+  // contract (prefix filtering degenerates there).
+  static const double kThresholds[] = {0.05, 0.1, 0.2, 0.3, 0.4, 0.5, 0.7, 0.9, 1.0};
+  RandomCase c;
+  c.seed = rng->Next64();
+  c.n = 8 + rng->Uniform(96);
+  c.vocab = 4 + static_cast<uint32_t>(rng->Uniform(120));
+  c.max_len = 1 + rng->Uniform(12);
+  c.allow_empty_sets = rng->Uniform(4) == 0;
+  c.two_sources = rng->Uniform(2) == 0;
+  c.measure = kMeasures[rng->Uniform(4)];
+  c.threshold = kThresholds[rng->Uniform(sizeof(kThresholds) / sizeof(kThresholds[0]))];
+  return c;
+}
+
+JoinInput GenerateInput(const RandomCase& c) {
+  Rng rng(c.seed);
+  JoinInput input;
+  input.sets.reserve(c.n);
+  for (size_t i = 0; i < c.n; ++i) {
+    std::vector<text::TokenId> tokens;
+    const size_t min_len = c.allow_empty_sets ? 0 : 1;
+    const size_t len = min_len + rng.Uniform(c.max_len + 1 - min_len);
+    for (size_t t = 0; t < len; ++t) {
+      tokens.push_back(static_cast<text::TokenId>(rng.Zipf(c.vocab, 0.9)));
+    }
+    input.sets.push_back(similarity::MakeTokenSet(std::move(tokens)));
+    if (c.two_sources) input.sources.push_back(static_cast<int>(rng.Uniform(2)));
+  }
+  return input;
+}
+
+JoinOptions OptionsOf(const RandomCase& c) {
+  JoinOptions options;
+  options.measure = c.measure;
+  options.threshold = c.threshold;
+  return options;
+}
+
+/// Runs the sharded join through the in-process transport and merges the
+/// blocks the way production does: core::PairStream + MaterializeSorted.
+/// Also asserts the sink-side block contract (internally sorted).
+Result<std::vector<ScoredPair>> RunShardedMerged(const JoinInput& input,
+                                                 const JoinOptions& options,
+                                                 uint32_t num_shards,
+                                                 ShardRunStats* stats) {
+  ShardExecOptions exec;
+  exec.num_shards = num_shards;
+  core::PairStream stream;
+  CROWDER_RETURN_NOT_OK(RunShardedJoin(
+      input, options, exec,
+      [&](std::vector<ScoredPair>&& block) {
+        for (size_t i = 1; i < block.size(); ++i) {
+          const bool sorted = block[i - 1].a < block[i].a ||
+                              (block[i - 1].a == block[i].a && block[i - 1].b < block[i].b);
+          if (!sorted) return Status::Internal("sink block not internally sorted");
+        }
+        return stream.Append(std::move(block));
+      },
+      stats));
+  CROWDER_RETURN_NOT_OK(stream.Finish());
+  return stream.MaterializeSorted();
+}
+
+TEST(ShardPlanProperty, BandsPartitionAndPairsAreOwnedOnce) {
+  Rng master(20260808);
+  constexpr int kCases = 60;
+  static const uint32_t kShards[] = {1, 2, 4, 7};
+  for (int i = 0; i < kCases; ++i) {
+    const RandomCase c = DrawCase(&master);
+    const JoinInput input = GenerateInput(c);
+    const JoinOptions options = OptionsOf(c);
+    const uint32_t num_shards = kShards[i % 4];
+    const std::string context =
+        "case " + std::to_string(i) + " shards=" + std::to_string(num_shards) + ": " +
+        c.Describe();
+
+    auto plan = BuildShardPlan(input, options, num_shards);
+    ASSERT_TRUE(plan.ok()) << plan.status().ToString() << "; " << context;
+    ASSERT_EQ(plan->by_size.size(), input.sets.size()) << context;
+    ASSERT_EQ(plan->shards.size(), num_shards) << context;
+
+    // by_size is the join's canonical order: non-decreasing size, ties by id.
+    for (size_t p = 1; p < plan->by_size.size(); ++p) {
+      const size_t prev = input.sets[plan->by_size[p - 1]].size();
+      const size_t cur = input.sets[plan->by_size[p]].size();
+      ASSERT_TRUE(prev < cur || (prev == cur && plan->by_size[p - 1] < plan->by_size[p]))
+          << "by_size order broken at position " << p << "; " << context;
+    }
+
+    // Owned bands partition [0, n); replicas sit directly below their band.
+    uint64_t expect_begin = 0;
+    for (uint32_t s = 0; s < num_shards; ++s) {
+      const ShardAssignment& a = plan->shards[s];
+      ASSERT_EQ(a.owned_begin, expect_begin) << "band gap at shard " << s << "; " << context;
+      ASSERT_LE(a.owned_begin, a.owned_end) << context;
+      ASSERT_LE(a.replica_begin, a.owned_begin) << context;
+      expect_begin = a.owned_end;
+    }
+    ASSERT_EQ(expect_begin, input.sets.size()) << "bands do not cover [0, n); " << context;
+
+    // Every record owned exactly once is structural (contiguous partition);
+    // OwnerOfPosition must agree with the bands.
+    std::vector<uint64_t> position_of(input.sets.size());
+    for (uint64_t p = 0; p < plan->by_size.size(); ++p) {
+      position_of[plan->by_size[p]] = p;
+      const uint32_t owner = plan->OwnerOfPosition(p);
+      ASSERT_LT(owner, num_shards) << context;
+      ASSERT_GE(p, plan->shards[owner].owned_begin) << context;
+      ASSERT_LT(p, plan->shards[owner].owned_end) << context;
+    }
+
+    // The lemma against brute force: for every qualifying pair, the owner of
+    // the later endpoint holds the earlier endpoint in its shipped range.
+    auto truth = similarity::NaiveJoin(input, options);
+    ASSERT_TRUE(truth.ok()) << context;
+    for (const ScoredPair& pair : *truth) {
+      const uint64_t pa = position_of[pair.a];
+      const uint64_t pb = position_of[pair.b];
+      const uint64_t later = std::max(pa, pb);
+      const uint64_t earlier = std::min(pa, pb);
+      const uint32_t owner = plan->OwnerOfPosition(later);
+      ASSERT_GE(earlier, plan->shards[owner].replica_begin)
+          << "earlier endpoint of (" << pair.a << "," << pair.b
+          << ") missing from owner shard " << owner << "; " << context;
+    }
+  }
+}
+
+TEST(ShardJoinProperty, MergedOutputBitwiseEqualsAllPairsJoin) {
+  Rng master(77001);
+  constexpr int kCases = 40;
+  static const uint32_t kShards[] = {1, 2, 4, 7};
+  for (int i = 0; i < kCases; ++i) {
+    const RandomCase c = DrawCase(&master);
+    const JoinInput input = GenerateInput(c);
+    const JoinOptions options = OptionsOf(c);
+    auto serial = similarity::AllPairsJoin(input, options);
+    ASSERT_TRUE(serial.ok());
+    for (uint32_t num_shards : kShards) {
+      const std::string context =
+          "case " + std::to_string(i) + " shards=" + std::to_string(num_shards) + ": " +
+          c.Describe();
+      ShardRunStats stats;
+      auto merged = RunShardedMerged(input, options, num_shards, &stats);
+      ASSERT_TRUE(merged.ok()) << merged.status().ToString() << "; " << context;
+      ASSERT_EQ(serial->size(), merged->size()) << context;
+      for (size_t p = 0; p < serial->size(); ++p) {
+        ASSERT_EQ((*serial)[p].a, (*merged)[p].a) << "pair " << p << "; " << context;
+        ASSERT_EQ((*serial)[p].b, (*merged)[p].b) << "pair " << p << "; " << context;
+        ASSERT_EQ((*serial)[p].score, (*merged)[p].score)  // bitwise, not near
+            << "score of pair " << p << "; " << context;
+      }
+      // Stats must be consistent with the output and the plan.
+      ASSERT_EQ(stats.shards.size(), num_shards) << context;
+      ASSERT_EQ(stats.total_pairs, merged->size()) << context;
+      ASSERT_FALSE(stats.subprocess) << context;
+      uint64_t owned = 0;
+      uint64_t pairs = 0;
+      for (const WorkerStats& ws : stats.shards) {
+        owned += ws.owned_records;
+        pairs += ws.num_pairs;
+      }
+      ASSERT_EQ(owned, input.sets.size()) << context;
+      ASSERT_EQ(pairs, merged->size()) << context;
+    }
+  }
+}
+
+TEST(ShardJoinProperty, DegenerateInputs) {
+  JoinOptions options;
+  options.threshold = 0.5;
+  // Empty input, one record, fewer records than shards: all must merge to
+  // the (empty) single-process result without error.
+  for (size_t n : {size_t{0}, size_t{1}, size_t{3}}) {
+    JoinInput input;
+    for (size_t i = 0; i < n; ++i) {
+      input.sets.push_back(similarity::MakeTokenSet({static_cast<text::TokenId>(i)}));
+    }
+    auto serial = similarity::AllPairsJoin(input, options);
+    ASSERT_TRUE(serial.ok());
+    ShardRunStats stats;
+    auto merged = RunShardedMerged(input, options, 7, &stats);
+    ASSERT_TRUE(merged.ok()) << "n=" << n << ": " << merged.status().ToString();
+    EXPECT_EQ(serial->size(), merged->size()) << "n=" << n;
+  }
+}
+
+TEST(ShardJoin, RefusesInvalidConfigurations) {
+  JoinInput input;
+  input.sets.push_back(similarity::MakeTokenSet({1, 2}));
+  JoinOptions options;
+  options.threshold = 0.5;
+  const auto sink = [](std::vector<ScoredPair>&&) { return Status::OK(); };
+
+  ShardExecOptions zero_shards;
+  zero_shards.num_shards = 0;
+  EXPECT_TRUE(RunShardedJoin(input, options, zero_shards, sink, nullptr).IsInvalidArgument());
+
+  ShardExecOptions exec;
+  exec.num_shards = 2;
+  JoinOptions zero_threshold;
+  zero_threshold.threshold = 0.0;
+  EXPECT_TRUE(RunShardedJoin(input, zero_threshold, exec, sink, nullptr).IsInvalidArgument());
+}
+
+// ---- Wire protocol ---------------------------------------------------------
+
+TEST(ShardProto, RoundTripsEveryFrameType) {
+  JobSpec spec;
+  spec.shard_index = 3;
+  spec.num_shards = 7;
+  spec.measure = SetMeasure::kCosine;
+  spec.threshold = 0.37;
+  spec.has_sources = true;
+  spec.num_records = (uint64_t{1} << 33) + 5;  // 64-bit field, past 2^32
+  auto spec2 = DecodeJobSpec(EncodeJobSpec(spec));
+  ASSERT_TRUE(spec2.ok());
+  EXPECT_EQ(spec2->shard_index, spec.shard_index);
+  EXPECT_EQ(spec2->num_shards, spec.num_shards);
+  EXPECT_EQ(spec2->measure, spec.measure);
+  EXPECT_EQ(spec2->threshold, spec.threshold);  // bitwise
+  EXPECT_EQ(spec2->has_sources, spec.has_sources);
+  EXPECT_EQ(spec2->num_records, spec.num_records);
+
+  std::vector<RecordEntry> entries(2);
+  entries[0].global_id = 42;
+  entries[0].position = (uint64_t{1} << 32) + 7;  // position is 64-bit
+  entries[0].owned = true;
+  entries[0].source = -1;
+  entries[0].tokens = similarity::MakeTokenSet({5, 9, 1000000});
+  entries[1].global_id = 7;
+  entries[1].position = (uint64_t{1} << 32) + 8;
+  entries[1].owned = false;
+  entries[1].source = 1;
+  auto batch = DecodeRecordBatch(EncodeRecordBatch(entries, 0, entries.size()));
+  ASSERT_TRUE(batch.ok());
+  ASSERT_EQ(batch->size(), 2u);
+  EXPECT_EQ((*batch)[0].global_id, 42u);
+  EXPECT_EQ((*batch)[0].position, entries[0].position);
+  EXPECT_TRUE((*batch)[0].owned);
+  EXPECT_EQ((*batch)[0].source, -1);
+  EXPECT_EQ((*batch)[0].tokens, entries[0].tokens);
+  EXPECT_FALSE((*batch)[1].owned);
+
+  std::vector<ScoredPair> pairs = {{1, 2, 0.75}, {3, 4, 1.0 / 3.0}};
+  auto pairs2 = DecodePairBatch(EncodePairBatch(pairs, 0, pairs.size()));
+  ASSERT_TRUE(pairs2.ok());
+  ASSERT_EQ(pairs2->size(), 2u);
+  EXPECT_EQ((*pairs2)[1].a, 3u);
+  EXPECT_EQ((*pairs2)[1].score, 1.0 / 3.0);  // bitwise
+
+  WorkerStats stats;
+  stats.num_pairs = (uint64_t{1} << 35) + 1;  // pair counters are 64-bit
+  stats.pair_verifications = uint64_t{1} << 36;
+  stats.owned_records = 12;
+  stats.replica_records = 4;
+  stats.wall_ms = 1.5;
+  stats.cpu_ms = 0.5;
+  stats.max_rss_kb = 12345;
+  auto stats2 = DecodeWorkerDone(EncodeWorkerDone(stats));
+  ASSERT_TRUE(stats2.ok());
+  EXPECT_EQ(stats2->num_pairs, stats.num_pairs);
+  EXPECT_EQ(stats2->pair_verifications, stats.pair_verifications);
+  EXPECT_EQ(stats2->max_rss_kb, stats.max_rss_kb);
+
+  WorkerError error;
+  error.code = StatusCode::kInvalidArgument;
+  error.message = "sizes out of order";
+  auto error2 = DecodeWorkerError(EncodeWorkerError(error));
+  ASSERT_TRUE(error2.ok());
+  EXPECT_EQ(error2->code, StatusCode::kInvalidArgument);
+  EXPECT_EQ(error2->message, error.message);
+}
+
+TEST(ShardProto, RejectsCorruptFrames) {
+  JobSpec spec;
+  spec.threshold = 0.5;
+  Frame good = EncodeJobSpec(spec);
+
+  Frame truncated = good;
+  truncated.payload.pop_back();
+  EXPECT_FALSE(DecodeJobSpec(truncated).ok());
+
+  Frame trailing = good;
+  trailing.payload.push_back(0);
+  EXPECT_FALSE(DecodeJobSpec(trailing).ok());
+
+  Frame bad_magic = good;
+  bad_magic.payload[0] ^= 0xFF;
+  EXPECT_FALSE(DecodeJobSpec(bad_magic).ok());
+
+  Frame bad_version = good;
+  bad_version.payload[4] ^= 0xFF;
+  EXPECT_FALSE(DecodeJobSpec(bad_version).ok());
+
+  // A record batch whose declared count overruns the payload.
+  std::vector<RecordEntry> entries(1);
+  entries[0].tokens = similarity::MakeTokenSet({1, 2, 3});
+  Frame batch = EncodeRecordBatch(entries, 0, 1);
+  batch.payload[0] = 200;  // count u32 at offset 0
+  EXPECT_FALSE(DecodeRecordBatch(batch).ok());
+
+  Frame empty_pairs;
+  empty_pairs.type = FrameType::kPairBatch;
+  EXPECT_FALSE(DecodePairBatch(empty_pairs).ok());
+}
+
+// ---- Worker protocol-order and job validation ------------------------------
+
+TEST(ShardWorker, RejectsProtocolViolations) {
+  // Records before the spec.
+  {
+    ShardWorkerJob job;
+    std::vector<RecordEntry> entries(1);
+    entries[0].tokens = similarity::MakeTokenSet({1});
+    EXPECT_FALSE(job.Feed(EncodeRecordBatch(entries, 0, 1)).ok());
+  }
+  // Two specs.
+  {
+    ShardWorkerJob job;
+    JobSpec spec;
+    spec.threshold = 0.5;
+    ASSERT_TRUE(job.Feed(EncodeJobSpec(spec)).ok());
+    EXPECT_FALSE(job.Feed(EncodeJobSpec(spec)).ok());
+  }
+  // Positions out of order surface as a kWorkerError from Execute (the
+  // transport stays healthy; the coordinator reads a clean error).
+  {
+    ShardWorkerJob job;
+    JobSpec spec;
+    spec.threshold = 0.5;
+    spec.num_records = 2;
+    ASSERT_TRUE(job.Feed(EncodeJobSpec(spec)).ok());
+    std::vector<RecordEntry> entries(2);
+    entries[0].global_id = 0;
+    entries[0].position = 5;
+    entries[0].tokens = similarity::MakeTokenSet({1});
+    entries[1].global_id = 1;
+    entries[1].position = 4;  // violates ascending-position order
+    entries[1].tokens = similarity::MakeTokenSet({1, 2});
+    EXPECT_FALSE(job.Feed(EncodeRecordBatch(entries, 0, 2)).ok());
+  }
+}
+
+// ---- Failure paths ---------------------------------------------------------
+
+/// A worker-side transport that ignores the spec and replays a scripted
+/// result stream — the fault-injection hook for coordinator error handling.
+class ScriptedTransport : public FrameTransport {
+ public:
+  explicit ScriptedTransport(std::vector<Frame> replies) : replies_(std::move(replies)) {}
+
+  Status Send(const Frame&) override { return Status::OK(); }
+  Status CloseSend() override { return Status::OK(); }
+  Result<Frame> Recv() override {
+    if (next_ < replies_.size()) return replies_[next_++];
+    return Status::IOError("scripted worker died mid-stream");
+  }
+
+ private:
+  std::vector<Frame> replies_;
+  size_t next_ = 0;
+};
+
+JoinInput SmallInput() {
+  JoinInput input;
+  input.sets.push_back(similarity::MakeTokenSet({1, 2, 3}));
+  input.sets.push_back(similarity::MakeTokenSet({1, 2, 3}));
+  input.sets.push_back(similarity::MakeTokenSet({2, 3, 4}));
+  return input;
+}
+
+TEST(ShardCoordinator, SurfacesWorkerErrorFrameWithShardAndCode) {
+  JoinOptions options;
+  options.threshold = 0.5;
+  ShardExecOptions exec;
+  exec.num_shards = 2;
+  exec.transport_factory = [](uint32_t shard) -> Result<std::unique_ptr<FrameTransport>> {
+    if (shard == 1) {
+      WorkerError error;
+      error.code = StatusCode::kInvalidArgument;
+      error.message = "boom";
+      std::vector<Frame> replies;
+      replies.push_back(EncodeWorkerError(error));
+      return std::unique_ptr<FrameTransport>(new ScriptedTransport(std::move(replies)));
+    }
+    return std::unique_ptr<FrameTransport>(new InProcessTransport("test worker"));
+  };
+  const Status status = RunShardedJoin(
+      SmallInput(), options, exec, [](std::vector<ScoredPair>&&) { return Status::OK(); },
+      nullptr);
+  EXPECT_TRUE(status.IsInvalidArgument()) << status.ToString();
+  EXPECT_NE(status.ToString().find("shard 1"), std::string::npos) << status.ToString();
+  EXPECT_NE(status.ToString().find("boom"), std::string::npos) << status.ToString();
+}
+
+TEST(ShardCoordinator, SurfacesDeadTransportWithShard) {
+  JoinOptions options;
+  options.threshold = 0.5;
+  ShardExecOptions exec;
+  exec.num_shards = 2;
+  exec.transport_factory = [](uint32_t shard) -> Result<std::unique_ptr<FrameTransport>> {
+    if (shard == 0) {
+      return std::unique_ptr<FrameTransport>(new ScriptedTransport({}));  // dies on Recv
+    }
+    return std::unique_ptr<FrameTransport>(new InProcessTransport("test worker"));
+  };
+  const Status status = RunShardedJoin(
+      SmallInput(), options, exec, [](std::vector<ScoredPair>&&) { return Status::OK(); },
+      nullptr);
+  EXPECT_TRUE(status.IsIOError()) << status.ToString();
+  EXPECT_NE(status.ToString().find("shard 0"), std::string::npos) << status.ToString();
+}
+
+TEST(ShardCoordinator, SinkErrorAbortsTheRun) {
+  JoinOptions options;
+  options.threshold = 0.5;
+  ShardExecOptions exec;
+  exec.num_shards = 2;
+  const Status status = RunShardedJoin(
+      SmallInput(), options, exec,
+      [](std::vector<ScoredPair>&&) { return Status::OutOfRange("sink full"); },
+      nullptr);
+  EXPECT_TRUE(status.IsOutOfRange()) << status.ToString();
+}
+
+TEST(ShardCoordinator, KilledSubprocessWorkerSurfacesCleanly) {
+  // A worker binary that exits immediately without speaking the protocol:
+  // the stream ends without a terminal frame, which must surface as an
+  // IOError naming the shard — no hang, and the process is reaped.
+  JoinOptions options;
+  options.threshold = 0.5;
+  ShardExecOptions exec;
+  exec.num_shards = 2;
+  exec.worker_path = "/bin/true";
+  const Status status = RunShardedJoin(
+      SmallInput(), options, exec, [](std::vector<ScoredPair>&&) { return Status::OK(); },
+      nullptr);
+  EXPECT_TRUE(status.IsIOError()) << status.ToString();
+  EXPECT_NE(status.ToString().find("shard"), std::string::npos) << status.ToString();
+}
+
+TEST(ShardCoordinator, MissingWorkerBinaryIsAnError) {
+  JoinOptions options;
+  options.threshold = 0.5;
+  ShardExecOptions exec;
+  exec.num_shards = 2;
+  exec.worker_path = "/nonexistent/crowder_shardd";
+  const Status status = RunShardedJoin(
+      SmallInput(), options, exec, [](std::vector<ScoredPair>&&) { return Status::OK(); },
+      nullptr);
+  EXPECT_TRUE(status.IsInvalidArgument()) << status.ToString();
+}
+
+}  // namespace
+}  // namespace shard
+}  // namespace crowder

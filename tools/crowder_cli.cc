@@ -17,6 +17,7 @@
 //                   [--spammer-fraction F] [--colluder-fraction F]
 //                   [--sleeper-fraction F] [--filter-workers] [--async-crowd]
 //                   [--select fixed|adaptive]
+//                   [--shards N] [--shardd PATH]
 //                   [--machine-only] [--matches OUT.csv] [--merged OUT.csv]
 //       Runs the full hybrid workflow (simulated crowd) on a dataset CSV
 //       produced by `generate` (or any CSV with __source/__entity columns),
@@ -64,8 +65,18 @@
 //       re-ranks the remaining questions between sub-rounds by expected
 //       information gain and skips pairs the answer closure already decides,
 //       adding a "question selection" line (pairs asked / inferred) to the
-//       report. The default report (no such flags) is byte-for-byte
-//       unchanged.
+//       report. --shards N (N >= 2) runs the machine pass on the sharded
+//       multi-process runtime (src/shard/): the records are banded by
+//       blocking key across N crowder_shardd worker processes and the
+//       per-shard pair streams are merged back deterministically — the
+//       candidate pair list, and therefore every downstream byte (HITs,
+//       votes, ranked matches), is identical to the single-process run.
+//       --shardd names the worker binary; without it the CLI looks for
+//       crowder_shardd next to its own executable and falls back to
+//       in-process workers (same bytes, no subprocesses) with a notice.
+//       Sharding requires the allpairs strategy and a positive threshold,
+//       and adds a "shard workers" line to the report. The default report
+//       (no such flags) is byte-for-byte unchanged.
 //
 //   crowder_cli plan --in FILE --budget DOLLARS [--k 10] [--threads N]
 //       Evaluates the cost/recall tradeoff across thresholds and recommends
@@ -79,6 +90,8 @@
 //       transitive closure. Its `record,cluster` report (--report) is
 //       bitwise what crowder_serve / crowder_bench_serve produce for the
 //       same data and config — the smoke chain compares the files.
+#include <unistd.h>
+
 #include <algorithm>
 #include <cctype>
 #include <cstdlib>
@@ -157,7 +170,7 @@ int Usage() {
                   [--partition-pairs N] [--crowd sim|record:FILE|replay:FILE]
                   [--spammer-fraction F] [--colluder-fraction F]
                   [--sleeper-fraction F] [--filter-workers] [--async-crowd]
-                  [--select fixed|adaptive]
+                  [--select fixed|adaptive] [--shards N] [--shardd PATH]
                   [--machine-only] [--matches OUT.csv] [--merged OUT.csv]
   crowder_cli plan --in FILE --budget DOLLARS [--k 10] [--threads N]
   crowder_cli serve-batch --in FILE [--threshold 0.3] [--auto-match F]
@@ -217,6 +230,37 @@ Result<core::CandidateStrategy> StrategyFromName(const std::string& name) {
   return Status::InvalidArgument("unknown strategy '" + name + "'");
 }
 
+/// Where `--shards N` looks for the worker binary when --shardd is absent:
+/// crowder_shardd next to this executable (the build and the install lay the
+/// tools out side by side). Empty when that can't be resolved or the file is
+/// not executable — the caller falls back to in-process workers.
+std::string DefaultShardWorkerPath() {
+  char buf[4096];
+  const ssize_t len = ::readlink("/proc/self/exe", buf, sizeof(buf) - 1);
+  if (len <= 0) return "";
+  buf[len] = '\0';
+  std::string self(buf);
+  const std::size_t slash = self.find_last_of('/');
+  if (slash == std::string::npos) return "";
+  std::string candidate = self.substr(0, slash + 1) + "crowder_shardd";
+  if (::access(candidate.c_str(), X_OK) != 0) return "";
+  return candidate;
+}
+
+/// The sharded report line, printed by both the full workflow and
+/// --machine-only — and only when --shards >= 2, so the default report's
+/// bytes stay golden-stable.
+void PrintShardReport(const crowder::shard::ShardRunStats& stats) {
+  uint64_t verifications = 0;
+  for (const auto& shard : stats.shards) verifications += shard.pair_verifications;
+  std::cout << "shard workers:      " << stats.shards.size() << " ("
+            << (stats.subprocess ? "subprocess" : "in-process") << "; "
+            << WithThousands(verifications) << " verifications; plan "
+            << FormatDouble(stats.plan_wall_ms, 1) << "ms, ship "
+            << FormatDouble(stats.ship_wall_ms, 1) << "ms, gather "
+            << FormatDouble(stats.gather_wall_ms, 1) << "ms)\n";
+}
+
 std::string FormatBytes(uint64_t bytes) {
   if (bytes >= (1ULL << 30)) {
     return FormatDouble(static_cast<double>(bytes) / (1 << 30), 1) + " GiB";
@@ -241,12 +285,31 @@ Status RunMachineOnly(const data::Dataset& dataset,
     return Status::InvalidArgument("dataset has no matching pairs; nothing to resolve");
   }
   const bool streaming = config.execution_mode == core::ExecutionMode::kStreaming;
+  const bool sharded = config.num_shards >= 2;
   WallTimer timer;
   uint64_t num_pairs = 0;
   uint64_t candidate_matches = 0;
   uint64_t spilled = 0;
   uint64_t resident = 0;
-  if (streaming) {
+  shard::ShardRunStats shard_stats;
+  if (sharded) {
+    // The sharded machine pass always routes through a PairStream (its
+    // k-way merge is what restores the global pair order); --streaming
+    // just bounds the stream's resident bytes.
+    shard::ShardExecOptions exec;
+    exec.num_shards = config.num_shards;
+    exec.worker_path = config.shard_worker_path;
+    core::PairStream stream(streaming ? config.memory_budget_bytes : 0);
+    CROWDER_ASSIGN_OR_RETURN(
+        const auto stats,
+        core::HybridWorkflow::MachinePassSharded(dataset, config.measure,
+                                                 config.likelihood_threshold, exec,
+                                                 &stream, &shard_stats));
+    num_pairs = stats.num_pairs;
+    candidate_matches = stats.candidate_matches;
+    spilled = stats.spilled_bytes;
+    resident = stream.memory_bytes();
+  } else if (streaming) {
     core::PairStream stream(config.memory_budget_bytes);
     CROWDER_ASSIGN_OR_RETURN(
         const auto stats,
@@ -280,6 +343,7 @@ Status RunMachineOnly(const data::Dataset& dataset,
               << FormatBytes(spilled) << ")";
   }
   std::cout << "\n";
+  if (sharded) PrintShardReport(shard_stats);
   std::cout << "candidate pairs:    " << WithThousands(num_pairs) << " (machine recall "
             << FormatDouble(100 * recall, 1) << "%)\n";
   std::cout << "machine time:       " << FormatDouble(seconds, 2) << "s ("
@@ -359,6 +423,26 @@ Status Run(const Args& args) {
                                    "' (use fixed or adaptive)");
   }
 
+  if (args.Has("shards")) {
+    const long shards = args.GetLong("shards", 0);
+    if (shards < 1 || shards > 1024) {
+      return Status::InvalidArgument("--shards must be in [1, 1024], got " +
+                                     std::to_string(shards));
+    }
+    config.num_shards = static_cast<uint32_t>(shards);
+    config.shard_worker_path = args.Get("shardd", "");
+    if (config.num_shards >= 2 && config.shard_worker_path.empty()) {
+      config.shard_worker_path = DefaultShardWorkerPath();
+      if (config.shard_worker_path.empty()) {
+        std::cerr << "warning: crowder_shardd not found next to crowder_cli; "
+                     "running shard workers in-process (same output, no "
+                     "subprocesses) — pass --shardd PATH to override\n";
+      }
+    }
+  } else if (args.Has("shardd")) {
+    std::cerr << "warning: --shardd only applies with --shards; ignored\n";
+  }
+
   const std::string hit_type = args.Get("hit-type", "cluster");
   if (hit_type == "pair") {
     config.hit_type = core::HitType::kPairBased;
@@ -434,6 +518,7 @@ Status Run(const Args& args) {
               << ", vote spill " << FormatBytes(result.pipeline_stats.vote_spilled_bytes)
               << ")\n";
   }
+  if (config.num_shards >= 2) PrintShardReport(result.shard_stats);
   std::cout << "candidate pairs:    " << WithThousands(result.num_candidate_pairs)
             << " (machine recall " << FormatDouble(100 * result.machine_recall, 1) << "%)\n";
   // Adaptive-only line, so the default report's bytes stay golden-stable.
